@@ -1,0 +1,176 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (printed with the paper's numbers quoted alongside)
+   and then times, with Bechamel, the representative computation behind
+   each experiment — one [Test.make] per table/figure — plus the core
+   compiler passes.
+
+   Usage: dune exec bench/main.exe [-- --samples N] [--no-bechamel]
+          [--no-tables] [--quick] *)
+
+open Bechamel
+open Toolkit
+module E = Sod2_experiments.Experiments
+
+let samples = ref 50
+let run_bechamel = ref true
+let run_tables = ref true
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--samples" :: v :: rest ->
+      samples := int_of_string v;
+      parse rest
+    | "--no-bechamel" :: rest ->
+      run_bechamel := false;
+      parse rest
+    | "--no-tables" :: rest ->
+      run_tables := false;
+      parse rest
+    | "--quick" :: rest ->
+      samples := 10;
+      parse rest
+    | arg :: _ -> invalid_arg ("unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures shared by the micro-benchmarks                             *)
+(* ------------------------------------------------------------------ *)
+
+let cpu = Profile.sd888_cpu
+let gpu = Profile.sd888_gpu
+
+let fixture name =
+  match Zoo.by_name name with
+  | Some sp -> sp
+  | None -> assert false
+
+let yolo = fixture "yolov6"
+let bert = fixture "codebert"
+let snet = fixture "skipnet"
+
+let graph_of = Sod2_experiments.Harness.graph_of
+
+let sess kind profile sp =
+  let g = graph_of sp in
+  Framework.create kind profile g ~max_dims:(Zoo.input_dims sp g (Zoo.max_env sp))
+
+let sample sp p idx = Workload.sample_at sp ~percentile:p ~idx
+
+let run_once session sp (sm : Workload.sample) =
+  Framework.run session ~input_dims:(Zoo.input_dims sp (graph_of sp) sm.env) ~gate:sm.gate
+
+let tests () =
+  let yolo_g = graph_of yolo and bert_g = graph_of bert in
+  let yolo_sod2 = sess Framework.Sod2_fw cpu yolo in
+  let yolo_mnn = sess Framework.Mnn cpu yolo in
+  let yolo_mnn_gpu = sess Framework.Mnn gpu yolo in
+  let bert_sod2 = sess Framework.Sod2_fw cpu bert in
+  let snet_sod2 = sess Framework.Sod2_fw cpu snet in
+  let snet_tfl = sess Framework.Tflite cpu snet in
+  let snet_dnnf = sess Framework.Dnnfusion cpu snet in
+  let yolo_sod2_835 = sess Framework.Sod2_fw Profile.sd835_cpu yolo in
+  let bert_rdp = Sod2.Rdp.analyze bert_g in
+  let decoder_g = Gpt_decoder.build () in
+  let decoder_sod2 =
+    Framework.create Framework.Sod2_fw cpu decoder_g
+      ~max_dims:(Gpt_decoder.input_dims decoder_g ~past:1024 ~seq:16)
+  in
+  let mid = sample yolo 0.5 0 and mid_s = sample snet 0.5 0 in
+  let snet_lifetimes =
+    let trace =
+      Sod2_runtime.Executor.run_dry (Framework.compiled snet_sod2)
+        ~gate:mid_s.Workload.gate
+        ~input_dims:(Zoo.input_dims snet (graph_of snet) mid_s.Workload.env)
+    in
+    List.map
+      (fun (e : Sod2_runtime.Executor.tensor_event) ->
+        e.Sod2_runtime.Executor.te_bytes, e.te_alloc, e.te_free)
+      trace.Sod2_runtime.Executor.events
+  in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    (* core passes *)
+    t "core/rdp-analysis(codebert)" (fun () -> Sod2.Rdp.analyze bert_g);
+    t "core/fusion-rdp(codebert)" (fun () -> Sod2.Fusion.plan bert_g bert_rdp);
+    t "core/autotune-ga(gemm)" (fun () ->
+        Sod2.Autotune.tune cpu (Rng.create 7) ~m:128 ~n:512 ~k:128);
+    (* one per table / figure *)
+    t "table1/mnn-reinit-shape-change" (fun () ->
+        ignore (run_once yolo_mnn yolo (sample yolo 0.3 0));
+        run_once yolo_mnn yolo (sample yolo 0.8 1));
+    t "table5/sod2-memory-accounting" (fun () ->
+        (run_once yolo_sod2 yolo mid).Framework.peak_bytes);
+    t "table6/sod2-dry-inference" (fun () -> run_once yolo_sod2 yolo mid);
+    t "table7/percentile-run" (fun () -> run_once yolo_sod2 yolo (sample yolo 1.0 2));
+    t "fig5/ablation-compile" (fun () ->
+        Sod2.Pipeline.compile ~flags:{ Sod2.Pipeline.no_opts with fusion = true } cpu
+          yolo_g);
+    t "fig6/ablation-run" (fun () -> run_once yolo_mnn yolo mid);
+    t "fig7/fusion-static-vs-rdp" (fun () ->
+        Sod2.Fusion.plan ~mode:Sod2.Fusion.Static_only bert_g bert_rdp);
+    t "fig8/exec-partitioning" (fun () ->
+        let fp = Sod2.Fusion.plan bert_g bert_rdp in
+        Sod2.Exec_plan.plan bert_g bert_rdp fp ~env:(Env.of_list [ "S", 128 ]));
+    t "fig9/all-paths-run" (fun () ->
+        Framework.run ~control:Sod2_runtime.Executor.All_paths snet_sod2
+          ~input_dims:(Zoo.input_dims snet (graph_of snet) mid_s.Workload.env)
+          ~gate:(Workload.fixed_gates 1));
+    t "fig10/mnn-gpu-size-sweep-point" (fun () -> run_once yolo_mnn_gpu yolo mid);
+    t "fig11/tflite-budget-run" (fun () ->
+        Framework.run_with_budget snet_tfl ~budget_bytes:(1 lsl 20)
+          ~input_dims:(Zoo.input_dims snet (graph_of snet) mid_s.Workload.env)
+          ~gate:mid_s.Workload.gate);
+    t "fig12/dnnfusion-frozen-run" (fun () -> run_once snet_dnnf snet mid_s);
+    t "fig13/sd835-run" (fun () -> run_once yolo_sod2_835 yolo mid);
+    t "memplan/peak-first-placement" (fun () ->
+        Sod2.Mem_plan.arena_for Sod2.Mem_plan.Peak_first ~lifetimes:snet_lifetimes);
+    (* extensions *)
+    t "ext/llm-decode-step" (fun () ->
+        Framework.run decoder_sod2 ~gate:(Workload.fixed_gates 0)
+          ~input_dims:(Gpt_decoder.input_dims decoder_g ~past:128 ~seq:1));
+    t "ext/graph-io-roundtrip(skipnet)" (fun () ->
+        let g = graph_of snet in
+        match Graph_io.of_string (Graph_io.to_string g) with
+        | Ok g2 -> Graph.node_count g2
+        | Error e -> failwith e);
+    (* real interpretation exercising the kernels end to end *)
+    t "runtime/real-exec(codebert-S32)" (fun () ->
+        let env = Env.of_list [ "S", 32 ] in
+        let inputs = Zoo.make_inputs bert bert_g env (Rng.create 5) in
+        Sod2_runtime.Executor.run_real (Framework.compiled bert_sod2) ~inputs |> ignore);
+  ]
+
+let run_benchmarks () =
+  let grouped = Test.make_grouped ~name:"sod2" ~fmt:"%s/%s" (tests ()) in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []) in
+  Printf.printf "\n=== Bechamel micro-benchmarks (wall-clock per run) ===\n";
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] ->
+        let pretty =
+          if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+          else Printf.sprintf "%8.0f ns" ns
+        in
+        Printf.printf "  %-44s %s\n" name pretty
+      | _ -> Printf.printf "  %-44s (no estimate)\n" name)
+    rows
+
+let () =
+  if !run_tables then begin
+    Printf.printf
+      "SoD2 reproduction — regenerating every table and figure (%d samples/model)\n"
+      !samples;
+    List.iter Sod2_experiments.Table.print (E.all ~n:!samples ())
+  end;
+  if !run_bechamel then run_benchmarks ()

@@ -1,0 +1,335 @@
+(* Command-line interface to the SoD2 reproduction: inspect the model zoo,
+   run the RDP analysis, compile, execute, compare against the baseline
+   framework simulators, and export graphs to Graphviz. *)
+
+open Cmdliner
+
+let spec_of_name name =
+  match Zoo.by_name name with
+  | Some sp -> sp
+  | None ->
+    Printf.eprintf "unknown model %s; try `sod2 list`\n" name;
+    exit 2
+
+let profile_of_name name =
+  match Profile.by_name name with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "unknown device %s; known: %s\n" name
+      (String.concat ", " (List.map (fun p -> p.Profile.name) Profile.all));
+    exit 2
+
+let model_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc:"Zoo model name.")
+
+let device_arg =
+  Arg.(value & opt string "sd888-cpu" & info [ "device"; "d" ] ~docv:"DEVICE"
+         ~doc:"Device profile (sd888-cpu, sd888-gpu, sd835-cpu, sd835-gpu).")
+
+let dims_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dims" ] ~docv:"DIMS" ~doc:"Shape variables, e.g. H=320,W=320 or S=128.")
+
+let env_of_dims spec dims =
+  match dims with
+  | None -> Zoo.percentile_env spec 0.5
+  | Some s ->
+    List.fold_left
+      (fun env binding ->
+        match String.split_on_char '=' binding with
+        | [ k; v ] -> Env.bind k (int_of_string v) env
+        | _ ->
+          Printf.eprintf "bad --dims entry %S\n" binding;
+          exit 2)
+      Env.empty (String.split_on_char ',' s)
+
+(* --- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-26s %-10s %-14s %6s %6s %8s\n" "model" "dynamism" "input" "nodes"
+      "gates" "shape-vars";
+    List.iter
+      (fun (sp : Zoo.spec) ->
+        let g = sp.build () in
+        Printf.printf "%-26s %-10s %-14s %6d %6d %8s\n" sp.name
+          (match sp.dynamism with
+          | Zoo.Shape_dyn -> "shape"
+          | Zoo.Control_dyn -> "control"
+          | Zoo.Both_dyn -> "both")
+          sp.input_desc (Graph.node_count g) (Zoo.gate_count g)
+          (String.concat "," (List.map fst sp.dim_choices)))
+      Zoo.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the model zoo.") Term.(const run $ const ())
+
+(* --- analyze ------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run model verbose =
+    let sp = spec_of_name model in
+    let g = sp.build () in
+    let r = Sod2.Rdp.analyze g in
+    let stats = Sod2.Rdp.stats g r in
+    Printf.printf "model: %s (%d nodes, %d tensors)\n" sp.name (Graph.node_count g)
+      (Graph.tensor_count g);
+    Printf.printf "RDP converged in %d sweeps\n" r.Sod2.Rdp.iterations;
+    Printf.printf "activation tensors: %d\n" stats.Sod2.Rdp.n_tensors;
+    Printf.printf "  known constant shapes:    %d\n" stats.Sod2.Rdp.known_const;
+    Printf.printf "  symbolic/op-inferred:     %d\n" stats.Sod2.Rdp.symbolic;
+    Printf.printf "  rank only:                %d\n" stats.Sod2.Rdp.rank_only;
+    Printf.printf "  unknown (undef/nac):      %d\n" stats.Sod2.Rdp.unknown;
+    Printf.printf "  resolution rate:          %.1f%%\n"
+      (100.0 *. Sod2.Rdp.resolution_rate g r);
+    let counts = Hashtbl.create 4 in
+    Array.iter
+      (fun c ->
+        let k = Op_class.category_name c in
+        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+      r.Sod2.Rdp.categories;
+    Printf.printf "node dynamism (after constant propagation):\n";
+    Hashtbl.iter (fun k v -> Printf.printf "  %-48s %d\n" k v) counts;
+    if verbose then
+      Array.iter
+        (fun (nd : Graph.node) ->
+          List.iter
+            (fun tid -> Format.printf "  %a@." (Sod2.Rdp.pp_tensor g r) tid)
+            nd.outputs)
+        (Graph.nodes g)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every tensor's S/V maps.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the RDP analysis and print its precision.")
+    Term.(const run $ model_arg $ verbose)
+
+(* --- compile ------------------------------------------------------- *)
+
+let compile_cmd =
+  let run model device =
+    let sp = spec_of_name model in
+    let profile = profile_of_name device in
+    let g = sp.build () in
+    let c = Sod2.Pipeline.compile profile g in
+    Format.printf "%a@." (fun ppf () -> Sod2.Fusion.pp g ppf c.Sod2.Pipeline.fusion_plan) ();
+    Format.printf "%a@." Sod2.Exec_plan.pp c.Sod2.Pipeline.exec;
+    let env = Zoo.percentile_env sp 0.5 in
+    let mp = Sod2.Pipeline.mem_plan_for c env in
+    Format.printf "%a@." Sod2.Mem_plan.pp mp;
+    (match Sod2.Mem_plan.validate mp with
+    | Ok () -> print_endline "memory plan: valid (no overlap)"
+    | Error e -> Printf.printf "memory plan INVALID: %s\n" e)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a model and print the fusion/execution/memory plans.")
+    Term.(const run $ model_arg $ device_arg)
+
+(* --- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let run model device dims real arena =
+    let sp = spec_of_name model in
+    let profile = profile_of_name device in
+    let g = sp.build () in
+    let env = env_of_dims sp dims in
+    if arena then begin
+      let c = Sod2.Pipeline.compile profile g in
+      let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
+      let r = Sod2_runtime.Arena_exec.run c ~env ~inputs in
+      Printf.printf "arena: %d bytes, %d resident tensors\n"
+        r.Sod2_runtime.Arena_exec.arena_bytes r.Sod2_runtime.Arena_exec.arena_resident;
+      List.iter
+        (fun (tid, t) -> Format.printf "output t%d = %a@." tid Tensor.pp t)
+        r.Sod2_runtime.Arena_exec.outputs
+    end
+    else if real then begin
+      let c = Sod2.Pipeline.compile profile g in
+      let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
+      let trace, outs = Sod2_runtime.Executor.run_real c ~inputs in
+      Printf.printf "executed %d nodes (%d fused groups)\n"
+        trace.Sod2_runtime.Executor.nodes_executed
+        (List.length trace.Sod2_runtime.Executor.steps);
+      List.iter
+        (fun (tid, t) -> Format.printf "output t%d = %a@." tid Tensor.pp t)
+        outs
+    end
+    else begin
+      let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
+      let session = Framework.create Framework.Sod2_fw profile g ~max_dims in
+      let sm = Workload.sample_at sp ~percentile:0.5 ~idx:0 in
+      let input_dims =
+        List.map (fun (tid, _) -> tid, Option.get (Shape.eval env (Option.get (Graph.input_shape g tid))))
+          (List.map (fun tid -> tid, ()) (Graph.inputs g))
+      in
+      let st = Framework.run session ~input_dims ~gate:sm.Workload.gate in
+      Printf.printf "simulated latency: %.2f ms\n" (st.Framework.latency_us /. 1000.0);
+      Printf.printf "peak intermediate memory: %.2f MB\n"
+        (float_of_int st.Framework.peak_bytes /. 1048576.0)
+    end
+  in
+  let real =
+    Arg.(value & flag & info [ "real" ] ~doc:"Interpret tensors for real instead of simulating.")
+  in
+  let arena =
+    Arg.(value & flag
+         & info [ "arena" ]
+             ~doc:"Interpret with every planned tensor at its memory-plan offset.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one inference (simulated by default; --real interprets, --arena \
+             additionally executes the memory plan).")
+    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena)
+
+(* --- compare ------------------------------------------------------- *)
+
+let compare_cmd =
+  let run model device n =
+    let sp = spec_of_name model in
+    let profile = profile_of_name device in
+    let g = sp.build () in
+    let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
+    let samples = Workload.samples ~n sp in
+    Printf.printf "%-10s %12s %12s %12s\n" "framework" "lat min(ms)" "lat max(ms)" "mem max(MB)";
+    List.iter
+      (fun fw ->
+        if Framework.supports fw ~model:sp.name profile.Profile.target then begin
+          let session = Framework.create fw profile g ~max_dims in
+          let stats =
+            List.map
+              (fun (sm : Workload.sample) ->
+                Framework.run session ~input_dims:(Zoo.input_dims sp g sm.env)
+                  ~gate:sm.gate)
+              samples
+          in
+          let lats = List.map (fun (s : Framework.stats) -> s.latency_us /. 1000.0) stats in
+          let mems =
+            List.map (fun (s : Framework.stats) -> float_of_int s.peak_bytes /. 1048576.0) stats
+          in
+          let mn l = List.fold_left Float.min (List.hd l) l in
+          let mx l = List.fold_left Float.max (List.hd l) l in
+          Printf.printf "%-10s %12.1f %12.1f %12.1f\n" (Framework.kind_name fw) (mn lats)
+            (mx lats) (mx mems)
+        end)
+      [ Framework.Ort; Framework.Mnn; Framework.Tvm_nimble; Framework.Tflite;
+        Framework.Dnnfusion; Framework.Sod2_fw ]
+  in
+  let n = Arg.(value & opt int 20 & info [ "samples"; "n" ] ~doc:"Input samples.") in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare frameworks on one model.")
+    Term.(const run $ model_arg $ device_arg $ n)
+
+(* --- dot ----------------------------------------------------------- *)
+
+let dot_cmd =
+  let run model out =
+    let sp = spec_of_name model in
+    let g = sp.build () in
+    let dot = Graph.to_dot g in
+    match out with
+    | None -> print_string dot
+    | Some path ->
+      let oc = open_out path in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (stdout if omitted).")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export a model's graph to Graphviz.")
+    Term.(const run $ model_arg $ out)
+
+(* --- save / load ---------------------------------------------------- *)
+
+let save_cmd =
+  let run model out =
+    let sp = spec_of_name model in
+    let g = sp.build () in
+    Graph_io.save g out;
+    Printf.printf "wrote %s (%d nodes, %d tensors)\n" out (Graph.node_count g)
+      (Graph.tensor_count g)
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize a zoo model to the sod2-graph text format.")
+    Term.(const run $ model_arg $ out)
+
+let load_cmd =
+  let run path =
+    match Graph_io.load path with
+    | Ok g ->
+      let r = Sod2.Rdp.analyze g in
+      Printf.printf "%s: %d nodes, %d tensors, RDP resolution %.1f%%\n" path
+        (Graph.node_count g) (Graph.tensor_count g)
+        (100.0 *. Sod2.Rdp.resolution_rate g r)
+    | Error e ->
+      Printf.eprintf "failed to load %s: %s\n" path e;
+      exit 1
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Graph file.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load a sod2-graph file and run the RDP analysis on it.")
+    Term.(const run $ path)
+
+(* --- decode (LLM extension) ----------------------------------------- *)
+
+let decode_cmd =
+  let run device tokens =
+    let profile = profile_of_name device in
+    let g = Gpt_decoder.build () in
+    let max_dims = Gpt_decoder.input_dims g ~past:1024 ~seq:16 in
+    let sod2 = Framework.create Framework.Sod2_fw profile g ~max_dims in
+    let mnn = Framework.create Framework.Mnn profile g ~max_dims in
+    let gate = Workload.fixed_gates 0 in
+    Printf.printf "autoregressive decode, %d tokens after a 16-token prefill (%s):\n"
+      tokens profile.Profile.name;
+    let totals = ref (0.0, 0.0) in
+    for step = 0 to tokens do
+      let past, seq = if step = 0 then 16, 16 else 16 + step, 1 in
+      let input_dims = Gpt_decoder.input_dims g ~past ~seq in
+      let m = Framework.run mnn ~input_dims ~gate in
+      let d = Framework.run sod2 ~input_dims ~gate in
+      let tm, td = !totals in
+      totals :=
+        ( tm +. ((m.Framework.reinit_us +. m.Framework.latency_us) /. 1000.0),
+          td +. (d.Framework.latency_us /. 1000.0) )
+    done;
+    let tm, td = !totals in
+    Printf.printf "  re-initializing engine: %8.0f ms (recompiles every step)\n" tm;
+    Printf.printf "  SoD2:                   %8.1f ms (one symbolic compilation)\n" td;
+    Printf.printf "  -> %.0fx\n" (tm /. td)
+  in
+  let tokens =
+    Arg.(value & opt int 32 & info [ "tokens"; "t" ] ~doc:"Tokens to decode.")
+  in
+  Cmd.v
+    (Cmd.info "decode"
+       ~doc:"Run the \xC2\xA77 LLM-decoding extension: per-token cost with a growing KV cache.")
+    Term.(const run $ device_arg $ tokens)
+
+(* --- experiments --------------------------------------------------- *)
+
+let experiments_cmd =
+  let run n =
+    List.iter Sod2_experiments.Table.print (Sod2_experiments.Experiments.all ~n ())
+  in
+  let n = Arg.(value & opt int 50 & info [ "samples"; "n" ] ~doc:"Input samples per model.") in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce every table and figure of the paper.")
+    Term.(const run $ n)
+
+let () =
+  let doc = "SoD2: statically optimizing dynamic DNN execution (OCaml reproduction)" in
+  let info = Cmd.info "sod2" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; analyze_cmd; compile_cmd; run_cmd; compare_cmd; dot_cmd;
+            save_cmd; load_cmd; decode_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_vision.ml: Env Framework Graph List Option Printf Profile Rng Sod2 Sod2_runtime Workload Zoo

@@ -1,0 +1,1 @@
+examples/dynamic_nlp.ml: Env Framework List Option Printf Profile String Workload Zoo

@@ -1,0 +1,1 @@
+examples/memory_budget.ml: Array Env Framework List Option Printf Profile Sod2 String Workload Zoo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dim Format Graph List Op Printf Profile Rng Shape Sod2 Sod2_runtime Tensor

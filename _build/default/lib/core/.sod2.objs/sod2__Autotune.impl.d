@@ -1,0 +1,1 @@
+lib/core/autotune.ml: Array Float Format Profile Rng

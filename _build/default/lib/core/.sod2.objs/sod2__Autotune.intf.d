@@ -1,0 +1,1 @@
+lib/core/autotune.mli: Format Profile Rng

@@ -1,0 +1,1 @@
+lib/core/exec_plan.ml: Array Dim Format Fusion Graph Hashtbl List Op Printf Queue Rdp Shape

@@ -1,0 +1,1 @@
+lib/core/exec_plan.mli: Env Format Fusion Graph Rdp

@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Array Format Fun Graph Hashtbl List Op Rdp Shape Shape_fn String Value_info

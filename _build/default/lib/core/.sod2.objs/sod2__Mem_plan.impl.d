@@ -1,0 +1,1 @@
+lib/core/mem_plan.ml: Array Format Fusion Graph Hashtbl List Printf Rdp Shape

@@ -1,0 +1,1 @@
+lib/core/mem_plan.mli: Env Format Fusion Graph Rdp

@@ -1,0 +1,1 @@
+lib/core/multi_version.ml: Autotune Float List Op Rng

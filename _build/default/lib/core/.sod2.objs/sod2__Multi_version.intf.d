@@ -1,0 +1,1 @@
+lib/core/multi_version.mli: Autotune Op Profile

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Env Exec_plan Fusion Graph List Mem_plan Multi_version Profile Rdp

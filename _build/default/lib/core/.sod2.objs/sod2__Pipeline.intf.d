@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Env Exec_plan Fusion Graph Mem_plan Multi_version Profile Rdp

@@ -1,0 +1,1 @@
+lib/core/rdp.ml: Array Dim Format Graph Lattice List Op_class Printf Shape Shape_fn Tensor Value_info

@@ -1,0 +1,1 @@
+lib/core/rdp.mli: Format Graph Op_class Shape Value_info

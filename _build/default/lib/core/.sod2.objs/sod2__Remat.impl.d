@@ -1,0 +1,1 @@
+lib/core/remat.ml: Float List

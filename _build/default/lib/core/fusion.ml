@@ -1,0 +1,263 @@
+type mode =
+  | Static_only
+  | Light
+  | Rdp_based
+
+type group = {
+  gid : int;
+  members : Graph.node_id list;
+  internal : Graph.tensor_id list;
+  versions : int;
+}
+
+type plan = {
+  groups : group array;
+  group_of : int array;
+  mode : mode;
+}
+
+let version_cap = 8
+let max_group_size = 16
+
+type role =
+  | View  (** index-space preserving, zero arithmetic *)
+  | Pointwise
+  | Heavy
+  | Reduction
+  | Opaque
+
+let role (op : Op.t) : role =
+  match op with
+  | Op.Reshape | Op.Squeeze _ | Op.Unsqueeze _ | Op.Flatten _ | Op.Unary Op.Identity
+  | Op.Cast _ -> View
+  | Op.Unary _ | Op.Binary _ | Op.Clip _ | Op.Where | Op.Transpose _
+  | Op.BatchNorm _ (* inference-mode: per-channel affine map *) -> Pointwise
+  | Op.MatMul | Op.Gemm _ | Op.Conv _ | Op.Conv1d _ -> Heavy
+  | Op.Softmax _ | Op.LogSoftmax _ | Op.Reduce _ | Op.ArgMax _ | Op.ArgMin _
+  | Op.LayerNorm _ | Op.GroupNorm _ | Op.InstanceNorm _ | Op.MaxPool _ | Op.AveragePool _
+  | Op.GlobalAveragePool | Op.CumSum _ -> Reduction
+  | _ -> Opaque
+
+(* --- union-find over nodes, with per-group fusion metadata --- *)
+
+type meta = {
+  mutable size : int;
+  mutable has_heavy : bool;
+  mutable has_reduction : bool;
+  mutable bits : int;  (** unresolved broadcast dims; versions = 2^bits *)
+}
+
+let find parent i =
+  let rec loop i = if parent.(i) = i then i else loop parent.(i) in
+  let root = loop i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let shapes_ok mode rdp (g : Graph.t) (nd : Graph.node) =
+  let ok s =
+    match mode with
+    | Static_only -> Shape.is_fully_known s
+    | Light | Rdp_based -> Shape.is_symbolically_known s
+  in
+  List.for_all (fun tid -> ok (Rdp.shape rdp tid)) nd.outputs
+  && List.for_all
+       (fun tid ->
+         (* Constant operands (weights, biases) always have known shapes. *)
+         match (Graph.tensor g tid).kind with
+         | Graph.Const _ -> true
+         | Graph.Input _ | Graph.Activation -> ok (Rdp.shape rdp tid))
+       nd.inputs
+
+let consumer_bits rdp (g : Graph.t) (nd : Graph.node) =
+  match nd.op with
+  | Op.Binary _ | Op.Where ->
+    let io =
+      {
+        Shape_fn.in_shapes =
+          Array.of_list (List.map (fun tid -> Rdp.shape rdp tid) nd.inputs);
+        in_values = Array.of_list (List.map (fun _ -> Value_info.undef) nd.inputs);
+      }
+    in
+    ignore g;
+    Shape_fn.versions_for_broadcast io
+  | _ -> 0
+
+let plan ?(mode = Rdp_based) (g : Graph.t) (rdp : Rdp.t) : plan =
+  let n = Graph.node_count g in
+  let parent = Array.init n Fun.id in
+  let metas =
+    Array.init n (fun nid ->
+        let nd = Graph.node g nid in
+        {
+          size = 1;
+          has_heavy = role nd.op = Heavy;
+          has_reduction = role nd.op = Reduction;
+          bits = 0;
+        })
+  in
+  let single_consumer nd =
+    (* A graph output must be materialized, so its producer cannot melt
+       into a consumer's group. *)
+    if List.exists (fun tid -> List.mem tid (Graph.outputs g)) nd.Graph.outputs then None
+    else
+      match
+        List.sort_uniq compare
+          (List.concat_map (fun tid -> Graph.consumers g tid) nd.Graph.outputs)
+      with
+      | [ c ] -> Some c
+      | _ -> None
+  in
+  let try_fuse (p : Graph.node) (c : Graph.node) =
+    let rp = role p.op and rc = role c.op in
+    let producer_ok = match rp with View | Pointwise | Heavy -> true | Reduction | Opaque -> false in
+    let consumer_ok = match rc with View | Pointwise | Reduction -> true | Heavy | Opaque -> false in
+    if producer_ok && consumer_ok && single_consumer p = Some c.nid then begin
+      let gp = find parent p.nid and gc = find parent c.nid in
+      if gp <> gc then begin
+        let mp = metas.(gp) and mc = metas.(gc) in
+        let edge_bits = consumer_bits rdp g c in
+        let bits = mp.bits + mc.bits + edge_bits in
+        let versions_fit =
+          match mode with
+          | Static_only | Light -> bits = 0
+          | Rdp_based -> 1 lsl bits <= version_cap
+        in
+        (* Light mode models engines like MNN that only fuse short
+           epilogue chains (conv+bn+activation, pointwise pairs). *)
+        let size_cap =
+          match mode with Light -> 6 | Static_only | Rdp_based -> max_group_size
+        in
+        let light_ok =
+          match mode with
+          | Light -> (match rc with Pointwise | View | Reduction -> true | Heavy | Opaque -> false)
+          | Static_only | Rdp_based -> true
+        in
+        if
+          versions_fit && light_ok
+          && mp.size + mc.size <= size_cap
+          && not (mp.has_heavy && mc.has_heavy)
+          && not mp.has_reduction (* a reduction ends its group; nothing fuses after it *)
+          && shapes_ok mode rdp g p
+          && shapes_ok mode rdp g c
+        then begin
+          parent.(gc) <- gp;
+          mp.size <- mp.size + mc.size;
+          mp.has_heavy <- mp.has_heavy || mc.has_heavy;
+          mp.has_reduction <- mp.has_reduction || mc.has_reduction || rc = Reduction;
+          mp.bits <- bits
+        end
+      end
+    end
+  in
+  (* The first merge branch already covers reduction-terminal fusion; walk
+     edges in topological order so chains grow from their anchor. *)
+  Array.iter
+    (fun (c : Graph.node) ->
+      List.iter
+        (fun tid ->
+          match Graph.producer g tid with
+          | Some p -> try_fuse p c
+          | None -> ())
+        c.inputs)
+    (Graph.nodes g);
+  (* Materialize groups.  Group ids are assigned by each group's LAST
+     member: every group-external edge leaves a group from its terminal
+     node, so ordering groups by terminal node id yields a topological
+     order of the group DAG (which the execution planner's interval
+     partition relies on). *)
+  let root_of = Array.init n (fun i -> find parent i) in
+  let last_member = Hashtbl.create 64 in
+  Array.iteri (fun nid root -> Hashtbl.replace last_member root nid) root_of;
+  let roots_sorted =
+    Hashtbl.fold (fun root last acc -> (last, root) :: acc) last_member []
+    |> List.sort compare
+    |> List.map snd
+  in
+  let roots = Hashtbl.create 64 in
+  let next_gid = ref 0 in
+  List.iter
+    (fun root ->
+      Hashtbl.add roots root !next_gid;
+      incr next_gid)
+    roots_sorted;
+  let group_of = Array.map (fun root -> Hashtbl.find roots root) root_of in
+  let members = Array.make !next_gid [] in
+  Array.iteri (fun nid gid -> members.(gid) <- nid :: members.(gid)) group_of;
+  let members = Array.map List.rev members in
+  let graph_outputs = Graph.outputs g in
+  let internal_of gid =
+    List.concat_map
+      (fun nid ->
+        let nd = Graph.node g nid in
+        List.filter
+          (fun tid ->
+            (not (List.mem tid graph_outputs))
+            &&
+            let cons = Graph.consumers g tid in
+            cons <> [] && List.for_all (fun c -> group_of.(c) = gid) cons)
+          nd.outputs)
+      members.(gid)
+  in
+  let groups =
+    Array.init !next_gid (fun gid ->
+        let m = members.(gid) in
+        let root = find parent (List.hd m) in
+        {
+          gid;
+          members = m;
+          internal = (if List.length m > 1 then internal_of gid else []);
+          versions = 1 lsl metas.(root).bits;
+        })
+  in
+  { groups; group_of; mode }
+
+let identity_plan (g : Graph.t) : plan =
+  let n = Graph.node_count g in
+  {
+    groups =
+      Array.init n (fun i -> { gid = i; members = [ i ]; internal = []; versions = 1 });
+    group_of = Array.init n Fun.id;
+    mode = Static_only;
+  }
+
+let layer_count plan = Array.length plan.groups
+
+let materialized_tensors (g : Graph.t) plan =
+  let internal = Hashtbl.create 64 in
+  Array.iter
+    (fun grp -> List.iter (fun tid -> Hashtbl.replace internal tid ()) grp.internal)
+    plan.groups;
+  let out = ref [] in
+  for tid = Graph.tensor_count g - 1 downto 0 do
+    match (Graph.tensor g tid).kind with
+    | Graph.Activation when not (Hashtbl.mem internal tid) -> out := tid :: !out
+    | _ -> ()
+  done;
+  !out
+
+let intermediate_bytes (g : Graph.t) plan env rdp =
+  List.fold_left
+    (fun acc tid ->
+      match Shape.eval env (Rdp.shape rdp tid) with
+      | Some dims -> acc + (4 * List.fold_left ( * ) 1 dims)
+      | None -> acc)
+    0
+    (materialized_tensors g plan)
+
+let pp (g : Graph.t) ppf plan =
+  Format.fprintf ppf "fusion plan: %d nodes -> %d groups@." (Graph.node_count g)
+    (Array.length plan.groups);
+  Array.iter
+    (fun grp ->
+      if List.length grp.members > 1 then
+        Format.fprintf ppf "  group %d (%d versions): %s@." grp.gid grp.versions
+          (String.concat " -> "
+             (List.map (fun nid -> Op.name (Graph.node g nid).op) grp.members)))
+    plan.groups

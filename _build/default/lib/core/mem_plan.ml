@@ -1,0 +1,298 @@
+type strategy =
+  | Greedy_first_fit
+  | Peak_first
+  | Optimal_search
+
+type alloc = {
+  tid : Graph.tensor_id;
+  offset : int;
+  size : int;
+  first_step : int;
+  last_step : int;
+}
+
+type t = {
+  allocs : alloc array;
+  dynamic : Graph.tensor_id list;
+  arena_bytes : int;
+  strategy : strategy;
+}
+
+(* Lifetime of every materialized activation tensor in terms of execution
+   steps (positions in the group order). *)
+type lifetime = {
+  lt_tid : Graph.tensor_id;
+  lt_size : int;
+  lt_first : int;
+  lt_last : int;
+}
+
+let lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order ~env =
+  let n_steps = List.length order in
+  let step_of_group = Hashtbl.create 64 in
+  List.iteri (fun i gid -> Hashtbl.replace step_of_group gid i) order;
+  let materialized = Fusion.materialized_tensors g fplan in
+  let outs = Graph.outputs g in
+  let static = ref [] and dynamic = ref [] in
+  List.iter
+    (fun tid ->
+      match Graph.producer g tid with
+      | None -> ()
+      | Some p ->
+        let first =
+          match Hashtbl.find_opt step_of_group fplan.group_of.(p.nid) with
+          | Some s -> s
+          | None -> 0
+        in
+        let last =
+          if List.mem tid outs then n_steps - 1
+          else
+            List.fold_left
+              (fun acc cnid ->
+                match Hashtbl.find_opt step_of_group fplan.group_of.(cnid) with
+                | Some s -> max acc s
+                | None -> acc)
+              first (Graph.consumers g tid)
+        in
+        (match Shape.eval env (Rdp.shape rdp tid) with
+        | Some dims ->
+          let size = 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims in
+          static :=
+            { lt_tid = tid; lt_size = size; lt_first = first; lt_last = last } :: !static
+        | None -> dynamic := tid :: !dynamic))
+    materialized;
+  List.rev !static, List.rev !dynamic
+
+let overlap a b = a.lt_first <= b.lt_last && b.lt_first <= a.lt_last
+
+(* Lowest offset at which [lt] fits below/between already-placed conflicting
+   allocations. *)
+let first_fit placed lt =
+  let conflicts =
+    List.filter (fun (plt, _off) -> overlap plt lt) placed
+    |> List.map (fun (plt, off) -> off, off + plt.lt_size)
+    |> List.sort compare
+  in
+  let rec scan candidate = function
+    | [] -> candidate
+    | (lo, hi) :: rest ->
+      if candidate + lt.lt_size <= lo then candidate else scan (max candidate hi) rest
+  in
+  scan 0 conflicts
+
+let place_in_order lts =
+  let placed =
+    List.fold_left (fun placed lt -> (lt, first_fit placed lt) :: placed) [] lts
+  in
+  List.rev placed
+
+let arena_of placed =
+  List.fold_left (fun acc (lt, off) -> max acc (off + lt.lt_size)) 0 placed
+
+let peak_step lts =
+  (* Step with the largest total live bytes. *)
+  let max_step = List.fold_left (fun acc lt -> max acc lt.lt_last) 0 lts in
+  let best = ref 0 and best_bytes = ref (-1) in
+  for s = 0 to max_step do
+    let live =
+      List.fold_left
+        (fun acc lt -> if lt.lt_first <= s && s <= lt.lt_last then acc + lt.lt_size else acc)
+        0 lts
+    in
+    if live > !best_bytes then begin
+      best_bytes := live;
+      best := s
+    end
+  done;
+  !best
+
+let live_peak lts =
+  let max_step = List.fold_left (fun acc lt -> max acc lt.lt_last) 0 lts in
+  let peak = ref 0 in
+  for s = 0 to max_step do
+    let live =
+      List.fold_left
+        (fun acc lt -> if lt.lt_first <= s && s <= lt.lt_last then acc + lt.lt_size else acc)
+        0 lts
+    in
+    if live > !peak then peak := live
+  done;
+  !peak
+
+let order_for strategy lts =
+  match strategy with
+  | Greedy_first_fit | Optimal_search ->
+    (* Allocation order = execution order of the producing step. *)
+    List.stable_sort (fun a b -> compare (a.lt_first, a.lt_tid) (b.lt_first, b.lt_tid)) lts
+  | Peak_first ->
+    let p = peak_step lts in
+    let dist lt =
+      if lt.lt_first <= p && p <= lt.lt_last then 0
+      else min (abs (lt.lt_first - p)) (abs (lt.lt_last - p))
+    in
+    List.stable_sort
+      (fun a b -> compare (dist a, -a.lt_size, a.lt_tid) (dist b, -b.lt_size, b.lt_tid))
+      lts
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y.lt_tid <> x.lt_tid) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+(* Best-fit placement: choose the tightest adequate hole instead of the
+   lowest offset. *)
+let best_fit placed lt =
+  let conflicts =
+    List.filter (fun (plt, _off) -> overlap plt lt) placed
+    |> List.map (fun (plt, off) -> off, off + plt.lt_size)
+    |> List.sort compare
+  in
+  (* candidate offsets: 0 and the top of every conflicting block *)
+  let arena_top =
+    List.fold_left (fun acc (_, hi) -> max acc hi) 0 conflicts
+  in
+  let fits candidate =
+    List.for_all (fun (lo, hi) -> candidate + lt.lt_size <= lo || candidate >= hi) conflicts
+  in
+  let candidates = 0 :: List.map snd conflicts in
+  let best = ref None in
+  List.iter
+    (fun c ->
+      if fits c then
+        match !best with
+        | Some b when b <= c -> ()
+        | _ -> best := Some c)
+    (List.filter (fun c -> c + lt.lt_size <= arena_top) candidates);
+  match !best with
+  | Some c -> c
+  | None -> first_fit placed lt
+
+let place_best_fit lts =
+  List.rev
+    (List.fold_left (fun placed lt -> (lt, best_fit placed lt) :: placed) [] lts)
+
+(* The peak-first plan is computed statically, so it can afford to evaluate
+   several placement schedules — peak-outward, allocation order, largest
+   first, and best-fit variants — and keep whichever packs tightest; it
+   therefore never loses to the greedy baseline. *)
+let place_peak_first lts =
+  let size_desc =
+    List.stable_sort (fun a b -> compare (-a.lt_size, a.lt_tid) (-b.lt_size, b.lt_tid)) lts
+  in
+  let candidates =
+    [
+      place_in_order (order_for Peak_first lts);
+      place_in_order (order_for Greedy_first_fit lts);
+      place_in_order size_desc;
+      place_best_fit (order_for Peak_first lts);
+      place_best_fit size_desc;
+    ]
+  in
+  match candidates with
+  | first :: rest ->
+    List.fold_left (fun best c -> if arena_of c < arena_of best then c else best) first rest
+  | [] -> []
+
+let plan ?(strategy = Peak_first) (g : Graph.t) rdp fplan ~order ~env =
+  let lts, dynamic = lifetimes g rdp fplan ~order ~env in
+  let placed =
+    match strategy with
+    | Peak_first -> place_peak_first lts
+    | Greedy_first_fit -> place_in_order (order_for strategy lts)
+    | Optimal_search ->
+      if List.length lts > 9 then place_in_order (order_for Greedy_first_fit lts)
+      else
+        let best = ref None in
+        List.iter
+          (fun perm ->
+            let placed = place_in_order perm in
+            let arena = arena_of placed in
+            match !best with
+            | Some (_, a) when a <= arena -> ()
+            | _ -> best := Some (placed, arena))
+          (permutations lts);
+        (match !best with Some (p, _) -> p | None -> [])
+  in
+  let allocs =
+    placed
+    |> List.map (fun (lt, off) ->
+           {
+             tid = lt.lt_tid;
+             offset = off;
+             size = lt.lt_size;
+             first_step = lt.lt_first;
+             last_step = lt.lt_last;
+           })
+    |> List.sort (fun a b -> compare a.tid b.tid)
+    |> Array.of_list
+  in
+  { allocs; dynamic; arena_bytes = arena_of placed; strategy }
+
+let live_peak_bytes t =
+  live_peak
+    (Array.to_list t.allocs
+    |> List.map (fun a ->
+           { lt_tid = a.tid; lt_size = a.size; lt_first = a.first_step; lt_last = a.last_step }))
+
+let validate t =
+  let n = Array.length t.allocs in
+  let result = ref (Ok ()) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = t.allocs.(i) and b = t.allocs.(j) in
+      let time_overlap = a.first_step <= b.last_step && b.first_step <= a.last_step in
+      let space_overlap = a.offset < b.offset + b.size && b.offset < a.offset + a.size in
+      if time_overlap && space_overlap && !result = Ok () then
+        result :=
+          Error
+            (Printf.sprintf "tensors %d and %d overlap in time and space" a.tid b.tid)
+    done
+  done;
+  (match !result with
+  | Ok () ->
+    if Array.exists (fun a -> a.offset + a.size > t.arena_bytes) t.allocs then
+      result := Error "allocation exceeds arena"
+  | Error _ -> ());
+  !result
+
+let arena_for strategy ~lifetimes =
+  let lts =
+    List.mapi
+      (fun i (size, first, last) ->
+        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last })
+      lifetimes
+  in
+  let lts = List.filter (fun lt -> lt.lt_size > 0) lts in
+  match strategy with
+  | Peak_first -> arena_of (place_peak_first lts)
+  | Greedy_first_fit -> arena_of (place_in_order (order_for strategy lts))
+  | Optimal_search ->
+    if List.length lts > 9 then arena_of (place_in_order (order_for Greedy_first_fit lts))
+    else
+      List.fold_left
+        (fun best perm -> min best (arena_of (place_in_order perm)))
+        max_int (permutations lts)
+
+let optimal_arena_upper_bound t =
+  let lts =
+    Array.to_list t.allocs
+    |> List.map (fun a ->
+           { lt_tid = a.tid; lt_size = a.size; lt_first = a.first_step; lt_last = a.last_step })
+  in
+  if List.length lts > 9 then t.arena_bytes
+  else
+    List.fold_left
+      (fun best perm -> min best (arena_of (place_in_order perm)))
+      max_int (permutations lts)
+
+let pp ppf t =
+  Format.fprintf ppf "memory plan (%s): %d static allocs, %d dynamic, arena %d bytes@."
+    (match t.strategy with
+    | Greedy_first_fit -> "greedy"
+    | Peak_first -> "peak-first"
+    | Optimal_search -> "optimal")
+    (Array.length t.allocs) (List.length t.dynamic) t.arena_bytes

@@ -1,0 +1,46 @@
+type opt_flags = {
+  fusion : bool;
+  sep : bool;
+  dmp : bool;
+  mvc : bool;
+}
+
+let all_opts = { fusion = true; sep = true; dmp = true; mvc = true }
+let no_opts = { fusion = false; sep = false; dmp = false; mvc = false }
+
+type compiled = {
+  graph : Graph.t;
+  rdp : Rdp.t;
+  fusion_plan : Fusion.plan;
+  exec : Exec_plan.t;
+  versions : Multi_version.table;
+  flags : opt_flags;
+  profile : Profile.t;
+}
+
+let env_with_all_syms g v =
+  List.fold_left (fun env s -> Env.bind s v env) Env.empty (Graph.free_syms g)
+
+let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
+  let rdp = Rdp.analyze graph in
+  let fusion_plan =
+    Fusion.plan ~mode:(if flags.fusion then Fusion.Rdp_based else Fusion.Static_only)
+      graph rdp
+  in
+  let env = env_with_all_syms graph plan_sym_value in
+  let exec =
+    Exec_plan.plan
+      ~strategy:(if flags.sep then Exec_plan.Optimal_small else Exec_plan.Topological)
+      graph rdp fusion_plan ~env
+  in
+  let versions =
+    if flags.mvc then Multi_version.build profile else Multi_version.single_version profile
+  in
+  { graph; rdp; fusion_plan; exec; versions; flags; profile }
+
+let mem_plan_for c env =
+  Mem_plan.plan
+    ~strategy:(if c.flags.dmp then Mem_plan.Peak_first else Mem_plan.Greedy_first_fit)
+    c.graph c.rdp c.fusion_plan ~order:c.exec.Exec_plan.order ~env
+
+let plan_env c v = env_with_all_syms c.graph v

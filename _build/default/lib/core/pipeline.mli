@@ -1,0 +1,44 @@
+(** End-to-end SoD² compilation: RDP analysis followed by the four
+    RDP-enabled optimizations, with per-optimization switches for the
+    ablation studies of Fig. 5/6.
+
+    Compilation is shape-generic: it runs once per model and device, and
+    the resulting artifact executes any concrete input shape without
+    re-initialization.  Only the memory plan has a per-inference component
+    ({!mem_plan_for}): offsets are re-derived from the symbolic plan once
+    the shape variables are bound — a linear-time pass, not a search. *)
+
+type opt_flags = {
+  fusion : bool;  (** RDP-based operator fusion (§4.2) *)
+  sep : bool;  (** static execution planning (§4.3) *)
+  dmp : bool;  (** dynamic memory planning (§4.4.1) *)
+  mvc : bool;  (** multi-version code generation (§4.4.2) *)
+}
+
+val all_opts : opt_flags
+val no_opts : opt_flags
+(** Baseline "No opt": general static optimizations (static fusion,
+    topological order, first-fit memory, untuned kernels) still apply, as
+    in the paper's Fig. 5/6 baseline. *)
+
+type compiled = {
+  graph : Graph.t;
+  rdp : Rdp.t;
+  fusion_plan : Fusion.plan;
+  exec : Exec_plan.t;
+  versions : Multi_version.table;
+  flags : opt_flags;
+  profile : Profile.t;
+}
+
+val compile :
+  ?flags:opt_flags -> ?plan_sym_value:int -> Profile.t -> Graph.t -> compiled
+(** Compile [graph] for the device.  [plan_sym_value] (default 64) is the
+    representative value bound to every shape variable while comparing
+    candidate execution orders. *)
+
+val mem_plan_for : compiled -> Env.t -> Mem_plan.t
+(** Instantiate the memory plan for one concrete input shape. *)
+
+val plan_env : compiled -> int -> Env.t
+(** [plan_env c v] binds every shape variable of the model to [v]. *)

@@ -1,0 +1,164 @@
+type t = {
+  shapes : Shape.t array;
+  values : Value_info.t array;
+  categories : Op_class.category array;
+  iterations : int;
+}
+
+let max_sweeps = 64
+
+(* Constant tensors seed both maps: the shape is fully known, and small
+   integer constants (Reshape targets, Slice bounds, axes …) seed the V-map
+   so ISVDOS operators can degrade to ISDOS during the analysis. *)
+let const_value (tensor : Tensor.t) : Value_info.t =
+  match Tensor.dtype tensor with
+  | Tensor.I64 when Tensor.numel tensor <= Value_info.max_tracked_elements ->
+    Value_info.of_ints (Tensor.to_int_list tensor)
+  | Tensor.I64 | Tensor.F32 -> Lattice.Nac
+
+let fresh_sym_counter = ref 0
+
+let fresh_sym () =
+  incr fresh_sym_counter;
+  Printf.sprintf "_d%d" !fresh_sym_counter
+
+(* Graph inputs with undeclared dims get fresh symbolic constants so that
+   equalities between uses of the same dimension survive the analysis —
+   the paper's get_symbolic_value. *)
+let name_undef_dims (s : Shape.t) : Shape.t =
+  match s with
+  | Shape.Ranked d ->
+    Shape.Ranked
+      (Array.map
+         (fun x -> match x with Lattice.Undef -> Dim.of_sym (fresh_sym ()) | _ -> x)
+         d)
+  | Shape.Undef | Shape.Nac -> s
+
+let init_state ?(overrides = []) g =
+  let n = Graph.tensor_count g in
+  let shapes = Array.make n Shape.Undef in
+  let values = Array.make n Value_info.undef in
+  for tid = 0 to n - 1 do
+    match (Graph.tensor g tid).kind with
+    | Graph.Input s ->
+      let s = match List.assoc_opt tid overrides with Some o -> o | None -> s in
+      shapes.(tid) <- name_undef_dims s
+    | Graph.Const c ->
+      shapes.(tid) <- Shape.of_ints (Tensor.dims c);
+      values.(tid) <- const_value c
+    | Graph.Activation -> ()
+  done;
+  shapes, values
+
+let gather_io shapes values (nd : Graph.node) : Shape_fn.io =
+  {
+    Shape_fn.in_shapes = Array.of_list (List.map (fun tid -> shapes.(tid)) nd.inputs);
+    in_values = Array.of_list (List.map (fun tid -> values.(tid)) nd.inputs);
+  }
+
+let update_shape shapes tid s =
+  let merged = Shape.meet shapes.(tid) s in
+  if Shape.equal merged shapes.(tid) then false
+  else begin
+    shapes.(tid) <- merged;
+    true
+  end
+
+let update_value values tid v =
+  let merged = Value_info.meet values.(tid) v in
+  if Value_info.equal merged values.(tid) then false
+  else begin
+    values.(tid) <- merged;
+    true
+  end
+
+let analyze ?overrides g =
+  let shapes, values = init_state ?overrides g in
+  let order = Graph.dfs_order g in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_sweeps do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun (nd : Graph.node) ->
+        let io = gather_io shapes values nd in
+        (* 1. forward transfer to this node's outputs *)
+        let out_shapes, out_values = Shape_fn.forward nd.op io in
+        List.iteri
+          (fun i tid ->
+            if i < Array.length out_shapes then begin
+              if update_shape shapes tid out_shapes.(i) then changed := true;
+              if update_value values tid out_values.(i) then changed := true
+            end)
+          nd.outputs;
+        (* 2. backward transfer to predecessors that are still undef *)
+        let current_outs =
+          Array.of_list (List.map (fun tid -> shapes.(tid)) nd.outputs)
+        in
+        List.iteri
+          (fun i tid ->
+            let needs_info =
+              match shapes.(tid) with
+              | Shape.Undef -> true
+              | Shape.Ranked d -> Array.exists (fun x -> x = Dim.undef) d
+              | Shape.Nac -> false
+            in
+            if needs_info then begin
+              let refined =
+                Shape_fn.backward nd.op ~out_shapes:current_outs io ~input_index:i
+              in
+              if update_shape shapes tid refined then changed := true
+            end)
+          nd.inputs)
+      order
+  done;
+  let categories =
+    Array.map
+      (fun (nd : Graph.node) ->
+        Op_class.classify nd.op ~value_known:(fun i ->
+            match List.nth_opt nd.inputs i with
+            | Some tid -> Lattice.is_known values.(tid)
+            | None -> false))
+      (Graph.nodes g)
+  in
+  { shapes; values; categories; iterations = !iterations }
+
+let shape t tid = t.shapes.(tid)
+let value t tid = t.values.(tid)
+let category t nid = t.categories.(nid)
+
+type dim_stats = {
+  n_tensors : int;
+  known_const : int;
+  symbolic : int;
+  rank_only : int;
+  unknown : int;
+}
+
+let stats g t =
+  let acc = ref { n_tensors = 0; known_const = 0; symbolic = 0; rank_only = 0; unknown = 0 } in
+  for tid = 0 to Graph.tensor_count g - 1 do
+    match (Graph.tensor g tid).kind with
+    | Graph.Const _ | Graph.Input _ -> ()
+    | Graph.Activation ->
+      let a = !acc in
+      let a = { a with n_tensors = a.n_tensors + 1 } in
+      acc :=
+        (match t.shapes.(tid) with
+        | s when Shape.is_fully_known s -> { a with known_const = a.known_const + 1 }
+        | s when Shape.is_symbolically_known s -> { a with symbolic = a.symbolic + 1 }
+        | Shape.Ranked _ -> { a with rank_only = a.rank_only + 1 }
+        | Shape.Undef | Shape.Nac -> { a with unknown = a.unknown + 1 })
+  done;
+  !acc
+
+let resolution_rate g t =
+  let s = stats g t in
+  if s.n_tensors = 0 then 1.0
+  else float_of_int (s.known_const + s.symbolic) /. float_of_int s.n_tensors
+
+let pp_tensor g t ppf tid =
+  let info = Graph.tensor g tid in
+  Format.fprintf ppf "t%d(%s): S=%a V=%a" tid info.tname Shape.pp t.shapes.(tid)
+    Value_info.pp t.values.(tid)

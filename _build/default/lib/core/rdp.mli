@@ -1,0 +1,59 @@
+(** Rank and Dimension Propagation — the paper's core static analysis
+    (§4.1, Alg. 1).
+
+    RDP is an iterative forward/backward dataflow analysis over the
+    extended computational graph.  For every tensor it maintains two maps:
+
+    - an {b S-map} entry ({!Shape.t}): the tensor's rank and per-dimension
+      expressions over known constants, symbolic constants and op-inferred
+      constants (or [undef]/[nac]);
+    - a {b V-map} entry ({!Value_info.t}): the tensor's contents as
+      symbolic expressions, tracked for small integer tensors so that
+      [Shape → Gather → Concat → Reshape] chains resolve statically.
+
+    The solver runs the optimized chaos iteration of Alg. 1: sweep the
+    depth-first-sorted nodes, apply the forward Update transfer of each
+    node's dynamism category, backward-propagate to [undef] predecessors,
+    merge at [Combine] nodes, and repeat until a fixpoint.  Both maps live
+    in the finite-descent lattice [undef → constant → nac], so the
+    iteration converges. *)
+
+type t = {
+  shapes : Shape.t array;  (** S-map, indexed by tensor id *)
+  values : Value_info.t array;  (** V-map, indexed by tensor id *)
+  categories : Op_class.category array;
+      (** per-node dynamism category {e after} constant propagation — an
+          ISVDOS node whose shape operands were resolved is reported as
+          ISDOS (§3 Discussion) *)
+  iterations : int;  (** sweeps until fixpoint *)
+}
+
+val analyze : ?overrides:(Graph.tensor_id * Shape.t) list -> Graph.t -> t
+(** [analyze g] runs RDP on [g] using the shapes declared on the graph
+    inputs (symbolic dims stay symbolic).  [overrides] replaces declared
+    input shapes, e.g. to re-run the analysis with concrete extents. *)
+
+val shape : t -> Graph.tensor_id -> Shape.t
+val value : t -> Graph.tensor_id -> Value_info.t
+
+val category : t -> Graph.node_id -> Op_class.category
+
+(** {1 Statistics} *)
+
+type dim_stats = {
+  n_tensors : int;
+  known_const : int;  (** tensors with every dim a known integer *)
+  symbolic : int;  (** every dim known, at least one symbolic/op-inferred *)
+  rank_only : int;  (** rank known but some dim unresolved *)
+  unknown : int;  (** [Undef] or [Nac] shape *)
+}
+
+val stats : Graph.t -> t -> dim_stats
+(** Distribution of analysis precision over the graph's activation
+    tensors. *)
+
+val resolution_rate : Graph.t -> t -> float
+(** Fraction of activation tensors whose shape is symbolically known. *)
+
+val pp_tensor : Graph.t -> t -> Format.formatter -> Graph.tensor_id -> unit
+(** Debug rendering of one tensor's S/V entries. *)

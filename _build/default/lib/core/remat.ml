@@ -1,0 +1,75 @@
+type tensor = {
+  rt_bytes : int;
+  rt_alloc : int;
+  rt_free : int;
+  rt_recompute_us : float;
+}
+
+type plan = {
+  evicted : int list;
+  extra_us : float;
+  peak_bytes : int;
+  feasible : bool;
+}
+
+(* Live bytes per step given the eviction set: an evicted tensor occupies
+   memory only at its production step and at its final use (where it has
+   just been recomputed). *)
+let live_at evicted tensors s =
+  List.fold_left
+    (fun (acc, i) t ->
+      let live =
+        if List.mem i evicted then s = t.rt_alloc || s = t.rt_free
+        else t.rt_alloc <= s && s <= t.rt_free
+      in
+      (if live then acc + t.rt_bytes else acc), i + 1)
+    (0, 0) tensors
+  |> fst
+
+let last_step tensors = List.fold_left (fun acc t -> max acc t.rt_free) 0 tensors
+
+let peak_step evicted tensors =
+  let last = last_step tensors in
+  let best = ref 0 and best_bytes = ref (-1) in
+  for s = 0 to last do
+    let v = live_at evicted tensors s in
+    if v > !best_bytes then begin
+      best_bytes := v;
+      best := s
+    end
+  done;
+  !best, !best_bytes
+
+let peak_of tensors = snd (peak_step [] tensors)
+
+let plan ~budget_bytes tensors =
+  let rec go evicted extra =
+    let s_star, peak = peak_step evicted tensors in
+    if peak <= budget_bytes then
+      { evicted; extra_us = extra; peak_bytes = peak; feasible = true }
+    else begin
+      (* candidates: tensors held across the peak step (bytes produced or
+         finally used right there are irreducible) *)
+      let indexed =
+        List.mapi (fun i t -> i, t) tensors
+        |> List.filter (fun (i, t) ->
+               (not (List.mem i evicted))
+               && t.rt_alloc < s_star && s_star < t.rt_free
+               && t.rt_bytes > 0)
+      in
+      match indexed with
+      | [] -> { evicted; extra_us = extra; peak_bytes = peak; feasible = false }
+      | _ ->
+        let score (_, t) =
+          float_of_int t.rt_bytes /. Float.max 1.0 t.rt_recompute_us
+        in
+        let best =
+          List.fold_left
+            (fun acc cand -> if score cand > score acc then cand else acc)
+            (List.hd indexed) (List.tl indexed)
+        in
+        let i, t = best in
+        go (i :: evicted) (extra +. t.rt_recompute_us)
+    end
+  in
+  go [] 0.0

@@ -1,0 +1,36 @@
+(** Rematerialization planning under a memory budget.
+
+    When an engine's live set exceeds the arena it was given, it can trade
+    compute for memory: drop an intermediate tensor after its producer runs
+    and recompute it immediately before each later use (the XLA
+    rematerialization policy the paper uses to hold TFLite to SoD²'s
+    footprint in Fig. 11; Checkmate and DTR study the same trade-off).
+
+    The planner works on tensor lifetimes annotated with recomputation
+    costs.  It repeatedly finds the peak-memory step and evicts the tensor
+    held across that step with the best bytes-per-recompute-microsecond
+    ratio, until the peak fits the budget or no candidate remains.  An
+    evicted tensor's lifetime collapses to its production and use points;
+    its recomputation cost is paid once per eviction. *)
+
+type tensor = {
+  rt_bytes : int;
+  rt_alloc : int;  (** step that produces it *)
+  rt_free : int;  (** last step that uses it *)
+  rt_recompute_us : float;  (** cost of re-running its producer *)
+}
+
+type plan = {
+  evicted : int list;  (** indices into the input list *)
+  extra_us : float;  (** total added recomputation time *)
+  peak_bytes : int;  (** peak after rematerialization *)
+  feasible : bool;  (** whether the budget was met *)
+}
+
+val peak_of : tensor list -> int
+(** Peak live bytes with no rematerialization. *)
+
+val plan : budget_bytes:int -> tensor list -> plan
+(** Greedy eviction until the peak fits [budget_bytes].  [feasible] is
+    false when even evicting every candidate cannot meet the budget (the
+    returned [peak_bytes] is then the best achieved). *)

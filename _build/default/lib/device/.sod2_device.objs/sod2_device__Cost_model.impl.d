@@ -1,0 +1,1 @@
+lib/device/cost_model.ml: Float List Op Profile

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Float Framework Graph Hashtbl List Printf Workload Zoo

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Executor Framework Graph Profile Workload Zoo

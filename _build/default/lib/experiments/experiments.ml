@@ -1,0 +1,824 @@
+let spec name =
+  match Zoo.by_name name with
+  | Some s -> s
+  | None -> invalid_arg ("Experiments: unknown model " ^ name)
+
+let cpu = Profile.sd888_cpu
+let gpu = Profile.sd888_gpu
+
+let fmt_minmax (a : Harness.agg) f = Printf.sprintf "%s..%s" (f a.a_min) (f a.a_max)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: re-initialization overhead on a shape change               *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ?n:_ () =
+  let models = [ "yolov6"; "conformer"; "codebert" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let sp = spec name in
+        let g = Harness.graph_of sp in
+        let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
+        let cell profile =
+          let session = Framework.create Framework.Mnn profile g ~max_dims in
+          (* first shape initializes; the second, different shape triggers
+             the re-initialization we measure *)
+          let s0 = Workload.sample_at sp ~percentile:0.3 ~idx:0 in
+          let s1 = Workload.sample_at sp ~percentile:0.8 ~idx:1 in
+          ignore
+            (Framework.run session ~input_dims:(Zoo.input_dims sp g s0.env) ~gate:s0.gate);
+          let st =
+            Framework.run session ~input_dims:(Zoo.input_dims sp g s1.env) ~gate:s1.gate
+          in
+          [
+            Printf.sprintf "%.1f" (st.bd.shape_pass_us /. 1000.0);
+            Printf.sprintf "%.0f" (st.bd.tuning_us /. 1000.0);
+            Printf.sprintf "%.0f" (st.bd.alloc_us /. 1000.0);
+            Printf.sprintf "%.0f" (st.bd.infer_us /. 1000.0);
+          ]
+        in
+        (sp.paper_name :: cell cpu) @ cell gpu)
+      models
+  in
+  Table.make ~title:"Table 1: MNN re-initialization overhead on input-shape change (ms)"
+    ~headers:
+      [ "Model"; "CPU SL"; "CPU ST"; "CPU Alloc"; "CPU Infer";
+        "GPU SL"; "GPU ST"; "GPU Alloc"; "GPU Infer" ]
+    ~notes:
+      [
+        "Paper (Samsung Galaxy S21, MNN): YOLOV6 CPU 69/1155/22/476, GPU 0.8/1678/30605/102;";
+        "Conformer CPU 38/127/78/926, GPU 3/1021/73170/1193; CodeBERT CPU 23/253/28/370, GPU 1/856/4568/498.";
+        "Re-initialization (SL+ST+Alloc) dwarfs inference, most extremely for GPU allocation.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: memory; Table 6: latency                                   *)
+(* ------------------------------------------------------------------ *)
+
+let overall_frameworks = [ Framework.Ort; Framework.Mnn; Framework.Tvm_nimble ]
+
+let table5 ?(n = 50) () =
+  let per_model =
+    List.map
+      (fun (sp : Zoo.spec) ->
+        let samples = Workload.samples ~n sp in
+        let cells =
+          List.map
+            (fun fw ->
+              if Framework.supports fw ~model:sp.name cpu.Profile.target then
+                Some (Harness.memory_agg (Harness.collect fw cpu sp ~samples ()))
+              else None)
+            (overall_frameworks @ [ Framework.Sod2_fw ])
+        in
+        sp, cells)
+      Zoo.all
+  in
+  let rows =
+    List.map
+      (fun ((sp : Zoo.spec), cells) ->
+        sp.paper_name
+        :: List.concat_map
+             (function
+               | Some agg ->
+                 [ Harness.mb agg.Harness.a_min; Harness.mb agg.Harness.a_max ]
+               | None -> [ "-"; "-" ])
+             cells)
+      per_model
+  in
+  (* normalized geo-mean of per-model average memory *)
+  let mean_of idx =
+    List.filter_map
+      (fun (sp, cells) ->
+        match List.nth cells idx with
+        | Some agg -> Some (sp, agg.Harness.a_mean)
+        | None -> None)
+      per_model
+  in
+  let sod2_means = mean_of 3 in
+  let geo idx =
+    match Harness.normalized_geomean ~baseline:(mean_of idx) ~sod2:sod2_means with
+    | Some g -> Harness.ratio g
+    | None -> "-"
+  in
+  let rows =
+    rows
+    @ [ [ "Geo-mean (norm. by SoD2)"; geo 0; ""; geo 1; ""; geo 2; ""; "1.00x"; "" ] ]
+  in
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "Table 5: intermediate-result memory, mobile CPU, %d samples/model (MB)" n)
+    ~headers:
+      [ "Model"; "ORT Min"; "ORT Max"; "MNN Min"; "MNN Max"; "TVM-N Min"; "TVM-N Max";
+        "SoD2 Min"; "SoD2 Max" ]
+    ~notes:
+      [
+        "Paper geo-means normalized by SoD2: ORT 3.64x, MNN 1.37x, TVM-N 8.62x.";
+        "Absolute MB are smaller than the paper's: the zoo models are width/depth-scaled;";
+        "the comparison of interest is the per-framework ratio.";
+      ]
+    rows
+
+let table6 ?(n = 50) () =
+  let collect_lat profile (sp : Zoo.spec) fw samples =
+    if Framework.supports fw ~model:sp.name profile.Profile.target then
+      Some (Harness.latency_agg (Harness.collect fw profile sp ~samples ()))
+    else None
+  in
+  let fws = overall_frameworks @ [ Framework.Sod2_fw ] in
+  let per_model =
+    List.map
+      (fun (sp : Zoo.spec) ->
+        let samples = Workload.samples ~n sp in
+        let cpu_cells = List.map (fun fw -> collect_lat cpu sp fw samples) fws in
+        let gpu_cells = List.map (fun fw -> collect_lat gpu sp fw samples) fws in
+        sp, cpu_cells, gpu_cells)
+      Zoo.all
+  in
+  let fmt = function
+    | Some agg -> fmt_minmax agg (Printf.sprintf "%.0f")
+    | None -> "-"
+  in
+  let rows =
+    List.map
+      (fun ((sp : Zoo.spec), cpu_cells, gpu_cells) ->
+        (sp.paper_name :: List.map fmt cpu_cells) @ List.map fmt gpu_cells)
+      per_model
+  in
+  let geo cells_of idx =
+    let mean_of i =
+      List.filter_map
+        (fun (sp, cpu_cells, gpu_cells) ->
+          match List.nth (cells_of (cpu_cells, gpu_cells)) i with
+          | Some agg -> Some (sp, agg.Harness.a_mean)
+          | None -> None)
+        per_model
+    in
+    match Harness.normalized_geomean ~baseline:(mean_of idx) ~sod2:(mean_of 3) with
+    | Some g -> Harness.ratio g
+    | None -> "-"
+  in
+  let geo_cpu = geo fst and geo_gpu = geo snd in
+  let rows =
+    rows
+    @ [
+        [ "Geo-mean (norm. by SoD2)"; geo_cpu 0; geo_cpu 1; geo_cpu 2; "1.00x";
+          geo_gpu 0; geo_gpu 1; geo_gpu 2; "1.00x" ];
+      ]
+  in
+  Table.make
+    ~title:
+      (Printf.sprintf "Table 6: end-to-end latency Min..Max, %d samples/model (ms)" n)
+    ~headers:
+      [ "Model"; "ORT CPU"; "MNN CPU"; "TVM-N CPU"; "SoD2 CPU"; "ORT GPU"; "MNN GPU";
+        "TVM-N GPU"; "SoD2 GPU" ]
+    ~notes:
+      [
+        "Paper geo-means normalized by SoD2: CPU — ORT 2.5x, MNN 1.7x, TVM-N 2.7x;";
+        "GPU — ORT 3.9x, MNN 2.3x (TVM-N unsupported on mobile GPU).";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: input-size percentiles on YOLO-V6                          *)
+(* ------------------------------------------------------------------ *)
+
+let table7 ?n:_ () =
+  let sp = spec "yolov6" in
+  let g = Harness.graph_of sp in
+  let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
+  let percentiles = [ 0.01, "1th"; 0.25, "25th"; 0.5, "50th"; 0.75, "75th"; 1.0, "100th" ] in
+  let lat_series fw =
+    let session = Framework.create fw cpu g ~max_dims in
+    List.map
+      (fun (p, _) ->
+        let sm = Workload.sample_at sp ~percentile:p ~idx:0 in
+        (Framework.run session ~input_dims:(Zoo.input_dims sp g sm.env) ~gate:sm.gate)
+          .Framework.latency_us)
+      percentiles
+  in
+  let sod2 = lat_series Framework.Sod2_fw in
+  let rows =
+    List.map
+      (fun fw ->
+        Framework.kind_name fw
+        :: List.map2 (fun l s -> Harness.ratio (l /. s)) (lat_series fw) sod2)
+      overall_frameworks
+  in
+  Table.make ~title:"Table 7: SoD2 speedup over baselines at input-size percentiles (YOLO-V6, CPU)"
+    ~headers:("Baseline" :: List.map snd percentiles)
+    ~notes:
+      [
+        "Paper: ORT 1.43/1.66/1.95/2.33/2.52; MNN 1.41/1.44/1.50/1.58/1.65;";
+        "TVM-N 2.13/2.52/3.03/3.67/3.90 — speedups grow with input size.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figs 5/6: optimization breakdown                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_models = [ "stable-diffusion-encoder"; "codebert"; "ranet"; "blockdrop" ]
+
+let ablation_configs : (string * Pipeline.opt_flags) list =
+  [
+    "No opt.", Pipeline.no_opts;
+    "+Fusion", { Pipeline.no_opts with fusion = true };
+    "+SEP", { Pipeline.no_opts with fusion = true; sep = true };
+    "+DMP", { Pipeline.no_opts with fusion = true; sep = true; dmp = true };
+    "+MVC", Pipeline.all_opts;
+  ]
+
+let ablation_stats profile (sp : Zoo.spec) flags samples =
+  let g = Harness.graph_of sp in
+  let session = Framework.create_sod2_with_flags flags profile g in
+  List.map
+    (fun (sm : Workload.sample) ->
+      Framework.run session ~input_dims:(Zoo.input_dims sp g sm.env) ~gate:sm.gate)
+    samples
+
+let fig5 ?(n = 20) () =
+  let rows =
+    List.map
+      (fun name ->
+        let sp = spec name in
+        let samples = Workload.samples ~n sp in
+        let mems =
+          List.map
+            (fun (_, flags) ->
+              (Harness.memory_agg (ablation_stats cpu sp flags samples)).Harness.a_mean)
+            (List.filteri (fun i _ -> i < 4) ablation_configs)
+        in
+        match mems with
+        | base :: rest ->
+          sp.paper_name :: "1.00"
+          :: List.map (fun m -> Printf.sprintf "%.2f" (m /. base)) rest
+        | [] -> [ sp.paper_name ])
+      ablation_models
+  in
+  Table.make ~title:"Fig 5: memory vs RDP-enabled optimizations, CPU (normalized to No opt.)"
+    ~headers:[ "Model"; "No opt."; "+Fusion"; "+SEP"; "+DMP" ]
+    ~notes:
+      [
+        "Paper: fusion saves 18-30%, execution planning an extra 22-37%, memory planning";
+        "another 3-7%; multi-version codegen does not affect memory.";
+      ]
+    rows
+
+let fig6 ?(n = 20) () =
+  let row profile name =
+    let sp = spec name in
+    let samples = Workload.samples ~n sp in
+    let lats =
+      List.map
+        (fun (_, flags) ->
+          (Harness.latency_agg (ablation_stats profile sp flags samples)).Harness.a_mean)
+        ablation_configs
+    in
+    match lats with
+    | base :: rest ->
+      sp.paper_name :: "1.00"
+      :: List.map (fun l -> Printf.sprintf "%.2f" (base /. l)) rest
+    | [] -> [ sp.paper_name ]
+  in
+  let rows =
+    List.map (row cpu) ablation_models
+    @ List.map (fun m -> row gpu m |> List.mapi (fun i c -> if i = 0 then c ^ " (GPU)" else c))
+        ablation_models
+  in
+  Table.make ~title:"Fig 6: speedup vs RDP-enabled optimizations (over No opt.)"
+    ~headers:[ "Model"; "No opt."; "+Fusion"; "+SEP"; "+DMP"; "+MVC" ]
+    ~notes:
+      [
+        "Paper CPU: fusion 1.3-1.9x, +SEP 1.1-1.3x, +DMP 1.04-1.1x, +MVC 1.3-1.6x;";
+        "GPU gains are larger (fusion up to 2.3x) since GPUs are more memory sensitive.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7: fusion ablation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  let rows =
+    List.map
+      (fun name ->
+        let sp = spec name in
+        let g = Harness.graph_of sp in
+        let rdp = Rdp.analyze g in
+        let env = Zoo.percentile_env sp 0.5 in
+        let env =
+          (* fixed-shape models have no shape variables *)
+          if Env.to_list env = [] then Env.empty else env
+        in
+        let original = Fusion.identity_plan g in
+        let sfusion = Fusion.plan ~mode:Fusion.Static_only g rdp in
+        let rfusion = Fusion.plan ~mode:Fusion.Rdp_based g rdp in
+        let lc plan = float_of_int (Fusion.layer_count plan) in
+        let ir plan = float_of_int (Fusion.intermediate_bytes g plan env rdp) in
+        let base_lc = lc original and base_ir = ir original in
+        [
+          sp.paper_name;
+          "1.00"; Printf.sprintf "%.2f" (lc sfusion /. base_lc);
+          Printf.sprintf "%.2f" (lc rfusion /. base_lc);
+          "1.00"; Printf.sprintf "%.2f" (ir sfusion /. base_ir);
+          Printf.sprintf "%.2f" (ir rfusion /. base_ir);
+        ])
+      ablation_models
+  in
+  Table.make ~title:"Fig 7: static fusion vs RDP fusion (normalized to no fusion)"
+    ~headers:
+      [ "Model"; "LC orig"; "LC SFusion"; "LC RDP"; "IR orig"; "IR SFusion"; "IR RDP" ]
+    ~notes:
+      [
+        "Paper: SFusion cuts layer count 26-61%; RDP fusion removes another 16-46% of";
+        "layers and 13-40% of intermediate-result bytes on top of SFusion.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 8: sub-graph dynamism breakdown                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  let rows =
+    List.concat_map
+      (fun name ->
+        let sp = spec name in
+        let g = Harness.graph_of sp in
+        let c = Pipeline.compile cpu g in
+        let counts = Exec_plan.subgraph_kind_counts c.Pipeline.exec in
+        let total = List.fold_left (fun acc (_, v) -> acc + v) 0 counts in
+        let pct v = Printf.sprintf "%.0f%%" (100.0 *. float_of_int v /. float_of_int (max 1 total)) in
+        (* latency share per sub-graph kind from one executed trace *)
+        let sm = Workload.sample_at sp ~percentile:0.5 ~idx:0 in
+        let trace =
+          Executor.run_dry ~gate:(Workload.fixed_gates 1) c
+            ~input_dims:(Zoo.input_dims sp (Harness.graph_of sp) sm.Workload.env)
+        in
+        let kind_of_group = Hashtbl.create 64 in
+        Array.iter
+          (fun (sg : Exec_plan.subgraph) ->
+            List.iter
+              (fun gid ->
+                let key =
+                  match sg.Exec_plan.kind with
+                  | Exec_plan.All_known -> "all-known"
+                  | Exec_plan.Mixed v when v <= 1 -> "mixed-1"
+                  | Exec_plan.Mixed v when v <= 4 -> "mixed-2-4"
+                  | Exec_plan.Mixed _ -> "mixed-5-8"
+                  | Exec_plan.Has_nac -> "nac"
+                in
+                Hashtbl.replace kind_of_group gid key)
+              sg.Exec_plan.sg_groups)
+          c.Pipeline.exec.Exec_plan.subgraphs;
+        let time_per_kind = Hashtbl.create 8 in
+        let total_time = ref 0.0 in
+        List.iter
+          (fun (ge : Executor.group_exec) ->
+            let t =
+              Cost_model.group_time_us cpu ge.Executor.ops
+                ~external_bytes:ge.Executor.external_bytes
+            in
+            let key =
+              Option.value ~default:"nac" (Hashtbl.find_opt kind_of_group ge.Executor.gid)
+            in
+            total_time := !total_time +. t;
+            Hashtbl.replace time_per_kind key
+              (t +. Option.value ~default:0.0 (Hashtbl.find_opt time_per_kind key)))
+          trace.Executor.steps;
+        let tpct key =
+          let t = Option.value ~default:0.0 (Hashtbl.find_opt time_per_kind key) in
+          Printf.sprintf "%.0f%%" (100.0 *. t /. Float.max 1e-9 !total_time)
+        in
+        [
+          (sp.paper_name ^ " (count)")
+          :: List.map (fun (_, v) -> pct v) counts;
+          (sp.paper_name ^ " (latency)")
+          :: List.map (fun (k, _) -> tpct k) counts;
+        ])
+      [ "ranet"; "blockdrop" ]
+  in
+  Table.make ~title:"Fig 8: sub-graph breakdown by dynamism degree"
+    ~headers:[ "Model"; "all-known"; "mixed-1"; "mixed-2-4"; "mixed-5-8"; "nac" ]
+    ~notes:
+      [
+        "Paper: over 90% of sub-graphs are all-known or mixed-constant, i.e. their";
+        "execution and memory plans are statically optimizable.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 9: same execution path vs MNN                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 ?(n = 20) () =
+  let models = [ "skipnet"; "convnet-aig"; "ranet"; "blockdrop" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let sp = spec name in
+        (* identical, fixed execution path for both frameworks: every gate
+           takes the expensive branch and SoD2's branch selection is
+           disabled (execute-all-and-strip on both sides) *)
+        let samples =
+          List.map
+            (fun (sm : Workload.sample) -> { sm with gate = Workload.fixed_gates 1 })
+            (Workload.samples ~n sp)
+        in
+        let mnn = Harness.collect Framework.Mnn cpu sp ~samples () in
+        let sod2 =
+          Harness.collect Framework.Sod2_fw cpu sp ~samples
+            ~control:Executor.All_paths ()
+        in
+        let lat l = (Harness.latency_agg l).Harness.a_mean in
+        let mem l = (Harness.memory_agg l).Harness.a_mean in
+        [
+          sp.paper_name;
+          Harness.ratio (lat mnn /. lat sod2);
+          Harness.ratio (mem mnn /. mem sod2);
+        ])
+      models
+  in
+  Table.make
+    ~title:"Fig 9: same-execution-path comparison vs MNN, CPU (control-flow support disabled)"
+    ~headers:[ "Model"; "Speedup over MNN"; "Memory reduction vs MNN" ]
+    ~notes:
+      [
+        "Paper: 1.5-2.0x speedup and 1.2-1.5x memory reduction even without SoD2's";
+        "dynamic branch selection.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10: latency across input sizes                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  let sp = spec "yolov6" in
+  let g = Harness.graph_of sp in
+  let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
+  let sizes = Workload.ascending_sizes ~n:15 sp in
+  let series profile fw =
+    let session = Framework.create fw profile g ~max_dims in
+    List.map
+      (fun (sm : Workload.sample) ->
+        (Framework.run session ~input_dims:(Zoo.input_dims sp g sm.env) ~gate:sm.gate)
+          .Framework.latency_us /. 1000.0)
+      sizes
+  in
+  let mnn_cpu = series cpu Framework.Mnn in
+  let sod2_cpu = series cpu Framework.Sod2_fw in
+  let mnn_gpu = series gpu Framework.Mnn in
+  let sod2_gpu = series gpu Framework.Sod2_fw in
+  let rows =
+    List.mapi
+      (fun i (sm : Workload.sample) ->
+        let dims =
+          String.concat " "
+            (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) (Env.to_list sm.env))
+        in
+        [
+          dims;
+          Printf.sprintf "%.0f" (List.nth mnn_cpu i);
+          Printf.sprintf "%.0f" (List.nth sod2_cpu i);
+          Printf.sprintf "%.0f" (List.nth mnn_gpu i);
+          Printf.sprintf "%.0f" (List.nth sod2_gpu i);
+        ])
+      sizes
+  in
+  Table.make ~title:"Fig 10: YOLO-V6 latency across 15 input sizes (ms)"
+    ~headers:[ "Input"; "MNN CPU"; "SoD2 CPU"; "MNN GPU"; "SoD2 GPU" ]
+    ~notes:
+      [ "Paper: SoD2 is consistently faster and grows smoothly with input size." ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11: fixed memory budget vs TFLite                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 ?(n = 20) () =
+  let models = [ "skipnet"; "ranet" ] in
+  let row profile name =
+    let sp = spec name in
+    let g = Harness.graph_of sp in
+    let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
+    let samples = Workload.samples ~n sp in
+    let sod2 = Framework.create Framework.Sod2_fw profile g ~max_dims in
+    let tfl = Framework.create Framework.Tflite profile g ~max_dims in
+    let ratios =
+      List.map
+        (fun (sm : Workload.sample) ->
+          let input_dims = Zoo.input_dims sp g sm.env in
+          let s = Framework.run sod2 ~input_dims ~gate:sm.gate in
+          let t =
+            Framework.run_with_budget tfl ~budget_bytes:s.Framework.peak_bytes
+              ~input_dims ~gate:sm.gate
+          in
+          t.Framework.latency_us /. s.Framework.latency_us)
+        samples
+    in
+    Harness.ratio (Harness.geomean ratios)
+  in
+  let rows =
+    List.map (fun m -> [ (spec m).Zoo.paper_name; row cpu m; row gpu m ]) models
+  in
+  Table.make
+    ~title:"Fig 11: speedup over TFLite under the same memory budget (XLA rematerialization)"
+    ~headers:[ "Model"; "CPU"; "GPU" ]
+    ~notes:
+      [
+        "Paper: the margin over TFLite grows under an equal budget, more on GPU where";
+        "rematerializing intermediates is costlier.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12: overhead vs static DNNFusion on frozen models               *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 ?(n = 10) () =
+  let models = [ "skipnet"; "ranet" ] in
+  let row profile name =
+    let sp = spec name in
+    let g = Harness.graph_of sp in
+    let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
+    (* frozen: one fixed shape, one fixed path *)
+    let sm = Workload.sample_at sp ~percentile:0.5 ~idx:0 in
+    let input_dims = Zoo.input_dims sp g sm.env in
+    let gate = Workload.fixed_gates 1 in
+    let avg fw =
+      let session = Framework.create fw profile g ~max_dims in
+      let lats =
+        List.init n (fun _ ->
+            (Framework.run session ~input_dims ~gate).Framework.latency_us)
+      in
+      List.fold_left ( +. ) 0.0 lats /. float_of_int n
+    in
+    let d = avg Framework.Dnnfusion and s = avg Framework.Sod2_fw in
+    Printf.sprintf "%.1f%%" (100.0 *. ((s /. d) -. 1.0))
+  in
+  let rows =
+    List.map (fun m -> [ (spec m).Zoo.paper_name; row cpu m; row gpu m ]) models
+  in
+  Table.make ~title:"Fig 12: SoD2 overhead vs static DNNFusion on frozen shapes and paths"
+    ~headers:[ "Model"; "CPU overhead"; "GPU overhead" ]
+    ~notes:[ "Paper: 3% (SkipNet) and 7% (RaNet) average slowdown vs fully-static DNNFusion." ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 13: portability (Snapdragon 835)                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 ?(n = 20) () =
+  let models =
+    [ "stable-diffusion-encoder"; "yolov6"; "skipnet"; "convnet-aig"; "blockdrop" ]
+  in
+  let fws = [ Framework.Ort; Framework.Tvm_nimble; Framework.Sod2_fw ] in
+  let row profile name =
+    let sp = spec name in
+    let samples = Workload.samples ~n sp in
+    let mnn =
+      if Framework.supports Framework.Mnn ~model:sp.name profile.Profile.target then
+        Some (Harness.latency_agg (Harness.collect Framework.Mnn profile sp ~samples ())).Harness.a_mean
+      else None
+    in
+    let cells =
+      List.map
+        (fun fw ->
+          if Framework.supports fw ~model:sp.name profile.Profile.target then
+            let l =
+              (Harness.latency_agg (Harness.collect fw profile sp ~samples ()))
+                .Harness.a_mean
+            in
+            match mnn with
+            | Some m -> Harness.ratio (m /. l)
+            | None -> "-"
+          else "-")
+        fws
+    in
+    sp.paper_name :: "1.00x" :: cells
+  in
+  let rows =
+    List.map (row Profile.sd835_cpu) models
+    @ List.map
+        (fun m ->
+          row Profile.sd835_gpu m
+          |> List.mapi (fun i c -> if i = 0 then c ^ " (GPU)" else c))
+        models
+  in
+  Table.make
+    ~title:"Fig 13: portability on Snapdragon 835 (speedup normalized to MNN)"
+    ~headers:[ "Model"; "MNN"; "ORT"; "TVM-N"; "SoD2" ]
+    ~notes:
+      [
+        "Paper: SoD2's advantage grows on the weaker SoC because its memory savings";
+        "matter more under tighter cache and bandwidth.";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* §4.4.1: memory-plan optimality ablation                             *)
+(* ------------------------------------------------------------------ *)
+
+let memplan_ablation ?n:_ () =
+  (* Arena size of each placement strategy against the live-bytes lower
+     bound (which any placement must reach), over the unfused per-inference
+     lifetimes — the packing problem the memory planner actually faces.
+     Transformer lifetimes (heterogeneous tensor sizes) exhibit the
+     fragmentation the heuristics differ on. *)
+  let row name =
+    let sp = spec name in
+    let g = Harness.graph_of sp in
+    let base = Pipeline.compile ~flags:Pipeline.no_opts cpu g in
+    let fusion_plan = Fusion.identity_plan g in
+    let env = Pipeline.plan_env base 64 in
+    let exec =
+      Exec_plan.plan ~strategy:Exec_plan.Topological g base.Pipeline.rdp fusion_plan ~env
+    in
+    let c = { base with Pipeline.fusion_plan; exec } in
+    let sm = Workload.sample_at sp ~percentile:0.7 ~idx:0 in
+    let trace =
+      Executor.run_dry ~gate:sm.Workload.gate c
+        ~input_dims:(Zoo.input_dims sp g sm.Workload.env)
+    in
+    let lts =
+      List.map
+        (fun (e : Executor.tensor_event) ->
+          e.Executor.te_bytes, e.Executor.te_alloc, e.Executor.te_free)
+        trace.Executor.events
+    in
+    let lower =
+      let last = List.fold_left (fun a (_, _, l) -> max a l) 0 lts in
+      let pk = ref 0 in
+      for st = 0 to last do
+        let v =
+          List.fold_left (fun a (b, f, l) -> if f <= st && st <= l then a + b else a) 0 lts
+        in
+        if v > !pk then pk := v
+      done;
+      max 1 !pk
+    in
+    let ratio strat =
+      Printf.sprintf "%.2fx"
+        (float_of_int (Mem_plan.arena_for strat ~lifetimes:lts) /. float_of_int lower)
+    in
+    [ (spec name).Zoo.paper_name; ratio Mem_plan.Peak_first; ratio Mem_plan.Greedy_first_fit ]
+  in
+  Table.make
+    ~title:"Memory-plan quality vs live-bytes lower bound (unfused lifetimes)"
+    ~headers:[ "Model"; "SoD2 peak-first"; "Greedy first-fit (MNN)" ]
+    ~notes:
+      [
+        "Paper (\xc2\xa74.4.1, ConvNet-AIG sub-graphs): peak-first reaches 1.05x of the";
+        "exhaustive optimum where greedy needs 1.16x.  Conv lifetimes at our reduced";
+        "widths pack trivially; the transformer rows show where the heuristics part.";
+      ]
+    [ row "convnet-aig"; row "codebert"; row "conformer" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations beyond the paper: ordering strategies and tuner search    *)
+(* ------------------------------------------------------------------ *)
+
+let ordering_ablation ?n:_ () =
+  (* Peak live bytes under each execution-ordering strategy, on the zoo
+     models plus a wide multi-branch graph where ordering has real slack
+     (at the zoo's reduced widths the peak is pinned by single-operator
+     cliques, so the interesting row is the synthetic one). *)
+  let wide () =
+    let b = Graph.Builder.create () in
+    let rng = Rng.create 13 in
+    let x =
+      Graph.Builder.input b ~name:"x"
+        (Shape.of_dims [ Dim.of_int 1; Dim.of_int 4; Dim.of_sym "H"; Dim.of_sym "H" ])
+    in
+    let tower cout =
+      let conv cin cout y =
+        Graph.Builder.node1 b
+          (Op.Conv { stride = (1, 1); pads = (0, 0, 0, 0); dilation = (1, 1); groups = 1 })
+          [ y;
+            Graph.Builder.const b ~name:(Printf.sprintf "w%d_%d" cin cout)
+              (Tensor.rand_normal rng [ cout; cin; 1; 1 ]) ]
+      in
+      conv cout 4 (conv 4 cout x)
+    in
+    let towers = List.map tower [ 96; 64; 48; 32; 16; 8 ] in
+    let sum =
+      List.fold_left
+        (fun acc t -> Graph.Builder.node1 b (Op.Binary Op.Add) [ acc; t ])
+        (List.hd towers) (List.tl towers)
+    in
+    Graph.Builder.set_outputs b [ sum ];
+    Graph.Builder.finish b
+  in
+  let row name g env =
+    let rdp = Rdp.analyze g in
+    let fp = Fusion.plan g rdp in
+    let peak strategy =
+      let ep = Exec_plan.plan ~strategy g rdp fp ~env in
+      Exec_plan.simulate_peak_bytes g rdp fp ~env ~order:ep.Exec_plan.order
+    in
+    let bfs = peak Exec_plan.Topological in
+    let fmt v = Printf.sprintf "%.2f" (float_of_int v /. float_of_int (max 1 bfs)) in
+    [ name; "1.00"; fmt (peak Exec_plan.Greedy_memory); fmt (peak Exec_plan.Optimal_small) ]
+  in
+  let model name =
+    let sp = spec name in
+    let g = Harness.graph_of sp in
+    let env = List.fold_left (fun e (s, _) -> Env.bind s 128 e) Env.empty sp.Zoo.dim_choices in
+    row sp.Zoo.paper_name g env
+  in
+  Table.make
+    ~title:
+      "Ablation: execution-ordering strategy vs peak live bytes (normalized to breadth-first)"
+    ~headers:[ "Graph"; "Breadth-first"; "Greedy"; "SoD2 (DP/lazy)" ]
+    ~notes:
+      [
+        "Extra ablation (not a paper figure).  The SoD2 planner never loses to the";
+        "naive order and wins where branches give it slack.";
+      ]
+    [ row "wide multi-branch" (wide ()) (Env.of_list [ "H", 32 ]);
+      model "codebert"; model "yolov6"; model "ranet" ]
+
+let tuner_ablation ?n:_ () =
+  (* GA vs random search vs the untuned default, equal evaluation budget. *)
+  let cases = [ "fat 512x512x256", (512, 512, 256); "regular 96x96x96", (96, 96, 96);
+                "skinny 4x512x256", (4, 512, 256) ] in
+  let rows =
+    List.map
+      (fun (label, (m, n, k)) ->
+        let _, ga = Autotune.tune cpu (Rng.create 3) ~m ~n ~k in
+        let _, rnd = Autotune.random_search cpu (Rng.create 3) ~m ~n ~k in
+        let base = Autotune.efficiency cpu Autotune.default_config ~m ~n ~k in
+        [ label; Printf.sprintf "%.2f" base; Printf.sprintf "%.2f" rnd;
+          Printf.sprintf "%.2f" ga ])
+      cases
+  in
+  Table.make ~title:"Ablation: kernel-tuner search strategy (predicted efficiency)"
+    ~headers:[ "Problem"; "Untuned"; "Random search"; "Genetic algorithm" ]
+    ~notes:[ "Extra ablation (not a paper figure); equal evaluation budgets." ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* §7 extension: autoregressive LLM decoding                           *)
+(* ------------------------------------------------------------------ *)
+
+let llm_decode ?n:_ () =
+  (* One compiled artifact serves every decode step even though the cache
+     length P changes on each step; a re-initializing engine recompiles
+     per step.  Chunked prefill (S=16) followed by token-by-token decode. *)
+  let g = Gpt_decoder.build () in
+  let max_dims = Gpt_decoder.input_dims g ~past:512 ~seq:16 in
+  let sod2 = Framework.create Framework.Sod2_fw cpu g ~max_dims in
+  let mnn = Framework.create Framework.Mnn cpu g ~max_dims in
+  let gate = Workload.fixed_gates 0 in
+  let steps = [ 16, 16; 32, 1; 64, 1; 128, 1; 256, 1; 512, 1 ] in
+  let rows =
+    List.map
+      (fun (past, seq) ->
+        let input_dims = Gpt_decoder.input_dims g ~past ~seq in
+        let m = Framework.run mnn ~input_dims ~gate in
+        let d = Framework.run sod2 ~input_dims ~gate in
+        [
+          Printf.sprintf "P=%d S=%d" past seq;
+          Printf.sprintf "%.1f + %.1f" (m.Framework.reinit_us /. 1000.0)
+            (m.Framework.latency_us /. 1000.0);
+          Printf.sprintf "%.1f" (d.Framework.latency_us /. 1000.0);
+          Harness.ratio
+            ((m.Framework.reinit_us +. m.Framework.latency_us) /. d.Framework.latency_us);
+        ])
+      steps
+  in
+  Table.make
+    ~title:"LLM decoding extension (\xc2\xa77): per-step cost with a growing KV cache"
+    ~headers:[ "Step"; "MNN reinit + infer (ms)"; "SoD2 (ms)"; "Step speedup" ]
+    ~notes:
+      [
+        "Not in the paper's evaluation: \xc2\xa77 names LLMs as future work.  The cache";
+        "length P changes every decoded token, so a re-initializing engine recompiles";
+        "per step while SoD2's RDP resolves all extents (P, S, P+S) symbolically once.";
+      ]
+    rows
+
+let all ?(n = 50) () =
+  [
+    table1 ();
+    table5 ~n ();
+    table6 ~n ();
+    table7 ();
+    fig5 ~n:(min n 20) ();
+    fig6 ~n:(min n 20) ();
+    fig7 ();
+    fig8 ();
+    fig9 ~n:(min n 20) ();
+    fig10 ();
+    fig11 ~n:(min n 20) ();
+    fig12 ();
+    fig13 ~n:(min n 20) ();
+    memplan_ablation ();
+    ordering_ablation ();
+    tuner_ablation ();
+    llm_decode ();
+  ]

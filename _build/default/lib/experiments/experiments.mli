@@ -1,0 +1,76 @@
+(** Reproductions of every table and figure of the paper's evaluation
+    (§2 Table 1, §5 Tables 5–7 and Figures 5–13, plus the §4.4.1 memory-
+    plan optimality claim).  Each function runs the corresponding
+    experiment on the simulated devices and renders the same rows/series
+    the paper reports, with the paper's own numbers quoted in the table
+    notes for side-by-side comparison.  The [n] parameter is the number of
+    input samples (the paper uses 50). *)
+
+val table1 : ?n:int -> unit -> Table.t
+(** MNN re-initialization overhead (SL / ST / Alloc / Infer) on a shape
+    change, CPU and GPU. *)
+
+val table5 : ?n:int -> unit -> Table.t
+(** Min/Max intermediate-result memory for the 10 models across ORT, MNN,
+    TVM-N and SoD² on the mobile CPU, with normalized geo-means. *)
+
+val table6 : ?n:int -> unit -> Table.t
+(** Min/Max end-to-end latency, CPU and GPU, with normalized geo-means. *)
+
+val table7 : ?n:int -> unit -> Table.t
+(** YOLO-V6 speedups over each baseline at input-size percentiles. *)
+
+val fig5 : ?n:int -> unit -> Table.t
+(** Memory reduction from RDP fusion, static execution planning and
+    dynamic memory planning (normalized to the No-opt baseline). *)
+
+val fig6 : ?n:int -> unit -> Table.t
+(** Latency speedups of the same ablation plus multi-version codegen, CPU
+    and GPU. *)
+
+val fig7 : unit -> Table.t
+(** Layer count and intermediate-result size: static fusion vs RDP
+    fusion, normalized to the unfused graph. *)
+
+val fig8 : unit -> Table.t
+(** Sub-graph dynamism breakdown (all-known / mixed-k / nac) by count and
+    by latency share, RaNet and BlockDrop. *)
+
+val fig9 : ?n:int -> unit -> Table.t
+(** Same-execution-path comparison against MNN (SoD² branch selection
+    disabled): speedup and memory reduction. *)
+
+val fig10 : unit -> Table.t
+(** YOLO-V6 latency across 15 increasing input sizes, MNN vs SoD². *)
+
+val fig11 : ?n:int -> unit -> Table.t
+(** Speedup over TFLite under an equal memory budget (XLA-style
+    rematerialization). *)
+
+val fig12 : ?n:int -> unit -> Table.t
+(** Overhead against the static DNNFusion baseline on frozen models. *)
+
+val fig13 : ?n:int -> unit -> Table.t
+(** Portability: speedups on the Snapdragon 835 profiles, normalized to
+    MNN. *)
+
+val memplan_ablation : ?n:int -> unit -> Table.t
+(** §4.4.1: peak-first and greedy placement vs exhaustive optimum on
+    ConvNet-AIG sub-graph lifetimes. *)
+
+val ordering_ablation : ?n:int -> unit -> Table.t
+(** Extra ablation: peak live bytes under each execution-ordering
+    strategy, on the zoo and on a wide synthetic graph with genuine
+    ordering slack. *)
+
+val tuner_ablation : ?n:int -> unit -> Table.t
+(** Extra ablation: GA vs random search vs the untuned default kernel at
+    equal evaluation budgets. *)
+
+val llm_decode : ?n:int -> unit -> Table.t
+(** §7 extension (not a paper table): autoregressive decoding with a
+    growing KV cache — per-step cost of SoD² vs a re-initializing
+    engine. *)
+
+val all : ?n:int -> unit -> Table.t list
+(** Every experiment, in paper order. *)

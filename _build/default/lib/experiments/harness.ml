@@ -1,0 +1,67 @@
+type agg = {
+  a_min : float;
+  a_max : float;
+  a_mean : float;
+}
+
+let graph_cache : (string, Graph.t) Hashtbl.t = Hashtbl.create 16
+
+let graph_of (spec : Zoo.spec) =
+  match Hashtbl.find_opt graph_cache spec.name with
+  | Some g -> g
+  | None ->
+    let g = spec.build () in
+    Hashtbl.add graph_cache spec.name g;
+    g
+
+let collect kind profile (spec : Zoo.spec) ~samples ?control () =
+  let g = graph_of spec in
+  let max_dims = Zoo.input_dims spec g (Zoo.max_env spec) in
+  let session = Framework.create kind profile g ~max_dims in
+  List.map
+    (fun (sm : Workload.sample) ->
+      Framework.run ?control session
+        ~input_dims:(Zoo.input_dims spec g sm.env)
+        ~gate:sm.gate)
+    samples
+
+let agg_of values =
+  match values with
+  | [] -> { a_min = 0.0; a_max = 0.0; a_mean = 0.0 }
+  | v :: _ ->
+    List.fold_left
+      (fun acc x ->
+        {
+          a_min = Float.min acc.a_min x;
+          a_max = Float.max acc.a_max x;
+          a_mean = acc.a_mean +. (x /. float_of_int (List.length values));
+        })
+      { a_min = v; a_max = v; a_mean = 0.0 }
+      values
+
+let latency_agg stats =
+  agg_of (List.map (fun (s : Framework.stats) -> s.latency_us /. 1000.0) stats)
+
+let memory_agg stats =
+  agg_of (List.map (fun (s : Framework.stats) -> float_of_int s.peak_bytes /. 1048576.0) stats)
+
+let geomean = function
+  | [] -> 0.0
+  | l ->
+    exp (List.fold_left (fun acc v -> acc +. log (Float.max 1e-9 v)) 0.0 l
+         /. float_of_int (List.length l))
+
+let normalized_geomean ~baseline ~sod2 =
+  let ratios =
+    List.filter_map
+      (fun ((spec : Zoo.spec), b) ->
+        match List.find_opt (fun ((s : Zoo.spec), _) -> s.name = spec.name) sod2 with
+        | Some (_, s) when s > 0.0 -> Some (b /. s)
+        | _ -> None)
+      baseline
+  in
+  if ratios = [] then None else Some (geomean ratios)
+
+let mb v = Printf.sprintf "%.1f" v
+let ms v = Printf.sprintf "%.1f" v
+let ratio v = Printf.sprintf "%.2fx" v

@@ -1,0 +1,35 @@
+(** Shared machinery for the experiment reproductions: cached model
+    graphs, per-framework stat collection over workload samples, and the
+    aggregation conventions of §5 (min/max over samples, geometric mean of
+    per-model averages normalized by SoD²). *)
+
+type agg = {
+  a_min : float;
+  a_max : float;
+  a_mean : float;
+}
+
+val graph_of : Zoo.spec -> Graph.t
+(** Build (and memoize) the model's graph. *)
+
+val collect :
+  Framework.kind -> Profile.t -> Zoo.spec -> samples:Workload.sample list ->
+  ?control:Executor.control -> unit -> Framework.stats list
+(** One framework session over all samples, in order. *)
+
+val latency_agg : Framework.stats list -> agg
+(** Milliseconds. *)
+
+val memory_agg : Framework.stats list -> agg
+(** Megabytes. *)
+
+val geomean : float list -> float
+
+val normalized_geomean :
+  baseline:(Zoo.spec * float) list -> sod2:(Zoo.spec * float) list -> float option
+(** Geometric mean over the models both lists cover of baseline/SoD² —
+    the normalization used in the last rows of Tables 5 and 6. *)
+
+val mb : float -> string
+val ms : float -> string
+val ratio : float -> string

@@ -1,0 +1,45 @@
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~headers ?(notes = []) rows = { title; headers; rows; notes }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let all = t.headers :: t.rows in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < n_cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let pad = widths.(i) - String.length cell in
+          if i = 0 then cell ^ String.make pad ' ' else String.make pad ' ' ^ cell)
+        row
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n")
+  in
+  let sep =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+\n"
+  in
+  Buffer.add_string buf ("\n=== " ^ t.title ^ " ===\n");
+  Buffer.add_string buf sep;
+  render_row t.headers;
+  Buffer.add_string buf sep;
+  List.iter render_row t.rows;
+  Buffer.add_string buf sep;
+  List.iter (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,16 @@
+(** Minimal ASCII table rendering for the experiment reproductions. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;  (** caption lines, e.g. the paper's reference numbers *)
+}
+
+val make : title:string -> headers:string list -> ?notes:string list ->
+  string list list -> t
+
+val print : t -> unit
+(** Render to stdout with aligned columns. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/frameworks/framework.ml: Array Cost_model Exec_plan Executor Float Fusion Graph Hashtbl List Mem_plan Multi_version Option Pipeline Profile Rdp Shape

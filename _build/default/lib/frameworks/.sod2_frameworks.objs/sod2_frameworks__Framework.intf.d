@@ -1,0 +1,1 @@
+lib/frameworks/framework.mli: Executor Graph Pipeline Profile

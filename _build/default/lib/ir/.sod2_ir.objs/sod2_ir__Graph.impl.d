@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Buffer Hashtbl List Op Option Printf Shape String Tensor

@@ -1,0 +1,1 @@
+lib/ir/graph_io.ml: Array Buffer Dim Expr Graph Lattice List Op_codec Printf Result Sexp Shape String Tensor

@@ -1,0 +1,1 @@
+lib/ir/op_class.ml: Format List Op

@@ -1,0 +1,1 @@
+lib/ir/op_class.mli: Format Op

@@ -1,0 +1,1 @@
+lib/ir/op_codec.ml: List Op Printf Result Sexp Tensor

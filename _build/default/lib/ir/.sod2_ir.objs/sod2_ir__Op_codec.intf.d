@@ -1,0 +1,1 @@
+lib/ir/op_codec.mli: Op Sexp

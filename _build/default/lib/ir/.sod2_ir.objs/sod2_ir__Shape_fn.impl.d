@@ -1,0 +1,1 @@
+lib/ir/shape_fn.ml: Array Dim Expr Fun Lattice List Op Option Shape Value_info

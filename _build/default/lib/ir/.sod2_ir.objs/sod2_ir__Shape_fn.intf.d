@@ -1,0 +1,1 @@
+lib/ir/shape_fn.mli: Op Shape Value_info

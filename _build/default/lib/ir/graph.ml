@@ -1,0 +1,262 @@
+type tensor_id = int
+type node_id = int
+
+type tensor_kind =
+  | Input of Shape.t
+  | Const of Tensor.t
+  | Activation
+
+type tensor_info = {
+  tid : tensor_id;
+  tname : string;
+  kind : tensor_kind;
+  producer : node_id option;
+}
+
+type node = {
+  nid : node_id;
+  op : Op.t;
+  inputs : tensor_id list;
+  outputs : tensor_id list;
+  nname : string;
+}
+
+type t = {
+  g_nodes : node array;
+  g_tensors : tensor_info array;
+  g_inputs : tensor_id list;
+  g_outputs : tensor_id list;
+  g_consumers : node_id list array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    mutable b_tensors : tensor_info list;  (* reversed *)
+    mutable b_nodes : node list;  (* reversed *)
+    mutable b_inputs : tensor_id list;  (* reversed *)
+    mutable b_outputs : tensor_id list;
+    mutable n_tensors : int;
+    mutable n_nodes : int;
+  }
+
+  let create () =
+    { b_tensors = []; b_nodes = []; b_inputs = []; b_outputs = []; n_tensors = 0; n_nodes = 0 }
+
+  let fresh_tensor b ~name kind producer =
+    let tid = b.n_tensors in
+    b.n_tensors <- tid + 1;
+    b.b_tensors <- { tid; tname = name; kind; producer } :: b.b_tensors;
+    tid
+
+  let input b ~name shape =
+    let tid = fresh_tensor b ~name (Input shape) None in
+    b.b_inputs <- tid :: b.b_inputs;
+    tid
+
+  let const b ~name value = fresh_tensor b ~name (Const value) None
+
+  let node b ?name op inputs =
+    List.iter
+      (fun tid ->
+        if tid < 0 || tid >= b.n_tensors then
+          invalid_arg (Printf.sprintf "Graph.Builder.node: undefined tensor %d" tid))
+      inputs;
+    let nid = b.n_nodes in
+    b.n_nodes <- nid + 1;
+    let nname =
+      match name with Some n -> n | None -> Printf.sprintf "%s_%d" (Op.name op) nid
+    in
+    let outputs =
+      List.init (Op.n_outputs op) (fun i ->
+          let tname = if Op.n_outputs op = 1 then nname else Printf.sprintf "%s.%d" nname i in
+          fresh_tensor b ~name:tname Activation (Some nid))
+    in
+    b.b_nodes <- { nid; op; inputs; outputs; nname } :: b.b_nodes;
+    outputs
+
+  let node1 b ?name op inputs =
+    match node b ?name op inputs with
+    | [ o ] -> o
+    | outs ->
+      invalid_arg
+        (Printf.sprintf "Graph.Builder.node1: %s has %d outputs" (Op.name op)
+           (List.length outs))
+
+  let check_arity node =
+    let n = List.length node.inputs in
+    let expect msg want =
+      if n <> want then
+        invalid_arg
+          (Printf.sprintf "Graph: %s (%s) expects %s inputs, got %d" node.nname
+             (Op.name node.op) msg n)
+    in
+    match node.op with
+    | Op.Unary _ | Op.Cast _ | Op.Clip _ | Op.Transpose _ | Op.Flatten _ | Op.Squeeze _
+    | Op.Unsqueeze _ | Op.ShapeOf | Op.SizeOf | Op.EyeLike | Op.NonZero | Op.Split _
+    | Op.GlobalAveragePool | Op.MaxPool _ | Op.AveragePool _ | Op.Softmax _
+    | Op.LogSoftmax _ | Op.Reduce _ | Op.ArgMax _ | Op.ArgMin _ | Op.CumSum _
+    | Op.ConstantOfShape _ | Op.OneHot _ | Op.DepthToSpace _ | Op.SpaceToDepth _
+    | Op.Upsample _ -> expect "1" 1
+    | Op.Binary _ | Op.MatMul | Op.Reshape | Op.Expand | Op.Tile | Op.Resize _
+    | Op.TopK _ -> expect "2" 2
+    | Op.Gather _ -> expect "2" 2
+    | Op.Pad _ -> expect "2" 2
+    | Op.Where -> expect "3" 3
+    | Op.Slice -> expect "5" 5
+    | Op.Range -> expect "3" 3
+    | Op.Gemm _ -> if n <> 2 && n <> 3 then expect "2 or 3" n
+    | Op.Conv _ | Op.Conv1d _ -> if n <> 2 && n <> 3 then expect "2 or 3" n
+    | Op.BatchNorm _ -> expect "5" 5
+    | Op.LayerNorm _ | Op.GroupNorm _ | Op.InstanceNorm _ -> expect "3" 3
+    | Op.Concat _ -> if n < 1 then expect ">=1" 1
+    | Op.NonMaxSuppression _ -> expect "2" 2
+    | Op.Switch _ -> expect "2" 2
+    | Op.Combine { branches } -> expect (string_of_int (branches + 1)) (branches + 1)
+    | Op.If | Op.Loop -> if n < 1 then expect ">=1" 1
+
+  let set_outputs b outs = b.b_outputs <- outs
+
+  let finish b : graph =
+    if b.b_outputs = [] then invalid_arg "Graph.Builder.finish: no outputs declared";
+    let tensors = Array.of_list (List.rev b.b_tensors) in
+    let nodes = Array.of_list (List.rev b.b_nodes) in
+    Array.iter check_arity nodes;
+    List.iter
+      (fun tid ->
+        if tid < 0 || tid >= Array.length tensors then
+          invalid_arg "Graph.Builder.finish: undefined output tensor")
+      b.b_outputs;
+    let consumers = Array.make (Array.length tensors) [] in
+    Array.iter
+      (fun nd -> List.iter (fun tid -> consumers.(tid) <- nd.nid :: consumers.(tid)) nd.inputs)
+      nodes;
+    Array.iteri (fun i l -> consumers.(i) <- List.rev l) consumers;
+    {
+      g_nodes = nodes;
+      g_tensors = tensors;
+      g_inputs = List.rev b.b_inputs;
+      g_outputs = b.b_outputs;
+      g_consumers = consumers;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let nodes g = g.g_nodes
+let node_count g = Array.length g.g_nodes
+let tensor_count g = Array.length g.g_tensors
+let tensor g tid = g.g_tensors.(tid)
+let node g nid = g.g_nodes.(nid)
+let inputs g = g.g_inputs
+let outputs g = g.g_outputs
+
+let const_value g tid =
+  match (tensor g tid).kind with
+  | Const t -> Some t
+  | Input _ | Activation -> None
+
+let input_shape g tid =
+  match (tensor g tid).kind with
+  | Input s -> Some s
+  | Const _ | Activation -> None
+
+let producer g tid =
+  match (tensor g tid).producer with
+  | Some nid -> Some g.g_nodes.(nid)
+  | None -> None
+
+let consumers g tid = g.g_consumers.(tid)
+
+let predecessors g nd =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun tid ->
+      match producer g tid with
+      | Some p when not (Hashtbl.mem seen p.nid) ->
+        Hashtbl.add seen p.nid ();
+        Some p
+      | _ -> None)
+    nd.inputs
+
+let successors g nd =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun tid ->
+      List.filter_map
+        (fun nid ->
+          if Hashtbl.mem seen nid then None
+          else begin
+            Hashtbl.add seen nid ();
+            Some g.g_nodes.(nid)
+          end)
+        (consumers g tid))
+    nd.outputs
+
+let free_syms g =
+  List.concat_map
+    (fun tid ->
+      match input_shape g tid with
+      | Some s -> Shape.free_syms s
+      | None -> [])
+    g.g_inputs
+  |> List.sort_uniq String.compare
+
+let topo_order g = Array.to_list g.g_nodes
+
+let dfs_order g =
+  let visited = Array.make (node_count g) false in
+  let order = ref [] in
+  let rec visit nd =
+    if not visited.(nd.nid) then begin
+      visited.(nd.nid) <- true;
+      order := nd :: !order;
+      (* Children left to right: the paper assumes branches execute in that
+         order when several must run. *)
+      List.iter visit (successors g nd)
+    end
+  in
+  (* Roots: nodes all of whose inputs are graph inputs or constants. *)
+  Array.iter (fun nd -> if predecessors g nd = [] then visit nd) g.g_nodes;
+  (* Any nodes unreachable from the roots (possible with constant-only
+     islands) are appended in topological order. *)
+  Array.iter (fun nd -> if not visited.(nd.nid) then visit nd) g.g_nodes;
+  List.rev !order
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph G {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  Array.iter
+    (fun nd ->
+      Printf.bprintf buf "  n%d [label=\"%s\"%s];\n" nd.nid (Op.name nd.op)
+        (if Op.is_control_flow nd.op then ", style=dashed, color=red" else ""))
+    g.g_nodes;
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun tid ->
+          match producer g tid with
+          | Some p ->
+            Printf.bprintf buf "  n%d -> n%d [label=\"t%d\", fontsize=8];\n" p.nid nd.nid tid
+          | None -> ())
+        nd.inputs)
+    g.g_nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let op_histogram g =
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun nd ->
+      let k = Op.name nd.op in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    g.g_nodes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,244 @@
+open Sexp
+
+let ( let* ) r f = Result.bind r f
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* Names become atoms; make sure they cannot break the syntax. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | ' ' | '(' | ')' | '\n' | '\t' -> '_'
+      | c -> c)
+    (if name = "" then "_" else name)
+
+let dim_to_sexp (d : Dim.t) =
+  match d with
+  | Lattice.Undef -> Ok (atom "?")
+  | Lattice.Nac -> Ok (atom "nac")
+  | Lattice.Known e -> (
+    match Expr.as_const e with
+    | Some c -> Ok (int c)
+    | None -> (
+      match Expr.free_syms e with
+      | [ s ] when Expr.equal e (Expr.sym s) -> Ok (List [ atom "sym"; atom s ])
+      | _ -> err "unsupported input dimension expression %s" (Expr.to_string e)))
+
+let shape_to_sexp (s : Shape.t) =
+  match s with
+  | Shape.Undef -> Ok (atom "undef-shape")
+  | Shape.Nac -> Ok (atom "nac-shape")
+  | Shape.Ranked dims ->
+    let* dims =
+      Array.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          let* d = dim_to_sexp d in
+          Ok (d :: acc))
+        (Ok []) dims
+    in
+    Ok (List (atom "shape" :: List.rev dims))
+
+let dim_of_sexp s =
+  match s with
+  | Atom "?" -> Ok Dim.undef
+  | Atom "nac" -> Ok Dim.nac
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some c -> Ok (Dim.of_int c)
+    | None -> err "bad dimension %s" a)
+  | List [ Atom "sym"; Atom name ] -> Ok (Dim.of_sym name)
+  | _ -> err "bad dimension form %s" (Sexp.to_string s)
+
+let shape_of_sexp s =
+  match s with
+  | Atom "undef-shape" -> Ok Shape.Undef
+  | Atom "nac-shape" -> Ok Shape.Nac
+  | List (Atom "shape" :: dims) ->
+    let* dims =
+      List.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          let* d = dim_of_sexp d in
+          Ok (d :: acc))
+        (Ok []) dims
+    in
+    Ok (Shape.of_dims (List.rev dims))
+  | _ -> err "bad shape form %s" (Sexp.to_string s)
+
+let tensor_to_sexps (t : Tensor.t) =
+  let dims = List (atom "dims" :: List.map int (Tensor.dims t)) in
+  match Tensor.dtype t with
+  | Tensor.F32 ->
+    [ atom "f32"; dims;
+      List (atom "data" :: Array.to_list (Array.map float (Tensor.data_f t))) ]
+  | Tensor.I64 ->
+    [ atom "i64"; dims;
+      List (atom "data" :: Array.to_list (Array.map int (Tensor.data_i t))) ]
+
+let tensor_of_sexps dtype dims data =
+  let* dims =
+    match dims with
+    | List (Atom "dims" :: ds) ->
+      List.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          match as_int d with
+          | Some v -> Ok (v :: acc)
+          | None -> err "bad const dims")
+        (Ok []) ds
+      |> Result.map List.rev
+    | _ -> err "bad const dims form"
+  in
+  match data with
+  | List (Atom "data" :: values) -> (
+    match dtype with
+    | "f32" ->
+      let* values =
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match as_float v with
+            | Some f -> Ok (f :: acc)
+            | None -> err "bad f32 datum")
+          (Ok []) values
+      in
+      Ok (Tensor.create_f dims (Array.of_list (List.rev values)))
+    | "i64" ->
+      let* values =
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match as_int v with
+            | Some i -> Ok (i :: acc)
+            | None -> err "bad i64 datum")
+          (Ok []) values
+      in
+      Ok (Tensor.create_i dims (Array.of_list (List.rev values)))
+    | _ -> err "unknown dtype %s" dtype)
+  | _ -> err "bad const data form"
+
+let to_string (g : Graph.t) =
+  let buf = Buffer.create 4096 in
+  let emit s =
+    Buffer.add_string buf (Sexp.to_string s);
+    Buffer.add_char buf '\n'
+  in
+  emit (List [ atom "sod2-graph"; int 1 ]);
+  for tid = 0 to Graph.tensor_count g - 1 do
+    let info = Graph.tensor g tid in
+    match info.Graph.kind with
+    | Graph.Input shape ->
+      let shape_s =
+        match shape_to_sexp shape with
+        | Ok s -> s
+        | Error e -> invalid_arg ("Graph_io.to_string: " ^ e)
+      in
+      emit (List [ atom "input"; int tid; atom (sanitize info.Graph.tname); shape_s ])
+    | Graph.Const t ->
+      emit
+        (List
+           (atom "const" :: int tid :: atom (sanitize info.Graph.tname)
+           :: tensor_to_sexps t))
+    | Graph.Activation -> (
+      (* one node record, at the node's first output *)
+      match Graph.producer g tid with
+      | Some nd when List.hd nd.Graph.outputs = tid ->
+        emit
+          (List
+             [
+               atom "node";
+               List [ atom "op"; Op_codec.to_sexp nd.Graph.op ];
+               List [ atom "name"; atom (sanitize nd.Graph.nname) ];
+               List (atom "inputs" :: List.map int nd.Graph.inputs);
+               List (atom "outputs" :: List.map int nd.Graph.outputs);
+             ])
+      | _ -> ())
+  done;
+  emit (List (atom "outputs" :: List.map int (Graph.outputs g)));
+  Buffer.contents buf
+
+let of_string text =
+  let* forms = Sexp.parse text in
+  match forms with
+  | List [ Atom "sod2-graph"; Atom "1" ] :: records ->
+    let b = Graph.Builder.create () in
+    let outputs = ref None in
+    let* () =
+      List.fold_left
+        (fun acc record ->
+          let* () = acc in
+          match record with
+          | List [ Atom "input"; tid; Atom name; shape_s ] ->
+            let* tid = match as_int tid with Some t -> Ok t | None -> err "bad tid" in
+            let* shape = shape_of_sexp shape_s in
+            let assigned = Graph.Builder.input b ~name shape in
+            if assigned <> tid then err "input id mismatch: %d vs %d" assigned tid
+            else Ok ()
+          | List [ Atom "const"; tid; Atom name; Atom dtype; dims; data ] ->
+            let* tid = match as_int tid with Some t -> Ok t | None -> err "bad tid" in
+            let* tensor = tensor_of_sexps dtype dims data in
+            let assigned = Graph.Builder.const b ~name tensor in
+            if assigned <> tid then err "const id mismatch: %d vs %d" assigned tid
+            else Ok ()
+          | List
+              [ Atom "node"; List [ Atom "op"; op_s ]; List [ Atom "name"; Atom name ];
+                List (Atom "inputs" :: input_ids); List (Atom "outputs" :: output_ids) ]
+            ->
+            let* op = Op_codec.of_sexp op_s in
+            let* inputs =
+              List.fold_left
+                (fun acc i ->
+                  let* acc = acc in
+                  match as_int i with
+                  | Some v -> Ok (v :: acc)
+                  | None -> err "bad input id")
+                (Ok []) input_ids
+              |> Result.map List.rev
+            in
+            let* expected =
+              List.fold_left
+                (fun acc i ->
+                  let* acc = acc in
+                  match as_int i with
+                  | Some v -> Ok (v :: acc)
+                  | None -> err "bad output id")
+                (Ok []) output_ids
+              |> Result.map List.rev
+            in
+            let assigned = Graph.Builder.node b ~name op inputs in
+            if assigned <> expected then err "node %s output ids mismatch" name else Ok ()
+          | List (Atom "outputs" :: outs) ->
+            let* outs =
+              List.fold_left
+                (fun acc i ->
+                  let* acc = acc in
+                  match as_int i with
+                  | Some v -> Ok (v :: acc)
+                  | None -> err "bad output id")
+                (Ok []) outs
+              |> Result.map List.rev
+            in
+            outputs := Some outs;
+            Ok ()
+          | _ -> err "unknown record %s" (Sexp.to_string record))
+        (Ok ()) records
+    in
+    (match !outputs with
+    | Some outs ->
+      Graph.Builder.set_outputs b outs;
+      (try Ok (Graph.Builder.finish b) with Invalid_argument e -> Error e)
+    | None -> err "missing outputs record")
+  | _ -> err "not a sod2-graph v1 file"
+
+let save g path =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

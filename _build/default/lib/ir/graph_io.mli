@@ -1,0 +1,27 @@
+(** Textual (de)serialization of computational graphs — the repository's
+    model file format.
+
+    A graph is stored as a sequence of s-expressions, one per tensor in id
+    order (graph inputs with their possibly-symbolic shapes, constants with
+    bit-exact tensor data, one [node] form per operator at its first output
+    tensor) followed by the output list.  Replaying the records through
+    {!Graph.Builder} reproduces the exact tensor and node numbering, so
+    serialization round-trips losslessly:
+
+    {[
+      (sod2-graph 1)
+      (input 0 image (shape 1 3 (sym H) (sym W)))
+      (const 1 w1 f32 (dims 8 3 3 3) (data 0x1.2p-4 ...))
+      (node (op (conv (1 1) (1 1 1 1) (1 1) 1)) (name conv0) (inputs 0 1) (outputs 2))
+      (outputs 2)
+    ]} *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> (Graph.t, string) result
+(** Parse and rebuild; errors carry the offending form. *)
+
+val save : Graph.t -> string -> unit
+(** Write to a file path. *)
+
+val load : string -> (Graph.t, string) result

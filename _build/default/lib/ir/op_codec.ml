@@ -1,0 +1,287 @@
+open Sexp
+
+let unary_table : (string * Op.unary) list =
+  [
+    "relu", Op.Relu; "sigmoid", Op.Sigmoid; "tanh", Op.Tanh; "exp", Op.Exp;
+    "log", Op.Log; "sqrt", Op.Sqrt; "neg", Op.Neg; "abs", Op.Abs; "erf", Op.Erf;
+    "gelu", Op.Gelu; "hardswish", Op.HardSwish; "softplus", Op.Softplus;
+    "floor", Op.Floor; "ceil", Op.Ceil; "round", Op.Round; "not", Op.Not;
+    "identity", Op.Identity; "sign", Op.Sign; "reciprocal", Op.Reciprocal;
+    "softsign", Op.Softsign;
+  ]
+
+let binary_table : (string * Op.binary) list =
+  [
+    "add", Op.Add; "sub", Op.Sub; "mul", Op.Mul; "div", Op.Div; "pow", Op.Pow;
+    "max", Op.Max2; "min", Op.Min2; "mod", Op.Mod2; "equal", Op.Equal;
+    "less", Op.Less; "greater", Op.Greater; "and", Op.And; "or", Op.Or;
+  ]
+
+let reduce_table : (string * Op.reduce_kind) list =
+  [
+    "sum", Op.Rsum; "mean", Op.Rmean; "max", Op.Rmax; "min", Op.Rmin;
+    "prod", Op.Rprod; "l2", Op.Rl2;
+  ]
+
+let rev_find table v = fst (List.find (fun (_, x) -> x = v) table)
+
+let ints l = List (List.map int l)
+let int4 (a, b, c, d) = ints [ a; b; c; d ]
+let int2 (a, b) = ints [ a; b ]
+let b v = atom (if v then "true" else "false")
+
+let to_sexp (op : Op.t) : Sexp.t =
+  match op with
+  | Op.Unary (Op.LeakyRelu alpha) -> List [ atom "leakyrelu"; float alpha ]
+  | Op.Unary u -> List [ atom "unary"; atom (rev_find unary_table u) ]
+  | Op.Binary bi -> List [ atom "binary"; atom (rev_find binary_table bi) ]
+  | Op.Clip (lo, hi) -> List [ atom "clip"; float lo; float hi ]
+  | Op.Cast Tensor.F32 -> List [ atom "cast"; atom "f32" ]
+  | Op.Cast Tensor.I64 -> List [ atom "cast"; atom "i64" ]
+  | Op.Where -> List [ atom "where" ]
+  | Op.MatMul -> List [ atom "matmul" ]
+  | Op.Gemm { alpha; beta; trans_a; trans_b } ->
+    List [ atom "gemm"; float alpha; float beta; b trans_a; b trans_b ]
+  | Op.Conv { stride; pads; dilation; groups } ->
+    List [ atom "conv"; int2 stride; int4 pads; int2 dilation; int groups ]
+  | Op.Conv1d { stride1; pads1; dilation1; groups1 } ->
+    List [ atom "conv1d"; int stride1; int2 pads1; int dilation1; int groups1 ]
+  | Op.MaxPool { kernel; pool_stride; pool_pads } ->
+    List [ atom "maxpool"; int2 kernel; int2 pool_stride; int4 pool_pads ]
+  | Op.AveragePool { kernel; pool_stride; pool_pads } ->
+    List [ atom "avgpool"; int2 kernel; int2 pool_stride; int4 pool_pads ]
+  | Op.GlobalAveragePool -> List [ atom "gap" ]
+  | Op.BatchNorm { eps } -> List [ atom "batchnorm"; float eps ]
+  | Op.LayerNorm { eps } -> List [ atom "layernorm"; float eps ]
+  | Op.GroupNorm { num_groups; eps } -> List [ atom "groupnorm"; int num_groups; float eps ]
+  | Op.InstanceNorm { eps } -> List [ atom "instancenorm"; float eps ]
+  | Op.Softmax { axis } -> List [ atom "softmax"; int axis ]
+  | Op.LogSoftmax { axis } -> List [ atom "logsoftmax"; int axis ]
+  | Op.Reduce { rkind; axes; keepdims } ->
+    List [ atom "reduce"; atom (rev_find reduce_table rkind); ints axes; b keepdims ]
+  | Op.ArgMax { axis; keepdims } -> List [ atom "argmax"; int axis; b keepdims ]
+  | Op.ArgMin { axis; keepdims } -> List [ atom "argmin"; int axis; b keepdims ]
+  | Op.CumSum { axis } -> List [ atom "cumsum"; int axis ]
+  | Op.Transpose perm -> List [ atom "transpose"; ints perm ]
+  | Op.Reshape -> List [ atom "reshape" ]
+  | Op.Flatten { axis } -> List [ atom "flatten"; int axis ]
+  | Op.Squeeze axes -> List [ atom "squeeze"; ints axes ]
+  | Op.Unsqueeze axes -> List [ atom "unsqueeze"; ints axes ]
+  | Op.Concat { axis } -> List [ atom "concat"; int axis ]
+  | Op.Split { axis; sizes } -> List [ atom "split"; int axis; ints sizes ]
+  | Op.Slice -> List [ atom "slice" ]
+  | Op.Gather { axis } -> List [ atom "gather"; int axis ]
+  | Op.Pad { pad_value } -> List [ atom "pad"; float pad_value ]
+  | Op.Expand -> List [ atom "expand" ]
+  | Op.Tile -> List [ atom "tile" ]
+  | Op.Resize Op.Nearest -> List [ atom "resize"; atom "nearest" ]
+  | Op.Upsample { scales } -> List [ atom "upsample"; ints scales ]
+  | Op.DepthToSpace { block } -> List [ atom "depth-to-space"; int block ]
+  | Op.SpaceToDepth { block } -> List [ atom "space-to-depth"; int block ]
+  | Op.ShapeOf -> List [ atom "shape" ]
+  | Op.SizeOf -> List [ atom "size" ]
+  | Op.ConstantOfShape { fill } -> List [ atom "constant-of-shape"; float fill ]
+  | Op.EyeLike -> List [ atom "eyelike" ]
+  | Op.Range -> List [ atom "range" ]
+  | Op.OneHot { depth } -> List [ atom "onehot"; int depth ]
+  | Op.TopK { axis; largest } -> List [ atom "topk"; int axis; b largest ]
+  | Op.NonZero -> List [ atom "nonzero" ]
+  | Op.NonMaxSuppression { max_out; iou_threshold } ->
+    List [ atom "nms"; int max_out; float iou_threshold ]
+  | Op.If -> List [ atom "if" ]
+  | Op.Loop -> List [ atom "loop" ]
+  | Op.Switch { branches } -> List [ atom "switch"; int branches ]
+  | Op.Combine { branches } -> List [ atom "combine"; int branches ]
+
+(* --- decoding ------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let d_int s = match as_int s with Some i -> Ok i | None -> err "expected int"
+let d_float s = match as_float s with Some f -> Ok f | None -> err "expected float"
+
+let d_bool s =
+  match as_atom s with
+  | Some "true" -> Ok true
+  | Some "false" -> Ok false
+  | _ -> err "expected bool"
+
+let d_ints s =
+  match s with
+  | List items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* v = d_int item in
+        Ok (v :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+  | Atom _ -> err "expected int list"
+
+let d_int2 s =
+  let* l = d_ints s in
+  match l with [ a; b ] -> Ok (a, b) | _ -> err "expected 2 ints"
+
+let d_int4 s =
+  let* l = d_ints s in
+  match l with [ a; b; c; d ] -> Ok (a, b, c, d) | _ -> err "expected 4 ints"
+
+let of_sexp (s : Sexp.t) : (Op.t, string) result =
+  match s with
+  | List (Atom tag :: args) -> (
+    match tag, args with
+    | "leakyrelu", [ a ] ->
+      let* alpha = d_float a in
+      Ok (Op.Unary (Op.LeakyRelu alpha))
+    | "unary", [ Atom name ] -> (
+      match List.assoc_opt name unary_table with
+      | Some u -> Ok (Op.Unary u)
+      | None -> err "unknown unary %s" name)
+    | "binary", [ Atom name ] -> (
+      match List.assoc_opt name binary_table with
+      | Some bi -> Ok (Op.Binary bi)
+      | None -> err "unknown binary %s" name)
+    | "clip", [ lo; hi ] ->
+      let* lo = d_float lo in
+      let* hi = d_float hi in
+      Ok (Op.Clip (lo, hi))
+    | "cast", [ Atom "f32" ] -> Ok (Op.Cast Tensor.F32)
+    | "cast", [ Atom "i64" ] -> Ok (Op.Cast Tensor.I64)
+    | "where", [] -> Ok Op.Where
+    | "matmul", [] -> Ok Op.MatMul
+    | "gemm", [ a; be; ta; tb ] ->
+      let* alpha = d_float a in
+      let* beta = d_float be in
+      let* trans_a = d_bool ta in
+      let* trans_b = d_bool tb in
+      Ok (Op.Gemm { alpha; beta; trans_a; trans_b })
+    | "conv", [ st; pd; dl; g ] ->
+      let* stride = d_int2 st in
+      let* pads = d_int4 pd in
+      let* dilation = d_int2 dl in
+      let* groups = d_int g in
+      Ok (Op.Conv { stride; pads; dilation; groups })
+    | "conv1d", [ st; pd; dl; g ] ->
+      let* stride1 = d_int st in
+      let* pads1 = d_int2 pd in
+      let* dilation1 = d_int dl in
+      let* groups1 = d_int g in
+      Ok (Op.Conv1d { stride1; pads1; dilation1; groups1 })
+    | "maxpool", [ k; st; pd ] ->
+      let* kernel = d_int2 k in
+      let* pool_stride = d_int2 st in
+      let* pool_pads = d_int4 pd in
+      Ok (Op.MaxPool { kernel; pool_stride; pool_pads })
+    | "avgpool", [ k; st; pd ] ->
+      let* kernel = d_int2 k in
+      let* pool_stride = d_int2 st in
+      let* pool_pads = d_int4 pd in
+      Ok (Op.AveragePool { kernel; pool_stride; pool_pads })
+    | "gap", [] -> Ok Op.GlobalAveragePool
+    | "batchnorm", [ e ] ->
+      let* eps = d_float e in
+      Ok (Op.BatchNorm { eps })
+    | "layernorm", [ e ] ->
+      let* eps = d_float e in
+      Ok (Op.LayerNorm { eps })
+    | "groupnorm", [ n; e ] ->
+      let* num_groups = d_int n in
+      let* eps = d_float e in
+      Ok (Op.GroupNorm { num_groups; eps })
+    | "instancenorm", [ e ] ->
+      let* eps = d_float e in
+      Ok (Op.InstanceNorm { eps })
+    | "softmax", [ a ] ->
+      let* axis = d_int a in
+      Ok (Op.Softmax { axis })
+    | "logsoftmax", [ a ] ->
+      let* axis = d_int a in
+      Ok (Op.LogSoftmax { axis })
+    | "reduce", [ Atom kind; ax; kd ] -> (
+      match List.assoc_opt kind reduce_table with
+      | Some rkind ->
+        let* axes = d_ints ax in
+        let* keepdims = d_bool kd in
+        Ok (Op.Reduce { rkind; axes; keepdims })
+      | None -> err "unknown reduce %s" kind)
+    | "argmax", [ a; kd ] ->
+      let* axis = d_int a in
+      let* keepdims = d_bool kd in
+      Ok (Op.ArgMax { axis; keepdims })
+    | "argmin", [ a; kd ] ->
+      let* axis = d_int a in
+      let* keepdims = d_bool kd in
+      Ok (Op.ArgMin { axis; keepdims })
+    | "cumsum", [ a ] ->
+      let* axis = d_int a in
+      Ok (Op.CumSum { axis })
+    | "transpose", [ p ] ->
+      let* perm = d_ints p in
+      Ok (Op.Transpose perm)
+    | "reshape", [] -> Ok Op.Reshape
+    | "flatten", [ a ] ->
+      let* axis = d_int a in
+      Ok (Op.Flatten { axis })
+    | "squeeze", [ ax ] ->
+      let* axes = d_ints ax in
+      Ok (Op.Squeeze axes)
+    | "unsqueeze", [ ax ] ->
+      let* axes = d_ints ax in
+      Ok (Op.Unsqueeze axes)
+    | "concat", [ a ] ->
+      let* axis = d_int a in
+      Ok (Op.Concat { axis })
+    | "split", [ a; sz ] ->
+      let* axis = d_int a in
+      let* sizes = d_ints sz in
+      Ok (Op.Split { axis; sizes })
+    | "slice", [] -> Ok Op.Slice
+    | "gather", [ a ] ->
+      let* axis = d_int a in
+      Ok (Op.Gather { axis })
+    | "pad", [ v ] ->
+      let* pad_value = d_float v in
+      Ok (Op.Pad { pad_value })
+    | "expand", [] -> Ok Op.Expand
+    | "tile", [] -> Ok Op.Tile
+    | "resize", [ Atom "nearest" ] -> Ok (Op.Resize Op.Nearest)
+    | "upsample", [ sc ] ->
+      let* scales = d_ints sc in
+      Ok (Op.Upsample { scales })
+    | "depth-to-space", [ bl ] ->
+      let* block = d_int bl in
+      Ok (Op.DepthToSpace { block })
+    | "space-to-depth", [ bl ] ->
+      let* block = d_int bl in
+      Ok (Op.SpaceToDepth { block })
+    | "shape", [] -> Ok Op.ShapeOf
+    | "size", [] -> Ok Op.SizeOf
+    | "constant-of-shape", [ v ] ->
+      let* fill = d_float v in
+      Ok (Op.ConstantOfShape { fill })
+    | "eyelike", [] -> Ok Op.EyeLike
+    | "range", [] -> Ok Op.Range
+    | "onehot", [ d ] ->
+      let* depth = d_int d in
+      Ok (Op.OneHot { depth })
+    | "topk", [ a; l ] ->
+      let* axis = d_int a in
+      let* largest = d_bool l in
+      Ok (Op.TopK { axis; largest })
+    | "nonzero", [] -> Ok Op.NonZero
+    | "nms", [ m; t ] ->
+      let* max_out = d_int m in
+      let* iou_threshold = d_float t in
+      Ok (Op.NonMaxSuppression { max_out; iou_threshold })
+    | "if", [] -> Ok Op.If
+    | "loop", [] -> Ok Op.Loop
+    | "switch", [ bn ] ->
+      let* branches = d_int bn in
+      Ok (Op.Switch { branches })
+    | "combine", [ bn ] ->
+      let* branches = d_int bn in
+      Ok (Op.Combine { branches })
+    | _ -> err "malformed operator form: %s" (Sexp.to_string s))
+  | _ -> err "expected an operator form"

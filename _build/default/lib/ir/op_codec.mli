@@ -1,0 +1,7 @@
+(** Operator (de)serialization for the graph file format: a bijection
+    between {!Op.t} (with all attributes) and s-expressions. *)
+
+val to_sexp : Op.t -> Sexp.t
+
+val of_sexp : Sexp.t -> (Op.t, string) result
+(** Inverse of {!to_sexp}; the error names the offending form. *)

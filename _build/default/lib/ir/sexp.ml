@@ -1,0 +1,75 @@
+type t =
+  | Atom of string
+  | List of t list
+
+let atom s = Atom s
+let int i = Atom (string_of_int i)
+let float f = Atom (Printf.sprintf "%h" f)
+
+let as_atom = function Atom s -> Some s | List _ -> None
+let as_int = function Atom s -> int_of_string_opt s | List _ -> None
+let as_float = function Atom s -> float_of_string_opt s | List _ -> None
+
+let rec render buf = function
+  | Atom s -> Buffer.add_string buf s
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ' ';
+        render buf item)
+      items;
+    Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  render buf t;
+  Buffer.contents buf
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let error msg = Error (Printf.sprintf "%s at offset %d" msg !pos) in
+  let is_space c = c = ' ' || c = '\n' || c = '\t' || c = '\r' in
+  let skip_ws () =
+    while !pos < n && is_space input.[!pos] do
+      incr pos
+    done
+  in
+  let rec parse_one () =
+    skip_ws ();
+    if !pos >= n then Error "unexpected end of input"
+    else if input.[!pos] = '(' then begin
+      incr pos;
+      let rec items acc =
+        skip_ws ();
+        if !pos >= n then error "unterminated list"
+        else if input.[!pos] = ')' then begin
+          incr pos;
+          Ok (List (List.rev acc))
+        end
+        else
+          match parse_one () with
+          | Ok item -> items (item :: acc)
+          | Error e -> Error e
+      in
+      items []
+    end
+    else if input.[!pos] = ')' then error "unexpected ')'"
+    else begin
+      let start = !pos in
+      while !pos < n && (not (is_space input.[!pos])) && input.[!pos] <> '(' && input.[!pos] <> ')' do
+        incr pos
+      done;
+      Ok (Atom (String.sub input start (!pos - start)))
+    end
+  in
+  let rec toplevel acc =
+    skip_ws ();
+    if !pos >= n then Ok (List.rev acc)
+    else
+      match parse_one () with
+      | Ok item -> toplevel (item :: acc)
+      | Error e -> Error e
+  in
+  toplevel []

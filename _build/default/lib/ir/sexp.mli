@@ -1,0 +1,24 @@
+(** Minimal s-expressions — the carrier syntax of the graph file format
+    ({!Graph_io}).  Atoms are whitespace/paren-delimited tokens; no string
+    escapes are needed because the format only stores identifiers and
+    numbers. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+val to_string : t -> string
+(** Render with minimal whitespace. *)
+
+val parse : string -> (t list, string) result
+(** Parse a sequence of toplevel s-expressions; the error carries a
+    position message. *)
+
+val atom : string -> t
+val int : int -> t
+val float : float -> t
+(** Hex float notation ([%h]) — bit-exact round-trips. *)
+
+val as_atom : t -> string option
+val as_int : t -> int option
+val as_float : t -> float option

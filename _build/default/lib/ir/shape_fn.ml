@@ -1,0 +1,780 @@
+type io = {
+  in_shapes : Shape.t array;
+  in_values : Value_info.t array;
+}
+
+let shape_in io i =
+  if i >= 0 && i < Array.length io.in_shapes then io.in_shapes.(i) else Shape.Undef
+
+let value_in io i =
+  if i >= 0 && i < Array.length io.in_values then io.in_values.(i) else Value_info.undef
+
+let no_value : Value_info.t = Lattice.Nac
+
+let out1 s v = [| s |], [| v |]
+let undef1 = out1 Shape.Undef Value_info.undef
+let nac1 = out1 Shape.Nac no_value
+
+(* Worst of the input values when a value transfer cannot fire: stay Undef
+   while the inputs may still improve, go Nac once any of them is Nac. *)
+let pending_value values =
+  if Array.exists (fun v -> v = (Lattice.Nac : Value_info.t)) values then no_value
+  else Value_info.undef
+
+(* Conv/pool spatial extent: floor((in + pads - ((k-1)*d + 1)) / stride) + 1,
+   as a symbolic expression when [in] is symbolic. *)
+let spatial_out_dim in_dim ~kernel ~stride ~pad_begin ~pad_end ~dilation =
+  match Dim.as_expr in_dim with
+  | None -> in_dim
+  | Some e ->
+    let c = pad_begin + pad_end - (((kernel - 1) * dilation) + 1) in
+    let q = Expr.div (Expr.add e (Expr.const c)) (Expr.const stride) in
+    Dim.of_expr (Expr.add q Expr.one)
+
+let normalize_axis r a = if a < 0 then a + r else a
+
+(* ------------------------------------------------------------------ *)
+(* Value transfer helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let binary_value_fn : Op.binary -> (Expr.t -> Expr.t -> Expr.t) option = function
+  | Op.Add -> Some Expr.add
+  | Op.Sub -> Some Expr.sub
+  | Op.Mul -> Some Expr.mul
+  | Op.Div -> Some Expr.div
+  | Op.Mod2 -> Some Expr.modulo
+  | Op.Max2 -> Some Expr.max_
+  | Op.Min2 -> Some Expr.min_
+  | Op.Equal | Op.Less | Op.Greater | Op.And | Op.Or | Op.Pow -> None
+
+let binary_value op va vb =
+  match binary_value_fn op, (va : Value_info.t), (vb : Value_info.t) with
+  | Some f, Lattice.Known a, Lattice.Known b ->
+    let la = Array.length a and lb = Array.length b in
+    if la = lb then Lattice.Known (Array.map2 f a b)
+    else if la = 1 then Lattice.Known (Array.map (fun e -> f a.(0) e) b)
+    else if lb = 1 then Lattice.Known (Array.map (fun e -> f e b.(0)) a)
+    else no_value
+  | _, (Lattice.Undef | Lattice.Known _), (Lattice.Undef | Lattice.Known _) ->
+    pending_value [| va; vb |]
+  | _ -> no_value
+
+(* Value of a Shape operator output: the input dims as symbolic constants —
+   defined exactly when every dimension is a known expression. *)
+let shape_as_value (s : Shape.t) : Value_info.t =
+  match s with
+  | Shape.Undef -> Value_info.undef
+  | Shape.Nac -> no_value
+  | Shape.Ranked d ->
+    let exprs = Array.map Dim.as_expr d in
+    if Array.for_all Option.is_some exprs then
+      Lattice.Known (Array.map Option.get exprs)
+    else if Array.exists (fun x -> x = Dim.nac) d then no_value
+    else Value_info.undef
+
+(* A shape built from a value (e.g. the target of Reshape / Expand):
+   rank comes from the carrier tensor's shape when the value is unknown. *)
+let shape_from_value_rank ~(value : Value_info.t) ~(carrier : Shape.t) :
+    Expr.t array option * int option =
+  let rank =
+    match Shape.dims carrier with
+    | Some [| d |] -> Dim.as_const d
+    | _ -> None
+  in
+  match value with
+  | Lattice.Known exprs -> Some exprs, Some (Array.length exprs)
+  | Lattice.Undef | Lattice.Nac -> None, rank
+
+let unknown_dims_shape rank_opt ~(value : Value_info.t) =
+  (* No value: rank (from the 1-d carrier extent) may still be known.
+     While the value is still Undef the dims may yet improve; once Nac they
+     never will. *)
+  let d = match value with Lattice.Undef -> Dim.undef | _ -> Dim.nac in
+  match rank_opt with
+  | Some r -> Shape.Ranked (Array.make r d)
+  | None -> ( match value with Lattice.Undef -> Shape.Undef | _ -> Shape.Nac)
+
+(* ------------------------------------------------------------------ *)
+(* Forward transfer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let forward_matmul sa sb =
+  match sa, sb with
+  | Shape.Ranked da, Shape.Ranked db ->
+    let ra = Array.length da and rb = Array.length db in
+    if ra = 0 || rb = 0 then Shape.Nac
+    else if ra = 1 && rb = 1 then Shape.scalar
+    else if ra = 1 then begin
+      (* [k] × [..., k, n] → [..., n] *)
+      let out = Array.make (rb - 1) Dim.undef in
+      Array.blit db 0 out 0 (rb - 2);
+      out.(rb - 2) <- db.(rb - 1);
+      Shape.Ranked out
+    end
+    else if rb = 1 then Shape.Ranked (Array.sub da 0 (ra - 1))
+    else begin
+      let batch_a = Array.sub da 0 (ra - 2) and batch_b = Array.sub db 0 (rb - 2) in
+      let batch, _ = Shape.broadcast (Shape.Ranked batch_a) (Shape.Ranked batch_b) in
+      match batch with
+      | Shape.Ranked bd ->
+        Shape.Ranked (Array.append bd [| da.(ra - 2); db.(rb - 1) |])
+      | Shape.Undef -> Shape.Undef
+      | Shape.Nac -> Shape.Nac
+    end
+  | Shape.Nac, _ | _, Shape.Nac -> Shape.Nac
+  | Shape.Undef, _ | _, Shape.Undef -> Shape.Undef
+
+let forward_conv2d (attrs : Op.conv_attrs) sx sw =
+  match sx, sw with
+  | Shape.Ranked dx, Shape.Ranked dw when Array.length dx = 4 && Array.length dw = 4 ->
+    let sh, sw_ = attrs.stride in
+    let pt, pl, pb, pr = attrs.pads in
+    let dh, dw_ = attrs.dilation in
+    let kh = Dim.as_const dw.(2) and kw = Dim.as_const dw.(3) in
+    (match kh, kw with
+    | Some kh, Some kw ->
+      Shape.Ranked
+        [|
+          dx.(0);
+          dw.(0);
+          spatial_out_dim dx.(2) ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb
+            ~dilation:dh;
+          spatial_out_dim dx.(3) ~kernel:kw ~stride:sw_ ~pad_begin:pl ~pad_end:pr
+            ~dilation:dw_;
+        |]
+    | _ -> Shape.Undef)
+  | Shape.Nac, _ | _, Shape.Nac -> Shape.Nac
+  | _ -> Shape.Undef
+
+let forward_pool (attrs : Op.pool_attrs) sx =
+  match sx with
+  | Shape.Ranked dx when Array.length dx = 4 ->
+    let kh, kw = attrs.kernel in
+    let sh, sw = attrs.pool_stride in
+    let pt, pl, pb, pr = attrs.pool_pads in
+    Shape.Ranked
+      [|
+        dx.(0);
+        dx.(1);
+        spatial_out_dim dx.(2) ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:1;
+        spatial_out_dim dx.(3) ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:1;
+      |]
+  | s -> s
+
+let forward_reduce ~axes ~keepdims s =
+  match s with
+  | Shape.Ranked d ->
+    let r = Array.length d in
+    let axes = if axes = [] then List.init r Fun.id else List.map (normalize_axis r) axes in
+    let reduced = Array.make r false in
+    List.iter (fun a -> if a >= 0 && a < r then reduced.(a) <- true) axes;
+    if keepdims then
+      Shape.Ranked (Array.mapi (fun i x -> if reduced.(i) then Dim.of_int 1 else x) d)
+    else
+      Shape.Ranked
+        (Array.of_list
+           (List.filteri (fun i _ -> not reduced.(i)) (Array.to_list d)))
+  | s -> s
+
+let forward_slice io =
+  let data = shape_in io 0 in
+  match data with
+  | Shape.Undef -> Shape.Undef
+  | Shape.Nac -> Shape.Nac
+  | Shape.Ranked d ->
+    let r = Array.length d in
+    let starts = Value_info.as_exprs (value_in io 1) in
+    let ends = Value_info.as_exprs (value_in io 2) in
+    let axes = Value_info.as_ints (value_in io 3) in
+    let steps = Value_info.as_ints (value_in io 4) in
+    (match starts, ends, axes, steps with
+    | Some starts, Some ends, Some axes, Some steps
+      when List.length axes = Array.length starts
+           && List.length axes = Array.length ends
+           && List.length axes = List.length steps ->
+      let out = Array.copy d in
+      let ok = ref true in
+      List.iteri
+        (fun i axis ->
+          let axis = normalize_axis r axis in
+          let step = List.nth steps i in
+          if axis < 0 || axis >= r || step <= 0 then ok := false
+          else
+            match Dim.as_expr d.(axis) with
+            | None -> out.(axis) <- Dim.undef
+            | Some dim_e ->
+              let clamp v =
+                (* Negative literals count from the end; INT_MAX-style
+                   sentinels clamp to the extent. *)
+                match Expr.as_const v with
+                | Some c when c < 0 -> Expr.add dim_e (Expr.const c)
+                | Some c when c >= 0x3FFFFFFF -> dim_e
+                | _ -> Expr.min_ v dim_e
+              in
+              let s = clamp starts.(i) and e = clamp ends.(i) in
+              let span = Expr.sub e s in
+              let cnt =
+                if step = 1 then span
+                else Expr.div (Expr.add span (Expr.const (step - 1))) (Expr.const step)
+              in
+              out.(axis) <- Dim.of_expr (Expr.max_ Expr.zero cnt))
+        axes;
+      if !ok then Shape.Ranked out
+      else Shape.Ranked (Array.make r Dim.nac)
+    | _ ->
+      (* Rank is preserved even when the bounds are dynamic. *)
+      let filler =
+        if Array.exists (fun (v : Value_info.t) -> v = Lattice.Nac)
+             [| value_in io 1; value_in io 2; value_in io 3; value_in io 4 |]
+        then Dim.nac
+        else Dim.undef
+      in
+      Shape.Ranked (Array.make r filler))
+
+let slice_value io =
+  (* Contents tracking for 1-d slices with constant bounds: the common
+     Shape → Slice → … shape-arithmetic chain. *)
+  match Value_info.as_exprs (value_in io 0) with
+  | None -> pending_value [| value_in io 0 |]
+  | Some data -> (
+    match
+      ( Value_info.as_ints (value_in io 1),
+        Value_info.as_ints (value_in io 2),
+        Value_info.as_ints (value_in io 3),
+        Value_info.as_ints (value_in io 4) )
+    with
+    | Some [ s ], Some [ e ], Some [ a ], Some [ st ]
+      when (a = 0 || a = -1) && st = 1 ->
+      let n = Array.length data in
+      let norm v = if v < 0 then max 0 (v + n) else min v n in
+      let s = norm s and e = norm e in
+      if e >= s then Lattice.Known (Array.sub data s (e - s)) else no_value
+    | _ -> no_value)
+
+let forward_reshape io =
+  let data = shape_in io 0 in
+  let target_value = value_in io 1 in
+  let exprs, rank = shape_from_value_rank ~value:target_value ~carrier:(shape_in io 1) in
+  match exprs with
+  | None -> unknown_dims_shape rank ~value:target_value, Value_info.undef
+  | Some exprs ->
+    let numel_in = Shape.numel data in
+    let dims =
+      Array.mapi
+        (fun i e ->
+          match Expr.as_const e with
+          | Some 0 -> Shape.dim data i  (* ONNX: 0 copies the input dim *)
+          | Some -1 -> Dim.undef  (* resolved below *)
+          | _ -> Dim.of_expr e)
+        exprs
+    in
+    let minus_one = ref None in
+    Array.iteri
+      (fun i e -> if Expr.as_const e = Some (-1) then minus_one := Some i)
+      exprs;
+    (match !minus_one, numel_in with
+    | Some i, Some total ->
+      let others =
+        Array.to_list dims
+        |> List.filteri (fun j _ -> j <> i)
+        |> List.map Dim.as_expr
+      in
+      if List.for_all Option.is_some others then
+        dims.(i) <-
+          Dim.of_expr (Expr.div total (Expr.product (List.map Option.get others)))
+    | Some _, None | None, _ -> ());
+    Shape.Ranked dims, value_in io 0
+
+let forward_gather ~axis io =
+  let data = shape_in io 0 and ind = shape_in io 1 in
+  let shape =
+    match data, ind with
+    | Shape.Ranked d, Shape.Ranked ix ->
+      let r = Array.length d in
+      let axis = normalize_axis r axis in
+      if axis < 0 || axis >= r then Shape.Nac
+      else
+        Shape.Ranked
+          (Array.concat [ Array.sub d 0 axis; ix; Array.sub d (axis + 1) (r - axis - 1) ])
+    | Shape.Nac, _ | _, Shape.Nac -> Shape.Nac
+    | Shape.Undef, _ | _, Shape.Undef -> Shape.Undef
+  in
+  let value =
+    match
+      Value_info.as_exprs (value_in io 0), Value_info.as_ints (value_in io 1), data
+    with
+    | Some d, Some picks, Shape.Ranked dd when Array.length dd <= 1 && axis = 0 ->
+      let n = Array.length d in
+      let ok = List.for_all (fun i -> i >= -n && i < n) picks in
+      if ok then
+        Lattice.Known
+          (Array.of_list (List.map (fun i -> d.(if i < 0 then i + n else i)) picks))
+      else no_value
+    | _ -> pending_value [| value_in io 0; value_in io 1 |]
+  in
+  shape, value
+
+let forward_concat ~axis io =
+  let shapes = Array.to_list io.in_shapes in
+  let shape =
+    match shapes with
+    | [] -> Shape.Nac
+    | first :: rest -> Shape.concat_dim first rest ~axis
+  in
+  let value =
+    (* Track contents when concatenating 1-d (or scalar) integer pieces
+       along axis 0 — the idiom that assembles Reshape targets. *)
+    let pieces = Array.to_list io.in_values |> List.map Value_info.as_exprs in
+    let rank_ok =
+      List.for_all
+        (fun s -> match Shape.rank s with Some r -> r <= 1 | None -> false)
+        shapes
+    in
+    if axis = 0 && rank_ok && List.for_all Option.is_some pieces then
+      Lattice.Known (Array.concat (List.map Option.get pieces))
+    else pending_value io.in_values
+  in
+  shape, value
+
+let forward_expand io =
+  let data = shape_in io 0 in
+  let target_value = value_in io 1 in
+  let exprs, rank = shape_from_value_rank ~value:target_value ~carrier:(shape_in io 1) in
+  match exprs, data with
+  | Some exprs, Shape.Ranked _ ->
+    let target = Shape.of_exprs (Array.to_list exprs) in
+    let out, _ = Shape.broadcast data target in
+    out
+  | Some exprs, _ -> Shape.of_exprs (Array.to_list exprs)
+  | None, _ -> unknown_dims_shape rank ~value:target_value
+
+let forward_pad io =
+  match shape_in io 0 with
+  | Shape.Ranked d -> (
+    let r = Array.length d in
+    match Value_info.as_exprs (value_in io 1) with
+    | Some pads when Array.length pads = 2 * r ->
+      Shape.Ranked
+        (Array.mapi
+           (fun i x ->
+             match Dim.as_expr x with
+             | Some e -> Dim.of_expr (Expr.add e (Expr.add pads.(i) pads.(r + i)))
+             | None -> x)
+           d)
+    | Some _ -> Shape.Ranked (Array.make r Dim.nac)
+    | None ->
+      let filler = if value_in io 1 = Lattice.Nac then Dim.nac else Dim.undef in
+      Shape.Ranked (Array.make r filler))
+  | s -> s
+
+let forward_tile io =
+  match shape_in io 0, Value_info.as_exprs (value_in io 1) with
+  | Shape.Ranked d, Some reps when Array.length reps = Array.length d ->
+    Shape.Ranked
+      (Array.mapi
+         (fun i x ->
+           match Dim.as_expr x with
+           | Some e -> Dim.of_expr (Expr.mul e reps.(i))
+           | None -> x)
+         d)
+  | (Shape.Ranked d), None ->
+    let filler = if value_in io 1 = Lattice.Nac then Dim.nac else Dim.undef in
+    Shape.Ranked (Array.make (Array.length d) filler)
+  | s, _ -> s
+
+let forward_resize io =
+  match shape_in io 0 with
+  | Shape.Ranked d when Array.length d >= 2 -> (
+    match Value_info.as_exprs (value_in io 1) with
+    | Some sizes when Array.length sizes = Array.length d - 2 ->
+      Shape.Ranked
+        (Array.append [| d.(0); d.(1) |] (Array.map Dim.of_expr sizes))
+    | Some _ -> Shape.Nac
+    | None ->
+      let filler = if value_in io 1 = Lattice.Nac then Dim.nac else Dim.undef in
+      Shape.Ranked
+        (Array.append [| d.(0); d.(1) |] (Array.make (Array.length d - 2) filler)))
+  | s -> s
+
+let forward_range io =
+  let start = value_in io 0 and limit = value_in io 1 and delta = value_in io 2 in
+  let scalar (v : Value_info.t) =
+    match Value_info.as_exprs v with
+    | Some [| e |] -> Some e
+    | _ -> None
+  in
+  match scalar start, scalar limit, scalar delta with
+  | Some s, Some l, Some d ->
+    let count =
+      match Expr.as_const d with
+      | Some dc when dc > 0 ->
+        Expr.max_ Expr.zero
+          (Expr.div (Expr.add (Expr.sub l s) (Expr.const (dc - 1))) (Expr.const dc))
+      | _ -> Expr.max_ Expr.zero (Expr.div (Expr.sub l s) d)
+    in
+    let value =
+      match Expr.as_const count with
+      | Some n when n >= 0 && n <= Value_info.max_tracked_elements ->
+        Lattice.Known
+          (Array.init n (fun i -> Expr.add s (Expr.mul (Expr.const i) d)))
+      | _ -> no_value
+    in
+    Shape.of_exprs [ count ], value
+  | _ ->
+    let pending = pending_value [| start; limit; delta |] in
+    (match pending with
+    | Lattice.Undef -> Shape.Undef, Value_info.undef
+    | _ -> Shape.Ranked [| Dim.nac |], no_value)
+
+let forward op io : Shape.t array * Value_info.t array =
+  let s0 = shape_in io 0 in
+  let v0 = value_in io 0 in
+  match op with
+  (* --- elementwise --- *)
+  | Op.Unary (Op.Identity) -> out1 s0 v0
+  | Op.Unary Op.Neg ->
+    let v =
+      match Value_info.as_exprs v0 with
+      | Some a -> Lattice.Known (Array.map Expr.neg a)
+      | None -> pending_value [| v0 |]
+    in
+    out1 s0 v
+  | Op.Unary _ | Op.Clip _ -> out1 s0 no_value
+  | Op.Cast _ -> out1 s0 v0
+  | Op.Binary b ->
+    let out, _ = Shape.broadcast s0 (shape_in io 1) in
+    out1 out (binary_value b v0 (value_in io 1))
+  | Op.Where ->
+    let s, _ = Shape.broadcast s0 (shape_in io 1) in
+    let s, _ = Shape.broadcast s (shape_in io 2) in
+    out1 s no_value
+  (* --- linear algebra --- *)
+  | Op.MatMul -> out1 (forward_matmul s0 (shape_in io 1)) no_value
+  | Op.Gemm { trans_a; trans_b; _ } ->
+    let dims2 s swap =
+      match Shape.dims s with
+      | Some [| a; b |] -> Some (if swap then b, a else (a, b))
+      | _ -> None
+    in
+    (match dims2 s0 trans_a, dims2 (shape_in io 1) trans_b with
+    | Some (m, _), Some (_, n) -> out1 (Shape.Ranked [| m; n |]) no_value
+    | _ ->
+      if s0 = Shape.Nac || shape_in io 1 = Shape.Nac then nac1 else undef1)
+  | Op.Conv attrs -> out1 (forward_conv2d attrs s0 (shape_in io 1)) no_value
+  | Op.Conv1d { stride1; pads1 = pl, pr; dilation1; _ } ->
+    (match s0, Shape.dims (shape_in io 1) with
+    | Shape.Ranked dx, Some dw when Array.length dx = 3 && Array.length dw = 3 ->
+      (match Dim.as_const dw.(2) with
+      | Some k ->
+        out1
+          (Shape.Ranked
+             [|
+               dx.(0);
+               dw.(0);
+               spatial_out_dim dx.(2) ~kernel:k ~stride:stride1 ~pad_begin:pl
+                 ~pad_end:pr ~dilation:dilation1;
+             |])
+          no_value
+      | None -> undef1)
+    | Shape.Nac, _ -> nac1
+    | _ -> undef1)
+  | Op.MaxPool attrs | Op.AveragePool attrs -> out1 (forward_pool attrs s0) no_value
+  | Op.GlobalAveragePool ->
+    (match s0 with
+    | Shape.Ranked d when Array.length d >= 3 ->
+      out1
+        (Shape.Ranked
+           (Array.mapi (fun i x -> if i < 2 then x else Dim.of_int 1) d))
+        no_value
+    | s -> out1 s no_value)
+  (* --- normalization, softmax --- *)
+  | Op.BatchNorm _ | Op.LayerNorm _ | Op.GroupNorm _ | Op.InstanceNorm _
+  | Op.Softmax _ | Op.LogSoftmax _ | Op.CumSum _ -> out1 s0 no_value
+  (* --- reductions --- *)
+  | Op.Reduce { axes; keepdims; _ } -> out1 (forward_reduce ~axes ~keepdims s0) no_value
+  | Op.ArgMax { axis; keepdims } | Op.ArgMin { axis; keepdims } ->
+    out1 (forward_reduce ~axes:[ axis ] ~keepdims s0) no_value
+  (* --- layout --- *)
+  | Op.Transpose perm ->
+    (match s0 with
+    | Shape.Ranked d when Array.length d = List.length perm ->
+      out1 (Shape.Ranked (Array.of_list (List.map (fun p -> d.(p)) perm))) no_value
+    | Shape.Ranked _ -> nac1
+    | s -> out1 s no_value)
+  | Op.Reshape ->
+    let s, v = forward_reshape io in
+    out1 s v
+  | Op.Flatten { axis } ->
+    (match s0 with
+    | Shape.Ranked d ->
+      let r = Array.length d in
+      let axis = normalize_axis r axis in
+      let prod lo hi =
+        let es = Array.to_list (Array.sub d lo (hi - lo)) |> List.map Dim.as_expr in
+        if List.for_all Option.is_some es then
+          Dim.of_expr (Expr.product (List.map Option.get es))
+        else Dim.undef
+      in
+      out1 (Shape.Ranked [| prod 0 axis; prod axis r |]) no_value
+    | s -> out1 s no_value)
+  | Op.Squeeze axes ->
+    (match s0 with
+    | Shape.Ranked d ->
+      let r = Array.length d in
+      let drop = List.map (normalize_axis r) axes in
+      let kept =
+        Array.to_list d |> List.filteri (fun i _ -> not (List.mem i drop))
+      in
+      out1 (Shape.of_dims kept) v0
+    | s -> out1 s v0)
+  | Op.Unsqueeze axes ->
+    (match s0 with
+    | Shape.Ranked d ->
+      let r = Array.length d + List.length axes in
+      let axes = List.map (normalize_axis r) axes in
+      let out = Array.make r Dim.undef in
+      List.iter (fun a -> if a >= 0 && a < r then out.(a) <- Dim.of_int 1) axes;
+      let src = ref 0 in
+      Array.iteri
+        (fun i x ->
+          if not (List.mem i axes) then begin
+            ignore x;
+            out.(i) <- d.(!src);
+            incr src
+          end)
+        out;
+      out1 (Shape.Ranked out) v0
+    | s -> out1 s v0)
+  | Op.Concat { axis } ->
+    let s, v = forward_concat ~axis io in
+    out1 s v
+  | Op.Split { axis; sizes } ->
+    (match s0 with
+    | Shape.Ranked d ->
+      let r = Array.length d in
+      let axis = normalize_axis r axis in
+      let shapes =
+        List.map
+          (fun sz ->
+            let out = Array.copy d in
+            out.(axis) <- Dim.of_int sz;
+            Shape.Ranked out)
+          sizes
+      in
+      Array.of_list shapes, Array.make (List.length sizes) no_value
+    | s ->
+      Array.make (List.length sizes) s, Array.make (List.length sizes) no_value)
+  | Op.Slice -> out1 (forward_slice io) (slice_value io)
+  | Op.Gather { axis } ->
+    let s, v = forward_gather ~axis io in
+    out1 s v
+  | Op.Pad _ -> out1 (forward_pad io) no_value
+  | Op.Expand -> out1 (forward_expand io) v0
+  | Op.Tile -> out1 (forward_tile io) no_value
+  | Op.Resize _ -> out1 (forward_resize io) no_value
+  | Op.Upsample { scales } ->
+    (match s0 with
+    | Shape.Ranked d when Array.length d = List.length scales + 2 ->
+      let out =
+        Array.mapi
+          (fun i x ->
+            if i < 2 then x
+            else
+              match Dim.as_expr x with
+              | Some e -> Dim.of_expr (Expr.mul e (Expr.const (List.nth scales (i - 2))))
+              | None -> x)
+          d
+      in
+      out1 (Shape.Ranked out) no_value
+    | s -> out1 s no_value)
+  | Op.DepthToSpace { block } ->
+    (match s0 with
+    | Shape.Ranked [| n; c; h; w |] ->
+      let mulc x k = Option.map (fun e -> Expr.mul e (Expr.const k)) (Dim.as_expr x) in
+      let dim_of = function Some e -> Dim.of_expr e | None -> Dim.undef in
+      out1
+        (Shape.Ranked
+           [|
+             n;
+             dim_of (Option.map (fun e -> Expr.div e (Expr.const (block * block)))
+                       (Dim.as_expr c));
+             dim_of (mulc h block);
+             dim_of (mulc w block);
+           |])
+        no_value
+    | s -> out1 s no_value)
+  | Op.SpaceToDepth { block } ->
+    (match s0 with
+    | Shape.Ranked [| n; c; h; w |] ->
+      let dim_of = function Some e -> Dim.of_expr e | None -> Dim.undef in
+      let divc x k = Option.map (fun e -> Expr.div e (Expr.const k)) (Dim.as_expr x) in
+      out1
+        (Shape.Ranked
+           [|
+             n;
+             dim_of (Option.map (fun e -> Expr.mul e (Expr.const (block * block)))
+                       (Dim.as_expr c));
+             dim_of (divc h block);
+             dim_of (divc w block);
+           |])
+        no_value
+    | s -> out1 s no_value)
+  (* --- shape producers (ISDO) --- *)
+  | Op.ShapeOf ->
+    (match Shape.rank s0 with
+    | Some r -> out1 (Shape.of_ints [ r ]) (shape_as_value s0)
+    | None -> if s0 = Shape.Nac then nac1 else undef1)
+  | Op.SizeOf ->
+    (match Shape.numel s0 with
+    | Some n -> out1 Shape.scalar (Value_info.scalar n)
+    | None -> out1 Shape.scalar (if s0 = Shape.Nac then no_value else Value_info.undef))
+  | Op.ConstantOfShape _ ->
+    let exprs, rank = shape_from_value_rank ~value:v0 ~carrier:s0 in
+    (match exprs with
+    | Some exprs -> out1 (Shape.of_exprs (Array.to_list exprs)) no_value
+    | None -> out1 (unknown_dims_shape rank ~value:v0) no_value)
+  | Op.EyeLike -> out1 s0 no_value
+  | Op.Range ->
+    let s, v = forward_range io in
+    out1 s v
+  | Op.OneHot { depth } ->
+    (match s0 with
+    | Shape.Ranked d -> out1 (Shape.Ranked (Array.append d [| Dim.of_int depth |])) no_value
+    | s -> out1 s no_value)
+  (* --- execution determined --- *)
+  | Op.TopK { axis; _ } ->
+    (match s0 with
+    | Shape.Ranked d ->
+      let r = Array.length d in
+      let axis = normalize_axis r axis in
+      let k =
+        match Value_info.as_exprs (value_in io 1) with
+        | Some [| e |] -> Dim.of_expr e
+        | _ -> if value_in io 1 = Lattice.Nac then Dim.nac else Dim.undef
+      in
+      let out = Array.copy d in
+      if axis >= 0 && axis < r then out.(axis) <- k;
+      [| Shape.Ranked out; Shape.Ranked (Array.copy out) |], [| no_value; no_value |]
+    | s -> [| s; s |], [| no_value; no_value |])
+  | Op.NonZero ->
+    (match Shape.rank s0 with
+    | Some r -> out1 (Shape.Ranked [| Dim.of_int (max r 1); Dim.nac |]) no_value
+    | None -> if s0 = Shape.Nac then nac1 else undef1)
+  | Op.NonMaxSuppression _ -> out1 (Shape.Ranked [| Dim.nac; Dim.of_int 3 |]) no_value
+  | Op.If | Op.Loop -> nac1
+  (* --- control flow --- *)
+  | Op.Switch { branches } ->
+    (* Every branch output carries the shape of the routed tensor; which one
+       materializes is execution determined, but its shape is not. *)
+    Array.make branches s0, Array.make branches v0
+  | Op.Combine { branches } ->
+    let s = ref Shape.Undef and v = ref Value_info.undef in
+    for i = 0 to branches - 1 do
+      s := Shape.meet !s (shape_in io i);
+      v := Value_info.meet !v (value_in io i)
+    done;
+    out1 !s !v
+
+(* ------------------------------------------------------------------ *)
+(* Backward transfer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let backward op ~out_shapes io ~input_index =
+  let out0 = if Array.length out_shapes > 0 then out_shapes.(0) else Shape.Undef in
+  match op, input_index with
+  | ( ( Op.Unary _ | Op.Clip _ | Op.Cast _ | Op.CumSum _ | Op.Softmax _
+      | Op.LogSoftmax _ | Op.BatchNorm _ | Op.LayerNorm _ | Op.GroupNorm _
+      | Op.InstanceNorm _ | Op.EyeLike ),
+      0 ) -> out0
+  | Op.Binary _, (0 | 1) -> (
+    let other = shape_in io (1 - input_index) in
+    let self = shape_in io input_index in
+    match other, out0 with
+    | Shape.Ranked od, Shape.Ranked outd ->
+      if Array.length od = 0 then out0 (* scalar operand: output = this input *)
+      else (
+        match self with
+        | Shape.Ranked sd when Array.length sd = Array.length outd ->
+          (* Where the opposite operand is 1 the output dim must come from
+             this input. *)
+          let ro = Array.length od and r = Array.length outd in
+          Shape.Ranked
+            (Array.mapi
+               (fun i _ ->
+                 let oi = i - (r - ro) in
+                 let other_dim = if oi < 0 then Dim.of_int 1 else od.(oi) in
+                 if Dim.as_const other_dim = Some 1 then outd.(i) else Dim.undef)
+               outd)
+        | _ -> Shape.Undef)
+    | _ -> Shape.Undef)
+  | Op.MatMul, (0 | 1) -> (
+    let self = shape_in io input_index in
+    match self, out0 with
+    | Shape.Ranked sd, Shape.Ranked od
+      when Array.length sd >= 2 && Array.length od >= 2 ->
+      let r = Array.length sd in
+      let out = Array.make r Dim.undef in
+      if input_index = 0 then out.(r - 2) <- od.(Array.length od - 2)
+      else out.(r - 1) <- od.(Array.length od - 1);
+      Shape.Ranked out
+    | _ -> Shape.Undef)
+  | Op.Transpose perm, 0 -> (
+    match out0 with
+    | Shape.Ranked od when Array.length od = List.length perm ->
+      let inv = Array.make (List.length perm) 0 in
+      List.iteri (fun i p -> inv.(p) <- i) perm;
+      Shape.Ranked (Array.init (Array.length od) (fun i -> od.(inv.(i))))
+    | _ -> Shape.Undef)
+  | Op.Concat { axis }, _ -> (
+    match out0 with
+    | Shape.Ranked od ->
+      let r = Array.length od in
+      let axis = normalize_axis r axis in
+      Shape.Ranked (Array.mapi (fun i d -> if i = axis then Dim.undef else d) od)
+    | _ -> Shape.Undef)
+  | Op.Split { axis; sizes }, 0 -> (
+    match out0 with
+    | Shape.Ranked od ->
+      let r = Array.length od in
+      let axis = normalize_axis r axis in
+      let total = List.fold_left ( + ) 0 sizes in
+      Shape.Ranked
+        (Array.mapi (fun i d -> if i = axis then Dim.of_int total else d) od)
+    | _ -> Shape.Undef)
+  | Op.Reduce { axes; keepdims = true; _ }, 0 -> (
+    match out0 with
+    | Shape.Ranked od ->
+      let r = Array.length od in
+      let axes = List.map (normalize_axis r) axes in
+      let axes = if axes = [] then List.init r Fun.id else axes in
+      Shape.Ranked
+        (Array.mapi (fun i d -> if List.mem i axes then Dim.undef else d) od)
+    | _ -> Shape.Undef)
+  | (Op.Conv _ | Op.Conv1d _ | Op.MaxPool _ | Op.AveragePool _ | Op.GlobalAveragePool), 0
+    -> (
+    (* Batch dim flows back; for convolutions the input channel count comes
+       from the (constant-shaped) weight. *)
+    match out0, shape_in io 0 with
+    | Shape.Ranked od, Shape.Ranked sd when Array.length sd = Array.length od ->
+      let out = Array.make (Array.length sd) Dim.undef in
+      out.(0) <- od.(0);
+      (match op, Shape.dims (shape_in io 1) with
+      | Op.Conv { groups; _ }, Some dw when Array.length dw >= 2 -> (
+        match Dim.as_const dw.(1) with
+        | Some cg -> out.(1) <- Dim.of_int (cg * groups)
+        | None -> ())
+      | (Op.MaxPool _ | Op.AveragePool _ | Op.GlobalAveragePool), _ ->
+        out.(1) <- od.(1)
+      | _ -> ());
+      Shape.Ranked out
+    | _ -> Shape.Undef)
+  | Op.Switch _, 0 -> out0
+  | Op.Combine { branches }, i when i < branches -> out0
+  | _ -> Shape.Undef
+
+let versions_for_broadcast io =
+  match Array.length io.in_shapes with
+  | 0 | 1 -> 0
+  | _ ->
+    let _, unresolved = Shape.broadcast io.in_shapes.(0) io.in_shapes.(1) in
+    unresolved

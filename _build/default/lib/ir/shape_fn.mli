@@ -1,0 +1,41 @@
+(** Per-operator transfer functions of the RDP analysis — the [F] component
+    of the four-tuple <G, D, L', F> (§4.1).
+
+    {!forward} implements the forward Update transfer: from the (symbolic)
+    shapes and values of an operator's inputs it derives the shapes and
+    values of its outputs.  The function dispatched internally depends on
+    the operator's dynamism category, exactly as in Table 3 of the paper:
+    ISDO operators produce output {e values} from input {e shapes}, ISDOS
+    operators propagate shapes structurally, ISVDOS operators additionally
+    consume input values, and EDO operators yield [Nac] (with the exception
+    of rank information that is determined regardless of execution, such as
+    [NonZero] producing a [rank × ?] matrix).
+
+    {!backward} implements the backward transfer: it refines an input's
+    shape from the operator's known output shapes, used by Alg. 1 when a
+    predecessor is still [undef].  Only refinements that are sound for
+    every execution are applied (e.g. a broadcast input dimension is pinned
+    to the output dimension only when the opposite operand is known to be
+    1 there). *)
+
+type io = {
+  in_shapes : Shape.t array;
+  in_values : Value_info.t array;
+}
+
+val forward : Op.t -> io -> Shape.t array * Value_info.t array
+(** [forward op io] is the shapes and values of the operator's outputs.
+    Array lengths equal {!Op.n_outputs}.  Never raises on [Undef]/[Nac]
+    inputs — unknown information flows through as [Undef]/[Nac]. *)
+
+val backward :
+  Op.t -> out_shapes:Shape.t array -> io -> input_index:int -> Shape.t
+(** [backward op ~out_shapes io ~input_index] is a (possibly refined) shape
+    for the given input, to be met with the input's current shape.
+    Returns [Shape.Undef] when nothing can be deduced. *)
+
+val versions_for_broadcast : io -> int
+(** Number of statically-unresolvable broadcast dimension pairs among the
+    first two inputs — each doubles the fused-code versions a compiler
+    without RDP equality facts would need (Fig. 4 of the paper shows the
+    2³ = 8 case). *)

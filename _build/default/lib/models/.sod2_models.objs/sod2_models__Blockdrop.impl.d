@@ -1,0 +1,1 @@
+lib/models/blockdrop.ml: Blocks Dim List Op Shape

@@ -1,0 +1,1 @@
+lib/models/blockdrop.mli: Graph

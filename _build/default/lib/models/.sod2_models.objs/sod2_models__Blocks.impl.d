@@ -1,0 +1,1 @@
+lib/models/blocks.ml: Graph Op Printf Rng Tensor

@@ -1,0 +1,1 @@
+lib/models/codebert.ml: Blocks Dim Op Shape

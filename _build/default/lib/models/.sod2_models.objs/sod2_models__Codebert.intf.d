@@ -1,0 +1,1 @@
+lib/models/codebert.mli: Graph

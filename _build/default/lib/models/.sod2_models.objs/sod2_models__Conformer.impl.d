@@ -1,0 +1,1 @@
+lib/models/conformer.ml: Blocks Dim Graph Op Shape Tensor

@@ -1,0 +1,1 @@
+lib/models/conformer.mli: Graph

@@ -1,0 +1,1 @@
+lib/models/convnet_aig.ml: Blocks Dim List Op Shape

@@ -1,0 +1,1 @@
+lib/models/convnet_aig.mli: Graph

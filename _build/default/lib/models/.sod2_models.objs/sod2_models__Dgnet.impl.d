@@ -1,0 +1,1 @@
+lib/models/dgnet.ml: Blocks List Op Shape

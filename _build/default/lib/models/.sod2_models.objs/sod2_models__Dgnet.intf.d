@@ -1,0 +1,1 @@
+lib/models/dgnet.mli: Graph

@@ -1,0 +1,1 @@
+lib/models/gpt_decoder.ml: Array Blocks Dim Env Graph List Op Option Printf Rng Shape String Tensor

@@ -1,0 +1,1 @@
+lib/models/gpt_decoder.mli: Graph Rng Tensor

@@ -1,0 +1,1 @@
+lib/models/ranet.ml: Blocks Dim Op Shape

@@ -1,0 +1,1 @@
+lib/models/ranet.mli: Graph

@@ -1,0 +1,1 @@
+lib/models/sd_encoder.ml: Blocks Dim List Op Shape

@@ -1,0 +1,1 @@
+lib/models/sd_encoder.mli: Graph

@@ -1,0 +1,1 @@
+lib/models/segment_anything.mli: Graph

@@ -1,0 +1,1 @@
+lib/models/skipnet.ml: Blocks Dim List Op Shape

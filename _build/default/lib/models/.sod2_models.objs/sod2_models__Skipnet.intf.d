@@ -1,0 +1,1 @@
+lib/models/skipnet.mli: Graph

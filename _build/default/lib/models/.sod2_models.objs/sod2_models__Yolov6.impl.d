@@ -1,0 +1,1 @@
+lib/models/yolov6.ml: Blocks Dim Op Shape

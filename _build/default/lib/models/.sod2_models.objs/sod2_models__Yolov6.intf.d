@@ -1,0 +1,1 @@
+lib/models/yolov6.mli: Graph

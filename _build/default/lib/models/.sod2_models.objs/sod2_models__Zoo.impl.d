@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Array Blockdrop Codebert Conformer Convnet_aig Dgnet Env Float Graph List Op Printf Ranet Rng Sd_encoder Segment_anything Shape Skipnet String Tensor Yolov6

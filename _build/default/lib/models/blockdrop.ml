@@ -1,0 +1,55 @@
+(* BlockDrop: a lightweight policy network looks at the input once and
+   emits a keep/drop decision for every residual block of the backbone;
+   dropped blocks are skipped through <Switch, Combine>.  H×W is symbolic
+   (shape + control-flow dynamism). *)
+
+let n_stages = [ 32; 64; 128; 256 ]
+let blocks_per_stage = 4
+
+let n_gated = List.length n_stages * (blocks_per_stage - 1)
+
+(* Policy network: coarse features -> one 2-way logit pair per gated
+   block.  Individual predicates are sliced out of the single policy
+   tensor. *)
+let policy t image =
+  let y = Blocks.conv_bn_act t ~stride:4 ~pad:1 image ~cin:3 ~cout:16 ~k:5 in
+  let y = Blocks.conv_bn_act t ~stride:2 ~pad:1 y ~cin:16 ~cout:32 ~k:3 in
+  let y = Blocks.global_pool t y in
+  let y = Blocks.op1 t (Op.Flatten { axis = 1 }) [ y ] in
+  Blocks.linear t y ~cin:32 ~cout:(2 * n_gated)
+
+let pred_of_policy t pol k =
+  let s = Blocks.const_ints t [ 2 * k ] in
+  let e = Blocks.const_ints t [ (2 * k) + 2 ] in
+  let axes = Blocks.const_ints t [ 1 ] in
+  let steps = Blocks.const_ints t [ 1 ] in
+  let pair = Blocks.op1 t Op.Slice [ pol; s; e; axes; steps ] in
+  Blocks.op1 t (Op.ArgMax { axis = 1; keepdims = false }) [ pair ]
+
+let build () =
+  let t = Blocks.create ~seed:110 in
+  let image =
+    Blocks.input t ~name:"image"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ])
+  in
+  let pol = policy t image in
+  let x = Blocks.conv_bn_act t ~stride:2 ~pad:3 image ~cin:3 ~cout:32 ~k:7 in
+  let x = Blocks.max_pool t ~stride:2 ~pad:1 ~k:3 x in
+  let x = ref x in
+  let cin = ref 32 in
+  let gate_index = ref 0 in
+  List.iter
+    (fun cout ->
+      x := Blocks.residual_block t ~stride:2 !x ~cin:!cin ~cout;
+      cin := cout;
+      for _ = 2 to blocks_per_stage do
+        let pred = pred_of_policy t pol !gate_index in
+        incr gate_index;
+        x :=
+          Blocks.gated t ~pred !x (fun t y -> Blocks.residual_block t y ~cin:cout ~cout)
+      done)
+    n_stages;
+  let y = Blocks.global_pool t !x in
+  let y = Blocks.op1 t (Op.Flatten { axis = 1 }) [ y ] in
+  let logits = Blocks.linear t y ~cin:256 ~cout:100 in
+  Blocks.finish t ~outputs:[ logits ]

@@ -1,0 +1,8 @@
+(** BlockDrop: a policy network inspects the input once and emits a
+    keep/drop predicate for every residual block; dropped blocks are
+    bypassed through [<Switch, Combine>].  Symbolic [H]×[W]. *)
+
+val n_gated : int
+(** Number of gated blocks (= predicates the policy emits). *)
+
+val build : unit -> Graph.t

@@ -1,0 +1,33 @@
+(* CodeBERT-style transformer encoder over a symbolic sequence length S.
+   Token and position embeddings are gathered dynamically (the position
+   range is produced by a Range over the runtime sequence extent, the idiom
+   ONNX exports use), followed by pre-LN transformer layers. *)
+
+let vocab = 512
+let max_positions = 512
+
+let build ?(layers = 10) ?(hidden = 128) ?(heads = 4) () =
+  let t = Blocks.create ~seed:101 in
+  let ids =
+    Blocks.input t ~name:"ids" (Shape.of_dims [ Dim.of_int 1; Dim.of_sym "S" ])
+  in
+  let tok_table = Blocks.weight t [ vocab; hidden ] in
+  let pos_table = Blocks.weight t [ max_positions; hidden ] in
+  (* token embeddings: [1, S, hidden] *)
+  let x = Blocks.op1 t (Op.Gather { axis = 0 }) [ tok_table; ids ] in
+  (* position embeddings: Range(0, S, 1) -> Gather -> [S, hidden], then
+     broadcast-add over the batch axis *)
+  let seq = Blocks.shape_dim t ids 1 in
+  let seq_scalar = Blocks.op1 t (Op.Squeeze [ 0 ]) [ seq ] in
+  let positions =
+    Blocks.op1 t Op.Range [ Blocks.scalar_i t 0; seq_scalar; Blocks.scalar_i t 1 ]
+  in
+  let pos = Blocks.op1 t (Op.Gather { axis = 0 }) [ pos_table; positions ] in
+  let x = Blocks.add t x pos in
+  let x = Blocks.layer_norm t x ~dim:hidden in
+  let x = ref x in
+  for _ = 1 to layers do
+    x := Blocks.transformer_block t !x ~hidden ~heads ~inner:(hidden * 4)
+  done;
+  let out = Blocks.layer_norm t !x ~dim:hidden in
+  Blocks.finish t ~outputs:[ out ]

@@ -1,0 +1,61 @@
+(* Conformer encoder over a symbolic time extent T: 2× strided conv
+   subsampling, then blocks of half-FFN / self-attention / convolution
+   module / half-FFN with a final LayerNorm (Gulati et al.). *)
+
+let mel_bins = 80
+
+let half_ffn t x ~hidden =
+  let y = Blocks.layer_norm t x ~dim:hidden in
+  let y = Blocks.ffn t y ~hidden ~inner:(hidden * 4) in
+  let half = Graph.Builder.const (Blocks.builder t) ~name:"half" (Tensor.scalar_f 0.5) in
+  Blocks.add t x (Blocks.mul t y half)
+
+let conv_module t x ~hidden =
+  let y = Blocks.layer_norm t x ~dim:hidden in
+  (* [1, S, H] -> [1, H, S] for the 1-d convolutions *)
+  let y = Blocks.transpose t y [ 0; 2; 1 ] in
+  let y = Blocks.conv1d t y ~cin:hidden ~cout:(2 * hidden) ~k:1 in
+  (* gated linear unit *)
+  let halves =
+    Graph.Builder.node (Blocks.builder t) (Op.Split { axis = 1; sizes = [ hidden; hidden ] })
+      [ y ]
+  in
+  let y =
+    match halves with
+    | [ a; b ] -> Blocks.mul t a (Blocks.sigmoid t b)
+    | _ -> assert false
+  in
+  let y = Blocks.conv1d t ~pad:7 ~groups:hidden y ~cin:hidden ~cout:hidden ~k:15 in
+  let y = Blocks.batch_norm t y ~channels:hidden in
+  let y = Blocks.silu t y in
+  let y = Blocks.conv1d t y ~cin:hidden ~cout:hidden ~k:1 in
+  let y = Blocks.transpose t y [ 0; 2; 1 ] in
+  Blocks.add t x y
+
+let build ?(blocks = 8) ?(hidden = 128) ?(heads = 4) () =
+  let t = Blocks.create ~seed:102 in
+  let audio =
+    Blocks.input t ~name:"audio"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 1; Dim.of_sym "T"; Dim.of_int mel_bins ])
+  in
+  (* subsampling: T -> T/4, mel 80 -> 20, channels 32 *)
+  let y = Blocks.conv_bn_act t ~stride:2 ~pad:1 audio ~cin:1 ~cout:32 ~k:3 in
+  let y = Blocks.conv_bn_act t ~stride:2 ~pad:1 y ~cin:32 ~cout:32 ~k:3 in
+  (* [1, 32, T/4, 20] -> [1, T/4, 32*20] -> linear to hidden *)
+  let y = Blocks.transpose t y [ 0; 2; 1; 3 ] in
+  let t4 = Blocks.shape_dim t y 1 in
+  let y =
+    Blocks.reshape_concat t y
+      ~pieces:[ Blocks.const_ints t [ 1 ]; t4; Blocks.const_ints t [ 32 * (mel_bins / 4) ] ]
+  in
+  let y = Blocks.linear t y ~cin:(32 * (mel_bins / 4)) ~cout:hidden in
+  let x = ref y in
+  for _ = 1 to blocks do
+    let y = half_ffn t !x ~hidden in
+    let y' = Blocks.layer_norm t y ~dim:hidden in
+    let y = Blocks.add t y (Blocks.mha t y' ~hidden ~heads) in
+    let y = conv_module t y ~hidden in
+    let y = half_ffn t y ~hidden in
+    x := Blocks.layer_norm t y ~dim:hidden
+  done;
+  Blocks.finish t ~outputs:[ !x ]

@@ -1,0 +1,7 @@
+(** Conformer speech encoder with a symbolic time extent [T]: two stride-2
+    convolutional subsampling layers, then blocks of half-FFN /
+    self-attention / convolution module / half-FFN. *)
+
+val mel_bins : int
+
+val build : ?blocks:int -> ?hidden:int -> ?heads:int -> unit -> Graph.t

@@ -1,0 +1,35 @@
+(* ConvNet-AIG: adaptive inference graphs — every residual block carries a
+   gate that decides between executing the block and taking the shortcut.
+   Symbolic H×W input (shape + control-flow dynamism). *)
+
+let build ?(blocks_per_stage = 4) () =
+  let t = Blocks.create ~seed:108 in
+  let image =
+    Blocks.input t ~name:"image"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ])
+  in
+  let x = Blocks.conv_bn_act t ~stride:2 ~pad:3 image ~cin:3 ~cout:32 ~k:7 in
+  let x = Blocks.max_pool t ~stride:2 ~pad:1 ~k:3 x in
+  let x = ref x in
+  let cin = ref 32 in
+  List.iter
+    (fun cout ->
+      (* even the stage transition is gated: the two branches are the full
+         strided block and the strided 1×1 projection, which agree in shape *)
+      let pred = Blocks.gate_pred t !x ~channels:!cin ~branches:2 in
+      let cin_now = !cin in
+      x :=
+        Blocks.gated2 t ~pred !x
+          (fun t y -> Blocks.conv_bn_act t ~stride:2 ~act:`None y ~cin:cin_now ~cout ~k:1)
+          (fun t y -> Blocks.residual_block t ~stride:2 y ~cin:cin_now ~cout);
+      cin := cout;
+      for _ = 2 to blocks_per_stage do
+        let pred = Blocks.gate_pred t !x ~channels:cout ~branches:2 in
+        x :=
+          Blocks.gated t ~pred !x (fun t y -> Blocks.residual_block t y ~cin:cout ~cout)
+      done)
+    [ 32; 64; 128; 256 ];
+  let y = Blocks.global_pool t !x in
+  let y = Blocks.op1 t (Op.Flatten { axis = 1 }) [ y ] in
+  let logits = Blocks.linear t y ~cin:256 ~cout:100 in
+  Blocks.finish t ~outputs:[ logits ]

@@ -1,0 +1,5 @@
+(** ConvNet-AIG (adaptive inference graphs): every residual block —
+    including stage transitions — carries a gate choosing between the
+    block and its projection shortcut; symbolic [H]×[W]. *)
+
+val build : ?blocks_per_stage:int -> unit -> Graph.t

@@ -1,0 +1,34 @@
+(* DGNet-style dynamic gating network: input resolution is fixed at
+   224×224 (the model supports only control-flow dynamism, as in the
+   paper's Table 5), and every block chooses per input between a full
+   residual path and a cheap 1×1 path. *)
+
+let build ?(blocks_per_stage = 3) () =
+  let t = Blocks.create ~seed:107 in
+  let image =
+    Blocks.input t ~name:"image" (Shape.of_ints [ 1; 3; 224; 224 ])
+  in
+  let x = Blocks.conv_bn_act t ~stride:2 ~pad:3 image ~cin:3 ~cout:32 ~k:7 in
+  let x = Blocks.max_pool t ~stride:2 ~pad:1 ~k:3 x in
+  let x = ref x in
+  let cin = ref 32 in
+  List.iter
+    (fun cout ->
+      x := Blocks.residual_block t ~stride:2 !x ~cin:!cin ~cout;
+      cin := cout;
+      for _ = 2 to blocks_per_stage + 1 do
+        let pred = Blocks.gate_pred t !x ~channels:cout ~branches:2 in
+        x :=
+          Blocks.gated2 t ~pred !x
+            (fun t y ->
+              (* cheap path: 1×1 conv refinement *)
+              Blocks.conv_bn_act t y ~cin:cout ~cout ~k:1)
+            (fun t y ->
+              (* dense path: full residual block *)
+              Blocks.residual_block t y ~cin:cout ~cout)
+      done)
+    [ 32; 64; 128; 256 ];
+  let y = Blocks.global_pool t !x in
+  let y = Blocks.op1 t (Op.Flatten { axis = 1 }) [ y ] in
+  let logits = Blocks.linear t y ~cin:256 ~cout:100 in
+  Blocks.finish t ~outputs:[ logits ]

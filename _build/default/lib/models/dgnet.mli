@@ -1,0 +1,5 @@
+(** DGNet-style dynamic gating network at a fixed 224×224 resolution
+    (control-flow dynamism only): every block chooses per input between a
+    full residual path and a cheap 1×1 path. *)
+
+val build : ?blocks_per_stage:int -> unit -> Graph.t

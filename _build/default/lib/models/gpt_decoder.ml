@@ -1,0 +1,117 @@
+(* §7 extension: a GPT-style decoder step with a growing key/value cache.
+
+   The paper's discussion singles out LLMs as the next target for SoD2's
+   optimizations.  A decoding step is the hardest shape-dynamism case the
+   framework faces: TWO interacting shape variables — the chunk of new
+   tokens S and the past length P — and intermediate extents that mix them
+   (the concatenated cache is P+S, attention scores are S × (P+S)).  Every
+   decoded token changes P, so a re-initializing engine recompiles on
+   every step, while RDP resolves the whole graph symbolically once.
+
+   The graph takes [ids : 1×S] plus per-layer [past_k/past_v :
+   1×heads×P×dk] and produces the final hidden states plus the updated
+   per-layer caches (1×heads×(P+S)×dk). *)
+
+let vocab = 512
+
+let build ?(layers = 4) ?(hidden = 128) ?(heads = 4) () =
+  let t = Blocks.create ~seed:120 in
+  let dk = hidden / heads in
+  let ids =
+    Blocks.input t ~name:"ids" (Shape.of_dims [ Dim.of_int 1; Dim.of_sym "S" ])
+  in
+  let pasts =
+    List.init layers (fun i ->
+        let shape =
+          Shape.of_dims
+            [ Dim.of_int 1; Dim.of_int heads; Dim.of_sym "P"; Dim.of_int dk ]
+        in
+        ( Blocks.input t ~name:(Printf.sprintf "past_k%d" i) shape,
+          Blocks.input t ~name:(Printf.sprintf "past_v%d" i) shape ))
+  in
+  let tok_table = Blocks.weight t [ vocab; hidden ] in
+  let pos_table = Blocks.weight t [ 1024; hidden ] in
+  let x = Blocks.op1 t (Op.Gather { axis = 0 }) [ tok_table; ids ] in
+  (* positions of the new tokens: Range(P, P+S) — symbolic arithmetic over
+     both shape variables *)
+  let past_k0, _ = List.hd pasts in
+  let p_len = Blocks.shape_dim t past_k0 2 in
+  let s_len = Blocks.shape_dim t ids 1 in
+  let p_scalar = Blocks.op1 t (Op.Squeeze [ 0 ]) [ p_len ] in
+  let limit =
+    Blocks.op1 t (Op.Squeeze [ 0 ]) [ Blocks.op1 t (Op.Binary Op.Add) [ p_len; s_len ] ]
+  in
+  let positions = Blocks.op1 t Op.Range [ p_scalar; limit; Blocks.scalar_i t 1 ] in
+  let pos = Blocks.op1 t (Op.Gather { axis = 0 }) [ pos_table; positions ] in
+  let x = ref (Blocks.add t x pos) in
+  let presents =
+    List.map
+      (fun (past_k, past_v) ->
+        let h = Blocks.layer_norm t !x ~dim:hidden in
+        let split_heads y =
+          let y =
+            Blocks.reshape_concat t y
+              ~pieces:[ Blocks.const_ints t [ 1 ]; s_len; Blocks.const_ints t [ heads; dk ] ]
+          in
+          Blocks.transpose t y [ 0; 2; 1; 3 ]
+        in
+        let q = split_heads (Blocks.linear t h ~cin:hidden ~cout:hidden) in
+        let k = split_heads (Blocks.linear t h ~cin:hidden ~cout:hidden) in
+        let v = split_heads (Blocks.linear t h ~cin:hidden ~cout:hidden) in
+        (* extend the cache: [1, heads, P+S, dk] *)
+        let k_full = Blocks.op1 t (Op.Concat { axis = 2 }) [ past_k; k ] in
+        let v_full = Blocks.op1 t (Op.Concat { axis = 2 }) [ past_v; v ] in
+        let kt = Blocks.transpose t k_full [ 0; 1; 3; 2 ] in
+        let scores = Blocks.op1 t Op.MatMul [ q; kt ] in
+        let scale =
+          Graph.Builder.const (Blocks.builder t) ~name:"scale"
+            (Tensor.scalar_f (1.0 /. sqrt (float_of_int dk)))
+        in
+        let probs = Blocks.softmax t (Blocks.mul t scores scale) in
+        let ctx = Blocks.op1 t Op.MatMul [ probs; v_full ] in
+        let ctx = Blocks.transpose t ctx [ 0; 2; 1; 3 ] in
+        let ctx =
+          Blocks.reshape_concat t ctx
+            ~pieces:[ Blocks.const_ints t [ 1 ]; s_len; Blocks.const_ints t [ hidden ] ]
+        in
+        let attn_out = Blocks.linear t ctx ~cin:hidden ~cout:hidden in
+        let x1 = Blocks.add t !x attn_out in
+        let h2 = Blocks.layer_norm t x1 ~dim:hidden in
+        let x2 = Blocks.add t x1 (Blocks.ffn t h2 ~hidden ~inner:(hidden * 4)) in
+        x := x2;
+        [ k_full; v_full ])
+      pasts
+  in
+  let final = Blocks.layer_norm t !x ~dim:hidden in
+  Blocks.finish t ~outputs:(final :: List.concat presents)
+
+(* Concrete extents for one decode step. *)
+let input_dims (g : Graph.t) ~past ~seq =
+  List.map
+    (fun tid ->
+      match Graph.input_shape g tid with
+      | Some s -> (
+        match Shape.eval (Env.of_list [ "P", past; "S", seq ]) s with
+        | Some dims -> tid, dims
+        | None -> invalid_arg "Gpt_decoder.input_dims: unbound symbol")
+      | None -> assert false)
+    (Graph.inputs g)
+
+(* Concrete tensors for real-mode execution. *)
+let make_inputs (g : Graph.t) ~past ~seq rng =
+  List.map
+    (fun tid ->
+      let dims =
+        match Graph.input_shape g tid with
+        | Some s -> Option.get (Shape.eval (Env.of_list [ "P", past; "S", seq ]) s)
+        | None -> assert false
+      in
+      let name = (Graph.tensor g tid).Graph.tname in
+      let t =
+        if String.length name >= 3 && String.sub name 0 3 = "ids" then
+          Tensor.create_i dims
+            (Array.init (List.fold_left ( * ) 1 dims) (fun _ -> Rng.int rng vocab))
+        else Tensor.rand_uniform rng dims
+      in
+      tid, t)
+    (Graph.inputs g)

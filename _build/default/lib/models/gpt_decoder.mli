@@ -1,0 +1,18 @@
+(** §7 extension: a GPT-style decoder step with a growing key/value cache.
+
+    Two interacting shape variables — the new-token chunk [S] and the past
+    length [P] — with intermediate extents mixing them (concatenated caches
+    are [P+S], attention scores are [S × (P+S)]).  A re-initializing engine
+    recompiles on every decoded token; RDP resolves the graph symbolically
+    once. *)
+
+val vocab : int
+
+val build : ?layers:int -> ?hidden:int -> ?heads:int -> unit -> Graph.t
+
+val input_dims : Graph.t -> past:int -> seq:int -> (Graph.tensor_id * int list) list
+(** Concrete input extents for one decode step (dry-mode execution). *)
+
+val make_inputs :
+  Graph.t -> past:int -> seq:int -> Rng.t -> (Graph.tensor_id * Tensor.t) list
+(** Concrete input tensors for real-mode execution. *)

@@ -1,0 +1,65 @@
+(* RaNet (Resolution Adaptive Network): classification starts on a
+   low-resolution copy of the input; a confidence gate either takes the
+   early exit or continues to a higher-resolution sub-network that fuses
+   the coarse features.  Two nested gates over three resolutions; H×W is
+   symbolic (shape + control-flow dynamism). *)
+
+let small_net t x ~cin ~ch =
+  let y = Blocks.conv_bn_act t ~stride:2 ~pad:1 x ~cin ~cout:ch ~k:3 in
+  let y = Blocks.residual_block t y ~cin:ch ~cout:ch in
+  let y = Blocks.residual_block t y ~cin:ch ~cout:ch in
+  let y = Blocks.residual_block t ~stride:2 y ~cin:ch ~cout:(ch * 2) in
+  Blocks.residual_block t y ~cin:(ch * 2) ~cout:(ch * 2)
+
+let classifier t feat ~ch =
+  let y = Blocks.global_pool t feat in
+  let y = Blocks.op1 t (Op.Flatten { axis = 1 }) [ y ] in
+  Blocks.linear t y ~cin:ch ~cout:100
+
+(* Downsample [x] by stride-2 convolutions until it matches the H/16 grid,
+   then fuse with the routed coarse features and classify or recurse. *)
+let build () =
+  let t = Blocks.create ~seed:109 in
+  let image =
+    Blocks.input t ~name:"image"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ])
+  in
+  let pool2 x =
+    Blocks.op1 t
+      (Op.AveragePool { kernel = (2, 2); pool_stride = (2, 2); pool_pads = (0, 0, 0, 0) })
+      [ x ]
+  in
+  let half = pool2 image in
+  let quarter = pool2 half in
+  (* coarse sub-network: quarter resolution -> [1, 64, H/16, W/16] *)
+  let feat_a = small_net t quarter ~cin:3 ~ch:32 in
+  let pred1 = Blocks.gate_pred t feat_a ~channels:64 ~branches:2 in
+  let out =
+    Blocks.gated2 t ~pred:pred1 feat_a
+      (fun t routed_a ->
+        (* confident: early exit with the coarse classifier *)
+        classifier t routed_a ~ch:64)
+      (fun t routed_a ->
+        (* continue: half-resolution sub-network fused with coarse features *)
+        let feat_b = small_net t half ~cin:3 ~ch:32 in
+        (* feat_b is on the H/8 grid; bring it to H/16 and fuse *)
+        let feat_b = Blocks.conv_bn_act t ~stride:2 ~pad:1 feat_b ~cin:64 ~cout:64 ~k:3 in
+        let fused = Blocks.op1 t (Op.Concat { axis = 1 }) [ feat_b; routed_a ] in
+        let feat_ab = Blocks.conv_bn_act t ~pad:1 fused ~cin:128 ~cout:128 ~k:3 in
+        let pred2 = Blocks.gate_pred t feat_ab ~channels:128 ~branches:2 in
+        Blocks.gated2 t ~pred:pred2 feat_ab
+          (fun t routed_ab -> classifier t routed_ab ~ch:128)
+          (fun t routed_ab ->
+            (* full-resolution sub-network, fused again *)
+            let feat_c = small_net t image ~cin:3 ~ch:32 in
+            let feat_c =
+              Blocks.conv_bn_act t ~stride:2 ~pad:1 feat_c ~cin:64 ~cout:64 ~k:3
+            in
+            let feat_c =
+              Blocks.conv_bn_act t ~stride:2 ~pad:1 feat_c ~cin:64 ~cout:128 ~k:3
+            in
+            let fused = Blocks.op1 t (Op.Concat { axis = 1 }) [ feat_c; routed_ab ] in
+            let feat_abc = Blocks.conv_bn_act t ~pad:1 fused ~cin:256 ~cout:256 ~k:3 in
+            classifier t feat_abc ~ch:256))
+  in
+  Blocks.finish t ~outputs:[ out ]

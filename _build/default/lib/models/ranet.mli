@@ -1,0 +1,6 @@
+(** RaNet (Resolution Adaptive Network): classification starts on a
+    quarter-resolution copy; confidence gates either take an early exit or
+    continue to higher-resolution sub-networks that fuse the coarse
+    features.  Symbolic [H]×[W]. *)
+
+val build : unit -> Graph.t

@@ -1,0 +1,55 @@
+(* StableDiffusion encoder (VAE-encoder-like): GroupNorm/SiLU resnet
+   blocks with three stride-2 downsamples and a spatial self-attention
+   block in the middle, over a symbolic H×W input. *)
+
+let resnet_block t x ~ch =
+  let y = Blocks.group_norm t x ~channels:ch ~groups:8 in
+  let y = Blocks.silu t y in
+  let y = Blocks.conv2d t ~pad:1 y ~cin:ch ~cout:ch ~k:3 in
+  let y = Blocks.group_norm t y ~channels:ch ~groups:8 in
+  let y = Blocks.silu t y in
+  let y = Blocks.conv2d t ~pad:1 y ~cin:ch ~cout:ch ~k:3 in
+  Blocks.add t x y
+
+(* Self-attention over flattened spatial positions, with the token count
+   h·w computed from Shape operators (symbolic). *)
+let spatial_attention t x ~ch =
+  let h = Blocks.shape_dim t x 2 in
+  let w = Blocks.shape_dim t x 3 in
+  let hw = Blocks.op1 t (Op.Binary Op.Mul) [ h; w ] in
+  let tokens =
+    Blocks.reshape_concat t x ~pieces:[ Blocks.const_ints t [ 1; ch ]; hw ]
+  in
+  let tokens = Blocks.transpose t tokens [ 0; 2; 1 ] in
+  let attended = Blocks.mha t tokens ~hidden:ch ~heads:4 in
+  let attended = Blocks.transpose t attended [ 0; 2; 1 ] in
+  let back =
+    Blocks.reshape_concat t attended ~pieces:[ Blocks.const_ints t [ 1; ch ]; h; w ]
+  in
+  Blocks.add t x back
+
+let build ?(base = 32) () =
+  let t = Blocks.create ~seed:103 in
+  let image =
+    Blocks.input t ~name:"image"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ])
+  in
+  let x = Blocks.conv2d t ~pad:1 image ~cin:3 ~cout:base ~k:3 in
+  let x = ref x in
+  let ch = ref base in
+  List.iter
+    (fun next_ch ->
+      x := resnet_block t !x ~ch:!ch;
+      x := resnet_block t !x ~ch:!ch;
+      x := resnet_block t !x ~ch:!ch;
+      (* downsample and widen *)
+      x := Blocks.conv2d t ~stride:2 ~pad:1 !x ~cin:!ch ~cout:next_ch ~k:3;
+      ch := next_ch)
+    [ base * 2; base * 4; base * 4 ];
+  x := resnet_block t !x ~ch:!ch;
+  x := spatial_attention t !x ~ch:!ch;
+  x := resnet_block t !x ~ch:!ch;
+  let y = Blocks.group_norm t !x ~channels:!ch ~groups:8 in
+  let y = Blocks.silu t y in
+  let latent = Blocks.conv2d t ~pad:1 y ~cin:!ch ~cout:8 ~k:3 in
+  Blocks.finish t ~outputs:[ latent ]

@@ -1,0 +1,6 @@
+(** StableDiffusion (VAE-style) image encoder over a symbolic [H]×[W]
+    input: GroupNorm/SiLU resnet blocks, three stride-2 downsamples and a
+    spatial self-attention block whose token count is computed from Shape
+    operators. *)
+
+val build : ?base:int -> unit -> Graph.t

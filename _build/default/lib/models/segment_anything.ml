@@ -1,0 +1,32 @@
+(* SegmentAnything image encoder: ViT with 16×16 patch embedding over a
+   symbolic H×W image, transformer blocks over the (symbolic) token count,
+   and a convolutional neck. *)
+
+let build ?(blocks = 8) ?(dim = 128) () =
+  let t = Blocks.create ~seed:104 in
+  let image =
+    Blocks.input t ~name:"image"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ])
+  in
+  (* patch embedding: [1, dim, H/16, W/16] *)
+  let x = Blocks.conv2d t ~stride:16 image ~cin:3 ~cout:dim ~k:16 in
+  let h = Blocks.shape_dim t x 2 in
+  let w = Blocks.shape_dim t x 3 in
+  let hw = Blocks.op1 t (Op.Binary Op.Mul) [ h; w ] in
+  let tokens =
+    Blocks.reshape_concat t x ~pieces:[ Blocks.const_ints t [ 1; dim ]; hw ]
+  in
+  let tokens = ref (Blocks.transpose t tokens [ 0; 2; 1 ]) in
+  for _ = 1 to blocks do
+    tokens := Blocks.transformer_block t !tokens ~hidden:dim ~heads:4 ~inner:(dim * 4)
+  done;
+  let y = Blocks.layer_norm t !tokens ~dim in
+  let y = Blocks.transpose t y [ 0; 2; 1 ] in
+  let fmap =
+    Blocks.reshape_concat t y ~pieces:[ Blocks.const_ints t [ 1; dim ]; h; w ]
+  in
+  (* neck: two 1×1/3×3 convolutions to the mask-decoder embedding width *)
+  let y = Blocks.conv2d t fmap ~cin:dim ~cout:64 ~k:1 in
+  let y = Blocks.op1 t (Op.Unary Op.Gelu) [ y ] in
+  let out = Blocks.conv2d t ~pad:1 y ~cin:64 ~cout:64 ~k:3 in
+  Blocks.finish t ~outputs:[ out ]

@@ -1,0 +1,4 @@
+(** SegmentAnything image encoder: ViT with 16×16 patch embedding over a
+    symbolic [H]×[W] image and a convolutional neck. *)
+
+val build : ?blocks:int -> ?dim:int -> unit -> Graph.t

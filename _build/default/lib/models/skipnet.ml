@@ -1,0 +1,32 @@
+(* SkipNet: a residual network where a small gating subnet inspects each
+   block's input and decides — per input — whether to execute the block or
+   skip it entirely (the <Switch, Combine> pattern).  Input H×W is
+   symbolic, so the model has both shape and control-flow dynamism. *)
+
+let build ?(blocks_per_stage = 4) () =
+  let t = Blocks.create ~seed:106 in
+  let image =
+    Blocks.input t ~name:"image"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ])
+  in
+  let x = Blocks.conv_bn_act t ~stride:2 ~pad:3 image ~cin:3 ~cout:32 ~k:7 in
+  let x = Blocks.max_pool t ~stride:2 ~pad:1 ~k:3 x in
+  let x = ref x in
+  let cin = ref 32 in
+  List.iter
+    (fun cout ->
+      (* stage transition is always executed *)
+      x := Blocks.residual_block t ~stride:2 !x ~cin:!cin ~cout;
+      cin := cout;
+      (* remaining blocks are gated: skip (branch 0) or execute (branch 1) *)
+      for _ = 2 to blocks_per_stage do
+        let pred = Blocks.gate_pred t !x ~channels:cout ~branches:2 in
+        x :=
+          Blocks.gated t ~pred !x (fun t y ->
+              Blocks.residual_block t y ~cin:cout ~cout)
+      done)
+    [ 32; 64; 128; 256 ];
+  let y = Blocks.global_pool t !x in
+  let y = Blocks.op1 t (Op.Flatten { axis = 1 }) [ y ] in
+  let logits = Blocks.linear t y ~cin:256 ~cout:100 in
+  Blocks.finish t ~outputs:[ logits ]

@@ -1,0 +1,5 @@
+(** SkipNet: a residual network whose blocks are individually skipped per
+    input through [<Switch, Combine>] gates; symbolic [H]×[W] (shape +
+    control-flow dynamism). *)
+
+val build : ?blocks_per_stage:int -> unit -> Graph.t

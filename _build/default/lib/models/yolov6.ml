@@ -1,0 +1,86 @@
+(* YOLO-V6-style single-stage detector over a symbolic H×W input
+   (multiples of 32): RepVGG-flavoured backbone, PAN neck whose upsampling
+   extents are read from lateral feature shapes at run time (Resize with a
+   dynamic sizes operand — the ISVDOS case RDP resolves), and anchor-free
+   heads concatenated into one [1 × anchors × (5+classes)] output. *)
+
+let classes = 80
+
+let rep_block t x ~ch =
+  (* 3×3 + 1×1 parallel convolutions, summed (RepVGG training form). *)
+  let a = Blocks.conv_bn_act t ~pad:1 ~act:`None x ~cin:ch ~cout:ch ~k:3 in
+  let b = Blocks.conv_bn_act t ~act:`None x ~cin:ch ~cout:ch ~k:1 in
+  Blocks.relu t (Blocks.add t a b)
+
+let stage t x ~cin ~cout ~blocks =
+  let y = Blocks.conv_bn_act t ~stride:2 ~pad:1 x ~cin ~cout ~k:3 in
+  let y = ref y in
+  for _ = 1 to blocks do
+    y := rep_block t !y ~ch:cout
+  done;
+  !y
+
+(* Nearest upsample of [x] to the spatial extents of [like]. *)
+let resize_like t x like =
+  let h = Blocks.shape_dim t like 2 in
+  let w = Blocks.shape_dim t like 3 in
+  let sizes = Blocks.op1 t (Op.Concat { axis = 0 }) [ h; w ] in
+  Blocks.op1 t (Op.Resize Op.Nearest) [ x; sizes ]
+
+(* Head: predictions as [1, h·w, 5+classes] with a shape-driven reshape. *)
+let head t x ~ch =
+  let preds = Blocks.conv2d t x ~cin:ch ~cout:(5 + classes) ~k:1 in
+  let h = Blocks.shape_dim t preds 2 in
+  let w = Blocks.shape_dim t preds 3 in
+  let hw = Blocks.op1 t (Op.Binary Op.Mul) [ h; w ] in
+  let flat =
+    Blocks.reshape_concat t preds
+      ~pieces:[ Blocks.const_ints t [ 1; 5 + classes ]; hw ]
+  in
+  Blocks.transpose t flat [ 0; 2; 1 ]
+
+let build ?(width = 16) () =
+  let t = Blocks.create ~seed:105 in
+  let image =
+    Blocks.input t ~name:"image"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ])
+  in
+  let c1 = Blocks.conv_bn_act t ~stride:2 ~pad:1 image ~cin:3 ~cout:width ~k:3 in
+  let c2 = stage t c1 ~cin:width ~cout:(width * 2) ~blocks:3 in
+  let c3 = stage t c2 ~cin:(width * 2) ~cout:(width * 4) ~blocks:4 in
+  let c4 = stage t c3 ~cin:(width * 4) ~cout:(width * 8) ~blocks:4 in
+  let c5 = stage t c4 ~cin:(width * 8) ~cout:(width * 16) ~blocks:3 in
+  (* top-down path *)
+  let w4 = width * 8 and w3 = width * 4 in
+  let lat5 = Blocks.conv_bn_act t c5 ~cin:(width * 16) ~cout:w4 ~k:1 in
+  let up5 = resize_like t lat5 c4 in
+  let p4 =
+    Blocks.conv_bn_act t ~pad:1
+      (Blocks.op1 t (Op.Concat { axis = 1 }) [ up5; c4 ])
+      ~cin:(w4 * 2) ~cout:w4 ~k:3
+  in
+  let lat4 = Blocks.conv_bn_act t p4 ~cin:w4 ~cout:w3 ~k:1 in
+  let up4 = resize_like t lat4 c3 in
+  let p3 =
+    Blocks.conv_bn_act t ~pad:1
+      (Blocks.op1 t (Op.Concat { axis = 1 }) [ up4; c3 ])
+      ~cin:(w3 * 2) ~cout:w3 ~k:3
+  in
+  (* bottom-up path *)
+  let d3 = Blocks.conv_bn_act t ~stride:2 ~pad:1 p3 ~cin:w3 ~cout:w4 ~k:3 in
+  let n4 =
+    Blocks.conv_bn_act t ~pad:1
+      (Blocks.op1 t (Op.Concat { axis = 1 }) [ d3; p4 ])
+      ~cin:(w4 * 2) ~cout:w4 ~k:3
+  in
+  let d4 = Blocks.conv_bn_act t ~stride:2 ~pad:1 n4 ~cin:w4 ~cout:(width * 16) ~k:3 in
+  let n5 =
+    Blocks.conv_bn_act t ~pad:1
+      (Blocks.op1 t (Op.Concat { axis = 1 }) [ d4; lat5 ])
+      ~cin:(width * 16 + w4) ~cout:(width * 16) ~k:3
+  in
+  let h3 = head t p3 ~ch:w3 in
+  let h4 = head t n4 ~ch:w4 in
+  let h5 = head t n5 ~ch:(width * 16) in
+  let detections = Blocks.op1 t (Op.Concat { axis = 1 }) [ h3; h4; h5 ] in
+  Blocks.finish t ~outputs:[ detections ]

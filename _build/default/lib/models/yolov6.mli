@@ -1,0 +1,8 @@
+(** YOLO-V6-style detector over a symbolic [H]×[W] input (multiples of
+    32): RepVGG-flavoured backbone, PAN neck whose upsampling extents are
+    read from lateral feature shapes at run time (a dynamic [Resize]),
+    and anchor-free heads concatenated into one detection tensor. *)
+
+val classes : int
+
+val build : ?width:int -> unit -> Graph.t

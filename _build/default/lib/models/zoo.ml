@@ -1,0 +1,166 @@
+type dynamism =
+  | Shape_dyn
+  | Control_dyn
+  | Both_dyn
+
+type spec = {
+  name : string;
+  paper_name : string;
+  dynamism : dynamism;
+  input_desc : string;
+  build : unit -> Graph.t;
+  dim_choices : (string * int list) list;
+}
+
+let range lo hi step =
+  let rec go v acc = if v > hi then List.rev acc else go (v + step) (v :: acc) in
+  go lo []
+
+(* Paper §5.1: SD-Encoder and SegmentAnything sample 64–224; images for the
+   detection/classification models sample 224–640 (multiples of 32 for
+   YOLO-V6; we keep 32-alignment everywhere so every downsampling stage
+   divides evenly); sequences sample 32–384. *)
+let small_image = [ "H", range 64 224 32; "W", range 64 224 32 ]
+let large_image = [ "H", range 224 640 32; "W", range 224 640 32 ]
+
+let all =
+  [
+    {
+      name = "stable-diffusion-encoder";
+      paper_name = "StableDiffusion";
+      dynamism = Shape_dyn;
+      input_desc = "Text + Image";
+      build = (fun () -> Sd_encoder.build ());
+      dim_choices = small_image;
+    };
+    {
+      name = "segment-anything";
+      paper_name = "SegmentAnything";
+      dynamism = Shape_dyn;
+      input_desc = "Text + Image";
+      build = (fun () -> Segment_anything.build ());
+      dim_choices = small_image;
+    };
+    {
+      name = "conformer";
+      paper_name = "Conformer";
+      dynamism = Shape_dyn;
+      input_desc = "Audio";
+      build = (fun () -> Conformer.build ());
+      dim_choices = [ "T", range 32 384 16 ];
+    };
+    {
+      name = "codebert";
+      paper_name = "CodeBERT";
+      dynamism = Shape_dyn;
+      input_desc = "Text";
+      build = (fun () -> Codebert.build ());
+      dim_choices = [ "S", range 32 384 16 ];
+    };
+    {
+      name = "yolov6";
+      paper_name = "YOLO-V6";
+      dynamism = Shape_dyn;
+      input_desc = "Image";
+      build = (fun () -> Yolov6.build ());
+      dim_choices = large_image;
+    };
+    {
+      name = "skipnet";
+      paper_name = "SkipNet";
+      dynamism = Both_dyn;
+      input_desc = "Image";
+      build = (fun () -> Skipnet.build ());
+      dim_choices = large_image;
+    };
+    {
+      name = "dgnet";
+      paper_name = "DGNet";
+      dynamism = Control_dyn;
+      input_desc = "Image";
+      build = (fun () -> Dgnet.build ());
+      dim_choices = [];
+    };
+    {
+      name = "convnet-aig";
+      paper_name = "ConvNet-AIG";
+      dynamism = Both_dyn;
+      input_desc = "Image";
+      build = (fun () -> Convnet_aig.build ());
+      dim_choices = large_image;
+    };
+    {
+      name = "ranet";
+      paper_name = "RaNet";
+      dynamism = Both_dyn;
+      input_desc = "Image";
+      build = (fun () -> Ranet.build ());
+      dim_choices = large_image;
+    };
+    {
+      name = "blockdrop";
+      paper_name = "BlockDrop";
+      dynamism = Both_dyn;
+      input_desc = "Image";
+      build = (fun () -> Blockdrop.build ());
+      dim_choices = large_image;
+    };
+  ]
+
+let by_name n = List.find_opt (fun s -> s.name = n) all
+
+let sample_env spec rng =
+  List.fold_left
+    (fun env (sym, choices) -> Env.bind sym (Rng.pick rng choices) env)
+    Env.empty spec.dim_choices
+
+let percentile_env spec p =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  List.fold_left
+    (fun env (sym, choices) ->
+      let n = List.length choices in
+      let idx = min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)) in
+      Env.bind sym (List.nth choices idx) env)
+    Env.empty spec.dim_choices
+
+let min_env spec = percentile_env spec 0.0
+let max_env spec = percentile_env spec 1.0
+
+let concrete_input_dims g env tid =
+  match Graph.input_shape g tid with
+  | Some s -> (
+    match Shape.eval env s with
+    | Some dims -> dims
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Zoo: input t%d has unbound shape variables (%s)" tid
+           (Shape.to_string s)))
+  | None -> invalid_arg "Zoo: not a graph input"
+
+let is_token_input g tid =
+  let name = (Graph.tensor g tid).Graph.tname in
+  String.length name >= 3 && String.sub name 0 3 = "ids"
+
+let make_inputs spec g env rng =
+  ignore spec;
+  List.map
+    (fun tid ->
+      let dims = concrete_input_dims g env tid in
+      let t =
+        if is_token_input g tid then
+          let n = List.fold_left ( * ) 1 dims in
+          Tensor.create_i dims (Array.init n (fun _ -> Rng.int rng Codebert.vocab))
+        else Tensor.rand_uniform rng dims
+      in
+      tid, t)
+    (Graph.inputs g)
+
+let input_dims spec g env =
+  ignore spec;
+  List.map (fun tid -> tid, concrete_input_dims g env tid) (Graph.inputs g)
+
+let gate_count g =
+  Array.fold_left
+    (fun acc (nd : Graph.node) ->
+      match nd.op with Op.Switch _ -> acc + 1 | _ -> acc)
+    0 (Graph.nodes g)

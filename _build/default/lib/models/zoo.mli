@@ -1,0 +1,49 @@
+(** The model zoo: structurally-faithful builders of the ten dynamic DNNs
+    the paper evaluates (§5.1), with the paper's input-dimension ranges.
+
+    The graphs reproduce each model's {e structure and dynamism} — layer
+    composition, symbolic input extents and input-dependent
+    [<Switch, Combine>] gates — with random weights, at widths scaled down
+    so the reference interpreter remains usable for correctness testing.
+    The paper notes inference cost depends only on structure, not learned
+    weights. *)
+
+type dynamism =
+  | Shape_dyn
+  | Control_dyn
+  | Both_dyn
+
+type spec = {
+  name : string;
+  paper_name : string;  (** name as it appears in the paper's tables *)
+  dynamism : dynamism;
+  input_desc : string;  (** e.g. "Image", "Text", "Audio" *)
+  build : unit -> Graph.t;
+  dim_choices : (string * int list) list;
+      (** shape variable → admissible values (the paper's sample ranges) *)
+}
+
+val all : spec list
+(** The ten models, in the paper's Table 5 order. *)
+
+val by_name : string -> spec option
+
+val sample_env : spec -> Rng.t -> Env.t
+(** Draw one input-shape sample (uniform over each variable's choices). *)
+
+val percentile_env : spec -> float -> Env.t
+(** Deterministic valuation at a size percentile in [\[0, 1\]] — used for
+    the Table 7 input-distribution study. *)
+
+val min_env : spec -> Env.t
+val max_env : spec -> Env.t
+
+val make_inputs : spec -> Graph.t -> Env.t -> Rng.t -> (Graph.tensor_id * Tensor.t) list
+(** Concrete input tensors for real-mode execution: integer token ids for
+    inputs named [ids*], uniform floats otherwise. *)
+
+val input_dims : spec -> Graph.t -> Env.t -> (Graph.tensor_id * int list) list
+(** Concrete input extents for dry-mode execution. *)
+
+val gate_count : Graph.t -> int
+(** Number of [<Switch, Combine>] gates in the graph. *)

@@ -1,0 +1,1 @@
+lib/runtime/arena_exec.ml: Array Exec_plan Fusion Graph Hashtbl Kernels List Mem_plan Op Pipeline Printf Tensor

@@ -1,0 +1,1 @@
+lib/runtime/arena_exec.mli: Env Graph Pipeline Tensor

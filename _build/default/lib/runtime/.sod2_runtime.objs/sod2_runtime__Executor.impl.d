@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Cost_model Exec_plan Expr Fusion Graph Hashtbl Kernels Lattice List Multi_version Op Option Pipeline Printf Shape Shape_fn Tensor Value_info

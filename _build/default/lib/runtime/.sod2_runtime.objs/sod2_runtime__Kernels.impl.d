@@ -1,0 +1,1 @@
+lib/runtime/kernels.ml: Array Float Fun Linalg List Op Printf Reduction Tensor Transform

@@ -1,0 +1,1 @@
+lib/runtime/kernels.mli: Op Tensor

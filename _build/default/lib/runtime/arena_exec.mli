@@ -1,0 +1,29 @@
+(** Arena-backed execution: interpret a compiled model with every
+    statically-planned float tensor living at its {!Mem_plan} offset inside
+    one linear buffer, exactly as the mobile runtime the paper targets
+    would.
+
+    Because offsets are reused across lifetimes, an incorrect memory plan
+    (overlapping a tensor that is still live) silently corrupts values —
+    so running a model through this executor and comparing its outputs
+    against the table-based {!Executor.run_real} is an end-to-end proof
+    that the plan's lifetime analysis and placement are sound, not merely
+    that the {!Mem_plan.validate} invariant checker is happy.
+
+    Integer tensors, execution-determined (dynamically sized) tensors and
+    fusion-internal temporaries are kept out of the arena (side tables /
+    transient), mirroring the real runtime's treatment. *)
+
+type result = {
+  outputs : (Graph.tensor_id * Tensor.t) list;
+  arena_bytes : int;  (** size of the linear buffer that was used *)
+  arena_resident : int;  (** tensors that lived in the arena *)
+}
+
+val run :
+  Pipeline.compiled -> env:Env.t -> inputs:(Graph.tensor_id * Tensor.t) list ->
+  result
+(** Execute with the memory plan instantiated for [env] (which must bind
+    the model's shape variables consistently with [inputs]).  Raises
+    [Invalid_argument] if a planned tensor's actual extent disagrees with
+    the plan. *)

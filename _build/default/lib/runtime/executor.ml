@@ -1,0 +1,419 @@
+type mode =
+  | Real
+  | Dry
+
+type control =
+  | Selected_only
+  | All_paths
+
+type group_exec = {
+  step : int;
+  gid : int;
+  ops : (Op.t * int list list * int list list) list;
+  external_bytes : int;
+  internal_bytes : int;
+  gemm : (int * int * int) option;
+}
+
+type tensor_event = {
+  te_tid : Graph.tensor_id;
+  te_bytes : int;
+  te_alloc : int;
+  te_free : int;
+}
+
+type trace = {
+  steps : group_exec list;
+  events : tensor_event list;
+  out_dims : (Graph.tensor_id * int list) list;
+  nodes_executed : int;
+}
+
+exception Unresolved of string
+
+type state = {
+  dims : int list option array;
+  ivals : int list option array;
+  avail : bool array;
+  tensors : Tensor.t option array;
+}
+
+let bytes_of_dims dims = 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims
+
+let init_state (c : Pipeline.compiled) ~keep_tensors =
+  let g = c.graph in
+  let n = Graph.tensor_count g in
+  let st =
+    {
+      dims = Array.make n None;
+      ivals = Array.make n None;
+      avail = Array.make n false;
+      tensors = Array.make n None;
+    }
+  in
+  for tid = 0 to n - 1 do
+    match (Graph.tensor g tid).kind with
+    | Graph.Const t ->
+      st.dims.(tid) <- Some (Tensor.dims t);
+      st.avail.(tid) <- true;
+      if keep_tensors then st.tensors.(tid) <- Some t;
+      if Tensor.dtype t = Tensor.I64 && Tensor.numel t <= Value_info.max_tracked_elements
+      then st.ivals.(tid) <- Some (Tensor.to_int_list t)
+    | Graph.Input _ | Graph.Activation -> ()
+  done;
+  st
+
+(* Membership structures shared by both modes. *)
+type ctx = {
+  c : Pipeline.compiled;
+  internal : (Graph.tensor_id, unit) Hashtbl.t;
+  out_tids : Graph.tensor_id list;
+}
+
+let make_ctx (c : Pipeline.compiled) =
+  let internal = Hashtbl.create 64 in
+  Array.iter
+    (fun (grp : Fusion.group) ->
+      List.iter (fun tid -> Hashtbl.replace internal tid ()) grp.internal)
+    c.fusion_plan.groups;
+  { c; internal; out_tids = Graph.outputs c.graph }
+
+let is_internal ctx tid = Hashtbl.mem ctx.internal tid
+
+let switch_pred_tid (nd : Graph.node) =
+  match nd.inputs with
+  | [ _; pred ] -> pred
+  | _ -> invalid_arg "Executor: Switch expects [data; pred]"
+
+let combine_pred_tid (nd : Graph.node) =
+  match List.rev nd.inputs with
+  | pred :: _ -> pred
+  | [] -> invalid_arg "Executor: Combine without inputs"
+
+(* --- dry-mode node execution ------------------------------------- *)
+
+let value_info_of st g tid : Value_info.t =
+  match st.ivals.(tid) with
+  | Some ints -> Value_info.of_ints ints
+  | None -> (
+    ignore g;
+    if st.avail.(tid) then Lattice.Nac else Value_info.undef)
+
+let eval_value_info (v : Value_info.t) : int list option =
+  match Value_info.as_exprs v with
+  | Some exprs ->
+    let ints = Array.to_list exprs |> List.map (Expr.eval (fun _ -> None)) in
+    if List.for_all Option.is_some ints then Some (List.map Option.get ints) else None
+  | None -> None
+
+let dry_forward ctx st (nd : Graph.node) =
+  let g = ctx.c.graph in
+  let in_dims = List.map (fun tid -> Option.get st.dims.(tid)) nd.inputs in
+  match nd.op with
+  | Op.NonZero ->
+    let d = List.hd in_dims in
+    let r = List.length d in
+    let count = List.fold_left (fun a x -> a * max 1 x) 1 d / 2 in
+    [ [ max r 1; max 1 count ] ], [ None ]
+  | Op.NonMaxSuppression { max_out; _ } ->
+    let n = match List.hd in_dims with n :: _ -> n | [] -> 0 in
+    [ [ min max_out (max 1 (n / 4)); 3 ] ], [ None ]
+  | Op.If | Op.Loop -> raise (Unresolved "If/Loop have no dry interpretation")
+  | _ ->
+    let io =
+      {
+        Shape_fn.in_shapes =
+          Array.of_list (List.map (fun d -> Shape.of_ints d) in_dims);
+        in_values =
+          Array.of_list (List.map (fun tid -> value_info_of st g tid) nd.inputs);
+      }
+    in
+    let out_shapes, out_values = Shape_fn.forward nd.op io in
+    let dims =
+      Array.to_list out_shapes
+      |> List.map (fun s ->
+             match Shape.as_ints s with
+             | Some d -> d
+             | None ->
+               raise
+                 (Unresolved
+                    (Printf.sprintf "node %s: output shape %s not concrete" nd.nname
+                       (Shape.to_string s))))
+    in
+    let vals = Array.to_list out_values |> List.map eval_value_info in
+    dims, vals
+
+(* --- shared driver ------------------------------------------------ *)
+
+let run_engine ~mode ~control ~gate ctx st =
+  let c = ctx.c in
+  let g = c.graph in
+  let step_of_group = Hashtbl.create 64 in
+  let steps = ref [] in
+  let produced = ref [] in
+  (* (tid, bytes, step) *)
+  let nodes_executed = ref 0 in
+  let step_counter = ref 0 in
+  let branch_of_pred tid =
+    match mode with
+    | Dry -> gate tid
+    | Real -> (
+      match st.tensors.(tid) with
+      | Some t -> (
+        match Tensor.to_int_list (Tensor.cast t Tensor.I64) with
+        | b :: _ -> b
+        | [] -> 0)
+      | None -> gate tid)
+  in
+  let exec_switch (nd : Graph.node) branches =
+    let data = List.hd nd.inputs in
+    let pred = switch_pred_tid nd in
+    let b = max 0 (min (branches - 1) (branch_of_pred pred)) in
+    List.iteri
+      (fun i tid ->
+        let route = control = All_paths || i = b in
+        if route then begin
+          st.dims.(tid) <- st.dims.(data);
+          st.ivals.(tid) <- st.ivals.(data);
+          st.tensors.(tid) <- st.tensors.(data);
+          st.avail.(tid) <- true
+        end)
+      nd.outputs
+  in
+  let exec_combine (nd : Graph.node) branches =
+    let pred = combine_pred_tid nd in
+    let branch_tids = List.filteri (fun i _ -> i < branches) nd.inputs in
+    let chosen =
+      match control with
+      | All_paths ->
+        let b = max 0 (min (branches - 1) (branch_of_pred pred)) in
+        List.nth_opt branch_tids b
+      | Selected_only -> List.find_opt (fun tid -> st.avail.(tid)) branch_tids
+    in
+    match chosen with
+    | Some src ->
+      let dst = List.hd nd.outputs in
+      st.dims.(dst) <- st.dims.(src);
+      st.ivals.(dst) <- st.ivals.(src);
+      st.tensors.(dst) <- st.tensors.(src);
+      st.avail.(dst) <- true;
+      true
+    | None -> false
+  in
+  let node_ready ~member_tids (nd : Graph.node) =
+    (* Tensors produced by earlier members of the same group become
+       available during group execution. *)
+    let ok tid = st.avail.(tid) || List.mem tid member_tids in
+    match nd.op with
+    | Op.Combine { branches } ->
+      ok (combine_pred_tid nd)
+      && (match control with
+         | Selected_only ->
+           List.exists ok (List.filteri (fun i _ -> i < branches) nd.inputs)
+         | All_paths -> true)
+    | _ -> List.for_all ok nd.inputs
+  in
+  let exec_plain (nd : Graph.node) =
+    match mode with
+    | Dry ->
+      let dims, vals = dry_forward ctx st nd in
+      List.iteri
+        (fun i tid ->
+          st.dims.(tid) <- Some (List.nth dims i);
+          st.ivals.(tid) <- List.nth vals i;
+          st.avail.(tid) <- true)
+        nd.outputs
+    | Real ->
+      let inputs = List.map (fun tid -> Option.get st.tensors.(tid)) nd.inputs in
+      let outs = Kernels.run nd.op inputs in
+      List.iteri
+        (fun i tid ->
+          let t = List.nth outs i in
+          st.tensors.(tid) <- Some t;
+          st.dims.(tid) <- Some (Tensor.dims t);
+          if Tensor.dtype t = Tensor.I64
+             && Tensor.numel t <= Value_info.max_tracked_elements
+          then st.ivals.(tid) <- Some (Tensor.to_int_list t);
+          st.avail.(tid) <- true)
+        nd.outputs
+  in
+  List.iter
+    (fun gid ->
+      let grp = c.fusion_plan.groups.(gid) in
+      let members = List.map (Graph.node g) grp.members in
+      let member_tids = List.concat_map (fun (nd : Graph.node) -> nd.Graph.outputs) members in
+      let ready = List.for_all (node_ready ~member_tids) members in
+      (* Combine fires when its selected branch arrived even though other
+         branch inputs are missing; plain nodes need everything. *)
+      if ready then begin
+        let executed_all =
+          List.for_all
+            (fun nd ->
+              match nd.Graph.op with
+              | Op.Switch { branches } ->
+                exec_switch nd branches;
+                true
+              | Op.Combine { branches } -> exec_combine nd branches
+              | _ ->
+                exec_plain nd;
+                true)
+            members
+        in
+        if executed_all then begin
+          let step = !step_counter in
+          incr step_counter;
+          Hashtbl.replace step_of_group gid step;
+          nodes_executed := !nodes_executed + List.length members;
+          (* Record extents, traffic and events. *)
+          let ops =
+            List.map
+              (fun (nd : Graph.node) ->
+                let ind = List.map (fun tid -> Option.value ~default:[] st.dims.(tid)) nd.inputs in
+                let outd =
+                  List.map (fun tid -> Option.value ~default:[] st.dims.(tid)) nd.outputs
+                in
+                nd.op, ind, outd)
+              members
+          in
+          let external_inputs =
+            List.concat_map (fun (nd : Graph.node) -> nd.Graph.inputs) members
+            |> List.sort_uniq compare
+            |> List.filter (fun tid -> not (List.mem tid member_tids))
+          in
+          let in_bytes =
+            List.fold_left
+              (fun acc tid ->
+                match st.dims.(tid) with
+                | Some d -> acc + bytes_of_dims d
+                | None -> acc)
+              0 external_inputs
+          in
+          let out_bytes = ref 0 and internal_bytes = ref 0 in
+          List.iter
+            (fun (nd : Graph.node) ->
+              (* Switch outputs alias their input; they cost no memory. *)
+              if not (Op.is_control_flow nd.Graph.op) then
+                List.iter
+                  (fun tid ->
+                    match st.dims.(tid) with
+                    | Some d ->
+                      let b = bytes_of_dims d in
+                      if is_internal ctx tid then internal_bytes := !internal_bytes + b
+                      else begin
+                        out_bytes := !out_bytes + b;
+                        produced := (tid, b, step) :: !produced
+                      end
+                    | None -> ())
+                  nd.Graph.outputs)
+            members;
+          let gemm =
+            List.find_map
+              (fun (op, ind, outd) ->
+                Multi_version.gemm_dims_of_op op ~in_dims:ind ~out_dims:outd)
+              ops
+          in
+          steps :=
+            {
+              step;
+              gid;
+              ops;
+              external_bytes = in_bytes + !out_bytes;
+              internal_bytes = !internal_bytes;
+              gemm;
+            }
+            :: !steps
+        end
+      end)
+    c.exec.Exec_plan.order;
+  (* Lifetime events for materialized tensors. *)
+  let last_step = max 0 (!step_counter - 1) in
+  let events =
+    List.rev_map
+      (fun (tid, bytes, alloc) ->
+        let free =
+          if List.mem tid ctx.out_tids then last_step
+          else
+            List.fold_left
+              (fun acc cnid ->
+                match
+                  Hashtbl.find_opt step_of_group c.fusion_plan.group_of.(cnid)
+                with
+                | Some s -> max acc s
+                | None -> acc)
+              alloc
+              (Graph.consumers g tid)
+        in
+        { te_tid = tid; te_bytes = bytes; te_alloc = alloc; te_free = free })
+      !produced
+  in
+  let out_dims =
+    List.filter_map
+      (fun tid ->
+        match st.dims.(tid) with Some d -> Some (tid, d) | None -> None)
+      ctx.out_tids
+  in
+  {
+    steps = List.rev !steps;
+    events;
+    out_dims;
+    nodes_executed = !nodes_executed;
+  }
+
+let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compiled)
+    ~input_dims =
+  let ctx = make_ctx c in
+  let st = init_state c ~keep_tensors:false in
+  List.iter
+    (fun (tid, dims) ->
+      st.dims.(tid) <- Some dims;
+      st.avail.(tid) <- true)
+    input_dims;
+  List.iter
+    (fun tid ->
+      if not st.avail.(tid) then
+        raise (Unresolved (Printf.sprintf "graph input t%d has no concrete dims" tid)))
+    (Graph.inputs c.graph);
+  run_engine ~mode:Dry ~control ~gate ctx st
+
+let run_real ?(control = Selected_only) (c : Pipeline.compiled) ~inputs =
+  let ctx = make_ctx c in
+  let st = init_state c ~keep_tensors:true in
+  List.iter
+    (fun (tid, t) ->
+      st.tensors.(tid) <- Some t;
+      st.dims.(tid) <- Some (Tensor.dims t);
+      if Tensor.dtype t = Tensor.I64 && Tensor.numel t <= Value_info.max_tracked_elements
+      then st.ivals.(tid) <- Some (Tensor.to_int_list t);
+      st.avail.(tid) <- true)
+    inputs;
+  let trace = run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ctx st in
+  let outs =
+    List.filter_map
+      (fun tid ->
+        match st.tensors.(tid) with Some t -> Some (tid, t) | None -> None)
+      ctx.out_tids
+  in
+  trace, outs
+
+let peak_live_bytes trace =
+  let last =
+    List.fold_left (fun acc e -> max acc e.te_free) 0 trace.events
+  in
+  let peak = ref 0 in
+  for s = 0 to last do
+    let live =
+      List.fold_left
+        (fun acc e -> if e.te_alloc <= s && s <= e.te_free then acc + e.te_bytes else acc)
+        0 trace.events
+    in
+    if live > !peak then peak := live
+  done;
+  !peak
+
+let total_flops trace =
+  List.fold_left
+    (fun acc ge ->
+      List.fold_left
+        (fun acc (op, ind, outd) -> acc +. Cost_model.flops op ~in_dims:ind ~out_dims:outd)
+        acc ge.ops)
+    0.0 trace.steps

@@ -1,0 +1,85 @@
+(** Plan executor.
+
+    Executes a compiled model over one input sample, following the static
+    execution order, the fusion plan (group-internal tensors are never
+    materialized) and the [<Switch, Combine>] routing.  Two modes:
+
+    - [Real] — tensors are actually computed with {!Kernels}; used by the
+      correctness tests and the examples;
+    - [Dry] — only concrete shapes (and the small integer values that feed
+      shape computations) propagate; used by the evaluation harness, which
+      sweeps hundreds of (model × sample × framework × device)
+      combinations that would be prohibitively slow to interpret.
+
+    Control flow executes either [Selected_only] (SoD²: the predicate
+    routes exactly one branch) or [All_paths] (the baseline frameworks'
+    "execute every branch and strip invalid results" strategy).
+
+    The result is a {!trace}: per-step operator extents for latency
+    costing, and per-tensor allocation events for memory accounting.  The
+    framework simulators turn traces into latency/memory figures under
+    their own policies.
+
+    In [Dry] mode, execution-determined extents that depend on tensor
+    {e contents} are drawn deterministically: [NonZero] yields half its
+    input elements, [NonMaxSuppression] a quarter of its boxes, and
+    [Switch] predicates come from the [gate] callback (seeded per sample
+    by the workload generator), so input-dependent paths vary across
+    samples exactly as real predicates would. *)
+
+type mode =
+  | Real
+  | Dry
+
+type control =
+  | Selected_only
+  | All_paths
+
+type group_exec = {
+  step : int;
+  gid : int;
+  ops : (Op.t * int list list * int list list) list;
+      (** member ops with concrete input/output extents *)
+  external_bytes : int;  (** traffic: materialized inputs + outputs *)
+  internal_bytes : int;  (** traffic avoided by fusion *)
+  gemm : (int * int * int) option;  (** implicit-GEMM extents of the heavy member *)
+}
+
+type tensor_event = {
+  te_tid : Graph.tensor_id;
+  te_bytes : int;
+  te_alloc : int;  (** step index when produced *)
+  te_free : int;  (** step index after which it is dead *)
+}
+
+type trace = {
+  steps : group_exec list;  (** executed groups, in order *)
+  events : tensor_event list;  (** materialized intermediate tensors *)
+  out_dims : (Graph.tensor_id * int list) list;  (** graph outputs' extents *)
+  nodes_executed : int;
+}
+
+exception Unresolved of string
+(** Raised in [Dry] mode when a shape could not be resolved concretely —
+    indicates a gap in the operator's transfer function. *)
+
+val run_dry :
+  ?control:control -> ?gate:(Graph.tensor_id -> int) ->
+  Pipeline.compiled -> input_dims:(Graph.tensor_id * int list) list -> trace
+(** Shape-only execution.  [gate pred_tid] chooses the branch taken at the
+    Switch/Combine pair keyed by predicate tensor [pred_tid] (default:
+    branch 0). *)
+
+val run_real :
+  ?control:control -> Pipeline.compiled ->
+  inputs:(Graph.tensor_id * Tensor.t) list ->
+  trace * (Graph.tensor_id * Tensor.t) list
+(** Full interpretation; returns the trace and the graph output tensors.
+    Switch predicates are read from the computed predicate tensors. *)
+
+(** {1 Accounting helpers} *)
+
+val peak_live_bytes : trace -> int
+(** Event-based peak of simultaneously-live materialized intermediates. *)
+
+val total_flops : trace -> float

@@ -1,0 +1,258 @@
+let erf x =
+  (* Abramowitz–Stegun 7.1.26, |error| < 1.5e-7. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. (((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t -. 0.284496736)
+       *. t *. t *. exp (-.x *. x)
+  in
+  sign *. y
+
+let unary_fn : Op.unary -> float -> float = function
+  | Op.Relu -> fun v -> Float.max 0.0 v
+  | Op.LeakyRelu alpha -> fun v -> if v >= 0.0 then v else alpha *. v
+  | Op.Sigmoid -> fun v -> 1.0 /. (1.0 +. exp (-.v))
+  | Op.Tanh -> tanh
+  | Op.Exp -> exp
+  | Op.Log -> log
+  | Op.Sqrt -> sqrt
+  | Op.Neg -> fun v -> -.v
+  | Op.Abs -> Float.abs
+  | Op.Erf -> erf
+  | Op.Gelu -> fun v -> 0.5 *. v *. (1.0 +. erf (v /. sqrt 2.0))
+  | Op.HardSwish -> fun v -> v *. Float.max 0.0 (Float.min 1.0 ((v /. 6.0) +. 0.5))
+  | Op.Softplus -> fun v -> log (1.0 +. exp v)
+  | Op.Floor -> Float.floor
+  | Op.Ceil -> Float.ceil
+  | Op.Round -> Float.round
+  | Op.Not -> fun v -> if v = 0.0 then 1.0 else 0.0
+  | Op.Identity -> Fun.id
+  | Op.Sign -> fun v -> if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0
+  | Op.Reciprocal -> fun v -> 1.0 /. v
+  | Op.Softsign -> fun v -> v /. (1.0 +. Float.abs v)
+
+let float_binary_fn : Op.binary -> float -> float -> float = function
+  | Op.Add -> ( +. )
+  | Op.Sub -> ( -. )
+  | Op.Mul -> ( *. )
+  | Op.Div -> ( /. )
+  | Op.Pow -> Float.pow
+  | Op.Max2 -> Float.max
+  | Op.Min2 -> Float.min
+  | Op.Mod2 -> fun a b -> a -. (Float.of_int (int_of_float (a /. b)) *. b)
+  | Op.Equal -> fun a b -> if a = b then 1.0 else 0.0
+  | Op.Less -> fun a b -> if a < b then 1.0 else 0.0
+  | Op.Greater -> fun a b -> if a > b then 1.0 else 0.0
+  | Op.And -> fun a b -> if a <> 0.0 && b <> 0.0 then 1.0 else 0.0
+  | Op.Or -> fun a b -> if a <> 0.0 || b <> 0.0 then 1.0 else 0.0
+
+let int_binary_fn : Op.binary -> int -> int -> int = function
+  | Op.Add -> ( + )
+  | Op.Sub -> ( - )
+  | Op.Mul -> ( * )
+  | Op.Div -> ( / )
+  | Op.Pow -> fun a b -> int_of_float (float_of_int a ** float_of_int b)
+  | Op.Max2 -> max
+  | Op.Min2 -> min
+  | Op.Mod2 -> ( mod )
+  | Op.Equal -> fun a b -> if a = b then 1 else 0
+  | Op.Less -> fun a b -> if a < b then 1 else 0
+  | Op.Greater -> fun a b -> if a > b then 1 else 0
+  | Op.And -> fun a b -> if a <> 0 && b <> 0 then 1 else 0
+  | Op.Or -> fun a b -> if a <> 0 || b <> 0 then 1 else 0
+
+let reduce_kind : Op.reduce_kind -> Reduction.kind = function
+  | Op.Rsum -> Reduction.Sum
+  | Op.Rmean -> Reduction.Mean
+  | Op.Rmax -> Reduction.Max
+  | Op.Rmin -> Reduction.Min
+  | Op.Rprod -> Reduction.Prod
+  | Op.Rl2 -> Reduction.L2
+
+let arg_err op msg =
+  invalid_arg (Printf.sprintf "Kernels.run %s: %s" (Op.name op) msg)
+
+let resolve_reshape_dims data target =
+  let total = Tensor.numel data in
+  let in_dims = Tensor.dims data in
+  let dims =
+    List.mapi
+      (fun i d -> if d = 0 then List.nth in_dims i else d)
+      (Tensor.to_int_list target)
+  in
+  if List.mem (-1) dims then begin
+    let known = List.fold_left (fun acc d -> if d = -1 then acc else acc * d) 1 dims in
+    List.map (fun d -> if d = -1 then total / max 1 known else d) dims
+  end
+  else dims
+
+let run (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
+  match op, inputs with
+  | Op.Unary u, [ x ] -> (
+    match Tensor.dtype x, u with
+    | Tensor.I64, Op.Identity -> [ x ]
+    | Tensor.I64, Op.Neg -> [ Tensor.map_i (fun v -> -v) x ]
+    | Tensor.I64, Op.Abs -> [ Tensor.map_i abs x ]
+    | Tensor.I64, Op.Not -> [ Tensor.map_i (fun v -> if v = 0 then 1 else 0) x ]
+    | Tensor.I64, _ -> [ Tensor.map_f (unary_fn u) (Tensor.cast x Tensor.F32) ]
+    | Tensor.F32, _ -> [ Tensor.map_f (unary_fn u) x ])
+  | Op.Binary b, [ x; y ] -> (
+    match Tensor.dtype x, Tensor.dtype y with
+    | Tensor.I64, Tensor.I64 -> [ Tensor.map2i (int_binary_fn b) x y ]
+    | _ ->
+      [ Tensor.map2 (float_binary_fn b) (Tensor.cast x Tensor.F32) (Tensor.cast y Tensor.F32) ])
+  | Op.Clip (lo, hi), [ x ] -> [ Tensor.map_f (fun v -> Float.min hi (Float.max lo v)) x ]
+  | Op.Cast dt, [ x ] -> [ Tensor.cast x dt ]
+  | Op.Where, [ c; a; b ] -> [ Transform.where (Tensor.cast c Tensor.I64) a b ]
+  | Op.MatMul, [ a; b ] -> [ Linalg.matmul a b ]
+  | Op.Gemm { alpha; beta; trans_a; trans_b }, (a :: b :: rest) ->
+    let c = match rest with [ c ] -> Some c | _ -> None in
+    [ Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c ]
+  | Op.Conv { stride; pads; dilation; groups }, (x :: w :: rest) ->
+    let b = match rest with [ b ] -> Some b | _ -> None in
+    [ Linalg.conv2d ~stride ~pad:pads ~dilation ~groups x w b ]
+  | Op.Conv1d { stride1; pads1; dilation1; groups1 }, (x :: w :: rest) ->
+    let b = match rest with [ b ] -> Some b | _ -> None in
+    [ Linalg.conv1d ~stride:stride1 ~pad:pads1 ~dilation:dilation1 ~groups:groups1 x w b ]
+  | Op.MaxPool { kernel; pool_stride; pool_pads }, [ x ] ->
+    [ Linalg.max_pool2d ~kernel ~stride:pool_stride ~pad:pool_pads x ]
+  | Op.AveragePool { kernel; pool_stride; pool_pads }, [ x ] ->
+    [ Linalg.avg_pool2d ~kernel ~stride:pool_stride ~pad:pool_pads x ]
+  | Op.GlobalAveragePool, [ x ] -> [ Linalg.global_avg_pool x ]
+  | Op.BatchNorm { eps }, [ x; scale; bias; mean; var ] ->
+    [ Reduction.batch_norm x ~scale ~bias ~mean ~var ~eps ]
+  | Op.LayerNorm { eps }, [ x; gamma; beta ] -> [ Reduction.layer_norm x ~gamma ~beta ~eps ]
+  | Op.GroupNorm { num_groups; eps }, [ x; gamma; beta ] ->
+    [ Reduction.group_norm x ~groups:num_groups ~gamma ~beta ~eps ]
+  | Op.InstanceNorm { eps }, [ x; gamma; beta ] ->
+    (* instance norm = group norm with one group per channel *)
+    let channels = List.nth (Tensor.dims x) 1 in
+    [ Reduction.group_norm x ~groups:channels ~gamma ~beta ~eps ]
+  | Op.Softmax { axis }, [ x ] -> [ Reduction.softmax x ~axis ]
+  | Op.LogSoftmax { axis }, [ x ] -> [ Reduction.log_softmax x ~axis ]
+  | Op.Reduce { rkind; axes; keepdims }, [ x ] ->
+    [ Reduction.reduce (reduce_kind rkind) x ~axes ~keepdims ]
+  | Op.ArgMax { axis; keepdims }, [ x ] -> [ Reduction.argmax x ~axis ~keepdims ]
+  | Op.ArgMin { axis; keepdims }, [ x ] -> [ Reduction.argmin x ~axis ~keepdims ]
+  | Op.CumSum { axis }, [ x ] -> [ Reduction.cumsum x ~axis ]
+  | Op.Transpose perm, [ x ] -> [ Transform.transpose x perm ]
+  | Op.Reshape, [ x; target ] -> [ Tensor.reshape x (resolve_reshape_dims x target) ]
+  | Op.Flatten { axis }, [ x ] ->
+    let d = Tensor.dims x in
+    let r = List.length d in
+    let axis = if axis < 0 then axis + r else axis in
+    let pre = List.filteri (fun i _ -> i < axis) d |> List.fold_left ( * ) 1 in
+    [ Tensor.reshape x [ pre; Tensor.numel x / max 1 pre ] ]
+  | Op.Squeeze axes, [ x ] ->
+    let d = Tensor.dims x in
+    let r = List.length d in
+    let axes = List.map (fun a -> if a < 0 then a + r else a) axes in
+    [ Tensor.reshape x (List.filteri (fun i _ -> not (List.mem i axes)) d) ]
+  | Op.Unsqueeze axes, [ x ] ->
+    let r = Tensor.rank x + List.length axes in
+    let axes = List.map (fun a -> if a < 0 then a + r else a) axes in
+    let rec weave i src =
+      if i >= r then []
+      else if List.mem i axes then 1 :: weave (i + 1) src
+      else
+        match src with
+        | d :: rest -> d :: weave (i + 1) rest
+        | [] -> 1 :: weave (i + 1) []
+    in
+    [ Tensor.reshape x (weave 0 (Tensor.dims x)) ]
+  | Op.Concat { axis }, (_ :: _ as xs) -> [ Transform.concat xs ~axis ]
+  | Op.Split { axis; sizes }, [ x ] -> Transform.split x ~axis ~sizes
+  | Op.Slice, [ x; starts; ends; axes; steps ] ->
+    [
+      Transform.slice x
+        ~starts:(Tensor.to_int_list starts)
+        ~ends:(Tensor.to_int_list ends)
+        ~axes:(Tensor.to_int_list axes)
+        ~steps:(Tensor.to_int_list steps)
+        ();
+    ]
+  | Op.Gather { axis }, [ x; indices ] ->
+    [ Transform.gather x ~indices:(Tensor.cast indices Tensor.I64) ~axis ]
+  | Op.Pad { pad_value }, [ x; pads ] ->
+    let r = Tensor.rank x in
+    let p = Tensor.to_int_list pads in
+    if List.length p <> 2 * r then arg_err op "pads must have rank*2 entries";
+    [
+      Transform.pad x
+        ~before:(List.filteri (fun i _ -> i < r) p)
+        ~after:(List.filteri (fun i _ -> i >= r) p)
+        ~value:pad_value;
+    ]
+  | Op.Expand, [ x; target ] ->
+    let t = Tensor.to_int_list target in
+    let out = Tensor.broadcast_dims (Tensor.dims_arr x) (Array.of_list t) in
+    [ Tensor.broadcast_to x (Array.to_list out) ]
+  | Op.Tile, [ x; repeats ] -> [ Transform.tile x ~repeats:(Tensor.to_int_list repeats) ]
+  | Op.Resize Op.Nearest, [ x; sizes ] ->
+    [ Transform.resize_nearest x ~out_spatial:(Tensor.to_int_list sizes) ]
+  | Op.Upsample { scales }, [ x ] ->
+    let d = Tensor.dims x in
+    let spatial = List.filteri (fun i _ -> i >= 2) d in
+    let out = List.map2 (fun s sc -> s * sc) spatial scales in
+    [ Transform.resize_nearest x ~out_spatial:out ]
+  | Op.DepthToSpace { block }, [ x ] -> [ Transform.depth_to_space x ~block ]
+  | Op.SpaceToDepth { block }, [ x ] -> [ Transform.space_to_depth x ~block ]
+  | Op.ShapeOf, [ x ] -> [ Tensor.of_int_list (Tensor.dims x) ]
+  | Op.SizeOf, [ x ] -> [ Tensor.scalar_i (Tensor.numel x) ]
+  | Op.ConstantOfShape { fill }, [ shape ] ->
+    [ Tensor.full_f (Tensor.to_int_list shape) fill ]
+  | Op.EyeLike, [ x ] -> (
+    match Tensor.dims x with
+    | [ n; m ] -> [ Tensor.init_f [ n; m ] (fun ix -> if ix.(0) = ix.(1) then 1.0 else 0.0) ]
+    | _ -> arg_err op "expects a 2-d input")
+  | Op.Range, [ start; limit; delta ] ->
+    let scalar t = List.hd (Tensor.to_int_list (Tensor.cast t Tensor.I64)) in
+    [ Transform.range ~start:(scalar start) ~limit:(scalar limit) ~delta:(scalar delta) ]
+  | Op.OneHot { depth }, [ indices ] ->
+    [ Transform.one_hot (Tensor.cast indices Tensor.I64) ~depth ]
+  | Op.TopK { axis; largest }, [ x; k ] ->
+    let k = List.hd (Tensor.to_int_list (Tensor.cast k Tensor.I64)) in
+    let values, indices = Reduction.top_k x ~k ~axis ~largest in
+    [ values; indices ]
+  | Op.NonZero, [ x ] -> [ Reduction.nonzero x ]
+  | Op.NonMaxSuppression { max_out; iou_threshold }, [ boxes; scores ] ->
+    (* Simplified single-class NMS on [n×4] boxes and [n] scores. *)
+    let n = List.hd (Tensor.dims boxes) in
+    let area i =
+      let x1 = Tensor.get_f boxes [| i; 0 |] and y1 = Tensor.get_f boxes [| i; 1 |] in
+      let x2 = Tensor.get_f boxes [| i; 2 |] and y2 = Tensor.get_f boxes [| i; 3 |] in
+      Float.max 0.0 (x2 -. x1) *. Float.max 0.0 (y2 -. y1)
+    in
+    let iou i j =
+      let x1 = Float.max (Tensor.get_f boxes [| i; 0 |]) (Tensor.get_f boxes [| j; 0 |]) in
+      let y1 = Float.max (Tensor.get_f boxes [| i; 1 |]) (Tensor.get_f boxes [| j; 1 |]) in
+      let x2 = Float.min (Tensor.get_f boxes [| i; 2 |]) (Tensor.get_f boxes [| j; 2 |]) in
+      let y2 = Float.min (Tensor.get_f boxes [| i; 3 |]) (Tensor.get_f boxes [| j; 3 |]) in
+      let inter = Float.max 0.0 (x2 -. x1) *. Float.max 0.0 (y2 -. y1) in
+      let union = area i +. area j -. inter in
+      if union <= 0.0 then 0.0 else inter /. union
+    in
+    let order = List.init n Fun.id in
+    let order =
+      List.sort (fun i j -> compare (Tensor.get_f scores [| j |]) (Tensor.get_f scores [| i |])) order
+    in
+    let kept = ref [] in
+    List.iter
+      (fun i ->
+        if List.length !kept < max_out
+           && List.for_all (fun j -> iou i j < iou_threshold) !kept
+        then kept := i :: !kept)
+      order;
+    let kept = List.rev !kept in
+    [
+      Tensor.create_i
+        [ List.length kept; 3 ]
+        (Array.of_list (List.concat_map (fun i -> [ 0; 0; i ]) kept));
+    ]
+  | (Op.If | Op.Loop), _ ->
+    failwith (Printf.sprintf "Kernels.run: %s requires sub-graph support" (Op.name op))
+  | (Op.Switch _ | Op.Combine _), _ ->
+    failwith "Kernels.run: control flow is routed by the executor"
+  | _, _ -> arg_err op (Printf.sprintf "arity %d not supported" (List.length inputs))

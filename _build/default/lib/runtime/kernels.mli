@@ -1,0 +1,11 @@
+(** Reference kernels: execute one operator node on concrete tensors.
+
+    This is the interpreter the [Real] execution mode uses; every operator
+    of the IR has a kernel here with ONNX semantics, built on the
+    {!Sod2_tensor} primitives.  Control-flow operators ([Switch],
+    [Combine]) are {e not} handled here — the executor routes them. *)
+
+val run : Op.t -> Tensor.t list -> Tensor.t list
+(** [run op inputs] executes the operator.  Raises [Invalid_argument] on
+    arity or shape violations and [Failure] for the two operators that
+    cannot be interpreted without sub-graph support ([If], [Loop]). *)

@@ -1,0 +1,1 @@
+lib/symbolic/dim.ml: Env Expr Format Lattice

@@ -1,0 +1,1 @@
+lib/symbolic/dim.mli: Env Expr Format Lattice

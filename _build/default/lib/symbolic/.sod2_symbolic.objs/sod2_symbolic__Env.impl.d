@@ -1,0 +1,1 @@
+lib/symbolic/env.ml: Expr Format List Map Printf String

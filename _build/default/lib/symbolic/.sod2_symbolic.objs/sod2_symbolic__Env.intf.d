@@ -1,0 +1,1 @@
+lib/symbolic/env.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Format List Option Stdlib String

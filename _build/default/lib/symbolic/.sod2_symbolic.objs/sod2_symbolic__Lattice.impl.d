@@ -1,0 +1,1 @@
+lib/symbolic/lattice.ml: Format

@@ -1,0 +1,1 @@
+lib/symbolic/lattice.mli: Format

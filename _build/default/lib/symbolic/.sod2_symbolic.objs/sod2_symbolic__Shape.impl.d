@@ -1,0 +1,1 @@
+lib/symbolic/shape.ml: Array Dim Expr Format Fun List Option String

@@ -1,0 +1,1 @@
+lib/symbolic/shape.mli: Dim Env Expr Format

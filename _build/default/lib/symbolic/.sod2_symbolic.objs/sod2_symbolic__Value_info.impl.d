@@ -1,0 +1,1 @@
+lib/symbolic/value_info.ml: Array Env Expr Format Lattice List Option

@@ -1,0 +1,1 @@
+lib/symbolic/value_info.mli: Env Expr Format Lattice

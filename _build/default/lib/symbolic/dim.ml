@@ -1,0 +1,45 @@
+type t = Expr.t Lattice.t
+
+let undef : t = Lattice.Undef
+let nac : t = Lattice.Nac
+let of_expr e : t = Lattice.Known e
+let of_int i = of_expr (Expr.const i)
+let of_sym s = of_expr (Expr.sym s)
+
+let equal (a : t) (b : t) = Lattice.equal ~equal:Expr.equal a b
+let meet (a : t) (b : t) = Lattice.meet ~equal:Expr.equal a b
+
+let as_expr = function Lattice.Known e -> Some e | Lattice.Undef | Lattice.Nac -> None
+
+let as_const d =
+  match as_expr d with
+  | Some e -> Expr.as_const e
+  | None -> None
+
+let eval env d =
+  match as_expr d with
+  | Some e -> Env.eval env e
+  | None -> None
+
+let broadcast (a : t) (b : t) : t * bool =
+  match a, b with
+  | Lattice.Known ea, Lattice.Known eb ->
+    if Expr.equal ea eb then a, true
+    else if Expr.is_one ea then b, true
+    else if Expr.is_one eb then a, true
+    else (
+      match Expr.as_const ea, Expr.as_const eb with
+      | Some ca, Some cb ->
+        (* Both known constants, distinct, neither 1: invalid broadcast. *)
+        ignore ca;
+        ignore cb;
+        Lattice.Nac, true
+      | _ ->
+        (* Valid broadcasting implies the result is max of the two dims;
+           which side stretches is unknown, so code versioning is needed. *)
+        of_expr (Expr.max_ ea eb), false)
+  | Lattice.Nac, _ | _, Lattice.Nac -> Lattice.Nac, false
+  | Lattice.Undef, _ | _, Lattice.Undef -> Lattice.Undef, false
+
+let pp ppf (d : t) = Lattice.pp Expr.pp ppf d
+let to_string d = Format.asprintf "%a" pp d

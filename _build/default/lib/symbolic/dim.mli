@@ -1,0 +1,33 @@
+(** A single tensor dimension in the RDP domain: unknown ([Undef]), a known /
+    symbolic / op-inferred constant expression, or [Nac]. *)
+
+type t = Expr.t Lattice.t
+
+val undef : t
+val nac : t
+
+val of_int : int -> t
+val of_sym : string -> t
+val of_expr : Expr.t -> t
+
+val equal : t -> t -> bool
+val meet : t -> t -> t
+
+val as_const : t -> int option
+(** [as_const d] is the dimension as a known integer constant, if it is one. *)
+
+val as_expr : t -> Expr.t option
+
+val eval : Env.t -> t -> int option
+(** Concrete value of the dimension under a symbol valuation. *)
+
+val broadcast : t -> t -> t * bool
+(** [broadcast a b] is the numpy-broadcast result of two dimensions together
+    with a flag telling whether the broadcast pattern was {e statically
+    resolved}.  Since valid broadcasting implies the result equals
+    [max a b] (dims are ≥ 1 and one side is 1 or they are equal), the result
+    dimension is always expressible; the flag is [false] exactly when a
+    compiler would need multiple code versions for this dimension pair. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,24 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+let bind name v env = M.add name v env
+let of_list l = List.fold_left (fun env (k, v) -> bind k v env) empty l
+let lookup env name = M.find_opt name env
+let eval env e = Expr.eval (lookup env) e
+
+let eval_exn env e =
+  match eval env e with
+  | Some v -> v
+  | None ->
+    invalid_arg (Printf.sprintf "Env.eval_exn: cannot evaluate %s" (Expr.to_string e))
+
+let to_list env = M.bindings env
+
+let pp ppf env =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+    (to_list env)

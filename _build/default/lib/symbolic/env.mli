@@ -1,0 +1,26 @@
+(** Symbol valuations: bindings from shape-variable names to concrete
+    positive integers, used to instantiate symbolic analysis results at
+    run time. *)
+
+type t
+
+val empty : t
+
+val bind : string -> int -> t -> t
+(** [bind name v env] binds [name] to [v], shadowing any previous binding. *)
+
+val of_list : (string * int) list -> t
+
+val lookup : t -> string -> int option
+
+val eval : t -> Expr.t -> int option
+(** [eval env e] evaluates [e] under [env]. *)
+
+val eval_exn : t -> Expr.t -> int
+(** Like {!eval} but raises [Invalid_argument] with the unresolved
+    expression when evaluation fails. *)
+
+val to_list : t -> (string * int) list
+(** Bindings in name order. *)
+
+val pp : Format.formatter -> t -> unit

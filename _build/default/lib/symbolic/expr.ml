@@ -1,0 +1,327 @@
+type t = monomial list
+
+and monomial = { coeff : int; atoms : atom list }
+
+and atom =
+  | Sym of string
+  | Opaque of opaque
+
+and opaque =
+  | Odiv of t * t
+  | Omod of t * t
+  | Omax of t * t
+  | Omin of t * t
+
+(* ------------------------------------------------------------------ *)
+(* Structural comparison                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec compare (a : t) (b : t) =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | ma :: ra, mb :: rb ->
+    let c = compare_monomial ma mb in
+    if c <> 0 then c else compare ra rb
+
+and compare_monomial ma mb =
+  let c = compare_atoms ma.atoms mb.atoms in
+  if c <> 0 then c else Stdlib.compare ma.coeff mb.coeff
+
+and compare_atoms la lb =
+  match la, lb with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: ra, b :: rb ->
+    let c = compare_atom a b in
+    if c <> 0 then c else compare_atoms ra rb
+
+and compare_atom a b =
+  match a, b with
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, Opaque _ -> -1
+  | Opaque _, Sym _ -> 1
+  | Opaque x, Opaque y -> compare_opaque x y
+
+and compare_opaque x y =
+  let tag = function Odiv _ -> 0 | Omod _ -> 1 | Omax _ -> 2 | Omin _ -> 3 in
+  let c = Stdlib.compare (tag x) (tag y) in
+  if c <> 0 then c
+  else
+    let (a1, a2), (b1, b2) =
+      match x, y with
+      | Odiv (a, b), Odiv (c, d)
+      | Omod (a, b), Omod (c, d)
+      | Omax (a, b), Omax (c, d)
+      | Omin (a, b), Omin (c, d) -> (a, b), (c, d)
+      | _ -> assert false
+    in
+    let c = compare a1 b1 in
+    if c <> 0 then c else compare a2 b2
+
+let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Sort atoms inside each monomial, sort monomials by their atom bags,
+   merge monomials with equal bags by summing coefficients, drop zeros. *)
+let norm (ms : monomial list) : t =
+  let ms = List.map (fun m -> { m with atoms = List.sort compare_atom m.atoms }) ms in
+  let ms = List.sort (fun a b -> compare_atoms a.atoms b.atoms) ms in
+  let rec merge = function
+    | [] -> []
+    | [ m ] -> if m.coeff = 0 then [] else [ m ]
+    | m1 :: m2 :: rest ->
+      if compare_atoms m1.atoms m2.atoms = 0 then
+        merge ({ m1 with coeff = m1.coeff + m2.coeff } :: rest)
+      else if m1.coeff = 0 then merge (m2 :: rest)
+      else m1 :: merge (m2 :: rest)
+  in
+  merge ms
+
+let const c = norm [ { coeff = c; atoms = [] } ]
+let zero = const 0
+let one = const 1
+let sym name = [ { coeff = 1; atoms = [ Sym name ] } ]
+
+let is_zero (e : t) = e = []
+
+let as_const (e : t) =
+  match e with
+  | [] -> Some 0
+  | [ { coeff; atoms = [] } ] -> Some coeff
+  | _ -> None
+
+let is_const e = as_const e <> None
+let is_one e = as_const e = Some 1
+
+let add (a : t) (b : t) : t = norm (a @ b)
+let neg (a : t) : t = List.map (fun m -> { m with coeff = -m.coeff }) a
+let sub a b = add a (neg b)
+
+let mul (a : t) (b : t) : t =
+  let products =
+    List.concat_map
+      (fun ma ->
+        List.map (fun mb -> { coeff = ma.coeff * mb.coeff; atoms = ma.atoms @ mb.atoms }) b)
+      a
+  in
+  norm products
+
+let of_list_sum es = List.fold_left add zero es
+let product es = List.fold_left mul one es
+
+(* Remove one occurrence of each atom of [sub] from [atoms]; None when
+   [sub] is not a sub-bag. *)
+let rec remove_bag atoms sub =
+  match sub with
+  | [] -> Some atoms
+  | a :: rest -> (
+    let rec remove_one = function
+      | [] -> None
+      | x :: xs -> if compare_atom x a = 0 then Some xs else Option.map (fun r -> x :: r) (remove_one xs)
+    in
+    match remove_one atoms with
+    | None -> None
+    | Some atoms' -> remove_bag atoms' rest)
+
+(* Try to divide a single monomial exactly by divisor monomial [d]. *)
+let div_monomial m d =
+  if d.coeff <> 0 && m.coeff mod d.coeff = 0 then
+    match remove_bag m.atoms d.atoms with
+    | Some atoms -> Some { coeff = m.coeff / d.coeff; atoms }
+    | None -> None
+  else None
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let opaque_monomial o = [ { coeff = 1; atoms = [ Opaque o ] } ]
+
+let div (a : t) (b : t) : t =
+  match as_const a, as_const b with
+  | _, Some 1 -> a
+  | Some ca, Some cb when cb > 0 -> const (floor_div ca cb)
+  | _, Some cb when cb > 0 ->
+    (* Split exactly-divisible monomials out of the floor division: with
+       cb > 0, floor((cb*X + R)/cb) = X + floor(R/cb). *)
+    let divisible, residue = List.partition (fun m -> m.coeff mod cb = 0) a in
+    let divided = List.map (fun m -> { m with coeff = m.coeff / cb }) divisible in
+    let rest =
+      match as_const residue with
+      | Some 0 -> []
+      | Some c when c >= 0 -> [ { coeff = floor_div c cb; atoms = [] } ]
+      | _ -> opaque_monomial (Odiv (norm residue, b))
+    in
+    norm (divided @ rest)
+  | _ -> (
+    match b with
+    | [ d ] ->
+      let divisible, residue =
+        List.fold_left
+          (fun (ds, rs) m ->
+            match div_monomial m d with
+            | Some m' -> m' :: ds, rs
+            | None -> ds, m :: rs)
+          ([], []) a
+      in
+      let rest = if residue = [] then [] else opaque_monomial (Odiv (norm residue, b)) in
+      norm (divisible @ rest)
+    | _ -> if equal a b then one else norm (opaque_monomial (Odiv (a, b))))
+
+let modulo (a : t) (b : t) : t =
+  match as_const a, as_const b with
+  | _, Some 1 -> zero
+  | Some ca, Some cb when cb > 0 -> const (ca - floor_div ca cb * cb)
+  | _, Some cb when cb > 0 -> (
+    (* (cb*X + R) mod cb = R mod cb for cb > 0. *)
+    let residue = List.filter (fun m -> m.coeff mod cb <> 0) a in
+    match as_const (norm residue) with
+    | Some c -> const (c - (floor_div c cb * cb))
+    | None -> if residue = [] then zero else norm (opaque_monomial (Omod (norm residue, b))))
+  | _ -> if equal a b then zero else norm (opaque_monomial (Omod (a, b)))
+
+(* Conservative sign analysis under the "shape symbols are positive"
+   assumption: an expression is obviously non-negative when every monomial
+   has a non-negative coefficient and every opaque atom is itself
+   non-negative. *)
+let rec obviously_nonneg (e : t) =
+  List.for_all
+    (fun m ->
+      m.coeff >= 0 && List.for_all atom_nonneg m.atoms)
+    e
+
+and atom_nonneg = function
+  | Sym _ -> true
+  | Opaque (Odiv (a, _)) -> obviously_nonneg a
+  | Opaque (Omod _) -> true
+  | Opaque (Omax (a, b)) -> obviously_nonneg a || obviously_nonneg b
+  | Opaque (Omin (a, b)) -> obviously_nonneg a && obviously_nonneg b
+
+let order_pair a b = if compare a b <= 0 then a, b else b, a
+
+let max_ (a : t) (b : t) : t =
+  if equal a b then a
+  else
+    match as_const a, as_const b with
+    | Some ca, Some cb -> const (max ca cb)
+    | _ ->
+      if obviously_nonneg (sub a b) then a
+      else if obviously_nonneg (sub b a) then b
+      else
+        let x, y = order_pair a b in
+        norm (opaque_monomial (Omax (x, y)))
+
+let min_ (a : t) (b : t) : t =
+  if equal a b then a
+  else
+    match as_const a, as_const b with
+    | Some ca, Some cb -> const (min ca cb)
+    | _ ->
+      if obviously_nonneg (sub a b) then b
+      else if obviously_nonneg (sub b a) then a
+      else
+        let x, y = order_pair a b in
+        norm (opaque_monomial (Omin (x, y)))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation, substitution, free symbols                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval lookup (e : t) : int option =
+  let rec eval_monomials acc = function
+    | [] -> Some acc
+    | m :: rest -> (
+      match eval_atoms m.coeff m.atoms with
+      | None -> None
+      | Some v -> eval_monomials (acc + v) rest)
+  and eval_atoms acc = function
+    | [] -> Some acc
+    | Sym s :: rest -> (
+      match lookup s with
+      | None -> None
+      | Some v -> eval_atoms (acc * v) rest)
+    | Opaque o :: rest -> (
+      match eval_opaque o with
+      | None -> None
+      | Some v -> eval_atoms (acc * v) rest)
+  and eval_opaque = function
+    | Odiv (a, b) -> (
+      match eval lookup a, eval lookup b with
+      | Some va, Some vb when vb > 0 -> Some (floor_div va vb)
+      | _ -> None)
+    | Omod (a, b) -> (
+      match eval lookup a, eval lookup b with
+      | Some va, Some vb when vb > 0 -> Some (va - floor_div va vb * vb)
+      | _ -> None)
+    | Omax (a, b) -> (
+      match eval lookup a, eval lookup b with
+      | Some va, Some vb -> Some (max va vb)
+      | _ -> None)
+    | Omin (a, b) -> (
+      match eval lookup a, eval lookup b with
+      | Some va, Some vb -> Some (min va vb)
+      | _ -> None)
+  in
+  eval_monomials 0 e
+
+let rec subst lookup (e : t) : t =
+  let subst_atom = function
+    | Sym s -> ( match lookup s with Some e' -> e' | None -> sym s)
+    | Opaque (Odiv (a, b)) -> div (subst lookup a) (subst lookup b)
+    | Opaque (Omod (a, b)) -> modulo (subst lookup a) (subst lookup b)
+    | Opaque (Omax (a, b)) -> max_ (subst lookup a) (subst lookup b)
+    | Opaque (Omin (a, b)) -> min_ (subst lookup a) (subst lookup b)
+  in
+  let subst_monomial m = mul (const m.coeff) (product (List.map subst_atom m.atoms)) in
+  of_list_sum (List.map subst_monomial e)
+
+let free_syms (e : t) : string list =
+  let rec of_expr acc (e : t) = List.fold_left of_monomial acc e
+  and of_monomial acc m = List.fold_left of_atom acc m.atoms
+  and of_atom acc = function
+    | Sym s -> s :: acc
+    | Opaque (Odiv (a, b) | Omod (a, b) | Omax (a, b) | Omin (a, b)) ->
+      of_expr (of_expr acc a) b
+  in
+  List.sort_uniq String.compare (of_expr [] e)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp ppf (e : t) =
+  match e with
+  | [] -> Format.pp_print_string ppf "0"
+  | m :: rest ->
+    pp_monomial ~leading:true ppf m;
+    List.iter
+      (fun m ->
+        if m.coeff >= 0 then Format.pp_print_string ppf " + "
+        else Format.pp_print_string ppf " - ";
+        pp_monomial ~leading:false ppf { m with coeff = abs m.coeff })
+      rest
+
+and pp_monomial ~leading ppf m =
+  match m.atoms with
+  | [] -> Format.pp_print_int ppf m.coeff
+  | atoms ->
+    if m.coeff = -1 && leading then Format.pp_print_string ppf "-"
+    else if m.coeff <> 1 then Format.fprintf ppf "%d*" m.coeff;
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "*")
+      pp_atom ppf atoms
+
+and pp_atom ppf = function
+  | Sym s -> Format.pp_print_string ppf s
+  | Opaque (Odiv (a, b)) -> Format.fprintf ppf "(%a)/(%a)" pp a pp b
+  | Opaque (Omod (a, b)) -> Format.fprintf ppf "(%a)%%(%a)" pp a pp b
+  | Opaque (Omax (a, b)) -> Format.fprintf ppf "max(%a, %a)" pp a pp b
+  | Opaque (Omin (a, b)) -> Format.fprintf ppf "min(%a, %a)" pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,25 @@
+type 'a t =
+  | Undef
+  | Known of 'a
+  | Nac
+
+let meet ~equal a b =
+  match a, b with
+  | Undef, x | x, Undef -> x
+  | Nac, _ | _, Nac -> Nac
+  | Known x, Known y -> if equal x y then Known x else Nac
+
+let equal ~equal:eq a b =
+  match a, b with
+  | Undef, Undef | Nac, Nac -> true
+  | Known x, Known y -> eq x y
+  | Undef, (Known _ | Nac) | Known _, (Undef | Nac) | Nac, (Undef | Known _) -> false
+
+let is_known = function Known _ -> true | Undef | Nac -> false
+let get = function Known x -> Some x | Undef | Nac -> None
+let map f = function Undef -> Undef | Nac -> Nac | Known x -> Known (f x)
+
+let pp pp_v ppf = function
+  | Undef -> Format.pp_print_string ppf "undef"
+  | Nac -> Format.pp_print_string ppf "nac"
+  | Known v -> pp_v ppf v

@@ -1,0 +1,22 @@
+(** The three-level RDP value lattice of the paper (Fig. 2): [Undef] is the
+    top element (nothing known yet), [Known] carries a known, symbolic or
+    op-inferred constant, and [Nac] ("not a constant") is the bottom. *)
+
+type 'a t =
+  | Undef  (** ⊤ — no information has reached this point yet *)
+  | Known of 'a  (** a constant in the RDP domain *)
+  | Nac  (** ⊥ — provably not expressible as a constant *)
+
+val meet : equal:('a -> 'a -> bool) -> 'a t -> 'a t -> 'a t
+(** [meet ~equal a b] is the lattice meet: [Undef] is neutral, two [Known]
+    values agree iff [equal] holds, and any disagreement or [Nac] gives
+    [Nac]. *)
+
+val equal : equal:('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val is_known : 'a t -> bool
+val get : 'a t -> 'a option
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,47 @@
+type t = Expr.t array Lattice.t
+
+let undef : t = Lattice.Undef
+let nac : t = Lattice.Nac
+
+let max_tracked_elements = 64
+
+let of_exprs l : t =
+  if List.length l > max_tracked_elements then Lattice.Nac
+  else Lattice.Known (Array.of_list l)
+
+let of_ints l = of_exprs (List.map Expr.const l)
+let scalar e : t = Lattice.Known [| e |]
+
+let as_exprs : t -> Expr.t array option = function
+  | Lattice.Known a -> Some a
+  | Lattice.Undef | Lattice.Nac -> None
+
+let as_ints v =
+  match as_exprs v with
+  | None -> None
+  | Some a ->
+    let ints = Array.to_list a |> List.map Expr.as_const in
+    if List.for_all Option.is_some ints then Some (List.map Option.get ints) else None
+
+let eval env v =
+  match as_exprs v with
+  | None -> None
+  | Some a ->
+    let vals = Array.to_list a |> List.map (Env.eval env) in
+    if List.for_all Option.is_some vals then Some (List.map Option.get vals) else None
+
+let arrays_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Expr.equal a b
+
+let equal (a : t) (b : t) = Lattice.equal ~equal:arrays_equal a b
+let meet (a : t) (b : t) = Lattice.meet ~equal:arrays_equal a b
+
+let pp ppf (v : t) =
+  Lattice.pp
+    (fun ppf a ->
+      Format.fprintf ppf "<%a>"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Expr.pp)
+        (Array.to_list a))
+    ppf v

@@ -1,0 +1,30 @@
+(** Symbolic knowledge about a tensor's {e contents} — the "V-map" entry of
+    RDP.  Only small integer tensors (shape vectors, axes, slice bounds …)
+    are tracked; everything else is [Nac].  Each element is a symbolic
+    expression, so the output of a [Shape] operator applied to a tensor of
+    shape [[a, b]] is the known value [[a; b]] even when [a] and [b] are
+    symbols. *)
+
+type t = Expr.t array Lattice.t
+
+val undef : t
+val nac : t
+
+val of_ints : int list -> t
+val of_exprs : Expr.t list -> t
+val scalar : Expr.t -> t
+
+val max_tracked_elements : int
+(** Upper bound on the number of elements a tracked value may have; larger
+    tensors are never value-tracked (they cannot feed shape computations in
+    practice and tracking them would bloat the analysis state). *)
+
+val as_exprs : t -> Expr.t array option
+val as_ints : t -> int list option
+
+val eval : Env.t -> t -> int list option
+
+val equal : t -> t -> bool
+val meet : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

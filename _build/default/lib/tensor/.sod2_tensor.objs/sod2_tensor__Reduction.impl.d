@@ -1,0 +1,1 @@
+lib/tensor/reduction.ml: Array Float Fun List Tensor

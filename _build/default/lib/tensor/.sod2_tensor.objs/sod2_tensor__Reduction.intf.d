@@ -1,0 +1,1 @@
+lib/tensor/reduction.mli: Tensor

@@ -1,0 +1,1 @@
+lib/tensor/transform.ml: Array Fun List Tensor

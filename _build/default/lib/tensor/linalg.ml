@@ -1,0 +1,219 @@
+let conv2d_out_dim ~in_ ~kernel ~stride ~pad_begin ~pad_end ~dilation =
+  ((in_ + pad_begin + pad_end - (((kernel - 1) * dilation) + 1)) / stride) + 1
+
+(* Matmul on the trailing two axes with broadcast batch dims. *)
+let matmul a b =
+  let promote_a = Tensor.rank a = 1 in
+  let promote_b = Tensor.rank b = 1 in
+  let a = if promote_a then Tensor.reshape a [ 1; Tensor.numel a ] else a in
+  let b = if promote_b then Tensor.reshape b [ Tensor.numel b; 1 ] else b in
+  let da = Tensor.dims_arr a and db = Tensor.dims_arr b in
+  let ra = Array.length da and rb = Array.length db in
+  let m = da.(ra - 2) and ka = da.(ra - 1) in
+  let kb = db.(rb - 2) and n = db.(rb - 1) in
+  if ka <> kb then
+    invalid_arg (Printf.sprintf "Linalg.matmul: inner dims %d vs %d" ka kb);
+  let batch_a = Array.sub da 0 (ra - 2) in
+  let batch_b = Array.sub db 0 (rb - 2) in
+  let batch = Tensor.broadcast_dims batch_a batch_b in
+  let nb = Array.fold_left ( * ) 1 batch in
+  let out_dims = Array.to_list batch @ [ m; n ] in
+  let out = Tensor.zeros Tensor.F32 out_dims in
+  let oc = Tensor.data_f out in
+  let fa = Tensor.data_f a and fb = Tensor.data_f b in
+  let stride_am = ka and stride_bn = n in
+  let batch_size_a = m * ka and batch_size_b = kb * n in
+  let na = Array.fold_left ( * ) 1 batch_a in
+  let nbb = Array.fold_left ( * ) 1 batch_b in
+  for bi = 0 to nb - 1 do
+    (* Broadcast batch index into each operand's batch space. *)
+    let ix = Tensor.unravel batch bi in
+    let off_of sub_batch count =
+      if count = 1 then 0
+      else
+        let r = Array.length sub_batch and ro = Array.length batch in
+        let off = ref 0 and stride = ref 1 in
+        for i = r - 1 downto 0 do
+          let v = if sub_batch.(i) = 1 then 0 else ix.(i + (ro - r)) in
+          off := !off + (v * !stride);
+          stride := !stride * sub_batch.(i)
+        done;
+        !off
+    in
+    let base_a = off_of batch_a na * batch_size_a in
+    let base_b = off_of batch_b nbb * batch_size_b in
+    let base_o = bi * m * n in
+    for i = 0 to m - 1 do
+      for k = 0 to ka - 1 do
+        let av = fa.(base_a + (i * stride_am) + k) in
+        if av <> 0.0 then
+          let row_b = base_b + (k * stride_bn) in
+          let row_o = base_o + (i * n) in
+          for j = 0 to n - 1 do
+            oc.(row_o + j) <- oc.(row_o + j) +. (av *. fb.(row_b + j))
+          done
+      done
+    done
+  done;
+  let out =
+    if promote_a then
+      Tensor.reshape out (List.filteri (fun i _ -> i <> List.length out_dims - 2) out_dims)
+    else out
+  in
+  if promote_b then
+    let d = Tensor.dims out in
+    Tensor.reshape out (List.filteri (fun i _ -> i <> List.length d - 1) d)
+  else out
+
+let transpose2d t =
+  let d = Tensor.dims_arr t in
+  let m = d.(0) and n = d.(1) in
+  let src = Tensor.data_f t in
+  let out = Tensor.zeros Tensor.F32 [ n; m ] in
+  let dst = Tensor.data_f out in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      dst.((j * m) + i) <- src.((i * n) + j)
+    done
+  done;
+  out
+
+let gemm ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b = false) a b c =
+  let a = if trans_a then transpose2d a else a in
+  let b = if trans_b then transpose2d b else b in
+  let ab = matmul a b in
+  let ab = if alpha = 1.0 then ab else Tensor.map_f (fun v -> v *. alpha) ab in
+  match c with
+  | None -> ab
+  | Some c -> Tensor.map2 (fun x y -> x +. (beta *. y)) ab (Tensor.broadcast_to c (Tensor.dims ab))
+
+let conv2d ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) ?(dilation = (1, 1)) ?(groups = 1) x w b
+    =
+  let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+  let n = dx.(0) and c = dx.(1) and h = dx.(2) and wd = dx.(3) in
+  let m = dw.(0) and cg = dw.(1) and kh = dw.(2) and kw = dw.(3) in
+  let sh, sw = stride in
+  let pt, pl, pb, pr = pad in
+  let dh, dw_ = dilation in
+  if c / groups <> cg then
+    invalid_arg
+      (Printf.sprintf "Linalg.conv2d: channels %d/groups %d vs weight %d" c groups cg);
+  let oh = conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:dh in
+  let ow = conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:dw_ in
+  let out = Tensor.zeros Tensor.F32 [ n; m; oh; ow ] in
+  let src = Tensor.data_f x and wsrc = Tensor.data_f w and dst = Tensor.data_f out in
+  let bias = Option.map Tensor.data_f b in
+  let mg = m / groups in
+  for ni = 0 to n - 1 do
+    for mi = 0 to m - 1 do
+      let g = mi / mg in
+      let bias_v = match bias with Some a -> a.(mi) | None -> 0.0 in
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let acc = ref bias_v in
+          for ci = 0 to cg - 1 do
+            let cin = (g * cg) + ci in
+            for ky = 0 to kh - 1 do
+              let iy = (oy * sh) - pt + (ky * dh) in
+              if iy >= 0 && iy < h then
+                for kx = 0 to kw - 1 do
+                  let ix = (ox * sw) - pl + (kx * dw_) in
+                  if ix >= 0 && ix < wd then
+                    acc :=
+                      !acc
+                      +. src.((((((ni * c) + cin) * h) + iy) * wd) + ix)
+                         *. wsrc.((((((mi * cg) + ci) * kh) + ky) * kw) + kx)
+                done
+            done
+          done;
+          dst.((((((ni * m) + mi) * oh) + oy) * ow) + ox) <- !acc
+        done
+      done
+    done
+  done;
+  out
+
+let conv1d ?(stride = 1) ?(pad = (0, 0)) ?(dilation = 1) ?(groups = 1) x w b =
+  (* Reuse conv2d by inserting a unit height axis. *)
+  let dx = Tensor.dims x and dw = Tensor.dims w in
+  let x' =
+    match dx with
+    | [ n; c; l ] -> Tensor.reshape x [ n; c; 1; l ]
+    | _ -> invalid_arg "Linalg.conv1d: input must be N×C×L"
+  in
+  let w' =
+    match dw with
+    | [ m; cg; k ] -> Tensor.reshape w [ m; cg; 1; k ]
+    | _ -> invalid_arg "Linalg.conv1d: weight must be M×C×K"
+  in
+  let pl, pr = pad in
+  let out = conv2d ~stride:(1, stride) ~pad:(0, pl, 0, pr) ~dilation:(1, dilation) ~groups x' w' b in
+  match Tensor.dims out with
+  | [ n; m; 1; ol ] -> Tensor.reshape out [ n; m; ol ]
+  | _ -> assert false
+
+let pool2d ~kind ~kernel ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) x =
+  let dx = Tensor.dims_arr x in
+  let n = dx.(0) and c = dx.(1) and h = dx.(2) and w = dx.(3) in
+  let kh, kw = kernel in
+  let sh, sw = stride in
+  let pt, pl, pb, pr = pad in
+  let oh = conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:1 in
+  let ow = conv2d_out_dim ~in_:w ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:1 in
+  let out = Tensor.zeros Tensor.F32 [ n; c; oh; ow ] in
+  let src = Tensor.data_f x and dst = Tensor.data_f out in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let acc = ref (if kind = `Max then neg_infinity else 0.0) in
+          let count = ref 0 in
+          for ky = 0 to kh - 1 do
+            let iy = (oy * sh) - pt + ky in
+            if iy >= 0 && iy < h then
+              for kx = 0 to kw - 1 do
+                let ix = (ox * sw) - pl + kx in
+                if ix >= 0 && ix < w then begin
+                  let v = src.((((((ni * c) + ci) * h) + iy) * w) + ix) in
+                  (match kind with
+                  | `Max -> if v > !acc then acc := v
+                  | `Avg -> acc := !acc +. v);
+                  incr count
+                end
+              done
+          done;
+          let v =
+            match kind with
+            | `Max -> if !count = 0 then 0.0 else !acc
+            | `Avg -> if !count = 0 then 0.0 else !acc /. float_of_int !count
+          in
+          dst.((((((ni * c) + ci) * oh) + oy) * ow) + ox) <- v
+        done
+      done
+    done
+  done;
+  out
+
+let max_pool2d ~kernel ?stride ?pad x = pool2d ~kind:`Max ~kernel ?stride ?pad x
+let avg_pool2d ~kernel ?stride ?pad x = pool2d ~kind:`Avg ~kernel ?stride ?pad x
+
+let global_avg_pool x =
+  let d = Tensor.dims_arr x in
+  if Array.length d < 3 then invalid_arg "Linalg.global_avg_pool: rank must be >= 3";
+  let n = d.(0) and c = d.(1) in
+  let spatial = Array.fold_left ( * ) 1 (Array.sub d 2 (Array.length d - 2)) in
+  let src = Tensor.data_f x in
+  let out_dims = n :: c :: List.init (Array.length d - 2) (fun _ -> 1) in
+  let out = Tensor.zeros Tensor.F32 out_dims in
+  let dst = Tensor.data_f out in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let base = ((ni * c) + ci) * spatial in
+      let acc = ref 0.0 in
+      for s = 0 to spatial - 1 do
+        acc := !acc +. src.(base + s)
+      done;
+      dst.((ni * c) + ci) <- !acc /. float_of_int spatial
+    done
+  done;
+  out

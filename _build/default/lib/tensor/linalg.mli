@@ -1,0 +1,43 @@
+(** Dense linear-algebra and convolution kernels used by the runtime's
+    reference interpreter.  Layouts follow ONNX conventions: matmul uses
+    trailing two axes with numpy-style batch broadcasting, convolutions are
+    NCHW / NCW with OIHW / OIW weights. *)
+
+val matmul : Tensor.t -> Tensor.t -> Tensor.t
+(** [matmul a b] contracts the last axis of [a] with the second-to-last of
+    [b]; leading axes broadcast.  1-d operands are promoted as in numpy. *)
+
+val gemm :
+  ?alpha:float -> ?beta:float -> ?trans_a:bool -> ?trans_b:bool ->
+  Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+(** ONNX [Gemm]: [alpha * op(a) @ op(b) + beta * c] on 2-d operands with
+    unidirectional broadcast of [c]. *)
+
+val conv2d :
+  ?stride:int * int -> ?pad:int * int * int * int -> ?dilation:int * int ->
+  ?groups:int -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+(** [conv2d x w b] with [x : N×C×H×W], [w : M×(C/g)×Kh×Kw], optional bias
+    [b : M].  [pad] is (top, left, bottom, right). *)
+
+val conv1d :
+  ?stride:int -> ?pad:int * int -> ?dilation:int -> ?groups:int ->
+  Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+(** [conv1d x w b] with [x : N×C×L], [w : M×(C/g)×K]. *)
+
+val max_pool2d :
+  kernel:int * int -> ?stride:int * int -> ?pad:int * int * int * int ->
+  Tensor.t -> Tensor.t
+
+val avg_pool2d :
+  kernel:int * int -> ?stride:int * int -> ?pad:int * int * int * int ->
+  Tensor.t -> Tensor.t
+(** Average pooling; padded positions are excluded from the divisor
+    (ONNX [count_include_pad = 0]). *)
+
+val global_avg_pool : Tensor.t -> Tensor.t
+(** [N×C×spatial…] → [N×C×1×…×1]. *)
+
+val conv2d_out_dim : in_:int -> kernel:int -> stride:int -> pad_begin:int ->
+  pad_end:int -> dilation:int -> int
+(** The ONNX output-extent formula shared by conv and pooling:
+    [floor ((in + pads - ((k-1)*d + 1)) / stride) + 1]. *)

@@ -1,0 +1,203 @@
+type kind =
+  | Sum
+  | Mean
+  | Max
+  | Min
+  | Prod
+  | L2
+
+let normalize_axes r axes =
+  let axes = if axes = [] then List.init r Fun.id else axes in
+  List.sort_uniq compare (List.map (fun a -> if a < 0 then a + r else a) axes)
+
+let reduce kind t ~axes ~keepdims =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let axes = normalize_axes r axes in
+  let reduced = Array.make r false in
+  List.iter (fun a -> reduced.(a) <- true) axes;
+  let out_full = Array.mapi (fun i v -> if reduced.(i) then 1 else v) d in
+  let count = List.fold_left (fun acc a -> acc * d.(a)) 1 axes in
+  let init = match kind with
+    | Sum | Mean | L2 -> 0.0
+    | Max -> neg_infinity
+    | Min -> infinity
+    | Prod -> 1.0
+  in
+  let acc_t = Tensor.full_f (Array.to_list out_full) init in
+  let src = Tensor.data_f t and dst = Tensor.data_f acc_t in
+  let n = Tensor.numel t in
+  for flat = 0 to n - 1 do
+    let ix = Tensor.unravel d flat in
+    let out_ix = Array.mapi (fun i v -> if reduced.(i) then 0 else v) ix in
+    let o = Tensor.ravel out_full out_ix in
+    let v = src.(flat) in
+    dst.(o) <-
+      (match kind with
+      | Sum | Mean -> dst.(o) +. v
+      | L2 -> dst.(o) +. (v *. v)
+      | Max -> Float.max dst.(o) v
+      | Min -> Float.min dst.(o) v
+      | Prod -> dst.(o) *. v)
+  done;
+  (match kind with
+  | Mean ->
+    let c = float_of_int (max 1 count) in
+    Array.iteri (fun i v -> dst.(i) <- v /. c) dst
+  | L2 -> Array.iteri (fun i v -> dst.(i) <- sqrt v) dst
+  | Sum | Max | Min | Prod -> ());
+  if keepdims then acc_t
+  else
+    let out_dims =
+      List.filteri (fun i _ -> not reduced.(i)) (Array.to_list out_full)
+    in
+    Tensor.reshape acc_t out_dims
+
+let arg_extreme ~is_max t ~axis ~keepdims =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let axis = if axis < 0 then axis + r else axis in
+  let out_full = Array.mapi (fun i v -> if i = axis then 1 else v) d in
+  let best = Tensor.full_f (Array.to_list out_full) (if is_max then neg_infinity else infinity) in
+  let idx = Tensor.zeros Tensor.I64 (Array.to_list out_full) in
+  let src = Tensor.data_f t in
+  let bv = Tensor.data_f best and bi = Tensor.data_i idx in
+  for flat = 0 to Tensor.numel t - 1 do
+    let ix = Tensor.unravel d flat in
+    let out_ix = Array.mapi (fun i v -> if i = axis then 0 else v) ix in
+    let o = Tensor.ravel out_full out_ix in
+    let v = src.(flat) in
+    let better = if is_max then v > bv.(o) else v < bv.(o) in
+    if better then begin
+      bv.(o) <- v;
+      bi.(o) <- ix.(axis)
+    end
+  done;
+  if keepdims then idx
+  else
+    Tensor.reshape idx (List.filteri (fun i _ -> i <> axis) (Array.to_list out_full))
+
+let argmax t ~axis ~keepdims = arg_extreme ~is_max:true t ~axis ~keepdims
+let argmin t ~axis ~keepdims = arg_extreme ~is_max:false t ~axis ~keepdims
+
+let softmax t ~axis =
+  let m = reduce Max t ~axes:[ axis ] ~keepdims:true in
+  let e = Tensor.map2 (fun x mx -> exp (x -. mx)) t m in
+  let s = reduce Sum e ~axes:[ axis ] ~keepdims:true in
+  Tensor.map2 ( /. ) e s
+
+let log_softmax t ~axis =
+  let m = reduce Max t ~axes:[ axis ] ~keepdims:true in
+  let shifted = Tensor.map2 ( -. ) t m in
+  let s = reduce Sum (Tensor.map_f exp shifted) ~axes:[ axis ] ~keepdims:true in
+  Tensor.map2 (fun x lse -> x -. log lse) shifted s
+
+let layer_norm t ~gamma ~beta ~eps =
+  let r = Tensor.rank t in
+  let mean = reduce Mean t ~axes:[ r - 1 ] ~keepdims:true in
+  let centered = Tensor.map2 ( -. ) t mean in
+  let var = reduce Mean (Tensor.map_f (fun v -> v *. v) centered) ~axes:[ r - 1 ] ~keepdims:true in
+  let normed = Tensor.map2 (fun c v -> c /. sqrt (v +. eps)) centered var in
+  Tensor.map2 ( +. ) (Tensor.map2 ( *. ) normed gamma) beta
+
+let channel_shape t v =
+  (* Reshape a per-channel vector to broadcast over axis 1 of [t]. *)
+  let r = Tensor.rank t in
+  let c = Tensor.numel v in
+  Tensor.reshape v (1 :: c :: List.init (r - 2) (fun _ -> 1))
+
+let batch_norm t ~scale ~bias ~mean ~var ~eps =
+  let scale = channel_shape t scale and bias = channel_shape t bias in
+  let mean = channel_shape t mean and var = channel_shape t var in
+  let normed = Tensor.map2 (fun x m -> x -. m) t mean in
+  let normed = Tensor.map2 (fun x v -> x /. sqrt (v +. eps)) normed var in
+  Tensor.map2 ( +. ) (Tensor.map2 ( *. ) normed scale) bias
+
+let group_norm t ~groups ~gamma ~beta ~eps =
+  let d = Tensor.dims_arr t in
+  let n = d.(0) and c = d.(1) in
+  let spatial = Array.to_list (Array.sub d 2 (Array.length d - 2)) in
+  let sp = List.fold_left ( * ) 1 spatial in
+  let grouped = Tensor.reshape t [ n; groups; c / groups * sp ] in
+  let mean = reduce Mean grouped ~axes:[ 2 ] ~keepdims:true in
+  let centered = Tensor.map2 ( -. ) grouped mean in
+  let var = reduce Mean (Tensor.map_f (fun v -> v *. v) centered) ~axes:[ 2 ] ~keepdims:true in
+  let normed = Tensor.map2 (fun x v -> x /. sqrt (v +. eps)) centered var in
+  let normed = Tensor.reshape normed (n :: c :: spatial) in
+  let gamma = channel_shape t gamma and beta = channel_shape t beta in
+  Tensor.map2 ( +. ) (Tensor.map2 ( *. ) normed gamma) beta
+
+let top_k t ~k ~axis ~largest =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let axis = if axis < 0 then axis + r else axis in
+  let len = d.(axis) in
+  let k = min k len in
+  let out_dims = Array.to_list (Array.mapi (fun i v -> if i = axis then k else v) d) in
+  let values = Tensor.zeros Tensor.F32 out_dims in
+  let indices = Tensor.zeros Tensor.I64 out_dims in
+  (* Iterate over all positions with axis fixed to 0, sort each lane. *)
+  let outer = Tensor.numel t / len in
+  let lane_dims = Array.mapi (fun i v -> if i = axis then 1 else v) d in
+  for o = 0 to outer - 1 do
+    let base_ix = Tensor.unravel lane_dims o in
+    let lane = Array.init len (fun j ->
+        let ix = Array.copy base_ix in
+        ix.(axis) <- j;
+        Tensor.get_f t ix, j)
+    in
+    Array.sort
+      (fun (a, ia) (b, ib) ->
+        let c = compare b a in
+        let c = if largest then c else -c in
+        if c <> 0 then c else compare ia ib)
+      lane;
+    for j = 0 to k - 1 do
+      let v, i = lane.(j) in
+      let ix = Array.copy base_ix in
+      ix.(axis) <- j;
+      Tensor.set_f values ix v;
+      Tensor.set_i indices ix i
+    done
+  done;
+  values, indices
+
+let nonzero t =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let hits = ref [] in
+  let count = ref 0 in
+  let is_nz flat =
+    match Tensor.dtype t with
+    | Tensor.F32 -> (Tensor.data_f t).(flat) <> 0.0
+    | Tensor.I64 -> (Tensor.data_i t).(flat) <> 0
+  in
+  for flat = 0 to Tensor.numel t - 1 do
+    if is_nz flat then begin
+      hits := Tensor.unravel d flat :: !hits;
+      incr count
+    end
+  done;
+  let hits = Array.of_list (List.rev !hits) in
+  let out = Tensor.zeros Tensor.I64 [ max r 1; !count ] in
+  Array.iteri
+    (fun j ix -> Array.iteri (fun i v -> Tensor.set_i out [| i; j |] v) ix)
+    hits;
+  out
+
+let cumsum t ~axis =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let axis = if axis < 0 then axis + r else axis in
+  let out = Tensor.create_f (Tensor.dims t) (Array.copy (Tensor.data_f t)) in
+  let n = Tensor.numel t in
+  let dst = Tensor.data_f out in
+  for flat = 0 to n - 1 do
+    let ix = Tensor.unravel d flat in
+    if ix.(axis) > 0 then begin
+      let prev = Array.copy ix in
+      prev.(axis) <- ix.(axis) - 1;
+      dst.(flat) <- dst.(flat) +. dst.(Tensor.ravel d prev)
+    end
+  done;
+  out

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).  All
+    randomness in the repository — weights, input samples, gate outcomes,
+    auto-tuner mutation — flows through explicitly seeded instances of this
+    generator, so every experiment is reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream; [t] advances. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val normal : t -> float
+(** Standard normal variate (Box–Muller). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniformly chosen element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,250 @@
+type dtype =
+  | F32
+  | I64
+
+type data =
+  | F of float array
+  | I of int array
+
+type t = { shape : int array; data : data }
+
+let product a = Array.fold_left ( * ) 1 a
+
+let check_size dims n =
+  let expected = product dims in
+  if expected <> n then
+    invalid_arg
+      (Printf.sprintf "Tensor: shape wants %d elements, data has %d" expected n)
+
+let create_f dims data =
+  let shape = Array.of_list dims in
+  check_size shape (Array.length data);
+  { shape; data = F data }
+
+let create_i dims data =
+  let shape = Array.of_list dims in
+  check_size shape (Array.length data);
+  { shape; data = I data }
+
+let zeros dtype dims =
+  let shape = Array.of_list dims in
+  let n = product shape in
+  match dtype with
+  | F32 -> { shape; data = F (Array.make n 0.0) }
+  | I64 -> { shape; data = I (Array.make n 0) }
+
+let full_f dims v =
+  let shape = Array.of_list dims in
+  { shape; data = F (Array.make (product shape) v) }
+
+let full_i dims v =
+  let shape = Array.of_list dims in
+  { shape; data = I (Array.make (product shape) v) }
+
+let scalar_f v = full_f [] v
+let scalar_i v = full_i [] v
+let of_int_list l = create_i [ List.length l ] (Array.of_list l)
+
+let dims t = Array.to_list t.shape
+let dims_arr t = t.shape
+let rank t = Array.length t.shape
+let numel t = product t.shape
+let dtype t = match t.data with F _ -> F32 | I _ -> I64
+
+let data_f t =
+  match t.data with
+  | F a -> a
+  | I _ -> invalid_arg "Tensor.data_f: integer tensor"
+
+let data_i t =
+  match t.data with
+  | I a -> a
+  | F _ -> invalid_arg "Tensor.data_i: float tensor"
+
+let to_int_list t = Array.to_list (data_i t)
+
+let byte_size t =
+  match t.data with
+  | F a -> 4 * Array.length a
+  | I a -> 8 * Array.length a
+
+let strides t =
+  let r = Array.length t.shape in
+  let s = Array.make r 1 in
+  for i = r - 2 downto 0 do
+    s.(i) <- s.(i + 1) * t.shape.(i + 1)
+  done;
+  s
+
+let ravel dims ix =
+  let off = ref 0 in
+  let stride = ref 1 in
+  for i = Array.length dims - 1 downto 0 do
+    off := !off + (ix.(i) * !stride);
+    stride := !stride * dims.(i)
+  done;
+  !off
+
+let unravel dims flat =
+  let r = Array.length dims in
+  let ix = Array.make r 0 in
+  let rem = ref flat in
+  for i = r - 1 downto 0 do
+    ix.(i) <- !rem mod dims.(i);
+    rem := !rem / dims.(i)
+  done;
+  ix
+
+let get_f t ix = (data_f t).(ravel t.shape ix)
+let set_f t ix v = (data_f t).(ravel t.shape ix) <- v
+let get_i t ix = (data_i t).(ravel t.shape ix)
+let set_i t ix v = (data_i t).(ravel t.shape ix) <- v
+
+let init_f dims f =
+  let shape = Array.of_list dims in
+  let n = product shape in
+  let data = Array.make n 0.0 in
+  for flat = 0 to n - 1 do
+    data.(flat) <- f (unravel shape flat)
+  done;
+  { shape; data = F data }
+
+let rand_uniform rng dims =
+  let shape = Array.of_list dims in
+  let n = product shape in
+  { shape; data = F (Array.init n (fun _ -> (Rng.uniform rng *. 2.0) -. 1.0)) }
+
+let rand_normal rng ?(stddev = 1.0) dims =
+  let shape = Array.of_list dims in
+  let n = product shape in
+  { shape; data = F (Array.init n (fun _ -> Rng.normal rng *. stddev)) }
+
+let reshape t dims =
+  let shape = Array.of_list dims in
+  if product shape <> numel t then
+    invalid_arg
+      (Printf.sprintf "Tensor.reshape: %d elements into shape of %d" (numel t)
+         (product shape));
+  { t with shape }
+
+let broadcast_dims a b =
+  let ra = Array.length a and rb = Array.length b in
+  let r = max ra rb in
+  Array.init r (fun i ->
+      let ia = i - (r - ra) and ib = i - (r - rb) in
+      let x = if ia < 0 then 1 else a.(ia) in
+      let y = if ib < 0 then 1 else b.(ib) in
+      if x = y then x
+      else if x = 1 then y
+      else if y = 1 then x
+      else
+        invalid_arg
+          (Printf.sprintf "Tensor.broadcast_dims: %d vs %d at axis %d" x y i))
+
+(* Flat offset of [ix] (an index into the broadcast shape [out]) within a
+   tensor of shape [src], applying stride-0 semantics on size-1 axes. *)
+let broadcast_offset src out ix =
+  let rs = Array.length src and ro = Array.length out in
+  let off = ref 0 in
+  let stride = ref 1 in
+  for i = rs - 1 downto 0 do
+    let oi = i + (ro - rs) in
+    let v = if src.(i) = 1 then 0 else ix.(oi) in
+    off := !off + (v * !stride);
+    stride := !stride * src.(i)
+  done;
+  !off
+
+let broadcast_to t dims =
+  let out = Array.of_list dims in
+  let _check = broadcast_dims t.shape out in
+  if Array.length _check <> Array.length out || _check <> out then
+    invalid_arg "Tensor.broadcast_to: shape is not a broadcast target";
+  let n = product out in
+  match t.data with
+  | F src ->
+    let data = Array.make n 0.0 in
+    for flat = 0 to n - 1 do
+      data.(flat) <- src.(broadcast_offset t.shape out (unravel out flat))
+    done;
+    { shape = out; data = F data }
+  | I src ->
+    let data = Array.make n 0 in
+    for flat = 0 to n - 1 do
+      data.(flat) <- src.(broadcast_offset t.shape out (unravel out flat))
+    done;
+    { shape = out; data = I data }
+
+let map_f f t = { t with data = F (Array.map f (data_f t)) }
+let map_i f t = { t with data = I (Array.map f (data_i t)) }
+
+let map2 f a b =
+  let out = broadcast_dims a.shape b.shape in
+  let n = product out in
+  let da = data_f a and db = data_f b in
+  let data = Array.make n 0.0 in
+  for flat = 0 to n - 1 do
+    let ix = unravel out flat in
+    data.(flat) <-
+      f da.(broadcast_offset a.shape out ix) db.(broadcast_offset b.shape out ix)
+  done;
+  { shape = out; data = F data }
+
+let map2i f a b =
+  let out = broadcast_dims a.shape b.shape in
+  let n = product out in
+  let da = data_i a and db = data_i b in
+  let data = Array.make n 0 in
+  for flat = 0 to n - 1 do
+    let ix = unravel out flat in
+    data.(flat) <-
+      f da.(broadcast_offset a.shape out ix) db.(broadcast_offset b.shape out ix)
+  done;
+  { shape = out; data = I data }
+
+let cast t target =
+  match t.data, target with
+  | F _, F32 | I _, I64 -> t
+  | F a, I64 -> { t with data = I (Array.map int_of_float a) }
+  | I a, F32 -> { t with data = F (Array.map float_of_int a) }
+
+let equal a b =
+  a.shape = b.shape
+  &&
+  match a.data, b.data with
+  | F x, F y -> x = y
+  | I x, I y -> x = y
+  | F _, I _ | I _, F _ -> false
+
+let approx_equal ?(eps = 1e-5) a b =
+  a.shape = b.shape
+  &&
+  match a.data, b.data with
+  | F x, F y ->
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        let d = Float.abs (v -. y.(i)) in
+        let scale = Float.max 1.0 (Float.max (Float.abs v) (Float.abs y.(i))) in
+        if d > eps *. scale then ok := false)
+      x;
+    !ok
+  | I x, I y -> x = y
+  | F _, I _ | I _, F _ -> false
+
+let pp ppf t =
+  let dims_s =
+    String.concat "x" (List.map string_of_int (dims t))
+  in
+  let dtype_s = match t.data with F _ -> "f32" | I _ -> "i64" in
+  if numel t <= 16 then
+    match t.data with
+    | F a ->
+      Format.fprintf ppf "%s[%s](%s)" dtype_s dims_s
+        (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.4g") a)))
+    | I a ->
+      Format.fprintf ppf "%s[%s](%s)" dtype_s dims_s
+        (String.concat " " (Array.to_list (Array.map string_of_int a)))
+  else Format.fprintf ppf "%s[%s](%d elements)" dtype_s dims_s (numel t)
+
+let to_string t = Format.asprintf "%a" pp t

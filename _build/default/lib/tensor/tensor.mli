@@ -1,0 +1,110 @@
+(** Dense n-dimensional tensors, row-major and contiguous.
+
+    Two element types are supported: 32/64-bit floats (stored as OCaml
+    [float array]) and integers ([int array]).  Integer tensors carry shape
+    vectors, indices and boolean masks; float tensors carry activations and
+    weights.  All kernels used by the runtime live in {!Linalg},
+    {!Transform} and {!Reduction}; this module provides representation,
+    creation, indexing and broadcast-aware elementwise maps. *)
+
+type dtype =
+  | F32  (** floating point elements *)
+  | I64  (** integer elements (also used for booleans: 0 / 1) *)
+
+type t
+
+(** {1 Creation} *)
+
+val create_f : int list -> float array -> t
+(** [create_f dims data] wraps [data] as a float tensor of shape [dims].
+    Raises [Invalid_argument] if sizes disagree. *)
+
+val create_i : int list -> int array -> t
+
+val zeros : dtype -> int list -> t
+val full_f : int list -> float -> t
+val full_i : int list -> int -> t
+val scalar_f : float -> t
+val scalar_i : int -> t
+
+val of_int_list : int list -> t
+(** 1-d integer tensor holding the given values (e.g. a shape vector). *)
+
+val init_f : int list -> (int array -> float) -> t
+(** [init_f dims f] builds a float tensor whose element at multi-index [ix]
+    is [f ix]. *)
+
+val rand_uniform : Rng.t -> int list -> t
+(** Uniform floats in [\[-1, 1)]. *)
+
+val rand_normal : Rng.t -> ?stddev:float -> int list -> t
+
+(** {1 Inspection} *)
+
+val dims : t -> int list
+val dims_arr : t -> int array
+val rank : t -> int
+val numel : t -> int
+val dtype : t -> dtype
+
+val data_f : t -> float array
+(** Underlying storage; raises [Invalid_argument] on an integer tensor. *)
+
+val data_i : t -> int array
+
+val to_int_list : t -> int list
+(** Elements of an integer tensor, flattened. *)
+
+val byte_size : t -> int
+(** Size in bytes (4 bytes per f32 element, 8 per int). *)
+
+(** {1 Indexing} *)
+
+val strides : t -> int array
+val ravel : int array -> int array -> int
+(** [ravel dims ix] is the flat offset of multi-index [ix]. *)
+
+val unravel : int array -> int -> int array
+
+val get_f : t -> int array -> float
+val set_f : t -> int array -> float -> unit
+val get_i : t -> int array -> int
+val set_i : t -> int array -> int -> unit
+
+(** {1 Shape manipulation} *)
+
+val reshape : t -> int list -> t
+(** O(1); shares storage. Raises if element counts differ. *)
+
+val broadcast_dims : int array -> int array -> int array
+(** Numpy broadcast of two shapes; raises [Invalid_argument] when
+    incompatible. *)
+
+val broadcast_to : t -> int list -> t
+(** Materialized broadcast. *)
+
+(** {1 Elementwise operations} *)
+
+val map_f : (float -> float) -> t -> t
+val map_i : (int -> int) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Broadcasting binary map over float tensors. *)
+
+val map2i : (int -> int -> int) -> t -> t -> t
+
+val cast : t -> dtype -> t
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+(** Exact structural equality (shape, dtype and elements). *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Float comparison within absolute/relative tolerance [eps]
+    (default 1e-5); integer tensors compare exactly. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints dtype, shape and (for small tensors) elements. *)
+
+val to_string : t -> string

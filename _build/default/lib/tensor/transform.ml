@@ -1,0 +1,224 @@
+let transpose t perm =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  if List.length perm <> r || List.sort compare perm <> List.init r Fun.id then
+    invalid_arg "Transform.transpose: perm must be a permutation of axes";
+  let perm = Array.of_list perm in
+  let out_dims = Array.to_list (Array.map (fun p -> d.(p)) perm) in
+  let remap ix =
+    (* ix indexes the output; map back to source coordinates. *)
+    let src_ix = Array.make r 0 in
+    Array.iteri (fun i p -> src_ix.(p) <- ix.(i)) perm;
+    src_ix
+  in
+  match Tensor.dtype t with
+  | Tensor.F32 -> Tensor.init_f out_dims (fun ix -> Tensor.get_f t (remap ix))
+  | Tensor.I64 ->
+    let out = Tensor.zeros Tensor.I64 out_dims in
+    let n = Tensor.numel out in
+    let od = Array.of_list out_dims in
+    for flat = 0 to n - 1 do
+      let ix = Tensor.unravel od flat in
+      Tensor.set_i out ix (Tensor.get_i t (remap ix))
+    done;
+    out
+
+let normalize_slice_bound dim v ~is_end ~step =
+  let v = if v < 0 then v + dim else v in
+  if step > 0 then max 0 (min v dim)
+  else if is_end then max (-1) (min v (dim - 1))
+  else max 0 (min v (dim - 1))
+
+let slice t ~starts ~ends ~axes ?steps () =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let steps = match steps with Some s -> s | None -> List.map (fun _ -> 1) axes in
+  let start_arr = Array.make r 0 in
+  let step_arr = Array.make r 1 in
+  let len_arr = Array.copy d in
+  List.iteri
+    (fun i axis ->
+      let axis = if axis < 0 then axis + r else axis in
+      let step = List.nth steps i in
+      if step = 0 then invalid_arg "Transform.slice: step 0";
+      let s = normalize_slice_bound d.(axis) (List.nth starts i) ~is_end:false ~step in
+      let e = normalize_slice_bound d.(axis) (List.nth ends i) ~is_end:true ~step in
+      let count =
+        if step > 0 then (e - s + step - 1) / step else (s - e + (-step) - 1) / -step
+      in
+      start_arr.(axis) <- s;
+      step_arr.(axis) <- step;
+      len_arr.(axis) <- max 0 count)
+    axes;
+  let out_dims = Array.to_list len_arr in
+  let src_ix ix = Array.mapi (fun i v -> start_arr.(i) + (v * step_arr.(i))) ix in
+  match Tensor.dtype t with
+  | Tensor.F32 -> Tensor.init_f out_dims (fun ix -> Tensor.get_f t (src_ix ix))
+  | Tensor.I64 ->
+    let out = Tensor.zeros Tensor.I64 out_dims in
+    for flat = 0 to Tensor.numel out - 1 do
+      let ix = Tensor.unravel len_arr flat in
+      Tensor.set_i out ix (Tensor.get_i t (src_ix ix))
+    done;
+    out
+
+let concat ts ~axis =
+  match ts with
+  | [] -> invalid_arg "Transform.concat: empty list"
+  | first :: _ ->
+    let r = Tensor.rank first in
+    let axis = if axis < 0 then axis + r else axis in
+    let out_axis = List.fold_left (fun acc t -> acc + (Tensor.dims_arr t).(axis)) 0 ts in
+    let out_dims =
+      List.mapi (fun i v -> if i = axis then out_axis else v) (Tensor.dims first)
+    in
+    let out = Tensor.zeros (Tensor.dtype first) out_dims in
+    let offset = ref 0 in
+    List.iter
+      (fun t ->
+        let d = Tensor.dims_arr t in
+        let n = Tensor.numel t in
+        for flat = 0 to n - 1 do
+          let ix = Tensor.unravel d flat in
+          let out_ix = Array.copy ix in
+          out_ix.(axis) <- ix.(axis) + !offset;
+          match Tensor.dtype t with
+          | Tensor.F32 -> Tensor.set_f out out_ix (Tensor.get_f t ix)
+          | Tensor.I64 -> Tensor.set_i out out_ix (Tensor.get_i t ix)
+        done;
+        offset := !offset + d.(axis))
+      ts;
+    out
+
+let split t ~axis ~sizes =
+  let r = Tensor.rank t in
+  let axis = if axis < 0 then axis + r else axis in
+  let starts = ref 0 in
+  List.map
+    (fun size ->
+      let s = !starts in
+      starts := s + size;
+      slice t ~starts:[ s ] ~ends:[ s + size ] ~axes:[ axis ] ())
+    sizes
+
+let gather t ~indices ~axis =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let axis = if axis < 0 then axis + r else axis in
+  let idx_dims = Tensor.dims indices in
+  let out_dims =
+    List.concat
+      [ List.filteri (fun i _ -> i < axis) (Tensor.dims t);
+        idx_dims;
+        List.filteri (fun i _ -> i > axis) (Tensor.dims t)
+      ]
+  in
+  let ir = List.length idx_dims in
+  let src_ix out_ix =
+    let idx_ix = Array.sub out_ix axis ir in
+    let pos = Tensor.get_i indices idx_ix in
+    let pos = if pos < 0 then pos + d.(axis) else pos in
+    Array.init r (fun i ->
+        if i < axis then out_ix.(i)
+        else if i = axis then pos
+        else out_ix.(i + ir - 1))
+  in
+  match Tensor.dtype t with
+  | Tensor.F32 -> Tensor.init_f out_dims (fun ix -> Tensor.get_f t (src_ix ix))
+  | Tensor.I64 ->
+    let out = Tensor.zeros Tensor.I64 out_dims in
+    let od = Array.of_list out_dims in
+    for flat = 0 to Tensor.numel out - 1 do
+      let ix = Tensor.unravel od flat in
+      Tensor.set_i out ix (Tensor.get_i t (src_ix ix))
+    done;
+    out
+
+let pad t ~before ~after ~value =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  if List.length before <> r || List.length after <> r then
+    invalid_arg "Transform.pad: pads must match rank";
+  let bef = Array.of_list before in
+  let out_dims = List.mapi (fun i v -> v + List.nth before i + List.nth after i) (Tensor.dims t) in
+  Tensor.init_f out_dims (fun ix ->
+      let src = Array.mapi (fun i v -> v - bef.(i)) ix in
+      let inside = ref true in
+      Array.iteri (fun i v -> if v < 0 || v >= d.(i) then inside := false) src;
+      if !inside then Tensor.get_f t src else value)
+
+let tile t ~repeats =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  if List.length repeats <> r then invalid_arg "Transform.tile: repeats must match rank";
+  let out_dims = List.mapi (fun i v -> v * List.nth repeats i) (Tensor.dims t) in
+  Tensor.init_f out_dims (fun ix -> Tensor.get_f t (Array.mapi (fun i v -> v mod d.(i)) ix))
+
+let resize_nearest t ~out_spatial =
+  let d = Tensor.dims_arr t in
+  let r = Array.length d in
+  let spatial_rank = List.length out_spatial in
+  if spatial_rank <> r - 2 then
+    invalid_arg "Transform.resize_nearest: spatial rank mismatch";
+  let out_dims = d.(0) :: d.(1) :: out_spatial in
+  let out_sp = Array.of_list out_spatial in
+  Tensor.init_f out_dims (fun ix ->
+      let src =
+        Array.mapi
+          (fun i v ->
+            if i < 2 then v
+            else
+              let in_sz = d.(i) and out_sz = out_sp.(i - 2) in
+              min (in_sz - 1) (v * in_sz / out_sz))
+          ix
+      in
+      Tensor.get_f t src)
+
+let where cond a b =
+  let dims = Tensor.broadcast_dims (Tensor.dims_arr cond)
+      (Tensor.broadcast_dims (Tensor.dims_arr a) (Tensor.dims_arr b))
+  in
+  let dl = Array.to_list dims in
+  let cond = Tensor.broadcast_to cond dl in
+  let a = Tensor.broadcast_to a dl in
+  let b = Tensor.broadcast_to b dl in
+  let mask = Tensor.data_i cond in
+  let da = Tensor.data_f a and db = Tensor.data_f b in
+  Tensor.create_f dl (Array.init (Array.length da) (fun i -> if mask.(i) <> 0 then da.(i) else db.(i)))
+
+let one_hot t ~depth =
+  let out_dims = Tensor.dims t @ [ depth ] in
+  let src = Tensor.data_i t in
+  let sd = Tensor.dims_arr t in
+  Tensor.init_f out_dims (fun ix ->
+      let r = Array.length ix in
+      let base = Array.sub ix 0 (r - 1) in
+      let v = src.(if Array.length sd = 0 then 0 else Tensor.ravel sd base) in
+      if v = ix.(r - 1) then 1.0 else 0.0)
+
+let range ~start ~limit ~delta =
+  if delta = 0 then invalid_arg "Transform.range: delta 0";
+  let count = max 0 ((limit - start + delta + (if delta > 0 then -1 else 1)) / delta) in
+  Tensor.create_i [ count ] (Array.init count (fun i -> start + (i * delta)))
+
+let depth_to_space t ~block =
+  let d = Tensor.dims_arr t in
+  let n = d.(0) and c = d.(1) and h = d.(2) and w = d.(3) in
+  let c' = c / (block * block) in
+  let out_dims = [ n; c'; h * block; w * block ] in
+  Tensor.init_f out_dims (fun ix ->
+      let oy = ix.(2) and ox = ix.(3) in
+      let by = oy mod block and bx = ox mod block in
+      let src_c = (((by * block) + bx) * c') + ix.(1) in
+      Tensor.get_f t [| ix.(0); src_c; oy / block; ox / block |])
+
+let space_to_depth t ~block =
+  let d = Tensor.dims_arr t in
+  let n = d.(0) and c = d.(1) and h = d.(2) and w = d.(3) in
+  let out_dims = [ n; c * block * block; h / block; w / block ] in
+  Tensor.init_f out_dims (fun ix ->
+      let oc = ix.(1) in
+      let src_c = oc mod c in
+      let rem = oc / c in
+      let by = rem / block and bx = rem mod block in
+      Tensor.get_f t [| ix.(0); src_c; (ix.(2) * block) + by; (ix.(3) * block) + bx |])

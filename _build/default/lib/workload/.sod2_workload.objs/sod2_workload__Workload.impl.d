@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Env Graph Hashtbl List Rng Zoo

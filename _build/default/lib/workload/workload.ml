@@ -1,0 +1,47 @@
+type sample = {
+  idx : int;
+  env : Env.t;
+  gate : Graph.tensor_id -> int;
+}
+
+(* Deterministic gate outcome from (seed, sample, predicate tensor). *)
+let make_gate ~seed ~idx ~gate_prob tid =
+  let rng = Rng.create ((seed * 1000003) lxor (idx * 7919) lxor (tid * 104729)) in
+  if Rng.bool rng gate_prob then 1 else 0
+
+let samples ?(n = 50) ?(seed = 2024) ?(gate_prob = 0.5) spec =
+  let rng = Rng.create seed in
+  List.init n (fun idx ->
+      let env = Zoo.sample_env spec rng in
+      { idx; env; gate = make_gate ~seed ~idx ~gate_prob })
+
+let sample_at ?(seed = 2024) ?(gate_prob = 0.5) spec ~percentile ~idx =
+  {
+    idx;
+    env = Zoo.percentile_env spec percentile;
+    gate = make_gate ~seed ~idx ~gate_prob;
+  }
+
+let ascending_sizes ?(n = 15) ?(seed = 2024) spec =
+  let raw =
+    List.init n (fun idx ->
+        let p = if n <= 1 then 0.0 else float_of_int idx /. float_of_int (n - 1) in
+        {
+          idx;
+          env = Zoo.percentile_env spec p;
+          gate = make_gate ~seed ~idx ~gate_prob:0.5;
+        })
+  in
+  (* percentile rounding can repeat a size; keep each distinct extent once *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun sm ->
+      let key = Env.to_list sm.env in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    raw
+
+let fixed_gates branch _tid = branch

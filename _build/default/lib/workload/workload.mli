@@ -1,0 +1,33 @@
+(** Input-sample generation for the evaluation harness.
+
+    The paper evaluates each model on 50 randomly-selected validation
+    inputs whose extents span the ranges of §5.1.  Here a {!sample} is a
+    valuation of the model's shape variables plus a deterministic gate
+    function standing in for the input-dependent branch decisions of the
+    control-flow models: gate outcomes are drawn from a hash of
+    (generator seed, sample index, predicate tensor), so every run of
+    every experiment sees the same "inputs". *)
+
+type sample = {
+  idx : int;
+  env : Env.t;  (** shape-variable valuation *)
+  gate : Graph.tensor_id -> int;  (** branch decision per predicate tensor *)
+}
+
+val samples :
+  ?n:int -> ?seed:int -> ?gate_prob:float -> Zoo.spec -> sample list
+(** [samples spec] draws [n] (default 50) input samples with extents
+    uniform over the model's admissible values; [gate_prob] (default 0.5)
+    is the probability a gate takes the expensive branch. *)
+
+val sample_at :
+  ?seed:int -> ?gate_prob:float -> Zoo.spec -> percentile:float -> idx:int -> sample
+(** Deterministic sample at a size percentile (Table 7's setup). *)
+
+val ascending_sizes : ?n:int -> ?seed:int -> Zoo.spec -> sample list
+(** [n] (default 15) samples with sizes increasing from the minimum to the
+    maximum of the range — Fig. 10's sweep. *)
+
+val fixed_gates : int -> Graph.tensor_id -> int
+(** A gate function that always picks the given branch — used when
+    control-flow dynamism is disabled (Fig. 9, Fig. 12). *)

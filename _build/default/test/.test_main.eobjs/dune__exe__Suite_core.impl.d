@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Cost_model Dim Env Fun Graph Hashtbl List Op Option Printf Profile QCheck2 QCheck_alcotest Rng Shape Sod2 Sod2_experiments Tensor Zoo

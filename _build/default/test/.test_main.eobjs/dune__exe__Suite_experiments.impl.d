@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Filename List Sod2_experiments String

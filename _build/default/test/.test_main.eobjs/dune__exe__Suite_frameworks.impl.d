@@ -1,0 +1,1 @@
+test/suite_frameworks.ml: Alcotest Framework List Option Printf Profile Sod2_experiments Sod2_runtime Workload Zoo

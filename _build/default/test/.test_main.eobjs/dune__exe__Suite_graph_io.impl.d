@@ -1,0 +1,1 @@
+test/suite_graph_io.ml: Alcotest Array Env Filename Graph Graph_io List Op Op_codec Option Profile Result Rng Sexp Shape Sod2 Sod2_experiments Sod2_runtime String Sys Tensor Zoo

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Array Dim Expr Graph List Op Op_class Option Shape Shape_fn String Value_info

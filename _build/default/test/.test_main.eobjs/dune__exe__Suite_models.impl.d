@@ -1,0 +1,1 @@
+test/suite_models.ml: Alcotest Codebert Env Gpt_decoder Graph List Option Profile Rng Shape Sod2 Sod2_experiments Sod2_runtime Tensor Workload Zoo

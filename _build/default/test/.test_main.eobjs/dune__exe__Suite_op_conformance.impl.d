@@ -1,0 +1,1 @@
+test/suite_op_conformance.ml: Alcotest Array Dim Expr Float Lattice List Op Option QCheck2 QCheck_alcotest Rng Shape Shape_fn Sod2_runtime Tensor Value_info

@@ -1,0 +1,1 @@
+test/suite_rdp.ml: Alcotest Array Dim Env Expr Graph List Op Op_class Option Profile QCheck2 QCheck_alcotest Rng Shape Sod2 Sod2_experiments Sod2_runtime Tensor Value_info Workload Zoo

@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Alcotest Array Dim Env Graph Hashtbl List Op Option Profile Rng Shape Sod2 Sod2_experiments Sod2_runtime Tensor Workload Zoo

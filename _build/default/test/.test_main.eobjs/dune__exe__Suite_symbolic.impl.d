@@ -1,0 +1,1 @@
+test/suite_symbolic.ml: Alcotest Array Dim Env Expr Fun Int Lattice List Option QCheck2 QCheck_alcotest Shape Value_info

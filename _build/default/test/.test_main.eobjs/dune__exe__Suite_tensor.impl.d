@@ -1,0 +1,1 @@
+test/suite_tensor.ml: Alcotest Array Linalg List QCheck2 QCheck_alcotest Reduction Rng Tensor Transform

@@ -1,0 +1,196 @@
+(* Smoke tests: every experiment reproduction runs and yields the expected
+   row structure at a reduced sample count, and the key qualitative claims
+   hold (the "shape" of the paper's results). *)
+
+module E = Sod2_experiments.Experiments
+module T = Sod2_experiments.Table
+
+let rows t = t.T.rows
+
+let parse_ratio cell = float_of_string (Filename.chop_suffix cell "x")
+
+let test_table1 () =
+  let t = E.table1 () in
+  Alcotest.(check int) "three models" 3 (List.length (rows t));
+  (* re-initialization (SL+ST) dwarfs inference on CPU for every model *)
+  List.iter
+    (fun row ->
+      match row with
+      | _model :: sl :: st :: _alloc :: infer :: _ ->
+        let reinit = float_of_string sl +. float_of_string st in
+        Alcotest.(check bool) "reinit > infer" true (reinit > float_of_string infer)
+      | _ -> Alcotest.fail "row shape")
+    (rows t)
+
+let test_table5_and_6 () =
+  let t5 = E.table5 ~n:6 () in
+  Alcotest.(check int) "10 models + geomean" 11 (List.length (rows t5));
+  (* the geo-mean row: every baseline uses at least as much memory *)
+  (match List.rev (rows t5) with
+  | geo :: _ ->
+    (match geo with
+    | _ :: ort :: _ :: mnn :: _ :: tvm :: _ ->
+      Alcotest.(check bool) "ORT >= 1x" true (parse_ratio ort >= 1.0);
+      Alcotest.(check bool) "MNN >= 1x" true (parse_ratio mnn >= 1.0);
+      Alcotest.(check bool) "TVM >= MNN" true (parse_ratio tvm >= parse_ratio mnn)
+    | _ -> Alcotest.fail "geo row shape")
+  | [] -> Alcotest.fail "empty table");
+  let t6 = E.table6 ~n:6 () in
+  Alcotest.(check int) "10 models + geomean" 11 (List.length (rows t6))
+
+let test_table7_trend () =
+  let t = E.table7 () in
+  List.iter
+    (fun row ->
+      match row with
+      | _fw :: cells ->
+        let speeds = List.map parse_ratio cells in
+        (* SoD2 is ahead at every percentile, and more ahead at the top
+           than at the bottom of the size distribution *)
+        List.iter (fun s -> Alcotest.(check bool) "ahead" true (s >= 1.0)) speeds;
+        Alcotest.(check bool) "grows with size" true
+          (List.nth speeds 4 >= List.nth speeds 0)
+      | [] -> Alcotest.fail "row")
+    (rows t)
+
+let test_fig5_fig6_monotone () =
+  let t = E.fig5 ~n:4 () in
+  List.iter
+    (fun row ->
+      match row with
+      | _model :: cells ->
+        let vals = List.map float_of_string cells in
+        (* cumulative optimizations never increase memory *)
+        let rec non_increasing = function
+          | a :: b :: rest -> b <= a +. 1e-9 && non_increasing (b :: rest)
+          | _ -> true
+        in
+        Alcotest.(check bool) "memory non-increasing" true (non_increasing vals)
+      | [] -> Alcotest.fail "row")
+    (rows t);
+  let t = E.fig6 ~n:4 () in
+  List.iter
+    (fun row ->
+      match row with
+      | _model :: cells ->
+        let vals = List.map float_of_string cells in
+        let rec non_decreasing = function
+          | a :: b :: rest -> b >= a -. 0.02 && non_decreasing (b :: rest)
+          | _ -> true
+        in
+        Alcotest.(check bool) "speedup non-decreasing" true (non_decreasing vals)
+      | [] -> Alcotest.fail "row")
+    (rows t)
+
+let test_fig7_rdp_beats_static () =
+  let t = E.fig7 () in
+  List.iter
+    (fun row ->
+      match row with
+      | _m :: _lc0 :: lc_s :: lc_r :: _ir0 :: ir_s :: ir_r :: _ ->
+        Alcotest.(check bool) "RDP fuses more layers" true
+          (float_of_string lc_r < float_of_string lc_s);
+        Alcotest.(check bool) "RDP shrinks IR more" true
+          (float_of_string ir_r <= float_of_string ir_s)
+      | _ -> Alcotest.fail "row shape")
+    (rows t)
+
+let test_fig8_optimizable_majority () =
+  let t = E.fig8 () in
+  let count_rows =
+    List.filter (fun r -> String.length (List.hd r) > 0 &&
+                          String.length (List.hd r) >= 7 &&
+                          String.sub (List.hd r) (String.length (List.hd r) - 7) 7 = "(count)")
+      (rows t)
+  in
+  List.iter
+    (fun row ->
+      match row with
+      | _m :: cells ->
+        let pct s = float_of_string (Filename.chop_suffix s "%") in
+        let optimizable = pct (List.nth cells 0) +. pct (List.nth cells 1)
+                          +. pct (List.nth cells 2) +. pct (List.nth cells 3) in
+        (* the paper's claim: over 90% of sub-graphs are plannable *)
+        Alcotest.(check bool) "over 90% optimizable" true (optimizable >= 90.0)
+      | [] -> Alcotest.fail "row")
+    count_rows
+
+let test_fig9_11_12 () =
+  let t = E.fig9 ~n:4 () in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "faster even without branch selection" true
+        (parse_ratio (List.nth row 1) > 1.0))
+    (rows t);
+  let t = E.fig11 ~n:4 () in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "beats TFLite under equal budget" true
+        (parse_ratio (List.nth row 1) > 1.0))
+    (rows t);
+  let t = E.fig12 () in
+  List.iter
+    (fun row ->
+      let pct = float_of_string (Filename.chop_suffix (List.nth row 1) "%") in
+      Alcotest.(check bool) "small positive overhead" true (pct >= 0.0 && pct <= 15.0))
+    (rows t)
+
+let test_fig10_monotone () =
+  let t = E.fig10 () in
+  let sod2 = List.map (fun row -> float_of_string (List.nth row 2)) (rows t) in
+  let rec mostly_increasing = function
+    | a :: b :: rest -> b >= a *. 0.9 && mostly_increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "latency grows with size" true (mostly_increasing sod2)
+
+let test_memplan_ablation () =
+  let t = E.memplan_ablation () in
+  List.iter
+    (fun row ->
+      let pf = parse_ratio (List.nth row 1) and gr = parse_ratio (List.nth row 2) in
+      Alcotest.(check bool) "peak-first <= greedy" true (pf <= gr +. 1e-9);
+      Alcotest.(check bool) "peak-first near optimal" true (pf <= 1.10))
+    (rows t)
+
+let test_extensions () =
+  (* ordering ablation: SoD2 never loses to breadth-first, and wins on the
+     wide synthetic graph *)
+  let t = E.ordering_ablation () in
+  List.iter
+    (fun row ->
+      let sod2 = float_of_string (List.nth row 3) in
+      Alcotest.(check bool) "never worse than bfs" true (sod2 <= 1.0 +. 1e-9);
+      if List.hd row = "wide multi-branch" then
+        Alcotest.(check bool) "wins with slack" true (sod2 < 0.8))
+    (rows t);
+  (* tuner ablation: searched >= untuned *)
+  let t = E.tuner_ablation () in
+  List.iter
+    (fun row ->
+      let untuned = float_of_string (List.nth row 1) in
+      let ga = float_of_string (List.nth row 3) in
+      Alcotest.(check bool) "GA beats untuned" true (ga >= untuned))
+    (rows t);
+  (* LLM decode: SoD2 per-step cost stays in the same order of magnitude
+     while the re-initializing engine pays per-step recompilation *)
+  let t = E.llm_decode () in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "large per-step speedup" true
+        (parse_ratio (List.nth row 3) > 50.0))
+    (rows t)
+
+let suite =
+  [
+    Alcotest.test_case "extensions (ablations + LLM decode)" `Slow test_extensions;
+    Alcotest.test_case "Table 1 structure" `Slow test_table1;
+    Alcotest.test_case "Tables 5 and 6" `Slow test_table5_and_6;
+    Alcotest.test_case "Table 7 trend" `Slow test_table7_trend;
+    Alcotest.test_case "Figs 5/6 monotone" `Slow test_fig5_fig6_monotone;
+    Alcotest.test_case "Fig 7: RDP beats static fusion" `Quick test_fig7_rdp_beats_static;
+    Alcotest.test_case "Fig 8: >90% optimizable" `Quick test_fig8_optimizable_majority;
+    Alcotest.test_case "Figs 9/11/12" `Slow test_fig9_11_12;
+    Alcotest.test_case "Fig 10 monotone" `Slow test_fig10_monotone;
+    Alcotest.test_case "memory-plan ablation" `Quick test_memplan_ablation;
+  ]

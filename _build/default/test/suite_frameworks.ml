@@ -1,0 +1,151 @@
+(* Tests for the framework simulators: the support matrix, re-init
+   semantics, per-framework cost structure, and the headline ordering the
+   paper reports (SoD2 dominates on latency and memory). *)
+
+let cpu = Profile.sd888_cpu
+let gpu = Profile.sd888_gpu
+
+let spec name = Option.get (Zoo.by_name name)
+let graph_of name = Sod2_experiments.Harness.graph_of (spec name)
+
+let session ?(profile = cpu) kind name =
+  let sp = spec name in
+  let g = graph_of name in
+  Framework.create kind profile g ~max_dims:(Zoo.input_dims sp g (Zoo.max_env sp))
+
+let run ?control s name (sm : Workload.sample) =
+  let sp = spec name in
+  Framework.run ?control s ~input_dims:(Zoo.input_dims sp (graph_of name) sm.env) ~gate:sm.gate
+
+let test_support_matrix () =
+  let sup k m t = Framework.supports k ~model:m t in
+  (* the '-' cells of Tables 5/6 *)
+  Alcotest.(check bool) "ORT no conformer" false (sup Framework.Ort "conformer" Profile.Cpu);
+  Alcotest.(check bool) "ORT no SA" false (sup Framework.Ort "segment-anything" Profile.Cpu);
+  Alcotest.(check bool) "MNN no SA" false (sup Framework.Mnn "segment-anything" Profile.Cpu);
+  Alcotest.(check bool) "MNN GPU no codebert" false (sup Framework.Mnn "codebert" Profile.Gpu);
+  Alcotest.(check bool) "MNN GPU conformer ok" true (sup Framework.Mnn "conformer" Profile.Gpu);
+  Alcotest.(check bool) "TVM-N CPU yolo" true (sup Framework.Tvm_nimble "yolov6" Profile.Cpu);
+  Alcotest.(check bool) "TVM-N no GPU" false (sup Framework.Tvm_nimble "yolov6" Profile.Gpu);
+  Alcotest.(check bool) "SoD2 everything" true (sup Framework.Sod2_fw "segment-anything" Profile.Gpu)
+
+let test_reinit_semantics () =
+  let s = session Framework.Mnn "codebert" in
+  let sm p i = Workload.sample_at (spec "codebert") ~percentile:p ~idx:i in
+  let first = run s "codebert" (sm 0.2 0) in
+  Alcotest.(check bool) "first run initializes" true first.Framework.reinitialized;
+  let same = run s "codebert" (sm 0.2 1) in
+  Alcotest.(check bool) "same shape: no reinit" false same.Framework.reinitialized;
+  Alcotest.(check (float 0.001)) "no reinit cost" 0.0 same.Framework.reinit_us;
+  let changed = run s "codebert" (sm 0.9 2) in
+  Alcotest.(check bool) "shape change reinitializes" true changed.Framework.reinitialized;
+  Alcotest.(check bool) "reinit dominated by tuning" true
+    (changed.Framework.bd.tuning_us > changed.Framework.bd.shape_pass_us);
+  (* SoD2 never reinitializes *)
+  let s = session Framework.Sod2_fw "codebert" in
+  let a = run s "codebert" (sm 0.2 0) in
+  let b = run s "codebert" (sm 0.9 1) in
+  Alcotest.(check bool) "sod2 shape change free" true
+    ((not a.Framework.reinitialized) && not b.Framework.reinitialized)
+
+let test_per_framework_cost_structure () =
+  let sm = Workload.sample_at (spec "yolov6") ~percentile:0.5 ~idx:0 in
+  (* TVM-N pays runtime shape functions and dynamic allocation every run *)
+  let tvm = run (session Framework.Tvm_nimble "yolov6") "yolov6" sm in
+  Alcotest.(check bool) "tvm shape fns" true (tvm.Framework.bd.shape_pass_us > 0.0);
+  Alcotest.(check bool) "tvm mallocs" true (tvm.Framework.bd.alloc_us > 0.0);
+  (* SoD2's per-inference overheads are tiny relative to inference *)
+  let sod2 = run (session Framework.Sod2_fw "yolov6") "yolov6" sm in
+  Alcotest.(check bool) "sod2 plan instantiation is cheap" true
+    (sod2.Framework.bd.alloc_us < 0.1 *. sod2.Framework.bd.infer_us);
+  Alcotest.(check (float 0.001)) "sod2 no shape pass" 0.0 sod2.Framework.bd.shape_pass_us
+
+let test_sod2_dominates () =
+  (* the headline: on every supported model, SoD2's mean latency and memory
+     are no worse than every baseline's *)
+  List.iter
+    (fun (sp : Zoo.spec) ->
+      let samples = Workload.samples ~n:6 sp in
+      let mean f l = List.fold_left (fun a x -> a +. f x) 0.0 l /. float_of_int (List.length l) in
+      let stats kind =
+        let s = session kind sp.name in
+        List.map (fun sm -> run s sp.name sm) samples
+      in
+      let sod2 = stats Framework.Sod2_fw in
+      let s_lat = mean (fun (s : Framework.stats) -> s.latency_us) sod2 in
+      let s_mem = mean (fun (s : Framework.stats) -> float_of_int s.peak_bytes) sod2 in
+      List.iter
+        (fun kind ->
+          if Framework.supports kind ~model:sp.name Profile.Cpu then begin
+            let b = stats kind in
+            let b_lat = mean (fun (s : Framework.stats) -> s.latency_us) b in
+            let b_mem = mean (fun (s : Framework.stats) -> float_of_int s.peak_bytes) b in
+            if b_lat < s_lat *. 0.999 then
+              Alcotest.failf "%s: %s latency beats SoD2" sp.name (Framework.kind_name kind);
+            if b_mem < s_mem *. 0.999 then
+              Alcotest.failf "%s: %s memory beats SoD2" sp.name (Framework.kind_name kind)
+          end)
+        [ Framework.Ort; Framework.Mnn; Framework.Tvm_nimble ])
+    Zoo.all
+
+let test_gpu_faster_but_memory_similar () =
+  let sm = Workload.sample_at (spec "yolov6") ~percentile:0.5 ~idx:0 in
+  let c = run (session Framework.Sod2_fw "yolov6") "yolov6" sm in
+  let g = run (session ~profile:gpu Framework.Sod2_fw "yolov6") "yolov6" sm in
+  Alcotest.(check bool) "gpu faster" true (g.Framework.latency_us < c.Framework.latency_us);
+  Alcotest.(check int) "same plan memory" c.Framework.peak_bytes g.Framework.peak_bytes
+
+let test_budget_semantics () =
+  let sp = spec "skipnet" in
+  let s = session Framework.Tflite "skipnet" in
+  let sm = Workload.sample_at sp ~percentile:0.5 ~idx:0 in
+  let free = run s "skipnet" sm in
+  let input_dims = Zoo.input_dims sp (graph_of "skipnet") sm.env in
+  (* generous budget: nothing changes *)
+  let easy =
+    Framework.run_with_budget s ~budget_bytes:(free.Framework.peak_bytes * 2) ~input_dims
+      ~gate:sm.gate
+  in
+  Alcotest.(check (float 0.01)) "under budget unchanged" free.Framework.latency_us
+    easy.Framework.latency_us;
+  (* tight budget: latency rises, memory capped *)
+  let tight =
+    Framework.run_with_budget s ~budget_bytes:(free.Framework.peak_bytes / 4) ~input_dims
+      ~gate:sm.gate
+  in
+  Alcotest.(check bool) "remat penalty" true
+    (tight.Framework.latency_us > free.Framework.latency_us);
+  Alcotest.(check int) "memory capped" (free.Framework.peak_bytes / 4)
+    tight.Framework.peak_bytes
+
+let test_all_paths_costs_more () =
+  let sp = spec "blockdrop" in
+  let s = session Framework.Sod2_fw "blockdrop" in
+  let sm = { (Workload.sample_at sp ~percentile:0.5 ~idx:0) with gate = Workload.fixed_gates 1 } in
+  let sel = run ~control:Sod2_runtime.Executor.Selected_only s "blockdrop" sm in
+  let all = run ~control:Sod2_runtime.Executor.All_paths s "blockdrop" sm in
+  Alcotest.(check bool) "all-paths at least as slow" true
+    (all.Framework.latency_us >= sel.Framework.latency_us)
+
+let test_dnnfusion_close_to_sod2 () =
+  let sp = spec "ranet" in
+  let sm = { (Workload.sample_at sp ~percentile:0.5 ~idx:0) with gate = Workload.fixed_gates 1 } in
+  let d = run (session Framework.Dnnfusion "ranet") "ranet" sm in
+  let s = run (session Framework.Sod2_fw "ranet") "ranet" sm in
+  let overhead = s.Framework.latency_us /. d.Framework.latency_us in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.3f in [1.0, 1.15]" overhead)
+    true
+    (overhead >= 0.99 && overhead <= 1.15)
+
+let suite =
+  [
+    Alcotest.test_case "support matrix" `Quick test_support_matrix;
+    Alcotest.test_case "re-initialization semantics" `Quick test_reinit_semantics;
+    Alcotest.test_case "per-framework cost structure" `Quick test_per_framework_cost_structure;
+    Alcotest.test_case "SoD2 dominates baselines" `Slow test_sod2_dominates;
+    Alcotest.test_case "GPU profile effects" `Quick test_gpu_faster_but_memory_similar;
+    Alcotest.test_case "memory-budget semantics" `Quick test_budget_semantics;
+    Alcotest.test_case "all-paths costs more" `Quick test_all_paths_costs_more;
+    Alcotest.test_case "DNNFusion overhead band (Fig 12)" `Quick test_dnnfusion_close_to_sod2;
+  ]

@@ -1,0 +1,162 @@
+(* Tests for the graph file format: operator codec bijection, s-expression
+   parsing, and lossless round-trips of every zoo model. *)
+
+let test_sexp_roundtrip () =
+  let cases =
+    [ "(a b (c 1 2) ())"; "atom"; "(nested (very (deep (x))))"; "(f 0x1.8p-3 -4)" ]
+  in
+  List.iter
+    (fun text ->
+      match Sexp.parse text with
+      | Ok forms ->
+        let rendered = String.concat " " (List.map Sexp.to_string forms) in
+        (match Sexp.parse rendered with
+        | Ok forms2 ->
+          if forms <> forms2 then Alcotest.failf "unstable parse of %s" text
+        | Error e -> Alcotest.failf "re-parse of %s failed: %s" text e)
+      | Error e -> Alcotest.failf "parse of %s failed: %s" text e)
+    cases;
+  (match Sexp.parse "(unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated list accepted");
+  match Sexp.parse ")" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stray paren accepted"
+
+(* Every operator of the vocabulary round-trips through the codec. *)
+let op_vocabulary : Op.t list =
+  List.map (fun u -> Op.Unary u)
+    [ Op.Relu; Op.LeakyRelu 0.25; Op.Sigmoid; Op.Tanh; Op.Exp; Op.Log; Op.Sqrt;
+      Op.Neg; Op.Abs; Op.Erf; Op.Gelu; Op.HardSwish; Op.Softplus; Op.Floor;
+      Op.Ceil; Op.Round; Op.Not; Op.Identity; Op.Sign; Op.Reciprocal; Op.Softsign ]
+  @ List.map (fun bi -> Op.Binary bi)
+      [ Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Pow; Op.Max2; Op.Min2; Op.Mod2;
+        Op.Equal; Op.Less; Op.Greater; Op.And; Op.Or ]
+  @ [
+      Op.Clip (-1.5, 2.5); Op.Cast Tensor.F32; Op.Cast Tensor.I64; Op.Where;
+      Op.MatMul;
+      Op.Gemm { alpha = 0.5; beta = 1.25; trans_a = true; trans_b = false };
+      Op.Conv { stride = (2, 1); pads = (1, 2, 3, 4); dilation = (1, 2); groups = 4 };
+      Op.Conv1d { stride1 = 2; pads1 = (7, 7); dilation1 = 1; groups1 = 128 };
+      Op.MaxPool { kernel = (3, 3); pool_stride = (2, 2); pool_pads = (1, 1, 1, 1) };
+      Op.AveragePool { kernel = (2, 2); pool_stride = (2, 2); pool_pads = (0, 0, 0, 0) };
+      Op.GlobalAveragePool;
+      Op.BatchNorm { eps = 1e-5 }; Op.LayerNorm { eps = 1e-6 };
+      Op.GroupNorm { num_groups = 8; eps = 1e-5 };
+      Op.InstanceNorm { eps = 1e-5 };
+      Op.Softmax { axis = -1 }; Op.LogSoftmax { axis = 1 };
+      Op.Reduce { rkind = Op.Rsum; axes = [ 0; 2 ]; keepdims = true };
+      Op.Reduce { rkind = Op.Rl2; axes = []; keepdims = false };
+      Op.ArgMax { axis = 1; keepdims = false }; Op.ArgMin { axis = -1; keepdims = true };
+      Op.CumSum { axis = 0 }; Op.Transpose [ 0; 2; 1; 3 ]; Op.Reshape;
+      Op.Flatten { axis = 1 }; Op.Squeeze [ 0 ]; Op.Unsqueeze [ 0; 3 ];
+      Op.Concat { axis = 2 }; Op.Split { axis = 1; sizes = [ 64; 64 ] }; Op.Slice;
+      Op.Gather { axis = 0 }; Op.Pad { pad_value = 0.0 }; Op.Expand; Op.Tile;
+      Op.Resize Op.Nearest; Op.Upsample { scales = [ 2; 2 ] };
+      Op.DepthToSpace { block = 2 }; Op.SpaceToDepth { block = 4 };
+      Op.ShapeOf; Op.SizeOf; Op.ConstantOfShape { fill = 3.25 }; Op.EyeLike; Op.Range;
+      Op.OneHot { depth = 10 }; Op.TopK { axis = 0; largest = false }; Op.NonZero;
+      Op.NonMaxSuppression { max_out = 100; iou_threshold = 0.5 }; Op.If; Op.Loop;
+      Op.Switch { branches = 3 }; Op.Combine { branches = 3 };
+    ]
+
+let test_op_codec_bijection () =
+  List.iter
+    (fun op ->
+      let s = Op_codec.to_sexp op in
+      match Op_codec.of_sexp s with
+      | Ok op2 ->
+        if op <> op2 then
+          Alcotest.failf "%s decodes to %s" (Op.name op) (Op.name op2)
+      | Error e -> Alcotest.failf "%s failed to decode: %s" (Sexp.to_string s) e)
+    op_vocabulary;
+  (* unknown forms are rejected, not misparsed *)
+  (match Op_codec.of_sexp (Sexp.Atom "conv") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare atom accepted");
+  match Op_codec.of_sexp (Sexp.List [ Sexp.Atom "frobnicate" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown op accepted"
+
+let graphs_equal (a : Graph.t) (b : Graph.t) =
+  Graph.node_count a = Graph.node_count b
+  && Graph.tensor_count a = Graph.tensor_count b
+  && Graph.inputs a = Graph.inputs b
+  && Graph.outputs a = Graph.outputs b
+  && Array.for_all2
+       (fun (na : Graph.node) (nb : Graph.node) ->
+         na.Graph.op = nb.Graph.op && na.Graph.inputs = nb.Graph.inputs
+         && na.Graph.outputs = nb.Graph.outputs)
+       (Graph.nodes a) (Graph.nodes b)
+  &&
+  let tensors_match = ref true in
+  for tid = 0 to Graph.tensor_count a - 1 do
+    (match (Graph.tensor a tid).Graph.kind, (Graph.tensor b tid).Graph.kind with
+    | Graph.Input sa, Graph.Input sb -> if not (Shape.equal sa sb) then tensors_match := false
+    | Graph.Const ta, Graph.Const tb -> if not (Tensor.equal ta tb) then tensors_match := false
+    | Graph.Activation, Graph.Activation -> ()
+    | _ -> tensors_match := false)
+  done;
+  !tensors_match
+
+let test_zoo_roundtrip () =
+  (* three models covering shape dynamism, a dynamic Resize, and control
+     flow; the others exercise no additional format features *)
+  List.iter
+    (fun name ->
+      let sp = Option.get (Zoo.by_name name) in
+      let g = Sod2_experiments.Harness.graph_of sp in
+      let text = Graph_io.to_string g in
+      match Graph_io.of_string text with
+      | Ok g2 ->
+        if not (graphs_equal g g2) then Alcotest.failf "%s: round-trip changed the graph" sp.name;
+        (* serialization is stable *)
+        Alcotest.(check string) (sp.name ^ " stable") text (Graph_io.to_string g2)
+      | Error e -> Alcotest.failf "%s: parse failed: %s" sp.name e)
+    [ "codebert"; "yolov6"; "skipnet" ]
+
+let test_roundtrip_preserves_execution () =
+  (* the reloaded graph computes the same tensors *)
+  let sp = Option.get (Zoo.by_name "codebert") in
+  let g = Sod2_experiments.Harness.graph_of sp in
+  let g2 = Result.get_ok (Graph_io.of_string (Graph_io.to_string g)) in
+  let env = Env.of_list [ "S", 16 ] in
+  let inputs = Zoo.make_inputs sp g env (Rng.create 9) in
+  let run graph =
+    let c = Sod2.Pipeline.compile Profile.sd888_cpu graph in
+    snd (Sod2_runtime.Executor.run_real c ~inputs)
+  in
+  List.iter2
+    (fun (t1, v1) (t2, v2) ->
+      Alcotest.(check int) "same output id" t1 t2;
+      if not (Tensor.approx_equal v1 v2) then Alcotest.fail "outputs differ after reload")
+    (run g) (run g2)
+
+let test_file_io () =
+  let g = Sod2_experiments.Harness.graph_of (Option.get (Zoo.by_name "ranet")) in
+  let path = Filename.temp_file "sod2" ".graph" in
+  Graph_io.save g path;
+  (match Graph_io.load path with
+  | Ok g2 -> Alcotest.(check int) "nodes survive" (Graph.node_count g) (Graph.node_count g2)
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Sys.remove path
+
+let test_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Graph_io.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" text)
+    [ ""; "(sod2-graph 2)"; "(sod2-graph 1) (bogus)";
+      "(sod2-graph 1) (input 5 x (shape 1))";
+      "(sod2-graph 1) (input 0 x (shape 1))" (* missing outputs *) ]
+
+let suite =
+  [
+    Alcotest.test_case "sexp parse/print" `Quick test_sexp_roundtrip;
+    Alcotest.test_case "operator codec bijection" `Quick test_op_codec_bijection;
+    Alcotest.test_case "zoo round-trips losslessly" `Slow test_zoo_roundtrip;
+    Alcotest.test_case "reload preserves execution" `Slow test_roundtrip_preserves_execution;
+    Alcotest.test_case "file save/load" `Quick test_file_io;
+    Alcotest.test_case "garbage rejected" `Quick test_rejects_garbage;
+  ]

@@ -1,0 +1,277 @@
+(* Tests for the graph IR, the dynamism classification, and the
+   per-operator shape/value transfer functions. *)
+
+let dyn_shape = Shape.of_dims [ Dim.of_int 1; Dim.of_sym "H"; Dim.of_sym "W" ]
+
+let small_graph () =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" dyn_shape in
+  let y = Graph.Builder.node1 b (Op.Unary Op.Relu) [ x ] in
+  let z = Graph.Builder.node1 b (Op.Unary Op.Sigmoid) [ y ] in
+  Graph.Builder.set_outputs b [ z ];
+  Graph.Builder.finish b, x, y, z
+
+let test_builder_basic () =
+  let g, x, y, z = small_graph () in
+  Alcotest.(check int) "nodes" 2 (Graph.node_count g);
+  Alcotest.(check int) "tensors" 3 (Graph.tensor_count g);
+  Alcotest.(check (list int)) "inputs" [ x ] (Graph.inputs g);
+  Alcotest.(check (list int)) "outputs" [ z ] (Graph.outputs g);
+  (match Graph.producer g y with
+  | Some nd -> Alcotest.(check string) "producer" "Relu" (Op.name nd.op)
+  | None -> Alcotest.fail "no producer");
+  Alcotest.(check (list int)) "consumers of y" [ 1 ] (Graph.consumers g y);
+  Alcotest.(check (option (pair int int))) "input shape is declared" (Some (1, 3))
+    (Option.map (fun s -> 1, Option.get (Shape.rank s)) (Graph.input_shape g x))
+
+let test_builder_validation () =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" dyn_shape in
+  (* wrong arity *)
+  ignore (Graph.Builder.node1 b (Op.Unary Op.Relu) [ x ]);
+  Graph.Builder.set_outputs b [ x ];
+  ignore (Graph.Builder.finish b);
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" dyn_shape in
+  ignore (Graph.Builder.node b (Op.Binary Op.Add) [ x ]);
+  Graph.Builder.set_outputs b [ x ];
+  (try
+     ignore (Graph.Builder.finish b);
+     Alcotest.fail "arity violation not caught"
+   with Invalid_argument _ -> ());
+  (* missing outputs *)
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.input b ~name:"x" dyn_shape);
+  (try
+     ignore (Graph.Builder.finish b);
+     Alcotest.fail "missing outputs not caught"
+   with Invalid_argument _ -> ())
+
+let test_traversals () =
+  let g, _, _, _ = small_graph () in
+  let topo = List.map (fun (n : Graph.node) -> Op.name n.op) (Graph.topo_order g) in
+  Alcotest.(check (list string)) "topo" [ "Relu"; "Sigmoid" ] topo;
+  let dfs = List.map (fun (n : Graph.node) -> Op.name n.op) (Graph.dfs_order g) in
+  Alcotest.(check int) "dfs covers all" 2 (List.length dfs)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_dot_and_histogram () =
+  let g, _, _, _ = small_graph () in
+  let dot = Graph.to_dot g in
+  Alcotest.(check bool) "dot mentions Relu" true (contains dot "Relu");
+  Alcotest.(check bool) "dot has edges" true (contains dot "->");
+  Alcotest.(check (list (pair string int))) "histogram"
+    [ "Relu", 1; "Sigmoid", 1 ]
+    (List.sort compare (Graph.op_histogram g))
+
+let test_classification_table () =
+  let check op cat =
+    Alcotest.(check string) (Op.name op) (Op_class.category_name cat)
+      (Op_class.category_name (Op_class.base_category op))
+  in
+  check Op.ShapeOf Op_class.Isdo;
+  check (Op.ConstantOfShape { fill = 0.0 }) Op_class.Isdo;
+  check Op.EyeLike Op_class.Isdo;
+  check (Op.Binary Op.Add) Op_class.Isdos;
+  check Op.MatMul Op_class.Isdos;
+  check (Op.Conv { stride = (1, 1); pads = (0, 0, 0, 0); dilation = (1, 1); groups = 1 })
+    Op_class.Isdos;
+  check (Op.Gather { axis = 0 }) Op_class.Isdos;
+  check (Op.Softmax { axis = -1 }) Op_class.Isdos;
+  check Op.Reshape Op_class.Isvdos;
+  check Op.Range Op_class.Isvdos;
+  check Op.Slice Op_class.Isvdos;
+  check Op.Expand Op_class.Isvdos;
+  check (Op.TopK { axis = -1; largest = true }) Op_class.Isvdos;
+  check Op.NonZero Op_class.Edo;
+  check Op.If Op_class.Edo;
+  check Op.Loop Op_class.Edo;
+  check (Op.Switch { branches = 2 }) Op_class.Edo;
+  check (Op.Combine { branches = 2 }) Op_class.Edo
+
+let test_context_classification () =
+  (* a Reshape whose target value is known degrades ISVDOS -> ISDOS (§3) *)
+  let c = Op_class.classify Op.Reshape ~value_known:(fun i -> i = 1) in
+  Alcotest.(check bool) "reshape degrades" true (c = Op_class.Isdos);
+  let c = Op_class.classify Op.Reshape ~value_known:(fun _ -> false) in
+  Alcotest.(check bool) "reshape stays dynamic" true (c = Op_class.Isvdos);
+  Alcotest.(check (list int)) "value inputs of Slice" [ 1; 2; 3; 4 ]
+    (Op_class.value_inputs Op.Slice)
+
+(* --- forward transfer functions ------------------------------------ *)
+
+let io shapes values =
+  { Shape_fn.in_shapes = Array.of_list shapes; in_values = Array.of_list values }
+
+let undef_vals n = List.init n (fun _ -> Value_info.undef)
+
+let fwd1 op shapes values =
+  let s, _ = Shape_fn.forward op (io shapes values) in
+  s.(0)
+
+let check_shape msg expected actual =
+  Alcotest.(check string) msg expected (Shape.to_string actual)
+
+let sym_hw = Shape.of_dims [ Dim.of_int 1; Dim.of_int 3; Dim.of_sym "H"; Dim.of_sym "W" ]
+
+let test_forward_elementwise () =
+  check_shape "same shape" "[1, 3, H, W]" (fwd1 (Op.Unary Op.Relu) [ sym_hw ] (undef_vals 1));
+  let bias = Shape.of_ints [ 3; 1; 1 ] in
+  check_shape "broadcast bias" "[1, 3, H, W]"
+    (fwd1 (Op.Binary Op.Add) [ sym_hw; bias ] (undef_vals 2))
+
+let test_forward_conv_pool () =
+  let w = Shape.of_ints [ 8; 3; 3; 3 ] in
+  let out =
+    fwd1 (Op.Conv { stride = (2, 2); pads = (1, 1, 1, 1); dilation = (1, 1); groups = 1 })
+      [ sym_hw; w ] (undef_vals 2)
+  in
+  check_shape "conv s2 p1 k3" "[1, 8, 1 + (-1 + H)/(2), 1 + (-1 + W)/(2)]" out;
+  let out =
+    fwd1 (Op.MaxPool { kernel = (2, 2); pool_stride = (2, 2); pool_pads = (0, 0, 0, 0) })
+      [ sym_hw ] (undef_vals 1)
+  in
+  check_shape "pool" "[1, 3, (H)/(2), (W)/(2)]" out
+
+let test_forward_matmul () =
+  let a = Shape.of_dims [ Dim.of_int 1; Dim.of_sym "S"; Dim.of_int 64 ] in
+  let b = Shape.of_ints [ 64; 128 ] in
+  check_shape "batched matmul" "[1, S, 128]" (fwd1 Op.MatMul [ a; b ] (undef_vals 2))
+
+let test_forward_shape_value_chain () =
+  (* Shape produces the dims as its value *)
+  let s, v = Shape_fn.forward Op.ShapeOf (io [ sym_hw ] (undef_vals 1)) in
+  check_shape "shape out" "[4]" s.(0);
+  (match Value_info.as_exprs v.(0) with
+  | Some exprs ->
+    Alcotest.(check int) "4 entries" 4 (Array.length exprs);
+    Alcotest.(check string) "third is H" "H" (Expr.to_string exprs.(2))
+  | None -> Alcotest.fail "shape value not tracked");
+  (* Reshape with a known symbolic target *)
+  let target_v = Value_info.of_exprs [ Expr.one; Expr.const (-1) ] in
+  let out = fwd1 Op.Reshape [ sym_hw; Shape.of_ints [ 2 ] ] [ Value_info.undef; target_v ] in
+  check_shape "reshape -1 resolves" "[1, 3*H*W]" out
+
+let test_forward_reshape_rank_only () =
+  (* unknown target value but known target length: rank propagates *)
+  let out = fwd1 Op.Reshape [ sym_hw; Shape.of_ints [ 2 ] ] (undef_vals 2) in
+  Alcotest.(check (option int)) "rank known" (Some 2) (Shape.rank out)
+
+let test_forward_concat_slice () =
+  let a = Shape.of_dims [ Dim.of_sym "A"; Dim.of_int 4 ] in
+  let b = Shape.of_dims [ Dim.of_sym "B"; Dim.of_int 4 ] in
+  check_shape "concat axis0" "[A + B, 4]" (fwd1 (Op.Concat { axis = 0 }) [ a; b ] (undef_vals 2));
+  (* slice with constant bounds over a symbolic extent *)
+  let data = Shape.of_dims [ Dim.of_sym "S"; Dim.of_int 8 ] in
+  let vi l = Value_info.of_ints l in
+  let out =
+    fwd1 Op.Slice
+      [ data; Shape.of_ints [ 1 ]; Shape.of_ints [ 1 ]; Shape.of_ints [ 1 ]; Shape.of_ints [ 1 ] ]
+      [ Value_info.undef; vi [ 0 ]; vi [ 2 ]; vi [ 0 ]; vi [ 1 ] ]
+  in
+  check_shape "slice [0:2] of S" "[min(2, S), 8]" out
+
+let test_forward_edo () =
+  let s, _ = Shape_fn.forward Op.NonZero (io [ sym_hw ] (undef_vals 1)) in
+  (match s.(0) with
+  | Shape.Ranked d ->
+    Alcotest.(check (option int)) "first dim = rank" (Some 4) (Dim.as_const d.(0));
+    Alcotest.(check bool) "count is nac" true (d.(1) = Dim.nac)
+  | _ -> Alcotest.fail "nonzero shape");
+  let s, _ =
+    Shape_fn.forward (Op.TopK { axis = 0; largest = true })
+      (io [ Shape.of_dims [ Dim.of_sym "N" ]; Shape.scalar ]
+         [ Value_info.undef; Value_info.of_ints [ 5 ] ])
+  in
+  check_shape "topk known k" "[5]" s.(0)
+
+let test_forward_switch_combine () =
+  let s, _ =
+    Shape_fn.forward (Op.Switch { branches = 2 }) (io [ sym_hw; Shape.scalar ] (undef_vals 2))
+  in
+  Alcotest.(check int) "two outputs" 2 (Array.length s);
+  check_shape "branch shape" "[1, 3, H, W]" s.(0);
+  (* combine merges: agreeing shapes pass, disagreeing become nac *)
+  let s, _ =
+    Shape_fn.forward (Op.Combine { branches = 2 })
+      (io [ sym_hw; sym_hw; Shape.scalar ] (undef_vals 3))
+  in
+  check_shape "combine merge" "[1, 3, H, W]" s.(0);
+  let s, _ =
+    Shape_fn.forward (Op.Combine { branches = 2 })
+      (io [ sym_hw; Shape.of_ints [ 1; 2 ]; Shape.scalar ] (undef_vals 3))
+  in
+  Alcotest.(check bool) "disagreement is nac" true (s.(0) = Shape.Nac)
+
+(* --- backward transfer functions ----------------------------------- *)
+
+let test_backward () =
+  (* unary: exact *)
+  let back =
+    Shape_fn.backward (Op.Unary Op.Relu) ~out_shapes:[| sym_hw |]
+      (io [ Shape.Undef ] (undef_vals 1))
+      ~input_index:0
+  in
+  check_shape "unary backward" "[1, 3, H, W]" back;
+  (* binary with scalar operand: exact *)
+  let back =
+    Shape_fn.backward (Op.Binary Op.Mul) ~out_shapes:[| sym_hw |]
+      (io [ Shape.Undef; Shape.scalar ] (undef_vals 2))
+      ~input_index:0
+  in
+  check_shape "scalar-other backward" "[1, 3, H, W]" back;
+  (* transpose: inverse permutation *)
+  let out = Shape.of_dims [ Dim.of_sym "B"; Dim.of_sym "A" ] in
+  let back =
+    Shape_fn.backward (Op.Transpose [ 1; 0 ]) ~out_shapes:[| out |]
+      (io [ Shape.Undef ] (undef_vals 1))
+      ~input_index:0
+  in
+  check_shape "transpose backward" "[A, B]" back;
+  (* binary where the opposite dim is 1: pinned to output *)
+  let other = Shape.of_ints [ 1; 4 ] in
+  let self = Shape.Ranked [| Dim.undef; Dim.undef |] in
+  let out = Shape.of_dims [ Dim.of_sym "N"; Dim.of_int 4 ] in
+  let back =
+    Shape_fn.backward (Op.Binary Op.Add) ~out_shapes:[| out |]
+      (io [ self; other ] (undef_vals 2))
+      ~input_index:0
+  in
+  (match back with
+  | Shape.Ranked d ->
+    Alcotest.(check string) "dim0 pinned" "N" (Dim.to_string d.(0));
+    Alcotest.(check bool) "dim1 ambiguous" true (d.(1) = Dim.undef)
+  | _ -> Alcotest.fail "binary backward")
+
+let test_versions_for_broadcast () =
+  let a = Shape.of_dims [ Dim.of_sym "I"; Dim.of_sym "J" ] in
+  let b = Shape.of_dims [ Dim.of_sym "I2"; Dim.of_sym "J2" ] in
+  let n = Shape_fn.versions_for_broadcast (io [ a; b ] (undef_vals 2)) in
+  Alcotest.(check int) "two ambiguous dims" 2 n;
+  (* Fig 4: proving equality removes the ambiguity *)
+  let n = Shape_fn.versions_for_broadcast (io [ a; a ] (undef_vals 2)) in
+  Alcotest.(check int) "equal dims resolved" 0 n
+
+let suite =
+  [
+    Alcotest.test_case "builder basics" `Quick test_builder_basic;
+    Alcotest.test_case "builder validation" `Quick test_builder_validation;
+    Alcotest.test_case "traversals" `Quick test_traversals;
+    Alcotest.test_case "dot export and histogram" `Quick test_dot_and_histogram;
+    Alcotest.test_case "classification (Table 2)" `Quick test_classification_table;
+    Alcotest.test_case "context-dependent classification" `Quick test_context_classification;
+    Alcotest.test_case "forward: elementwise" `Quick test_forward_elementwise;
+    Alcotest.test_case "forward: conv/pool" `Quick test_forward_conv_pool;
+    Alcotest.test_case "forward: matmul" `Quick test_forward_matmul;
+    Alcotest.test_case "forward: shape/value chain" `Quick test_forward_shape_value_chain;
+    Alcotest.test_case "forward: reshape rank-only" `Quick test_forward_reshape_rank_only;
+    Alcotest.test_case "forward: concat/slice" `Quick test_forward_concat_slice;
+    Alcotest.test_case "forward: execution determined" `Quick test_forward_edo;
+    Alcotest.test_case "forward: switch/combine" `Quick test_forward_switch_combine;
+    Alcotest.test_case "backward transfers" `Quick test_backward;
+    Alcotest.test_case "broadcast version counting (Fig 4)" `Quick test_versions_for_broadcast;
+  ]

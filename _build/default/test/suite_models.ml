@@ -1,0 +1,150 @@
+(* Tests for the model zoo and workload generators. *)
+
+let test_all_models_build () =
+  List.iter
+    (fun (sp : Zoo.spec) ->
+      let g = Sod2_experiments.Harness.graph_of sp in
+      Alcotest.(check bool) (sp.name ^ " nonempty") true (Graph.node_count g > 50);
+      (* dynamism metadata is consistent with the graph *)
+      let gates = Zoo.gate_count g in
+      (match sp.dynamism with
+      | Zoo.Shape_dyn ->
+        Alcotest.(check int) (sp.name ^ " no gates") 0 gates;
+        Alcotest.(check bool) (sp.name ^ " has shape vars") true (sp.dim_choices <> [])
+      | Zoo.Control_dyn ->
+        Alcotest.(check bool) (sp.name ^ " gated") true (gates > 0);
+        Alcotest.(check (list (pair string (list int)))) (sp.name ^ " fixed shape") []
+          sp.dim_choices
+      | Zoo.Both_dyn ->
+        Alcotest.(check bool) (sp.name ^ " gated") true (gates > 0);
+        Alcotest.(check bool) (sp.name ^ " has shape vars") true (sp.dim_choices <> []));
+      (* graph shape variables match the declared choices *)
+      let declared = List.map fst sp.dim_choices |> List.sort compare in
+      Alcotest.(check (list string)) (sp.name ^ " shape vars") declared (Graph.free_syms g))
+    Zoo.all
+
+let test_rdp_full_resolution () =
+  (* every model's shapes resolve completely: the zoo has no nac tensors *)
+  List.iter
+    (fun (sp : Zoo.spec) ->
+      let g = Sod2_experiments.Harness.graph_of sp in
+      let r = Sod2.Rdp.analyze g in
+      let rate = Sod2.Rdp.resolution_rate g r in
+      if rate < 1.0 then Alcotest.failf "%s resolves only %.2f" sp.name rate)
+    Zoo.all
+
+let test_zoo_lookup () =
+  Alcotest.(check int) "ten models" 10 (List.length Zoo.all);
+  Alcotest.(check bool) "lookup hit" true (Zoo.by_name "yolov6" <> None);
+  Alcotest.(check bool) "lookup miss" true (Zoo.by_name "resnet" = None)
+
+let test_envs () =
+  let sp = Option.get (Zoo.by_name "yolov6") in
+  let min_e = Zoo.min_env sp and max_e = Zoo.max_env sp in
+  Alcotest.(check (option int)) "min H" (Some 224) (Env.lookup min_e "H");
+  Alcotest.(check (option int)) "max H" (Some 640) (Env.lookup max_e "H");
+  (* percentiles are monotone *)
+  let h p = Option.get (Env.lookup (Zoo.percentile_env sp p) "H") in
+  Alcotest.(check bool) "monotone" true (h 0.0 <= h 0.5 && h 0.5 <= h 1.0)
+
+let test_inputs () =
+  let sp = Option.get (Zoo.by_name "codebert") in
+  let g = Sod2_experiments.Harness.graph_of sp in
+  let inputs = Zoo.make_inputs sp g (Env.of_list [ "S", 48 ]) (Rng.create 1) in
+  (match inputs with
+  | [ (_, t) ] ->
+    Alcotest.(check (list int)) "token dims" [ 1; 48 ] (Tensor.dims t);
+    Alcotest.(check bool) "token dtype" true (Tensor.dtype t = Tensor.I64);
+    List.iter
+      (fun v ->
+        if v < 0 || v >= Codebert.vocab then Alcotest.fail "token out of vocabulary")
+      (Tensor.to_int_list t)
+  | _ -> Alcotest.fail "codebert has one input");
+  let sp = Option.get (Zoo.by_name "yolov6") in
+  let g = Sod2_experiments.Harness.graph_of sp in
+  match Zoo.make_inputs sp g (Env.of_list [ "H", 224; "W", 256 ]) (Rng.create 1) with
+  | [ (_, t) ] ->
+    Alcotest.(check (list int)) "image dims" [ 1; 3; 224; 256 ] (Tensor.dims t);
+    Alcotest.(check bool) "image dtype" true (Tensor.dtype t = Tensor.F32)
+  | _ -> Alcotest.fail "yolov6 has one input"
+
+let test_workload_determinism () =
+  let sp = Option.get (Zoo.by_name "skipnet") in
+  let s1 = Workload.samples ~n:10 sp and s2 = Workload.samples ~n:10 sp in
+  List.iter2
+    (fun (a : Workload.sample) (b : Workload.sample) ->
+      Alcotest.(check (list (pair string int))) "same env" (Env.to_list a.env)
+        (Env.to_list b.env);
+      Alcotest.(check int) "same gate" (a.gate 17) (b.gate 17))
+    s1 s2;
+  (* different seeds differ somewhere *)
+  let s3 = Workload.samples ~n:10 ~seed:999 sp in
+  let differs =
+    List.exists2
+      (fun (a : Workload.sample) (b : Workload.sample) -> Env.to_list a.env <> Env.to_list b.env)
+      s1 s3
+  in
+  Alcotest.(check bool) "seeds matter" true differs
+
+let test_workload_ranges () =
+  List.iter
+    (fun (sp : Zoo.spec) ->
+      List.iter
+        (fun (sm : Workload.sample) ->
+          List.iter
+            (fun (sym, choices) ->
+              match Env.lookup sm.env sym with
+              | Some v ->
+                if not (List.mem v choices) then
+                  Alcotest.failf "%s: %s=%d outside admissible range" sp.name sym v
+              | None -> Alcotest.failf "%s: %s unbound" sp.name sym)
+            sp.dim_choices)
+        (Workload.samples ~n:20 sp))
+    Zoo.all
+
+let test_ascending_sizes () =
+  let sp = Option.get (Zoo.by_name "yolov6") in
+  let sizes = Workload.ascending_sizes ~n:15 sp in
+  let hs = List.map (fun (sm : Workload.sample) -> Option.get (Env.lookup sm.env "H")) sizes in
+  let rec ascending = function
+    | a :: b :: rest -> a < b && ascending (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly ascending after dedup" true (ascending hs)
+
+let test_gpt_decoder () =
+  let g = Gpt_decoder.build () in
+  let r = Sod2.Rdp.analyze g in
+  Alcotest.(check bool) "fully resolved" true (Sod2.Rdp.resolution_rate g r = 1.0);
+  (* the cache outputs mix both symbols: P + S *)
+  (match Graph.outputs g with
+  | _final :: present_k :: _ ->
+    Alcotest.(check string) "present cache extent" "[1, 4, P + S, 32]"
+      (Shape.to_string (Sod2.Rdp.shape r present_k))
+  | _ -> Alcotest.fail "decoder outputs");
+  (* one compiled artifact serves several (P, S) pairs *)
+  let c = Sod2.Pipeline.compile Profile.sd888_cpu g in
+  List.iter
+    (fun (past, seq) ->
+      let rng = Rng.create (past + seq) in
+      let inputs = Gpt_decoder.make_inputs g ~past ~seq rng in
+      let _trace, outs = Sod2_runtime.Executor.run_real c ~inputs in
+      match outs with
+      | (_, final) :: (_, pk) :: _ ->
+        Alcotest.(check (list int)) "hidden dims" [ 1; seq; 128 ] (Tensor.dims final);
+        Alcotest.(check (list int)) "cache grew" [ 1; 4; past + seq; 32 ] (Tensor.dims pk)
+      | _ -> Alcotest.fail "decode outputs")
+    [ 8, 4; 16, 1 ]
+
+let suite =
+  [
+    Alcotest.test_case "all models build and match metadata" `Quick test_all_models_build;
+    Alcotest.test_case "gpt decoder (§7 extension)" `Quick test_gpt_decoder;
+    Alcotest.test_case "RDP fully resolves the zoo" `Quick test_rdp_full_resolution;
+    Alcotest.test_case "zoo lookup" `Quick test_zoo_lookup;
+    Alcotest.test_case "percentile envs" `Quick test_envs;
+    Alcotest.test_case "input construction" `Quick test_inputs;
+    Alcotest.test_case "workload determinism" `Quick test_workload_determinism;
+    Alcotest.test_case "workload ranges" `Quick test_workload_ranges;
+    Alcotest.test_case "ascending sizes" `Quick test_ascending_sizes;
+  ]

@@ -1,0 +1,267 @@
+(* Tests for the RDP dataflow analysis (§4.1): the Fig. 1 dynamism
+   scenarios, forward/backward transfer, Merge at control-flow joins,
+   convergence, context-dependent classification, and agreement between
+   the symbolic result and concrete execution. *)
+
+let check_shape msg expected rdp tid =
+  Alcotest.(check string) msg expected (Shape.to_string (Sod2.Rdp.shape rdp tid))
+
+(* Fig. 1 (a): Shape's value propagates through downstream ISDOS ops. *)
+let test_fig1a_shape_value_propagation () =
+  let b = Graph.Builder.create () in
+  let x =
+    Graph.Builder.input b ~name:"x" (Shape.of_dims [ Dim.of_sym "A"; Dim.of_sym "B" ])
+  in
+  let shp = Graph.Builder.node1 b Op.ShapeOf [ x ] in
+  let two = Graph.Builder.const b ~name:"two" (Tensor.of_int_list [ 2; 2 ]) in
+  let scaled = Graph.Builder.node1 b (Op.Binary Op.Mul) [ shp; two ] in
+  let filled = Graph.Builder.node1 b (Op.ConstantOfShape { fill = 0.0 }) [ scaled ] in
+  Graph.Builder.set_outputs b [ filled ];
+  let g = Graph.Builder.finish b in
+  let r = Sod2.Rdp.analyze g in
+  check_shape "value arithmetic reaches the shape" "[2*A, 2*B]" r filled
+
+(* Fig. 1 (b): a known conv input shape propagates through the sub-graph. *)
+let test_fig1b_conv_chain () =
+  let b = Graph.Builder.create () in
+  let rng = Rng.create 1 in
+  let x =
+    Graph.Builder.input b ~name:"x"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_int 4; Dim.of_sym "H"; Dim.of_sym "H" ])
+  in
+  let w = Graph.Builder.const b ~name:"w" (Tensor.rand_normal rng [ 4; 4; 1; 1 ]) in
+  let conv =
+    Graph.Builder.node1 b
+      (Op.Conv { stride = (1, 1); pads = (0, 0, 0, 0); dilation = (1, 1); groups = 1 })
+      [ x; w ]
+  in
+  let act = Graph.Builder.node1 b (Op.Unary Op.Relu) [ conv ] in
+  let sm = Graph.Builder.node1 b (Op.Softmax { axis = 1 }) [ act ] in
+  Graph.Builder.set_outputs b [ sm ];
+  let g = Graph.Builder.finish b in
+  let r = Sod2.Rdp.analyze g in
+  check_shape "1x1 conv keeps spatial" "[1, 4, H, H]" r conv;
+  check_shape "propagates to softmax" "[1, 4, H, H]" r sm;
+  Alcotest.(check bool) "fully resolved" true (Sod2.Rdp.resolution_rate g r = 1.0)
+
+(* Fig. 1 (c): TopK with a runtime k makes downstream dims nac, and the
+   graph partitions there. *)
+let test_fig1c_topk_nac () =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_dims [ Dim.of_sym "N" ]) in
+  let kf = Graph.Builder.node1 b (Op.Reduce { rkind = Op.Rsum; axes = []; keepdims = false }) [ x ] in
+  let k = Graph.Builder.node1 b (Op.Cast Tensor.I64) [ kf ] in
+  let outs = Graph.Builder.node b (Op.TopK { axis = 0; largest = true }) [ x; k ] in
+  let top = List.hd outs in
+  let y = Graph.Builder.node1 b (Op.Unary Op.Relu) [ top ] in
+  Graph.Builder.set_outputs b [ y ];
+  let g = Graph.Builder.finish b in
+  let r = Sod2.Rdp.analyze g in
+  (match Sod2.Rdp.shape r y with
+  | Shape.Ranked d ->
+    Alcotest.(check bool) "data-dependent k -> nac dim" true (d.(0) = Dim.nac)
+  | _ -> Alcotest.fail "rank should still be known");
+  Alcotest.(check bool) "TopK stays ISVDOS" true
+    (Sod2.Rdp.category r (Option.get (Graph.producer g top)).Graph.nid = Op_class.Isvdos)
+
+(* Fig. 1 (d): Switch/Combine — shapes flow through branches and merge. *)
+let test_fig1d_switch_combine () =
+  let b = Graph.Builder.create () in
+  let x =
+    Graph.Builder.input b ~name:"x" (Shape.of_dims [ Dim.of_int 1; Dim.of_sym "C" ])
+  in
+  let pred = Graph.Builder.input b ~name:"pred" Shape.scalar in
+  (match Graph.Builder.node b (Op.Switch { branches = 2 }) [ x; pred ] with
+  | [ o0; o1 ] ->
+    let r1 = Graph.Builder.node1 b (Op.Unary Op.Relu) [ o0 ] in
+    let r2 = Graph.Builder.node1 b (Op.Unary Op.Sigmoid) [ o1 ] in
+    let merged = Graph.Builder.node1 b (Op.Combine { branches = 2 }) [ r1; r2; pred ] in
+    Graph.Builder.set_outputs b [ merged ];
+    let g = Graph.Builder.finish b in
+    let r = Sod2.Rdp.analyze g in
+    check_shape "merged branches keep shape" "[1, C]" r merged
+  | _ -> Alcotest.fail "switch outputs")
+
+(* Fig. 3 (a)-flavoured forward chain: MatMul -> Shape -> Gather/Reduce. *)
+let test_fig3a_forward () =
+  let b = Graph.Builder.create () in
+  let x =
+    Graph.Builder.input b ~name:"x" (Shape.of_dims [ Dim.of_sym "a"; Dim.of_sym "b" ])
+  in
+  let shp = Graph.Builder.node1 b Op.ShapeOf [ x ] in
+  let mn = Graph.Builder.node1 b (Op.Reduce { rkind = Op.Rmin; axes = []; keepdims = true }) [ shp ] in
+  Graph.Builder.set_outputs b [ mn ];
+  let g = Graph.Builder.finish b in
+  let r = Sod2.Rdp.analyze g in
+  check_shape "reduce of shape vector" "[1]" r mn;
+  (* the paper's example: V3 = min(a, b); we track the shape, the value of
+     a float reduce is not tracked, but the Shape op's value is *)
+  match Value_info.as_exprs (Sod2.Rdp.value r shp) with
+  | Some e ->
+    Alcotest.(check string) "V1 = [a, b]" "a" (Expr.to_string e.(0));
+    Alcotest.(check string) "V1 = [a, b]" "b" (Expr.to_string e.(1))
+  | None -> Alcotest.fail "shape value missing"
+
+(* Fig. 3 (b)-flavoured backward chain: known downstream dimensions refine
+   an input whose shape is entirely unknown, across two backward hops
+   (Concat pins the non-axis dims, Transpose inverts the permutation). *)
+let test_fig3b_backward () =
+  let b = Graph.Builder.create () in
+  let anchor =
+    Graph.Builder.input b ~name:"anchor"
+      (Shape.of_dims [ Dim.of_sym "p"; Dim.of_int 4 ])
+  in
+  let x = Graph.Builder.input b ~name:"x" Shape.Undef in
+  let z = Graph.Builder.node1 b (Op.Transpose [ 1; 0 ]) [ x ] in
+  let c = Graph.Builder.node1 b (Op.Concat { axis = 0 }) [ anchor; z ] in
+  Graph.Builder.set_outputs b [ c ];
+  let g = Graph.Builder.finish b in
+  let r = Sod2.Rdp.analyze g in
+  (* backward hop 1: concat pins z's trailing dim *)
+  (match Sod2.Rdp.shape r z with
+  | Shape.Ranked d ->
+    Alcotest.(check (option int)) "z dim1 = 4" (Some 4) (Dim.as_const d.(1))
+  | _ -> Alcotest.fail "z should have known rank");
+  (* backward hop 2: transpose inverts the permutation into x *)
+  match Sod2.Rdp.shape r x with
+  | Shape.Ranked d ->
+    Alcotest.(check (option int)) "x dim0 = 4" (Some 4) (Dim.as_const d.(0));
+    Alcotest.(check (option int)) "rank recovered" (Some 2)
+      (Shape.rank (Sod2.Rdp.shape r x))
+  | _ -> Alcotest.fail "x rank not recovered"
+
+let test_reshape_context_degrade () =
+  (* Reshape fed by Shape-arithmetic is reported as ISDOS after analysis *)
+  let b = Graph.Builder.create () in
+  let x =
+    Graph.Builder.input b ~name:"x"
+      (Shape.of_dims [ Dim.of_int 1; Dim.of_sym "S"; Dim.of_int 16 ])
+  in
+  let shp = Graph.Builder.node1 b Op.ShapeOf [ x ] in
+  let s01 =
+    Graph.Builder.node1 b (Op.Gather { axis = 0 })
+      [ shp; Graph.Builder.const b ~name:"ix" (Tensor.of_int_list [ 0; 1 ]) ]
+  in
+  let tail = Graph.Builder.const b ~name:"t" (Tensor.of_int_list [ 4; 4 ]) in
+  let target = Graph.Builder.node1 b (Op.Concat { axis = 0 }) [ s01; tail ] in
+  let reshaped = Graph.Builder.node1 b Op.Reshape [ x; target ] in
+  Graph.Builder.set_outputs b [ reshaped ];
+  let g = Graph.Builder.finish b in
+  let r = Sod2.Rdp.analyze g in
+  check_shape "split inner dim" "[1, S, 4, 4]" r reshaped;
+  let reshape_node = Option.get (Graph.producer g reshaped) in
+  Alcotest.(check bool) "ISVDOS -> ISDOS" true
+    (Sod2.Rdp.category r reshape_node.Graph.nid = Op_class.Isdos)
+
+let test_convergence_bounded () =
+  List.iter
+    (fun (sp : Zoo.spec) ->
+      let g = sp.build () in
+      let r = Sod2.Rdp.analyze g in
+      if r.Sod2.Rdp.iterations >= 32 then
+        Alcotest.failf "%s did not converge quickly (%d sweeps)" sp.name
+          r.Sod2.Rdp.iterations)
+    Zoo.all
+
+let test_overrides () =
+  let sp = Option.get (Zoo.by_name "codebert") in
+  let g = sp.build () in
+  let input = List.hd (Graph.inputs g) in
+  let r = Sod2.Rdp.analyze ~overrides:[ input, Shape.of_ints [ 1; 48 ] ] g in
+  let out = List.hd (Graph.outputs g) in
+  Alcotest.(check bool) "concrete override yields fully-known output" true
+    (Shape.is_fully_known (Sod2.Rdp.shape r out))
+
+(* Agreement: the symbolic S-map, evaluated at a concrete valuation, must
+   match the dims the executor actually produces — for every tensor the
+   dry run materializes, on every model. *)
+let test_symbolic_concrete_agreement () =
+  List.iter
+    (fun name ->
+      let sp = Option.get (Zoo.by_name name) in
+      let g = sp.build () in
+      let c = Sod2.Pipeline.compile Profile.sd888_cpu g in
+      let env = Zoo.percentile_env sp 0.25 in
+      let trace =
+        Sod2_runtime.Executor.run_dry ~gate:(Workload.fixed_gates 1) c
+          ~input_dims:(Zoo.input_dims sp g env)
+      in
+      List.iter
+        (fun (ge : Sod2_runtime.Executor.group_exec) ->
+          List.iter
+            (fun ((op : Op.t), _, _) -> ignore op)
+            ge.Sod2_runtime.Executor.ops)
+        trace.Sod2_runtime.Executor.steps;
+      (* compare via graph outputs and all events *)
+      List.iter
+        (fun (e : Sod2_runtime.Executor.tensor_event) ->
+          let tid = e.Sod2_runtime.Executor.te_tid in
+          match Shape.eval env (Sod2.Rdp.shape c.Sod2.Pipeline.rdp tid) with
+          | Some dims ->
+            let expected = 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims in
+            if expected <> e.Sod2_runtime.Executor.te_bytes then
+              Alcotest.failf "%s: t%d symbolic %d bytes vs executed %d" name tid
+                expected e.Sod2_runtime.Executor.te_bytes
+          | None -> () (* nac tensors have no symbolic size *))
+        trace.Sod2_runtime.Executor.events)
+    [ "codebert"; "yolov6"; "skipnet"; "stable-diffusion-encoder"; "conformer" ]
+
+(* The same agreement as a property over random valuations on one model. *)
+let prop_agreement_random_dims =
+  QCheck2.Test.make ~name:"RDP shapes match execution at random extents" ~count:20
+    QCheck2.Gen.(int_range 1 12)
+    (fun step ->
+      let sp = Option.get (Zoo.by_name "yolov6") in
+      let g = Sod2_experiments.Harness.graph_of sp in
+      let c = Sod2.Pipeline.compile Profile.sd888_cpu g in
+      let hw = 224 + (32 * (step mod 6)) in
+      let env = Env.of_list [ "H", hw; "W", hw ] in
+      let trace =
+        Sod2_runtime.Executor.run_dry c ~input_dims:(Zoo.input_dims sp g env)
+      in
+      List.for_all
+        (fun (e : Sod2_runtime.Executor.tensor_event) ->
+          match Shape.eval env (Sod2.Rdp.shape c.Sod2.Pipeline.rdp e.te_tid) with
+          | Some dims -> 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims = e.te_bytes
+          | None -> true)
+        trace.Sod2_runtime.Executor.events)
+
+let test_deterministic () =
+  (* the analysis is a pure function of the graph: two runs agree on every
+     map entry *)
+  let g = Sod2_experiments.Harness.graph_of (Option.get (Zoo.by_name "yolov6")) in
+  let r1 = Sod2.Rdp.analyze g and r2 = Sod2.Rdp.analyze g in
+  for tid = 0 to Graph.tensor_count g - 1 do
+    if not (Shape.equal (Sod2.Rdp.shape r1 tid) (Sod2.Rdp.shape r2 tid)) then
+      Alcotest.failf "S-map differs for t%d" tid;
+    if not (Value_info.equal (Sod2.Rdp.value r1 tid) (Sod2.Rdp.value r2 tid)) then
+      Alcotest.failf "V-map differs for t%d" tid
+  done;
+  Alcotest.(check int) "same sweeps" r1.Sod2.Rdp.iterations r2.Sod2.Rdp.iterations
+
+let test_stats () =
+  let sp = Option.get (Zoo.by_name "codebert") in
+  let g = sp.build () in
+  let r = Sod2.Rdp.analyze g in
+  let s = Sod2.Rdp.stats g r in
+  Alcotest.(check int) "accounted" s.Sod2.Rdp.n_tensors
+    (s.Sod2.Rdp.known_const + s.Sod2.Rdp.symbolic + s.Sod2.Rdp.rank_only
+    + s.Sod2.Rdp.unknown);
+  Alcotest.(check bool) "symbolic dominates" true (s.Sod2.Rdp.symbolic > s.Sod2.Rdp.known_const)
+
+let suite =
+  [
+    Alcotest.test_case "Fig 1a: ISDO value propagation" `Quick test_fig1a_shape_value_propagation;
+    Alcotest.test_case "Fig 1b: ISDOS chain" `Quick test_fig1b_conv_chain;
+    Alcotest.test_case "Fig 1c: execution-determined TopK" `Quick test_fig1c_topk_nac;
+    Alcotest.test_case "Fig 1d: switch/combine merge" `Quick test_fig1d_switch_combine;
+    Alcotest.test_case "Fig 3a: forward transfers" `Quick test_fig3a_forward;
+    Alcotest.test_case "Fig 3b: backward transfers" `Quick test_fig3b_backward;
+    Alcotest.test_case "context degrade (Reshape)" `Quick test_reshape_context_degrade;
+    Alcotest.test_case "convergence bounded on the zoo" `Quick test_convergence_bounded;
+    Alcotest.test_case "input-shape overrides" `Quick test_overrides;
+    Alcotest.test_case "symbolic/concrete agreement" `Slow test_symbolic_concrete_agreement;
+    Alcotest.test_case "analysis is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "precision statistics" `Quick test_stats;
+    QCheck_alcotest.to_alcotest prop_agreement_random_dims;
+  ]

@@ -1,0 +1,287 @@
+(* Tests for the symbolic expression algebra and the RDP value lattice. *)
+
+let check_expr msg expected actual =
+  Alcotest.(check string) msg expected (Expr.to_string actual)
+
+let e_int = Expr.const
+let h = Expr.sym "H"
+let w = Expr.sym "W"
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_const_folding () =
+  check_expr "2+3" "5" (Expr.add (e_int 2) (e_int 3));
+  check_expr "2*3+1" "7" (Expr.add (Expr.mul (e_int 2) (e_int 3)) (e_int 1));
+  check_expr "neg" "-4" (Expr.neg (e_int 4));
+  check_expr "sub to zero" "0" (Expr.sub (e_int 7) (e_int 7))
+
+let test_symbolic_normal_form () =
+  check_expr "H+H" "2*H" (Expr.add h h);
+  check_expr "H*1" "H" (Expr.mul h Expr.one);
+  check_expr "H*0" "0" (Expr.mul h Expr.zero);
+  check_expr "H+0" "H" (Expr.add h Expr.zero);
+  check_expr "commuted sum" "H + W" (Expr.add w h);
+  check_expr "H*W = W*H"
+    (Expr.to_string (Expr.mul h w))
+    (Expr.mul w h);
+  check_expr "distribute" "2*H + 2*W" (Expr.mul (e_int 2) (Expr.add h w))
+
+let test_sub_cancellation () =
+  Alcotest.(check bool) "H+W-W = H" true (Expr.equal h (Expr.sub (Expr.add h w) w));
+  Alcotest.(check bool) "x-x = 0" true (Expr.is_zero (Expr.sub (Expr.mul h w) (Expr.mul w h)))
+
+let test_division () =
+  check_expr "exact const" "3" (Expr.div (e_int 7) (e_int 2));
+  check_expr "floor negative" "-4" (Expr.div (e_int (-7)) (e_int 2));
+  check_expr "4H/2" "2*H" (Expr.div (Expr.mul (e_int 4) h) (e_int 2));
+  check_expr "HW/H" "W" (Expr.div (Expr.mul h w) h);
+  check_expr "div by one" "H" (Expr.div h Expr.one);
+  (* mixed: divisible part splits out of the floor *)
+  check_expr "(2H+4)/2" "2 + H" (Expr.div (Expr.add (Expr.mul (e_int 2) h) (e_int 4)) (e_int 2));
+  (* residue stays opaque *)
+  let r = Expr.div (Expr.add h Expr.one) (e_int 2) in
+  Alcotest.(check bool) "symbolic residue is opaque" false (Expr.is_const r)
+
+let test_modulo () =
+  check_expr "7 mod 3" "1" (Expr.modulo (e_int 7) (e_int 3));
+  check_expr "x mod 1" "0" (Expr.modulo h Expr.one);
+  check_expr "2H mod 2" "0" (Expr.modulo (Expr.mul (e_int 2) h) (e_int 2));
+  check_expr "(2H+3) mod 2" "1" (Expr.modulo (Expr.add (Expr.mul (e_int 2) h) (e_int 3)) (e_int 2))
+
+let test_min_max () =
+  check_expr "max const" "5" (Expr.max_ (e_int 3) (e_int 5));
+  check_expr "min const" "3" (Expr.min_ (e_int 3) (e_int 5));
+  check_expr "max self" "H" (Expr.max_ h h);
+  check_expr "max dominated" "2 + H" (Expr.max_ h (Expr.add h (e_int 2)));
+  check_expr "min dominated" "H" (Expr.min_ h (Expr.add h (e_int 2)));
+  (* commutative canonical form *)
+  Alcotest.(check bool) "max commutes" true
+    (Expr.equal (Expr.max_ h w) (Expr.max_ w h))
+
+let test_eval () =
+  let env = Env.of_list [ "H", 8; "W", 3 ] in
+  let ev e = Env.eval env e in
+  Alcotest.(check (option int)) "H*W+1" (Some 25) (ev (Expr.add (Expr.mul h w) Expr.one));
+  Alcotest.(check (option int)) "(H+1)/2" (Some 4) (ev (Expr.div (Expr.add h Expr.one) (e_int 2)));
+  Alcotest.(check (option int)) "unbound" None (ev (Expr.sym "Z"));
+  Alcotest.(check (option int)) "max(H,W)" (Some 8) (ev (Expr.max_ h w));
+  Alcotest.(check int) "eval_exn" 11 (Env.eval_exn env (Expr.add h w))
+
+let test_subst () =
+  let r = Expr.subst (fun s -> if s = "H" then Some (Expr.mul (e_int 2) w) else None) (Expr.add h w) in
+  check_expr "subst H:=2W in H+W" "3*W" r;
+  (* substitution inside opaque terms renormalizes *)
+  let d = Expr.div (Expr.add h Expr.one) (e_int 2) in
+  let r = Expr.subst (fun s -> if s = "H" then Some (e_int 7) else None) d in
+  check_expr "subst into div" "4" r
+
+let test_free_syms () =
+  Alcotest.(check (list string)) "syms" [ "H"; "W" ]
+    (Expr.free_syms (Expr.div (Expr.add h Expr.one) w))
+
+let test_lattice () =
+  let eq = Int.equal in
+  let meet = Lattice.meet ~equal:eq in
+  Alcotest.(check bool) "undef neutral" true
+    (Lattice.equal ~equal:eq (Lattice.Known 3) (meet Lattice.Undef (Lattice.Known 3)));
+  Alcotest.(check bool) "conflict -> nac" true
+    (Lattice.equal ~equal:eq Lattice.Nac (meet (Lattice.Known 3) (Lattice.Known 4)));
+  Alcotest.(check bool) "nac absorbs" true
+    (Lattice.equal ~equal:eq Lattice.Nac (meet Lattice.Nac (Lattice.Known 3)))
+
+let test_dim_broadcast () =
+  let d1 = Dim.of_int 1 and dh = Dim.of_sym "H" and d8 = Dim.of_int 8 in
+  let r, resolved = Dim.broadcast d1 dh in
+  Alcotest.(check bool) "1 x H resolved" true resolved;
+  Alcotest.(check bool) "1 x H = H" true (Dim.equal dh r);
+  let r, resolved = Dim.broadcast dh dh in
+  Alcotest.(check bool) "H x H resolved" true (resolved && Dim.equal dh r);
+  let _, resolved = Dim.broadcast dh d8 in
+  Alcotest.(check bool) "H x 8 unresolved" false resolved;
+  let r, _ = Dim.broadcast (Dim.of_int 3) (Dim.of_int 5) in
+  Alcotest.(check bool) "invalid const broadcast -> nac" true (r = Dim.nac)
+
+let test_shape_ops () =
+  let s = Shape.of_dims [ Dim.of_int 1; Dim.of_sym "H"; Dim.of_int 8 ] in
+  Alcotest.(check (option int)) "rank" (Some 3) (Shape.rank s);
+  Alcotest.(check bool) "not fully known" false (Shape.is_fully_known s);
+  Alcotest.(check bool) "symbolically known" true (Shape.is_symbolically_known s);
+  (match Shape.numel s with
+  | Some e -> Alcotest.(check string) "numel" "8*H" (Expr.to_string e)
+  | None -> Alcotest.fail "numel");
+  Alcotest.(check (option (list int))) "eval" (Some [ 1; 4; 8 ])
+    (Shape.eval (Env.of_list [ "H", 4 ]) s);
+  (* negative index *)
+  Alcotest.(check bool) "dim -1" true (Dim.equal (Dim.of_int 8) (Shape.dim s (-1)));
+  (* meet fills undef dims *)
+  let partial = Shape.Ranked [| Dim.undef; Dim.of_sym "H"; Dim.undef |] in
+  let met = Shape.meet partial s in
+  Alcotest.(check bool) "meet refines" true (Shape.equal met s);
+  (* rank mismatch -> nac *)
+  Alcotest.(check bool) "rank mismatch" true (Shape.meet s (Shape.of_ints [ 2; 2 ]) = Shape.Nac)
+
+let test_shape_broadcast () =
+  let a = Shape.of_dims [ Dim.of_sym "H"; Dim.of_int 1 ] in
+  let b = Shape.of_dims [ Dim.of_int 1; Dim.of_sym "W" ] in
+  let out, unresolved = Shape.broadcast a b in
+  Alcotest.(check int) "resolved" 0 unresolved;
+  Alcotest.(check string) "outer product" "[H, W]" (Shape.to_string out);
+  (* rank extension *)
+  let c = Shape.of_ints [ 8 ] in
+  let out, _ = Shape.broadcast a c in
+  Alcotest.(check (option int)) "rank" (Some 2) (Shape.rank out)
+
+let test_value_info () =
+  let v = Value_info.of_exprs [ h; w ] in
+  Alcotest.(check (option (list int))) "eval" (Some [ 2; 3 ])
+    (Value_info.eval (Env.of_list [ "H", 2; "W", 3 ]) v);
+  let too_big = Value_info.of_ints (List.init 100 Fun.id) in
+  Alcotest.(check bool) "oversize tracked as nac" true (too_big = Value_info.nac)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random expression trees together with a direct (non-normalizing)
+   evaluator; symbols take positive values. *)
+type raw =
+  | Rconst of int
+  | Rsym of int  (* index into a fixed symbol list *)
+  | Radd of raw * raw
+  | Rsub of raw * raw
+  | Rmul of raw * raw
+  | Rdiv of raw * raw
+  | Rmax of raw * raw
+  | Rmin of raw * raw
+
+let syms = [| "A"; "B"; "C" |]
+
+let raw_gen =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof [ map (fun c -> Rconst c) (int_range (-6) 6); map (fun i -> Rsym i) (int_range 0 2) ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                map (fun c -> Rconst c) (int_range (-6) 6);
+                map (fun i -> Rsym i) (int_range 0 2);
+                map2 (fun a b -> Radd (a, b)) sub sub;
+                map2 (fun a b -> Rsub (a, b)) sub sub;
+                map2 (fun a b -> Rmul (a, b)) sub sub;
+                map2 (fun a b -> Rdiv (a, b)) sub sub;
+                map2 (fun a b -> Rmax (a, b)) sub sub;
+                map2 (fun a b -> Rmin (a, b)) sub sub;
+              ])
+        (min n 6))
+
+let rec to_expr = function
+  | Rconst c -> Expr.const c
+  | Rsym i -> Expr.sym syms.(i)
+  | Radd (a, b) -> Expr.add (to_expr a) (to_expr b)
+  | Rsub (a, b) -> Expr.sub (to_expr a) (to_expr b)
+  | Rmul (a, b) -> Expr.mul (to_expr a) (to_expr b)
+  | Rdiv (a, b) -> Expr.div (to_expr a) (to_expr b)
+  | Rmax (a, b) -> Expr.max_ (to_expr a) (to_expr b)
+  | Rmin (a, b) -> Expr.min_ (to_expr a) (to_expr b)
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+(* Direct semantics: [None] wherever a divisor is <= 0 (the algebra only
+   promises equivalence for positive divisors). *)
+let rec eval_raw env = function
+  | Rconst c -> Some c
+  | Rsym i -> Some env.(i)
+  | Radd (a, b) -> Option.bind (eval_raw env a) (fun x -> Option.map (( + ) x) (eval_raw env b))
+  | Rsub (a, b) ->
+    Option.bind (eval_raw env a) (fun x -> Option.map (fun y -> x - y) (eval_raw env b))
+  | Rmul (a, b) ->
+    Option.bind (eval_raw env a) (fun x -> Option.map (fun y -> x * y) (eval_raw env b))
+  | Rdiv (a, b) -> (
+    match eval_raw env a, eval_raw env b with
+    | Some x, Some y when y > 0 -> Some (floor_div x y)
+    | _ -> None)
+  | Rmax (a, b) -> (
+    match eval_raw env a, eval_raw env b with
+    | Some x, Some y -> Some (max x y)
+    | _ -> None)
+  | Rmin (a, b) -> (
+    match eval_raw env a, eval_raw env b with
+    | Some x, Some y -> Some (min x y)
+    | _ -> None)
+
+(* Note: divisions with non-positive symbolic divisors evaluate to None on
+   both sides, so the comparison below stays meaningful. *)
+let prop_eval_preserved =
+  QCheck2.Test.make ~name:"normalization preserves evaluation" ~count:500
+    QCheck2.Gen.(tup4 raw_gen (int_range 1 9) (int_range 1 9) (int_range 1 9))
+    (fun (raw, a, b, c) ->
+      let env = [| a; b; c |] in
+      let lookup s = if s = "A" then Some a else if s = "B" then Some b else if s = "C" then Some c else None in
+      match eval_raw env raw with
+      | None -> true (* a divisor was not strictly positive somewhere *)
+      | Some direct -> (
+        match Expr.eval lookup (to_expr raw) with
+        | Some v -> v = direct
+        | None -> false))
+
+let prop_normal_form_canonical =
+  QCheck2.Test.make ~name:"a+b and b+a normalize identically" ~count:200
+    QCheck2.Gen.(tup2 raw_gen raw_gen)
+    (fun (ra, rb) ->
+      let a = to_expr ra and b = to_expr rb in
+      Expr.equal (Expr.add a b) (Expr.add b a)
+      && Expr.equal (Expr.mul a b) (Expr.mul b a)
+      && Expr.is_zero (Expr.sub a a))
+
+let prop_subst_id =
+  QCheck2.Test.make ~name:"identity substitution is a no-op" ~count:200 raw_gen
+    (fun raw ->
+      let e = to_expr raw in
+      Expr.equal e (Expr.subst (fun _ -> None) e))
+
+let prop_lattice_meet_laws =
+  QCheck2.Test.make ~name:"lattice meet is commutative/associative/idempotent" ~count:200
+    QCheck2.Gen.(tup3 (int_range 0 3) (int_range 0 3) (int_range 0 3))
+    (fun (a, b, c) ->
+      let lift = function
+        | 0 -> Lattice.Undef
+        | 1 -> Lattice.Nac
+        | n -> Lattice.Known n
+      in
+      let a = lift a and b = lift b and c = lift c in
+      let eq = Int.equal in
+      let m = Lattice.meet ~equal:eq in
+      let leq = Lattice.equal ~equal:eq in
+      leq (m a b) (m b a)
+      && leq (m a (m b c)) (m (m a b) c)
+      && leq (m a a) a)
+
+let suite =
+  [
+    Alcotest.test_case "const folding" `Quick test_const_folding;
+    Alcotest.test_case "symbolic normal form" `Quick test_symbolic_normal_form;
+    Alcotest.test_case "subtraction cancels" `Quick test_sub_cancellation;
+    Alcotest.test_case "division" `Quick test_division;
+    Alcotest.test_case "modulo" `Quick test_modulo;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "free symbols" `Quick test_free_syms;
+    Alcotest.test_case "lattice basics" `Quick test_lattice;
+    Alcotest.test_case "dim broadcast" `Quick test_dim_broadcast;
+    Alcotest.test_case "shape operations" `Quick test_shape_ops;
+    Alcotest.test_case "shape broadcast" `Quick test_shape_broadcast;
+    Alcotest.test_case "value info" `Quick test_value_info;
+    QCheck_alcotest.to_alcotest prop_eval_preserved;
+    QCheck_alcotest.to_alcotest prop_normal_form_canonical;
+    QCheck_alcotest.to_alcotest prop_subst_id;
+    QCheck_alcotest.to_alcotest prop_lattice_meet_laws;
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "sod2"
+    [
+      "symbolic", Suite_symbolic.suite;
+      "tensor", Suite_tensor.suite;
+      "ir", Suite_ir.suite;
+      "op-conformance", Suite_op_conformance.suite;
+      "graph-io", Suite_graph_io.suite;
+      "rdp", Suite_rdp.suite;
+      "core", Suite_core.suite;
+      "runtime", Suite_runtime.suite;
+      "models", Suite_models.suite;
+      "frameworks", Suite_frameworks.suite;
+      "experiments", Suite_experiments.suite;
+    ]
