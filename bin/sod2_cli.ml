@@ -278,6 +278,51 @@ let load_cmd =
     (Cmd.info "load" ~doc:"Load a sod2-graph file and run the RDP analysis on it.")
     Term.(const run $ path)
 
+(* --- validate ------------------------------------------------------- *)
+
+let validate_cmd =
+  let run target =
+    let validate_graph label g =
+      match Validate.check g with
+      | Ok () ->
+        Printf.printf "%s: OK (%d nodes, %d tensors)\n" label (Graph.node_count g)
+          (Graph.tensor_count g);
+        0
+      | Error defects ->
+        Printf.eprintf "%s: %d defect%s\n%s\n" label (List.length defects)
+          (if List.length defects = 1 then "" else "s")
+          (Validate.report defects);
+        1
+    in
+    let status =
+      if Sys.file_exists target then
+        (* Graph_io.load already validates; re-validate explicitly so a
+           future relaxed loader still gets the full report here. *)
+        match Graph_io.load target with
+        | Ok g -> validate_graph target g
+        | Error e ->
+          Printf.eprintf "%s: malformed graph file\n  %s\n" target e;
+          1
+      else
+        match Zoo.by_name target with
+        | Some sp -> validate_graph sp.Zoo.name (sp.Zoo.build ())
+        | None ->
+          Printf.eprintf
+            "%s: no such file, and no such zoo model; try `sod2 list`\n" target;
+          2
+    in
+    exit status
+  in
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"GRAPH" ~doc:"A sod2-graph file, or a zoo model name.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate a graph: dangling tensors, arity, dtypes, cycles, \
+             Switch/Combine pairing.  Exits non-zero on any defect.")
+    Term.(const run $ target)
+
 (* --- decode (LLM extension) ----------------------------------------- *)
 
 let decode_cmd =
@@ -332,4 +377,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; analyze_cmd; compile_cmd; run_cmd; compare_cmd; dot_cmd;
-            save_cmd; load_cmd; decode_cmd; experiments_cmd ]))
+            save_cmd; load_cmd; validate_cmd; decode_cmd; experiments_cmd ]))

@@ -22,6 +22,7 @@ let env_with_all_syms g v =
   List.fold_left (fun env s -> Env.bind s v env) Env.empty (Graph.free_syms g)
 
 let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
+  Validate.check_exn graph;
   let rdp = Rdp.analyze graph in
   let fusion_plan =
     Fusion.plan ~mode:(if flags.fusion then Fusion.Rdp_based else Fusion.Static_only)
@@ -37,6 +38,11 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
     if flags.mvc then Multi_version.build profile else Multi_version.single_version profile
   in
   { graph; rdp; fusion_plan; exec; versions; flags; profile }
+
+let compile_checked ?flags ?plan_sym_value profile graph =
+  match Validate.check graph with
+  | Error defects -> Error defects
+  | Ok () -> Ok (compile ?flags ?plan_sym_value profile graph)
 
 let mem_plan_for c env =
   Mem_plan.plan

@@ -35,7 +35,16 @@ val compile :
   ?flags:opt_flags -> ?plan_sym_value:int -> Profile.t -> Graph.t -> compiled
 (** Compile [graph] for the device.  [plan_sym_value] (default 64) is the
     representative value bound to every shape variable while comparing
-    candidate execution orders. *)
+    candidate execution orders.  The graph is validated first
+    ({!Validate.check}); raises [Sod2_error.Error] on the first defect of a
+    malformed graph. *)
+
+val compile_checked :
+  ?flags:opt_flags -> ?plan_sym_value:int -> Profile.t -> Graph.t ->
+  (compiled, Sod2_error.t list) result
+(** Like {!compile}, but collects {e every} validation defect instead of
+    raising on the first — the entry point for untrusted graphs (e.g. ones
+    loaded from disk). *)
 
 val mem_plan_for : compiled -> Env.t -> Mem_plan.t
 (** Instantiate the memory plan for one concrete input shape. *)

@@ -101,3 +101,33 @@ let pp ppf p =
   Format.fprintf ppf "%s (%s, %s, %.0f GFLOP/s, %.0f GB/s)" p.name p.soc
     (match p.target with Cpu -> "CPU" | Gpu -> "GPU")
     p.gflops p.mem_bw_gbs
+
+(* ------------------------------------------------------------------ *)
+(* Guarded-execution incident counters                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Counters = struct
+  (* (profile name, incident kind) -> occurrences.  Process-global so any
+     monitoring surface (CLI, experiments harness) can read the fallback
+     health of every device session without threading state through. *)
+  let table : (string * string, int) Hashtbl.t = Hashtbl.create 16
+
+  let record ~profile ~kind =
+    let key = profile, kind in
+    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+  let count ~profile ~kind =
+    Option.value ~default:0 (Hashtbl.find_opt table (profile, kind))
+
+  let by_kind () =
+    let agg = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (_, kind) v ->
+        Hashtbl.replace agg kind (v + Option.value ~default:0 (Hashtbl.find_opt agg kind)))
+      table;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let total () = Hashtbl.fold (fun _ v acc -> acc + v) table 0
+  let reset () = Hashtbl.reset table
+end

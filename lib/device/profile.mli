@@ -48,3 +48,21 @@ val all : t list
 val by_name : string -> t option
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Guarded-execution incident counters}
+
+    Process-global counters the guarded executor bumps whenever a runtime
+    guard fires or a plan partition is demoted to reference interpretation
+    (see {!Guarded_exec} in the runtime library).  Keyed by device-profile
+    name and incident kind so production monitoring can tell a bad plan on
+    one device class from a systemic RDP soundness bug. *)
+
+module Counters : sig
+  val record : profile:string -> kind:string -> unit
+  val count : profile:string -> kind:string -> int
+  val by_kind : unit -> (string * int) list
+  (** Aggregated over profiles, sorted by kind name. *)
+
+  val total : unit -> int
+  val reset : unit -> unit
+end

@@ -30,6 +30,43 @@ type t = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Arity rules                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let arity_error node =
+  let n = List.length node.inputs in
+  let expect msg want =
+    if n <> want then
+      Some
+        (Printf.sprintf "%s (%s) expects %s inputs, got %d" node.nname
+           (Op.name node.op) msg n)
+    else None
+  in
+  match node.op with
+  | Op.Unary _ | Op.Cast _ | Op.Clip _ | Op.Transpose _ | Op.Flatten _ | Op.Squeeze _
+  | Op.Unsqueeze _ | Op.ShapeOf | Op.SizeOf | Op.EyeLike | Op.NonZero | Op.Split _
+  | Op.GlobalAveragePool | Op.MaxPool _ | Op.AveragePool _ | Op.Softmax _
+  | Op.LogSoftmax _ | Op.Reduce _ | Op.ArgMax _ | Op.ArgMin _ | Op.CumSum _
+  | Op.ConstantOfShape _ | Op.OneHot _ | Op.DepthToSpace _ | Op.SpaceToDepth _
+  | Op.Upsample _ -> expect "1" 1
+  | Op.Binary _ | Op.MatMul | Op.Reshape | Op.Expand | Op.Tile | Op.Resize _
+  | Op.TopK _ -> expect "2" 2
+  | Op.Gather _ -> expect "2" 2
+  | Op.Pad _ -> expect "2" 2
+  | Op.Where -> expect "3" 3
+  | Op.Slice -> expect "5" 5
+  | Op.Range -> expect "3" 3
+  | Op.Gemm _ -> if n <> 2 && n <> 3 then expect "2 or 3" n else None
+  | Op.Conv _ | Op.Conv1d _ -> if n <> 2 && n <> 3 then expect "2 or 3" n else None
+  | Op.BatchNorm _ -> expect "5" 5
+  | Op.LayerNorm _ | Op.GroupNorm _ | Op.InstanceNorm _ -> expect "3" 3
+  | Op.Concat _ -> if n < 1 then expect ">=1" 1 else None
+  | Op.NonMaxSuppression _ -> expect "2" 2
+  | Op.Switch _ -> expect "2" 2
+  | Op.Combine { branches } -> expect (string_of_int (branches + 1)) (branches + 1)
+  | Op.If | Op.Loop -> if n < 1 then expect ">=1" 1 else None
+
+(* ------------------------------------------------------------------ *)
 (* Builder                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -65,7 +102,8 @@ module Builder = struct
     List.iter
       (fun tid ->
         if tid < 0 || tid >= b.n_tensors then
-          invalid_arg (Printf.sprintf "Graph.Builder.node: undefined tensor %d" tid))
+          Sod2_error.failf ~op:(Op.name op) ~tensor:tid Sod2_error.Invalid_graph
+            "Graph.Builder.node: undefined tensor %d" tid)
       inputs;
     let nid = b.n_nodes in
     b.n_nodes <- nid + 1;
@@ -84,57 +122,28 @@ module Builder = struct
     match node b ?name op inputs with
     | [ o ] -> o
     | outs ->
-      invalid_arg
-        (Printf.sprintf "Graph.Builder.node1: %s has %d outputs" (Op.name op)
-           (List.length outs))
+      Sod2_error.failf ~op:(Op.name op) Sod2_error.Invalid_graph
+        "Graph.Builder.node1: %s has %d outputs" (Op.name op) (List.length outs)
 
   let check_arity node =
-    let n = List.length node.inputs in
-    let expect msg want =
-      if n <> want then
-        invalid_arg
-          (Printf.sprintf "Graph: %s (%s) expects %s inputs, got %d" node.nname
-             (Op.name node.op) msg n)
-    in
-    match node.op with
-    | Op.Unary _ | Op.Cast _ | Op.Clip _ | Op.Transpose _ | Op.Flatten _ | Op.Squeeze _
-    | Op.Unsqueeze _ | Op.ShapeOf | Op.SizeOf | Op.EyeLike | Op.NonZero | Op.Split _
-    | Op.GlobalAveragePool | Op.MaxPool _ | Op.AveragePool _ | Op.Softmax _
-    | Op.LogSoftmax _ | Op.Reduce _ | Op.ArgMax _ | Op.ArgMin _ | Op.CumSum _
-    | Op.ConstantOfShape _ | Op.OneHot _ | Op.DepthToSpace _ | Op.SpaceToDepth _
-    | Op.Upsample _ -> expect "1" 1
-    | Op.Binary _ | Op.MatMul | Op.Reshape | Op.Expand | Op.Tile | Op.Resize _
-    | Op.TopK _ -> expect "2" 2
-    | Op.Gather _ -> expect "2" 2
-    | Op.Pad _ -> expect "2" 2
-    | Op.Where -> expect "3" 3
-    | Op.Slice -> expect "5" 5
-    | Op.Range -> expect "3" 3
-    | Op.Gemm _ -> if n <> 2 && n <> 3 then expect "2 or 3" n
-    | Op.Conv _ | Op.Conv1d _ -> if n <> 2 && n <> 3 then expect "2 or 3" n
-    | Op.BatchNorm _ -> expect "5" 5
-    | Op.LayerNorm _ | Op.GroupNorm _ | Op.InstanceNorm _ -> expect "3" 3
-    | Op.Concat _ -> if n < 1 then expect ">=1" 1
-    | Op.NonMaxSuppression _ -> expect "2" 2
-    | Op.Switch _ -> expect "2" 2
-    | Op.Combine { branches } -> expect (string_of_int (branches + 1)) (branches + 1)
-    | Op.If | Op.Loop -> if n < 1 then expect ">=1" 1
+    match arity_error node with
+    | Some msg ->
+      Sod2_error.fail ~op:(Op.name node.op) ~node:node.nname Sod2_error.Arity_mismatch msg
+    | None -> ()
 
   let set_outputs b outs = b.b_outputs <- outs
 
-  let finish b : graph =
-    if b.b_outputs = [] then invalid_arg "Graph.Builder.finish: no outputs declared";
+  let freeze b : graph =
     let tensors = Array.of_list (List.rev b.b_tensors) in
     let nodes = Array.of_list (List.rev b.b_nodes) in
-    Array.iter check_arity nodes;
-    List.iter
-      (fun tid ->
-        if tid < 0 || tid >= Array.length tensors then
-          invalid_arg "Graph.Builder.finish: undefined output tensor")
-      b.b_outputs;
     let consumers = Array.make (Array.length tensors) [] in
     Array.iter
-      (fun nd -> List.iter (fun tid -> consumers.(tid) <- nd.nid :: consumers.(tid)) nd.inputs)
+      (fun nd ->
+        List.iter
+          (fun tid ->
+            if tid >= 0 && tid < Array.length consumers then
+              consumers.(tid) <- nd.nid :: consumers.(tid))
+          nd.inputs)
       nodes;
     Array.iteri (fun i l -> consumers.(i) <- List.rev l) consumers;
     {
@@ -144,6 +153,20 @@ module Builder = struct
       g_outputs = b.b_outputs;
       g_consumers = consumers;
     }
+
+  let finish_unchecked b : graph = freeze b
+
+  let finish b : graph =
+    if b.b_outputs = [] then
+      Sod2_error.fail Sod2_error.Invalid_graph "Graph.Builder.finish: no outputs declared";
+    List.iter check_arity (List.rev b.b_nodes);
+    List.iter
+      (fun tid ->
+        if tid < 0 || tid >= b.n_tensors then
+          Sod2_error.failf ~tensor:tid Sod2_error.Invalid_graph
+            "Graph.Builder.finish: undefined output tensor %d" tid)
+      b.b_outputs;
+    freeze b
 end
 
 (* ------------------------------------------------------------------ *)

@@ -30,6 +30,11 @@ type node = {
 
 type t
 
+val arity_error : node -> string option
+(** [arity_error nd] is [Some message] when the node's input count violates
+    its operator's arity rule.  Shared by {!Builder.finish} and
+    {!Validate.check}. *)
+
 (** {1 Building} *)
 
 module Builder : sig
@@ -54,8 +59,14 @@ module Builder : sig
   val set_outputs : t -> tensor_id list -> unit
 
   val finish : t -> graph
-  (** Freeze and validate; raises [Invalid_argument] on malformed graphs
-      (undefined tensors, arity violations, missing outputs). *)
+  (** Freeze and validate; raises [Sod2_error.Error] (classes
+      [Invalid_graph] / [Arity_mismatch]) on malformed graphs — undefined
+      tensors, arity violations, missing outputs. *)
+
+  val finish_unchecked : t -> graph
+  (** Freeze without validating.  Intended for validation pipelines that
+      want to hand a possibly-malformed graph to {!Validate.check} and
+      collect every defect at once instead of dying on the first. *)
 end
 
 (** {1 Accessors} *)

@@ -206,7 +206,11 @@ let of_string text =
                 (Ok []) output_ids
               |> Result.map List.rev
             in
-            let assigned = Graph.Builder.node b ~name op inputs in
+            let* assigned =
+              match Graph.Builder.node b ~name op inputs with
+              | assigned -> Ok assigned
+              | exception Sod2_error.Error e -> Error (Sod2_error.to_string e)
+            in
             if assigned <> expected then err "node %s output ids mismatch" name else Ok ()
           | List (Atom "outputs" :: outs) ->
             let* outs =
@@ -225,9 +229,15 @@ let of_string text =
         (Ok ()) records
     in
     (match !outputs with
-    | Some outs ->
+    | Some outs -> (
       Graph.Builder.set_outputs b outs;
-      (try Ok (Graph.Builder.finish b) with Invalid_argument e -> Error e)
+      (* Freeze without per-defect aborts, then report every defect the
+         validator finds at once. *)
+      let g = Graph.Builder.finish_unchecked b in
+      match Validate.check g with
+      | Ok () -> Ok g
+      | Error errs ->
+        Error (String.concat "; " (List.map Sod2_error.to_string errs)))
     | None -> err "missing outputs record")
   | _ -> err "not a sod2-graph v1 file"
 

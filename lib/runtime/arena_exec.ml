@@ -31,16 +31,22 @@ let run (c : Pipeline.compiled) ~env ~inputs =
     | Some (In_arena (off, dims)) ->
       let n = List.fold_left ( * ) 1 dims in
       Tensor.create_f dims (Array.sub arena off n)
-    | None -> invalid_arg (Printf.sprintf "Arena_exec: tensor %d not available" tid)
+    | None ->
+      Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
+        "Arena_exec: tensor %d not available" tid
   in
   let store tid (t : Tensor.t) =
     match Hashtbl.find_opt alloc_of tid with
     | Some a when Tensor.dtype t = Tensor.F32 ->
       let bytes = 4 * Tensor.numel t in
       if bytes <> a.Mem_plan.size then
-        invalid_arg
-          (Printf.sprintf "Arena_exec: tensor %d is %d bytes, planned %d" tid bytes
-             a.Mem_plan.size);
+        Sod2_error.failf ~tensor:tid Sod2_error.Shape_mismatch
+          "Arena_exec: tensor %d is %d bytes, planned %d" tid bytes a.Mem_plan.size;
+      if a.Mem_plan.offset < 0 || a.Mem_plan.offset + a.Mem_plan.size > mp.Mem_plan.arena_bytes
+      then
+        Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
+          "Arena_exec: allocation [%d, %d) outside the %d-byte arena" a.Mem_plan.offset
+          (a.Mem_plan.offset + a.Mem_plan.size) mp.Mem_plan.arena_bytes;
       let off = a.Mem_plan.offset / 4 in
       Array.blit (Tensor.data_f t) 0 arena off (Tensor.numel t);
       incr resident;
@@ -87,8 +93,15 @@ let run (c : Pipeline.compiled) ~env ~inputs =
                 nd.Graph.outputs
             | Op.Combine { branches } ->
               let src =
-                List.find available
-                  (List.filteri (fun i _ -> i < branches) nd.Graph.inputs)
+                match
+                  List.find_opt available
+                    (List.filteri (fun i _ -> i < branches) nd.Graph.inputs)
+                with
+                | Some src -> src
+                | None ->
+                  Sod2_error.fail ~op:"Combine" ~node:nd.Graph.nname
+                    Sod2_error.Plan_violation
+                    "Arena_exec: no Combine branch available"
               in
               store (List.hd nd.Graph.outputs) (fetch src)
             | op ->

@@ -25,5 +25,8 @@ val run :
   result
 (** Execute with the memory plan instantiated for [env] (which must bind
     the model's shape variables consistently with [inputs]).  Raises
-    [Invalid_argument] if a planned tensor's actual extent disagrees with
-    the plan. *)
+    [Sod2_error.Error] (class [Shape_mismatch]) if a planned tensor's
+    actual extent disagrees with the plan, and (class [Plan_violation]) if
+    an allocation falls outside the arena or a required tensor never became
+    available.  For the variant that degrades gracefully instead of
+    raising, see {!Guarded_exec}. *)

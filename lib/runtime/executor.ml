@@ -83,12 +83,16 @@ let is_internal ctx tid = Hashtbl.mem ctx.internal tid
 let switch_pred_tid (nd : Graph.node) =
   match nd.inputs with
   | [ _; pred ] -> pred
-  | _ -> invalid_arg "Executor: Switch expects [data; pred]"
+  | _ ->
+    Sod2_error.fail ~op:"Switch" ~node:nd.nname Sod2_error.Arity_mismatch
+      "Executor: Switch expects [data; pred]"
 
 let combine_pred_tid (nd : Graph.node) =
   match List.rev nd.inputs with
   | pred :: _ -> pred
-  | [] -> invalid_arg "Executor: Combine without inputs"
+  | [] ->
+    Sod2_error.fail ~op:"Combine" ~node:nd.nname Sod2_error.Arity_mismatch
+      "Executor: Combine without inputs"
 
 (* --- dry-mode node execution ------------------------------------- *)
 
@@ -145,7 +149,7 @@ let dry_forward ctx st (nd : Graph.node) =
 
 (* --- shared driver ------------------------------------------------ *)
 
-let run_engine ~mode ~control ~gate ctx st =
+let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ctx st =
   let c = ctx.c in
   let g = c.graph in
   let step_of_group = Hashtbl.create 64 in
@@ -264,6 +268,15 @@ let run_engine ~mode ~control ~gate ctx st =
           incr step_counter;
           Hashtbl.replace step_of_group gid step;
           nodes_executed := !nodes_executed + List.length members;
+          (* Fused-group boundary guard: hand every produced extent to the
+             caller's verifier (no-op unless dims cross-checking is on). *)
+          List.iter
+            (fun (nd : Graph.node) ->
+              List.iter
+                (fun tid ->
+                  match st.dims.(tid) with Some d -> verify tid d | None -> ())
+                nd.Graph.outputs)
+            members;
           (* Record extents, traffic and events. *)
           let ops =
             List.map
@@ -375,7 +388,7 @@ let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compil
     (Graph.inputs c.graph);
   run_engine ~mode:Dry ~control ~gate ctx st
 
-let run_real ?(control = Selected_only) (c : Pipeline.compiled) ~inputs =
+let run_real ?(control = Selected_only) ?check_env (c : Pipeline.compiled) ~inputs =
   let ctx = make_ctx c in
   let st = init_state c ~keep_tensors:true in
   List.iter
@@ -386,7 +399,20 @@ let run_real ?(control = Selected_only) (c : Pipeline.compiled) ~inputs =
       then st.ivals.(tid) <- Some (Tensor.to_int_list t);
       st.avail.(tid) <- true)
     inputs;
-  let trace = run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ctx st in
+  let verify =
+    match check_env with
+    | None -> fun _ _ -> ()
+    | Some env ->
+      fun tid dims ->
+        (match Shape.eval env (Rdp.shape c.rdp tid) with
+        | Some want when want <> dims ->
+          Sod2_error.failf ~tensor:tid Sod2_error.Shape_mismatch
+            "executed dims [%s] disagree with RDP prediction [%s]"
+            (String.concat "; " (List.map string_of_int dims))
+            (String.concat "; " (List.map string_of_int want))
+        | _ -> ())
+  in
+  let trace = run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ctx st in
   let outs =
     List.filter_map
       (fun tid ->

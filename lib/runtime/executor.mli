@@ -71,11 +71,17 @@ val run_dry :
     branch 0). *)
 
 val run_real :
-  ?control:control -> Pipeline.compiled ->
+  ?control:control -> ?check_env:Env.t -> Pipeline.compiled ->
   inputs:(Graph.tensor_id * Tensor.t) list ->
   trace * (Graph.tensor_id * Tensor.t) list
 (** Full interpretation; returns the trace and the graph output tensors.
-    Switch predicates are read from the computed predicate tensors. *)
+    Switch predicates are read from the computed predicate tensors.
+
+    With [check_env], every tensor materialized at a fused-group boundary
+    is cross-checked against its RDP-predicted dims instantiated under the
+    valuation; a disagreement raises [Sod2_error.Error] (class
+    [Shape_mismatch]) — the fail-fast guard.  For the graceful-degradation
+    variant see {!Guarded_exec}. *)
 
 (** {1 Accounting helpers} *)
 

@@ -1,0 +1,334 @@
+type fault_kind =
+  | Arena_bounds
+  | Plan_overlap
+  | Size_mismatch
+  | Dim_mismatch
+  | Truncated_plan
+  | Kernel_fault
+
+let fault_name = function
+  | Arena_bounds -> "arena-bounds"
+  | Plan_overlap -> "plan-overlap"
+  | Size_mismatch -> "size-mismatch"
+  | Dim_mismatch -> "dim-mismatch"
+  | Truncated_plan -> "truncated-plan"
+  | Kernel_fault -> "kernel-fault"
+
+type incident = {
+  kind : fault_kind;
+  gid : int;
+  step : int;
+  detail : string;
+}
+
+type report = {
+  outputs : (Graph.tensor_id * Tensor.t) list;
+  incidents : incident list;
+  planned_groups : int;
+  demoted_nodes : int;
+  arena_bytes : int;
+  arena_resident : int;
+}
+
+type location =
+  | In_arena of int * int list  (** float offset, dims *)
+  | Boxed of Tensor.t
+
+let dims_str dims = String.concat "x" (List.map string_of_int dims)
+
+let branch_of_pred t =
+  match Tensor.to_int_list (Tensor.cast t Tensor.I64) with
+  | b :: _ -> b
+  | [] -> 0
+
+let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) (c : Pipeline.compiled)
+    ~env ~inputs =
+  let g = c.Pipeline.graph in
+  let mp =
+    match mem_plan with
+    | Some mp -> mp
+    | None -> Pipeline.mem_plan_for c env
+  in
+  let incidents = ref [] in
+  let incident ?(gid = -1) ?(step = -1) kind detail =
+    incidents := { kind; gid; step; detail } :: !incidents;
+    Profile.Counters.record ~profile:c.Pipeline.profile.Profile.name
+      ~kind:(fault_name kind)
+  in
+  (* RDP-predicted dims instantiated under the valuation, where resolvable. *)
+  let predicted =
+    Array.init (Graph.tensor_count g) (fun tid ->
+        Shape.eval env (Rdp.shape c.Pipeline.rdp tid))
+  in
+  let materialized = Array.make (Graph.tensor_count g) true in
+  Array.iter
+    (fun (grp : Fusion.group) ->
+      List.iter (fun tid -> materialized.(tid) <- false) grp.Fusion.internal)
+    c.Pipeline.fusion_plan.Fusion.groups;
+  (* --- static plan vetting: evict allocations the guards cannot trust --- *)
+  let arena_bytes = mp.Mem_plan.arena_bytes in
+  let vetted =
+    Array.to_list mp.Mem_plan.allocs
+    |> List.filter (fun (a : Mem_plan.alloc) ->
+           if a.Mem_plan.offset < 0 || a.Mem_plan.size < 0
+              || a.Mem_plan.offset + a.Mem_plan.size > arena_bytes
+              || a.Mem_plan.offset mod 4 <> 0
+           then begin
+             incident Arena_bounds
+               (Printf.sprintf "tensor %d: allocation [%d, %d) outside %d-byte arena"
+                  a.Mem_plan.tid a.Mem_plan.offset
+                  (a.Mem_plan.offset + a.Mem_plan.size)
+                  arena_bytes);
+             false
+           end
+           else
+             match predicted.(a.Mem_plan.tid) with
+             | Some dims
+               when a.Mem_plan.size
+                    <> 4 * List.fold_left (fun n d -> n * max 1 d) 1 dims ->
+               incident Size_mismatch
+                 (Printf.sprintf "tensor %d: planned %d bytes, RDP predicts %s"
+                    a.Mem_plan.tid a.Mem_plan.size (dims_str dims));
+               false
+             | _ -> true)
+  in
+  (* Pairwise live-range × address-range overlap: evict the later tensor. *)
+  let overlapping (a : Mem_plan.alloc) (b : Mem_plan.alloc) =
+    a.Mem_plan.first_step <= b.Mem_plan.last_step
+    && b.Mem_plan.first_step <= a.Mem_plan.last_step
+    && a.Mem_plan.offset < b.Mem_plan.offset + b.Mem_plan.size
+    && b.Mem_plan.offset < a.Mem_plan.offset + a.Mem_plan.size
+  in
+  let vetted =
+    List.fold_left
+      (fun kept (a : Mem_plan.alloc) ->
+        match List.find_opt (fun k -> overlapping k a) kept with
+        | Some clash ->
+          incident Plan_overlap
+            (Printf.sprintf
+               "tensors %d and %d overlap in the arena while both live"
+               clash.Mem_plan.tid a.Mem_plan.tid);
+          kept
+        | None -> a :: kept)
+      [] vetted
+  in
+  let alloc_of = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Mem_plan.alloc) -> Hashtbl.replace alloc_of a.Mem_plan.tid a)
+    vetted;
+  (* Plan-coverage check: the memory plan's lifetimes only account for the
+     consumers the execution order reaches.  A tensor consumed by a node
+     the plan never executes would be considered dead early and its arena
+     slot reused — so such tensors (and, with incomplete coverage, the
+     graph outputs) must stay boxed for the fallback sweep to read. *)
+  let covered = Array.make (Graph.node_count g) false in
+  List.iter
+    (fun gid ->
+      List.iter
+        (fun nid -> covered.(nid) <- true)
+        c.Pipeline.fusion_plan.Fusion.groups.(gid).Fusion.members)
+    c.Pipeline.exec.Exec_plan.order;
+  if Array.exists not covered then begin
+    for tid = 0 to Graph.tensor_count g - 1 do
+      if List.exists (fun nid -> not covered.(nid)) (Graph.consumers g tid) then
+        Hashtbl.remove alloc_of tid
+    done;
+    List.iter (fun tid -> Hashtbl.remove alloc_of tid) (Graph.outputs g)
+  end;
+  (* --- storage --- *)
+  let arena = Array.make (max 1 (arena_bytes / 4)) 0.0 in
+  let resident = ref 0 in
+  let loc : location option array = Array.make (Graph.tensor_count g) None in
+  for tid = 0 to Graph.tensor_count g - 1 do
+    match (Graph.tensor g tid).Graph.kind with
+    | Graph.Const t -> loc.(tid) <- Some (Boxed t)
+    | Graph.Input _ | Graph.Activation -> ()
+  done;
+  List.iter (fun (tid, t) -> loc.(tid) <- Some (Boxed t)) inputs;
+  let available tid = loc.(tid) <> None in
+  let fetch tid =
+    match loc.(tid) with
+    | Some (Boxed t) -> t
+    | Some (In_arena (off, dims)) ->
+      let n = List.fold_left ( * ) 1 dims in
+      Tensor.create_f dims (Array.sub arena off n)
+    | None ->
+      Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
+        "Guarded_exec: tensor %d not available" tid
+  in
+  (* Guarded store: cross-check dims against the RDP prediction at every
+     fused-group boundary; on any disagreement the planned offset cannot be
+     trusted, so the tensor is demoted to boxed storage and the run keeps
+     going. *)
+  (* Once any group is skipped or any node faults, the plan's lifetime
+     assumptions no longer hold: the fallback sweep will need tensors the
+     plan considers dead, and further arena stores could reuse their
+     slots.  From that point on everything is stored boxed. *)
+  let degraded = ref false in
+  let store ~gid ~step tid (t : Tensor.t) =
+    let dims = Tensor.dims t in
+    (match predicted.(tid) with
+    | Some pdims when materialized.(tid) && pdims <> dims ->
+      incident ~gid ~step Dim_mismatch
+        (Printf.sprintf "tensor %d: executed %s, RDP predicted %s" tid
+           (dims_str dims) (dims_str pdims));
+      Hashtbl.remove alloc_of tid
+    | _ -> ());
+    match Hashtbl.find_opt alloc_of tid with
+    | Some _ when !degraded -> loc.(tid) <- Some (Boxed t)
+    | Some a when Tensor.dtype t = Tensor.F32 ->
+      let bytes = 4 * Tensor.numel t in
+      if bytes <> a.Mem_plan.size then begin
+        incident ~gid ~step Size_mismatch
+          (Printf.sprintf "tensor %d: %d bytes into a %d-byte slot" tid bytes
+             a.Mem_plan.size);
+        Hashtbl.remove alloc_of tid;
+        loc.(tid) <- Some (Boxed t)
+      end
+      else begin
+        let off = a.Mem_plan.offset / 4 in
+        Array.blit (Tensor.data_f t) 0 arena off (Tensor.numel t);
+        incr resident;
+        loc.(tid) <- Some (In_arena (off, dims))
+      end
+    | _ -> loc.(tid) <- Some (Boxed t)
+  in
+  (* Tensors proven unreachable under the executed routing: unselected
+     Switch outputs and everything that only depends on them.  Lets a
+     skipped group be recognized as the routing semantics rather than a
+     plan defect. *)
+  let dead = Array.make (Graph.tensor_count g) false in
+  (* Execute one node; [store] decides arena vs boxed placement. *)
+  let exec_node store (nd : Graph.node) =
+    match nd.Graph.op with
+    | Op.Switch { branches } ->
+      let data = List.hd nd.Graph.inputs in
+      let pred = List.nth nd.Graph.inputs 1 in
+      let b = max 0 (min (branches - 1) (branch_of_pred (fetch pred))) in
+      List.iteri
+        (fun i tid -> if i = b then store tid (fetch data) else dead.(tid) <- true)
+        nd.Graph.outputs
+    | Op.Combine { branches } ->
+      let src =
+        match
+          List.find_opt available
+            (List.filteri (fun i _ -> i < branches) nd.Graph.inputs)
+        with
+        | Some src -> src
+        | None ->
+          Sod2_error.fail ~op:"Combine" ~node:nd.Graph.nname
+            Sod2_error.Plan_violation "Guarded_exec: no Combine branch available"
+      in
+      store (List.hd nd.Graph.outputs) (fetch src)
+    | op ->
+      let outs = Kernels.run op (List.map fetch nd.Graph.inputs) in
+      List.iter2 store nd.Graph.outputs outs
+  in
+  (* --- planned sweep: fusion groups in the static execution order --- *)
+  let executed = Array.make (Graph.node_count g) false in
+  let faulted = Array.make (Graph.node_count g) false in
+  let planned_groups = ref 0 in
+  List.iteri
+    (fun step gid ->
+      let grp = c.Pipeline.fusion_plan.Fusion.groups.(gid) in
+      let members = List.map (Graph.node g) grp.Fusion.members in
+      let member_tids =
+        List.concat_map (fun (nd : Graph.node) -> nd.Graph.outputs) members
+      in
+      let ready =
+        List.for_all
+          (fun (nd : Graph.node) ->
+            match nd.Graph.op with
+            | Op.Combine { branches } ->
+              available (List.nth nd.Graph.inputs branches)
+              && List.exists available
+                   (List.filteri (fun i _ -> i < branches) nd.Graph.inputs)
+            | _ ->
+              List.for_all
+                (fun tid -> available tid || List.mem tid member_tids)
+                nd.Graph.inputs)
+          members
+      in
+      if ready then begin
+        incr planned_groups;
+        List.iter
+          (fun (nd : Graph.node) ->
+            try
+              kernel_hook ~gid ~node:nd.Graph.nid;
+              exec_node (store ~gid ~step) nd;
+              executed.(nd.Graph.nid) <- true
+            with
+            | Sod2_error.Error _ | Invalid_argument _ | Failure _ ->
+              (* A fused/specialized kernel misbehaved: leave the node for
+                 the reference fallback sweep. *)
+              faulted.(nd.Graph.nid) <- true;
+              degraded := true;
+              incident ~gid ~step Kernel_fault
+                (Printf.sprintf "node %d (%s) raised during planned execution"
+                   nd.Graph.nid nd.Graph.nname))
+          members
+      end
+      else begin
+        (* A group whose missing inputs are all provably dead sits on an
+           unselected branch: skipping it is the routing semantics, and its
+           own outputs become dead in turn.  Any other missing input means
+           the plan expected data that never appeared — from here on the
+           plan's lifetime assumptions cannot be trusted, so downstream
+           stores are demoted to boxed (handled via [degraded]). *)
+        let dead_branch =
+          List.for_all
+            (fun (nd : Graph.node) ->
+              List.for_all
+                (fun tid -> available tid || List.mem tid member_tids || dead.(tid))
+                nd.Graph.inputs)
+            members
+        in
+        if dead_branch then
+          List.iter
+            (fun (nd : Graph.node) ->
+              List.iter
+                (fun tid -> if not (available tid) then dead.(tid) <- true)
+                nd.Graph.outputs)
+            members
+        else degraded := true
+      end)
+    c.Pipeline.exec.Exec_plan.order;
+  (* --- fallback sweep: reference topological interpretation of whatever
+     the plan failed to cover.  Nodes whose inputs never became available
+     sit on an unselected branch — skipping them is the routing semantics,
+     not a fault. --- *)
+  let boxed_store tid t = loc.(tid) <- Some (Boxed t) in
+  let demoted = ref 0 in
+  let truncated = ref 0 in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      if not executed.(nd.Graph.nid) then begin
+        let ready =
+          match nd.Graph.op with
+          | Op.Combine { branches } ->
+            available (List.nth nd.Graph.inputs branches)
+            && List.exists available
+                 (List.filteri (fun i _ -> i < branches) nd.Graph.inputs)
+          | _ -> List.for_all available nd.Graph.inputs
+        in
+        if ready then begin
+          exec_node boxed_store nd;
+          executed.(nd.Graph.nid) <- true;
+          incr demoted;
+          if not faulted.(nd.Graph.nid) then incr truncated
+        end
+      end)
+    (Graph.nodes g);
+  if !truncated > 0 then
+    incident Truncated_plan
+      (Printf.sprintf "plan skipped %d executable node%s" !truncated
+         (if !truncated = 1 then "" else "s"));
+  let outputs = List.map (fun tid -> tid, fetch tid) (Graph.outputs g) in
+  {
+    outputs;
+    incidents = List.rev !incidents;
+    planned_groups = !planned_groups;
+    demoted_nodes = !demoted;
+    arena_bytes;
+    arena_resident = !resident;
+  }

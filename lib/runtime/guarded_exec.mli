@@ -1,0 +1,68 @@
+(** Guarded execution with graceful degradation.
+
+    SoD²'s fusion, execution and memory plans are all derived from the RDP
+    facts, so one wrong dimension prediction — or a corrupted plan — would
+    silently corrupt an arena execution.  This executor runs the compiled
+    plan under runtime guards and, when a guard fires, {e demotes} the
+    affected work from fused/planned execution to the reference
+    topological interpreter instead of crashing:
+
+    - {b before execution} the instantiated memory plan is vetted: every
+      allocation must lie inside the arena, agree with its RDP-predicted
+      size, and never overlap another allocation whose lifetime it
+      intersects.  Offending allocations are evicted to boxed storage.
+    - {b at each fused-group boundary} every produced tensor's actual dims
+      are cross-checked against the RDP prediction instantiated from the
+      symbol {!Env}; a mismatch boxes the tensor (the planned offset can no
+      longer be trusted) and records an incident.
+    - {b after the planned sweep} any node the plan failed to execute —
+      truncated groups, truncated order, cascading skips — is picked up by
+      a reference topological sweep over boxed tensors, so outputs are
+      still produced and still correct.
+
+    Every incident is recorded in the report and in the process-global
+    {!Profile.Counters}, giving production monitoring a fallback-health
+    signal.  The fault-injection suite verifies that each corruption kind
+    is caught and that degraded execution still matches {!Reference.run}
+    bit-for-bit. *)
+
+type fault_kind =
+  | Arena_bounds  (** allocation outside the arena (or misaligned) *)
+  | Plan_overlap  (** two allocations overlap in space while both live *)
+  | Size_mismatch  (** planned byte size disagrees with the RDP size / actual tensor *)
+  | Dim_mismatch  (** executed dims disagree with the RDP prediction under [env] *)
+  | Truncated_plan  (** the plan never executed nodes that were executable *)
+  | Kernel_fault  (** a kernel raised while executing a planned group *)
+
+val fault_name : fault_kind -> string
+
+type incident = {
+  kind : fault_kind;
+  gid : int;  (** fusion group id, [-1] for plan-level incidents *)
+  step : int;  (** plan-order position, [-1] when not applicable *)
+  detail : string;
+}
+
+type report = {
+  outputs : (Graph.tensor_id * Tensor.t) list;
+  incidents : incident list;  (** in detection order *)
+  planned_groups : int;  (** groups executed through the plan *)
+  demoted_nodes : int;  (** nodes executed by the fallback sweep *)
+  arena_bytes : int;
+  arena_resident : int;  (** tensors that lived in the arena *)
+}
+
+val run :
+  ?mem_plan:Mem_plan.t ->
+  ?kernel_hook:(gid:int -> node:Graph.node_id -> unit) ->
+  Pipeline.compiled ->
+  env:Env.t ->
+  inputs:(Graph.tensor_id * Tensor.t) list ->
+  report
+(** Execute under guards.  [mem_plan] overrides the plan instantiated from
+    [env] (used by the fault-injection harness to feed corrupted plans).
+    [kernel_hook] runs before each {e planned} node execution and may raise
+    to simulate a faulty specialized kernel version; the fallback sweep
+    does not call it (the fallback runs reference kernels).  Never raises
+    on plan corruption; raises [Sod2_error.Error] only when a graph output
+    is genuinely uncomputable (malformed graph). *)

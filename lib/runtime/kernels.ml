@@ -72,7 +72,7 @@ let reduce_kind : Op.reduce_kind -> Reduction.kind = function
   | Op.Rl2 -> Reduction.L2
 
 let arg_err op msg =
-  invalid_arg (Printf.sprintf "Kernels.run %s: %s" (Op.name op) msg)
+  Sod2_error.failf ~op:(Op.name op) Sod2_error.Arity_mismatch "Kernels.run: %s" msg
 
 let resolve_reshape_dims data target =
   let total = Tensor.numel data in
@@ -252,7 +252,9 @@ let run (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
         (Array.of_list (List.concat_map (fun i -> [ 0; 0; i ]) kept));
     ]
   | (Op.If | Op.Loop), _ ->
-    failwith (Printf.sprintf "Kernels.run: %s requires sub-graph support" (Op.name op))
+    Sod2_error.failf ~op:(Op.name op) Sod2_error.Unsupported
+      "Kernels.run: %s requires sub-graph support" (Op.name op)
   | (Op.Switch _ | Op.Combine _), _ ->
-    failwith "Kernels.run: control flow is routed by the executor"
+    Sod2_error.failf ~op:(Op.name op) Sod2_error.Unsupported
+      "Kernels.run: control flow is routed by the executor, not evaluated as a kernel"
   | _, _ -> arg_err op (Printf.sprintf "arity %d not supported" (List.length inputs))

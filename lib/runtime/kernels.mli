@@ -6,6 +6,9 @@
     [Combine]) are {e not} handled here — the executor routes them. *)
 
 val run : Op.t -> Tensor.t list -> Tensor.t list
-(** [run op inputs] executes the operator.  Raises [Invalid_argument] on
-    arity or shape violations and [Failure] for the two operators that
-    cannot be interpreted without sub-graph support ([If], [Loop]). *)
+(** [run op inputs] executes the operator.  Raises [Sod2_error.Error]:
+    class [Arity_mismatch] on arity violations, class [Unsupported] for the
+    two operators that cannot be interpreted without sub-graph support
+    ([If], [Loop]) and for control flow, which the executor routes.  The
+    tensor primitives may still raise [Invalid_argument] on shape
+    violations inside an operator. *)

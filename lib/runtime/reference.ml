@@ -1,0 +1,51 @@
+let branch_of_pred t =
+  match Tensor.to_int_list (Tensor.cast t Tensor.I64) with
+  | b :: _ -> b
+  | [] -> 0
+
+let run (g : Graph.t) ~inputs =
+  let value : Tensor.t option array = Array.make (Graph.tensor_count g) None in
+  for tid = 0 to Graph.tensor_count g - 1 do
+    match (Graph.tensor g tid).Graph.kind with
+    | Graph.Const t -> value.(tid) <- Some t
+    | Graph.Input _ | Graph.Activation -> ()
+  done;
+  List.iter (fun (tid, t) -> value.(tid) <- Some t) inputs;
+  let avail tid = value.(tid) <> None in
+  let fetch tid = Option.get value.(tid) in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      match nd.Graph.op with
+      | Op.Switch { branches } ->
+        if List.for_all avail nd.Graph.inputs then begin
+          let data = List.hd nd.Graph.inputs in
+          let pred = List.nth nd.Graph.inputs 1 in
+          let b = max 0 (min (branches - 1) (branch_of_pred (fetch pred))) in
+          List.iteri
+            (fun i tid -> if i = b then value.(tid) <- Some (fetch data))
+            nd.Graph.outputs
+        end
+      | Op.Combine { branches } -> (
+        let branch_tids = List.filteri (fun i _ -> i < branches) nd.Graph.inputs in
+        match List.rev nd.Graph.inputs with
+        | pred :: _ when avail pred -> (
+          match List.find_opt avail branch_tids with
+          | Some src -> value.(List.hd nd.Graph.outputs) <- Some (fetch src)
+          | None -> ())
+        | _ -> ())
+      | op ->
+        (* Nodes on an unselected branch never see their inputs; skipping
+           them is the routing semantics, not an error. *)
+        if List.for_all avail nd.Graph.inputs then begin
+          let outs = Kernels.run op (List.map fetch nd.Graph.inputs) in
+          List.iter2 (fun tid t -> value.(tid) <- Some t) nd.Graph.outputs outs
+        end)
+    (Graph.nodes g);
+  List.map
+    (fun tid ->
+      match value.(tid) with
+      | Some t -> tid, t
+      | None ->
+        Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
+          "Reference.run: graph output %d was never produced" tid)
+    (Graph.outputs g)

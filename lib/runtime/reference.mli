@@ -1,0 +1,17 @@
+(** Reference topological interpreter.
+
+    Executes a graph directly — no fusion, no execution plan, no arena:
+    nodes run in insertion (topological) order, every tensor is boxed, and
+    [<Switch, Combine>] routes the selected branch only.  This is the
+    ground truth the guarded executor ({!Guarded_exec}) demotes to when a
+    runtime guard fires, and the oracle the fault-injection tests compare
+    against: it depends on nothing the optimizer produced, so a corrupted
+    plan cannot corrupt it. *)
+
+val run :
+  Graph.t -> inputs:(Graph.tensor_id * Tensor.t) list ->
+  (Graph.tensor_id * Tensor.t) list
+(** Interpret the graph on the given input tensors and return the graph
+    output tensors.  Raises [Sod2_error.Error] (class [Plan_violation])
+    when a graph output was never produced — e.g. a malformed graph whose
+    selected branch never reaches the output. *)

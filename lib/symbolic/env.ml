@@ -12,7 +12,9 @@ let eval_exn env e =
   match eval env e with
   | Some v -> v
   | None ->
-    invalid_arg (Printf.sprintf "Env.eval_exn: cannot evaluate %s" (Expr.to_string e))
+    Sod2_error.failf Sod2_error.Unbound_symbol "cannot evaluate %s under {%s}"
+      (Expr.to_string e)
+      (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (M.bindings env)))
 
 let to_list env = M.bindings env
 

@@ -17,8 +17,9 @@ val eval : t -> Expr.t -> int option
 (** [eval env e] evaluates [e] under [env]. *)
 
 val eval_exn : t -> Expr.t -> int
-(** Like {!eval} but raises [Invalid_argument] with the unresolved
-    expression when evaluation fails. *)
+(** Like {!eval} but raises [Sod2_error.Error] (class [Unbound_symbol])
+    carrying the unresolved expression and the bindings that were
+    available when evaluation fails. *)
 
 val to_list : t -> (string * int) list
 (** Bindings in name order. *)

@@ -38,14 +38,14 @@ let test_builder_validation () =
   (try
      ignore (Graph.Builder.finish b);
      Alcotest.fail "arity violation not caught"
-   with Invalid_argument _ -> ());
+   with Sod2_error.Error { cls = Sod2_error.Arity_mismatch; _ } -> ());
   (* missing outputs *)
   let b = Graph.Builder.create () in
   ignore (Graph.Builder.input b ~name:"x" dyn_shape);
   (try
      ignore (Graph.Builder.finish b);
      Alcotest.fail "missing outputs not caught"
-   with Invalid_argument _ -> ())
+   with Sod2_error.Error { cls = Sod2_error.Invalid_graph; _ } -> ())
 
 let test_traversals () =
   let g, _, _, _ = small_graph () in

@@ -171,7 +171,7 @@ let test_arena_rejects_mismatched_env () =
   try
     ignore (Sod2_runtime.Arena_exec.run c ~env:(Env.of_list [ "S", 48 ]) ~inputs);
     Alcotest.fail "plan/input mismatch not detected"
-  with Invalid_argument _ -> ()
+  with Sod2_error.Error { cls = Sod2_error.Shape_mismatch; _ } -> ()
 
 let test_event_bookkeeping () =
   let sp = spec "yolov6" in

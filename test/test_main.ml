@@ -4,11 +4,13 @@ let () =
       "symbolic", Suite_symbolic.suite;
       "tensor", Suite_tensor.suite;
       "ir", Suite_ir.suite;
+      "validate", Suite_validate.suite;
       "op-conformance", Suite_op_conformance.suite;
       "graph-io", Suite_graph_io.suite;
       "rdp", Suite_rdp.suite;
       "core", Suite_core.suite;
       "runtime", Suite_runtime.suite;
+      "guard", Suite_guard.suite;
       "models", Suite_models.suite;
       "frameworks", Suite_frameworks.suite;
       "experiments", Suite_experiments.suite;
