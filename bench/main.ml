@@ -7,7 +7,7 @@
    compiler passes.
 
    Usage: dune exec bench/main.exe [-- --samples N] [--no-bechamel]
-          [--no-tables] [--quick] *)
+          [--no-tables] [--no-kernels] [--quick] [--backend KIND] *)
 
 open Bechamel
 open Toolkit
@@ -16,6 +16,8 @@ module E = Sod2_experiments.Experiments
 let samples = ref 50
 let run_bechamel = ref true
 let run_tables = ref true
+let run_kernels = ref true
+let smoke_backend = ref None
 
 let () =
   let rec parse = function
@@ -28,6 +30,14 @@ let () =
       parse rest
     | "--no-tables" :: rest ->
       run_tables := false;
+      parse rest
+    | "--no-kernels" :: rest ->
+      run_kernels := false;
+      parse rest
+    | "--backend" :: v :: rest ->
+      (match Sod2_runtime.Backend.kind_of_string v with
+      | Some k -> smoke_backend := Some k
+      | None -> invalid_arg ("unknown backend " ^ v));
       parse rest
     | "--quick" :: rest ->
       samples := 10;
@@ -144,6 +154,93 @@ let tests () =
         Sod2_runtime.Executor.run_real (Framework.compiled bert_sod2) ~inputs |> ignore);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Kernel backends: naive vs blocked vs parallel                       *)
+(* ------------------------------------------------------------------ *)
+
+module RT = Sod2_runtime
+
+(* Wall-clock (not CPU) time so the domain pool is credited for overlap. *)
+let time_runs f =
+  f ();
+  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let reps = max 2 (min 60 (int_of_float (0.3 /. Float.max 1e-6 once))) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let filled len =
+  Array.init len (fun i -> (float_of_int ((i * 7919) mod 1009) /. 1009.0) -. 0.5)
+
+let kernel_speedups () =
+  let versions = Sod2.Multi_version.build cpu in
+  let mk kind = RT.Backend.create ~versions kind in
+  let naive = mk RT.Backend.Naive in
+  let blocked = mk RT.Backend.Blocked in
+  let parallel =
+    RT.Backend.create ~versions ~threads:cpu.Profile.cores RT.Backend.Parallel
+  in
+  Fun.protect
+    ~finally:(fun () -> RT.Backend.shutdown parallel)
+    (fun () ->
+      Printf.printf
+        "\n=== Kernel backends: GEMM/Conv per shape class (%d domains) ===\n"
+        (RT.Backend.pool_size parallel);
+      Printf.printf "  %-26s %10s %10s %10s %7s %7s\n" "case" "naive ms" "blocked"
+        "parallel" "blk x" "par x";
+      let row case tn tb tp =
+        Printf.printf "  %-26s %10.3f %10.3f %10.3f %6.2fx %6.2fx\n" case
+          (tn *. 1e3) (tb *. 1e3) (tp *. 1e3) (tn /. tb) (tn /. tp)
+      in
+      let gemm_case name m n k =
+        let a = filled (m * k) and b = filled (k * n) in
+        let c = Array.make (m * n) 0.0 in
+        let run be () =
+          Array.fill c 0 (m * n) 0.0;
+          RT.Backend.gemm_kernel be ~m ~n ~k ~a ~ao:0 ~b ~bo:0 ~c ~co:0
+        in
+        let tn = time_runs (run naive) in
+        let tb = time_runs (run blocked) in
+        let tp = time_runs (run parallel) in
+        row (Printf.sprintf "%s %dx%dx%d" name m n k) tn tb tp
+      in
+      gemm_case "gemm/fat" 512 512 256;
+      gemm_case "gemm/regular" 256 256 256;
+      gemm_case "gemm/skinny" 4 512 256;
+      gemm_case "gemm/tiny" 16 16 16;
+      let rng = Rng.create 17 in
+      let x = Tensor.rand_uniform rng [ 1; 64; 28; 28 ] in
+      let w = Tensor.rand_uniform rng [ 64; 64; 3; 3 ] in
+      let conv be () =
+        ignore
+          (RT.Backend.conv2d be ~stride:(1, 1) ~pad:(1, 1, 1, 1) ~dilation:(1, 1)
+             ~groups:1 x w None)
+      in
+      let tn = time_runs (conv naive) in
+      let tb = time_runs (conv blocked) in
+      let tp = time_runs (conv parallel) in
+      row "conv/64x64x3x3 28x28" tn tb tp)
+
+let backend_smoke kind =
+  let bert_g = graph_of bert in
+  let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
+  let be = RT.Backend.for_compiled kind c in
+  Fun.protect
+    ~finally:(fun () -> RT.Backend.shutdown be)
+    (fun () ->
+      let env = Env.of_list [ "S", 32 ] in
+      let inputs = Zoo.make_inputs bert bert_g env (Rng.create 5) in
+      let trace, _ = RT.Executor.run_real ~backend:be c ~inputs in
+      Printf.printf
+        "\n=== Backend smoke: codebert S=32 on %s backend — %d nodes, %d domains ===\n"
+        (RT.Backend.kind_name kind) trace.RT.Executor.nodes_executed
+        (RT.Backend.pool_size be))
+
 let run_benchmarks () =
   let grouped = Test.make_grouped ~name:"sod2" ~fmt:"%s/%s" (tests ()) in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~stabilize:false () in
@@ -173,4 +270,8 @@ let () =
       !samples;
     List.iter Sod2_experiments.Table.print (E.all ~n:!samples ())
   end;
+  if !run_kernels then kernel_speedups ();
+  (match !smoke_backend with
+  | Some kind -> backend_smoke kind
+  | None -> ());
   if !run_bechamel then run_benchmarks ()

@@ -128,11 +128,18 @@ let compile_cmd =
 (* --- run ----------------------------------------------------------- *)
 
 let run_cmd =
-  let run model device dims real arena =
+  let run model device dims real arena backend =
     let sp = spec_of_name model in
     let profile = profile_of_name device in
     let g = sp.build () in
     let env = env_of_dims sp dims in
+    let backend_kind =
+      match Sod2_runtime.Backend.kind_of_string backend with
+      | Some k -> k
+      | None ->
+        Printf.eprintf "unknown backend %S (expected naive|blocked|parallel)\n" backend;
+        exit 2
+    in
     if arena then begin
       let c = Sod2.Pipeline.compile profile g in
       let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
@@ -146,13 +153,19 @@ let run_cmd =
     else if real then begin
       let c = Sod2.Pipeline.compile profile g in
       let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
-      let trace, outs = Sod2_runtime.Executor.run_real c ~inputs in
-      Printf.printf "executed %d nodes (%d fused groups)\n"
-        trace.Sod2_runtime.Executor.nodes_executed
-        (List.length trace.Sod2_runtime.Executor.steps);
-      List.iter
-        (fun (tid, t) -> Format.printf "output t%d = %a@." tid Tensor.pp t)
-        outs
+      let be = Sod2_runtime.Backend.for_compiled backend_kind c in
+      Fun.protect
+        ~finally:(fun () -> Sod2_runtime.Backend.shutdown be)
+        (fun () ->
+          let trace, outs = Sod2_runtime.Executor.run_real ~backend:be c ~inputs in
+          Printf.printf "executed %d nodes (%d fused groups, %s backend, %d domains)\n"
+            trace.Sod2_runtime.Executor.nodes_executed
+            (List.length trace.Sod2_runtime.Executor.steps)
+            (Sod2_runtime.Backend.kind_name backend_kind)
+            (Sod2_runtime.Backend.pool_size be);
+          List.iter
+            (fun (tid, t) -> Format.printf "output t%d = %a@." tid Tensor.pp t)
+            outs)
     end
     else begin
       let max_dims = Zoo.input_dims sp g (Zoo.max_env sp) in
@@ -176,11 +189,18 @@ let run_cmd =
          & info [ "arena" ]
              ~doc:"Interpret with every planned tensor at its memory-plan offset.")
   in
+  let backend =
+    Arg.(value & opt string "naive"
+         & info [ "backend" ] ~docv:"KIND"
+             ~doc:"Kernel backend for --real: naive (reference loops), blocked \
+                   (cache-blocked register-tiled kernels), or parallel (blocked \
+                   kernels over the domain pool).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run one inference (simulated by default; --real interprets, --arena \
              additionally executes the memory plan).")
-    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena)
+    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena $ backend)
 
 (* --- compare ------------------------------------------------------- *)
 

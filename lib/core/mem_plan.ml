@@ -143,33 +143,46 @@ let rec permutations = function
         List.map (fun p -> x :: p) (permutations rest))
       l
 
-(* Best-fit placement: choose the tightest adequate hole instead of the
-   lowest offset. *)
+(* Best-fit placement: among the holes between conflicting allocations
+   (including the gap below the lowest one), pick the hole with minimal
+   slack that still fits; ties go to the lower offset.  When no bounded
+   hole is adequate the block goes on top of the conflicts — the same
+   offset first-fit would choose, so best-fit never grows the arena. *)
 let best_fit placed lt =
   let conflicts =
     List.filter (fun (plt, _off) -> overlap plt lt) placed
     |> List.map (fun (plt, off) -> off, off + plt.lt_size)
     |> List.sort compare
   in
-  (* candidate offsets: 0 and the top of every conflicting block *)
-  let arena_top =
-    List.fold_left (fun acc (_, hi) -> max acc hi) 0 conflicts
+  (* Merge into disjoint occupied intervals so holes are well-defined even
+     when conflicting blocks themselves overlap in space (they may: their
+     lifetimes need not pairwise overlap). *)
+  let merged =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        match acc with
+        | (mlo, mhi) :: rest when lo <= mhi -> (mlo, max mhi hi) :: rest
+        | _ -> (lo, hi) :: acc)
+      [] conflicts
+    |> List.rev
   in
-  let fits candidate =
-    List.for_all (fun (lo, hi) -> candidate + lt.lt_size <= lo || candidate >= hi) conflicts
+  let rec scan hole_lo best = function
+    | [] -> (
+      (* the hole above all conflicts is unbounded: only take it when no
+         bounded hole fit *)
+      match best with Some (off, _slack) -> off | None -> hole_lo)
+    | (lo, hi) :: rest ->
+      let gap = lo - hole_lo in
+      let best =
+        if gap >= lt.lt_size then begin
+          let slack = gap - lt.lt_size in
+          match best with Some (_, s) when s <= slack -> best | _ -> Some (hole_lo, slack)
+        end
+        else best
+      in
+      scan hi best rest
   in
-  let candidates = 0 :: List.map snd conflicts in
-  let best = ref None in
-  List.iter
-    (fun c ->
-      if fits c then
-        match !best with
-        | Some b when b <= c -> ()
-        | _ -> best := Some c)
-    (List.filter (fun c -> c + lt.lt_size <= arena_top) candidates);
-  match !best with
-  | Some c -> c
-  | None -> first_fit placed lt
+  scan 0 None merged
 
 let place_best_fit lts =
   List.rev
@@ -276,6 +289,17 @@ let arena_for strategy ~lifetimes =
       List.fold_left
         (fun best perm -> min best (arena_of (place_in_order perm)))
         max_int (permutations lts)
+
+let pack fit ~lifetimes =
+  let lts =
+    List.mapi
+      (fun i (size, first, last) ->
+        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last })
+      lifetimes
+  in
+  let place = match fit with `First_fit -> first_fit | `Best_fit -> best_fit in
+  let placed = List.rev (List.fold_left (fun acc lt -> (lt, place acc lt) :: acc) [] lts) in
+  List.map snd placed, arena_of placed
 
 let optimal_arena_upper_bound t =
   let lts =

@@ -63,6 +63,13 @@ val arena_for :
     arena size — the building block the framework simulators use for their
     per-inference memory accounting. *)
 
+val pack :
+  [ `First_fit | `Best_fit ] -> lifetimes:(int * int * int) list -> int list * int
+(** [pack fit ~lifetimes] places raw [(bytes, first_step, last_step)]
+    lifetimes in the given order with the chosen hole-selection rule and
+    returns the per-tensor offsets (in input order) plus the arena size.
+    Exposed so placement policies can be compared directly in tests. *)
+
 val optimal_arena_upper_bound : t -> int
 (** Arena size found by {!Optimal_search} over this plan's lifetimes —
     exponential, only valid for small allocation counts (≤ 9). *)

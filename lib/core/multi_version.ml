@@ -2,20 +2,37 @@ type shape_class =
   | Fat
   | Regular
   | Skinny
+  | Tiny
+
+let class_name = function
+  | Fat -> "fat"
+  | Regular -> "regular"
+  | Skinny -> "skinny"
+  | Tiny -> "tiny"
 
 let classify ~m ~n =
-  if m <= 8 || n <= 8 then Skinny
-  else if m >= 256 && n >= 256 then Fat
-  else Regular
+  if m <= 8 || n <= 8 then Skinny else if m >= 256 && n >= 256 then Fat else Regular
+
+(* With the contraction depth known the degenerate problems (where packing
+   overhead exceeds the whole naive product) get their own class. *)
+let classify_gemm ~m ~n ~k =
+  if m > 0 && n > 0 && k > 0 && m * n * k <= 4096 then Tiny else classify ~m ~n
 
 type table = {
   fat : Autotune.config;
   regular : Autotune.config;
   skinny : Autotune.config;
+  tiny : Autotune.config;
   versioned : bool;
 }
 
-let representatives = [ Fat, (512, 512, 256); Regular, (96, 96, 96); Skinny, (4, 512, 256) ]
+let representatives =
+  [
+    Fat, (512, 512, 256);
+    Regular, (96, 96, 96);
+    Skinny, (4, 512, 256);
+    Tiny, (16, 16, 16);
+  ]
 
 let build ?(seed = 7) p =
   let tune_for idx cls =
@@ -26,6 +43,7 @@ let build ?(seed = 7) p =
     fat = tune_for 0 Fat;
     regular = tune_for 1 Regular;
     skinny = tune_for 2 Skinny;
+    tiny = tune_for 3 Tiny;
     versioned = true;
   }
 
@@ -34,13 +52,20 @@ let build ?(seed = 7) p =
    effect of versioning itself. *)
 let single_version ?(seed = 7) p =
   let t = build ~seed p in
-  { fat = t.regular; regular = t.regular; skinny = t.regular; versioned = false }
+  {
+    fat = t.regular;
+    regular = t.regular;
+    skinny = t.regular;
+    tiny = t.regular;
+    versioned = false;
+  }
 
 let untuned =
   {
     fat = Autotune.default_config;
     regular = Autotune.default_config;
     skinny = Autotune.default_config;
+    tiny = Autotune.default_config;
     versioned = false;
   }
 
@@ -48,11 +73,12 @@ let config_for t = function
   | Fat -> t.fat
   | Regular -> t.regular
   | Skinny -> t.skinny
+  | Tiny -> t.tiny
 
 let efficiency_for p t ~m ~n ~k =
   (* The regular version always ships; the class-specific version is used
      when it wins on the observed extents, so versioning never hurts. *)
-  let cls = Autotune.efficiency p (config_for t (classify ~m ~n)) ~m ~n ~k in
+  let cls = Autotune.efficiency p (config_for t (classify_gemm ~m ~n ~k)) ~m ~n ~k in
   let generic = Autotune.efficiency p t.regular ~m ~n ~k in
   Float.max cls generic
 

@@ -16,9 +16,17 @@ type shape_class =
   | Fat  (** both output extents large *)
   | Regular
   | Skinny  (** one output extent very small *)
+  | Tiny  (** whole problem smaller than the packing overhead *)
+
+val class_name : shape_class -> string
 
 val classify : m:int -> n:int -> shape_class
 (** Shape class of a GEMM (or implicit-GEMM convolution) output. *)
+
+val classify_gemm : m:int -> n:int -> k:int -> shape_class
+(** Like {!classify} but with the contraction depth known: problems with
+    [m·n·k ≤ 4096] are {!Tiny} and stay on the naive reference kernel,
+    where blocking/packing overhead would dominate. *)
 
 type table
 

@@ -14,12 +14,38 @@ type compiled = {
   fusion_plan : Fusion.plan;
   exec : Exec_plan.t;
   versions : Multi_version.table;
+  kernel_classes : Multi_version.shape_class option array;
   flags : opt_flags;
   profile : Profile.t;
 }
 
 let env_with_all_syms g v =
   List.fold_left (fun env s -> Env.bind s v env) Env.empty (Graph.free_syms g)
+
+(* Static shape-class resolution (§4.4.2): the implicit-GEMM extents of
+   every heavy operator, evaluated from the RDP shapes under the planning
+   binding of the shape variables.  Symbolic dims resolve to the
+   representative value, so a matmul whose M is [batch] still lands in a
+   class at compile time; operators whose extents stay unknown get [None]
+   and dispatch on observed extents at run time. *)
+let kernel_classes_of graph rdp ~env =
+  Array.map
+    (fun (nd : Graph.node) ->
+      let dims_of tid = Shape.eval env (Rdp.shape rdp tid) in
+      let all_dims tids = List.map dims_of tids in
+      let sequence l =
+        List.fold_right
+          (fun x acc ->
+            match x, acc with Some v, Some vs -> Some (v :: vs) | _ -> None)
+          l (Some [])
+      in
+      match sequence (all_dims nd.inputs), sequence (all_dims nd.outputs) with
+      | Some in_dims, Some out_dims ->
+        Option.map
+          (fun (m, n, k) -> Multi_version.classify_gemm ~m ~n ~k)
+          (Multi_version.gemm_dims_of_op nd.op ~in_dims ~out_dims)
+      | _ -> None)
+    (Graph.nodes graph)
 
 let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
   Validate.check_exn graph;
@@ -37,7 +63,8 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
   let versions =
     if flags.mvc then Multi_version.build profile else Multi_version.single_version profile
   in
-  { graph; rdp; fusion_plan; exec; versions; flags; profile }
+  let kernel_classes = kernel_classes_of graph rdp ~env in
+  { graph; rdp; fusion_plan; exec; versions; kernel_classes; flags; profile }
 
 let compile_checked ?flags ?plan_sym_value profile graph =
   match Validate.check graph with

@@ -27,6 +27,11 @@ type compiled = {
   fusion_plan : Fusion.plan;
   exec : Exec_plan.t;
   versions : Multi_version.table;
+  kernel_classes : Multi_version.shape_class option array;
+      (** per-node GEMM shape class resolved at compile time from the
+          RDP-predicted (possibly symbolic) extents; [None] when the node
+          is not a heavy operator or its extents stay unknown, in which
+          case the runtime classifies from observed extents *)
   flags : opt_flags;
   profile : Profile.t;
 }

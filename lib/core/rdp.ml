@@ -16,16 +16,12 @@ let const_value (tensor : Tensor.t) : Value_info.t =
     Value_info.of_ints (Tensor.to_int_list tensor)
   | Tensor.I64 | Tensor.F32 -> Lattice.Nac
 
-let fresh_sym_counter = ref 0
-
-let fresh_sym () =
-  incr fresh_sym_counter;
-  Printf.sprintf "_d%d" !fresh_sym_counter
-
 (* Graph inputs with undeclared dims get fresh symbolic constants so that
    equalities between uses of the same dimension survive the analysis —
-   the paper's get_symbolic_value. *)
-let name_undef_dims (s : Shape.t) : Shape.t =
+   the paper's get_symbolic_value.  The counter is scoped to one analysis:
+   analyzing the same graph twice must mint the same names, or plans and
+   goldens stop being reproducible across runs and processes. *)
+let name_undef_dims fresh_sym (s : Shape.t) : Shape.t =
   match s with
   | Shape.Ranked d ->
     Shape.Ranked
@@ -35,6 +31,11 @@ let name_undef_dims (s : Shape.t) : Shape.t =
   | Shape.Undef | Shape.Nac -> s
 
 let init_state ?(overrides = []) g =
+  let counter = ref 0 in
+  let fresh_sym () =
+    incr counter;
+    Printf.sprintf "_d%d" !counter
+  in
   let n = Graph.tensor_count g in
   let shapes = Array.make n Shape.Undef in
   let values = Array.make n Value_info.undef in
@@ -42,7 +43,7 @@ let init_state ?(overrides = []) g =
     match (Graph.tensor g tid).kind with
     | Graph.Input s ->
       let s = match List.assoc_opt tid overrides with Some o -> o | None -> s in
-      shapes.(tid) <- name_undef_dims s
+      shapes.(tid) <- name_undef_dims fresh_sym s
     | Graph.Const c ->
       shapes.(tid) <- Shape.of_ints (Tensor.dims c);
       values.(tid) <- const_value c

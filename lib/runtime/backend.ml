@@ -1,0 +1,165 @@
+type kind =
+  | Naive
+  | Blocked
+  | Parallel
+
+let kind_name = function Naive -> "naive" | Blocked -> "blocked" | Parallel -> "parallel"
+
+let kind_of_string = function
+  | "naive" -> Some Naive
+  | "blocked" -> Some Blocked
+  | "parallel" -> Some Parallel
+  | _ -> None
+
+type t = {
+  kind : kind;
+  versions : Multi_version.table;
+  pool : Domain_pool.t option;
+}
+
+let create ?(versions = Multi_version.untuned) ?threads kind =
+  let pool =
+    match kind with
+    | Parallel ->
+      let n =
+        match threads with Some n -> n | None -> Domain.recommended_domain_count ()
+      in
+      Some (Domain_pool.create n)
+    | Naive | Blocked -> None
+  in
+  { kind; versions; pool }
+
+let for_compiled kind (c : Pipeline.compiled) =
+  create ~versions:c.Pipeline.versions ~threads:c.Pipeline.profile.Profile.cores kind
+
+let kind_of t = t.kind
+let pool_size t = match t.pool with Some p -> Domain_pool.size p | None -> 1
+let shutdown t = Option.iter Domain_pool.shutdown t.pool
+
+let par_of t =
+  match t.pool with Some p -> Domain_pool.par p | None -> Sod2_tensor.Blocked.sequential
+
+let tiles_for t cls =
+  let cfg = Multi_version.config_for t.versions cls in
+  Sod2_tensor.Blocked.tiles_of ~tile_m:cfg.Autotune.tile_m ~tile_n:cfg.Autotune.tile_n
+    ~tile_k:cfg.Autotune.tile_k ~unroll:cfg.Autotune.unroll
+
+(* One GEMM call site: the static class (from compile-time RDP resolution)
+   wins when present; otherwise the observed extents classify the problem.
+   Tiny problems always take the naive reference loop — packing would cost
+   more than the whole product. *)
+let gemm_kernel ?cls t : Linalg.gemm_kernel =
+ fun ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ->
+  let cls = match cls with Some c -> c | None -> Multi_version.classify_gemm ~m ~n ~k in
+  match t.kind, cls with
+  | Naive, _ | _, Multi_version.Tiny ->
+    Linalg.naive_kernel ~m ~n ~k ~a ~ao ~b ~bo ~c ~co
+  | (Blocked | Parallel), _ ->
+    Sod2_tensor.Blocked.gemm ~par:(par_of t) ~tiles:(tiles_for t cls) ~m ~n ~k ~a ~ao ~b
+      ~bo ~c ~co ()
+
+let matmul ?cls t a b =
+  match t.kind with
+  | Naive -> Linalg.matmul a b
+  | Blocked | Parallel -> Linalg.matmul ~inner:(gemm_kernel ?cls t) a b
+
+let gemm ?cls t ~alpha ~beta ~trans_a ~trans_b a b c =
+  match t.kind with
+  | Naive -> Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c
+  | Blocked | Parallel ->
+    Linalg.gemm ~inner:(gemm_kernel ?cls t) ~alpha ~beta ~trans_a ~trans_b a b c
+
+let conv_class ?cls ~stride ~pad ~dilation x w =
+  match cls with
+  | Some c -> c
+  | None ->
+    let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+    let sh, sw = stride and dh, dw_ = dilation in
+    let pt, pl, pb, pr = pad in
+    let oh =
+      Linalg.conv2d_out_dim ~in_:dx.(2) ~kernel:dw.(2) ~stride:sh ~pad_begin:pt
+        ~pad_end:pb ~dilation:dh
+    in
+    let ow =
+      Linalg.conv2d_out_dim ~in_:dx.(3) ~kernel:dw.(3) ~stride:sw ~pad_begin:pl
+        ~pad_end:pr ~dilation:dw_
+    in
+    Multi_version.classify_gemm ~m:dw.(0) ~n:(dx.(0) * oh * ow)
+      ~k:(dw.(1) * dw.(2) * dw.(3))
+
+let conv2d ?cls t ~stride ~pad ~dilation ~groups x w b =
+  match t.kind with
+  | Naive -> Linalg.conv2d ~stride ~pad ~dilation ~groups x w b
+  | Blocked | Parallel -> (
+    match conv_class ?cls ~stride ~pad ~dilation x w with
+    | Multi_version.Tiny -> Linalg.conv2d ~stride ~pad ~dilation ~groups x w b
+    | c ->
+      Sod2_tensor.Blocked.conv2d_im2col ~par:(par_of t) ~tiles:(tiles_for t c) ~stride
+        ~pad ~dilation ~groups x w b)
+
+let conv1d ?cls t ~stride ~pad ~dilation ~groups x w b =
+  match t.kind with
+  | Naive -> Linalg.conv1d ~stride ~pad ~dilation ~groups x w b
+  | Blocked | Parallel -> (
+    (* Same unit-height lowering as {!Linalg.conv1d}, but through the
+       backend's conv2d so the blocked path applies. *)
+    match Tensor.dims x, Tensor.dims w with
+    | [ n; c; l ], [ m; cg; k ] ->
+      let x' = Tensor.reshape x [ n; c; 1; l ] in
+      let w' = Tensor.reshape w [ m; cg; 1; k ] in
+      let pl, pr = pad in
+      let out =
+        conv2d ?cls t ~stride:(1, stride) ~pad:(0, pl, 0, pr) ~dilation:(1, dilation)
+          ~groups x' w' b
+      in
+      (match Tensor.dims out with
+      | [ n'; m'; 1; ol ] -> Tensor.reshape out [ n'; m'; ol ]
+      | _ -> assert false)
+    | _ -> Linalg.conv1d ~stride ~pad ~dilation ~groups x w b)
+
+(* Data-parallel elementwise maps.  Only same-shape float tensors above the
+   grain size go through the pool; everything else falls back to the
+   sequential {!Tensor} maps (which also own the broadcast/int cases). *)
+let grain = 16_384
+
+let map_f t f x =
+  match t.pool with
+  | Some pool
+    when Domain_pool.size pool > 1
+         && Tensor.dtype x = Tensor.F32
+         && Tensor.numel x >= 2 * grain ->
+    let src = Tensor.data_f x in
+    let len = Array.length src in
+    let out = Tensor.zeros Tensor.F32 (Tensor.dims x) in
+    let dst = Tensor.data_f out in
+    let chunks = (len + grain - 1) / grain in
+    Domain_pool.run pool chunks (fun ci ->
+        let lo = ci * grain in
+        let hi = min len (lo + grain) in
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (f (Array.unsafe_get src i))
+        done);
+    out
+  | _ -> Tensor.map_f f x
+
+let map2 t f x y =
+  match t.pool with
+  | Some pool
+    when Domain_pool.size pool > 1
+         && Tensor.dtype x = Tensor.F32
+         && Tensor.dtype y = Tensor.F32
+         && Tensor.dims x = Tensor.dims y
+         && Tensor.numel x >= 2 * grain ->
+    let sx = Tensor.data_f x and sy = Tensor.data_f y in
+    let len = Array.length sx in
+    let out = Tensor.zeros Tensor.F32 (Tensor.dims x) in
+    let dst = Tensor.data_f out in
+    let chunks = (len + grain - 1) / grain in
+    Domain_pool.run pool chunks (fun ci ->
+        let lo = ci * grain in
+        let hi = min len (lo + grain) in
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (f (Array.unsafe_get sx i) (Array.unsafe_get sy i))
+        done);
+    out
+  | _ -> Tensor.map2 f x y

@@ -1,0 +1,63 @@
+(** Kernel-backend selection: naive reference loops, cache-blocked
+    kernels, or blocked kernels driven by the domain pool.
+
+    A backend bundles the autotuner's per-shape-class configurations
+    ({!Multi_version.table}) with an optional {!Domain_pool.t}; each heavy
+    call site resolves a shape class (preferring the compile-time RDP
+    resolution when the caller has one) and runs the matching kernel
+    variant.  [Naive] reproduces the reference interpreter bit-exactly and
+    is what {!Kernels.run} uses when no backend is given, so guarded
+    fallback and golden comparisons stay byte-stable. *)
+
+type kind =
+  | Naive  (** reference scalar loop nests *)
+  | Blocked  (** packed, register-tiled kernels, single domain *)
+  | Parallel  (** blocked kernels + domain pool + parallel elementwise *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+type t
+
+val create : ?versions:Multi_version.table -> ?threads:int -> kind -> t
+(** [create kind] — [versions] defaults to the untuned table; [threads]
+    (Parallel only) defaults to the host's recommended domain count. *)
+
+val for_compiled : kind -> Pipeline.compiled -> t
+(** Backend using the compiled artifact's tuned version table and device
+    core count. *)
+
+val kind_of : t -> kind
+
+val pool_size : t -> int
+(** Domains the pool actually uses (1 when no pool). *)
+
+val shutdown : t -> unit
+(** Joins the pool's worker domains, if any. *)
+
+val gemm_kernel : ?cls:Multi_version.shape_class -> t -> Linalg.gemm_kernel
+(** The inner GEMM this backend selects; [cls] pins the shape class
+    (compile-time resolution), otherwise the observed extents classify. *)
+
+val matmul : ?cls:Multi_version.shape_class -> t -> Tensor.t -> Tensor.t -> Tensor.t
+
+val gemm :
+  ?cls:Multi_version.shape_class -> t -> alpha:float -> beta:float -> trans_a:bool ->
+  trans_b:bool -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+
+val conv2d :
+  ?cls:Multi_version.shape_class -> t -> stride:int * int ->
+  pad:int * int * int * int -> dilation:int * int -> groups:int ->
+  Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+
+val conv1d :
+  ?cls:Multi_version.shape_class -> t -> stride:int -> pad:int * int ->
+  dilation:int -> groups:int -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+
+val map_f : t -> (float -> float) -> Tensor.t -> Tensor.t
+(** Elementwise map, chunked over the pool for large float tensors;
+    otherwise {!Tensor.map_f}. *)
+
+val map2 : t -> (float -> float -> float) -> Tensor.t -> Tensor.t -> Tensor.t
+(** Binary elementwise map, parallel for large same-shape float tensors;
+    broadcasts and integer tensors take the sequential path. *)

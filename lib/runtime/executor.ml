@@ -149,7 +149,7 @@ let dry_forward ctx st (nd : Graph.node) =
 
 (* --- shared driver ------------------------------------------------ *)
 
-let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ctx st =
+let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
   let c = ctx.c in
   let g = c.graph in
   let step_of_group = Hashtbl.create 64 in
@@ -229,7 +229,14 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ctx st =
         nd.outputs
     | Real ->
       let inputs = List.map (fun tid -> Option.get st.tensors.(tid)) nd.inputs in
-      let outs = Kernels.run nd.op inputs in
+      let cls =
+        match backend with
+        | None -> None
+        | Some _ when nd.nid < Array.length ctx.c.Pipeline.kernel_classes ->
+          ctx.c.Pipeline.kernel_classes.(nd.nid)
+        | Some _ -> None
+      in
+      let outs = Kernels.run ?backend ?cls nd.op inputs in
       List.iteri
         (fun i tid ->
           let t = List.nth outs i in
@@ -388,7 +395,7 @@ let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compil
     (Graph.inputs c.graph);
   run_engine ~mode:Dry ~control ~gate ctx st
 
-let run_real ?(control = Selected_only) ?check_env (c : Pipeline.compiled) ~inputs =
+let run_real ?(control = Selected_only) ?check_env ?backend (c : Pipeline.compiled) ~inputs =
   let ctx = make_ctx c in
   let st = init_state c ~keep_tensors:true in
   List.iter
@@ -412,7 +419,7 @@ let run_real ?(control = Selected_only) ?check_env (c : Pipeline.compiled) ~inpu
             (String.concat "; " (List.map string_of_int want))
         | _ -> ())
   in
-  let trace = run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ctx st in
+  let trace = run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ?backend ctx st in
   let outs =
     List.filter_map
       (fun tid ->

@@ -71,11 +71,16 @@ val run_dry :
     branch 0). *)
 
 val run_real :
-  ?control:control -> ?check_env:Env.t -> Pipeline.compiled ->
+  ?control:control -> ?check_env:Env.t -> ?backend:Backend.t -> Pipeline.compiled ->
   inputs:(Graph.tensor_id * Tensor.t) list ->
   trace * (Graph.tensor_id * Tensor.t) list
 (** Full interpretation; returns the trace and the graph output tensors.
     Switch predicates are read from the computed predicate tensors.
+
+    [backend] routes heavy operators through the blocked/parallel kernel
+    backend, with each node's shape class taken from the compile-time
+    resolution ({!Pipeline.compiled.kernel_classes}) when available;
+    without it every node runs the naive reference kernels.
 
     With [check_env], every tensor materialized at a fused-group boundary
     is cross-checked against its RDP-predicted dims instantiated under the

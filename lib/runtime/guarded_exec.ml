@@ -41,8 +41,8 @@ let branch_of_pred t =
   | b :: _ -> b
   | [] -> 0
 
-let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) (c : Pipeline.compiled)
-    ~env ~inputs =
+let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
+    (c : Pipeline.compiled) ~env ~inputs =
   let g = c.Pipeline.graph in
   let mp =
     match mem_plan with
@@ -198,8 +198,11 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) (c : Pipeline.compil
      skipped group be recognized as the routing semantics rather than a
      plan defect. *)
   let dead = Array.make (Graph.tensor_count g) false in
-  (* Execute one node; [store] decides arena vs boxed placement. *)
-  let exec_node store (nd : Graph.node) =
+  (* Execute one node; [store] decides arena vs boxed placement.
+     [backend] (used by the planned sweep only — the fallback sweep stays
+     on the bit-exact naive reference) selects the optimized kernels, with
+     the node's compile-time shape class when resolved. *)
+  let exec_node ?backend store (nd : Graph.node) =
     match nd.Graph.op with
     | Op.Switch { branches } ->
       let data = List.hd nd.Graph.inputs in
@@ -221,7 +224,13 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) (c : Pipeline.compil
       in
       store (List.hd nd.Graph.outputs) (fetch src)
     | op ->
-      let outs = Kernels.run op (List.map fetch nd.Graph.inputs) in
+      let cls =
+        match backend with
+        | Some _ when nd.Graph.nid < Array.length c.Pipeline.kernel_classes ->
+          c.Pipeline.kernel_classes.(nd.Graph.nid)
+        | _ -> None
+      in
+      let outs = Kernels.run ?backend ?cls op (List.map fetch nd.Graph.inputs) in
       List.iter2 store nd.Graph.outputs outs
   in
   (* --- planned sweep: fusion groups in the static execution order --- *)
@@ -255,7 +264,7 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) (c : Pipeline.compil
           (fun (nd : Graph.node) ->
             try
               kernel_hook ~gid ~node:nd.Graph.nid;
-              exec_node (store ~gid ~step) nd;
+              exec_node ?backend (store ~gid ~step) nd;
               executed.(nd.Graph.nid) <- true
             with
             | Sod2_error.Error _ | Invalid_argument _ | Failure _ ->

@@ -55,6 +55,7 @@ type report = {
 val run :
   ?mem_plan:Mem_plan.t ->
   ?kernel_hook:(gid:int -> node:Graph.node_id -> unit) ->
+  ?backend:Backend.t ->
   Pipeline.compiled ->
   env:Env.t ->
   inputs:(Graph.tensor_id * Tensor.t) list ->
@@ -63,6 +64,9 @@ val run :
     [env] (used by the fault-injection harness to feed corrupted plans).
     [kernel_hook] runs before each {e planned} node execution and may raise
     to simulate a faulty specialized kernel version; the fallback sweep
-    does not call it (the fallback runs reference kernels).  Never raises
+    does not call it (the fallback runs reference kernels).  [backend]
+    applies to the planned sweep only — demoted nodes always re-execute on
+    the naive reference kernels, so a misbehaving optimized kernel version
+    is contained by the same demotion path as a corrupt plan.  Never raises
     on plan corruption; raises [Sod2_error.Error] only when a graph output
     is genuinely uncomputable (malformed graph). *)

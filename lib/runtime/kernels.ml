@@ -41,7 +41,13 @@ let float_binary_fn : Op.binary -> float -> float -> float = function
   | Op.Pow -> Float.pow
   | Op.Max2 -> Float.max
   | Op.Min2 -> Float.min
-  | Op.Mod2 -> fun a b -> a -. (Float.of_int (int_of_float (a /. b)) *. b)
+  | Op.Mod2 ->
+    (* ONNX Mod (fmod = 0): the result takes the divisor's sign, like
+       Python %.  Float.rem gives the dividend's sign, so shift nonzero
+       remainders of opposite sign by one divisor. *)
+    fun a b ->
+     let r = Float.rem a b in
+     if r <> 0.0 && r < 0.0 <> (b < 0.0) then r +. b else r
   | Op.Equal -> fun a b -> if a = b then 1.0 else 0.0
   | Op.Less -> fun a b -> if a < b then 1.0 else 0.0
   | Op.Greater -> fun a b -> if a > b then 1.0 else 0.0
@@ -74,21 +80,43 @@ let reduce_kind : Op.reduce_kind -> Reduction.kind = function
 let arg_err op msg =
   Sod2_error.failf ~op:(Op.name op) Sod2_error.Arity_mismatch "Kernels.run: %s" msg
 
+let reshape_err fmt = Sod2_error.failf ~op:"Reshape" Sod2_error.Shape_mismatch fmt
+
 let resolve_reshape_dims data target =
   let total = Tensor.numel data in
   let in_dims = Tensor.dims data in
+  let in_rank = List.length in_dims in
   let dims =
     List.mapi
-      (fun i d -> if d = 0 then List.nth in_dims i else d)
+      (fun i d ->
+        if d = 0 then
+          if i < in_rank then List.nth in_dims i
+          else
+            reshape_err "dim %d is 0 (copy input dim) but input rank is only %d" i in_rank
+        else if d < -1 then reshape_err "invalid target dim %d" d
+        else d)
       (Tensor.to_int_list target)
   in
+  if List.length (List.filter (fun d -> d = -1) dims) > 1 then
+    reshape_err "at most one target dim may be -1";
   if List.mem (-1) dims then begin
     let known = List.fold_left (fun acc d -> if d = -1 then acc else acc * d) 1 dims in
-    List.map (fun d -> if d = -1 then total / max 1 known else d) dims
+    if known = 0 || total mod known <> 0 then
+      reshape_err "cannot infer -1: %d elements not divisible by %d" total known;
+    List.map (fun d -> if d = -1 then total / known else d) dims
   end
-  else dims
+  else begin
+    let prod = List.fold_left ( * ) 1 dims in
+    if prod <> total then
+      reshape_err "cannot reshape %d elements into %d" total prod;
+    dims
+  end
 
-let run (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
+let run ?backend ?cls (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
+  (* Without a backend every path below is the naive reference kernel, so
+     golden comparisons and guarded fallback stay bit-exact. *)
+  let map_f f x = match backend with Some be -> Backend.map_f be f x | None -> Tensor.map_f f x in
+  let map2 f x y = match backend with Some be -> Backend.map2 be f x y | None -> Tensor.map2 f x y in
   match op, inputs with
   | Op.Unary u, [ x ] -> (
     match Tensor.dtype x, u with
@@ -96,26 +124,38 @@ let run (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
     | Tensor.I64, Op.Neg -> [ Tensor.map_i (fun v -> -v) x ]
     | Tensor.I64, Op.Abs -> [ Tensor.map_i abs x ]
     | Tensor.I64, Op.Not -> [ Tensor.map_i (fun v -> if v = 0 then 1 else 0) x ]
-    | Tensor.I64, _ -> [ Tensor.map_f (unary_fn u) (Tensor.cast x Tensor.F32) ]
-    | Tensor.F32, _ -> [ Tensor.map_f (unary_fn u) x ])
+    | Tensor.I64, _ -> [ map_f (unary_fn u) (Tensor.cast x Tensor.F32) ]
+    | Tensor.F32, _ -> [ map_f (unary_fn u) x ])
   | Op.Binary b, [ x; y ] -> (
     match Tensor.dtype x, Tensor.dtype y with
     | Tensor.I64, Tensor.I64 -> [ Tensor.map2i (int_binary_fn b) x y ]
     | _ ->
-      [ Tensor.map2 (float_binary_fn b) (Tensor.cast x Tensor.F32) (Tensor.cast y Tensor.F32) ])
-  | Op.Clip (lo, hi), [ x ] -> [ Tensor.map_f (fun v -> Float.min hi (Float.max lo v)) x ]
+      [ map2 (float_binary_fn b) (Tensor.cast x Tensor.F32) (Tensor.cast y Tensor.F32) ])
+  | Op.Clip (lo, hi), [ x ] -> [ map_f (fun v -> Float.min hi (Float.max lo v)) x ]
   | Op.Cast dt, [ x ] -> [ Tensor.cast x dt ]
   | Op.Where, [ c; a; b ] -> [ Transform.where (Tensor.cast c Tensor.I64) a b ]
-  | Op.MatMul, [ a; b ] -> [ Linalg.matmul a b ]
-  | Op.Gemm { alpha; beta; trans_a; trans_b }, (a :: b :: rest) ->
+  | Op.MatMul, [ a; b ] -> (
+    match backend with
+    | Some be -> [ Backend.matmul ?cls be a b ]
+    | None -> [ Linalg.matmul a b ])
+  | Op.Gemm { alpha; beta; trans_a; trans_b }, (a :: b :: rest) -> (
     let c = match rest with [ c ] -> Some c | _ -> None in
-    [ Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c ]
-  | Op.Conv { stride; pads; dilation; groups }, (x :: w :: rest) ->
+    match backend with
+    | Some be -> [ Backend.gemm ?cls be ~alpha ~beta ~trans_a ~trans_b a b c ]
+    | None -> [ Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c ])
+  | Op.Conv { stride; pads; dilation; groups }, (x :: w :: rest) -> (
     let b = match rest with [ b ] -> Some b | _ -> None in
-    [ Linalg.conv2d ~stride ~pad:pads ~dilation ~groups x w b ]
-  | Op.Conv1d { stride1; pads1; dilation1; groups1 }, (x :: w :: rest) ->
+    match backend with
+    | Some be -> [ Backend.conv2d ?cls be ~stride ~pad:pads ~dilation ~groups x w b ]
+    | None -> [ Linalg.conv2d ~stride ~pad:pads ~dilation ~groups x w b ])
+  | Op.Conv1d { stride1; pads1; dilation1; groups1 }, (x :: w :: rest) -> (
     let b = match rest with [ b ] -> Some b | _ -> None in
-    [ Linalg.conv1d ~stride:stride1 ~pad:pads1 ~dilation:dilation1 ~groups:groups1 x w b ]
+    match backend with
+    | Some be ->
+      [ Backend.conv1d ?cls be ~stride:stride1 ~pad:pads1 ~dilation:dilation1
+          ~groups:groups1 x w b ]
+    | None ->
+      [ Linalg.conv1d ~stride:stride1 ~pad:pads1 ~dilation:dilation1 ~groups:groups1 x w b ])
   | Op.MaxPool { kernel; pool_stride; pool_pads }, [ x ] ->
     [ Linalg.max_pool2d ~kernel ~stride:pool_stride ~pad:pool_pads x ]
   | Op.AveragePool { kernel; pool_stride; pool_pads }, [ x ] ->

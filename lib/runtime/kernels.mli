@@ -5,10 +5,18 @@
     {!Sod2_tensor} primitives.  Control-flow operators ([Switch],
     [Combine]) are {e not} handled here — the executor routes them. *)
 
-val run : Op.t -> Tensor.t list -> Tensor.t list
+val run :
+  ?backend:Backend.t -> ?cls:Multi_version.shape_class -> Op.t -> Tensor.t list ->
+  Tensor.t list
 (** [run op inputs] executes the operator.  Raises [Sod2_error.Error]:
     class [Arity_mismatch] on arity violations, class [Unsupported] for the
     two operators that cannot be interpreted without sub-graph support
     ([If], [Loop]) and for control flow, which the executor routes.  The
     tensor primitives may still raise [Invalid_argument] on shape
-    violations inside an operator. *)
+    violations inside an operator.
+
+    Without [backend] every operator runs the naive reference kernel
+    (bit-exact, the fallback/golden path).  With one, the heavy operators
+    (MatMul, Gemm, Conv, Conv1d) and large elementwise maps dispatch to
+    the blocked/parallel variants; [cls] pins the GEMM shape class when
+    the caller resolved it at compile time. *)

@@ -1,0 +1,322 @@
+type par = { run : int -> (int -> unit) -> unit }
+
+let sequential =
+  {
+    run =
+      (fun n f ->
+        for i = 0 to n - 1 do
+          f i
+        done);
+  }
+
+type tiles = {
+  tm : int;
+  tn : int;
+  tk : int;
+  kunroll : int;
+}
+
+let default_tiles = { tm = 64; tn = 32; tk = 128; kunroll = 4 }
+
+(* Floors measured against the real kernel: k-panels shallower than 64 (or
+   an unroll below 4) spend more time repacking than multiplying, and
+   micro-tiles need at least 8 quad-rows/pair-columns to amortize the edge
+   guards.  The autotuner steers above these floors. *)
+let tiles_of ~tile_m ~tile_n ~tile_k ~unroll =
+  { tm = max 32 tile_m; tn = max 32 tile_n; tk = max 64 tile_k; kunroll = max 4 unroll }
+
+let ceil_div x y = (x + y - 1) / y
+
+(* 4×2 register micro-tile over packed panels: [ap] holds row quads
+   ([(ip*kc + p)*4 + ii]), [bp] column pairs ([(jp*kc + p)*2 + jj]), so both
+   streams are read contiguously.  Accumulators travel as tail-call
+   arguments, which the native compiler keeps in FP registers — the whole
+   k-loop runs without touching C, and the eight independent accumulator
+   chains hide the FP-add latency (6 loads feed 8 multiply-adds). *)
+let rec micro4x2 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31 =
+  if kk <= 0 then (c00, c01, c10, c11, c20, c21, c30, c31)
+  else
+    let a0 = Array.unsafe_get ap ia
+    and a1 = Array.unsafe_get ap (ia + 1)
+    and a2 = Array.unsafe_get ap (ia + 2)
+    and a3 = Array.unsafe_get ap (ia + 3)
+    and b0 = Array.unsafe_get bp ib
+    and b1 = Array.unsafe_get bp (ib + 1) in
+    micro4x2 ap bp (ia + 4) (ib + 2) (kk - 1)
+      (c00 +. (a0 *. b0))
+      (c01 +. (a0 *. b1))
+      (c10 +. (a1 *. b0))
+      (c11 +. (a1 *. b1))
+      (c20 +. (a2 *. b0))
+      (c21 +. (a2 *. b1))
+      (c30 +. (a3 *. b0))
+      (c31 +. (a3 *. b1))
+
+let rec micro4x2u2 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31 =
+  if kk < 2 then micro4x2 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31
+  else
+    let a0 = Array.unsafe_get ap ia
+    and a1 = Array.unsafe_get ap (ia + 1)
+    and a2 = Array.unsafe_get ap (ia + 2)
+    and a3 = Array.unsafe_get ap (ia + 3)
+    and b0 = Array.unsafe_get bp ib
+    and b1 = Array.unsafe_get bp (ib + 1) in
+    let c00 = c00 +. (a0 *. b0)
+    and c01 = c01 +. (a0 *. b1)
+    and c10 = c10 +. (a1 *. b0)
+    and c11 = c11 +. (a1 *. b1)
+    and c20 = c20 +. (a2 *. b0)
+    and c21 = c21 +. (a2 *. b1)
+    and c30 = c30 +. (a3 *. b0)
+    and c31 = c31 +. (a3 *. b1) in
+    let a4 = Array.unsafe_get ap (ia + 4)
+    and a5 = Array.unsafe_get ap (ia + 5)
+    and a6 = Array.unsafe_get ap (ia + 6)
+    and a7 = Array.unsafe_get ap (ia + 7)
+    and b2 = Array.unsafe_get bp (ib + 2)
+    and b3 = Array.unsafe_get bp (ib + 3) in
+    micro4x2u2 ap bp (ia + 8) (ib + 4) (kk - 2)
+      (c00 +. (a4 *. b2))
+      (c01 +. (a4 *. b3))
+      (c10 +. (a5 *. b2))
+      (c11 +. (a5 *. b3))
+      (c20 +. (a6 *. b2))
+      (c21 +. (a6 *. b3))
+      (c30 +. (a7 *. b2))
+      (c31 +. (a7 *. b3))
+
+let rec micro4x2u4 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31 =
+  if kk < 4 then micro4x2u2 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31
+  else begin
+    let a0 = Array.unsafe_get ap ia
+    and a1 = Array.unsafe_get ap (ia + 1)
+    and a2 = Array.unsafe_get ap (ia + 2)
+    and a3 = Array.unsafe_get ap (ia + 3)
+    and b0 = Array.unsafe_get bp ib
+    and b1 = Array.unsafe_get bp (ib + 1) in
+    let c00 = c00 +. (a0 *. b0)
+    and c01 = c01 +. (a0 *. b1)
+    and c10 = c10 +. (a1 *. b0)
+    and c11 = c11 +. (a1 *. b1)
+    and c20 = c20 +. (a2 *. b0)
+    and c21 = c21 +. (a2 *. b1)
+    and c30 = c30 +. (a3 *. b0)
+    and c31 = c31 +. (a3 *. b1) in
+    let a0 = Array.unsafe_get ap (ia + 4)
+    and a1 = Array.unsafe_get ap (ia + 5)
+    and a2 = Array.unsafe_get ap (ia + 6)
+    and a3 = Array.unsafe_get ap (ia + 7)
+    and b0 = Array.unsafe_get bp (ib + 2)
+    and b1 = Array.unsafe_get bp (ib + 3) in
+    let c00 = c00 +. (a0 *. b0)
+    and c01 = c01 +. (a0 *. b1)
+    and c10 = c10 +. (a1 *. b0)
+    and c11 = c11 +. (a1 *. b1)
+    and c20 = c20 +. (a2 *. b0)
+    and c21 = c21 +. (a2 *. b1)
+    and c30 = c30 +. (a3 *. b0)
+    and c31 = c31 +. (a3 *. b1) in
+    let a0 = Array.unsafe_get ap (ia + 8)
+    and a1 = Array.unsafe_get ap (ia + 9)
+    and a2 = Array.unsafe_get ap (ia + 10)
+    and a3 = Array.unsafe_get ap (ia + 11)
+    and b0 = Array.unsafe_get bp (ib + 4)
+    and b1 = Array.unsafe_get bp (ib + 5) in
+    let c00 = c00 +. (a0 *. b0)
+    and c01 = c01 +. (a0 *. b1)
+    and c10 = c10 +. (a1 *. b0)
+    and c11 = c11 +. (a1 *. b1)
+    and c20 = c20 +. (a2 *. b0)
+    and c21 = c21 +. (a2 *. b1)
+    and c30 = c30 +. (a3 *. b0)
+    and c31 = c31 +. (a3 *. b1) in
+    let a0 = Array.unsafe_get ap (ia + 12)
+    and a1 = Array.unsafe_get ap (ia + 13)
+    and a2 = Array.unsafe_get ap (ia + 14)
+    and a3 = Array.unsafe_get ap (ia + 15)
+    and b0 = Array.unsafe_get bp (ib + 6)
+    and b1 = Array.unsafe_get bp (ib + 7) in
+    micro4x2u4 ap bp (ia + 16) (ib + 8) (kk - 4)
+      (c00 +. (a0 *. b0))
+      (c01 +. (a0 *. b1))
+      (c10 +. (a1 *. b0))
+      (c11 +. (a1 *. b1))
+      (c20 +. (a2 *. b0))
+      (c21 +. (a2 *. b1))
+      (c30 +. (a3 *. b0))
+      (c31 +. (a3 *. b1))
+  end
+
+let gemm ?(par = sequential) ?(tiles = default_tiles) ~m ~n ~k ~a ~ao ~b ~bo ~c ~co () =
+  if m > 0 && n > 0 && k > 0 then begin
+    let { tm; tn; tk; kunroll } = tiles in
+    let npairs = ceil_div n 2 in
+    let nkb = ceil_div k tk in
+    (* Pack all of B up front (shared read-only by every macro row-tile):
+       one panel per k-block, columns grouped in pairs, odd tails padded
+       with zeros so the micro-kernel never branches on the edge. *)
+    let bpanels =
+      Array.init nkb (fun kb ->
+          let k0 = kb * tk in
+          let kc = min tk (k - k0) in
+          let panel = Array.make (npairs * kc * 2) 0.0 in
+          for jp = 0 to npairs - 1 do
+            let j = jp * 2 in
+            let base = jp * kc * 2 in
+            if j + 1 < n then
+              for p = 0 to kc - 1 do
+                let s = bo + ((k0 + p) * n) + j in
+                Array.unsafe_set panel (base + (p * 2)) (Array.unsafe_get b s);
+                Array.unsafe_set panel (base + (p * 2) + 1) (Array.unsafe_get b (s + 1))
+              done
+            else
+              for p = 0 to kc - 1 do
+                Array.unsafe_set panel
+                  (base + (p * 2))
+                  (Array.unsafe_get b (bo + ((k0 + p) * n) + j))
+              done
+          done;
+          panel)
+    in
+    let jpt = max 1 (tn / 2) in
+    let jt_count = ceil_div npairs jpt in
+    par.run (ceil_div m tm) (fun it ->
+        let i0 = it * tm in
+        let mc = min tm (m - i0) in
+        let mquads = ceil_div mc 4 in
+        let abuf = Array.make (mquads * tk * 4) 0.0 in
+        for kb = 0 to nkb - 1 do
+          let k0 = kb * tk in
+          let kc = min tk (k - k0) in
+          for ip = 0 to mquads - 1 do
+            let i = i0 + (ip * 4) in
+            let base = ip * kc * 4 in
+            let rows = min 4 (i0 + mc - i) in
+            let r0 = ao + (i * k) + k0 in
+            if rows = 4 then
+              for p = 0 to kc - 1 do
+                let d = base + (p * 4) and s = r0 + p in
+                Array.unsafe_set abuf d (Array.unsafe_get a s);
+                Array.unsafe_set abuf (d + 1) (Array.unsafe_get a (s + k));
+                Array.unsafe_set abuf (d + 2) (Array.unsafe_get a (s + (2 * k)));
+                Array.unsafe_set abuf (d + 3) (Array.unsafe_get a (s + (3 * k)))
+              done
+            else begin
+              Array.fill abuf base (kc * 4) 0.0;
+              for r = 0 to rows - 1 do
+                let rs = r0 + (r * k) in
+                for p = 0 to kc - 1 do
+                  Array.unsafe_set abuf (base + (p * 4) + r) (Array.unsafe_get a (rs + p))
+                done
+              done
+            end
+          done;
+          let bp = bpanels.(kb) in
+          let micro =
+            if kunroll >= 4 then micro4x2u4
+            else if kunroll >= 2 then micro4x2u2
+            else micro4x2
+          in
+          for jt = 0 to jt_count - 1 do
+            let jp_end = min npairs ((jt + 1) * jpt) in
+            for ip = 0 to mquads - 1 do
+              let iabase = ip * kc * 4 in
+              let i = i0 + (ip * 4) in
+              let rows = min 4 (i0 + mc - i) in
+              for jp = jt * jpt to jp_end - 1 do
+                let c00, c01, c10, c11, c20, c21, c30, c31 =
+                  micro abuf bp iabase (jp * kc * 2) kc 0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0
+                in
+                let j = jp * 2 in
+                let wide = j + 1 < n in
+                let ci = co + (i * n) + j in
+                c.(ci) <- c.(ci) +. c00;
+                if wide then c.(ci + 1) <- c.(ci + 1) +. c01;
+                if rows > 1 then begin
+                  let ci1 = ci + n in
+                  c.(ci1) <- c.(ci1) +. c10;
+                  if wide then c.(ci1 + 1) <- c.(ci1 + 1) +. c11;
+                  if rows > 2 then begin
+                    let ci2 = ci1 + n in
+                    c.(ci2) <- c.(ci2) +. c20;
+                    if wide then c.(ci2 + 1) <- c.(ci2 + 1) +. c21;
+                    if rows > 3 then begin
+                      let ci3 = ci2 + n in
+                      c.(ci3) <- c.(ci3) +. c30;
+                      if wide then c.(ci3 + 1) <- c.(ci3 + 1) +. c31
+                    end
+                  end
+                end
+              done
+            done
+          done
+        done)
+  end
+
+let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ~stride ~pad ~dilation
+    ~groups x w bias =
+  let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+  let n = dx.(0) and c = dx.(1) and h = dx.(2) and wd = dx.(3) in
+  let m = dw.(0) and cg = dw.(1) and kh = dw.(2) and kw = dw.(3) in
+  let sh, sw = stride in
+  let pt, pl, pb, pr = pad in
+  let dh, dw_ = dilation in
+  Linalg.check_conv_groups ~c ~groups ~cg;
+  let oh =
+    Linalg.conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb
+      ~dilation:dh
+  in
+  let ow =
+    Linalg.conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr
+      ~dilation:dw_
+  in
+  let out = Tensor.zeros Tensor.F32 [ n; m; oh; ow ] in
+  let src = Tensor.data_f x and wsrc = Tensor.data_f w and dst = Tensor.data_f out in
+  let mg = m / groups in
+  let kdim = cg * kh * kw in
+  let ndim = oh * ow in
+  (match bias with
+  | Some bt ->
+    let bv = Tensor.data_f bt in
+    for ni = 0 to n - 1 do
+      for mi = 0 to m - 1 do
+        Array.fill dst (((ni * m) + mi) * ndim) ndim bv.(mi)
+      done
+    done
+  | None -> ());
+  if ndim > 0 && kdim > 0 then begin
+    (* One column buffer, rebuilt per (image, group); gemm completes before
+       the next rebuild, so reuse is safe even under the parallel runner. *)
+    let col = Array.make (kdim * ndim) 0.0 in
+    for ni = 0 to n - 1 do
+      for g = 0 to groups - 1 do
+        Array.fill col 0 (kdim * ndim) 0.0;
+        for ci = 0 to cg - 1 do
+          let cin = (g * cg) + ci in
+          let src_base = ((ni * c) + cin) * h * wd in
+          for ky = 0 to kh - 1 do
+            for kx = 0 to kw - 1 do
+              let rbase = ((((ci * kh) + ky) * kw) + kx) * ndim in
+              for oy = 0 to oh - 1 do
+                let iy = (oy * sh) - pt + (ky * dh) in
+                if iy >= 0 && iy < h then begin
+                  let sbase = src_base + (iy * wd) in
+                  let obase = rbase + (oy * ow) in
+                  for ox = 0 to ow - 1 do
+                    let ix = (ox * sw) - pl + (kx * dw_) in
+                    if ix >= 0 && ix < wd then
+                      Array.unsafe_set col (obase + ox) (Array.unsafe_get src (sbase + ix))
+                  done
+                end
+              done
+            done
+          done
+        done;
+        gemm ~par ~tiles ~m:mg ~n:ndim ~k:kdim ~a:wsrc ~ao:(g * mg * kdim) ~b:col ~bo:0
+          ~c:dst
+          ~co:(((ni * m) + (g * mg)) * ndim)
+          ()
+      done
+    done
+  end;
+  out

@@ -1,0 +1,55 @@
+(** Cache-blocked, register-tiled GEMM and im2col convolution — the "real"
+    multi-version kernel backend (§4.4.2).
+
+    The naive loop nests in {!Linalg} remain the bit-exact reference; this
+    module provides the optimized variants the autotuner's tile/thread
+    choices actually steer:
+
+    - {!gemm} packs A and B into tile-local panels (so the inner loop
+      touches contiguous memory), computes 4×2 register micro-tiles with a
+      tail-recursive kernel whose accumulators live in FP registers, and
+      splits the M dimension into macro row-tiles that a parallel runner
+      can execute concurrently;
+    - {!conv2d_im2col} lowers convolution (grouped, strided, dilated,
+      padded) onto that GEMM by materializing the im2col column matrix per
+      (image, group).
+
+    The module is deliberately runtime-agnostic: parallelism arrives
+    through the {!par} record so the tensor library does not depend on the
+    runtime's domain pool. *)
+
+type par = { run : int -> (int -> unit) -> unit }
+(** [run n f] evaluates [f 0 .. f (n-1)], possibly concurrently.  Tasks
+    must be independent.  {!sequential} is the inline default. *)
+
+val sequential : par
+
+type tiles = {
+  tm : int;  (** macro row-tile height (parallel work unit) *)
+  tn : int;  (** column-tile width *)
+  tk : int;  (** depth of one packed panel *)
+  kunroll : int;  (** ≥4 (resp. ≥2) selects the unrolled-by-4 (by-2) micro-kernel *)
+}
+
+val default_tiles : tiles
+
+val tiles_of : tile_m:int -> tile_n:int -> tile_k:int -> unroll:int -> tiles
+(** Sanitize an autotuner configuration into usable tile extents (clamped
+    to sane minima so degenerate configs cannot starve the kernel). *)
+
+val gemm :
+  ?par:par -> ?tiles:tiles -> m:int -> n:int -> k:int ->
+  a:float array -> ao:int -> b:float array -> bo:int ->
+  c:float array -> co:int -> unit -> unit
+(** [gemm ~m ~n ~k ~a ~ao ~b ~bo ~c ~co] accumulates the row-major product
+    [A(m×k) · B(k×n)] into [C(m×n)]: [c += a·b], reading each operand at
+    its flat offset.  [C] is {e accumulated into}, not overwritten, so
+    callers zero- or bias-initialize it. *)
+
+val conv2d_im2col :
+  ?par:par -> ?tiles:tiles ->
+  stride:int * int -> pad:int * int * int * int -> dilation:int * int ->
+  groups:int -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+(** Drop-in replacement for {!Linalg.conv2d}: same NCHW/OIHW layouts, same
+    validation, same output; internally each (image, group) pair becomes a
+    [mg × (oh·ow) × (cg·kh·kw)] GEMM over the packed column matrix. *)

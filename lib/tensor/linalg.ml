@@ -1,8 +1,39 @@
 let conv2d_out_dim ~in_ ~kernel ~stride ~pad_begin ~pad_end ~dilation =
   ((in_ + pad_begin + pad_end - (((kernel - 1) * dilation) + 1)) / stride) + 1
 
-(* Matmul on the trailing two axes with broadcast batch dims. *)
-let matmul a b =
+type gemm_kernel =
+  m:int -> n:int -> k:int ->
+  a:float array -> ao:int -> b:float array -> bo:int ->
+  c:float array -> co:int -> unit
+
+let naive_kernel : gemm_kernel =
+ fun ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ->
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let av = a.(ao + (i * k) + p) in
+      if av <> 0.0 then
+        let row_b = bo + (p * n) in
+        let row_c = co + (i * n) in
+        for j = 0 to n - 1 do
+          c.(row_c + j) <- c.(row_c + j) +. (av *. b.(row_b + j))
+        done
+    done
+  done
+
+let check_conv_groups ~c ~groups ~cg =
+  if groups <= 0 then
+    Sod2_error.failf ~op:"Conv" Sod2_error.Shape_mismatch "groups must be positive, got %d"
+      groups;
+  if c mod groups <> 0 || c / groups <> cg then
+    Sod2_error.failf ~op:"Conv" Sod2_error.Shape_mismatch
+      "input channels %d with groups %d do not match weight channels-per-group %d" c
+      groups cg
+
+(* Matmul on the trailing two axes with broadcast batch dims.  [inner]
+   computes one (m×k)·(k×n) product, accumulating into C — the backend
+   swaps in the blocked/parallel kernel here while the batch-broadcast
+   bookkeeping stays single-sourced. *)
+let matmul ?(inner = naive_kernel) a b =
   let promote_a = Tensor.rank a = 1 in
   let promote_b = Tensor.rank b = 1 in
   let a = if promote_a then Tensor.reshape a [ 1; Tensor.numel a ] else a in
@@ -21,7 +52,6 @@ let matmul a b =
   let out = Tensor.zeros Tensor.F32 out_dims in
   let oc = Tensor.data_f out in
   let fa = Tensor.data_f a and fb = Tensor.data_f b in
-  let stride_am = ka and stride_bn = n in
   let batch_size_a = m * ka and batch_size_b = kb * n in
   let na = Array.fold_left ( * ) 1 batch_a in
   let nbb = Array.fold_left ( * ) 1 batch_b in
@@ -43,17 +73,7 @@ let matmul a b =
     let base_a = off_of batch_a na * batch_size_a in
     let base_b = off_of batch_b nbb * batch_size_b in
     let base_o = bi * m * n in
-    for i = 0 to m - 1 do
-      for k = 0 to ka - 1 do
-        let av = fa.(base_a + (i * stride_am) + k) in
-        if av <> 0.0 then
-          let row_b = base_b + (k * stride_bn) in
-          let row_o = base_o + (i * n) in
-          for j = 0 to n - 1 do
-            oc.(row_o + j) <- oc.(row_o + j) +. (av *. fb.(row_b + j))
-          done
-      done
-    done
+    inner ~m ~n ~k:ka ~a:fa ~ao:base_a ~b:fb ~bo:base_b ~c:oc ~co:base_o
   done;
   let out =
     if promote_a then
@@ -78,10 +98,10 @@ let transpose2d t =
   done;
   out
 
-let gemm ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b = false) a b c =
+let gemm ?inner ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b = false) a b c =
   let a = if trans_a then transpose2d a else a in
   let b = if trans_b then transpose2d b else b in
-  let ab = matmul a b in
+  let ab = matmul ?inner a b in
   let ab = if alpha = 1.0 then ab else Tensor.map_f (fun v -> v *. alpha) ab in
   match c with
   | None -> ab
@@ -95,9 +115,7 @@ let conv2d ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) ?(dilation = (1, 1)) ?(group
   let sh, sw = stride in
   let pt, pl, pb, pr = pad in
   let dh, dw_ = dilation in
-  if c / groups <> cg then
-    invalid_arg
-      (Printf.sprintf "Linalg.conv2d: channels %d/groups %d vs weight %d" c groups cg);
+  check_conv_groups ~c ~groups ~cg;
   let oh = conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:dh in
   let ow = conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:dw_ in
   let out = Tensor.zeros Tensor.F32 [ n; m; oh; ow ] in

@@ -3,11 +3,28 @@
     trailing two axes with numpy-style batch broadcasting, convolutions are
     NCHW / NCW with OIHW / OIW weights. *)
 
-val matmul : Tensor.t -> Tensor.t -> Tensor.t
+type gemm_kernel =
+  m:int -> n:int -> k:int ->
+  a:float array -> ao:int -> b:float array -> bo:int ->
+  c:float array -> co:int -> unit
+(** One flat row-major [(m×k)·(k×n)] product accumulated into C at the
+    given offsets ([c += a·b]).  The pluggable unit the blocked/parallel
+    backend swaps in; {!naive_kernel} is the reference. *)
+
+val naive_kernel : gemm_kernel
+
+val check_conv_groups : c:int -> groups:int -> cg:int -> unit
+(** Validates grouped-convolution channel bookkeeping: [groups > 0],
+    [c mod groups = 0] and [c / groups = cg].  Raises a structured
+    {!Sod2_error.Error} (shape-mismatch) otherwise. *)
+
+val matmul : ?inner:gemm_kernel -> Tensor.t -> Tensor.t -> Tensor.t
 (** [matmul a b] contracts the last axis of [a] with the second-to-last of
-    [b]; leading axes broadcast.  1-d operands are promoted as in numpy. *)
+    [b]; leading axes broadcast.  1-d operands are promoted as in numpy.
+    [inner] overrides the per-batch GEMM kernel (default naive). *)
 
 val gemm :
+  ?inner:gemm_kernel ->
   ?alpha:float -> ?beta:float -> ?trans_a:bool -> ?trans_b:bool ->
   Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
 (** ONNX [Gemm]: [alpha * op(a) @ op(b) + beta * c] on 2-d operands with

@@ -395,6 +395,35 @@ let test_memplan_validate_catches_overlap () =
   | Ok () -> Alcotest.fail "overlap not detected"
   | Error _ -> ()
 
+(* Best-fit must pick the tightest hole, not the lowest one.  The crafted
+   sequence leaves a 20-byte hole at offset 0 and a 15-byte hole at 25;
+   first-fit drops the 15-byte block into the 20-byte hole and has to grow
+   the arena for the following 20-byte block, best-fit does not. *)
+let test_memplan_best_fit_tightest () =
+  let lifetimes =
+    [ 20, 0, 0; 5, 0, 10; 15, 0, 0; 100, 0, 10; 15, 1, 10; 20, 1, 10 ]
+  in
+  let check_valid name offsets arena =
+    let placed = List.combine offsets lifetimes in
+    List.iteri
+      (fun i (o1, (s1, f1, l1)) ->
+        Alcotest.(check bool) (name ^ ": inside arena") true (o1 >= 0 && o1 + s1 <= arena);
+        List.iteri
+          (fun j (o2, (s2, f2, l2)) ->
+            if i < j && f1 <= l2 && f2 <= l1 && o1 < o2 + s2 && o2 < o1 + s1 then
+              Alcotest.failf "%s: live allocations %d and %d overlap" name i j)
+          placed)
+      placed
+  in
+  let ff_offsets, ff = Sod2.Mem_plan.pack `First_fit ~lifetimes in
+  let bf_offsets, bf = Sod2.Mem_plan.pack `Best_fit ~lifetimes in
+  check_valid "first-fit" ff_offsets ff;
+  check_valid "best-fit" bf_offsets bf;
+  Alcotest.(check int) "first-fit grows the arena" 160 ff;
+  Alcotest.(check int) "best-fit reuses the tight hole" 140 bf;
+  (* the 15-byte block goes into the 15-byte hole at 25, not the hole at 0 *)
+  Alcotest.(check int) "best-fit offset of the 15-byte block" 25 (List.nth bf_offsets 4)
+
 (* ------------------------------------------------------------------ *)
 (* Rematerialization                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -493,6 +522,19 @@ let test_multi_version_selection () =
         true (multi >= one *. 0.9))
     [ 512, 512, 256; 4, 512, 256; 96, 96, 96 ]
 
+let test_classify_gemm_tiny () =
+  let open Sod2.Multi_version in
+  Alcotest.(check string) "16^3 is tiny" "tiny" (class_name (classify_gemm ~m:16 ~n:16 ~k:16));
+  Alcotest.(check string) "1x1x1 is tiny" "tiny" (class_name (classify_gemm ~m:1 ~n:1 ~k:1));
+  Alcotest.(check string) "just above the cutoff" "regular"
+    (class_name (classify_gemm ~m:16 ~n:16 ~k:17));
+  Alcotest.(check string) "skinny beats tiny when large" "skinny"
+    (class_name (classify_gemm ~m:4 ~n:512 ~k:256));
+  Alcotest.(check string) "fat with shallow k" "fat"
+    (class_name (classify_gemm ~m:512 ~n:512 ~k:1));
+  (* the 2-argument classifier is unchanged: no tiny class without k *)
+  Alcotest.(check string) "classify without k" "regular" (class_name (classify ~m:16 ~n:16))
+
 let test_gemm_dims_of_op () =
   let conv = Op.Conv { stride = (1, 1); pads = (0, 0, 0, 0); dilation = (1, 1); groups = 1 } in
   Alcotest.(check (option (triple int int int))) "conv as implicit gemm"
@@ -573,10 +615,12 @@ let suite =
     Alcotest.test_case "exec plan: partition at nac" `Quick test_partition_at_nac;
     Alcotest.test_case "mem plan: valid on model" `Quick test_memplan_on_model;
     Alcotest.test_case "mem plan: validator catches overlap" `Quick test_memplan_validate_catches_overlap;
+    Alcotest.test_case "mem plan: best-fit picks tightest hole" `Quick test_memplan_best_fit_tightest;
     Alcotest.test_case "remat planner basics" `Quick test_remat_basic;
     Alcotest.test_case "autotune improves on default" `Quick test_autotune_improves;
     Alcotest.test_case "autotune deterministic" `Quick test_autotune_deterministic;
     Alcotest.test_case "multi-version selection" `Quick test_multi_version_selection;
+    Alcotest.test_case "classify_gemm: tiny cutoff" `Quick test_classify_gemm_tiny;
     Alcotest.test_case "implicit gemm extraction" `Quick test_gemm_dims_of_op;
     Alcotest.test_case "cost model sanity" `Quick test_cost_model;
     Alcotest.test_case "pipeline flags" `Quick test_pipeline_flags;

@@ -1,0 +1,357 @@
+(* Kernel-backend equivalence and hot-path kernel regressions: the
+   blocked/parallel GEMM and im2col convolution must match the naive
+   reference loops within float tolerance on every shape class (including
+   odd extents that exercise the packing edge paths), the domain pool must
+   distribute work and propagate failures, and the fixed kernel bugs
+   (float Mod, Reshape dim resolution, conv group check) must stay
+   fixed. *)
+
+module RT = Sod2_runtime
+
+let check_close msg expected actual =
+  if not (Tensor.approx_equal ~eps:1e-5 expected actual) then
+    Alcotest.failf "%s: tensors differ\nexpected %s\nactual   %s" msg
+      (Tensor.to_string expected) (Tensor.to_string actual)
+
+let fill_arr rng len = Tensor.data_f (Tensor.rand_uniform rng [ max 1 len ])
+
+(* ------------------------------------------------------------------ *)
+(* GEMM equivalence                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One case per shape class, plus extents that are not multiples of any
+   tile or micro-tile size (odd rows/columns, shallow and deep k). *)
+let gemm_cases =
+  [
+    1, 1, 1;
+    3, 5, 7;
+    8, 8, 8;
+    17, 9, 33;
+    4, 512, 37;
+    (* skinny *)
+    63, 65, 66;
+    (* straddles the 64-tile edge *)
+    128, 32, 200;
+    300, 257, 19;
+    (* fat-ish with odd n and shallow k *)
+  ]
+
+let run_gemm kernel ~m ~n ~k ~a ~b ~c0 =
+  let c = Array.copy c0 in
+  kernel ~m ~n ~k ~a ~ao:0 ~b ~bo:0 ~c ~co:0;
+  c
+
+let max_abs_diff x y =
+  let d = ref 0.0 in
+  Array.iteri (fun i v -> d := Float.max !d (Float.abs (v -. y.(i)))) x;
+  !d
+
+let check_gemm_kernel name kernel =
+  let rng = Rng.create 42 in
+  List.iter
+    (fun (m, n, k) ->
+      let a = fill_arr rng (m * k) and b = fill_arr rng (k * n) in
+      (* nonzero initial C: both kernels accumulate, neither overwrites *)
+      let c0 = fill_arr rng (m * n) in
+      let want = run_gemm Linalg.naive_kernel ~m ~n ~k ~a ~b ~c0 in
+      let got = run_gemm kernel ~m ~n ~k ~a ~b ~c0 in
+      let d = max_abs_diff want got in
+      if d > 1e-5 then
+        Alcotest.failf "%s %dx%dx%d: max |diff| = %g" name m n k d)
+    gemm_cases
+
+let test_gemm_blocked_matches_naive () =
+  check_gemm_kernel "blocked"
+    (fun ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ->
+      Blocked.gemm ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ());
+  (* degenerate tile configuration goes through the sanitizer *)
+  let tiles = Blocked.tiles_of ~tile_m:1 ~tile_n:1 ~tile_k:1 ~unroll:1 in
+  check_gemm_kernel "blocked/clamped-tiles"
+    (fun ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ->
+      Blocked.gemm ~tiles ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ())
+
+let test_gemm_parallel_matches_naive () =
+  let pool = RT.Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> RT.Domain_pool.shutdown pool)
+    (fun () ->
+      let par = RT.Domain_pool.par pool in
+      (* small row-tiles so several macro-tiles actually run per job *)
+      let tiles = Blocked.tiles_of ~tile_m:32 ~tile_n:32 ~tile_k:64 ~unroll:4 in
+      check_gemm_kernel "parallel"
+        (fun ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ->
+          Blocked.gemm ~par ~tiles ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ()))
+
+let prop_gemm_blocked_random =
+  QCheck2.Test.make ~name:"blocked gemm matches naive on random extents" ~count:60
+    QCheck2.Gen.(tup3 (int_range 1 70) (int_range 1 70) (int_range 1 70))
+    (fun (m, n, k) ->
+      let rng = Rng.create (m + (97 * n) + (389 * k)) in
+      let a = fill_arr rng (m * k) and b = fill_arr rng (k * n) in
+      let c0 = Array.make (m * n) 0.0 in
+      let want = run_gemm Linalg.naive_kernel ~m ~n ~k ~a ~b ~c0 in
+      let got =
+        run_gemm
+          (fun ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ->
+            Blocked.gemm ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ())
+          ~m ~n ~k ~a ~b ~c0
+      in
+      max_abs_diff want got <= 1e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Convolution equivalence                                             *)
+(* ------------------------------------------------------------------ *)
+
+let conv_cases =
+  (* (x dims, w dims, stride, pad, dilation, groups, bias?) *)
+  [
+    "basic 3x3", [ 1; 3; 8; 8 ], [ 4; 3; 3; 3 ], (1, 1), (1, 1, 1, 1), (1, 1), 1, true;
+    "no bias", [ 2; 3; 7; 9 ], [ 5; 3; 3; 3 ], (1, 1), (0, 0, 0, 0), (1, 1), 1, false;
+    "grouped", [ 1; 4; 6; 6 ], [ 6; 2; 3; 3 ], (1, 1), (1, 1, 1, 1), (1, 1), 2, true;
+    "depthwise", [ 1; 4; 9; 9 ], [ 4; 1; 3; 3 ], (1, 1), (1, 1, 1, 1), (1, 1), 4, true;
+    "dilated", [ 1; 2; 11; 11 ], [ 3; 2; 3; 3 ], (1, 1), (2, 2, 2, 2), (2, 2), 1, true;
+    "strided asym pad", [ 1; 3; 10; 13 ], [ 2; 3; 2; 4 ], (2, 3), (1, 0, 2, 1), (1, 1), 1, true;
+    "1x1", [ 2; 8; 5; 5 ], [ 16; 8; 1; 1 ], (1, 1), (0, 0, 0, 0), (1, 1), 1, false;
+  ]
+
+let check_conv name conv =
+  let rng = Rng.create 9 in
+  List.iter
+    (fun (case, xd, wd, stride, pad, dilation, groups, with_bias) ->
+      let x = Tensor.rand_uniform rng xd and w = Tensor.rand_uniform rng wd in
+      let bias =
+        if with_bias then Some (Tensor.rand_uniform rng [ List.hd wd ]) else None
+      in
+      let want = Linalg.conv2d ~stride ~pad ~dilation ~groups x w bias in
+      let got = conv ~stride ~pad ~dilation ~groups x w bias in
+      check_close (name ^ "/" ^ case) want got)
+    conv_cases
+
+let test_conv_im2col_matches_naive () =
+  check_conv "im2col" (Blocked.conv2d_im2col ?par:None ?tiles:None)
+
+let test_conv_im2col_parallel_matches_naive () =
+  let pool = RT.Domain_pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> RT.Domain_pool.shutdown pool)
+    (fun () ->
+      let par = RT.Domain_pool.par pool in
+      check_conv "im2col/parallel" (Blocked.conv2d_im2col ~par ?tiles:None))
+
+(* ------------------------------------------------------------------ *)
+(* Backend dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_backend kind f =
+  let be = RT.Backend.create kind in
+  Fun.protect ~finally:(fun () -> RT.Backend.shutdown be) (fun () -> f be)
+
+let test_backend_ops_match_reference () =
+  List.iter
+    (fun kind ->
+      with_backend kind (fun be ->
+          let name op = RT.Backend.kind_name kind ^ "/" ^ op in
+          let rng = Rng.create 12 in
+          (* batched matmul with broadcasting *)
+          let a = Tensor.rand_uniform rng [ 2; 33; 65 ] in
+          let b = Tensor.rand_uniform rng [ 65; 17 ] in
+          check_close (name "matmul") (Linalg.matmul a b) (RT.Backend.matmul be a b);
+          (* transposed gemm with bias broadcast *)
+          let ga = Tensor.rand_uniform rng [ 40; 30 ] in
+          let gb = Tensor.rand_uniform rng [ 50; 40 ] in
+          let gc = Some (Tensor.rand_uniform rng [ 30; 1 ]) in
+          check_close (name "gemm")
+            (Linalg.gemm ~alpha:0.5 ~beta:1.5 ~trans_a:true ~trans_b:true ga gb gc)
+            (RT.Backend.gemm be ~alpha:0.5 ~beta:1.5 ~trans_a:true ~trans_b:true ga gb
+               gc);
+          (* conv1d lowers through the same backend *)
+          let x1 = Tensor.rand_uniform rng [ 2; 4; 19 ] in
+          let w1 = Tensor.rand_uniform rng [ 6; 2; 3 ] in
+          check_close (name "conv1d")
+            (Linalg.conv1d ~stride:2 ~pad:(1, 1) ~dilation:1 ~groups:2 x1 w1 None)
+            (RT.Backend.conv1d be ~stride:2 ~pad:(1, 1) ~dilation:1 ~groups:2 x1 w1
+               None);
+          (* a pinned shape class must not change the result *)
+          check_close (name "matmul/pinned-class")
+            (Linalg.matmul a b)
+            (RT.Backend.matmul ~cls:Sod2.Multi_version.Skinny be a b)))
+    [ RT.Backend.Naive; RT.Backend.Blocked; RT.Backend.Parallel ]
+
+let test_backend_elementwise () =
+  with_backend RT.Backend.Parallel (fun be ->
+      let rng = Rng.create 21 in
+      (* big enough to take the chunked-parallel path *)
+      let x = Tensor.rand_uniform rng [ 50_000 ] in
+      let y = Tensor.rand_uniform rng [ 50_000 ] in
+      check_close "map_f" (Tensor.map_f sqrt x) (RT.Backend.map_f be sqrt x);
+      check_close "map2" (Tensor.map2 ( *. ) x y) (RT.Backend.map2 be ( *. ) x y);
+      (* broadcasting stays on the sequential path but must still work *)
+      let row = Tensor.rand_uniform rng [ 10 ] in
+      let mat = Tensor.rand_uniform rng [ 200; 10 ] in
+      check_close "map2/broadcast"
+        (Tensor.map2 ( +. ) mat row)
+        (RT.Backend.map2 be ( +. ) mat row))
+
+let test_backend_kind_names () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        "kind_of_string inverts kind_name" true
+        (RT.Backend.kind_of_string (RT.Backend.kind_name kind) = Some kind))
+    [ RT.Backend.Naive; RT.Backend.Blocked; RT.Backend.Parallel ];
+  Alcotest.(check bool) "unknown kind" true (RT.Backend.kind_of_string "simd" = None)
+
+(* The backend must not perturb end-to-end execution: run a real model on
+   the naive and blocked backends and compare outputs. *)
+let test_backend_end_to_end () =
+  let sp = Option.get (Zoo.by_name "codebert") in
+  let g = Sod2_experiments.Harness.graph_of sp in
+  let c = Sod2.Pipeline.compile Profile.sd888_cpu g in
+  let env = Env.of_list [ "S", 32 ] in
+  let inputs = Zoo.make_inputs sp g env (Rng.create 5) in
+  let _, ref_outs = RT.Executor.run_real c ~inputs in
+  with_backend RT.Backend.Blocked (fun be ->
+      let _, outs = RT.Executor.run_real ~backend:be c ~inputs in
+      List.iter2
+        (fun (tid, want) (tid', got) ->
+          Alcotest.(check int) "same output tensor" tid tid';
+          check_close (Printf.sprintf "output t%d" tid) want got)
+        ref_outs outs)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_domain_pool_runs_all () =
+  let pool = RT.Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> RT.Domain_pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "size within request" true
+        (RT.Domain_pool.size pool >= 1 && RT.Domain_pool.size pool <= 4);
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      RT.Domain_pool.run pool n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "every index ran exactly once" true
+        (Array.for_all (fun h -> h = 1) hits);
+      (* a second job reuses the same workers *)
+      let acc = Atomic.make 0 in
+      RT.Domain_pool.run pool 257 (fun i -> ignore (Atomic.fetch_and_add acc i));
+      Alcotest.(check int) "sum over indices" (257 * 256 / 2) (Atomic.get acc);
+      (* zero-count job is a no-op *)
+      RT.Domain_pool.run pool 0 (fun _ -> Alcotest.fail "must not run"))
+
+let test_domain_pool_propagates_exception () =
+  let pool = RT.Domain_pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> RT.Domain_pool.shutdown pool)
+    (fun () ->
+      (try
+         RT.Domain_pool.run pool 64 (fun i -> if i = 37 then failwith "tile 37");
+         Alcotest.fail "expected the task failure to re-raise"
+       with Failure msg -> Alcotest.(check string) "first fault" "tile 37" msg);
+      (* the pool survives a failed job *)
+      let ok = Atomic.make 0 in
+      RT.Domain_pool.run pool 16 (fun _ -> Atomic.incr ok);
+      Alcotest.(check int) "pool usable after failure" 16 (Atomic.get ok))
+
+let test_domain_pool_shutdown_idempotent () =
+  let pool = RT.Domain_pool.for_profile Profile.sd888_cpu in
+  RT.Domain_pool.run pool 8 ignore;
+  RT.Domain_pool.shutdown pool;
+  RT.Domain_pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path kernel regressions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run1 op inputs =
+  match RT.Kernels.run op inputs with
+  | [ t ] -> t
+  | _ -> Alcotest.fail "expected one output"
+
+(* Float Mod used to truncate through int_of_float; it must follow ONNX
+   integer-mod semantics — result takes the sign of the divisor. *)
+let test_mod_float_semantics () =
+  let check a b want =
+    let got =
+      Tensor.get_f (run1 (Op.Binary Op.Mod2) [ Tensor.scalar_f a; Tensor.scalar_f b ]) [||]
+    in
+    if Float.abs (got -. want) > 1e-9 then
+      Alcotest.failf "%g mod %g: expected %g, got %g" a b want got
+  in
+  check 5.3 2.0 1.3;
+  check (-5.3) 2.0 0.7;
+  check 5.3 (-2.0) (-0.7);
+  check (-5.3) (-2.0) (-1.3);
+  check 6.0 3.0 0.0;
+  check (-6.0) 3.0 0.0;
+  (* huge operands used to collapse through int truncation *)
+  check 1e10 3.0 1.0;
+  (* int mod keeps OCaml/ONNX truncated semantics, in sync with Expr *)
+  let gi a b =
+    Tensor.get_i (run1 (Op.Binary Op.Mod2) [ Tensor.scalar_i a; Tensor.scalar_i b ]) [||]
+  in
+  Alcotest.(check int) "int mod" (-2) (gi (-7) 5)
+
+let reshape dims target =
+  let rng = Rng.create 3 in
+  let data = Tensor.rand_uniform rng dims in
+  run1 Op.Reshape [ data; Tensor.of_int_list target ]
+
+let expect_shape_error msg f =
+  try
+    ignore (f ());
+    Alcotest.failf "%s: expected Sod2_error" msg
+  with Sod2_error.Error { cls = Sod2_error.Shape_mismatch; _ } -> ()
+
+let test_reshape_resolution () =
+  Alcotest.(check (list int)) "-1 infers" [ 4; 6 ] (Tensor.dims (reshape [ 2; 3; 4 ] [ 4; -1 ]));
+  Alcotest.(check (list int)) "0 copies input dim" [ 2; 12 ]
+    (Tensor.dims (reshape [ 2; 3; 4 ] [ 0; 12 ]));
+  Alcotest.(check (list int)) "0 and -1 combine" [ 2; 3; 4 ]
+    (Tensor.dims (reshape [ 2; 3; 4 ] [ 0; 3; -1 ]));
+  expect_shape_error "0 past input rank" (fun () -> reshape [ 6 ] [ 6; 0 ]);
+  expect_shape_error "non-divisible -1" (fun () -> reshape [ 2; 3; 4 ] [ 5; -1 ]);
+  expect_shape_error "element count mismatch" (fun () -> reshape [ 2; 3; 4 ] [ 5; 5 ]);
+  expect_shape_error "two -1s" (fun () -> reshape [ 2; 3; 4 ] [ -1; -1 ]);
+  expect_shape_error "negative dim" (fun () -> reshape [ 2; 3; 4 ] [ -2; 12 ])
+
+(* c = 7 with groups = 2 used to pass the integer-division check against
+   cg = 3; it must raise, on both conv implementations. *)
+let test_conv_group_check () =
+  let rng = Rng.create 4 in
+  let x = Tensor.rand_uniform rng [ 1; 7; 5; 5 ] in
+  let w = Tensor.rand_uniform rng [ 4; 3; 2; 2 ] in
+  expect_shape_error "naive conv rejects" (fun () ->
+      Linalg.conv2d ~groups:2 x w None);
+  expect_shape_error "im2col conv rejects" (fun () ->
+      Blocked.conv2d_im2col ~stride:(1, 1) ~pad:(0, 0, 0, 0) ~dilation:(1, 1) ~groups:2
+        x w None);
+  expect_shape_error "zero groups" (fun () -> Linalg.conv2d ~groups:0 x w None);
+  (* channels divisible but weight channels-per-group inconsistent *)
+  let x8 = Tensor.rand_uniform rng [ 1; 8; 5; 5 ] in
+  expect_shape_error "cg mismatch" (fun () -> Linalg.conv2d ~groups:2 x8 w None)
+
+let suite =
+  [
+    Alcotest.test_case "gemm: blocked = naive" `Quick test_gemm_blocked_matches_naive;
+    Alcotest.test_case "gemm: parallel = naive" `Quick test_gemm_parallel_matches_naive;
+    Alcotest.test_case "conv: im2col = naive" `Quick test_conv_im2col_matches_naive;
+    Alcotest.test_case "conv: parallel im2col = naive" `Quick
+      test_conv_im2col_parallel_matches_naive;
+    Alcotest.test_case "backend: heavy ops match reference" `Quick
+      test_backend_ops_match_reference;
+    Alcotest.test_case "backend: parallel elementwise" `Quick test_backend_elementwise;
+    Alcotest.test_case "backend: kind names" `Quick test_backend_kind_names;
+    Alcotest.test_case "backend: end-to-end run matches" `Quick test_backend_end_to_end;
+    Alcotest.test_case "pool: runs every index once" `Quick test_domain_pool_runs_all;
+    Alcotest.test_case "pool: propagates task failure" `Quick
+      test_domain_pool_propagates_exception;
+    Alcotest.test_case "pool: shutdown idempotent" `Quick
+      test_domain_pool_shutdown_idempotent;
+    Alcotest.test_case "mod: float follows divisor sign" `Quick test_mod_float_semantics;
+    Alcotest.test_case "reshape: dim resolution" `Quick test_reshape_resolution;
+    Alcotest.test_case "conv: group check" `Quick test_conv_group_check;
+    QCheck_alcotest.to_alcotest prop_gemm_blocked_random;
+  ]

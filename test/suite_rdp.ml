@@ -239,6 +239,38 @@ let test_deterministic () =
   done;
   Alcotest.(check int) "same sweeps" r1.Sod2.Rdp.iterations r2.Sod2.Rdp.iterations
 
+(* Inputs with undefined dims get fresh symbol names; the counter is
+   scoped per analysis, so two analyses of the same graph — in either
+   order, even interleaved with other analyses — name them identically.
+   (A process-global counter used to make every re-analysis produce
+   different symbols, breaking reproducibility.) *)
+let test_fresh_syms_reproducible () =
+  let build () =
+    let b = Graph.Builder.create () in
+    let x =
+      Graph.Builder.input b ~name:"x"
+        (Shape.of_dims [ Dim.undef; Dim.of_int 4; Dim.undef ])
+    in
+    let y = Graph.Builder.node1 b (Op.Unary Op.Relu) [ x ] in
+    Graph.Builder.set_outputs b [ y ];
+    Graph.Builder.finish b
+  in
+  let g = build () in
+  let r1 = Sod2.Rdp.analyze g in
+  (* an unrelated analysis in between must not shift the names *)
+  ignore (Sod2.Rdp.analyze (build ()));
+  let r2 = Sod2.Rdp.analyze g in
+  for tid = 0 to Graph.tensor_count g - 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "t%d names agree" tid)
+      (Shape.to_string (Sod2.Rdp.shape r1 tid))
+      (Shape.to_string (Sod2.Rdp.shape r2 tid))
+  done;
+  (* the names themselves are deterministic, not merely consistent *)
+  let out = List.hd (Graph.outputs g) in
+  Alcotest.(check string) "canonical names" "[_d1, 4, _d2]"
+    (Shape.to_string (Sod2.Rdp.shape r1 out))
+
 let test_stats () =
   let sp = Option.get (Zoo.by_name "codebert") in
   let g = sp.build () in
@@ -262,6 +294,7 @@ let suite =
     Alcotest.test_case "input-shape overrides" `Quick test_overrides;
     Alcotest.test_case "symbolic/concrete agreement" `Slow test_symbolic_concrete_agreement;
     Alcotest.test_case "analysis is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "fresh symbols reproducible" `Quick test_fresh_syms_reproducible;
     Alcotest.test_case "precision statistics" `Quick test_stats;
     QCheck_alcotest.to_alcotest prop_agreement_random_dims;
   ]

@@ -10,6 +10,7 @@ let () =
       "rdp", Suite_rdp.suite;
       "core", Suite_core.suite;
       "runtime", Suite_runtime.suite;
+      "kernels", Suite_kernels.suite;
       "guard", Suite_guard.suite;
       "models", Suite_models.suite;
       "frameworks", Suite_frameworks.suite;
