@@ -226,6 +226,120 @@ let kernel_speedups () =
       let tp = time_runs (conv parallel) in
       row "conv/64x64x3x3 28x28" tn tb tp)
 
+(* ------------------------------------------------------------------ *)
+(* Fused-group execution: whole fusion groups as single kernels        *)
+(* ------------------------------------------------------------------ *)
+
+let geomean = function
+  | [] -> 1.0
+  | xs -> exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+(* An 8-op pointwise chain: every intermediate is fusion-internal, so the
+   fused kernel touches memory once instead of eight times. *)
+let chain_graph dims =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints dims) in
+  let s = Graph.Builder.node1 b (Op.Unary Op.Sigmoid) [ x ] in
+  let m = Graph.Builder.node1 b (Op.Binary Op.Mul) [ s; x ] in
+  let ge = Graph.Builder.node1 b (Op.Unary Op.Gelu) [ m ] in
+  let cl = Graph.Builder.node1 b (Op.Clip (0.05, 0.95)) [ ge ] in
+  let th = Graph.Builder.node1 b (Op.Unary Op.Tanh) [ cl ] in
+  let sq = Graph.Builder.node1 b (Op.Binary Op.Mul) [ th; th ] in
+  let ad = Graph.Builder.node1 b (Op.Binary Op.Add) [ sq; x ] in
+  let out = Graph.Builder.node1 b (Op.Unary Op.Relu) [ ad ] in
+  Graph.Builder.set_outputs b [ out ];
+  Graph.Builder.finish b
+
+let conv_bn_relu_graph () =
+  let b = Graph.Builder.create () in
+  let rng = Rng.create 23 in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints [ 1; 32; 28; 28 ]) in
+  let w = Graph.Builder.const b ~name:"w" (Tensor.rand_uniform rng [ 64; 32; 3; 3 ]) in
+  let bias = Graph.Builder.const b ~name:"bias" (Tensor.rand_uniform rng [ 64 ]) in
+  let scale = Graph.Builder.const b ~name:"scale" (Tensor.rand_uniform rng [ 64 ]) in
+  let bn_b = Graph.Builder.const b ~name:"bn_b" (Tensor.rand_uniform rng [ 64 ]) in
+  let mean = Graph.Builder.const b ~name:"mean" (Tensor.rand_uniform rng [ 64 ]) in
+  let var =
+    Graph.Builder.const b ~name:"var"
+      (Tensor.map_f (fun v -> v +. 0.5) (Tensor.rand_uniform rng [ 64 ]))
+  in
+  let conv =
+    Graph.Builder.node1 b
+      (Op.Conv { stride = 1, 1; pads = 1, 1, 1, 1; dilation = 1, 1; groups = 1 })
+      [ x; w; bias ]
+  in
+  let bn =
+    Graph.Builder.node1 b (Op.BatchNorm { eps = 1e-5 }) [ conv; scale; bn_b; mean; var ]
+  in
+  let out = Graph.Builder.node1 b (Op.Unary Op.Relu) [ bn ] in
+  Graph.Builder.set_outputs b [ out ];
+  Graph.Builder.finish b
+
+let gemm_bias_gelu_graph () =
+  let b = Graph.Builder.create () in
+  let rng = Rng.create 29 in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints [ 128; 256 ]) in
+  let w = Graph.Builder.const b ~name:"w" (Tensor.rand_uniform rng [ 256; 256 ]) in
+  let bias = Graph.Builder.const b ~name:"bias" (Tensor.rand_uniform rng [ 256 ]) in
+  let mm = Graph.Builder.node1 b Op.MatMul [ x; w ] in
+  let ad = Graph.Builder.node1 b (Op.Binary Op.Add) [ mm; bias ] in
+  let out = Graph.Builder.node1 b (Op.Unary Op.Gelu) [ ad ] in
+  Graph.Builder.set_outputs b [ out ];
+  Graph.Builder.finish b
+
+let fused_speedups () =
+  Printf.printf
+    "\n=== Fused-group execution: per-op blocked vs single fused kernel ===\n";
+  Printf.printf "  %-28s %10s %10s %8s %12s\n" "group" "blocked ms" "fused ms" "speedup"
+    "avoided KB";
+  let bench_case name g =
+    let c = Sod2.Pipeline.compile cpu g in
+    let inputs =
+      List.map
+        (fun tid ->
+          match Shape.as_ints (Option.get (Graph.input_shape g tid)) with
+          | Some dims -> tid, Tensor.rand_uniform (Rng.create 3) dims
+          | None -> assert false)
+        (Graph.inputs g)
+    in
+    let blocked = RT.Backend.for_compiled RT.Backend.Blocked c in
+    let fused = RT.Backend.for_compiled RT.Backend.Fused c in
+    Fun.protect
+      ~finally:(fun () ->
+        RT.Backend.shutdown blocked;
+        RT.Backend.shutdown fused)
+      (fun () ->
+        let tb =
+          time_runs (fun () ->
+              ignore (RT.Executor.run_real ~backend:blocked c ~inputs))
+        in
+        let tf =
+          time_runs (fun () -> ignore (RT.Executor.run_real ~backend:fused c ~inputs))
+        in
+        (* traffic the fused kernel never materializes: the trace's
+           group-internal bytes *)
+        let trace, _ = RT.Executor.run_real ~backend:fused c ~inputs in
+        let avoided =
+          List.fold_left
+            (fun acc (s : RT.Executor.group_exec) -> acc + s.RT.Executor.internal_bytes)
+            0 trace.RT.Executor.steps
+        in
+        let fs = RT.Backend.fused_stats fused in
+        if fs.RT.Backend.misses = 0 then
+          Printf.printf "  %-28s (no fused kernel compiled!)\n" name
+        else
+          Printf.printf "  %-28s %10.3f %10.3f %7.2fx %12.1f\n" name (tb *. 1e3)
+            (tf *. 1e3) (tb /. tf)
+            (float_of_int avoided /. 1024.0);
+        tb /. tf)
+  in
+  let chain = bench_case "pointwise-chain 1x64x56x56" (chain_graph [ 1; 64; 56; 56 ]) in
+  let conv = bench_case "conv3x3+bn+relu 32->64 28x28" (conv_bn_relu_graph ()) in
+  let gemm = bench_case "matmul+bias+gelu 128x256x256" (gemm_bias_gelu_graph ()) in
+  Printf.printf "  geomean speedup (chain, conv): %.2fx   (all three: %.2fx)\n"
+    (geomean [ chain; conv ])
+    (geomean [ chain; conv; gemm ])
+
 let backend_smoke kind =
   let bert_g = graph_of bert in
   let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
@@ -239,7 +353,13 @@ let backend_smoke kind =
       Printf.printf
         "\n=== Backend smoke: codebert S=32 on %s backend — %d nodes, %d domains ===\n"
         (RT.Backend.kind_name kind) trace.RT.Executor.nodes_executed
-        (RT.Backend.pool_size be))
+        (RT.Backend.pool_size be);
+      if kind = RT.Backend.Fused then begin
+        let fs = RT.Backend.fused_stats be in
+        Printf.printf "    fused kernels: %d hits, %d misses, %d rejects, %d variants\n"
+          fs.RT.Backend.hits fs.RT.Backend.misses fs.RT.Backend.rejects
+          fs.RT.Backend.variants
+      end)
 
 let run_benchmarks () =
   let grouped = Test.make_grouped ~name:"sod2" ~fmt:"%s/%s" (tests ()) in
@@ -270,7 +390,10 @@ let () =
       !samples;
     List.iter Sod2_experiments.Table.print (E.all ~n:!samples ())
   end;
-  if !run_kernels then kernel_speedups ();
+  if !run_kernels then begin
+    kernel_speedups ();
+    fused_speedups ()
+  end;
   (match !smoke_backend with
   | Some kind -> backend_smoke kind
   | None -> ());

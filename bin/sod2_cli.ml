@@ -137,7 +137,8 @@ let run_cmd =
       match Sod2_runtime.Backend.kind_of_string backend with
       | Some k -> k
       | None ->
-        Printf.eprintf "unknown backend %S (expected naive|blocked|parallel)\n" backend;
+        Printf.eprintf "unknown backend %S (expected naive|blocked|parallel|fused)\n"
+          backend;
         exit 2
     in
     if arena then begin
@@ -163,6 +164,13 @@ let run_cmd =
             (List.length trace.Sod2_runtime.Executor.steps)
             (Sod2_runtime.Backend.kind_name backend_kind)
             (Sod2_runtime.Backend.pool_size be);
+          if backend_kind = Sod2_runtime.Backend.Fused then begin
+            let fs = Sod2_runtime.Backend.fused_stats be in
+            Printf.printf
+              "fused kernels: %d hits, %d misses, %d rejects, %d live variants\n"
+              fs.Sod2_runtime.Backend.hits fs.Sod2_runtime.Backend.misses
+              fs.Sod2_runtime.Backend.rejects fs.Sod2_runtime.Backend.variants
+          end;
           List.iter
             (fun (tid, t) -> Format.printf "output t%d = %a@." tid Tensor.pp t)
             outs)
@@ -193,8 +201,9 @@ let run_cmd =
     Arg.(value & opt string "naive"
          & info [ "backend" ] ~docv:"KIND"
              ~doc:"Kernel backend for --real: naive (reference loops), blocked \
-                   (cache-blocked register-tiled kernels), or parallel (blocked \
-                   kernels over the domain pool).")
+                   (cache-blocked register-tiled kernels), parallel (blocked \
+                   kernels over the domain pool), or fused (parallel plus \
+                   whole fusion groups compiled to single kernels).")
   in
   Cmd.v
     (Cmd.info "run"

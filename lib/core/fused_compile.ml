@@ -1,0 +1,639 @@
+(* Fused-group kernel compilation (§4.2 fused code generation).
+
+   [plan] runs at [Pipeline.compile] time and decides, per fusion group,
+   whether the group can execute as ONE kernel instead of op-by-op through
+   the interpreter.  The compile-time product is a [template]: the group's
+   member nodes, its external element inputs in a fixed slot order, and the
+   optional heavy anchor (MatMul/Gemm/Conv/Conv1d first member).
+
+   [specialize] runs the first time a group executes under concrete input
+   dims (RDP guarantees those dims satisfy the symbolic facts fusion
+   legality was proven against; each still-ambiguous broadcast collapses to
+   one concrete variant here — the runtime side of bounded multi-version
+   code generation).  It closure-compiles the member tree into a single
+   per-element function over the terminal output's flat index space:
+
+   - every broadcast/transpose becomes a precomputed index map (identity,
+     table, or strided arithmetic), scalars are hoisted out of the loop,
+     and view ops (reshape/squeeze/…) are free because they preserve flat
+     order — no intermediate tensor is ever allocated;
+   - a heavy anchor runs through the blocked kernels with the compiled
+     element function installed as {!Blocked.gemm}'s write-back [epilogue],
+     so bias/BN/activation/residual chains are applied while the micro-tile
+     result is still in registers.  When the epilogue path cannot legally
+     see the accumulator (the chain transposes or broadcasts the anchor
+     value, or the problem is Tiny), the anchor result is computed first
+     and the chain runs as the elementwise phase over it;
+   - the per-element closures call the exact {!Op_semantics} functions the
+     reference kernels use, which keeps pure pointwise groups bit-for-bit
+     equal to unfused execution.
+
+   Specialized kernels are cached by the runtime backend per
+   (group × concrete shape tuple); this module is purely functional. *)
+
+type template = {
+  t_gid : int;
+  t_members : Graph.node list;  (** in topological order *)
+  t_anchor : Graph.node option;  (** heavy first member, when present *)
+  t_out : Graph.tensor_id;  (** the terminal (only materialized) output *)
+  t_slots : Graph.tensor_id array;  (** external element inputs, slot order *)
+  t_versions : int;  (** broadcast versions bounded at fusion time *)
+}
+
+type kernel = {
+  k_out : Graph.tensor_id;
+  k_dims : (Graph.tensor_id * int list) list;
+      (** concrete output dims of every member, terminal included *)
+  k_run : par:Blocked.par -> Tensor.t array -> Tensor.t;
+      (** args in slot order; returns the terminal tensor *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time planning                                               *)
+
+let is_heavy = function
+  | Op.MatMul | Op.Gemm _ | Op.Conv _ | Op.Conv1d _ -> true
+  | _ -> false
+
+(* Operators the per-element compiler can lower.  Reshape qualifies only
+   with a constant target: a data-dependent target would need the value
+   lattice at run time, and the op-by-op path handles that rarity. *)
+let elementwise_ok g (nd : Graph.node) =
+  match nd.Graph.op with
+  | Op.Unary _ | Op.Binary _ | Op.Clip _ | Op.Where | Op.Transpose _ | Op.Flatten _
+  | Op.Squeeze _ | Op.Unsqueeze _ | Op.BatchNorm _ -> true
+  | Op.Cast Tensor.F32 -> true
+  | Op.Reshape -> (
+    match nd.Graph.inputs with
+    | [ _; target ] -> Graph.const_value g target <> None
+    | _ -> false)
+  | _ -> false
+
+(* Inputs that carry element data (as opposed to shape operands). *)
+let element_inputs (nd : Graph.node) =
+  match nd.Graph.op, nd.Graph.inputs with
+  | Op.Reshape, [ x; _target ] -> [ x ]
+  | _, ins -> ins
+
+let template_of g (grp : Fusion.group) =
+  match grp.Fusion.members with
+  | [] | [ _ ] -> None
+  | mids ->
+    let members = List.map (Graph.node g) mids in
+    let first = List.hd members in
+    let anchor = if is_heavy first.Graph.op then Some first else None in
+    let body = match anchor with Some _ -> List.tl members | None -> members in
+    let single_out nd = List.length nd.Graph.outputs = 1 in
+    if List.for_all single_out members && List.for_all (elementwise_ok g) body then begin
+      let produced = Hashtbl.create 8 in
+      List.iter
+        (fun nd -> List.iter (fun o -> Hashtbl.replace produced o ()) nd.Graph.outputs)
+        members;
+      let seen = Hashtbl.create 8 in
+      let slots = ref [] in
+      List.iter
+        (fun nd ->
+          List.iter
+            (fun tid ->
+              if (not (Hashtbl.mem produced tid)) && not (Hashtbl.mem seen tid) then begin
+                Hashtbl.add seen tid ();
+                slots := tid :: !slots
+              end)
+            (element_inputs nd))
+        members;
+      let terminal = List.nth members (List.length members - 1) in
+      Some
+        {
+          t_gid = grp.Fusion.gid;
+          t_members = members;
+          t_anchor = anchor;
+          t_out = List.hd terminal.Graph.outputs;
+          t_slots = Array.of_list (List.rev !slots);
+          t_versions = grp.Fusion.versions;
+        }
+    end
+    else None
+
+let plan g (fp : Fusion.plan) = Array.map (template_of g) fp.Fusion.groups
+
+(* ------------------------------------------------------------------ *)
+(* Index maps                                                          *)
+
+(* Maps are from the consumer's flat index space into a source space,
+   described per consumer dim by a source stride.  Small spaces become
+   lookup tables (built with an odometer walk, no div/mod); large ones
+   stay as strided arithmetic so a specialization never allocates O(huge)
+   tables. *)
+type imap =
+  | Id
+  | Tbl of int array
+  | Strided of int array * int array  (* consumer dims, source stride per dim *)
+
+let table_cap = 1 lsl 18
+
+let strides_of (d : int array) =
+  let r = Array.length d in
+  let s = Array.make r 0 in
+  let acc = ref 1 in
+  for i = r - 1 downto 0 do
+    s.(i) <- !acc;
+    acc := !acc * d.(i)
+  done;
+  s
+
+let map_of ~od ~ss =
+  let ostr = strides_of od in
+  let r = Array.length od in
+  let identity = ref true in
+  for d = 0 to r - 1 do
+    if od.(d) > 1 && ss.(d) <> ostr.(d) then identity := false
+  done;
+  if !identity then Id
+  else
+    let n = Array.fold_left ( * ) 1 od in
+    if n <= table_cap then begin
+      let t = Array.make n 0 in
+      let coord = Array.make r 0 in
+      let off = ref 0 in
+      for i = 0 to n - 1 do
+        t.(i) <- !off;
+        let j = ref (r - 1) in
+        let carry = ref true in
+        while !carry && !j >= 0 do
+          let d = !j in
+          coord.(d) <- coord.(d) + 1;
+          off := !off + ss.(d);
+          if coord.(d) = od.(d) then begin
+            coord.(d) <- 0;
+            off := !off - (ss.(d) * od.(d));
+            decr j
+          end
+          else carry := false
+        done
+      done;
+      Tbl t
+    end
+    else Strided (Array.copy od, Array.copy ss)
+
+let strided_index od ss i =
+  let r = Array.length od in
+  let off = ref 0 and rem = ref i in
+  for d = r - 1 downto 0 do
+    let q = !rem mod od.(d) in
+    rem := !rem / od.(d);
+    off := !off + (q * ss.(d))
+  done;
+  !off
+
+(* Numpy-style right-aligned broadcast of [fd] into [od]. *)
+let broadcast_map ~od ~fd =
+  let r = Array.length od in
+  let fr = Array.length fd in
+  let fpad = Array.make r 1 in
+  Array.blit fd 0 fpad (r - fr) fr;
+  let fstr = strides_of fpad in
+  let ss = Array.init r (fun d -> if fpad.(d) = 1 then 0 else fstr.(d)) in
+  map_of ~od ~ss
+
+let transpose_map ~od ~ind ~perm =
+  let instr = strides_of ind in
+  let ss = Array.of_list (List.map (fun p -> instr.(p)) perm) in
+  map_of ~od ~ss
+
+(* ------------------------------------------------------------------ *)
+(* Specialization                                                      *)
+
+exception Spec_fail of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Spec_fail s)) fmt
+
+type env = { args : Tensor.t array; acc : float array }
+
+(* One compiled expression node: its concrete dims, whether its subtree
+   reads the anchor accumulator, and a maker that — given the call's
+   runtime environment — hoists whatever it can (data pointers, scalars,
+   per-channel tables) and returns the per-element function.  The float
+   argument threads the anchor's accumulator value through write-back
+   epilogues; it is ignored everywhere else. *)
+type info = {
+  dims : int array;
+  on_acc : bool;
+  mk : env -> int -> float -> float;
+}
+
+let numel_of (d : int array) = Array.fold_left ( * ) 1 d
+
+let grain = 16_384
+
+let fill par (dst : float array) gfn =
+  let len = Array.length dst in
+  if len >= 2 * grain then
+    par.Blocked.run
+      ((len + grain - 1) / grain)
+      (fun ci ->
+        let lo = ci * grain in
+        let hi = min len (lo + grain) - 1 in
+        for i = lo to hi do
+          Array.unsafe_set dst i (gfn i 0.0)
+        done)
+  else
+    for i = 0 to len - 1 do
+      Array.unsafe_set dst i (gfn i 0.0)
+    done
+
+let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked.tiles)
+    ~(args : (int list * Tensor.dtype) array) : (kernel, string) result =
+  try
+    let nslots = Array.length tpl.t_slots in
+    if Array.length args <> nslots then fail "argument count %d <> slot count %d" (Array.length args) nslots;
+    Array.iteri
+      (fun i (_, dt) ->
+        if dt = Tensor.I64 then
+          fail "slot %d is I64: integer element semantics stay on the reference path" i)
+      args;
+    let dims_tbl : (Graph.tensor_id, int array) Hashtbl.t = Hashtbl.create 16 in
+    Array.iteri
+      (fun i tid -> Hashtbl.replace dims_tbl tid (Array.of_list (fst args.(i))))
+      tpl.t_slots;
+    (* Concrete shape inference over the members, mirroring what the
+       executor's dry pass computes — Shape_fn is the single source of
+       truth for output extents. *)
+    let shape_of tid =
+      match Hashtbl.find_opt dims_tbl tid with
+      | Some d -> Shape.of_ints (Array.to_list d)
+      | None -> (
+        match Graph.const_value g tid with
+        | Some t -> Shape.of_ints (Tensor.dims t)
+        | None -> fail "tensor %d has no known dims" tid)
+    in
+    let value_of tid =
+      match Graph.const_value g tid with
+      | Some t
+        when Tensor.dtype t = Tensor.I64
+             && Tensor.numel t <= Value_info.max_tracked_elements ->
+        Value_info.of_ints (Tensor.to_int_list t)
+      | _ -> Value_info.undef
+    in
+    List.iter
+      (fun nd ->
+        let io =
+          {
+            Shape_fn.in_shapes = Array.of_list (List.map shape_of nd.Graph.inputs);
+            in_values = Array.of_list (List.map value_of nd.Graph.inputs);
+          }
+        in
+        let shapes, _ = Shape_fn.forward nd.Graph.op io in
+        match Shape.as_ints shapes.(0) with
+        | Some d -> Hashtbl.replace dims_tbl (List.hd nd.Graph.outputs) (Array.of_list d)
+        | None -> fail "member %s has a non-concrete output shape" nd.Graph.nname)
+      tpl.t_members;
+    let dims_of tid =
+      match Hashtbl.find_opt dims_tbl tid with
+      | Some d -> d
+      | None -> fail "tensor %d missing from shape table" tid
+    in
+    let term_dims = dims_of tpl.t_out in
+    let member_dims =
+      List.map
+        (fun nd ->
+          let o = List.hd nd.Graph.outputs in
+          (o, Array.to_list (dims_of o)))
+        tpl.t_members
+    in
+    let slot_idx = Hashtbl.create 8 in
+    Array.iteri (fun i tid -> Hashtbl.replace slot_idx tid i) tpl.t_slots;
+    let anchor_out = Option.map (fun nd -> List.hd nd.Graph.outputs) tpl.t_anchor in
+
+    (* --- closure compilation of the elementwise member tree --- *)
+    let violated = ref false in
+    let infos : (Graph.tensor_id, info) Hashtbl.t = Hashtbl.create 16 in
+    let apply m (mk : env -> int -> float -> float) =
+      match m with
+      | Id -> mk
+      | Tbl t ->
+        fun env ->
+          let gfn = mk env in
+          fun i v -> gfn (Array.unsafe_get t i) v
+      | Strided (od, ss) ->
+        fun env ->
+          let gfn = mk env in
+          fun i v -> gfn (strided_index od ss i) v
+    in
+    (* Broadcast [x] into the consumer's [od] index space.  A non-identity
+       map on an accumulator-carrying subtree means the write-back epilogue
+       would see a permuted/duplicated accumulator — that disqualifies
+       write-back fusion (two-phase execution handles it instead). *)
+    let with_map od (x : info) =
+      if x.dims = od then x.mk
+      else begin
+        if x.on_acc then violated := true;
+        if numel_of x.dims = 1 && not x.on_acc then
+          fun env ->
+            let gfn = x.mk env in
+            let cst = gfn 0 0.0 in
+            fun _ _ -> cst
+        else apply (broadcast_map ~od ~fd:x.dims) x.mk
+      end
+    in
+    let info_of tid =
+      match Hashtbl.find_opt infos tid with
+      | Some i -> i
+      | None ->
+        let i =
+          match Hashtbl.find_opt slot_idx tid with
+          | Some si ->
+            {
+              dims = dims_of tid;
+              on_acc = false;
+              mk =
+                (fun env ->
+                  let d = Tensor.data_f env.args.(si) in
+                  fun i _ -> Array.unsafe_get d i);
+            }
+          | None -> fail "tensor %d consumed before being produced" tid
+        in
+        Hashtbl.add infos tid i;
+        i
+    in
+    let compile_node (nd : Graph.node) =
+      let od = dims_of (List.hd nd.Graph.outputs) in
+      let child i = info_of (List.nth nd.Graph.inputs i) in
+      match nd.Graph.op with
+      | Op.Unary u ->
+        let x = child 0 in
+        let f = Op_semantics.unary_fn u in
+        let gx = with_map od x in
+        {
+          dims = od;
+          on_acc = x.on_acc;
+          mk =
+            (fun env ->
+              let a = gx env in
+              fun i v -> f (a i v));
+        }
+      | Op.Binary b ->
+        let x = child 0 and y = child 1 in
+        let f = Op_semantics.float_binary_fn b in
+        let gx = with_map od x and gy = with_map od y in
+        {
+          dims = od;
+          on_acc = x.on_acc || y.on_acc;
+          mk =
+            (fun env ->
+              let a = gx env and b' = gy env in
+              fun i v -> f (a i v) (b' i v));
+        }
+      | Op.Clip (lo, hi) ->
+        let x = child 0 in
+        let gx = with_map od x in
+        {
+          dims = od;
+          on_acc = x.on_acc;
+          mk =
+            (fun env ->
+              let a = gx env in
+              fun i v -> Float.min hi (Float.max lo (a i v)));
+        }
+      | Op.Cast Tensor.F32 ->
+        (* Input is F32 by construction (I64 leaves are rejected), so this
+           is the identity. *)
+        let x = child 0 in
+        { x with dims = od }
+      | Op.Where ->
+        let c = child 0 and x = child 1 and y = child 2 in
+        let gc = with_map od c and gx = with_map od x and gy = with_map od y in
+        {
+          dims = od;
+          on_acc = c.on_acc || x.on_acc || y.on_acc;
+          mk =
+            (fun env ->
+              let cc = gc env and a = gx env and b' = gy env in
+              (* Mirrors the reference: condition is cast to I64 (C
+                 truncation), then tested against zero. *)
+              fun i v -> if int_of_float (cc i v) <> 0 then a i v else b' i v);
+        }
+      | Op.Transpose perm ->
+        let x = child 0 in
+        let m = transpose_map ~od ~ind:x.dims ~perm in
+        if m <> Id && x.on_acc then violated := true;
+        { dims = od; on_acc = x.on_acc; mk = apply m x.mk }
+      | Op.Reshape | Op.Flatten _ | Op.Squeeze _ | Op.Unsqueeze _ ->
+        (* Views: flat order is preserved, only dims change. *)
+        let x = info_of (List.hd (element_inputs nd)) in
+        { x with dims = od }
+      | Op.BatchNorm { eps } ->
+        let x = child 0 in
+        if Array.length od < 2 then fail "BatchNorm input rank < 2";
+        let cdim = od.(1) in
+        let param i =
+          let p = child i in
+          if numel_of p.dims <> cdim then
+            fail "BatchNorm parameter %d has %d elements for %d channels" i
+              (numel_of p.dims) cdim;
+          if p.on_acc then violated := true;
+          p
+        in
+        let ps = param 1 and pb = param 2 and pm = param 3 and pv = param 4 in
+        let sp = ref 1 in
+        for d = 2 to Array.length od - 1 do
+          sp := !sp * od.(d)
+        done;
+        let sp = !sp in
+        let gx = with_map od x in
+        {
+          dims = od;
+          on_acc = x.on_acc;
+          mk =
+            (fun env ->
+              let a = gx env in
+              (* Per-channel constants hoisted out of the element loop;
+                 sqrt(var + eps) is deterministic per channel, so this
+                 matches the reference's per-element evaluation exactly. *)
+              let hoist (p : info) =
+                let gfn = p.mk env in
+                Array.init cdim (fun c -> gfn c 0.0)
+              in
+              let s = hoist ps and b' = hoist pb and m = hoist pm in
+              let gv = pv.mk env in
+              let sq = Array.init cdim (fun c -> sqrt (gv c 0.0 +. eps)) in
+              fun i v ->
+                let ch = i / sp mod cdim in
+                ((a i v -. Array.unsafe_get m ch) /. Array.unsafe_get sq ch
+                *. Array.unsafe_get s ch)
+                +. Array.unsafe_get b' ch);
+        }
+      | op -> fail "operator %s is not elementwise-compilable" (Op.name op)
+    in
+    let build ~wb =
+      Hashtbl.reset infos;
+      violated := false;
+      (match anchor_out with
+      | Some tid ->
+        let adims = dims_of tid in
+        let leaf =
+          if wb then { dims = adims; on_acc = true; mk = (fun _ _ v -> v) }
+          else
+            {
+              dims = adims;
+              on_acc = true;
+              mk =
+                (fun env ->
+                  let a = env.acc in
+                  fun i _ -> Array.unsafe_get a i);
+            }
+        in
+        Hashtbl.add infos tid leaf
+      | None -> ());
+      List.iter
+        (fun nd ->
+          if not (match tpl.t_anchor with Some a -> a.Graph.nid = nd.Graph.nid | None -> false)
+          then Hashtbl.add infos (List.hd nd.Graph.outputs) (compile_node nd))
+        tpl.t_members;
+      (Hashtbl.find infos tpl.t_out, not !violated)
+    in
+
+    match tpl.t_anchor with
+    | None ->
+      let root, _ = build ~wb:false in
+      let out_dims = Array.to_list term_dims in
+      let k_run ~par args =
+        let out = Tensor.zeros Tensor.F32 out_dims in
+        let gfn = root.mk { args; acc = [||] } in
+        fill par (Tensor.data_f out) gfn;
+        out
+      in
+      Ok { k_out = tpl.t_out; k_dims = member_dims; k_run }
+    | Some anc ->
+      let aout = Option.get anchor_out in
+      let adims = dims_of aout in
+      let in_dims = List.map (fun tid -> Array.to_list (dims_of tid)) anc.Graph.inputs in
+      let m, n, k =
+        match
+          Multi_version.gemm_dims_of_op anc.Graph.op ~in_dims
+            ~out_dims:[ Array.to_list adims ]
+        with
+        | Some mnk -> mnk
+        | None -> fail "anchor %s has no GEMM extents" anc.Graph.nname
+      in
+      let cls = Multi_version.classify_gemm ~m ~n ~k in
+      let tl = tiles cls in
+      let slot tid =
+        match Hashtbl.find_opt slot_idx tid with
+        | Some i -> i
+        | None -> fail "anchor input %d is not an external slot" tid
+      in
+      let anchor_slots = List.map slot anc.Graph.inputs in
+      let blocked_inner par epilogue ~m ~n ~k ~a ~ao ~b ~bo ~c ~co =
+        Blocked.gemm ~par ~tiles:tl ?epilogue ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ()
+      in
+      (* [run_anchor ~par ~ep args] executes the heavy op with the blocked
+         kernels (naive for Tiny problems, exactly like the per-op
+         backend); [ep], when present, fires once per output element at
+         write-back with global flat indices. *)
+      let run_anchor =
+        match anc.Graph.op, anchor_slots with
+        | Op.MatMul, [ ia; ib ] ->
+          fun ~par ~ep (args : Tensor.t array) ->
+            if cls = Multi_version.Tiny then Linalg.matmul args.(ia) args.(ib)
+            else Linalg.matmul ~inner:(blocked_inner par ep) args.(ia) args.(ib)
+        | Op.Gemm { alpha; beta; trans_a; trans_b }, ia :: ib :: rest ->
+          let ic = match rest with [ i ] -> Some i | _ -> None in
+          fun ~par ~ep args ->
+            let a = args.(ia) and b = args.(ib) in
+            let c = Option.map (fun i -> args.(i)) ic in
+            if cls = Multi_version.Tiny then
+              Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c
+            else (
+              match ep with
+              | None ->
+                Linalg.gemm ~inner:(blocked_inner par None) ~alpha ~beta ~trans_a
+                  ~trans_b a b c
+              | Some ep ->
+                (* Fold the Gemm post-ops (alpha scale, beta·C add) into
+                   the epilogue in the reference's evaluation order, then
+                   run the bare product. *)
+                let ep' =
+                  match c with
+                  | None ->
+                    if alpha = 1.0 then ep else fun ci v -> ep ci (v *. alpha)
+                  | Some ct ->
+                    let cd = Tensor.data_f ct in
+                    let get =
+                      match broadcast_map ~od:adims ~fd:(Tensor.dims_arr ct) with
+                      | Id -> fun i -> Array.unsafe_get cd i
+                      | Tbl t -> fun i -> Array.unsafe_get cd (Array.unsafe_get t i)
+                      | Strided (od, ss) -> fun i -> cd.(strided_index od ss i)
+                    in
+                    let scale v = if alpha = 1.0 then v else v *. alpha in
+                    fun ci v -> ep ci (scale v +. (beta *. get ci))
+                in
+                Linalg.gemm
+                  ~inner:(blocked_inner par (Some ep'))
+                  ~alpha:1.0 ~beta:1.0 ~trans_a ~trans_b a b None)
+        | Op.Conv { stride; pads; dilation; groups }, ia :: ib :: rest ->
+          let ibias = match rest with [ i ] -> Some i | _ -> None in
+          fun ~par ~ep args ->
+            let x = args.(ia) and w = args.(ib) in
+            let b = Option.map (fun i -> args.(i)) ibias in
+            if cls = Multi_version.Tiny then
+              Linalg.conv2d ~stride ~pad:pads ~dilation ~groups x w b
+            else
+              Blocked.conv2d_im2col ~par ~tiles:tl ?epilogue:ep ~stride ~pad:pads
+                ~dilation ~groups x w b
+        | Op.Conv1d { stride1; pads1; dilation1; groups1 }, ia :: ib :: rest ->
+          let ibias = match rest with [ i ] -> Some i | _ -> None in
+          fun ~par ~ep args ->
+            let x = args.(ia) and w = args.(ib) in
+            let b = Option.map (fun i -> args.(i)) ibias in
+            if cls = Multi_version.Tiny then
+              Linalg.conv1d ~stride:stride1 ~pad:pads1 ~dilation:dilation1
+                ~groups:groups1 x w b
+            else (
+              (* Unit-height lowering onto conv2d; the 4-d [n;m;1;ol]
+                 output is flat-identical to the 3-d result, so epilogue
+                 indices carry over. *)
+              match Tensor.dims x, Tensor.dims w with
+              | [ nn; c; l ], [ mm; cg; kk ] ->
+                let x' = Tensor.reshape x [ nn; c; 1; l ] in
+                let w' = Tensor.reshape w [ mm; cg; 1; kk ] in
+                let pl, pr = pads1 in
+                let out =
+                  Blocked.conv2d_im2col ~par ~tiles:tl ?epilogue:ep
+                    ~stride:(1, stride1) ~pad:(0, pl, 0, pr) ~dilation:(1, dilation1)
+                    ~groups:groups1 x' w' b
+                in
+                (match Tensor.dims out with
+                | [ n'; m'; 1; ol ] -> Tensor.reshape out [ n'; m'; ol ]
+                | _ -> assert false)
+              | _ ->
+                Linalg.conv1d ~stride:stride1 ~pad:pads1 ~dilation:dilation1
+                  ~groups:groups1 x w b)
+        | op, _ -> fail "unsupported anchor %s" (Op.name op)
+      in
+      let term_dims_l = Array.to_list term_dims in
+      let wb_feasible =
+        cls <> Multi_version.Tiny && m > 0 && n > 0 && k > 0
+        && numel_of term_dims = numel_of adims
+      in
+      let root_wb, wb_clean = if wb_feasible then build ~wb:true else (build ~wb:false |> fst, false) in
+      if wb_feasible && wb_clean then begin
+        let k_run ~par args =
+          let ep = root_wb.mk { args; acc = [||] } in
+          let out = run_anchor ~par ~ep:(Some (fun ci v -> ep ci v)) args in
+          Tensor.reshape out term_dims_l
+        in
+        Ok { k_out = tpl.t_out; k_dims = member_dims; k_run }
+      end
+      else begin
+        let root, _ = build ~wb:false in
+        let k_run ~par args =
+          let anchor_t = run_anchor ~par ~ep:None args in
+          let out = Tensor.zeros Tensor.F32 term_dims_l in
+          let gfn = root.mk { args; acc = Tensor.data_f anchor_t } in
+          fill par (Tensor.data_f out) gfn;
+          out
+        in
+        Ok { k_out = tpl.t_out; k_dims = member_dims; k_run }
+      end
+  with
+  | Spec_fail msg -> Error msg

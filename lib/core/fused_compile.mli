@@ -1,0 +1,55 @@
+(** Fused-group kernel compilation (§4.2 fused code generation).
+
+    Lowers fusion groups into single executable kernels: pointwise/view
+    chains become one closure-compiled loop over the terminal output's flat
+    index space (no intermediate tensors; broadcasts become precomputed
+    index maps), and heavy anchors (MatMul/Gemm/Conv/Conv1d) run the
+    blocked kernels with the rest of the group installed as the micro-tile
+    write-back epilogue.
+
+    Compile time produces {!template}s (one per eligible group); the first
+    execution under concrete dims {!specialize}s a template into a
+    {!kernel} — the runtime side of bounded multi-version code generation,
+    where each still-ambiguous broadcast collapses to one concrete variant.
+    Kernels are cached by the backend per (group × shape); this module is
+    purely functional.
+
+    Scalar element semantics come from {!Op_semantics}, the same closures
+    the reference kernels use, so pure pointwise groups are bit-for-bit
+    equal to unfused execution (anchored groups differ only by the blocked
+    kernels' summation order). *)
+
+type template = {
+  t_gid : int;
+  t_members : Graph.node list;  (** in topological order *)
+  t_anchor : Graph.node option;  (** heavy first member, when present *)
+  t_out : Graph.tensor_id;  (** the terminal (only materialized) output *)
+  t_slots : Graph.tensor_id array;  (** external element inputs, slot order *)
+  t_versions : int;  (** broadcast versions bounded at fusion time *)
+}
+
+type kernel = {
+  k_out : Graph.tensor_id;
+  k_dims : (Graph.tensor_id * int list) list;
+      (** concrete output dims of every member, terminal included *)
+  k_run : par:Blocked.par -> Tensor.t array -> Tensor.t;
+      (** args in slot order; returns the terminal tensor *)
+}
+
+val plan : Graph.t -> Fusion.plan -> template option array
+(** Per-group templates, indexed by group id.  [None] for singleton groups
+    and groups containing an operator the per-element compiler cannot
+    lower (reductions terminate groups but are not pointwise; data-
+    dependent reshapes; I64-producing casts; …) — those keep op-by-op
+    execution. *)
+
+val specialize :
+  Graph.t -> template ->
+  tiles:(Multi_version.shape_class -> Blocked.tiles) ->
+  args:(int list * Tensor.dtype) array ->
+  (kernel, string) result
+(** Compile the template against concrete slot dims/dtypes (slot order).
+    [tiles] resolves the anchor's shape class to blocked tile extents
+    (normally the autotuner table's choice).  [Error] means this shape
+    cannot be fused soundly (I64 element inputs, non-concrete member
+    shapes, …) and the caller should fall back to op-by-op execution. *)

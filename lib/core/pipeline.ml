@@ -15,6 +15,7 @@ type compiled = {
   exec : Exec_plan.t;
   versions : Multi_version.table;
   kernel_classes : Multi_version.shape_class option array;
+  fused : Fused_compile.template option array;
   flags : opt_flags;
   profile : Profile.t;
 }
@@ -64,7 +65,8 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
     if flags.mvc then Multi_version.build profile else Multi_version.single_version profile
   in
   let kernel_classes = kernel_classes_of graph rdp ~env in
-  { graph; rdp; fusion_plan; exec; versions; kernel_classes; flags; profile }
+  let fused = Fused_compile.plan graph fusion_plan in
+  { graph; rdp; fusion_plan; exec; versions; kernel_classes; fused; flags; profile }
 
 let compile_checked ?flags ?plan_sym_value profile graph =
   match Validate.check graph with

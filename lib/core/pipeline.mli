@@ -32,6 +32,9 @@ type compiled = {
           RDP-predicted (possibly symbolic) extents; [None] when the node
           is not a heavy operator or its extents stay unknown, in which
           case the runtime classifies from observed extents *)
+  fused : Fused_compile.template option array;
+      (** per-group fused-kernel templates (indexed by group id); [None]
+          when the group stays on op-by-op execution *)
   flags : opt_flags;
   profile : Profile.t;
 }

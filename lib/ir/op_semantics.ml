@@ -1,0 +1,78 @@
+(* Scalar reference semantics for elementwise operators.
+
+   These functions are the single source of truth for what one element of a
+   Unary/Binary op computes.  Both the naive reference kernels
+   ([Kernels.run]) and the fused-group compiler ([Fused_compile]) close over
+   the exact same OCaml closures, which is what makes fused execution
+   bit-for-bit equivalent to the unfused reference on pointwise chains. *)
+
+let erf x =
+  (* Abramowitz–Stegun 7.1.26, |error| < 1.5e-7. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. (((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t -. 0.284496736)
+       *. t *. t *. exp (-.x *. x)
+  in
+  sign *. y
+
+let unary_fn : Op.unary -> float -> float = function
+  | Op.Relu -> fun v -> Float.max 0.0 v
+  | Op.LeakyRelu alpha -> fun v -> if v >= 0.0 then v else alpha *. v
+  | Op.Sigmoid -> fun v -> 1.0 /. (1.0 +. exp (-.v))
+  | Op.Tanh -> tanh
+  | Op.Exp -> exp
+  | Op.Log -> log
+  | Op.Sqrt -> sqrt
+  | Op.Neg -> fun v -> -.v
+  | Op.Abs -> Float.abs
+  | Op.Erf -> erf
+  | Op.Gelu -> fun v -> 0.5 *. v *. (1.0 +. erf (v /. sqrt 2.0))
+  | Op.HardSwish -> fun v -> v *. Float.max 0.0 (Float.min 1.0 ((v /. 6.0) +. 0.5))
+  | Op.Softplus -> fun v -> log (1.0 +. exp v)
+  | Op.Floor -> Float.floor
+  | Op.Ceil -> Float.ceil
+  | Op.Round -> Float.round
+  | Op.Not -> fun v -> if v = 0.0 then 1.0 else 0.0
+  | Op.Identity -> Fun.id
+  | Op.Sign -> fun v -> if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0
+  | Op.Reciprocal -> fun v -> 1.0 /. v
+  | Op.Softsign -> fun v -> v /. (1.0 +. Float.abs v)
+
+let float_binary_fn : Op.binary -> float -> float -> float = function
+  | Op.Add -> ( +. )
+  | Op.Sub -> ( -. )
+  | Op.Mul -> ( *. )
+  | Op.Div -> ( /. )
+  | Op.Pow -> Float.pow
+  | Op.Max2 -> Float.max
+  | Op.Min2 -> Float.min
+  | Op.Mod2 ->
+    (* ONNX Mod (fmod = 0): the result takes the divisor's sign, like
+       Python %.  Float.rem gives the dividend's sign, so shift nonzero
+       remainders of opposite sign by one divisor. *)
+    fun a b ->
+     let r = Float.rem a b in
+     if r <> 0.0 && r < 0.0 <> (b < 0.0) then r +. b else r
+  | Op.Equal -> fun a b -> if a = b then 1.0 else 0.0
+  | Op.Less -> fun a b -> if a < b then 1.0 else 0.0
+  | Op.Greater -> fun a b -> if a > b then 1.0 else 0.0
+  | Op.And -> fun a b -> if a <> 0.0 && b <> 0.0 then 1.0 else 0.0
+  | Op.Or -> fun a b -> if a <> 0.0 || b <> 0.0 then 1.0 else 0.0
+
+let int_binary_fn : Op.binary -> int -> int -> int = function
+  | Op.Add -> ( + )
+  | Op.Sub -> ( - )
+  | Op.Mul -> ( * )
+  | Op.Div -> ( / )
+  | Op.Pow -> fun a b -> int_of_float (float_of_int a ** float_of_int b)
+  | Op.Max2 -> max
+  | Op.Min2 -> min
+  | Op.Mod2 -> ( mod )
+  | Op.Equal -> fun a b -> if a = b then 1 else 0
+  | Op.Less -> fun a b -> if a < b then 1 else 0
+  | Op.Greater -> fun a b -> if a > b then 1 else 0
+  | Op.And -> fun a b -> if a <> 0 && b <> 0 then 1 else 0
+  | Op.Or -> fun a b -> if a <> 0 || b <> 0 then 1 else 0

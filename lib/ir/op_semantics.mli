@@ -1,0 +1,17 @@
+(** Scalar reference semantics for elementwise operators.
+
+    Shared by the naive reference kernels and the fused-group compiler so
+    both paths evaluate the exact same closures per element — the basis for
+    bit-for-bit fused-vs-reference equivalence on pointwise chains. *)
+
+val erf : float -> float
+(** Abramowitz–Stegun approximation of the error function, |err| < 1.5e-7. *)
+
+val unary_fn : Op.unary -> float -> float
+(** Float semantics of a unary operator. *)
+
+val float_binary_fn : Op.binary -> float -> float -> float
+(** Float semantics of a binary operator (comparisons return 0.0/1.0). *)
+
+val int_binary_fn : Op.binary -> int -> int -> int
+(** Integer semantics of a binary operator, used for I64×I64 inputs. *)

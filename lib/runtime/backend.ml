@@ -2,35 +2,68 @@ type kind =
   | Naive
   | Blocked
   | Parallel
+  | Fused
 
-let kind_name = function Naive -> "naive" | Blocked -> "blocked" | Parallel -> "parallel"
+let kind_name = function
+  | Naive -> "naive"
+  | Blocked -> "blocked"
+  | Parallel -> "parallel"
+  | Fused -> "fused"
 
 let kind_of_string = function
   | "naive" -> Some Naive
   | "blocked" -> Some Blocked
   | "parallel" -> Some Parallel
+  | "fused" -> Some Fused
   | _ -> None
+
+(* One specialized fused kernel per (group × concrete shape tuple).
+   [fe_kernel = None] caches a specialization failure so the op-by-op
+   fallback is taken without recompiling every sample.  The template is
+   kept for a physical-identity check: a backend reused across compiled
+   artifacts must never run another graph's kernel. *)
+type fused_entry = {
+  fe_tpl : Fused_compile.template;
+  fe_kernel : Fused_compile.kernel option;
+}
 
 type t = {
   kind : kind;
   versions : Multi_version.table;
   pool : Domain_pool.t option;
+  profile_name : string;
+  fused_cache : (int * (int list * Tensor.dtype) list, fused_entry) Hashtbl.t;
+  fused_variants : (int, int) Hashtbl.t;  (* gid -> cached variant count *)
+  mutable fused_hits : int;
+  mutable fused_misses : int;
+  mutable fused_rejects : int;
 }
 
-let create ?(versions = Multi_version.untuned) ?threads kind =
+let create ?(versions = Multi_version.untuned) ?threads ?(profile = "unprofiled") kind =
   let pool =
     match kind with
-    | Parallel ->
+    | Parallel | Fused ->
       let n =
         match threads with Some n -> n | None -> Domain.recommended_domain_count ()
       in
       Some (Domain_pool.create n)
     | Naive | Blocked -> None
   in
-  { kind; versions; pool }
+  {
+    kind;
+    versions;
+    pool;
+    profile_name = profile;
+    fused_cache = Hashtbl.create 32;
+    fused_variants = Hashtbl.create 8;
+    fused_hits = 0;
+    fused_misses = 0;
+    fused_rejects = 0;
+  }
 
 let for_compiled kind (c : Pipeline.compiled) =
-  create ~versions:c.Pipeline.versions ~threads:c.Pipeline.profile.Profile.cores kind
+  create ~versions:c.Pipeline.versions ~threads:c.Pipeline.profile.Profile.cores
+    ~profile:c.Pipeline.profile.Profile.name kind
 
 let kind_of t = t.kind
 let pool_size t = match t.pool with Some p -> Domain_pool.size p | None -> 1
@@ -54,19 +87,19 @@ let gemm_kernel ?cls t : Linalg.gemm_kernel =
   match t.kind, cls with
   | Naive, _ | _, Multi_version.Tiny ->
     Linalg.naive_kernel ~m ~n ~k ~a ~ao ~b ~bo ~c ~co
-  | (Blocked | Parallel), _ ->
+  | (Blocked | Parallel | Fused), _ ->
     Sod2_tensor.Blocked.gemm ~par:(par_of t) ~tiles:(tiles_for t cls) ~m ~n ~k ~a ~ao ~b
       ~bo ~c ~co ()
 
 let matmul ?cls t a b =
   match t.kind with
   | Naive -> Linalg.matmul a b
-  | Blocked | Parallel -> Linalg.matmul ~inner:(gemm_kernel ?cls t) a b
+  | Blocked | Parallel | Fused -> Linalg.matmul ~inner:(gemm_kernel ?cls t) a b
 
 let gemm ?cls t ~alpha ~beta ~trans_a ~trans_b a b c =
   match t.kind with
   | Naive -> Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c
-  | Blocked | Parallel ->
+  | Blocked | Parallel | Fused ->
     Linalg.gemm ~inner:(gemm_kernel ?cls t) ~alpha ~beta ~trans_a ~trans_b a b c
 
 let conv_class ?cls ~stride ~pad ~dilation x w =
@@ -90,7 +123,7 @@ let conv_class ?cls ~stride ~pad ~dilation x w =
 let conv2d ?cls t ~stride ~pad ~dilation ~groups x w b =
   match t.kind with
   | Naive -> Linalg.conv2d ~stride ~pad ~dilation ~groups x w b
-  | Blocked | Parallel -> (
+  | Blocked | Parallel | Fused -> (
     match conv_class ?cls ~stride ~pad ~dilation x w with
     | Multi_version.Tiny -> Linalg.conv2d ~stride ~pad ~dilation ~groups x w b
     | c ->
@@ -100,7 +133,7 @@ let conv2d ?cls t ~stride ~pad ~dilation ~groups x w b =
 let conv1d ?cls t ~stride ~pad ~dilation ~groups x w b =
   match t.kind with
   | Naive -> Linalg.conv1d ~stride ~pad ~dilation ~groups x w b
-  | Blocked | Parallel -> (
+  | Blocked | Parallel | Fused -> (
     (* Same unit-height lowering as {!Linalg.conv1d}, but through the
        backend's conv2d so the blocked path applies. *)
     match Tensor.dims x, Tensor.dims w with
@@ -141,6 +174,96 @@ let map_f t f x =
         done);
     out
   | _ -> Tensor.map_f f x
+
+(* ------------------------------------------------------------------ *)
+(* Fused-group execution                                               *)
+
+(* Live-variant budget per group: a group whose concrete shapes never
+   repeat (fully dynamic extents) would otherwise grow the cache without
+   bound AND pay a specialization per sample for nothing.  Past the cap
+   the group simply stays on op-by-op kernels. *)
+let fused_variant_cap = 32
+
+type fused_stats = {
+  hits : int;  (** executions served by a cached specialized kernel *)
+  misses : int;  (** specializations compiled (first sight of a shape) *)
+  rejects : int;  (** executions that fell back to op-by-op kernels *)
+  variants : int;  (** live specialized kernels across all groups *)
+}
+
+let fused_stats t =
+  let variants =
+    Hashtbl.fold
+      (fun _ e acc -> if e.fe_kernel <> None then acc + 1 else acc)
+      t.fused_cache 0
+  in
+  { hits = t.fused_hits; misses = t.fused_misses; rejects = t.fused_rejects; variants }
+
+type fused_result = {
+  fr_out : Graph.tensor_id;
+  fr_tensor : Tensor.t;
+  fr_dims : (Graph.tensor_id * int list) list;
+}
+
+let counter t kind = Profile.Counters.record ~profile:t.profile_name ~kind
+
+let fused_run t (c : Pipeline.compiled) ~gid ~(fetch : Graph.tensor_id -> Tensor.t) =
+  if t.kind <> Fused then None
+  else
+    match c.Pipeline.fused.(gid) with
+    | None -> None
+    | Some tpl ->
+      let args_t = Array.map fetch tpl.Fused_compile.t_slots in
+      let shapes =
+        Array.to_list (Array.map (fun x -> Tensor.dims x, Tensor.dtype x) args_t)
+      in
+      let key = gid, shapes in
+      let entry =
+        match Hashtbl.find_opt t.fused_cache key with
+        | Some e when e.fe_tpl == tpl ->
+          if e.fe_kernel <> None then begin
+            t.fused_hits <- t.fused_hits + 1;
+            counter t "fused-cache-hit"
+          end;
+          Some e
+        | _ ->
+          let nvar =
+            Option.value ~default:0 (Hashtbl.find_opt t.fused_variants gid)
+          in
+          if nvar >= fused_variant_cap then begin
+            counter t "fused-variant-overflow";
+            None
+          end
+          else begin
+            t.fused_misses <- t.fused_misses + 1;
+            counter t "fused-cache-miss";
+            let kernel =
+              match
+                Fused_compile.specialize c.Pipeline.graph tpl ~tiles:(tiles_for t)
+                  ~args:(Array.of_list shapes)
+              with
+              | Ok k -> Some k
+              | Error _ -> None
+            in
+            let e = { fe_tpl = tpl; fe_kernel = kernel } in
+            Hashtbl.replace t.fused_cache key e;
+            Hashtbl.replace t.fused_variants gid (nvar + 1);
+            Some e
+          end
+      in
+      (match entry with
+      | Some { fe_kernel = Some k; _ } ->
+        let out = k.Fused_compile.k_run ~par:(par_of t) args_t in
+        Some
+          {
+            fr_out = k.Fused_compile.k_out;
+            fr_tensor = out;
+            fr_dims = k.Fused_compile.k_dims;
+          }
+      | Some { fe_kernel = None; _ } | None ->
+        t.fused_rejects <- t.fused_rejects + 1;
+        counter t "fused-reject";
+        None)
 
 let map2 t f x y =
   match t.pool with

@@ -13,15 +13,19 @@ type kind =
   | Naive  (** reference scalar loop nests *)
   | Blocked  (** packed, register-tiled kernels, single domain *)
   | Parallel  (** blocked kernels + domain pool + parallel elementwise *)
+  | Fused
+      (** Parallel, plus whole fusion groups execute as single compiled
+          kernels ({!Fused_compile}) with a per-(group × shape) cache *)
 
 val kind_name : kind -> string
 val kind_of_string : string -> kind option
 
 type t
 
-val create : ?versions:Multi_version.table -> ?threads:int -> kind -> t
+val create : ?versions:Multi_version.table -> ?threads:int -> ?profile:string -> kind -> t
 (** [create kind] — [versions] defaults to the untuned table; [threads]
-    (Parallel only) defaults to the host's recommended domain count. *)
+    (Parallel/Fused only) defaults to the host's recommended domain count;
+    [profile] names the device in {!Profile.Counters} records. *)
 
 val for_compiled : kind -> Pipeline.compiled -> t
 (** Backend using the compiled artifact's tuned version table and device
@@ -61,3 +65,39 @@ val map_f : t -> (float -> float) -> Tensor.t -> Tensor.t
 val map2 : t -> (float -> float -> float) -> Tensor.t -> Tensor.t -> Tensor.t
 (** Binary elementwise map, parallel for large same-shape float tensors;
     broadcasts and integer tensors take the sequential path. *)
+
+(** {1 Fused-group execution} *)
+
+type fused_stats = {
+  hits : int;  (** executions served by a cached specialized kernel *)
+  misses : int;  (** specializations compiled (first sight of a shape) *)
+  rejects : int;  (** executions that fell back to op-by-op kernels *)
+  variants : int;  (** live specialized kernels across all groups *)
+}
+
+val fused_stats : t -> fused_stats
+(** This backend's fused-kernel cache counters.  The same events are also
+    recorded process-globally in {!Profile.Counters} under the kinds
+    ["fused-cache-hit"], ["fused-cache-miss"], ["fused-reject"] and
+    ["fused-variant-overflow"]. *)
+
+type fused_result = {
+  fr_out : Graph.tensor_id;  (** the terminal output tensor's id *)
+  fr_tensor : Tensor.t;  (** its value *)
+  fr_dims : (Graph.tensor_id * int list) list;
+      (** concrete dims of every member output (internal ones are never
+          materialized — these let the executor track dims and traffic) *)
+}
+
+val fused_run :
+  t -> Pipeline.compiled -> gid:int -> fetch:(Graph.tensor_id -> Tensor.t) ->
+  fused_result option
+(** Execute fusion group [gid] as one compiled kernel.  [fetch] supplies
+    the group's external input tensors.  Returns [None] — meaning the
+    caller must run the group op-by-op — when the backend is not [Fused],
+    the group has no template, specialization failed for these shapes
+    (e.g. I64 element inputs), or the group exhausted its live-variant
+    budget.  Specializations are cached per (group × concrete shapes), so
+    repeated samples skip recompilation.  Only use a backend with the
+    artifact it was created for ({!for_compiled}): kernels are validated
+    against the template by physical identity. *)

@@ -38,7 +38,7 @@ type state = {
   tensors : Tensor.t option array;
 }
 
-let bytes_of_dims dims = 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims
+let bytes_of_dims ?(elem = 4) dims = elem * List.fold_left (fun a d -> a * max 1 d) 1 dims
 
 let init_state (c : Pipeline.compiled) ~keep_tensors =
   let g = c.graph in
@@ -152,6 +152,17 @@ let dry_forward ctx st (nd : Graph.node) =
 let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
   let c = ctx.c in
   let g = c.graph in
+  (* Element size from the materialized tensor when there is one (Real
+     mode), so I64 tensors account 8 bytes; Dry mode keeps the F32
+     default. *)
+  let tensor_bytes tid dims =
+    let elem =
+      match st.tensors.(tid) with
+      | Some t -> ( match Tensor.dtype t with Tensor.F32 -> 4 | Tensor.I64 -> 8)
+      | None -> 4
+    in
+    bytes_of_dims ~elem dims
+  in
   let step_of_group = Hashtbl.create 64 in
   let steps = ref [] in
   let produced = ref [] in
@@ -257,18 +268,38 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
       (* Combine fires when its selected branch arrived even though other
          branch inputs are missing; plain nodes need everything. *)
       if ready then begin
+        (* A multi-member group first offers itself to the fused backend:
+           one compiled kernel, internal tensors never materialized.  Any
+           refusal (no template, shape not specializable, non-fused
+           backend) falls through to the op-by-op loop below. *)
+        let fused =
+          match mode, backend with
+          | Real, Some be when List.length members > 1 ->
+            Backend.fused_run be c ~gid ~fetch:(fun tid -> Option.get st.tensors.(tid))
+          | _ -> None
+        in
         let executed_all =
-          List.for_all
-            (fun nd ->
-              match nd.Graph.op with
-              | Op.Switch { branches } ->
-                exec_switch nd branches;
-                true
-              | Op.Combine { branches } -> exec_combine nd branches
-              | _ ->
-                exec_plain nd;
-                true)
-            members
+          match fused with
+          | Some fr ->
+            List.iter
+              (fun (tid, d) ->
+                st.dims.(tid) <- Some d;
+                st.avail.(tid) <- true)
+              fr.Backend.fr_dims;
+            st.tensors.(fr.Backend.fr_out) <- Some fr.Backend.fr_tensor;
+            true
+          | None ->
+            List.for_all
+              (fun nd ->
+                match nd.Graph.op with
+                | Op.Switch { branches } ->
+                  exec_switch nd branches;
+                  true
+                | Op.Combine { branches } -> exec_combine nd branches
+                | _ ->
+                  exec_plain nd;
+                  true)
+              members
         in
         if executed_all then begin
           let step = !step_counter in
@@ -304,7 +335,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
             List.fold_left
               (fun acc tid ->
                 match st.dims.(tid) with
-                | Some d -> acc + bytes_of_dims d
+                | Some d -> acc + tensor_bytes tid d
                 | None -> acc)
               0 external_inputs
           in
@@ -317,7 +348,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
                   (fun tid ->
                     match st.dims.(tid) with
                     | Some d ->
-                      let b = bytes_of_dims d in
+                      let b = tensor_bytes tid d in
                       if is_internal ctx tid then internal_bytes := !internal_bytes + b
                       else begin
                         out_bytes := !out_bytes + b;

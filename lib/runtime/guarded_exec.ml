@@ -260,22 +260,45 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
       in
       if ready then begin
         incr planned_groups;
-        List.iter
-          (fun (nd : Graph.node) ->
+        (* Multi-member groups first try the fused backend: one compiled
+           kernel materializing only the terminal output.  Any exception —
+           from the hook or the kernel itself — abandons the attempt, and
+           the op-by-op loop below records the fault per node. *)
+        let fused_done =
+          match backend with
+          | Some be when List.length members > 1 -> (
             try
-              kernel_hook ~gid ~node:nd.Graph.nid;
-              exec_node ?backend (store ~gid ~step) nd;
-              executed.(nd.Graph.nid) <- true
-            with
-            | Sod2_error.Error _ | Invalid_argument _ | Failure _ ->
-              (* A fused/specialized kernel misbehaved: leave the node for
-                 the reference fallback sweep. *)
-              faulted.(nd.Graph.nid) <- true;
-              degraded := true;
-              incident ~gid ~step Kernel_fault
-                (Printf.sprintf "node %d (%s) raised during planned execution"
-                   nd.Graph.nid nd.Graph.nname))
-          members
+              match Backend.fused_run be c ~gid ~fetch with
+              | Some fr ->
+                List.iter
+                  (fun (nd : Graph.node) -> kernel_hook ~gid ~node:nd.Graph.nid)
+                  members;
+                store ~gid ~step fr.Backend.fr_out fr.Backend.fr_tensor;
+                List.iter
+                  (fun (nd : Graph.node) -> executed.(nd.Graph.nid) <- true)
+                  members;
+                true
+              | None -> false
+            with Sod2_error.Error _ | Invalid_argument _ | Failure _ -> false)
+          | _ -> false
+        in
+        if not fused_done then
+          List.iter
+            (fun (nd : Graph.node) ->
+              try
+                kernel_hook ~gid ~node:nd.Graph.nid;
+                exec_node ?backend (store ~gid ~step) nd;
+                executed.(nd.Graph.nid) <- true
+              with
+              | Sod2_error.Error _ | Invalid_argument _ | Failure _ ->
+                (* A fused/specialized kernel misbehaved: leave the node for
+                   the reference fallback sweep. *)
+                faulted.(nd.Graph.nid) <- true;
+                degraded := true;
+                incident ~gid ~step Kernel_fault
+                  (Printf.sprintf "node %d (%s) raised during planned execution"
+                     nd.Graph.nid nd.Graph.nname))
+            members
       end
       else begin
         (* A group whose missing inputs are all provably dead sits on an

@@ -147,7 +147,7 @@ let rec micro4x2u4 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31 =
       (c31 +. (a3 *. b1))
   end
 
-let gemm ?(par = sequential) ?(tiles = default_tiles) ~m ~n ~k ~a ~ao ~b ~bo ~c ~co () =
+let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~m ~n ~k ~a ~ao ~b ~bo ~c ~co () =
   if m > 0 && n > 0 && k > 0 then begin
     let { tm; tn; tk; kunroll } = tiles in
     let npairs = ceil_div n 2 in
@@ -217,6 +217,9 @@ let gemm ?(par = sequential) ?(tiles = default_tiles) ~m ~n ~k ~a ~ao ~b ~bo ~c 
             else if kunroll >= 2 then micro4x2u2
             else micro4x2
           in
+          (* Epilogue fires exactly once per element, on the final k-block's
+             write-back, while the micro-tile is still in registers. *)
+          let ep = if kb = nkb - 1 then epilogue else None in
           for jt = 0 to jt_count - 1 do
             let jp_end = min npairs ((jt + 1) * jpt) in
             for ip = 0 to mquads - 1 do
@@ -230,31 +233,51 @@ let gemm ?(par = sequential) ?(tiles = default_tiles) ~m ~n ~k ~a ~ao ~b ~bo ~c 
                 let j = jp * 2 in
                 let wide = j + 1 < n in
                 let ci = co + (i * n) + j in
-                c.(ci) <- c.(ci) +. c00;
-                if wide then c.(ci + 1) <- c.(ci + 1) +. c01;
-                if rows > 1 then begin
-                  let ci1 = ci + n in
-                  c.(ci1) <- c.(ci1) +. c10;
-                  if wide then c.(ci1 + 1) <- c.(ci1 + 1) +. c11;
-                  if rows > 2 then begin
-                    let ci2 = ci1 + n in
-                    c.(ci2) <- c.(ci2) +. c20;
-                    if wide then c.(ci2 + 1) <- c.(ci2 + 1) +. c21;
-                    if rows > 3 then begin
-                      let ci3 = ci2 + n in
-                      c.(ci3) <- c.(ci3) +. c30;
-                      if wide then c.(ci3 + 1) <- c.(ci3 + 1) +. c31
+                (match ep with
+                | None ->
+                  c.(ci) <- c.(ci) +. c00;
+                  if wide then c.(ci + 1) <- c.(ci + 1) +. c01;
+                  if rows > 1 then begin
+                    let ci1 = ci + n in
+                    c.(ci1) <- c.(ci1) +. c10;
+                    if wide then c.(ci1 + 1) <- c.(ci1 + 1) +. c11;
+                    if rows > 2 then begin
+                      let ci2 = ci1 + n in
+                      c.(ci2) <- c.(ci2) +. c20;
+                      if wide then c.(ci2 + 1) <- c.(ci2 + 1) +. c21;
+                      if rows > 3 then begin
+                        let ci3 = ci2 + n in
+                        c.(ci3) <- c.(ci3) +. c30;
+                        if wide then c.(ci3 + 1) <- c.(ci3 + 1) +. c31
+                      end
                     end
                   end
-                end
+                | Some f ->
+                  c.(ci) <- f ci (c.(ci) +. c00);
+                  if wide then c.(ci + 1) <- f (ci + 1) (c.(ci + 1) +. c01);
+                  if rows > 1 then begin
+                    let ci1 = ci + n in
+                    c.(ci1) <- f ci1 (c.(ci1) +. c10);
+                    if wide then c.(ci1 + 1) <- f (ci1 + 1) (c.(ci1 + 1) +. c11);
+                    if rows > 2 then begin
+                      let ci2 = ci1 + n in
+                      c.(ci2) <- f ci2 (c.(ci2) +. c20);
+                      if wide then c.(ci2 + 1) <- f (ci2 + 1) (c.(ci2 + 1) +. c21);
+                      if rows > 3 then begin
+                        let ci3 = ci2 + n in
+                        c.(ci3) <- f ci3 (c.(ci3) +. c30);
+                        if wide then c.(ci3 + 1) <- f (ci3 + 1) (c.(ci3 + 1) +. c31)
+                      end
+                    end
+                  end)
               done
             done
           done
         done)
   end
 
-let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ~stride ~pad ~dilation
-    ~groups x w bias =
+let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~stride ~pad
+    ~dilation ~groups x w bias =
   let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
   let n = dx.(0) and c = dx.(1) and h = dx.(2) and wd = dx.(3) in
   let m = dw.(0) and cg = dw.(1) and kh = dw.(2) and kw = dw.(3) in
@@ -312,8 +335,10 @@ let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ~stride ~pad ~dil
             done
           done
         done;
-        gemm ~par ~tiles ~m:mg ~n:ndim ~k:kdim ~a:wsrc ~ao:(g * mg * kdim) ~b:col ~bo:0
-          ~c:dst
+        (* [co] makes the gemm's write indices global flat offsets into the
+           conv output, so the epilogue observes true output coordinates. *)
+        gemm ~par ~tiles ?epilogue ~m:mg ~n:ndim ~k:kdim ~a:wsrc ~ao:(g * mg * kdim)
+          ~b:col ~bo:0 ~c:dst
           ~co:(((ni * m) + (g * mg)) * ndim)
           ()
       done

@@ -38,18 +38,27 @@ val tiles_of : tile_m:int -> tile_n:int -> tile_k:int -> unroll:int -> tiles
     to sane minima so degenerate configs cannot starve the kernel). *)
 
 val gemm :
-  ?par:par -> ?tiles:tiles -> m:int -> n:int -> k:int ->
-  a:float array -> ao:int -> b:float array -> bo:int ->
+  ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) -> m:int -> n:int ->
+  k:int -> a:float array -> ao:int -> b:float array -> bo:int ->
   c:float array -> co:int -> unit -> unit
 (** [gemm ~m ~n ~k ~a ~ao ~b ~bo ~c ~co] accumulates the row-major product
     [A(m×k) · B(k×n)] into [C(m×n)]: [c += a·b], reading each operand at
     its flat offset.  [C] is {e accumulated into}, not overwritten, so
-    callers zero- or bias-initialize it. *)
+    callers zero- or bias-initialize it.
+
+    [epilogue ci v] rewrites the finished value [v] of element [ci] (a flat
+    index into [c]) during the final k-block's micro-tile write-back —
+    fused-group execution uses it to apply bias/activation chains without a
+    second pass over [C].  It is called exactly once per element, only
+    after the full depth [k] has been accumulated. *)
 
 val conv2d_im2col :
-  ?par:par -> ?tiles:tiles ->
+  ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) ->
   stride:int * int -> pad:int * int * int * int -> dilation:int * int ->
   groups:int -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
 (** Drop-in replacement for {!Linalg.conv2d}: same NCHW/OIHW layouts, same
     validation, same output; internally each (image, group) pair becomes a
-    [mg × (oh·ow) × (cg·kh·kw)] GEMM over the packed column matrix. *)
+    [mg × (oh·ow) × (cg·kh·kw)] GEMM over the packed column matrix.
+    [epilogue] is forwarded to the underlying {!gemm} write-back with flat
+    indices into the NCHW output (it never fires if the output or kernel
+    volume is empty). *)

@@ -128,7 +128,7 @@ let check_conv name conv =
     conv_cases
 
 let test_conv_im2col_matches_naive () =
-  check_conv "im2col" (Blocked.conv2d_im2col ?par:None ?tiles:None)
+  check_conv "im2col" (Blocked.conv2d_im2col ?par:None ?tiles:None ?epilogue:None)
 
 let test_conv_im2col_parallel_matches_naive () =
   let pool = RT.Domain_pool.create 3 in
@@ -136,7 +136,7 @@ let test_conv_im2col_parallel_matches_naive () =
     ~finally:(fun () -> RT.Domain_pool.shutdown pool)
     (fun () ->
       let par = RT.Domain_pool.par pool in
-      check_conv "im2col/parallel" (Blocked.conv2d_im2col ~par ?tiles:None))
+      check_conv "im2col/parallel" (Blocked.conv2d_im2col ~par ?tiles:None ?epilogue:None))
 
 (* ------------------------------------------------------------------ *)
 (* Backend dispatch                                                    *)

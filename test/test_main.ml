@@ -11,6 +11,7 @@ let () =
       "core", Suite_core.suite;
       "runtime", Suite_runtime.suite;
       "kernels", Suite_kernels.suite;
+      "fused", Suite_fused.suite;
       "guard", Suite_guard.suite;
       "models", Suite_models.suite;
       "frameworks", Suite_frameworks.suite;
