@@ -17,6 +17,8 @@ let samples = ref 50
 let run_bechamel = ref true
 let run_tables = ref true
 let run_kernels = ref true
+let run_arena = ref true
+let arena_smoke = ref false
 let smoke_backend = ref None
 
 let () =
@@ -32,6 +34,16 @@ let () =
       run_tables := false;
       parse rest
     | "--no-kernels" :: rest ->
+      run_kernels := false;
+      parse rest
+    | "--no-arena" :: rest ->
+      run_arena := false;
+      parse rest
+    | "--arena-smoke" :: rest ->
+      (* CI mode: only the arena micro-benchmarks + equivalence check. *)
+      arena_smoke := true;
+      run_bechamel := false;
+      run_tables := false;
       run_kernels := false;
       parse rest
     | "--backend" :: v :: rest ->
@@ -161,13 +173,13 @@ let tests () =
 module RT = Sod2_runtime
 
 (* Wall-clock (not CPU) time so the domain pool is credited for overlap. *)
-let time_runs f =
+let time_runs ?(budget = 0.3) f =
   f ();
   (* warm-up *)
   let t0 = Unix.gettimeofday () in
   f ();
   let once = Unix.gettimeofday () -. t0 in
-  let reps = max 2 (min 60 (int_of_float (0.3 /. Float.max 1e-6 once))) in
+  let reps = max 2 (min 60 (int_of_float (budget /. Float.max 1e-6 once))) in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to reps do
     f ()
@@ -340,6 +352,230 @@ let fused_speedups () =
     (geomean [ chain; conv ])
     (geomean [ chain; conv; gemm ])
 
+(* ------------------------------------------------------------------ *)
+(* Arena vs malloc: planned destination-passing execution              *)
+(* ------------------------------------------------------------------ *)
+
+(* Memory-bound pointwise ladder: each layer is Add then Mul, and the
+   layer input feeds both ops — two consumers, so fusion cannot melt a
+   layer into its predecessor.  Every layer boundary therefore
+   materializes with an arena slot, per-element arithmetic is two cheap
+   ops, and the dominant malloc-mode cost (allocation + zero-fill + GC of
+   one full tensor per layer) is exactly what destination-passing
+   removes. *)
+let ladder_graph ~layers dims =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints dims) in
+  let c =
+    Graph.Builder.const b ~name:"c"
+      (Tensor.map_f (fun v -> (0.2 *. v) +. 1.0) (Tensor.rand_uniform (Rng.create 11) dims))
+  in
+  let z = ref x in
+  for _ = 1 to layers do
+    let a = Graph.Builder.node1 b (Op.Binary Op.Add) [ !z; c ] in
+    z := Graph.Builder.node1 b (Op.Binary Op.Mul) [ !z; a ]
+  done;
+  Graph.Builder.set_outputs b [ !z ];
+  Graph.Builder.finish b
+
+(* Low-arithmetic-intensity conv microbench: each layer is a shallow 1x1
+   convolution feeding a Sub recurrence stream [a_j = a_{j-1} - a_{j-2}].
+   Every stream tensor (and the conv output) has two consumers, so fusion
+   cannot form groups around them: each op executes on the per-op
+   destination-passing path and each boundary is an arena-planned tensor —
+   malloc mode pays one full-tensor allocation per op that the arena
+   removes.  The recurrence x_j = x_{j-1} - x_{j-2} is periodic (period 6),
+   so values stay bounded over arbitrarily many steps. *)
+let conv_stream_graph ~layers ~subs ~ch ~hw () =
+  let b = Graph.Builder.create () in
+  let rng = Rng.create 23 in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints [ 1; ch; hw; hw ]) in
+  (* [p]/[q] are the previous layer's last two stream values; feeding [q]
+     into this layer's first Sub gives every stream tensor (except the
+     final pair) a second consumer, which keeps fusion from folding the
+     tail into a group whose internal tensor would lose its arena slot. *)
+  let p = ref x and q = ref x in
+  for i = 1 to layers do
+    let w =
+      Graph.Builder.const b ~name:(Printf.sprintf "w%d" i)
+        (Tensor.map_f (fun v -> (v -. 0.5) /. float_of_int ch) (Tensor.rand_uniform rng [ ch; ch; 1; 1 ]))
+    in
+    let bias =
+      Graph.Builder.const b ~name:(Printf.sprintf "cb%d" i) (Tensor.rand_uniform rng [ ch ])
+    in
+    let conv =
+      Graph.Builder.node1 b
+        (Op.Conv { stride = 1, 1; pads = 0, 0, 0, 0; dilation = 1, 1; groups = 1 })
+        [ !p; w; bias ]
+    in
+    let prev = ref conv and cur = ref (Graph.Builder.node1 b (Op.Binary Op.Sub) [ conv; !q ]) in
+    for _ = 2 to subs do
+      let nxt = Graph.Builder.node1 b (Op.Binary Op.Sub) [ !cur; !prev ] in
+      prev := !cur;
+      cur := nxt
+    done;
+    p := !cur;
+    q := !prev
+  done;
+  Graph.Builder.set_outputs b [ !p ];
+  Graph.Builder.finish b
+
+(* Pure pointwise Sub-recurrence chain: the two-consumer structure defeats
+   fusion entirely, so every step is a singleton op whose output is
+   arena-planned — per-op destination execution with no boxed intermediates
+   and no copy-outs (except the terminal pair feeding the graph output). *)
+let chain_stream_graph ~steps dims =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints dims) in
+  let c =
+    Graph.Builder.const b ~name:"c"
+      (Tensor.map_f (fun v -> 0.5 *. v) (Tensor.rand_uniform (Rng.create 17) dims))
+  in
+  let prev = ref x and cur = ref (Graph.Builder.node1 b (Op.Binary Op.Sub) [ x; c ]) in
+  for _ = 2 to steps do
+    let nxt = Graph.Builder.node1 b (Op.Binary Op.Sub) [ !cur; !prev ] in
+    prev := !cur;
+    cur := nxt
+  done;
+  Graph.Builder.set_outputs b [ !cur ];
+  Graph.Builder.finish b
+
+let close_outputs a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ta, va) (tb, vb) ->
+         ta = tb
+         && Tensor.dims va = Tensor.dims vb
+         &&
+         let da = Tensor.data_f va and db = Tensor.data_f vb in
+         let ok = ref true in
+         Array.iteri
+           (fun i x ->
+             if Float.abs (x -. db.(i)) > 1e-4 *. (1.0 +. Float.abs x) then ok := false)
+           da;
+         !ok)
+       a b
+
+type arena_case = {
+  ac_model : string;
+  ac_arena_bytes : int;
+  ac_instantiate_us : float;
+  ac_cached_us : float;
+  ac_rows : (string * float * float) list;  (* backend, malloc s, arena s *)
+}
+
+let arena_bench ~smoke () =
+  Printf.printf "\n=== Arena vs malloc: planned destination-passing execution ===\n";
+  Printf.printf "  %-26s %-8s %10s %10s %8s\n" "model" "backend" "malloc ms" "arena ms"
+    "speedup";
+  let cases = ref [] in
+  let equivalence_ok = ref true in
+  let bench_model ?(check = false) name g ~env ~inputs =
+    let c = Sod2.Pipeline.compile cpu g in
+    let instantiate_us =
+      time_runs (fun () ->
+          ignore (Sod2.Mem_plan.instantiate c.Sod2.Pipeline.mem_symbolic ~env))
+      *. 1e6
+    in
+    let cached_us =
+      time_runs (fun () -> ignore (Sod2.Pipeline.instantiated_plan c env)) *. 1e6
+    in
+    let arena_bytes = (Sod2.Pipeline.instantiated_plan c env).Sod2.Mem_plan.arena_bytes in
+    let reference = ref None in
+    let rows =
+      List.map
+        (fun kind ->
+          let be = RT.Backend.for_compiled kind c in
+          Fun.protect
+            ~finally:(fun () -> RT.Backend.shutdown be)
+            (fun () ->
+              (* Steady state: one persistent grow-only arena, plan served
+                 from the binding cache after the warm-up run inside
+                 [time_runs].  Modes are measured in alternating rounds and
+                 the minimum kept, so scheduler/GC noise does not land on
+                 one mode only. *)
+              let arena = RT.Arena.create () in
+              let run_m () = ignore (RT.Executor.run_real ~backend:be c ~inputs) in
+              let run_a () = ignore (RT.Arena_exec.run ~backend:be ~arena c ~env ~inputs) in
+              let tm = ref infinity and ta = ref infinity in
+              for _ = 1 to 5 do
+                (* Collect before each window so neither mode is billed for
+                   the other's garbage. *)
+                Gc.full_major ();
+                tm := Float.min !tm (time_runs ~budget:0.12 run_m);
+                Gc.full_major ();
+                ta := Float.min !ta (time_runs ~budget:0.12 run_a)
+              done;
+              let tm = !tm and ta = !ta in
+              if check then begin
+                let r = RT.Arena_exec.run ~backend:be ~arena c ~env ~inputs in
+                (match !reference with
+                | None ->
+                  let _, outs = RT.Executor.run_real c ~inputs in
+                  reference := Some outs
+                | Some _ -> ());
+                let ok = close_outputs (Option.get !reference) r.RT.Arena_exec.outputs in
+                if not ok then begin
+                  equivalence_ok := false;
+                  Printf.printf "  %-26s EQUIVALENCE FAILURE on %s arena outputs!\n" name
+                    (RT.Backend.kind_name kind)
+                end
+              end;
+              Printf.printf "  %-26s %-8s %10.3f %10.3f %7.2fx\n" name
+                (RT.Backend.kind_name kind) (tm *. 1e3) (ta *. 1e3) (tm /. ta);
+              RT.Backend.kind_name kind, tm, ta))
+        [ RT.Backend.Naive; RT.Backend.Blocked; RT.Backend.Fused ]
+    in
+    cases :=
+      { ac_model = name; ac_arena_bytes = arena_bytes; ac_instantiate_us = instantiate_us;
+        ac_cached_us = cached_us; ac_rows = rows }
+      :: !cases
+  in
+  let chain_dims = [ 256; 1024 ] in
+  bench_model ~check:true "chain-stream-256x1024" (chain_stream_graph ~steps:16 chain_dims)
+    ~env:Env.empty
+    ~inputs:[ 0, Tensor.rand_uniform (Rng.create 3) chain_dims ];
+  bench_model ~check:true "chain-ladder-256x1024" (ladder_graph ~layers:8 chain_dims)
+    ~env:Env.empty
+    ~inputs:[ 0, Tensor.rand_uniform (Rng.create 3) chain_dims ];
+  bench_model ~check:true "conv1x1-stream-4x64x64"
+    (conv_stream_graph ~layers:5 ~subs:28 ~ch:4 ~hw:64 ())
+    ~env:Env.empty
+    ~inputs:[ 0, Tensor.rand_uniform (Rng.create 3) [ 1; 4; 64; 64 ] ];
+  if not smoke then begin
+    let bert_g = graph_of bert in
+    let env = Env.of_list [ "S", 32 ] in
+    bench_model "codebert-S32" bert_g ~env ~inputs:(Zoo.make_inputs bert bert_g env (Rng.create 5))
+  end;
+  (* machine-readable trajectory: BENCH_arena.json *)
+  let oc = open_out "BENCH_arena.json" in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n";
+  let cases = List.rev !cases in
+  List.iteri
+    (fun i case ->
+      Printf.fprintf oc
+        "    {\"model\": %S, \"arena_bytes\": %d, \"plan_instantiate_us\": %.2f, \
+         \"plan_cached_lookup_us\": %.3f,\n     \"backends\": [" case.ac_model
+        case.ac_arena_bytes case.ac_instantiate_us case.ac_cached_us;
+      List.iteri
+        (fun j (backend, tm, ta) ->
+          Printf.fprintf oc
+            "%s{\"backend\": %S, \"malloc_ms\": %.4f, \"arena_ms\": %.4f, \
+             \"speedup\": %.3f}"
+            (if j = 0 then "" else ", ")
+            backend (tm *. 1e3) (ta *. 1e3) (tm /. ta))
+        case.ac_rows;
+      Printf.fprintf oc "]}%s\n" (if i = List.length cases - 1 then "" else ","))
+    cases;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_arena.json\n";
+  if not !equivalence_ok then begin
+    Printf.printf "  arena equivalence check FAILED\n";
+    exit 1
+  end
+  else Printf.printf "  arena outputs match the reference executor\n"
+
 let backend_smoke kind =
   let bert_g = graph_of bert in
   let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
@@ -394,6 +630,7 @@ let () =
     kernel_speedups ();
     fused_speedups ()
   end;
+  if !run_arena || !arena_smoke then arena_bench ~smoke:!arena_smoke ();
   (match !smoke_backend with
   | Some kind -> backend_smoke kind
   | None -> ());

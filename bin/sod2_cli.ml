@@ -128,7 +128,7 @@ let compile_cmd =
 (* --- run ----------------------------------------------------------- *)
 
 let run_cmd =
-  let run model device dims real arena backend =
+  let run model device dims real arena backend memory =
     let sp = spec_of_name model in
     let profile = profile_of_name device in
     let g = sp.build () in
@@ -141,29 +141,41 @@ let run_cmd =
           backend;
         exit 2
     in
-    if arena then begin
-      let c = Sod2.Pipeline.compile profile g in
-      let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
-      let r = Sod2_runtime.Arena_exec.run c ~env ~inputs in
-      Printf.printf "arena: %d bytes, %d resident tensors\n"
-        r.Sod2_runtime.Arena_exec.arena_bytes r.Sod2_runtime.Arena_exec.arena_resident;
-      List.iter
-        (fun (tid, t) -> Format.printf "output t%d = %a@." tid Tensor.pp t)
-        r.Sod2_runtime.Arena_exec.outputs
-    end
-    else if real then begin
+    (* --arena is the legacy spelling of --memory arena. *)
+    let arena_mode =
+      match memory with
+      | "malloc" -> arena
+      | "arena" -> true
+      | other ->
+        Printf.eprintf "unknown memory mode %S (expected malloc|arena)\n" other;
+        exit 2
+    in
+    if real || arena_mode then begin
       let c = Sod2.Pipeline.compile profile g in
       let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
       let be = Sod2_runtime.Backend.for_compiled backend_kind c in
       Fun.protect
         ~finally:(fun () -> Sod2_runtime.Backend.shutdown be)
         (fun () ->
-          let trace, outs = Sod2_runtime.Executor.run_real ~backend:be c ~inputs in
-          Printf.printf "executed %d nodes (%d fused groups, %s backend, %d domains)\n"
-            trace.Sod2_runtime.Executor.nodes_executed
-            (List.length trace.Sod2_runtime.Executor.steps)
-            (Sod2_runtime.Backend.kind_name backend_kind)
-            (Sod2_runtime.Backend.pool_size be);
+          let outs =
+            if arena_mode then begin
+              let r = Sod2_runtime.Arena_exec.run ~backend:be c ~env ~inputs in
+              Printf.printf "arena: %d bytes, %d resident tensors (%s backend)\n"
+                r.Sod2_runtime.Arena_exec.arena_bytes
+                r.Sod2_runtime.Arena_exec.arena_resident
+                (Sod2_runtime.Backend.kind_name backend_kind);
+              r.Sod2_runtime.Arena_exec.outputs
+            end
+            else begin
+              let trace, outs = Sod2_runtime.Executor.run_real ~backend:be c ~inputs in
+              Printf.printf "executed %d nodes (%d fused groups, %s backend, %d domains)\n"
+                trace.Sod2_runtime.Executor.nodes_executed
+                (List.length trace.Sod2_runtime.Executor.steps)
+                (Sod2_runtime.Backend.kind_name backend_kind)
+                (Sod2_runtime.Backend.pool_size be);
+              outs
+            end
+          in
           if backend_kind = Sod2_runtime.Backend.Fused then begin
             let fs = Sod2_runtime.Backend.fused_stats be in
             Printf.printf
@@ -195,7 +207,16 @@ let run_cmd =
   let arena =
     Arg.(value & flag
          & info [ "arena" ]
-             ~doc:"Interpret with every planned tensor at its memory-plan offset.")
+             ~doc:"Shorthand for --memory arena.")
+  in
+  let memory =
+    Arg.(value & opt string "malloc"
+         & info [ "memory" ] ~docv:"MODE"
+             ~doc:"Memory discipline for real interpretation: malloc (fresh \
+                   tensor per result) or arena (every planned tensor lives at \
+                   its symbolic memory-plan offset in one grow-only buffer; \
+                   destination-passing kernels write results in place).  \
+                   Composes with --backend.")
   in
   let backend =
     Arg.(value & opt string "naive"
@@ -207,9 +228,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Run one inference (simulated by default; --real interprets, --arena \
-             additionally executes the memory plan).")
-    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena $ backend)
+       ~doc:"Run one inference (simulated by default; --real interprets, --memory \
+             arena additionally executes the memory plan in place).")
+    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena $ backend $ memory)
 
 (* --- compare ------------------------------------------------------- *)
 

@@ -46,6 +46,11 @@ type kernel = {
       (** concrete output dims of every member, terminal included *)
   k_run : par:Blocked.par -> Tensor.t array -> Tensor.t;
       (** args in slot order; returns the terminal tensor *)
+  k_run_into :
+    par:Blocked.par -> Tensor.view array -> c:float array -> co:int -> unit;
+      (** destination-passing variant: args arrive as offset-carrying
+          views, the terminal result is written into [c] at element offset
+          [co] — the arena executor points this at a planned slot *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -207,7 +212,7 @@ exception Spec_fail of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Spec_fail s)) fmt
 
-type env = { args : Tensor.t array; acc : float array }
+type env = { args : Tensor.view array; acc : float array }
 
 (* One compiled expression node: its concrete dims, whether its subtree
    reads the anchor accumulator, and a maker that — given the call's
@@ -225,20 +230,19 @@ let numel_of (d : int array) = Array.fold_left ( * ) 1 d
 
 let grain = 16_384
 
-let fill par (dst : float array) gfn =
-  let len = Array.length dst in
-  if len >= 2 * grain then
+let fill_into par (dst : float array) ~off ~n gfn =
+  if n >= 2 * grain then
     par.Blocked.run
-      ((len + grain - 1) / grain)
+      ((n + grain - 1) / grain)
       (fun ci ->
         let lo = ci * grain in
-        let hi = min len (lo + grain) - 1 in
+        let hi = min n (lo + grain) - 1 in
         for i = lo to hi do
-          Array.unsafe_set dst i (gfn i 0.0)
+          Array.unsafe_set dst (off + i) (gfn i 0.0)
         done)
   else
-    for i = 0 to len - 1 do
-      Array.unsafe_set dst i (gfn i 0.0)
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst (off + i) (gfn i 0.0)
     done
 
 let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked.tiles)
@@ -347,8 +351,10 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
               on_acc = false;
               mk =
                 (fun env ->
-                  let d = Tensor.data_f env.args.(si) in
-                  fun i _ -> Array.unsafe_get d i);
+                  let v = env.args.(si) in
+                  let d = v.Tensor.vbuf and o = v.Tensor.voff in
+                  if o = 0 then fun i _ -> Array.unsafe_get d i
+                  else fun i _ -> Array.unsafe_get d (o + i));
             }
           | None -> fail "tensor %d consumed before being produced" tid
         in
@@ -492,17 +498,24 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
       (Hashtbl.find infos tpl.t_out, not !violated)
     in
 
+    let term_dims_l = Array.to_list term_dims in
+    let mk_kernel k_run_into =
+      let k_run ~par targs =
+        let out = Tensor.zeros Tensor.F32 term_dims_l in
+        k_run_into ~par (Array.map Tensor.view_f targs) ~c:(Tensor.data_f out) ~co:0;
+        out
+      in
+      { k_out = tpl.t_out; k_dims = member_dims; k_run; k_run_into }
+    in
     match tpl.t_anchor with
     | None ->
       let root, _ = build ~wb:false in
-      let out_dims = Array.to_list term_dims in
-      let k_run ~par args =
-        let out = Tensor.zeros Tensor.F32 out_dims in
+      let n_out = numel_of term_dims in
+      let k_run_into ~par (args : Tensor.view array) ~c ~co =
         let gfn = root.mk { args; acc = [||] } in
-        fill par (Tensor.data_f out) gfn;
-        out
+        fill_into par c ~off:co ~n:n_out gfn
       in
-      Ok { k_out = tpl.t_out; k_dims = member_dims; k_run }
+      Ok (mk_kernel k_run_into)
     | Some anc ->
       let aout = Option.get anchor_out in
       let adims = dims_of aout in
@@ -523,117 +536,126 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
         | None -> fail "anchor input %d is not an external slot" tid
       in
       let anchor_slots = List.map slot anc.Graph.inputs in
-      let blocked_inner par epilogue ~m ~n ~k ~a ~ao ~b ~bo ~c ~co =
-        Blocked.gemm ~par ~tiles:tl ?epilogue ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ()
+      let blocked_inner par epilogue ep_off ~m ~n ~k ~a ~ao ~b ~bo ~c ~co =
+        Blocked.gemm ~par ~tiles:tl ?epilogue ~ep_off ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ()
       in
-      (* [run_anchor ~par ~ep args] executes the heavy op with the blocked
-         kernels (naive for Tiny problems, exactly like the per-op
-         backend); [ep], when present, fires once per output element at
-         write-back with global flat indices. *)
-      let run_anchor =
+      (* [run_anchor_into ~par ~ep args ~c ~co] executes the heavy op with
+         the blocked kernels (naive for Tiny problems, exactly like the
+         per-op backend), writing the result into [c] at element offset
+         [co]; [ep], when present, fires once per output element at
+         write-back with output-relative flat indices (the write-back
+         subtracts [co] inline, so arena destinations cost no shim). *)
+      let run_anchor_into =
         match anc.Graph.op, anchor_slots with
         | Op.MatMul, [ ia; ib ] ->
-          fun ~par ~ep (args : Tensor.t array) ->
-            if cls = Multi_version.Tiny then Linalg.matmul args.(ia) args.(ib)
-            else Linalg.matmul ~inner:(blocked_inner par ep) args.(ia) args.(ib)
+          fun ~par ~ep (args : Tensor.view array) ~c ~co ->
+            if cls = Multi_version.Tiny then
+              ignore (Linalg.matmul_into args.(ia) args.(ib) ~c ~co)
+            else
+              ignore
+                (Linalg.matmul_into ~inner:(blocked_inner par ep co) args.(ia)
+                   args.(ib) ~c ~co)
         | Op.Gemm { alpha; beta; trans_a; trans_b }, ia :: ib :: rest ->
           let ic = match rest with [ i ] -> Some i | _ -> None in
-          fun ~par ~ep args ->
+          fun ~par ~ep args ~c ~co ->
             let a = args.(ia) and b = args.(ib) in
-            let c = Option.map (fun i -> args.(i)) ic in
+            let cv = Option.map (fun i -> args.(i)) ic in
             if cls = Multi_version.Tiny then
-              Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c
+              ignore (Linalg.gemm_into ~alpha ~beta ~trans_a ~trans_b a b cv ~c ~co)
             else (
               match ep with
               | None ->
-                Linalg.gemm ~inner:(blocked_inner par None) ~alpha ~beta ~trans_a
-                  ~trans_b a b c
+                ignore
+                  (Linalg.gemm_into ~inner:(blocked_inner par None co) ~alpha ~beta
+                     ~trans_a ~trans_b a b cv ~c ~co)
               | Some ep ->
                 (* Fold the Gemm post-ops (alpha scale, beta·C add) into
                    the epilogue in the reference's evaluation order, then
-                   run the bare product. *)
+                   run the bare product.  [ep] and the C-operand broadcast
+                   both use output-relative indices. *)
                 let ep' =
-                  match c with
+                  match cv with
                   | None ->
                     if alpha = 1.0 then ep else fun ci v -> ep ci (v *. alpha)
                   | Some ct ->
-                    let cd = Tensor.data_f ct in
+                    let cd = ct.Tensor.vbuf and cdo = ct.Tensor.voff in
                     let get =
-                      match broadcast_map ~od:adims ~fd:(Tensor.dims_arr ct) with
-                      | Id -> fun i -> Array.unsafe_get cd i
-                      | Tbl t -> fun i -> Array.unsafe_get cd (Array.unsafe_get t i)
-                      | Strided (od, ss) -> fun i -> cd.(strided_index od ss i)
+                      match
+                        broadcast_map ~od:adims ~fd:(Array.of_list ct.Tensor.vdims)
+                      with
+                      | Id -> fun i -> Array.unsafe_get cd (cdo + i)
+                      | Tbl t ->
+                        fun i -> Array.unsafe_get cd (cdo + Array.unsafe_get t i)
+                      | Strided (od, ss) -> fun i -> cd.(cdo + strided_index od ss i)
                     in
                     let scale v = if alpha = 1.0 then v else v *. alpha in
                     fun ci v -> ep ci (scale v +. (beta *. get ci))
                 in
-                Linalg.gemm
-                  ~inner:(blocked_inner par (Some ep'))
-                  ~alpha:1.0 ~beta:1.0 ~trans_a ~trans_b a b None)
+                ignore
+                  (Linalg.gemm_into
+                     ~inner:(blocked_inner par (Some ep') co)
+                     ~alpha:1.0 ~beta:1.0 ~trans_a ~trans_b a b None ~c ~co))
         | Op.Conv { stride; pads; dilation; groups }, ia :: ib :: rest ->
           let ibias = match rest with [ i ] -> Some i | _ -> None in
-          fun ~par ~ep args ->
+          fun ~par ~ep args ~c ~co ->
             let x = args.(ia) and w = args.(ib) in
             let b = Option.map (fun i -> args.(i)) ibias in
             if cls = Multi_version.Tiny then
-              Linalg.conv2d ~stride ~pad:pads ~dilation ~groups x w b
+              ignore (Linalg.conv2d_into ~stride ~pad:pads ~dilation ~groups x w b ~c ~co)
             else
-              Blocked.conv2d_im2col ~par ~tiles:tl ?epilogue:ep ~stride ~pad:pads
-                ~dilation ~groups x w b
+              ignore
+                (Blocked.conv2d_im2col_into ~par ~tiles:tl ?epilogue:ep ~ep_off:co
+                   ~stride ~pad:pads ~dilation ~groups x w b ~c ~co)
         | Op.Conv1d { stride1; pads1; dilation1; groups1 }, ia :: ib :: rest ->
           let ibias = match rest with [ i ] -> Some i | _ -> None in
-          fun ~par ~ep args ->
+          (match in_dims with
+          | [ _; _; _ ] :: ([ _; _; _ ] :: _) -> ()
+          | _ -> fail "Conv1d anchor expects 3-d operands");
+          fun ~par ~ep args ~c ~co ->
             let x = args.(ia) and w = args.(ib) in
             let b = Option.map (fun i -> args.(i)) ibias in
-            if cls = Multi_version.Tiny then
-              Linalg.conv1d ~stride:stride1 ~pad:pads1 ~dilation:dilation1
-                ~groups:groups1 x w b
-            else (
-              (* Unit-height lowering onto conv2d; the 4-d [n;m;1;ol]
-                 output is flat-identical to the 3-d result, so epilogue
-                 indices carry over. *)
-              match Tensor.dims x, Tensor.dims w with
-              | [ nn; c; l ], [ mm; cg; kk ] ->
-                let x' = Tensor.reshape x [ nn; c; 1; l ] in
-                let w' = Tensor.reshape w [ mm; cg; 1; kk ] in
-                let pl, pr = pads1 in
-                let out =
-                  Blocked.conv2d_im2col ~par ~tiles:tl ?epilogue:ep
-                    ~stride:(1, stride1) ~pad:(0, pl, 0, pr) ~dilation:(1, dilation1)
-                    ~groups:groups1 x' w' b
-                in
-                (match Tensor.dims out with
-                | [ n'; m'; 1; ol ] -> Tensor.reshape out [ n'; m'; ol ]
-                | _ -> assert false)
-              | _ ->
-                Linalg.conv1d ~stride:stride1 ~pad:pads1 ~dilation:dilation1
-                  ~groups:groups1 x w b)
+            (* Unit-height lowering onto conv2d; the 4-d [n;m;1;ol] output
+               is flat-identical to the 3-d result, so epilogue indices
+               carry over. *)
+            (match x.Tensor.vdims, w.Tensor.vdims with
+            | [ nn; cch; l ], [ mm; cg; kk ] ->
+              let x' = Tensor.view_reshape x [ nn; cch; 1; l ] in
+              let w' = Tensor.view_reshape w [ mm; cg; 1; kk ] in
+              let pl, pr = pads1 in
+              if cls = Multi_version.Tiny then
+                ignore
+                  (Linalg.conv2d_into ~stride:(1, stride1) ~pad:(0, pl, 0, pr)
+                     ~dilation:(1, dilation1) ~groups:groups1 x' w' b ~c ~co)
+              else
+                ignore
+                  (Blocked.conv2d_im2col_into ~par ~tiles:tl ?epilogue:ep
+                     ~ep_off:co ~stride:(1, stride1) ~pad:(0, pl, 0, pr)
+                     ~dilation:(1, dilation1) ~groups:groups1 x' w' b ~c ~co)
+            | _ -> assert false)
         | op, _ -> fail "unsupported anchor %s" (Op.name op)
       in
-      let term_dims_l = Array.to_list term_dims in
       let wb_feasible =
         cls <> Multi_version.Tiny && m > 0 && n > 0 && k > 0
         && numel_of term_dims = numel_of adims
       in
       let root_wb, wb_clean = if wb_feasible then build ~wb:true else (build ~wb:false |> fst, false) in
       if wb_feasible && wb_clean then begin
-        let k_run ~par args =
-          let ep = root_wb.mk { args; acc = [||] } in
-          let out = run_anchor ~par ~ep:(Some (fun ci v -> ep ci v)) args in
-          Tensor.reshape out term_dims_l
+        let k_run_into ~par args ~c ~co =
+          let ep0 = root_wb.mk { args; acc = [||] } in
+          run_anchor_into ~par ~ep:(Some ep0) args ~c ~co
         in
-        Ok { k_out = tpl.t_out; k_dims = member_dims; k_run }
+        Ok (mk_kernel k_run_into)
       end
       else begin
         let root, _ = build ~wb:false in
-        let k_run ~par args =
-          let anchor_t = run_anchor ~par ~ep:None args in
-          let out = Tensor.zeros Tensor.F32 term_dims_l in
-          let gfn = root.mk { args; acc = Tensor.data_f anchor_t } in
-          fill par (Tensor.data_f out) gfn;
-          out
+        let n_out = numel_of term_dims in
+        let k_run_into ~par args ~c ~co =
+          let scratch = Array.make (max 1 (numel_of adims)) 0.0 in
+          run_anchor_into ~par ~ep:None args ~c:scratch ~co:0;
+          let gfn = root.mk { args; acc = scratch } in
+          fill_into par c ~off:co ~n:n_out gfn
         in
-        Ok { k_out = tpl.t_out; k_dims = member_dims; k_run }
+        Ok (mk_kernel k_run_into)
       end
   with
   | Spec_fail msg -> Error msg

@@ -27,13 +27,35 @@ type lifetime = {
   lt_last : int;
 }
 
-let lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order ~env =
+(* One symbolic lifetime: the tensor's RDP shape (dims as affine [Expr]s
+   over the shape variables) plus its execution-step live range, both
+   env-independent.  [se_numel] is the affine element count when every dim
+   is symbolically known — the instantiation fast path and what {!pp_symbolic}
+   reports. *)
+type sym_entry = {
+  se_tid : Graph.tensor_id;
+  se_shape : Shape.t;
+  se_numel : Expr.t option;
+  se_first : int;
+  se_last : int;
+}
+
+type symbolic = {
+  sym_entries : sym_entry list;  (** in materialization order *)
+  sym_strategy : strategy;
+}
+
+(* The env-independent part of lifetime analysis: which tensors
+   materialize, their symbolic shapes and their step ranges.  Runs once per
+   compiled artifact; {!concretize} turns the result into placeable
+   lifetimes by affine evaluation alone. *)
+let symbolic_lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order =
   let n_steps = List.length order in
   let step_of_group = Hashtbl.create 64 in
   List.iteri (fun i gid -> Hashtbl.replace step_of_group gid i) order;
   let materialized = Fusion.materialized_tensors g fplan in
   let outs = Graph.outputs g in
-  let static = ref [] and dynamic = ref [] in
+  let entries = ref [] in
   List.iter
     (fun tid ->
       match Graph.producer g tid with
@@ -54,13 +76,35 @@ let lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order ~env =
                 | None -> acc)
               first (Graph.consumers g tid)
         in
-        (match Shape.eval env (Rdp.shape rdp tid) with
-        | Some dims ->
-          let size = 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims in
-          static :=
-            { lt_tid = tid; lt_size = size; lt_first = first; lt_last = last } :: !static
-        | None -> dynamic := tid :: !dynamic))
+        let shape = Rdp.shape rdp tid in
+        entries :=
+          {
+            se_tid = tid;
+            se_shape = shape;
+            se_numel = Shape.numel shape;
+            se_first = first;
+            se_last = last;
+          }
+          :: !entries)
     materialized;
+  List.rev !entries
+
+(* Affine instantiation of the symbolic lifetimes: evaluate each entry's
+   dims under [env]; entries whose shapes stay unresolved are
+   execution-determined and left to runtime malloc.  This is the only part
+   of planning that looks at the binding. *)
+let concretize ~env entries =
+  let static = ref [] and dynamic = ref [] in
+  List.iter
+    (fun e ->
+      match Shape.eval env e.se_shape with
+      | Some dims ->
+        let size = 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims in
+        static :=
+          { lt_tid = e.se_tid; lt_size = size; lt_first = e.se_first; lt_last = e.se_last }
+          :: !static
+      | None -> dynamic := e.se_tid :: !dynamic)
+    entries;
   List.rev !static, List.rev !dynamic
 
 let overlap a b = a.lt_first <= b.lt_last && b.lt_first <= a.lt_last
@@ -210,26 +254,26 @@ let place_peak_first lts =
     List.fold_left (fun best c -> if arena_of c < arena_of best then c else best) first rest
   | [] -> []
 
-let plan ?(strategy = Peak_first) (g : Graph.t) rdp fplan ~order ~env =
-  let lts, dynamic = lifetimes g rdp fplan ~order ~env in
-  let placed =
-    match strategy with
-    | Peak_first -> place_peak_first lts
-    | Greedy_first_fit -> place_in_order (order_for strategy lts)
-    | Optimal_search ->
-      if List.length lts > 9 then place_in_order (order_for Greedy_first_fit lts)
-      else
-        let best = ref None in
-        List.iter
-          (fun perm ->
-            let placed = place_in_order perm in
-            let arena = arena_of placed in
-            match !best with
-            | Some (_, a) when a <= arena -> ()
-            | _ -> best := Some (placed, arena))
-          (permutations lts);
-        (match !best with Some (p, _) -> p | None -> [])
-  in
+let place strategy lts =
+  match strategy with
+  | Peak_first -> place_peak_first lts
+  | Greedy_first_fit -> place_in_order (order_for strategy lts)
+  | Optimal_search ->
+    if List.length lts > 9 then place_in_order (order_for Greedy_first_fit lts)
+    else
+      let best = ref None in
+      List.iter
+        (fun perm ->
+          let placed = place_in_order perm in
+          let arena = arena_of placed in
+          match !best with
+          | Some (_, a) when a <= arena -> ()
+          | _ -> best := Some (placed, arena))
+        (permutations lts);
+      (match !best with Some (p, _) -> p | None -> [])
+
+let plan_of_lifetimes strategy lts ~dynamic =
+  let placed = place strategy lts in
   let allocs =
     placed
     |> List.map (fun (lt, off) ->
@@ -244,6 +288,25 @@ let plan ?(strategy = Peak_first) (g : Graph.t) rdp fplan ~order ~env =
     |> Array.of_list
   in
   { allocs; dynamic; arena_bytes = arena_of placed; strategy }
+
+let plan_raw strategy ~lifetimes:raw =
+  let lts =
+    List.mapi
+      (fun i (size, first, last) ->
+        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last })
+      raw
+  in
+  plan_of_lifetimes strategy lts ~dynamic:[]
+
+let plan_symbolic ?(strategy = Peak_first) (g : Graph.t) rdp fplan ~order =
+  { sym_entries = symbolic_lifetimes g rdp fplan ~order; sym_strategy = strategy }
+
+let instantiate sym ~env =
+  let lts, dynamic = concretize ~env sym.sym_entries in
+  plan_of_lifetimes sym.sym_strategy lts ~dynamic
+
+let plan ?(strategy = Peak_first) (g : Graph.t) rdp fplan ~order ~env =
+  instantiate (plan_symbolic ~strategy g rdp fplan ~order) ~env
 
 let live_peak_bytes t =
   live_peak
@@ -280,15 +343,7 @@ let arena_for strategy ~lifetimes =
       lifetimes
   in
   let lts = List.filter (fun lt -> lt.lt_size > 0) lts in
-  match strategy with
-  | Peak_first -> arena_of (place_peak_first lts)
-  | Greedy_first_fit -> arena_of (place_in_order (order_for strategy lts))
-  | Optimal_search ->
-    if List.length lts > 9 then arena_of (place_in_order (order_for Greedy_first_fit lts))
-    else
-      List.fold_left
-        (fun best perm -> min best (arena_of (place_in_order perm)))
-        max_int (permutations lts)
+  arena_of (place strategy lts)
 
 let pack fit ~lifetimes =
   let lts =
@@ -313,10 +368,25 @@ let optimal_arena_upper_bound t =
       (fun best perm -> min best (arena_of (place_in_order perm)))
       max_int (permutations lts)
 
+let strategy_name = function
+  | Greedy_first_fit -> "greedy"
+  | Peak_first -> "peak-first"
+  | Optimal_search -> "optimal"
+
 let pp ppf t =
   Format.fprintf ppf "memory plan (%s): %d static allocs, %d dynamic, arena %d bytes@."
-    (match t.strategy with
-    | Greedy_first_fit -> "greedy"
-    | Peak_first -> "peak-first"
-    | Optimal_search -> "optimal")
+    (strategy_name t.strategy)
     (Array.length t.allocs) (List.length t.dynamic) t.arena_bytes
+
+let pp_symbolic ppf sym =
+  Format.fprintf ppf "symbolic memory plan (%s): %d entries@."
+    (strategy_name sym.sym_strategy)
+    (List.length sym.sym_entries);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  t%d: %s elems, steps [%d, %d]@." e.se_tid
+        (match e.se_numel with
+        | Some n -> Expr.to_string n
+        | None -> "?")
+        e.se_first e.se_last)
+    sym.sym_entries

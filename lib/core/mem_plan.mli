@@ -46,7 +46,48 @@ val plan :
   ?strategy:strategy -> Graph.t -> Rdp.t -> Fusion.plan -> order:int list ->
   env:Env.t -> t
 (** Compute the plan for executing fusion groups in [order] with shape
-    variables bound by [env]. *)
+    variables bound by [env].  Equivalent to
+    [instantiate (plan_symbolic …) ~env] — the two share every pass, so
+    symbolic plans instantiated at a binding agree exactly with concrete
+    plans computed there. *)
+
+(** {1 Symbolic plans (§4.4.1, static half)}
+
+    The env-independent product of lifetime analysis: per materialized
+    tensor, its RDP shape (dims as affine {!Expr}s over the shape
+    variables) and its execution-step live range.  Computed once at
+    compile time; {!instantiate} turns it into a concrete {!t} by affine
+    evaluation of the dims followed by the placement pass — no graph
+    traversal, no re-analysis.  {!Pipeline} caches the instantiation per
+    symbol binding, so steady-state inference re-plans nothing. *)
+
+type sym_entry = {
+  se_tid : Graph.tensor_id;
+  se_shape : Shape.t;  (** RDP shape; dims are affine in the shape syms *)
+  se_numel : Expr.t option;  (** affine element count, when representable *)
+  se_first : int;
+  se_last : int;
+}
+
+type symbolic = {
+  sym_entries : sym_entry list;  (** in materialization order *)
+  sym_strategy : strategy;
+}
+
+val plan_symbolic :
+  ?strategy:strategy -> Graph.t -> Rdp.t -> Fusion.plan -> order:int list -> symbolic
+(** The compile-time half of {!plan}: everything that does not need the
+    shape-variable binding. *)
+
+val instantiate : symbolic -> env:Env.t -> t
+(** The runtime half: evaluate each entry's dims under [env] (entries that
+    stay unresolved become the plan's [dynamic] list) and place the
+    resulting lifetimes with the plan's strategy. *)
+
+val plan_raw : strategy -> lifetimes:(int * int * int) list -> t
+(** Place raw [(bytes, first_step, last_step)] lifetimes (tensor ids are
+    the list positions) into a full plan — {!arena_for} keeping the
+    placement, for property tests over {!validate}. *)
 
 val live_peak_bytes : t -> int
 (** Sum of sizes of simultaneously-live tensors at the worst step — the
@@ -75,3 +116,4 @@ val optimal_arena_upper_bound : t -> int
     exponential, only valid for small allocation counts (≤ 9). *)
 
 val pp : Format.formatter -> t -> unit
+val pp_symbolic : Format.formatter -> symbolic -> unit

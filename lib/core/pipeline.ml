@@ -18,6 +18,9 @@ type compiled = {
   fused : Fused_compile.template option array;
   flags : opt_flags;
   profile : Profile.t;
+  mem_symbolic : Mem_plan.symbolic;
+  plan_syms : string list;
+  plan_cache : (string, Mem_plan.t) Hashtbl.t;
 }
 
 let env_with_all_syms g v =
@@ -66,16 +69,65 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
   in
   let kernel_classes = kernel_classes_of graph rdp ~env in
   let fused = Fused_compile.plan graph fusion_plan in
-  { graph; rdp; fusion_plan; exec; versions; kernel_classes; fused; flags; profile }
+  let mem_symbolic =
+    Mem_plan.plan_symbolic
+      ~strategy:(if flags.dmp then Mem_plan.Peak_first else Mem_plan.Greedy_first_fit)
+      graph rdp fusion_plan ~order:exec.Exec_plan.order
+  in
+  let plan_syms =
+    List.concat_map
+      (fun (e : Mem_plan.sym_entry) -> Shape.free_syms e.Mem_plan.se_shape)
+      mem_symbolic.Mem_plan.sym_entries
+    |> List.sort_uniq compare
+  in
+  {
+    graph;
+    rdp;
+    fusion_plan;
+    exec;
+    versions;
+    kernel_classes;
+    fused;
+    flags;
+    profile;
+    mem_symbolic;
+    plan_syms;
+    plan_cache = Hashtbl.create 8;
+  }
 
 let compile_checked ?flags ?plan_sym_value profile graph =
   match Validate.check graph with
   | Error defects -> Error defects
   | Ok () -> Ok (compile ?flags ?plan_sym_value profile graph)
 
+(* Cache key: the binding restricted to the shape variables the plan's
+   entries actually mention (canonical order).  Unbound variables render as
+   "?" so partial bindings with different unresolved sets never collide. *)
+let plan_key c env =
+  String.concat ";"
+    (List.map
+       (fun s ->
+         match Env.lookup env s with
+         | Some v -> s ^ "=" ^ string_of_int v
+         | None -> s ^ "=?")
+       c.plan_syms)
+
+let instantiated_plan c env =
+  let key = plan_key c env in
+  match Hashtbl.find_opt c.plan_cache key with
+  | Some p ->
+    Profile.Counters.record ~profile:c.profile.Profile.name ~kind:"plan-cache-hit";
+    p
+  | None ->
+    Profile.Counters.record ~profile:c.profile.Profile.name ~kind:"plan-cache-miss";
+    let p = Mem_plan.instantiate c.mem_symbolic ~env in
+    Hashtbl.replace c.plan_cache key p;
+    p
+
 let mem_plan_for c env =
-  Mem_plan.plan
-    ~strategy:(if c.flags.dmp then Mem_plan.Peak_first else Mem_plan.Greedy_first_fit)
-    c.graph c.rdp c.fusion_plan ~order:c.exec.Exec_plan.order ~env
+  (* Defensive copy of the alloc array: callers (fault-injection tests) may
+     rewrite allocations, and the cached plan must stay pristine. *)
+  let p = instantiated_plan c env in
+  { p with Mem_plan.allocs = Array.copy p.Mem_plan.allocs }
 
 let plan_env c v = env_with_all_syms c.graph v

@@ -37,6 +37,14 @@ type compiled = {
           when the group stays on op-by-op execution *)
   flags : opt_flags;
   profile : Profile.t;
+  mem_symbolic : Mem_plan.symbolic;
+      (** env-independent memory plan: symbolic lifetimes computed once at
+          compile time; {!instantiated_plan} binds them per inference *)
+  plan_syms : string list;
+      (** shape variables the symbolic plan depends on (cache-key basis) *)
+  plan_cache : (string, Mem_plan.t) Hashtbl.t;
+      (** instantiated plans per symbol binding; hits/misses are recorded
+          in {!Profile.Counters} as ["plan-cache-hit"]/["plan-cache-miss"] *)
 }
 
 val compile :
@@ -54,8 +62,19 @@ val compile_checked :
     raising on the first — the entry point for untrusted graphs (e.g. ones
     loaded from disk). *)
 
+val instantiated_plan : compiled -> Env.t -> Mem_plan.t
+(** The memory plan for one symbol binding, served from the per-binding
+    cache: the first call per binding runs {!Mem_plan.instantiate} (affine
+    evaluation + placement) and is counted as a ["plan-cache-miss"]; every
+    later call with the same binding returns the cached plan and counts a
+    ["plan-cache-hit"].  The returned plan is shared — treat it as
+    read-only. *)
+
 val mem_plan_for : compiled -> Env.t -> Mem_plan.t
-(** Instantiate the memory plan for one concrete input shape. *)
+(** Instantiate the memory plan for one concrete input shape.  Served from
+    the same cache as {!instantiated_plan} but with a fresh allocation
+    array, so callers may rewrite it (fault injection) without poisoning
+    the cache. *)
 
 val plan_env : compiled -> int -> Env.t
 (** [plan_env c v] binds every shape variable of the model to [v]. *)

@@ -1,0 +1,13 @@
+type t = { mutable buf : float array; mutable grows : int }
+
+let create () = { buf = [||]; grows = 0 }
+
+let ensure t floats =
+  if Array.length t.buf < floats then begin
+    t.buf <- Array.make floats 0.0;
+    t.grows <- t.grows + 1
+  end;
+  t.buf
+
+let capacity t = Array.length t.buf
+let grows t = t.grows

@@ -1,0 +1,25 @@
+(** Grow-only arena storage for planned execution (§4.4.1 runtime side).
+
+    One flat [float array] backs every planned tensor slot of an
+    inference.  The buffer only ever grows: steady-state runs with a
+    binding already seen reuse the existing storage, so the second call
+    onward performs no allocation at all.  Contents are {e not} cleared
+    between runs — kernels overwrite their slots (destination-passing
+    writes initialize the window first). *)
+
+type t
+
+val create : unit -> t
+(** An empty arena (capacity 0); the first {!ensure} sizes it. *)
+
+val ensure : t -> int -> float array
+(** [ensure t floats] returns the backing buffer, reallocating only when
+    the current capacity is below [floats].  The returned array may be
+    larger than requested. *)
+
+val capacity : t -> int
+(** Current capacity in floats. *)
+
+val grows : t -> int
+(** Number of (re)allocations performed so far — a steady-state run adds
+    zero. *)

@@ -1,114 +1,18 @@
-type location =
-  | In_arena of int * int list  (** float offset, dims *)
-  | Boxed of Tensor.t
-
 type result = {
   outputs : (Graph.tensor_id * Tensor.t) list;
   arena_bytes : int;
   arena_resident : int;
 }
 
-let run (c : Pipeline.compiled) ~env ~inputs =
-  let g = c.Pipeline.graph in
-  let mp = Pipeline.mem_plan_for c env in
-  let alloc_of = Hashtbl.create 64 in
-  Array.iter
-    (fun (a : Mem_plan.alloc) -> Hashtbl.replace alloc_of a.Mem_plan.tid a)
-    mp.Mem_plan.allocs;
-  let arena = Array.make (max 1 (mp.Mem_plan.arena_bytes / 4)) 0.0 in
-  let resident = ref 0 in
-  let loc : location option array = Array.make (Graph.tensor_count g) None in
-  (* seed constants and inputs (boxed: they are not intermediates) *)
-  for tid = 0 to Graph.tensor_count g - 1 do
-    match (Graph.tensor g tid).Graph.kind with
-    | Graph.Const t -> loc.(tid) <- Some (Boxed t)
-    | Graph.Input _ | Graph.Activation -> ()
-  done;
-  List.iter (fun (tid, t) -> loc.(tid) <- Some (Boxed t)) inputs;
-  let fetch tid =
-    match loc.(tid) with
-    | Some (Boxed t) -> t
-    | Some (In_arena (off, dims)) ->
-      let n = List.fold_left ( * ) 1 dims in
-      Tensor.create_f dims (Array.sub arena off n)
-    | None ->
-      Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
-        "Arena_exec: tensor %d not available" tid
+let run ?backend ?arena (c : Pipeline.compiled) ~env ~inputs =
+  let arena = match arena with Some a -> a | None -> Arena.create () in
+  let trace, outputs =
+    Executor.run_real ?backend ~check_env:env
+      ~memory:(Executor.Arena { arena; env })
+      c ~inputs
   in
-  let store tid (t : Tensor.t) =
-    match Hashtbl.find_opt alloc_of tid with
-    | Some a when Tensor.dtype t = Tensor.F32 ->
-      let bytes = 4 * Tensor.numel t in
-      if bytes <> a.Mem_plan.size then
-        Sod2_error.failf ~tensor:tid Sod2_error.Shape_mismatch
-          "Arena_exec: tensor %d is %d bytes, planned %d" tid bytes a.Mem_plan.size;
-      if a.Mem_plan.offset < 0 || a.Mem_plan.offset + a.Mem_plan.size > mp.Mem_plan.arena_bytes
-      then
-        Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
-          "Arena_exec: allocation [%d, %d) outside the %d-byte arena" a.Mem_plan.offset
-          (a.Mem_plan.offset + a.Mem_plan.size) mp.Mem_plan.arena_bytes;
-      let off = a.Mem_plan.offset / 4 in
-      Array.blit (Tensor.data_f t) 0 arena off (Tensor.numel t);
-      incr resident;
-      loc.(tid) <- Some (In_arena (off, Tensor.dims t))
-    | _ -> loc.(tid) <- Some (Boxed t)
-  in
-  let available tid = loc.(tid) <> None in
-  let branch_of_pred tid =
-    match Tensor.to_int_list (Tensor.cast (fetch tid) Tensor.I64) with
-    | b :: _ -> b
-    | [] -> 0
-  in
-  List.iter
-    (fun gid ->
-      let grp = c.Pipeline.fusion_plan.Fusion.groups.(gid) in
-      let members = List.map (Graph.node g) grp.Fusion.members in
-      let member_tids =
-        List.concat_map (fun (nd : Graph.node) -> nd.Graph.outputs) members
-      in
-      let ready =
-        List.for_all
-          (fun (nd : Graph.node) ->
-            match nd.Graph.op with
-            | Op.Combine { branches } ->
-              available (List.nth nd.Graph.inputs branches)
-              && List.exists available
-                   (List.filteri (fun i _ -> i < branches) nd.Graph.inputs)
-            | _ ->
-              List.for_all
-                (fun tid -> available tid || List.mem tid member_tids)
-                nd.Graph.inputs)
-          members
-      in
-      if ready then
-        List.iter
-          (fun (nd : Graph.node) ->
-            match nd.Graph.op with
-            | Op.Switch { branches } ->
-              let data = List.hd nd.Graph.inputs in
-              let pred = List.nth nd.Graph.inputs 1 in
-              let b = max 0 (min (branches - 1) (branch_of_pred pred)) in
-              List.iteri
-                (fun i tid -> if i = b then store tid (fetch data))
-                nd.Graph.outputs
-            | Op.Combine { branches } ->
-              let src =
-                match
-                  List.find_opt available
-                    (List.filteri (fun i _ -> i < branches) nd.Graph.inputs)
-                with
-                | Some src -> src
-                | None ->
-                  Sod2_error.fail ~op:"Combine" ~node:nd.Graph.nname
-                    Sod2_error.Plan_violation
-                    "Arena_exec: no Combine branch available"
-              in
-              store (List.hd nd.Graph.outputs) (fetch src)
-            | op ->
-              let ins = List.map fetch nd.Graph.inputs in
-              let outs = Kernels.run op ins in
-              List.iter2 store nd.Graph.outputs outs)
-          members)
-    c.Pipeline.exec.Exec_plan.order;
-  let outputs = List.map (fun tid -> tid, fetch tid) (Graph.outputs g) in
-  { outputs; arena_bytes = mp.Mem_plan.arena_bytes; arena_resident = !resident }
+  {
+    outputs;
+    arena_bytes = trace.Executor.arena_bytes;
+    arena_resident = trace.Executor.arena_resident;
+  }

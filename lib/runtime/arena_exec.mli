@@ -3,10 +3,17 @@
     one linear buffer, exactly as the mobile runtime the paper targets
     would.
 
+    This is a thin wrapper over {!Executor.run_real} in [Arena] memory mode
+    with RDP dims cross-checking on: destination-passing kernels write
+    results straight into their planned slots, the plan itself comes from
+    the per-binding symbolic-plan cache ({!Pipeline.instantiated_plan} — no
+    replanning after the first inference per binding), and the buffer is a
+    grow-only {!Arena.t} reused across calls when the caller passes one.
+
     Because offsets are reused across lifetimes, an incorrect memory plan
     (overlapping a tensor that is still live) silently corrupts values —
     so running a model through this executor and comparing its outputs
-    against the table-based {!Executor.run_real} is an end-to-end proof
+    against the malloc-mode {!Executor.run_real} is an end-to-end proof
     that the plan's lifetime analysis and placement are sound, not merely
     that the {!Mem_plan.validate} invariant checker is happy.
 
@@ -21,12 +28,14 @@ type result = {
 }
 
 val run :
-  Pipeline.compiled -> env:Env.t -> inputs:(Graph.tensor_id * Tensor.t) list ->
-  result
+  ?backend:Backend.t -> ?arena:Arena.t -> Pipeline.compiled -> env:Env.t ->
+  inputs:(Graph.tensor_id * Tensor.t) list -> result
 (** Execute with the memory plan instantiated for [env] (which must bind
-    the model's shape variables consistently with [inputs]).  Raises
-    [Sod2_error.Error] (class [Shape_mismatch]) if a planned tensor's
-    actual extent disagrees with the plan, and (class [Plan_violation]) if
-    an allocation falls outside the arena or a required tensor never became
-    available.  For the variant that degrades gracefully instead of
-    raising, see {!Guarded_exec}. *)
+    the model's shape variables consistently with [inputs]).  [backend]
+    composes freely with the arena (blocked/parallel/fused kernels write
+    into slots through their destination entry points).  [arena] supplies a
+    persistent buffer for steady-state reuse; omitted, a fresh one is
+    created for the call.  Raises [Sod2_error.Error] (class
+    [Shape_mismatch]) if an executed extent disagrees with the RDP
+    prediction under [env].  For the variant that degrades gracefully
+    instead of raising, see {!Guarded_exec}. *)

@@ -96,6 +96,12 @@ let matmul ?cls t a b =
   | Naive -> Linalg.matmul a b
   | Blocked | Parallel | Fused -> Linalg.matmul ~inner:(gemm_kernel ?cls t) a b
 
+let matmul_into ?cls t va vb ~c ~co =
+  match t.kind with
+  | Naive -> Linalg.matmul_into va vb ~c ~co
+  | Blocked | Parallel | Fused ->
+    Linalg.matmul_into ~inner:(gemm_kernel ?cls t) va vb ~c ~co
+
 let gemm ?cls t ~alpha ~beta ~trans_a ~trans_b a b c =
   match t.kind with
   | Naive -> Linalg.gemm ~alpha ~beta ~trans_a ~trans_b a b c
@@ -129,6 +135,35 @@ let conv2d ?cls t ~stride ~pad ~dilation ~groups x w b =
     | c ->
       Sod2_tensor.Blocked.conv2d_im2col ~par:(par_of t) ~tiles:(tiles_for t c) ~stride
         ~pad ~dilation ~groups x w b)
+
+let conv2d_into ?cls t ~stride ~pad ~dilation ~groups vx vw vb ~c ~co =
+  match t.kind with
+  | Naive -> Linalg.conv2d_into ~stride ~pad ~dilation ~groups vx vw vb ~c ~co
+  | Blocked | Parallel | Fused -> (
+    let dx = Array.of_list vx.Tensor.vdims and dw = Array.of_list vw.Tensor.vdims in
+    let cl =
+      match cls with
+      | Some cl -> cl
+      | None ->
+        let sh, sw = stride and dh, dw_ = dilation in
+        let pt, pl, pb, pr = pad in
+        let oh =
+          Linalg.conv2d_out_dim ~in_:dx.(2) ~kernel:dw.(2) ~stride:sh ~pad_begin:pt
+            ~pad_end:pb ~dilation:dh
+        in
+        let ow =
+          Linalg.conv2d_out_dim ~in_:dx.(3) ~kernel:dw.(3) ~stride:sw ~pad_begin:pl
+            ~pad_end:pr ~dilation:dw_
+        in
+        Multi_version.classify_gemm ~m:dw.(0) ~n:(dx.(0) * oh * ow)
+          ~k:(dw.(1) * dw.(2) * dw.(3))
+    in
+    match cl with
+    | Multi_version.Tiny ->
+      Linalg.conv2d_into ~stride ~pad ~dilation ~groups vx vw vb ~c ~co
+    | cl ->
+      Sod2_tensor.Blocked.conv2d_im2col_into ~par:(par_of t) ~tiles:(tiles_for t cl)
+        ~stride ~pad ~dilation ~groups vx vw vb ~c ~co)
 
 let conv1d ?cls t ~stride ~pad ~dilation ~groups x w b =
   match t.kind with
@@ -207,17 +242,19 @@ type fused_result = {
 
 let counter t kind = Profile.Counters.record ~profile:t.profile_name ~kind
 
-let fused_run t (c : Pipeline.compiled) ~gid ~(fetch : Graph.tensor_id -> Tensor.t) =
+(* Shared cache lookup: resolve (group × concrete shape tuple) to a
+   specialized kernel, compiling at most once per shape and caching
+   failures so the op-by-op fallback is taken without recompiling.  Both
+   the boxed path ({!fused_run}) and the arena executor's
+   destination-passing path go through here. *)
+let fused_kernel t (c : Pipeline.compiled) ~gid
+    ~(args : (int list * Tensor.dtype) list) =
   if t.kind <> Fused then None
   else
     match c.Pipeline.fused.(gid) with
     | None -> None
     | Some tpl ->
-      let args_t = Array.map fetch tpl.Fused_compile.t_slots in
-      let shapes =
-        Array.to_list (Array.map (fun x -> Tensor.dims x, Tensor.dtype x) args_t)
-      in
-      let key = gid, shapes in
+      let key = gid, args in
       let entry =
         match Hashtbl.find_opt t.fused_cache key with
         | Some e when e.fe_tpl == tpl ->
@@ -240,7 +277,7 @@ let fused_run t (c : Pipeline.compiled) ~gid ~(fetch : Graph.tensor_id -> Tensor
             let kernel =
               match
                 Fused_compile.specialize c.Pipeline.graph tpl ~tiles:(tiles_for t)
-                  ~args:(Array.of_list shapes)
+                  ~args:(Array.of_list args)
               with
               | Ok k -> Some k
               | Error _ -> None
@@ -252,7 +289,24 @@ let fused_run t (c : Pipeline.compiled) ~gid ~(fetch : Graph.tensor_id -> Tensor
           end
       in
       (match entry with
-      | Some { fe_kernel = Some k; _ } ->
+      | Some { fe_kernel = Some k; _ } -> Some k
+      | Some { fe_kernel = None; _ } | None ->
+        t.fused_rejects <- t.fused_rejects + 1;
+        counter t "fused-reject";
+        None)
+
+let fused_run t (c : Pipeline.compiled) ~gid ~(fetch : Graph.tensor_id -> Tensor.t) =
+  if t.kind <> Fused then None
+  else
+    match c.Pipeline.fused.(gid) with
+    | None -> None
+    | Some tpl ->
+      let args_t = Array.map fetch tpl.Fused_compile.t_slots in
+      let shapes =
+        Array.to_list (Array.map (fun x -> Tensor.dims x, Tensor.dtype x) args_t)
+      in
+      (match fused_kernel t c ~gid ~args:shapes with
+      | Some k ->
         let out = k.Fused_compile.k_run ~par:(par_of t) args_t in
         Some
           {
@@ -260,10 +314,7 @@ let fused_run t (c : Pipeline.compiled) ~gid ~(fetch : Graph.tensor_id -> Tensor
             fr_tensor = out;
             fr_dims = k.Fused_compile.k_dims;
           }
-      | Some { fe_kernel = None; _ } | None ->
-        t.fused_rejects <- t.fused_rejects + 1;
-        counter t "fused-reject";
-        None)
+      | None -> None)
 
 let map2 t f x y =
   match t.pool with

@@ -45,6 +45,12 @@ val gemm_kernel : ?cls:Multi_version.shape_class -> t -> Linalg.gemm_kernel
 
 val matmul : ?cls:Multi_version.shape_class -> t -> Tensor.t -> Tensor.t -> Tensor.t
 
+val matmul_into :
+  ?cls:Multi_version.shape_class -> t -> Tensor.view -> Tensor.view ->
+  c:float array -> co:int -> int list
+(** Destination-passing {!matmul} through this backend's inner GEMM;
+    writes into [c] at element offset [co], returns the result dims. *)
+
 val gemm :
   ?cls:Multi_version.shape_class -> t -> alpha:float -> beta:float -> trans_a:bool ->
   trans_b:bool -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
@@ -53,6 +59,15 @@ val conv2d :
   ?cls:Multi_version.shape_class -> t -> stride:int * int ->
   pad:int * int * int * int -> dilation:int * int -> groups:int ->
   Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
+
+val conv2d_into :
+  ?cls:Multi_version.shape_class -> t -> stride:int * int ->
+  pad:int * int * int * int -> dilation:int * int -> groups:int ->
+  Tensor.view -> Tensor.view -> Tensor.view option ->
+  c:float array -> co:int -> int list
+(** Destination-passing {!conv2d} (naive loops or blocked im2col by shape
+    class); writes into [c] at element offset [co], returns the result
+    dims. *)
 
 val conv1d :
   ?cls:Multi_version.shape_class -> t -> stride:int -> pad:int * int ->
@@ -88,6 +103,22 @@ type fused_result = {
       (** concrete dims of every member output (internal ones are never
           materialized — these let the executor track dims and traffic) *)
 }
+
+val par_of : t -> Sod2_tensor.Blocked.par
+(** The parallel runner backing this backend's kernels (sequential when it
+    has no pool) — what callers pass to {!Fused_compile.kernel} entry
+    points obtained from {!fused_kernel}. *)
+
+val fused_kernel :
+  t -> Pipeline.compiled -> gid:int -> args:(int list * Tensor.dtype) list ->
+  Fused_compile.kernel option
+(** Resolve fusion group [gid] under the concrete slot shapes [args] to a
+    specialized kernel, through the per-(group × shapes) cache —
+    compiling on first sight, caching failures.  [None] means op-by-op
+    execution (non-[Fused] backend, no template, failed specialization, or
+    variant budget exhausted).  The arena executor uses this directly so it
+    can drive [k_run_into] with destination slots; {!fused_run} wraps it
+    for the boxed path. *)
 
 val fused_run :
   t -> Pipeline.compiled -> gid:int -> fetch:(Graph.tensor_id -> Tensor.t) ->

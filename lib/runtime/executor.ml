@@ -27,9 +27,27 @@ type trace = {
   events : tensor_event list;
   out_dims : (Graph.tensor_id * int list) list;
   nodes_executed : int;
+  arena_bytes : int;
+  arena_resident : int;
 }
 
+type memory =
+  | Malloc
+  | Arena of { arena : Arena.t; env : Env.t }
+
 exception Unresolved of string
+
+(* Runtime view of an instantiated memory plan: per-tensor slots (element
+   offset and capacity) over one grow-only buffer, plus which tensors
+   currently live in it.  Built per inference from the binding-cached
+   plan; the buffer is shared and persists across inferences. *)
+type arena_rt = {
+  ar_buf : float array;
+  ar_slot : (int * int) option array;  (* tid -> (elem offset, capacity) *)
+  ar_loc : bool array;  (* tid's live value is in the arena *)
+  mutable ar_resident : int;  (* tensors dest-stored this inference *)
+  ar_bytes : int;
+}
 
 type state = {
   dims : int list option array;
@@ -149,9 +167,53 @@ let dry_forward ctx st (nd : Graph.node) =
 
 (* --- shared driver ------------------------------------------------ *)
 
-let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
+let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ctx st =
   let c = ctx.c in
   let g = c.graph in
+  let counter kind =
+    Profile.Counters.record ~profile:c.Pipeline.profile.Profile.name ~kind
+  in
+  (* Boxed tensor for [tid].  An arena-resident value is copied out on its
+     first boxed use and memoized — the only intermediate-tensor copy the
+     arena mode ever performs (counted, so tests can assert zero on
+     dest-capable graphs). *)
+  let fetch_boxed tid =
+    match st.tensors.(tid) with
+    | Some t -> t
+    | None -> (
+      match arena with
+      | Some ar when ar.ar_loc.(tid) ->
+        let off, _ = Option.get ar.ar_slot.(tid) in
+        let dims = Option.get st.dims.(tid) in
+        let n = List.fold_left ( * ) 1 dims in
+        (* Always a copy, never a shared window: the slot's storage is
+           reused by later tensors once this one's lifetime ends. *)
+        let t = Tensor.create_f dims (Array.sub ar.ar_buf off n) in
+        counter "arena-copy-out";
+        st.tensors.(tid) <- Some t;
+        t
+      | _ -> Option.get st.tensors.(tid))
+  in
+  (* Kernel-facing view of [tid]'s value: its arena slot when resident
+     (zero-copy), else a whole-tensor view of the boxed F32 tensor. *)
+  let view_of tid =
+    match arena with
+    | Some ar when ar.ar_loc.(tid) ->
+      let off, _ = Option.get ar.ar_slot.(tid) in
+      Some (Tensor.sub_view ~buf:ar.ar_buf ~off ~dims:(Option.get st.dims.(tid)))
+    | _ -> (
+      match st.tensors.(tid) with
+      | Some t when Tensor.dtype t = Tensor.F32 -> Some (Tensor.view_f t)
+      | _ -> None)
+  in
+  (* Aliasing (Switch/Combine) must not alias an arena slot: the alias
+     outlives the slot's planned lifetime.  Box the value first. *)
+  let materialize_for_alias tid =
+    match mode, arena with
+    | Real, Some ar when ar.ar_loc.(tid) && st.tensors.(tid) = None ->
+      ignore (fetch_boxed tid)
+    | _ -> ()
+  in
   (* Element size from the materialized tensor when there is one (Real
      mode), so I64 tensors account 8 bytes; Dry mode keeps the F32
      default. *)
@@ -173,17 +235,28 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
     match mode with
     | Dry -> gate tid
     | Real -> (
-      match st.tensors.(tid) with
+      let boxed =
+        match st.tensors.(tid) with
+        | Some _ as t -> t
+        | None -> (
+          match arena with
+          | Some ar when ar.ar_loc.(tid) -> Some (fetch_boxed tid)
+          | _ -> None)
+      in
+      match boxed with
       | Some t -> (
         match Tensor.to_int_list (Tensor.cast t Tensor.I64) with
         | b :: _ -> b
-        | [] -> 0)
+        | [] ->
+          Sod2_error.failf ~tensor:tid Sod2_error.Shape_mismatch
+            "Executor: control-flow predicate tensor t%d is empty" tid)
       | None -> gate tid)
   in
   let exec_switch (nd : Graph.node) branches =
     let data = List.hd nd.inputs in
     let pred = switch_pred_tid nd in
     let b = max 0 (min (branches - 1) (branch_of_pred pred)) in
+    materialize_for_alias data;
     List.iteri
       (fun i tid ->
         let route = control = All_paths || i = b in
@@ -208,6 +281,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
     match chosen with
     | Some src ->
       let dst = List.hd nd.outputs in
+      materialize_for_alias src;
       st.dims.(dst) <- st.dims.(src);
       st.ivals.(dst) <- st.ivals.(src);
       st.tensors.(dst) <- st.tensors.(src);
@@ -228,6 +302,72 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
          | All_paths -> true)
     | _ -> List.for_all ok nd.inputs
   in
+  let cls_of (nd : Graph.node) =
+    match backend with
+    | None -> None
+    | Some _ when nd.nid < Array.length ctx.c.Pipeline.kernel_classes ->
+      ctx.c.Pipeline.kernel_classes.(nd.nid)
+    | Some _ -> None
+  in
+  (* Graph outputs must outlive the arena (slots are recycled next
+     inference), so their destination is a fresh boxed buffer rather than
+     the slot — the kernel still reads its inputs as zero-copy slot views,
+     which beats both a slot store followed by a boundary copy and a fully
+     boxed run that copies every arena-resident input out first. *)
+  let is_graph_out tid = List.mem tid ctx.out_tids in
+  (* Destination-passing attempt: single-output node whose result has a
+     planned slot, all inputs viewable as F32 windows, and the op has a
+     [Kernels.run_into] kernel producing exactly the slot's capacity.
+     Writes straight into the arena — no output allocation, no blit. *)
+  let try_dest (nd : Graph.node) =
+    match arena, nd.Graph.outputs with
+    | Some ar, [ otid ] -> (
+      match ar.ar_slot.(otid) with
+      | Some (off, cap) -> (
+        let rec views acc = function
+          | [] -> Some (List.rev acc)
+          | tid :: rest -> (
+            match view_of tid with
+            | Some v -> views (v :: acc) rest
+            | None -> None)
+        in
+        match views [] nd.Graph.inputs with
+        | Some vs ->
+          if is_graph_out otid then (
+            let buf = Array.make cap 0.0 in
+            match
+              Kernels.run_into ?backend ?cls:(cls_of nd) nd.Graph.op vs ~c:buf
+                ~co:0 ~cap
+            with
+            | Some dims ->
+              let numel = List.fold_left ( * ) 1 dims in
+              let t =
+                if numel = cap then Tensor.create_f dims buf
+                else Tensor.create_f dims (Array.sub buf 0 numel)
+              in
+              st.tensors.(otid) <- Some t;
+              st.dims.(otid) <- Some dims;
+              st.avail.(otid) <- true;
+              counter "arena-out-direct";
+              true
+            | None -> false)
+          else (
+            match
+              Kernels.run_into ?backend ?cls:(cls_of nd) nd.Graph.op vs
+                ~c:ar.ar_buf ~co:off ~cap
+            with
+            | Some dims ->
+              ar.ar_loc.(otid) <- true;
+              ar.ar_resident <- ar.ar_resident + 1;
+              st.dims.(otid) <- Some dims;
+              st.avail.(otid) <- true;
+              counter "arena-dest-store";
+              true
+            | None -> false)
+        | None -> false)
+      | None -> false)
+    | _ -> false
+  in
   let exec_plain (nd : Graph.node) =
     match mode with
     | Dry ->
@@ -239,25 +379,20 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
           st.avail.(tid) <- true)
         nd.outputs
     | Real ->
-      let inputs = List.map (fun tid -> Option.get st.tensors.(tid)) nd.inputs in
-      let cls =
-        match backend with
-        | None -> None
-        | Some _ when nd.nid < Array.length ctx.c.Pipeline.kernel_classes ->
-          ctx.c.Pipeline.kernel_classes.(nd.nid)
-        | Some _ -> None
-      in
-      let outs = Kernels.run ?backend ?cls nd.op inputs in
-      List.iteri
-        (fun i tid ->
-          let t = List.nth outs i in
-          st.tensors.(tid) <- Some t;
-          st.dims.(tid) <- Some (Tensor.dims t);
-          if Tensor.dtype t = Tensor.I64
-             && Tensor.numel t <= Value_info.max_tracked_elements
-          then st.ivals.(tid) <- Some (Tensor.to_int_list t);
-          st.avail.(tid) <- true)
-        nd.outputs
+      if not (try_dest nd) then begin
+        let inputs = List.map fetch_boxed nd.inputs in
+        let outs = Kernels.run ?backend ?cls:(cls_of nd) nd.op inputs in
+        List.iteri
+          (fun i tid ->
+            let t = List.nth outs i in
+            st.tensors.(tid) <- Some t;
+            st.dims.(tid) <- Some (Tensor.dims t);
+            if Tensor.dtype t = Tensor.I64
+               && Tensor.numel t <= Value_info.max_tracked_elements
+            then st.ivals.(tid) <- Some (Tensor.to_int_list t);
+            st.avail.(tid) <- true)
+          nd.outputs
+      end
   in
   List.iter
     (fun gid ->
@@ -272,34 +407,81 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
            one compiled kernel, internal tensors never materialized.  Any
            refusal (no template, shape not specializable, non-fused
            backend) falls through to the op-by-op loop below. *)
-        let fused =
+        (* Arena fused path: fetch the group's slot inputs as zero-copy
+           views, resolve the specialized kernel through the backend cache,
+           and drive its destination entry point straight into the terminal
+           output's planned slot. *)
+        let run_fused_arena be ar =
+          match c.Pipeline.fused.(gid) with
+          | None -> false
+          | Some tpl -> (
+            let n = Array.length tpl.Fused_compile.t_slots in
+            let vs = Array.make n None in
+            Array.iteri
+              (fun i tid -> vs.(i) <- view_of tid)
+              tpl.Fused_compile.t_slots;
+            if Array.exists Option.is_none vs then false
+            else
+              let va = Array.map Option.get vs in
+              let shapes =
+                Array.to_list
+                  (Array.map (fun v -> v.Tensor.vdims, Tensor.F32) va)
+              in
+              match Backend.fused_kernel be c ~gid ~args:shapes with
+              | None -> false
+              | Some k ->
+                let out = k.Fused_compile.k_out in
+                let dims = List.assoc out k.Fused_compile.k_dims in
+                let numel = List.fold_left ( * ) 1 dims in
+                let par = Backend.par_of be in
+                (match ar.ar_slot.(out) with
+                | Some (off, cap) when cap = numel && not (is_graph_out out) ->
+                  k.Fused_compile.k_run_into ~par va ~c:ar.ar_buf ~co:off;
+                  ar.ar_loc.(out) <- true;
+                  ar.ar_resident <- ar.ar_resident + 1;
+                  counter "arena-dest-store"
+                | _ ->
+                  let buf = Array.make numel 0.0 in
+                  k.Fused_compile.k_run_into ~par va ~c:buf ~co:0;
+                  st.tensors.(out) <- Some (Tensor.create_f dims buf);
+                  counter "arena-out-direct");
+                List.iter
+                  (fun (tid, d) ->
+                    st.dims.(tid) <- Some d;
+                    st.avail.(tid) <- true)
+                  k.Fused_compile.k_dims;
+                true)
+        in
+        let fused_done =
           match mode, backend with
-          | Real, Some be when List.length members > 1 ->
-            Backend.fused_run be c ~gid ~fetch:(fun tid -> Option.get st.tensors.(tid))
-          | _ -> None
+          | Real, Some be when List.length members > 1 -> (
+            (match arena with Some ar -> run_fused_arena be ar | None -> false)
+            ||
+            match Backend.fused_run be c ~gid ~fetch:fetch_boxed with
+            | Some fr ->
+              List.iter
+                (fun (tid, d) ->
+                  st.dims.(tid) <- Some d;
+                  st.avail.(tid) <- true)
+                fr.Backend.fr_dims;
+              st.tensors.(fr.Backend.fr_out) <- Some fr.Backend.fr_tensor;
+              true
+            | None -> false)
+          | _ -> false
         in
         let executed_all =
-          match fused with
-          | Some fr ->
-            List.iter
-              (fun (tid, d) ->
-                st.dims.(tid) <- Some d;
-                st.avail.(tid) <- true)
-              fr.Backend.fr_dims;
-            st.tensors.(fr.Backend.fr_out) <- Some fr.Backend.fr_tensor;
-            true
-          | None ->
-            List.for_all
-              (fun nd ->
-                match nd.Graph.op with
-                | Op.Switch { branches } ->
-                  exec_switch nd branches;
-                  true
-                | Op.Combine { branches } -> exec_combine nd branches
-                | _ ->
-                  exec_plain nd;
-                  true)
-              members
+          fused_done
+          || List.for_all
+               (fun nd ->
+                 match nd.Graph.op with
+                 | Op.Switch { branches } ->
+                   exec_switch nd branches;
+                   true
+                 | Op.Combine { branches } -> exec_combine nd branches
+                 | _ ->
+                   exec_plain nd;
+                   true)
+               members
         in
         if executed_all then begin
           let step = !step_counter in
@@ -408,6 +590,8 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ctx st =
     events;
     out_dims;
     nodes_executed = !nodes_executed;
+    arena_bytes = (match arena with Some ar -> ar.ar_bytes | None -> 0);
+    arena_resident = (match arena with Some ar -> ar.ar_resident | None -> 0);
   }
 
 let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compiled)
@@ -426,7 +610,8 @@ let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compil
     (Graph.inputs c.graph);
   run_engine ~mode:Dry ~control ~gate ctx st
 
-let run_real ?(control = Selected_only) ?check_env ?backend (c : Pipeline.compiled) ~inputs =
+let run_real ?(control = Selected_only) ?check_env ?backend ?(memory = Malloc)
+    (c : Pipeline.compiled) ~inputs =
   let ctx = make_ctx c in
   let st = init_state c ~keep_tensors:true in
   List.iter
@@ -437,6 +622,35 @@ let run_real ?(control = Selected_only) ?check_env ?backend (c : Pipeline.compil
       then st.ivals.(tid) <- Some (Tensor.to_int_list t);
       st.avail.(tid) <- true)
     inputs;
+  (* Arena mode: fetch the binding's instantiated plan (cached — affine
+     evaluation only after the first inference per binding) and lay its
+     slots over the grow-only buffer.  Ill-formed entries are dropped to
+     malloc silently; {!Guarded_exec} is the vetting path. *)
+  let arena =
+    match memory with
+    | Malloc -> None
+    | Arena { arena; env } ->
+      let plan = Pipeline.instantiated_plan c env in
+      let buf = Arena.ensure arena (max 1 (plan.Mem_plan.arena_bytes / 4)) in
+      let n = Graph.tensor_count c.graph in
+      let slot = Array.make n None in
+      Array.iter
+        (fun (a : Mem_plan.alloc) ->
+          if
+            a.Mem_plan.size > 0 && a.offset >= 0 && a.offset mod 4 = 0
+            && a.offset + a.size <= plan.Mem_plan.arena_bytes
+            && a.tid >= 0 && a.tid < n
+          then slot.(a.tid) <- Some (a.offset / 4, a.size / 4))
+        plan.Mem_plan.allocs;
+      Some
+        {
+          ar_buf = buf;
+          ar_slot = slot;
+          ar_loc = Array.make n false;
+          ar_resident = 0;
+          ar_bytes = plan.Mem_plan.arena_bytes;
+        }
+  in
   let verify =
     match check_env with
     | None -> fun _ _ -> ()
@@ -450,11 +664,28 @@ let run_real ?(control = Selected_only) ?check_env ?backend (c : Pipeline.compil
             (String.concat "; " (List.map string_of_int want))
         | _ -> ())
   in
-  let trace = run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ?backend ctx st in
+  let trace =
+    run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ?backend ?arena ctx st
+  in
+  (* Model outputs must outlive the arena (its slots are overwritten by the
+     next inference), so arena-resident outputs are boxed at the boundary.
+     This is the one unavoidable copy of arena mode and is counted
+     separately from intermediate copy-outs. *)
   let outs =
     List.filter_map
       (fun tid ->
-        match st.tensors.(tid) with Some t -> Some (tid, t) | None -> None)
+        match st.tensors.(tid) with
+        | Some t -> Some (tid, t)
+        | None -> (
+          match arena with
+          | Some ar when ar.ar_loc.(tid) ->
+            let off, _ = Option.get ar.ar_slot.(tid) in
+            let dims = Option.get st.dims.(tid) in
+            let n = List.fold_left ( * ) 1 dims in
+            Profile.Counters.record ~profile:c.Pipeline.profile.Profile.name
+              ~kind:"arena-out-materialize";
+            Some (tid, Tensor.create_f dims (Array.sub ar.ar_buf off n))
+          | _ -> None))
       ctx.out_tids
   in
   trace, outs

@@ -57,7 +57,28 @@ type trace = {
   events : tensor_event list;  (** materialized intermediate tensors *)
   out_dims : (Graph.tensor_id * int list) list;  (** graph outputs' extents *)
   nodes_executed : int;
+  arena_bytes : int;  (** instantiated plan size; 0 under [Malloc] *)
+  arena_resident : int;
+      (** tensors computed straight into arena slots this inference *)
 }
+
+type memory =
+  | Malloc  (** every tensor is a fresh allocation (the default) *)
+  | Arena of { arena : Arena.t; env : Env.t }
+      (** §4.4 planned execution: the binding's instantiated memory plan
+          ({!Pipeline.instantiated_plan} under [env]) lays tensor slots over
+          [arena]'s grow-only buffer, and destination-passing kernels write
+          results straight into their slots — steady state performs no plan
+          recomputation and no intermediate-tensor allocation or copy.
+          Graph outputs run their destination kernels into fresh boxed
+          buffers instead (slot inputs still read as zero-copy views;
+          counted as ["arena-out-direct"]), so they survive slot recycling
+          without a boundary copy.
+          Composes with any [backend].  Ops without a destination kernel
+          (or with non-F32/dynamic operands) transparently fall back to
+          boxed execution for that node; arena-resident values they consume
+          are copied out once and memoized (counted as ["arena-copy-out"]
+          in {!Profile.Counters}). *)
 
 exception Unresolved of string
 (** Raised in [Dry] mode when a shape could not be resolved concretely —
@@ -71,11 +92,16 @@ val run_dry :
     branch 0). *)
 
 val run_real :
-  ?control:control -> ?check_env:Env.t -> ?backend:Backend.t -> Pipeline.compiled ->
-  inputs:(Graph.tensor_id * Tensor.t) list ->
+  ?control:control -> ?check_env:Env.t -> ?backend:Backend.t -> ?memory:memory ->
+  Pipeline.compiled -> inputs:(Graph.tensor_id * Tensor.t) list ->
   trace * (Graph.tensor_id * Tensor.t) list
 (** Full interpretation; returns the trace and the graph output tensors.
     Switch predicates are read from the computed predicate tensors.
+
+    [memory] (default [Malloc]) selects the allocation discipline — see
+    {!memory}.  Under [Arena], graph outputs are boxed copies taken at the
+    run boundary (["arena-out-materialize"]), so they stay valid across
+    later inferences over the same arena.
 
     [backend] routes heavy operators through the blocked/parallel kernel
     backend, with each node's shape class taken from the compile-time

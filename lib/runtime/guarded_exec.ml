@@ -36,18 +36,25 @@ type location =
 
 let dims_str dims = String.concat "x" (List.map string_of_int dims)
 
-let branch_of_pred t =
+let branch_of_pred ~tensor t =
   match Tensor.to_int_list (Tensor.cast t Tensor.I64) with
   | b :: _ -> b
-  | [] -> 0
+  | [] ->
+    Sod2_error.failf ~tensor Sod2_error.Shape_mismatch
+      "Guarded_exec: control-flow predicate tensor t%d is empty" tensor
 
-let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
+let run ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     (c : Pipeline.compiled) ~env ~inputs =
   let g = c.Pipeline.graph in
   let mp =
     match mem_plan with
     | Some mp -> mp
-    | None -> Pipeline.mem_plan_for c env
+    | None -> (
+      match arena with
+      (* Persistent-arena mode reuses the binding-cached symbolic
+         instantiation (read-only here — vetting builds its own list). *)
+      | Some _ -> Pipeline.instantiated_plan c env
+      | None -> Pipeline.mem_plan_for c env)
   in
   let incidents = ref [] in
   let incident ?(gid = -1) ?(step = -1) kind detail =
@@ -135,8 +142,22 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     done;
     List.iter (fun tid -> Hashtbl.remove alloc_of tid) (Graph.outputs g)
   end;
+  (* Persistent-arena mode: any vetting incident means the shared,
+     binding-cached plan cannot be trusted as a whole — demote the entire
+     run to malloc (boxed) storage rather than patch around a plan other
+     inferences are reusing. *)
+  (match arena with
+  | Some _ when !incidents <> [] ->
+    Hashtbl.reset alloc_of;
+    Profile.Counters.record ~profile:c.Pipeline.profile.Profile.name
+      ~kind:"arena-fallback-malloc"
+  | _ -> ());
   (* --- storage --- *)
-  let arena = Array.make (max 1 (arena_bytes / 4)) 0.0 in
+  let arena_buf =
+    match arena with
+    | Some a -> Arena.ensure a (max 1 (arena_bytes / 4))
+    | None -> Array.make (max 1 (arena_bytes / 4)) 0.0
+  in
   let resident = ref 0 in
   let loc : location option array = Array.make (Graph.tensor_count g) None in
   for tid = 0 to Graph.tensor_count g - 1 do
@@ -151,7 +172,7 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     | Some (Boxed t) -> t
     | Some (In_arena (off, dims)) ->
       let n = List.fold_left ( * ) 1 dims in
-      Tensor.create_f dims (Array.sub arena off n)
+      Tensor.create_f dims (Array.sub arena_buf off n)
     | None ->
       Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
         "Guarded_exec: tensor %d not available" tid
@@ -187,7 +208,7 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
       end
       else begin
         let off = a.Mem_plan.offset / 4 in
-        Array.blit (Tensor.data_f t) 0 arena off (Tensor.numel t);
+        Array.blit (Tensor.data_f t) 0 arena_buf off (Tensor.numel t);
         incr resident;
         loc.(tid) <- Some (In_arena (off, dims))
       end
@@ -207,7 +228,7 @@ let run ?mem_plan ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     | Op.Switch { branches } ->
       let data = List.hd nd.Graph.inputs in
       let pred = List.nth nd.Graph.inputs 1 in
-      let b = max 0 (min (branches - 1) (branch_of_pred (fetch pred))) in
+      let b = max 0 (min (branches - 1) (branch_of_pred ~tensor:pred (fetch pred))) in
       List.iteri
         (fun i tid -> if i = b then store tid (fetch data) else dead.(tid) <- true)
         nd.Graph.outputs

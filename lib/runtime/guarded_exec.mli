@@ -54,6 +54,7 @@ type report = {
 
 val run :
   ?mem_plan:Mem_plan.t ->
+  ?arena:Arena.t ->
   ?kernel_hook:(gid:int -> node:Graph.node_id -> unit) ->
   ?backend:Backend.t ->
   Pipeline.compiled ->
@@ -62,6 +63,13 @@ val run :
   report
 (** Execute under guards.  [mem_plan] overrides the plan instantiated from
     [env] (used by the fault-injection harness to feed corrupted plans).
+    [arena] switches to persistent-arena storage: the plan comes from the
+    binding cache ({!Pipeline.instantiated_plan}) and tensor slots live in
+    the grow-only buffer, so steady-state runs reuse storage.  Because that
+    plan is shared across inferences, {e any} vetting incident demotes the
+    whole run to boxed (malloc) storage — recorded as an
+    ["arena-fallback-malloc"] counter — instead of the per-allocation
+    eviction used in the default mode.
     [kernel_hook] runs before each {e planned} node execution and may raise
     to simulate a faulty specialized kernel version; the fallback sweep
     does not call it (the fallback runs reference kernels).  [backend]

@@ -233,3 +233,150 @@ let run ?backend ?cls (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
     Sod2_error.failf ~op:(Op.name op) Sod2_error.Unsupported
       "Kernels.run: control flow is routed by the executor, not evaluated as a kernel"
   | _, _ -> arg_err op (Printf.sprintf "arity %d not supported" (List.length inputs))
+
+(* ------------------------------------------------------------------ *)
+(* Destination-passing execution (arena runtime)                       *)
+
+let view_dims_arr (v : Tensor.view) = Array.of_list v.Tensor.vdims
+
+(* Destination kernels chunk large same-shape loops over the backend's
+   domain pool — the boxed fallbacks get the same treatment from
+   [Backend.map_f]/[map2], so memory mode never changes the parallelism. *)
+let into_grain = 16_384
+
+(* Broadcast-aware binary loop over views, writing into [dst] at [doff].
+   Same index arithmetic as [Tensor.map2], plus source/destination base
+   offsets. *)
+let binary_into ~chunked f (x : Tensor.view) (y : Tensor.view) dst doff =
+  let dx = view_dims_arr x and dy = view_dims_arr y in
+  let od = Tensor.broadcast_dims dx dy in
+  let n = Array.fold_left ( * ) 1 od in
+  let bx = x.Tensor.vbuf and by = y.Tensor.vbuf in
+  let ox = x.Tensor.voff and oy = y.Tensor.voff in
+  if dx = od && dy = od then
+    chunked n (fun lo hi ->
+        for i = lo to hi do
+          Array.unsafe_set dst (doff + i)
+            (f (Array.unsafe_get bx (ox + i)) (Array.unsafe_get by (oy + i)))
+        done)
+  else begin
+    (* Right-aligned stride tables (stride 0 on broadcast axes). *)
+    let r = Array.length od in
+    let stride_of src =
+      let rs = Array.length src in
+      let s = Array.make r 0 in
+      let acc = ref 1 in
+      for i = rs - 1 downto 0 do
+        s.(i + (r - rs)) <- (if src.(i) = 1 then 0 else !acc);
+        acc := !acc * src.(i)
+      done;
+      s
+    in
+    let sx = stride_of dx and sy = stride_of dy in
+    let offset s i =
+      let off = ref 0 and rem = ref i in
+      for d = r - 1 downto 0 do
+        let q = !rem mod od.(d) in
+        rem := !rem / od.(d);
+        off := !off + (q * s.(d))
+      done;
+      !off
+    in
+    for i = 0 to n - 1 do
+      dst.(doff + i) <- f bx.(ox + offset sx i) by.(oy + offset sy i)
+    done
+  end;
+  Array.to_list od
+
+let run_into ?backend ?cls (op : Op.t) (inputs : Tensor.view list) ~(c : float array)
+    ~(co : int) ~(cap : int) : int list option =
+  let fits dims = List.fold_left ( * ) 1 dims = cap in
+  let par =
+    match backend with Some be -> Backend.par_of be | None -> Blocked.sequential
+  in
+  let chunked n body =
+    if n >= 2 * into_grain then
+      par.Blocked.run
+        ((n + into_grain - 1) / into_grain)
+        (fun ci ->
+          let lo = ci * into_grain in
+          body lo (min n (lo + into_grain) - 1))
+    else if n > 0 then body 0 (n - 1)
+  in
+  let pointwise f (x : Tensor.view) =
+    if not (fits x.Tensor.vdims) then None
+    else begin
+      let b = x.Tensor.vbuf and o = x.Tensor.voff in
+      chunked cap (fun lo hi ->
+          for i = lo to hi do
+            Array.unsafe_set c (co + i) (f (Array.unsafe_get b (o + i)))
+          done);
+      Some x.Tensor.vdims
+    end
+  in
+  match op, inputs with
+  | Op.Unary u, [ x ] -> pointwise (unary_fn u) x
+  | Op.Clip (lo, hi), [ x ] -> pointwise (fun v -> Float.min hi (Float.max lo v)) x
+  | Op.Binary b, [ x; y ] ->
+    let od = Tensor.broadcast_dims (view_dims_arr x) (view_dims_arr y) in
+    if not (fits (Array.to_list od)) then None
+    else Some (binary_into ~chunked (float_binary_fn b) x y c co)
+  | Op.BatchNorm { eps }, [ x; scale; bias; mean; var ] -> (
+    match x.Tensor.vdims with
+    | _ :: ch :: _ when fits x.Tensor.vdims
+                        && Tensor.view_numel scale = ch
+                        && Tensor.view_numel bias = ch
+                        && Tensor.view_numel mean = ch
+                        && Tensor.view_numel var = ch ->
+      let sp =
+        List.fold_left ( * ) 1 (match x.Tensor.vdims with _ :: _ :: rest -> rest | _ -> [])
+      in
+      let b = x.Tensor.vbuf and o = x.Tensor.voff in
+      let sv = scale.Tensor.vbuf and so = scale.Tensor.voff in
+      let bv = bias.Tensor.vbuf and bo = bias.Tensor.voff in
+      let mv = mean.Tensor.vbuf and mo = mean.Tensor.voff in
+      let vv = var.Tensor.vbuf and vo = var.Tensor.voff in
+      for i = 0 to cap - 1 do
+        let chn = i / sp mod ch in
+        (* Mirrors [Reduction.batch_norm]'s per-element evaluation order. *)
+        Array.unsafe_set c (co + i)
+          (((Array.unsafe_get b (o + i) -. Array.unsafe_get mv (mo + chn))
+            /. sqrt (Array.unsafe_get vv (vo + chn) +. eps)
+           *. Array.unsafe_get sv (so + chn))
+          +. Array.unsafe_get bv (bo + chn))
+      done;
+      Some x.Tensor.vdims
+    | _ -> None)
+  | Op.MatMul, [ a; b ] -> (
+    match Linalg.matmul_out_dims a.Tensor.vdims b.Tensor.vdims with
+    | exception Invalid_argument _ -> None
+    | od when fits od -> (
+      match backend with
+      | Some be -> Some (Backend.matmul_into ?cls be a b ~c ~co)
+      | None -> Some (Linalg.matmul_into a b ~c ~co))
+    | _ -> None)
+  | Op.Conv { stride; pads; dilation; groups }, (x :: w :: rest) -> (
+    let b = match rest with [ b ] -> Some b | _ -> None in
+    match x.Tensor.vdims, w.Tensor.vdims with
+    | [ n; _; h; wd ], [ m; _; kh; kw ] ->
+      let sh, sw = stride and dh, dw_ = dilation in
+      let pt, pl, pb, pr = pads in
+      let oh =
+        Linalg.conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb
+          ~dilation:dh
+      in
+      let ow =
+        Linalg.conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr
+          ~dilation:dw_
+      in
+      if not (fits [ n; m; oh; ow ]) then None
+      else (
+        match backend with
+        | Some be ->
+          Some
+            (Backend.conv2d_into ?cls be ~stride ~pad:pads ~dilation ~groups x w b ~c
+               ~co)
+        | None ->
+          Some (Linalg.conv2d_into ~stride ~pad:pads ~dilation ~groups x w b ~c ~co))
+    | _ -> None)
+  | _ -> None

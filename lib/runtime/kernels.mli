@@ -20,3 +20,18 @@ val run :
     (MatMul, Gemm, Conv, Conv1d) and large elementwise maps dispatch to
     the blocked/parallel variants; [cls] pins the GEMM shape class when
     the caller resolved it at compile time. *)
+
+val run_into :
+  ?backend:Backend.t -> ?cls:Multi_version.shape_class -> Op.t ->
+  Tensor.view list -> c:float array -> co:int -> cap:int -> int list option
+(** Destination-passing execution for the arena runtime: evaluate [op]
+    over view inputs, writing the single output into [c] at element offset
+    [co], and return its dims — but only when the operator has a
+    destination-passing kernel {e and} the result occupies exactly [cap]
+    elements (the planned slot's capacity).  [None] means nothing was
+    written and the caller must run the boxed {!run} path instead.
+
+    Covered operators: Unary, Binary (broadcasting), Clip, BatchNorm,
+    MatMul and Conv — the ops that dominate steady-state inference
+    traffic.  Everything else (views, reductions, Gemm's transpose
+    scratch, I64 semantics) stays on the boxed path by design. *)

@@ -1,7 +1,9 @@
-let branch_of_pred t =
+let branch_of_pred ~tensor t =
   match Tensor.to_int_list (Tensor.cast t Tensor.I64) with
   | b :: _ -> b
-  | [] -> 0
+  | [] ->
+    Sod2_error.failf ~tensor Sod2_error.Shape_mismatch
+      "Reference: control-flow predicate tensor t%d is empty" tensor
 
 let run (g : Graph.t) ~inputs =
   let value : Tensor.t option array = Array.make (Graph.tensor_count g) None in
@@ -20,7 +22,7 @@ let run (g : Graph.t) ~inputs =
         if List.for_all avail nd.Graph.inputs then begin
           let data = List.hd nd.Graph.inputs in
           let pred = List.nth nd.Graph.inputs 1 in
-          let b = max 0 (min (branches - 1) (branch_of_pred (fetch pred))) in
+          let b = max 0 (min (branches - 1) (branch_of_pred ~tensor:pred (fetch pred))) in
           List.iteri
             (fun i tid -> if i = b then value.(tid) <- Some (fetch data))
             nd.Graph.outputs

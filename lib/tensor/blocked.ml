@@ -147,7 +147,7 @@ let rec micro4x2u4 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31 =
       (c31 +. (a3 *. b1))
   end
 
-let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~m ~n ~k ~a ~ao ~b ~bo ~c ~co () =
+let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ?(ep_off = 0) ~m ~n ~k ~a ~ao ~b ~bo ~c ~co () =
   if m > 0 && n > 0 && k > 0 then begin
     let { tm; tn; tk; kunroll } = tiles in
     let npairs = ceil_div n 2 in
@@ -253,20 +253,24 @@ let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~m ~n ~k ~a ~ao 
                     end
                   end
                 | Some f ->
-                  c.(ci) <- f ci (c.(ci) +. c00);
-                  if wide then c.(ci + 1) <- f (ci + 1) (c.(ci + 1) +. c01);
+                  (* [ei] is the epilogue's destination-relative index: a
+                     plain subtraction here keeps arena callers (ep_off =
+                     their slot base) off a per-element shift closure. *)
+                  let ei = ci - ep_off in
+                  c.(ci) <- f ei (c.(ci) +. c00);
+                  if wide then c.(ci + 1) <- f (ei + 1) (c.(ci + 1) +. c01);
                   if rows > 1 then begin
-                    let ci1 = ci + n in
-                    c.(ci1) <- f ci1 (c.(ci1) +. c10);
-                    if wide then c.(ci1 + 1) <- f (ci1 + 1) (c.(ci1 + 1) +. c11);
+                    let ci1 = ci + n and ei1 = ei + n in
+                    c.(ci1) <- f ei1 (c.(ci1) +. c10);
+                    if wide then c.(ci1 + 1) <- f (ei1 + 1) (c.(ci1 + 1) +. c11);
                     if rows > 2 then begin
-                      let ci2 = ci1 + n in
-                      c.(ci2) <- f ci2 (c.(ci2) +. c20);
-                      if wide then c.(ci2 + 1) <- f (ci2 + 1) (c.(ci2 + 1) +. c21);
+                      let ci2 = ci1 + n and ei2 = ei1 + n in
+                      c.(ci2) <- f ei2 (c.(ci2) +. c20);
+                      if wide then c.(ci2 + 1) <- f (ei2 + 1) (c.(ci2 + 1) +. c21);
                       if rows > 3 then begin
-                        let ci3 = ci2 + n in
-                        c.(ci3) <- f ci3 (c.(ci3) +. c30);
-                        if wide then c.(ci3 + 1) <- f (ci3 + 1) (c.(ci3 + 1) +. c31)
+                        let ci3 = ci2 + n and ei3 = ei2 + n in
+                        c.(ci3) <- f ei3 (c.(ci3) +. c30);
+                        if wide then c.(ci3 + 1) <- f (ei3 + 1) (c.(ci3 + 1) +. c31)
                       end
                     end
                   end)
@@ -276,9 +280,10 @@ let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~m ~n ~k ~a ~ao 
         done)
   end
 
-let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~stride ~pad
-    ~dilation ~groups x w bias =
-  let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+let conv2d_im2col_into ?(par = sequential) ?(tiles = default_tiles) ?epilogue
+    ?(ep_off = 0) ~stride ~pad ~dilation ~groups (vx : Tensor.view)
+    (vw : Tensor.view) (vbias : Tensor.view option) ~c:dst ~co =
+  let dx = Array.of_list vx.Tensor.vdims and dw = Array.of_list vw.Tensor.vdims in
   let n = dx.(0) and c = dx.(1) and h = dx.(2) and wd = dx.(3) in
   let m = dw.(0) and cg = dw.(1) and kh = dw.(2) and kw = dw.(3) in
   let sh, sw = stride in
@@ -293,20 +298,21 @@ let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~stride
     Linalg.conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr
       ~dilation:dw_
   in
-  let out = Tensor.zeros Tensor.F32 [ n; m; oh; ow ] in
-  let src = Tensor.data_f x and wsrc = Tensor.data_f w and dst = Tensor.data_f out in
+  let src = vx.Tensor.vbuf and wsrc = vw.Tensor.vbuf in
   let mg = m / groups in
   let kdim = cg * kh * kw in
   let ndim = oh * ow in
-  (match bias with
+  (* The gemm accumulates into its destination window, so it must start
+     from the bias value (or zero) regardless of what the buffer held. *)
+  (match vbias with
   | Some bt ->
-    let bv = Tensor.data_f bt in
+    let bv = bt.Tensor.vbuf and bvo = bt.Tensor.voff in
     for ni = 0 to n - 1 do
       for mi = 0 to m - 1 do
-        Array.fill dst (((ni * m) + mi) * ndim) ndim bv.(mi)
+        Array.fill dst (co + (((ni * m) + mi) * ndim)) ndim bv.(bvo + mi)
       done
     done
-  | None -> ());
+  | None -> Array.fill dst co (n * m * ndim) 0.0);
   if ndim > 0 && kdim > 0 then begin
     (* One column buffer, rebuilt per (image, group); gemm completes before
        the next rebuild, so reuse is safe even under the parallel runner. *)
@@ -316,7 +322,7 @@ let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~stride
         Array.fill col 0 (kdim * ndim) 0.0;
         for ci = 0 to cg - 1 do
           let cin = (g * cg) + ci in
-          let src_base = ((ni * c) + cin) * h * wd in
+          let src_base = vx.Tensor.voff + (((ni * c) + cin) * h * wd) in
           for ky = 0 to kh - 1 do
             for kx = 0 to kw - 1 do
               let rbase = ((((ci * kh) + ky) * kw) + kx) * ndim in
@@ -336,12 +342,35 @@ let conv2d_im2col ?(par = sequential) ?(tiles = default_tiles) ?epilogue ~stride
           done
         done;
         (* [co] makes the gemm's write indices global flat offsets into the
-           conv output, so the epilogue observes true output coordinates. *)
-        gemm ~par ~tiles ?epilogue ~m:mg ~n:ndim ~k:kdim ~a:wsrc ~ao:(g * mg * kdim)
+           destination buffer; [ep_off] carries the caller's epilogue base
+           through unchanged so epilogue indices stay relative to it. *)
+        gemm ~par ~tiles ?epilogue ~ep_off ~m:mg ~n:ndim ~k:kdim ~a:wsrc
+          ~ao:(vw.Tensor.voff + (g * mg * kdim))
           ~b:col ~bo:0 ~c:dst
-          ~co:(((ni * m) + (g * mg)) * ndim)
+          ~co:(co + (((ni * m) + (g * mg)) * ndim))
           ()
       done
     done
   end;
+  [ n; m; oh; ow ]
+
+let conv2d_im2col ?par ?tiles ?epilogue ~stride ~pad ~dilation ~groups x w bias =
+  let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+  let sh, sw = stride in
+  let pt, pl, pb, pr = pad in
+  let dh, dw_ = dilation in
+  let oh =
+    Linalg.conv2d_out_dim ~in_:dx.(2) ~kernel:dw.(2) ~stride:sh ~pad_begin:pt
+      ~pad_end:pb ~dilation:dh
+  in
+  let ow =
+    Linalg.conv2d_out_dim ~in_:dx.(3) ~kernel:dw.(3) ~stride:sw ~pad_begin:pl
+      ~pad_end:pr ~dilation:dw_
+  in
+  let out = Tensor.zeros Tensor.F32 [ dx.(0); dw.(0); oh; ow ] in
+  ignore
+    (conv2d_im2col_into ?par ?tiles ?epilogue ~stride ~pad ~dilation ~groups
+       (Tensor.view_f x) (Tensor.view_f w)
+       (Option.map Tensor.view_f bias)
+       ~c:(Tensor.data_f out) ~co:0);
   out

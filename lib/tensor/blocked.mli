@@ -38,7 +38,8 @@ val tiles_of : tile_m:int -> tile_n:int -> tile_k:int -> unroll:int -> tiles
     to sane minima so degenerate configs cannot starve the kernel). *)
 
 val gemm :
-  ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) -> m:int -> n:int ->
+  ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) ->
+  ?ep_off:int -> m:int -> n:int ->
   k:int -> a:float array -> ao:int -> b:float array -> bo:int ->
   c:float array -> co:int -> unit -> unit
 (** [gemm ~m ~n ~k ~a ~ao ~b ~bo ~c ~co] accumulates the row-major product
@@ -46,11 +47,14 @@ val gemm :
     its flat offset.  [C] is {e accumulated into}, not overwritten, so
     callers zero- or bias-initialize it.
 
-    [epilogue ci v] rewrites the finished value [v] of element [ci] (a flat
-    index into [c]) during the final k-block's micro-tile write-back —
-    fused-group execution uses it to apply bias/activation chains without a
-    second pass over [C].  It is called exactly once per element, only
-    after the full depth [k] has been accumulated. *)
+    [epilogue ci v] rewrites the finished value [v] of element [ci] during
+    the final k-block's micro-tile write-back — fused-group execution uses
+    it to apply bias/activation chains without a second pass over [C].  It
+    is called exactly once per element, only after the full depth [k] has
+    been accumulated.  [ci] is the element's flat index into [c] minus
+    [ep_off] (default [0], i.e. global): destination-passing callers whose
+    output lives at a nonzero base pass [~ep_off:base] to receive
+    output-relative coordinates without paying a per-element shim. *)
 
 val conv2d_im2col :
   ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) ->
@@ -62,3 +66,14 @@ val conv2d_im2col :
     [epilogue] is forwarded to the underlying {!gemm} write-back with flat
     indices into the NCHW output (it never fires if the output or kernel
     volume is empty). *)
+
+val conv2d_im2col_into :
+  ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) ->
+  ?ep_off:int -> stride:int * int -> pad:int * int * int * int ->
+  dilation:int * int -> groups:int -> Tensor.view -> Tensor.view ->
+  Tensor.view option -> c:float array -> co:int -> int list
+(** Destination-passing {!conv2d_im2col}: operands arrive as
+    offset-carrying views, the [N×M×Oh×Ow] result is written into [c] at
+    element offset [co] (bias- or zero-initialized first) and its dims are
+    returned.  [epilogue] indices are flat offsets into [c] minus [ep_off]
+    (see {!gemm}) — pass [~ep_off:co] for output-relative coordinates. *)

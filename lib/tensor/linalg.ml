@@ -29,17 +29,25 @@ let check_conv_groups ~c ~groups ~cg =
       "input channels %d with groups %d do not match weight channels-per-group %d" c
       groups cg
 
-(* Matmul on the trailing two axes with broadcast batch dims.  [inner]
-   computes one (m×k)·(k×n) product, accumulating into C — the backend
-   swaps in the blocked/parallel kernel here while the batch-broadcast
-   bookkeeping stays single-sourced. *)
-let matmul ?(inner = naive_kernel) a b =
-  let promote_a = Tensor.rank a = 1 in
-  let promote_b = Tensor.rank b = 1 in
-  let a = if promote_a then Tensor.reshape a [ 1; Tensor.numel a ] else a in
-  let b = if promote_b then Tensor.reshape b [ Tensor.numel b; 1 ] else b in
-  let da = Tensor.dims_arr a and db = Tensor.dims_arr b in
+(* The env-free half of matmul: promoted operand dims, GEMM extents,
+   broadcast batch space and the result dims (post promotion-squeeze). *)
+type matmul_spec = {
+  mm_batch_a : int array;
+  mm_batch_b : int array;
+  mm_batch : int array;
+  mm_m : int;
+  mm_n : int;
+  mm_k : int;
+  mm_out : int list;
+}
+
+let matmul_spec adims bdims =
+  let promote_a = List.length adims = 1 in
+  let promote_b = List.length bdims = 1 in
+  let da = Array.of_list (if promote_a then 1 :: adims else adims) in
+  let db = Array.of_list (if promote_b then bdims @ [ 1 ] else bdims) in
   let ra = Array.length da and rb = Array.length db in
+  if ra < 2 || rb < 2 then invalid_arg "Linalg.matmul: operands must have rank >= 1";
   let m = da.(ra - 2) and ka = da.(ra - 1) in
   let kb = db.(rb - 2) and n = db.(rb - 1) in
   if ka <> kb then
@@ -47,14 +55,37 @@ let matmul ?(inner = naive_kernel) a b =
   let batch_a = Array.sub da 0 (ra - 2) in
   let batch_b = Array.sub db 0 (rb - 2) in
   let batch = Tensor.broadcast_dims batch_a batch_b in
+  let out_full = Array.to_list batch @ [ m; n ] in
+  let out =
+    if promote_a then
+      List.filteri (fun i _ -> i <> List.length out_full - 2) out_full
+    else out_full
+  in
+  let out =
+    if promote_b then List.filteri (fun i _ -> i <> List.length out - 1) out
+    else out
+  in
+  { mm_batch_a = batch_a; mm_batch_b = batch_b; mm_batch = batch; mm_m = m; mm_n = n;
+    mm_k = ka; mm_out = out }
+
+let matmul_out_dims adims bdims = (matmul_spec adims bdims).mm_out
+
+(* Matmul on the trailing two axes with broadcast batch dims, written
+   directly into [c] at element offset [co] (destination passing — the
+   arena executor points this at a planned slot).  [inner] computes one
+   (m×k)·(k×n) product, accumulating into C — the backend swaps in the
+   blocked/parallel kernel here while the batch-broadcast bookkeeping
+   stays single-sourced.  Returns the result dims. *)
+let matmul_into ?(inner = naive_kernel) (va : Tensor.view) (vb : Tensor.view) ~c ~co =
+  let s = matmul_spec va.Tensor.vdims vb.Tensor.vdims in
+  let m = s.mm_m and n = s.mm_n and k = s.mm_k in
+  let batch = s.mm_batch in
   let nb = Array.fold_left ( * ) 1 batch in
-  let out_dims = Array.to_list batch @ [ m; n ] in
-  let out = Tensor.zeros Tensor.F32 out_dims in
-  let oc = Tensor.data_f out in
-  let fa = Tensor.data_f a and fb = Tensor.data_f b in
-  let batch_size_a = m * ka and batch_size_b = kb * n in
-  let na = Array.fold_left ( * ) 1 batch_a in
-  let nbb = Array.fold_left ( * ) 1 batch_b in
+  Array.fill c co (nb * m * n) 0.0;
+  let fa = va.Tensor.vbuf and fb = vb.Tensor.vbuf in
+  let batch_size_a = m * k and batch_size_b = k * n in
+  let na = Array.fold_left ( * ) 1 s.mm_batch_a in
+  let nbb = Array.fold_left ( * ) 1 s.mm_batch_b in
   for bi = 0 to nb - 1 do
     (* Broadcast batch index into each operand's batch space. *)
     let ix = Tensor.unravel batch bi in
@@ -70,20 +101,19 @@ let matmul ?(inner = naive_kernel) a b =
         done;
         !off
     in
-    let base_a = off_of batch_a na * batch_size_a in
-    let base_b = off_of batch_b nbb * batch_size_b in
-    let base_o = bi * m * n in
-    inner ~m ~n ~k:ka ~a:fa ~ao:base_a ~b:fb ~bo:base_b ~c:oc ~co:base_o
+    let base_a = va.Tensor.voff + (off_of s.mm_batch_a na * batch_size_a) in
+    let base_b = vb.Tensor.voff + (off_of s.mm_batch_b nbb * batch_size_b) in
+    let base_o = co + (bi * m * n) in
+    inner ~m ~n ~k ~a:fa ~ao:base_a ~b:fb ~bo:base_b ~c ~co:base_o
   done;
-  let out =
-    if promote_a then
-      Tensor.reshape out (List.filteri (fun i _ -> i <> List.length out_dims - 2) out_dims)
-    else out
-  in
-  if promote_b then
-    let d = Tensor.dims out in
-    Tensor.reshape out (List.filteri (fun i _ -> i <> List.length d - 1) d)
-  else out
+  s.mm_out
+
+let matmul ?inner a b =
+  let va = Tensor.view_f a and vb = Tensor.view_f b in
+  let out_dims = matmul_out_dims va.Tensor.vdims vb.Tensor.vdims in
+  let out = Tensor.zeros Tensor.F32 out_dims in
+  ignore (matmul_into ?inner va vb ~c:(Tensor.data_f out) ~co:0);
+  out
 
 let transpose2d t =
   let d = Tensor.dims_arr t in
@@ -107,9 +137,34 @@ let gemm ?inner ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b = fals
   | None -> ab
   | Some c -> Tensor.map2 (fun x y -> x +. (beta *. y)) ab (Tensor.broadcast_to c (Tensor.dims ab))
 
-let conv2d ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) ?(dilation = (1, 1)) ?(groups = 1) x w b
-    =
-  let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+(* Destination-passing GEMM over views: transposes go through small
+   scratch tensors, alpha/beta are applied in place on the destination
+   window.  Returns the result dims. *)
+let gemm_into ?inner ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b = false)
+    (va : Tensor.view) (vb : Tensor.view) (vc : Tensor.view option) ~c ~co =
+  let va = if trans_a then Tensor.view_f (transpose2d (Tensor.of_view va)) else va in
+  let vb = if trans_b then Tensor.view_f (transpose2d (Tensor.of_view vb)) else vb in
+  let od = matmul_into ?inner va vb ~c ~co in
+  let n_out = List.fold_left ( * ) 1 od in
+  if alpha <> 1.0 then
+    for i = co to co + n_out - 1 do
+      c.(i) <- c.(i) *. alpha
+    done;
+  (match vc with
+  | None -> ()
+  | Some vcv ->
+    let ct = Tensor.broadcast_to (Tensor.of_view vcv) od in
+    let cd = Tensor.data_f ct in
+    for i = 0 to n_out - 1 do
+      c.(co + i) <- c.(co + i) +. (beta *. cd.(i))
+    done);
+  od
+
+let conv2d_into ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) ?(dilation = (1, 1)) ?(groups = 1)
+    (vx : Tensor.view) (vw : Tensor.view) (vb : Tensor.view option) ~c:dst ~co =
+  let dx = Array.of_list vx.Tensor.vdims and dw = Array.of_list vw.Tensor.vdims in
+  if Array.length dx <> 4 then invalid_arg "Linalg.conv2d: input must be N×C×H×W";
+  if Array.length dw <> 4 then invalid_arg "Linalg.conv2d: weight must be M×C×KH×KW";
   let n = dx.(0) and c = dx.(1) and h = dx.(2) and wd = dx.(3) in
   let m = dw.(0) and cg = dw.(1) and kh = dw.(2) and kw = dw.(3) in
   let sh, sw = stride in
@@ -118,14 +173,15 @@ let conv2d ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) ?(dilation = (1, 1)) ?(group
   check_conv_groups ~c ~groups ~cg;
   let oh = conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:dh in
   let ow = conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:dw_ in
-  let out = Tensor.zeros Tensor.F32 [ n; m; oh; ow ] in
-  let src = Tensor.data_f x and wsrc = Tensor.data_f w and dst = Tensor.data_f out in
-  let bias = Option.map Tensor.data_f b in
+  let src = vx.Tensor.vbuf and wsrc = vw.Tensor.vbuf in
+  let so = vx.Tensor.voff and wo = vw.Tensor.voff in
   let mg = m / groups in
   for ni = 0 to n - 1 do
     for mi = 0 to m - 1 do
       let g = mi / mg in
-      let bias_v = match bias with Some a -> a.(mi) | None -> 0.0 in
+      let bias_v =
+        match vb with Some v -> v.Tensor.vbuf.(v.Tensor.voff + mi) | None -> 0.0
+      in
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
           let acc = ref bias_v in
@@ -139,16 +195,29 @@ let conv2d ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) ?(dilation = (1, 1)) ?(group
                   if ix >= 0 && ix < wd then
                     acc :=
                       !acc
-                      +. src.((((((ni * c) + cin) * h) + iy) * wd) + ix)
-                         *. wsrc.((((((mi * cg) + ci) * kh) + ky) * kw) + kx)
+                      +. src.(so + (((((ni * c) + cin) * h) + iy) * wd) + ix)
+                         *. wsrc.(wo + (((((mi * cg) + ci) * kh) + ky) * kw) + kx)
                 done
             done
           done;
-          dst.((((((ni * m) + mi) * oh) + oy) * ow) + ox) <- !acc
+          dst.(co + (((((ni * m) + mi) * oh) + oy) * ow) + ox) <- !acc
         done
       done
     done
   done;
+  [ n; m; oh; ow ]
+
+let conv2d ?stride ?pad ?dilation ?groups x w b =
+  let vx = Tensor.view_f x and vw = Tensor.view_f w in
+  let vb = Option.map Tensor.view_f b in
+  let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+  let sh, sw = Option.value stride ~default:(1, 1) in
+  let pt, pl, pb, pr = Option.value pad ~default:(0, 0, 0, 0) in
+  let dh, dw_ = Option.value dilation ~default:(1, 1) in
+  let oh = conv2d_out_dim ~in_:dx.(2) ~kernel:dw.(2) ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:dh in
+  let ow = conv2d_out_dim ~in_:dx.(3) ~kernel:dw.(3) ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:dw_ in
+  let out = Tensor.zeros Tensor.F32 [ dx.(0); dw.(0); oh; ow ] in
+  ignore (conv2d_into ?stride ?pad ?dilation ?groups vx vw vb ~c:(Tensor.data_f out) ~co:0);
   out
 
 let conv1d ?(stride = 1) ?(pad = (0, 0)) ?(dilation = 1) ?(groups = 1) x w b =

@@ -23,6 +23,28 @@ val matmul : ?inner:gemm_kernel -> Tensor.t -> Tensor.t -> Tensor.t
     [b]; leading axes broadcast.  1-d operands are promoted as in numpy.
     [inner] overrides the per-batch GEMM kernel (default naive). *)
 
+val matmul_out_dims : int list -> int list -> int list
+(** Result dims of {!matmul} for the given operand dims (promotion and
+    batch broadcast applied); raises on incompatible operands.  Lets the
+    arena executor size a destination slot before calling
+    {!matmul_into}. *)
+
+val matmul_into :
+  ?inner:gemm_kernel -> Tensor.view -> Tensor.view ->
+  c:float array -> co:int -> int list
+(** Destination-passing {!matmul}: writes the product into [c] starting at
+    element offset [co] (the window is zeroed first — [inner]
+    accumulates), reading the operands through offset-carrying views.
+    Returns the result dims. *)
+
+val gemm_into :
+  ?inner:gemm_kernel ->
+  ?alpha:float -> ?beta:float -> ?trans_a:bool -> ?trans_b:bool ->
+  Tensor.view -> Tensor.view -> Tensor.view option ->
+  c:float array -> co:int -> int list
+(** Destination-passing {!gemm}; transposed operands go through scratch
+    tensors, alpha/beta are folded in place on the destination window. *)
+
 val gemm :
   ?inner:gemm_kernel ->
   ?alpha:float -> ?beta:float -> ?trans_a:bool -> ?trans_b:bool ->
@@ -35,6 +57,13 @@ val conv2d :
   ?groups:int -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
 (** [conv2d x w b] with [x : N×C×H×W], [w : M×(C/g)×Kh×Kw], optional bias
     [b : M].  [pad] is (top, left, bottom, right). *)
+
+val conv2d_into :
+  ?stride:int * int -> ?pad:int * int * int * int -> ?dilation:int * int ->
+  ?groups:int -> Tensor.view -> Tensor.view -> Tensor.view option ->
+  c:float array -> co:int -> int list
+(** Destination-passing {!conv2d}: writes the [N×M×Oh×Ow] result into [c]
+    at element offset [co] and returns those dims. *)
 
 val conv1d :
   ?stride:int -> ?pad:int * int -> ?dilation:int -> ?groups:int ->

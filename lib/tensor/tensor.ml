@@ -68,6 +68,42 @@ let byte_size t =
   | F a -> 4 * Array.length a
   | I a -> 8 * Array.length a
 
+(* Offset-carrying float views: the destination-passing kernels' currency.
+   A view is a window of [vnumel] contiguous elements of [vbuf] starting at
+   [voff], interpreted with shape [vdims] — what an arena slot (or a whole
+   boxed tensor, at offset 0) looks like to a kernel.  OCaml [float array]
+   cannot be sub-sliced without copying, so views stay a (buffer, offset,
+   dims) triple rather than a [t]. *)
+type view = { vbuf : float array; voff : int; vdims : int list }
+
+let view_numel v = List.fold_left ( * ) 1 v.vdims
+
+let view_f t =
+  match t.data with
+  | F a -> { vbuf = a; voff = 0; vdims = Array.to_list t.shape }
+  | I _ -> invalid_arg "Tensor.view_f: integer tensor"
+
+let sub_view ~buf ~off ~dims =
+  let n = List.fold_left ( * ) 1 dims in
+  if off < 0 || off + n > Array.length buf then
+    invalid_arg
+      (Printf.sprintf "Tensor.sub_view: window [%d, %d) outside buffer of %d" off
+         (off + n) (Array.length buf));
+  { vbuf = buf; voff = off; vdims = dims }
+
+let view_reshape v dims =
+  let n = List.fold_left ( * ) 1 dims in
+  if n <> view_numel v then
+    invalid_arg "Tensor.view_reshape: element counts differ";
+  { v with vdims = dims }
+
+let of_view v =
+  let n = view_numel v in
+  if v.voff = 0 && n = Array.length v.vbuf then
+    (* The view spans its whole buffer: wrap without copying. *)
+    { shape = Array.of_list v.vdims; data = F v.vbuf }
+  else { shape = Array.of_list v.vdims; data = F (Array.sub v.vbuf v.voff n) }
+
 let strides t =
   let r = Array.length t.shape in
   let s = Array.make r 1 in
@@ -183,11 +219,18 @@ let map2 f a b =
   let n = product out in
   let da = data_f a and db = data_f b in
   let data = Array.make n 0.0 in
-  for flat = 0 to n - 1 do
-    let ix = unravel out flat in
-    data.(flat) <-
-      f da.(broadcast_offset a.shape out ix) db.(broadcast_offset b.shape out ix)
-  done;
+  if a.shape = b.shape then
+    (* Same-shape fast path: flat indices line up, no per-element unravel. *)
+    for flat = 0 to n - 1 do
+      Array.unsafe_set data flat
+        (f (Array.unsafe_get da flat) (Array.unsafe_get db flat))
+    done
+  else
+    for flat = 0 to n - 1 do
+      let ix = unravel out flat in
+      data.(flat) <-
+        f da.(broadcast_offset a.shape out ix) db.(broadcast_offset b.shape out ix)
+    done;
   { shape = out; data = F data }
 
 let map2i f a b =
@@ -195,11 +238,17 @@ let map2i f a b =
   let n = product out in
   let da = data_i a and db = data_i b in
   let data = Array.make n 0 in
-  for flat = 0 to n - 1 do
-    let ix = unravel out flat in
-    data.(flat) <-
-      f da.(broadcast_offset a.shape out ix) db.(broadcast_offset b.shape out ix)
-  done;
+  if a.shape = b.shape then
+    for flat = 0 to n - 1 do
+      Array.unsafe_set data flat
+        (f (Array.unsafe_get da flat) (Array.unsafe_get db flat))
+    done
+  else
+    for flat = 0 to n - 1 do
+      let ix = unravel out flat in
+      data.(flat) <-
+        f da.(broadcast_offset a.shape out ix) db.(broadcast_offset b.shape out ix)
+    done;
   { shape = out; data = I data }
 
 let cast t target =

@@ -58,6 +58,36 @@ val to_int_list : t -> int list
 val byte_size : t -> int
 (** Size in bytes (4 bytes per f32 element, 8 per int). *)
 
+(** {1 Offset-carrying views}
+
+    The destination-passing kernels' currency: a window of a float buffer —
+    an arena slot, or a whole boxed tensor at offset 0 — with its own
+    shape.  Views share storage; nothing is copied until {!of_view} has to
+    box a proper sub-window. *)
+
+type view = {
+  vbuf : float array;  (** backing storage, shared *)
+  voff : int;  (** element offset of the window *)
+  vdims : int list;
+}
+
+val view_f : t -> view
+(** O(1) whole-tensor view; raises [Invalid_argument] on an integer
+    tensor. *)
+
+val sub_view : buf:float array -> off:int -> dims:int list -> view
+(** View of [buf] at element offset [off]; raises [Invalid_argument] when
+    the window falls outside the buffer. *)
+
+val view_reshape : view -> int list -> view
+(** O(1) dims change; element counts must agree. *)
+
+val view_numel : view -> int
+
+val of_view : view -> t
+(** Box a view as a tensor.  Shares the buffer when the view spans it
+    entirely (offset 0, full length); copies the window otherwise. *)
+
 (** {1 Indexing} *)
 
 val strides : t -> int array

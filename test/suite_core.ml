@@ -363,6 +363,55 @@ let prop_memplan_optimal_small =
       let gr = Sod2.Mem_plan.arena_for Sod2.Mem_plan.Greedy_first_fit ~lifetimes:lts in
       opt <= pf && opt <= gr)
 
+(* Every strategy's placement must pass the no-overlap invariant checker —
+   the property the arena executor's correctness rests on. *)
+let prop_memplan_validate_heuristics =
+  QCheck2.Test.make ~name:"heuristic placements always validate" ~count:200 lifetime_gen
+    (fun raw ->
+      let lts = normalize_lifetimes raw in
+      List.for_all
+        (fun s -> Sod2.Mem_plan.validate (Sod2.Mem_plan.plan_raw s ~lifetimes:lts) = Ok ())
+        [ Sod2.Mem_plan.Greedy_first_fit; Sod2.Mem_plan.Peak_first ])
+
+let prop_memplan_validate_optimal =
+  QCheck2.Test.make ~name:"optimal-search placements always validate" ~count:40
+    QCheck2.Gen.(list_size (int_range 1 7) (tup3 (int_range 1 64) (int_range 0 6) (int_range 0 4)))
+    (fun raw ->
+      let lts = normalize_lifetimes raw in
+      Sod2.Mem_plan.validate
+        (Sod2.Mem_plan.plan_raw Sod2.Mem_plan.Optimal_search ~lifetimes:lts)
+      = Ok ())
+
+(* Symbolic plans instantiated at a random positive binding must agree
+   with concrete plans computed directly at that binding, and each entry's
+   affine element count must equal the product of its evaluated dims —
+   i.e. the runtime's affine-evaluation shortcut loses nothing. *)
+let prop_symbolic_plan_matches_concrete =
+  let g = graph_of "codebert" in
+  let c = Sod2.Pipeline.compile cpu g in
+  QCheck2.Test.make ~name:"symbolic plan instantiation = concrete plan" ~count:20
+    QCheck2.Gen.(int_range 1 12)
+    (fun s8 ->
+      let env = Sod2.Pipeline.plan_env c (8 * s8) in
+      let sym = c.Sod2.Pipeline.mem_symbolic in
+      let mp = Sod2.Mem_plan.instantiate sym ~env in
+      let concrete =
+        Sod2.Mem_plan.plan ~strategy:sym.Sod2.Mem_plan.sym_strategy g c.Sod2.Pipeline.rdp
+          c.Sod2.Pipeline.fusion_plan
+          ~order:c.Sod2.Pipeline.exec.Sod2.Exec_plan.order ~env
+      in
+      Sod2.Mem_plan.validate mp = Ok ()
+      && mp.Sod2.Mem_plan.arena_bytes = concrete.Sod2.Mem_plan.arena_bytes
+      && mp.Sod2.Mem_plan.allocs = concrete.Sod2.Mem_plan.allocs
+      && List.for_all
+           (fun (e : Sod2.Mem_plan.sym_entry) ->
+             match Shape.eval env e.Sod2.Mem_plan.se_shape, e.Sod2.Mem_plan.se_numel with
+             | Some dims, Some n ->
+               Env.eval env n = Some (List.fold_left ( * ) 1 dims)
+             | Some _, None -> true
+             | None, _ -> false)
+           sym.Sod2.Mem_plan.sym_entries)
+
 let test_memplan_on_model () =
   let g = graph_of "yolov6" in
   let c = Sod2.Pipeline.compile cpu g in
@@ -626,6 +675,9 @@ let suite =
     Alcotest.test_case "pipeline flags" `Quick test_pipeline_flags;
     QCheck_alcotest.to_alcotest prop_memplan_no_overlap_and_bound;
     QCheck_alcotest.to_alcotest prop_memplan_optimal_small;
+    QCheck_alcotest.to_alcotest prop_memplan_validate_heuristics;
+    QCheck_alcotest.to_alcotest prop_memplan_validate_optimal;
+    QCheck_alcotest.to_alcotest prop_symbolic_plan_matches_concrete;
     QCheck_alcotest.to_alcotest prop_remat_sound;
     QCheck_alcotest.to_alcotest prop_remat_monotone;
     QCheck_alcotest.to_alcotest prop_exec_plan_optimal;

@@ -162,6 +162,102 @@ let test_arena_execution () =
         boxed arena.Sod2_runtime.Arena_exec.outputs)
     [ "codebert"; "yolov6"; "skipnet"; "ranet"; "conformer" ]
 
+(* A Sub recurrence where every intermediate keeps two consumers (the last
+   two values are both graph outputs), so no fusion group forms and every
+   step takes the destination-passing path. *)
+let stream_graph ~steps dims =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints dims) in
+  let c0 = Graph.Builder.const b ~name:"c" (Tensor.full_f dims 0.5) in
+  let prev = ref x and cur = ref (Graph.Builder.node1 b (Op.Binary Op.Sub) [ x; c0 ]) in
+  for _ = 2 to steps do
+    let nxt = Graph.Builder.node1 b (Op.Binary Op.Sub) [ !cur; !prev ] in
+    prev := !cur;
+    cur := nxt
+  done;
+  Graph.Builder.set_outputs b [ !cur; !prev ];
+  x, Graph.Builder.finish b
+
+(* Steady state (satellite of the zero-copy arena work): the second arena
+   inference over the same binding must re-plan nothing (plan served from
+   the per-binding cache) and copy nothing (every intermediate written
+   straight into its slot). *)
+let test_arena_steady_state () =
+  let x, g = stream_graph ~steps:8 [ 4; 64 ] in
+  let c = Sod2.Pipeline.compile cpu g in
+  let inputs = [ x, Tensor.rand_uniform (Rng.create 2) [ 4; 64 ] ] in
+  let arena = Sod2_runtime.Arena.create () in
+  let run () = Sod2_runtime.Arena_exec.run ~arena c ~env:Env.empty ~inputs in
+  ignore (run ());
+  Profile.Counters.reset ();
+  let res = run () in
+  let count k = Option.value ~default:0 (List.assoc_opt k (Profile.Counters.by_kind ())) in
+  Alcotest.(check int) "no replanning in steady state" 0 (count "plan-cache-miss");
+  Alcotest.(check bool) "plan served from the binding cache" true (count "plan-cache-hit" >= 1);
+  Alcotest.(check int) "no intermediate copies" 0 (count "arena-copy-out");
+  Alcotest.(check bool) "kernels wrote straight into slots" true
+    (count "arena-dest-store" > 0);
+  let _, boxed = Sod2_runtime.Executor.run_real c ~inputs in
+  List.iter2
+    (fun (t1, v1) (t2, v2) ->
+      Alcotest.(check int) "same output id" t1 t2;
+      if not (Tensor.approx_equal ~eps:1e-5 v1 v2) then
+        Alcotest.fail "steady-state arena outputs diverged from the reference")
+    boxed res.Sod2_runtime.Arena_exec.outputs
+
+(* An empty control-flow predicate is a malformed execution, not branch 0:
+   both interpreters must raise the structured error. *)
+let test_empty_predicate_raises () =
+  let b = Graph.Builder.create () in
+  let x = Graph.Builder.input b ~name:"x" (Shape.of_ints [ 2 ]) in
+  let pred = Graph.Builder.const b ~name:"pred" (Tensor.create_i [ 0 ] [||]) in
+  (match Graph.Builder.node b (Op.Switch { branches = 2 }) [ x; pred ] with
+  | [ o0; o1 ] ->
+    let y = Graph.Builder.node1 b (Op.Combine { branches = 2 }) [ o0; o1; pred ] in
+    Graph.Builder.set_outputs b [ y ]
+  | _ -> assert false);
+  let g = Graph.Builder.finish b in
+  let inputs = [ x, Tensor.create_f [ 2 ] [| 1.0; 2.0 |] ] in
+  (try
+     ignore (Sod2_runtime.Reference.run g ~inputs);
+     Alcotest.fail "reference: empty predicate not rejected"
+   with Sod2_error.Error { cls = Sod2_error.Shape_mismatch; _ } -> ());
+  let c = Sod2.Pipeline.compile cpu g in
+  try
+    ignore (Sod2_runtime.Executor.run_real c ~inputs);
+    Alcotest.fail "executor: empty predicate not rejected"
+  with Sod2_error.Error { cls = Sod2_error.Shape_mismatch; _ } -> ()
+
+(* The arena composes with every kernel backend: outputs of steady-state
+   (slot-reusing) arena runs agree with the malloc-mode interpreter. *)
+let test_arena_backends_match () =
+  let sp = spec "codebert" in
+  let g = graph_of "codebert" in
+  let c = Sod2.Pipeline.compile cpu g in
+  let env = tiny_env sp in
+  let inputs = Zoo.make_inputs sp g env (Rng.create 17) in
+  let _, boxed = Sod2_runtime.Executor.run_real c ~inputs in
+  List.iter
+    (fun kind ->
+      let be = Sod2_runtime.Backend.for_compiled kind c in
+      Fun.protect
+        ~finally:(fun () -> Sod2_runtime.Backend.shutdown be)
+        (fun () ->
+          let arena = Sod2_runtime.Arena.create () in
+          ignore (Sod2_runtime.Arena_exec.run ~backend:be ~arena c ~env ~inputs);
+          let res = Sod2_runtime.Arena_exec.run ~backend:be ~arena c ~env ~inputs in
+          List.iter2
+            (fun (t1, v1) (t2, v2) ->
+              Alcotest.(check int) "same output id" t1 t2;
+              if not (Tensor.approx_equal ~eps:1e-3 v1 v2) then
+                Alcotest.failf "arena outputs diverge under the %s backend"
+                  (Sod2_runtime.Backend.kind_name kind))
+            boxed res.Sod2_runtime.Arena_exec.outputs))
+    [
+      Sod2_runtime.Backend.Naive; Sod2_runtime.Backend.Blocked;
+      Sod2_runtime.Backend.Parallel; Sod2_runtime.Backend.Fused;
+    ]
+
 let test_arena_rejects_mismatched_env () =
   let sp = spec "codebert" in
   let g = graph_of "codebert" in
@@ -240,6 +336,10 @@ let suite =
     Alcotest.test_case "dgnet dry routing" `Quick test_dgnet_dry_routing;
     Alcotest.test_case "arena execution matches boxed" `Slow test_arena_execution;
     Alcotest.test_case "arena rejects plan/input mismatch" `Quick test_arena_rejects_mismatched_env;
+    Alcotest.test_case "arena steady state re-plans and copies nothing" `Quick
+      test_arena_steady_state;
+    Alcotest.test_case "empty control-flow predicate raises" `Quick test_empty_predicate_raises;
+    Alcotest.test_case "arena composes with every backend" `Slow test_arena_backends_match;
     Alcotest.test_case "event bookkeeping" `Quick test_event_bookkeeping;
     Alcotest.test_case "unresolved dry shapes raise" `Quick test_unresolved_raises;
     Alcotest.test_case "dry mode deterministic" `Quick test_dry_deterministic;
