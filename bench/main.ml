@@ -19,6 +19,7 @@ let run_tables = ref true
 let run_kernels = ref true
 let run_arena = ref true
 let arena_smoke = ref false
+let engine_smoke = ref false
 let smoke_backend = ref None
 
 let () =
@@ -45,6 +46,14 @@ let () =
       run_bechamel := false;
       run_tables := false;
       run_kernels := false;
+      parse rest
+    | "--engine-smoke" :: rest ->
+      (* CI mode: engine throughput scaling + equivalence/zero-replan check. *)
+      engine_smoke := true;
+      run_bechamel := false;
+      run_tables := false;
+      run_kernels := false;
+      run_arena := false;
       parse rest
     | "--backend" :: v :: rest ->
       (match Sod2_runtime.Backend.kind_of_string v with
@@ -576,6 +585,157 @@ let arena_bench ~smoke () =
   end
   else Printf.printf "  arena outputs match the reference executor\n"
 
+(* ------------------------------------------------------------------ *)
+(* Engine: concurrent serving throughput vs sequential run_real        *)
+(* ------------------------------------------------------------------ *)
+
+(* The arena-friendly serving workload: the Sub-recurrence stream of
+   [chain_stream_graph], but with a symbolic batch dimension so requests
+   carry genuinely different shape bindings and exercise the per-binding
+   plan cache.  Two consumers per stream tensor defeat fusion, so every
+   step is one arena-planned destination kernel. *)
+let sym_stream_graph ~steps ~cols () =
+  let b = Graph.Builder.create () in
+  let x =
+    Graph.Builder.input b ~name:"x" (Shape.of_dims [ Dim.of_sym "B"; Dim.of_int cols ])
+  in
+  let c =
+    Graph.Builder.const b ~name:"c"
+      (Tensor.map_f (fun v -> 0.5 *. v) (Tensor.rand_uniform (Rng.create 17) [ cols ]))
+  in
+  let prev = ref x and cur = ref (Graph.Builder.node1 b (Op.Binary Op.Sub) [ x; c ]) in
+  for _ = 2 to steps do
+    let nxt = Graph.Builder.node1 b (Op.Binary Op.Sub) [ !cur; !prev ] in
+    prev := !cur;
+    cur := nxt
+  done;
+  Graph.Builder.set_outputs b [ !cur ];
+  Graph.Builder.finish b
+
+let engine_bench () =
+  Printf.printf "\n=== Engine: concurrent serving vs sequential run_real ===\n";
+  let cols = 256 and steps = 256 and requests = 32 in
+  let g = sym_stream_graph ~steps ~cols () in
+  let c = Sod2.Pipeline.compile cpu g in
+  (* One deterministic input per binding, so every same-binding request is
+     comparable against a single precomputed reference output. *)
+  let samples =
+    List.map
+      (fun bsz ->
+        let env = Env.of_list [ "B", bsz ] in
+        let inputs = [ 0, Tensor.rand_uniform (Rng.create (100 + bsz)) [ bsz; cols ] ] in
+        let reference = RT.Reference.run g ~inputs in
+        env, inputs, reference)
+      [ 192; 224; 256; 288 ]
+  in
+  let nbindings = List.length samples in
+  let stream = List.init requests (fun i -> List.nth samples (i mod nbindings)) in
+  let bit_identical outs ref_outs =
+    List.length outs = List.length ref_outs
+    && List.for_all2
+         (fun (ta, va) (tb, vb) ->
+           ta = tb && Tensor.dims va = Tensor.dims vb
+           && Tensor.data_f va = Tensor.data_f vb)
+         outs ref_outs
+  in
+  let ok = ref true in
+  let zero_miss = ref true in
+  (* Sequential baseline: the historical one-shot malloc path, one request
+     at a time. *)
+  let seq_time =
+    ignore (RT.Executor.run_real c ~inputs:(let _, i, _ = List.hd stream in i));
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, inputs, _) -> ignore (RT.Executor.run_real c ~inputs)) stream;
+    Unix.gettimeofday () -. t0
+  in
+  List.iter
+    (fun (_, inputs, reference) ->
+      let _, outs = RT.Executor.run_real c ~inputs in
+      if not (bit_identical outs reference) then begin
+        ok := false;
+        Printf.printf "  sequential run_real EQUIVALENCE FAILURE vs reference!\n"
+      end)
+    samples;
+  Printf.printf "  %d requests x %d-step stream, %d distinct bindings\n" requests steps
+    nbindings;
+  Printf.printf "  sequential run_real: %8.1f ms  (%.1f req/s)\n" (seq_time *. 1e3)
+    (float_of_int requests /. seq_time);
+  let cfg =
+    { RT.Executor.default_config with RT.Executor.memory = RT.Executor.Mem_arena }
+  in
+  let misses () = Profile.Counters.count ~profile:cpu.Profile.name ~kind:"plan-cache-miss" in
+  let sweep workers =
+    let eng = RT.Engine.create ~workers ~max_batch:4 ~config:cfg c in
+    (* Warm up: every binding a few times per worker, so the shared plan
+       cache and each worker's grow-only arena reach steady state. *)
+    for _ = 1 to 2 * workers do
+      List.iter (fun (env, inputs, _) -> ignore (RT.Engine.infer eng ~env ~inputs)) samples
+    done;
+    let miss0 = misses () in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      List.map (fun (env, inputs, _) -> RT.Engine.submit eng ~env ~inputs) stream
+    in
+    let results = List.map (RT.Engine.await eng) tickets in
+    let dt = Unix.gettimeofday () -. t0 in
+    let fresh_misses = misses () - miss0 in
+    List.iter2
+      (fun (_, _, reference) (r : RT.Engine.result) ->
+        if not (bit_identical r.RT.Engine.outputs reference) then begin
+          ok := false;
+          Printf.printf "  engine (workers=%d) EQUIVALENCE FAILURE vs reference!\n" workers
+        end)
+      stream results;
+    if fresh_misses <> 0 then begin
+      zero_miss := false;
+      Printf.printf "  engine (workers=%d): %d plan-cache misses after warmup!\n" workers
+        fresh_misses
+    end;
+    let st = RT.Engine.stats eng in
+    RT.Engine.shutdown eng;
+    Printf.printf
+      "  engine %d worker%s:     %8.1f ms  (%.1f req/s, %.2fx vs sequential, %d batched)\n"
+      workers
+      (if workers = 1 then " " else "s")
+      (dt *. 1e3)
+      (float_of_int requests /. dt)
+      (seq_time /. dt) st.RT.Engine.batched;
+    workers, dt, st
+  in
+  let sweeps = List.map sweep [ 1; 2; 4 ] in
+  let _, dt4, _ = List.nth sweeps 2 in
+  Printf.printf "  throughput at 4 workers vs sequential: %.2fx (floor 2.0x)\n"
+    (seq_time /. dt4);
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc
+    "{\n  \"workload\": {\"steps\": %d, \"cols\": %d, \"requests\": %d, \"bindings\": %d},\n"
+    steps cols requests nbindings;
+  Printf.fprintf oc "  \"sequential_ms\": %.3f,\n  \"engine\": [\n" (seq_time *. 1e3);
+  List.iteri
+    (fun i (workers, dt, (st : RT.Engine.stats)) ->
+      Printf.fprintf oc
+        "    {\"workers\": %d, \"wall_ms\": %.3f, \"req_per_s\": %.1f, \"speedup\": \
+         %.3f, \"batched\": %d, \"queue_peak\": %d, \"mean_latency_ms\": %.3f}%s\n"
+        workers (dt *. 1e3)
+        (float_of_int requests /. dt)
+        (seq_time /. dt) st.RT.Engine.batched st.RT.Engine.queue_peak
+        (st.RT.Engine.total_latency_us /. float_of_int (max 1 st.RT.Engine.completed) /. 1e3)
+        (if i = List.length sweeps - 1 then "" else ","))
+    sweeps;
+  Printf.fprintf oc "  ],\n  \"outputs_bit_identical\": %b, \"zero_miss_steady_state\": %b\n}\n"
+    !ok !zero_miss;
+  close_out oc;
+  Printf.printf "  wrote BENCH_engine.json\n";
+  if not !ok then begin
+    Printf.printf "  engine equivalence check FAILED\n";
+    exit 1
+  end;
+  if not !zero_miss then begin
+    Printf.printf "  steady-state zero-replan check FAILED\n";
+    exit 1
+  end;
+  Printf.printf "  all outputs bit-identical to Reference; zero steady-state plan misses\n"
+
 let backend_smoke kind =
   let bert_g = graph_of bert in
   let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
@@ -631,6 +791,7 @@ let () =
     fused_speedups ()
   end;
   if !run_arena || !arena_smoke then arena_bench ~smoke:!arena_smoke ();
+  if !engine_smoke then engine_bench ();
   (match !smoke_backend with
   | Some kind -> backend_smoke kind
   | None -> ());

@@ -43,6 +43,58 @@ let env_of_dims spec dims =
           exit 2)
       Env.empty (String.split_on_char ',' s)
 
+(* Resolve the consolidated --exec spec plus the deprecated --backend /
+   --memory aliases (and run's legacy --arena flag) into one
+   [Executor.config].  Explicit aliases override the spec so old command
+   lines behave exactly as before, just with a nudge on stderr. *)
+let exec_config ?(default = Sod2_runtime.Executor.default_config) ~exec ~backend ~memory
+    ~arena () =
+  let cfg =
+    match exec with
+    | None -> default
+    | Some s -> (
+      match Sod2_runtime.Executor.config_of_string s with
+      | Ok cfg -> cfg
+      | Error e ->
+        Printf.eprintf "bad --exec spec: %s\n" e;
+        exit 2)
+  in
+  let cfg =
+    match backend with
+    | None -> cfg
+    | Some b -> (
+      Printf.eprintf "note: --backend is deprecated; use --exec %s[,arena][,guarded]\n" b;
+      match Sod2_runtime.Backend.kind_of_string b with
+      | Some k -> { cfg with Sod2_runtime.Executor.backend = k }
+      | None ->
+        Printf.eprintf "unknown backend %S (expected naive|blocked|parallel|fused)\n" b;
+        exit 2)
+  in
+  let cfg =
+    match memory with
+    | None -> cfg
+    | Some m -> (
+      Printf.eprintf "note: --memory is deprecated; use --exec KIND,%s\n" m;
+      match m with
+      | "malloc" -> { cfg with Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_malloc }
+      | "arena" -> { cfg with Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_arena }
+      | other ->
+        Printf.eprintf "unknown memory mode %S (expected malloc|arena)\n" other;
+        exit 2)
+  in
+  if arena then { cfg with Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_arena }
+  else cfg
+
+let exec_arg =
+  Arg.(value & opt (some string) None
+       & info [ "exec" ] ~docv:"SPEC"
+           ~doc:"Execution config: naive|blocked|parallel|fused, optionally \
+                 followed by comma-separated modifiers arena (planned arena \
+                 memory), guarded (graceful degradation under runtime \
+                 guards) and all-paths (execute every control-flow branch).  \
+                 Example: --exec fused,arena.  Subsumes the deprecated \
+                 --backend and --memory flags.")
+
 (* --- list ---------------------------------------------------------- *)
 
 let list_cmd =
@@ -128,29 +180,15 @@ let compile_cmd =
 (* --- run ----------------------------------------------------------- *)
 
 let run_cmd =
-  let run model device dims real arena backend memory =
+  let run model device dims real arena exec backend memory =
     let sp = spec_of_name model in
     let profile = profile_of_name device in
     let g = sp.build () in
     let env = env_of_dims sp dims in
-    let backend_kind =
-      match Sod2_runtime.Backend.kind_of_string backend with
-      | Some k -> k
-      | None ->
-        Printf.eprintf "unknown backend %S (expected naive|blocked|parallel|fused)\n"
-          backend;
-        exit 2
-    in
-    (* --arena is the legacy spelling of --memory arena. *)
-    let arena_mode =
-      match memory with
-      | "malloc" -> arena
-      | "arena" -> true
-      | other ->
-        Printf.eprintf "unknown memory mode %S (expected malloc|arena)\n" other;
-        exit 2
-    in
-    if real || arena_mode then begin
+    let cfg = exec_config ~exec ~backend ~memory ~arena () in
+    let backend_kind = cfg.Sod2_runtime.Executor.backend in
+    let arena_mode = cfg.Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_arena in
+    if real || arena_mode || cfg.Sod2_runtime.Executor.guarded then begin
       let c = Sod2.Pipeline.compile profile g in
       let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
       let be = Sod2_runtime.Backend.for_compiled backend_kind c in
@@ -158,16 +196,30 @@ let run_cmd =
         ~finally:(fun () -> Sod2_runtime.Backend.shutdown be)
         (fun () ->
           let outs =
-            if arena_mode then begin
-              let r = Sod2_runtime.Arena_exec.run ~backend:be c ~env ~inputs in
+            if cfg.Sod2_runtime.Executor.guarded then begin
+              let r = Sod2_runtime.Guarded_exec.run ~config:cfg ~backend:be c ~env ~inputs in
+              Printf.printf
+                "guarded: %d planned groups, %d demoted nodes, %d incidents (%s backend%s)\n"
+                r.Sod2_runtime.Guarded_exec.planned_groups
+                r.Sod2_runtime.Guarded_exec.demoted_nodes
+                (List.length r.Sod2_runtime.Guarded_exec.incidents)
+                (Sod2_runtime.Backend.kind_name backend_kind)
+                (if arena_mode then ", arena" else "");
+              r.Sod2_runtime.Guarded_exec.outputs
+            end
+            else if arena_mode then begin
+              let r = Sod2_runtime.Engine.run_arena ~backend:be c ~env ~inputs in
               Printf.printf "arena: %d bytes, %d resident tensors (%s backend)\n"
-                r.Sod2_runtime.Arena_exec.arena_bytes
-                r.Sod2_runtime.Arena_exec.arena_resident
+                r.Sod2_runtime.Engine.arena_bytes
+                r.Sod2_runtime.Engine.arena_resident
                 (Sod2_runtime.Backend.kind_name backend_kind);
-              r.Sod2_runtime.Arena_exec.outputs
+              r.Sod2_runtime.Engine.outputs
             end
             else begin
-              let trace, outs = Sod2_runtime.Executor.run_real ~backend:be c ~inputs in
+              let trace, outs =
+                Sod2_runtime.Executor.run_real ~control:cfg.Sod2_runtime.Executor.control
+                  ~backend:be c ~inputs
+              in
               Printf.printf "executed %d nodes (%d fused groups, %s backend, %d domains)\n"
                 trace.Sod2_runtime.Executor.nodes_executed
                 (List.length trace.Sod2_runtime.Executor.steps)
@@ -207,30 +259,118 @@ let run_cmd =
   let arena =
     Arg.(value & flag
          & info [ "arena" ]
-             ~doc:"Shorthand for --memory arena.")
+             ~doc:"Shorthand for --exec KIND,arena.")
   in
   let memory =
-    Arg.(value & opt string "malloc"
+    Arg.(value & opt (some string) None
          & info [ "memory" ] ~docv:"MODE"
-             ~doc:"Memory discipline for real interpretation: malloc (fresh \
-                   tensor per result) or arena (every planned tensor lives at \
-                   its symbolic memory-plan offset in one grow-only buffer; \
-                   destination-passing kernels write results in place).  \
-                   Composes with --backend.")
+             ~doc:"Deprecated alias of the arena/malloc modifier of --exec: \
+                   malloc (fresh tensor per result) or arena (every planned \
+                   tensor lives at its symbolic memory-plan offset in one \
+                   grow-only buffer).")
   in
   let backend =
-    Arg.(value & opt string "naive"
+    Arg.(value & opt (some string) None
          & info [ "backend" ] ~docv:"KIND"
-             ~doc:"Kernel backend for --real: naive (reference loops), blocked \
-                   (cache-blocked register-tiled kernels), parallel (blocked \
-                   kernels over the domain pool), or fused (parallel plus \
-                   whole fusion groups compiled to single kernels).")
+             ~doc:"Deprecated alias of the backend component of --exec: naive \
+                   (reference loops), blocked (cache-blocked register-tiled \
+                   kernels), parallel (blocked kernels over the domain pool), \
+                   or fused (parallel plus whole fusion groups compiled to \
+                   single kernels).")
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Run one inference (simulated by default; --real interprets, --memory \
-             arena additionally executes the memory plan in place).")
-    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena $ backend $ memory)
+       ~doc:"Run one inference (simulated by default; --real interprets, --exec \
+             KIND,arena additionally executes the memory plan in place).")
+    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena $ exec_arg
+          $ backend $ memory)
+
+(* --- serve ---------------------------------------------------------- *)
+
+let serve_cmd =
+  let run model device requests workers max_batch exec backend memory =
+    let open Sod2_runtime in
+    let sp = spec_of_name model in
+    let profile = profile_of_name device in
+    let g = sp.build () in
+    (* Serving exists to exercise the planned arena path; malloc is still
+       reachable with an explicit --exec KIND,malloc. *)
+    let default = { Executor.default_config with Executor.memory = Executor.Mem_arena } in
+    let cfg = exec_config ~default ~exec ~backend ~memory ~arena:false () in
+    let c = Sod2.Pipeline.compile profile g in
+    (* Mixed shape bindings: the workload percentiles, deduplicated by plan
+       key, so the request stream genuinely alternates bindings. *)
+    let envs =
+      List.fold_left
+        (fun acc p ->
+          let env = Zoo.percentile_env sp p in
+          let key = Sod2.Pipeline.plan_key c env in
+          if List.mem_assoc key acc then acc else (key, env) :: acc)
+        []
+        [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+      |> List.rev_map snd
+    in
+    let nenvs = List.length envs in
+    let rng = Rng.create 42 in
+    let samples =
+      List.init requests (fun i ->
+          let env = List.nth envs (i mod nenvs) in
+          env, Zoo.make_inputs sp g env rng)
+    in
+    let engine = Engine.create ~workers ~max_batch ~config:cfg c in
+    let t0 = Unix.gettimeofday () in
+    let tickets = List.map (fun (env, inputs) -> Engine.submit engine ~env ~inputs) samples in
+    let results = List.map (Engine.await engine) tickets in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Engine.shutdown engine;
+    let st = Engine.stats engine in
+    Printf.printf "served %d requests over %d distinct bindings on %d workers (--exec %s)\n"
+      (List.length results) nenvs st.Engine.workers (Executor.config_to_string cfg);
+    Printf.printf "  wall time:     %8.1f ms  (%.1f req/s)\n" (elapsed *. 1000.0)
+      (float_of_int requests /. elapsed);
+    Printf.printf "  latency:       mean %.2f ms, max %.2f ms (queue wait included)\n"
+      (st.Engine.total_latency_us /. float_of_int (max 1 st.Engine.completed) /. 1000.0)
+      (st.Engine.max_latency_us /. 1000.0);
+    Printf.printf "  micro-batched: %d requests (max batch %d), queue peak %d\n"
+      st.Engine.batched max_batch st.Engine.queue_peak;
+    Array.iteri
+      (fun w n ->
+        Printf.printf "  worker %d:      %d runs, %.1f ms busy\n" w n
+          (st.Engine.busy_us.(w) /. 1000.0))
+      st.Engine.worker_runs;
+    let count kind = Profile.Counters.count ~profile:profile.Profile.name ~kind in
+    Printf.printf "  plan cache:    %d hits, %d misses (expected misses = %d)\n"
+      (count "plan-cache-hit") (count "plan-cache-miss") nenvs;
+    if st.Engine.failed > 0 then begin
+      Printf.printf "  FAILED:        %d requests\n" st.Engine.failed;
+      exit 1
+    end
+  in
+  let requests =
+    Arg.(value & opt int 32
+         & info [ "requests"; "n" ] ~docv:"N" ~doc:"Inference requests to submit.")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers"; "k" ] ~docv:"K"
+             ~doc:"Worker slots (each owns a private arena and backend).")
+  in
+  let max_batch =
+    Arg.(value & opt int 4
+         & info [ "max-batch" ] ~docv:"B"
+             ~doc:"Micro-batch bound: a worker claims up to B queued requests \
+                   sharing one shape binding; 1 disables batching.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Drive a resident concurrent engine: submit N requests with mixed \
+             shape bindings over K workers and report throughput, latency, \
+             micro-batching and plan-cache behavior.")
+    Term.(const run $ model_arg $ device_arg $ requests $ workers $ max_batch $ exec_arg
+          $ Arg.(value & opt (some string) None
+                 & info [ "backend" ] ~docv:"KIND" ~doc:"Deprecated alias; see --exec.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "memory" ] ~docv:"MODE" ~doc:"Deprecated alias; see --exec."))
 
 (* --- compare ------------------------------------------------------- *)
 
@@ -426,5 +566,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; analyze_cmd; compile_cmd; run_cmd; compare_cmd; dot_cmd;
+          [ list_cmd; analyze_cmd; compile_cmd; run_cmd; serve_cmd; compare_cmd; dot_cmd;
             save_cmd; load_cmd; validate_cmd; decode_cmd; experiments_cmd ]))

@@ -21,6 +21,7 @@ type compiled = {
   mem_symbolic : Mem_plan.symbolic;
   plan_syms : string list;
   plan_cache : (string, Mem_plan.t) Hashtbl.t;
+  plan_lock : Mutex.t;
 }
 
 let env_with_all_syms g v =
@@ -93,6 +94,7 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
     mem_symbolic;
     plan_syms;
     plan_cache = Hashtbl.create 8;
+    plan_lock = Mutex.create ();
   }
 
 let compile_checked ?flags ?plan_sym_value profile graph =
@@ -112,17 +114,24 @@ let plan_key c env =
          | None -> s ^ "=?")
        c.plan_syms)
 
+(* Engine workers share one [compiled] artifact across domains, so the
+   cache lookup-or-instantiate must be a critical section: two workers
+   arriving with the same fresh binding would otherwise both instantiate
+   (double-counting the miss) and race the Hashtbl.  Instantiation runs
+   under the lock deliberately — it is a short linear pass, and holding the
+   lock gives concurrent same-binding requests a guaranteed single miss. *)
 let instantiated_plan c env =
   let key = plan_key c env in
-  match Hashtbl.find_opt c.plan_cache key with
-  | Some p ->
-    Profile.Counters.record ~profile:c.profile.Profile.name ~kind:"plan-cache-hit";
-    p
-  | None ->
-    Profile.Counters.record ~profile:c.profile.Profile.name ~kind:"plan-cache-miss";
-    let p = Mem_plan.instantiate c.mem_symbolic ~env in
-    Hashtbl.replace c.plan_cache key p;
-    p
+  Mutex.protect c.plan_lock (fun () ->
+      match Hashtbl.find_opt c.plan_cache key with
+      | Some p ->
+        Profile.Counters.record ~profile:c.profile.Profile.name ~kind:"plan-cache-hit";
+        p
+      | None ->
+        Profile.Counters.record ~profile:c.profile.Profile.name ~kind:"plan-cache-miss";
+        let p = Mem_plan.instantiate c.mem_symbolic ~env in
+        Hashtbl.replace c.plan_cache key p;
+        p)
 
 let mem_plan_for c env =
   (* Defensive copy of the alloc array: callers (fault-injection tests) may

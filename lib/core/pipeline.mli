@@ -44,7 +44,11 @@ type compiled = {
       (** shape variables the symbolic plan depends on (cache-key basis) *)
   plan_cache : (string, Mem_plan.t) Hashtbl.t;
       (** instantiated plans per symbol binding; hits/misses are recorded
-          in {!Profile.Counters} as ["plan-cache-hit"]/["plan-cache-miss"] *)
+          in {!Profile.Counters} as ["plan-cache-hit"]/["plan-cache-miss"].
+          Guarded by [plan_lock] — access through {!instantiated_plan} *)
+  plan_lock : Mutex.t;
+      (** serializes plan-cache lookups/instantiations so one [compiled]
+          artifact can be shared by concurrent {!Engine} workers *)
 }
 
 val compile :
@@ -61,6 +65,11 @@ val compile_checked :
 (** Like {!compile}, but collects {e every} validation defect instead of
     raising on the first — the entry point for untrusted graphs (e.g. ones
     loaded from disk). *)
+
+val plan_key : compiled -> Env.t -> string
+(** Canonical rendering of [env] restricted to [plan_syms] — the plan-cache
+    key for that binding.  Requests with equal keys share an instantiated
+    plan (and may be micro-batched onto one engine worker). *)
 
 val instantiated_plan : compiled -> Env.t -> Mem_plan.t
 (** The memory plan for one symbol binding, served from the per-binding

@@ -114,25 +114,37 @@ let pp ppf p =
 module Counters = struct
   (* (profile name, incident kind) -> occurrences.  Process-global so any
      monitoring surface (CLI, experiments harness) can read the fallback
-     health of every device session without threading state through. *)
+     health of every device session without threading state through.
+     Engine workers bump these concurrently from several domains, so every
+     table access holds [lock] — a plain Hashtbl.replace race would lose
+     increments (and can corrupt the table's bucket chains). *)
   let table : (string * string, int) Hashtbl.t = Hashtbl.create 16
+  let lock = Mutex.create ()
 
   let record ~profile ~kind =
     let key = profile, kind in
-    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+    Mutex.lock lock;
+    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key));
+    Mutex.unlock lock
 
   let count ~profile ~kind =
-    Option.value ~default:0 (Hashtbl.find_opt table (profile, kind))
+    Mutex.lock lock;
+    let n = Option.value ~default:0 (Hashtbl.find_opt table (profile, kind)) in
+    Mutex.unlock lock;
+    n
 
   let by_kind () =
-    let agg = Hashtbl.create 8 in
-    Hashtbl.iter
-      (fun (_, kind) v ->
-        Hashtbl.replace agg kind (v + Option.value ~default:0 (Hashtbl.find_opt agg kind)))
-      table;
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    Mutex.protect lock (fun () ->
+        let agg = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun (_, kind) v ->
+            Hashtbl.replace agg kind
+              (v + Option.value ~default:0 (Hashtbl.find_opt agg kind)))
+          table;
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
-  let total () = Hashtbl.fold (fun _ v acc -> acc + v) table 0
-  let reset () = Hashtbl.reset table
+  let total () = Mutex.protect lock (fun () -> Hashtbl.fold (fun _ v acc -> acc + v) table 0)
+
+  let reset () = Mutex.protect lock (fun () -> Hashtbl.reset table)
 end

@@ -1,18 +1,7 @@
-type result = {
+type result = Engine.arena_result = {
   outputs : (Graph.tensor_id * Tensor.t) list;
   arena_bytes : int;
   arena_resident : int;
 }
 
-let run ?backend ?arena (c : Pipeline.compiled) ~env ~inputs =
-  let arena = match arena with Some a -> a | None -> Arena.create () in
-  let trace, outputs =
-    Executor.run_real ?backend ~check_env:env
-      ~memory:(Executor.Arena { arena; env })
-      c ~inputs
-  in
-  {
-    outputs;
-    arena_bytes = trace.Executor.arena_bytes;
-    arena_resident = trace.Executor.arena_resident;
-  }
+let run = Engine.run_arena

@@ -1,27 +1,13 @@
-(** Arena-backed execution: interpret a compiled model with every
-    statically-planned float tensor living at its {!Mem_plan} offset inside
-    one linear buffer, exactly as the mobile runtime the paper targets
-    would.
+(** @deprecated Thin alias kept for source compatibility — arena execution
+    lives on the {!Engine} facade now.
 
-    This is a thin wrapper over {!Executor.run_real} in [Arena] memory mode
-    with RDP dims cross-checking on: destination-passing kernels write
-    results straight into their planned slots, the plan itself comes from
-    the per-binding symbolic-plan cache ({!Pipeline.instantiated_plan} — no
-    replanning after the first inference per binding), and the buffer is a
-    grow-only {!Arena.t} reused across calls when the caller passes one.
+    [Arena_exec.run] is {!Engine.run_arena} (one synchronous arena
+    inference with fail-fast RDP cross-checking) and {!result} is
+    {!Engine.arena_result}.  New code should call {!Engine.run_arena}
+    directly, or use a resident {!Engine.t} with
+    [config.memory = Mem_arena] for concurrent serving. *)
 
-    Because offsets are reused across lifetimes, an incorrect memory plan
-    (overlapping a tensor that is still live) silently corrupts values —
-    so running a model through this executor and comparing its outputs
-    against the malloc-mode {!Executor.run_real} is an end-to-end proof
-    that the plan's lifetime analysis and placement are sound, not merely
-    that the {!Mem_plan.validate} invariant checker is happy.
-
-    Integer tensors, execution-determined (dynamically sized) tensors and
-    fusion-internal temporaries are kept out of the arena (side tables /
-    transient), mirroring the real runtime's treatment. *)
-
-type result = {
+type result = Engine.arena_result = {
   outputs : (Graph.tensor_id * Tensor.t) list;
   arena_bytes : int;  (** size of the linear buffer that was used *)
   arena_resident : int;  (** tensors that lived in the arena *)
@@ -30,12 +16,4 @@ type result = {
 val run :
   ?backend:Backend.t -> ?arena:Arena.t -> Pipeline.compiled -> env:Env.t ->
   inputs:(Graph.tensor_id * Tensor.t) list -> result
-(** Execute with the memory plan instantiated for [env] (which must bind
-    the model's shape variables consistently with [inputs]).  [backend]
-    composes freely with the arena (blocked/parallel/fused kernels write
-    into slots through their destination entry points).  [arena] supplies a
-    persistent buffer for steady-state reuse; omitted, a fresh one is
-    created for the call.  Raises [Sod2_error.Error] (class
-    [Shape_mismatch]) if an executed extent disagrees with the RDP
-    prediction under [env].  For the variant that degrades gracefully
-    instead of raising, see {!Guarded_exec}. *)
+(** Alias of {!Engine.run_arena}. *)

@@ -1,0 +1,296 @@
+type result = {
+  outputs : (Graph.tensor_id * Tensor.t) list;
+  latency_us : float;
+  worker : int;
+  batched : bool;
+}
+
+type state =
+  | Pending
+  | Done of result
+  | Failed of exn
+
+type request = {
+  r_env : Env.t;
+  r_key : string;  (** {!Pipeline.plan_key} of [r_env] — micro-batch key *)
+  r_inputs : (Graph.tensor_id * Tensor.t) list;
+  r_submitted : float;  (** [Unix.gettimeofday] at submit *)
+  mutable r_state : state;
+}
+
+type ticket = request
+
+type stats = {
+  workers : int;
+  submitted : int;
+  completed : int;
+  failed : int;
+  batched : int;
+  queue_depth : int;
+  queue_peak : int;
+  worker_runs : int array;
+  busy_us : float array;
+  total_latency_us : float;
+  max_latency_us : float;
+}
+
+type t = {
+  compiled : Pipeline.compiled;
+  cfg : Executor.config;
+  nworkers : int;
+  max_batch : int;
+  lock : Mutex.t;
+  work : Condition.t;  (** signaled on submit and on shutdown *)
+  finished : Condition.t;  (** broadcast whenever any request settles *)
+  queue : request Queue.t;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable domains : unit Domain.t list;
+  (* Stats below are guarded by [lock]. *)
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable batched : int;
+  mutable queue_peak : int;
+  worker_runs : int array;
+  busy_us : float array;
+  mutable total_latency_us : float;
+  mutable max_latency_us : float;
+}
+
+let config t = t.cfg
+
+let counter t kind =
+  Profile.Counters.record ~profile:t.compiled.Pipeline.profile.Profile.name ~kind
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+
+(* Execute one request on worker [w]'s private resources.  The engine
+   lock is NOT held here — only the settle step takes it. *)
+let execute t ~w ~arena ~backend req ~batched =
+  let started = Unix.gettimeofday () in
+  let outcome =
+    try
+      let outputs =
+        if t.cfg.Executor.guarded then
+          let report =
+            Guarded_exec.run
+              ?arena:(if t.cfg.Executor.memory = Executor.Mem_arena then Some arena
+                      else None)
+              ?backend t.compiled ~env:req.r_env ~inputs:req.r_inputs
+          in
+          report.Guarded_exec.outputs
+        else
+          let memory =
+            match t.cfg.Executor.memory with
+            | Executor.Mem_malloc -> Executor.Malloc
+            | Executor.Mem_arena -> Executor.Arena { arena; env = req.r_env }
+          in
+          snd
+            (Executor.run_real ~control:t.cfg.Executor.control ?backend ~memory
+               t.compiled ~inputs:req.r_inputs)
+      in
+      let now = Unix.gettimeofday () in
+      Ok
+        ( {
+            outputs;
+            latency_us = (now -. req.r_submitted) *. 1e6;
+            worker = w;
+            batched;
+          },
+          (now -. started) *. 1e6 )
+    with e -> Error (e, (Unix.gettimeofday () -. started) *. 1e6)
+  in
+  Mutex.lock t.lock;
+  t.worker_runs.(w) <- t.worker_runs.(w) + 1;
+  (match outcome with
+  | Ok (r, busy) ->
+    req.r_state <- Done r;
+    t.completed <- t.completed + 1;
+    t.busy_us.(w) <- t.busy_us.(w) +. busy;
+    t.total_latency_us <- t.total_latency_us +. r.latency_us;
+    if r.latency_us > t.max_latency_us then t.max_latency_us <- r.latency_us;
+    if batched then t.batched <- t.batched + 1
+  | Error (e, busy) ->
+    req.r_state <- Failed e;
+    t.failed <- t.failed + 1;
+    t.busy_us.(w) <- t.busy_us.(w) +. busy);
+  Condition.broadcast t.finished;
+  Mutex.unlock t.lock;
+  counter t "engine-request";
+  if batched then counter t "engine-batched";
+  match outcome with Error _ -> counter t "engine-failed" | Ok _ -> ()
+
+(* Claim the head request plus up to [max_batch - 1] queued requests with
+   the same plan key.  Non-matching requests keep their queue order.
+   Caller holds the lock. *)
+let claim_batch t =
+  let first = Queue.pop t.queue in
+  if t.max_batch <= 1 then [ first, false ]
+  else begin
+    let taken = ref 1 in
+    let followers = ref [] in
+    let rest = Queue.create () in
+    while not (Queue.is_empty t.queue) do
+      let r = Queue.pop t.queue in
+      if !taken < t.max_batch && r.r_key = first.r_key then begin
+        incr taken;
+        followers := r :: !followers
+      end
+      else Queue.push r rest
+    done;
+    Queue.transfer rest t.queue;
+    (first, false) :: List.rev_map (fun r -> r, true) !followers
+  end
+
+let worker_loop t w =
+  (* Per-worker resources are created {e inside} the worker domain so
+     that a Parallel/Fused backend's domain pool is owned by the domain
+     that calls into it ({!Domain_pool.run}'s ownership rule).  Pool
+     width is divided across workers so K workers never oversubscribe
+     the host. *)
+  let arena = Arena.create () in
+  let backend =
+    match t.cfg.Executor.backend with
+    | Backend.Naive -> None
+    | k ->
+      Some
+        (Backend.create ~versions:t.compiled.Pipeline.versions
+           ~threads:(max 1 (Domain.recommended_domain_count () / t.nworkers))
+           ~profile:t.compiled.Pipeline.profile.Profile.name k)
+  in
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stopping && drained: graceful exit *)
+      Mutex.unlock t.lock;
+      Option.iter Backend.shutdown backend
+    end
+    else begin
+      let batch = claim_batch t in
+      Mutex.unlock t.lock;
+      List.iter (fun (req, batched) -> execute t ~w ~arena ~backend req ~batched) batch;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+
+let create ?(workers = 1) ?(max_batch = 4) ?(config = Executor.default_config) compiled =
+  let nworkers = max 1 workers in
+  let t =
+    {
+      compiled;
+      cfg = config;
+      nworkers;
+      max_batch = max 1 max_batch;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      joined = false;
+      domains = [];
+      submitted = 0;
+      completed = 0;
+      failed = 0;
+      batched = 0;
+      queue_peak = 0;
+      worker_runs = Array.make nworkers 0;
+      busy_us = Array.make nworkers 0.0;
+      total_latency_us = 0.0;
+      max_latency_us = 0.0;
+    }
+  in
+  t.domains <- List.init nworkers (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  t
+
+let submit t ~env ~inputs =
+  let req =
+    {
+      r_env = env;
+      r_key = Pipeline.plan_key t.compiled env;
+      r_inputs = inputs;
+      r_submitted = Unix.gettimeofday ();
+      r_state = Pending;
+    }
+  in
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Engine.submit: engine is shut down"
+  end;
+  Queue.push req t.queue;
+  t.submitted <- t.submitted + 1;
+  let depth = Queue.length t.queue in
+  if depth > t.queue_peak then t.queue_peak <- depth;
+  Condition.signal t.work;
+  Mutex.unlock t.lock;
+  req
+
+let await t (req : ticket) =
+  Mutex.lock t.lock;
+  while (match req.r_state with Pending -> true | Done _ | Failed _ -> false) do
+    Condition.wait t.finished t.lock
+  done;
+  let st = req.r_state in
+  Mutex.unlock t.lock;
+  match st with
+  | Done r -> r
+  | Failed e -> raise e
+  | Pending -> assert false
+
+let infer t ~env ~inputs = await t (submit t ~env ~inputs)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        workers = t.nworkers;
+        submitted = t.submitted;
+        completed = t.completed;
+        failed = t.failed;
+        batched = t.batched;
+        queue_depth = Queue.length t.queue;
+        queue_peak = t.queue_peak;
+        worker_runs = Array.copy t.worker_runs;
+        busy_us = Array.copy t.busy_us;
+        total_latency_us = t.total_latency_us;
+        max_latency_us = t.max_latency_us;
+      })
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  let join_here = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.lock;
+  if join_here then List.iter Domain.join t.domains
+
+(* ------------------------------------------------------------------ *)
+(* One-shot arena execution (the former Arena_exec body)               *)
+
+type arena_result = {
+  outputs : (Graph.tensor_id * Tensor.t) list;
+  arena_bytes : int;
+  arena_resident : int;
+}
+
+let run_arena ?backend ?arena (c : Pipeline.compiled) ~env ~inputs =
+  let arena = match arena with Some a -> a | None -> Arena.create () in
+  let trace, outputs =
+    Executor.run_real ?backend ~check_env:env
+      ~memory:(Executor.Arena { arena; env })
+      c ~inputs
+  in
+  {
+    outputs;
+    arena_bytes = trace.Executor.arena_bytes;
+    arena_resident = trace.Executor.arena_resident;
+  }

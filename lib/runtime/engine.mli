@@ -1,0 +1,111 @@
+(** Resident concurrent inference engine.
+
+    Everything before this module is one-shot: each {!Executor.run_real}
+    call re-threads its options and single-tenant arena.  The engine is
+    the serving-side counterpart of SoD²'s compile-once/run-many split
+    (§4.4.1): it owns one {!Pipeline.compiled} artifact plus [N] worker
+    slots — each with its own grow-only {!Arena.t}, its own
+    {!Backend.t} (per-worker fused-kernel cache, so cache lookups are
+    lock-free), and a scratch environment — fed from a mutex/condition
+    request queue.
+
+    The instantiated-plan cache is the one piece of shared mutable state
+    between workers; it lives on the compiled artifact and is
+    lock-protected ({!Pipeline.compiled.plan_lock}), so steady-state
+    concurrent traffic over already-seen shape bindings performs {e zero}
+    replanning: every worker's request resolves to the same cached
+    {!Mem_plan.t} and only the per-worker arena contents differ.
+
+    Requests that carry the same symbol binding (equal
+    {!Pipeline.plan_key}) may be {e micro-batched}: a worker that
+    dequeues a request also claims up to [max_batch - 1] queued
+    same-binding requests and runs them back-to-back, amortizing plan
+    lookup and keeping the arena layout hot.
+
+    Per-request latency, queue depth and worker occupancy land in
+    {!stats}; the process-global {!Profile.Counters} records
+    ["engine-request"], ["engine-batched"] and ["engine-failed"]. *)
+
+type t
+
+type result = {
+  outputs : (Graph.tensor_id * Tensor.t) list;
+  latency_us : float;  (** submit-to-completion, queue wait included *)
+  worker : int;  (** worker slot that executed the request *)
+  batched : bool;  (** ran as a follower inside a micro-batch *)
+}
+
+type ticket
+(** Handle for an in-flight request; redeem with {!await} (any number of
+    times — results are retained). *)
+
+type stats = {
+  workers : int;
+  submitted : int;
+  completed : int;
+  failed : int;  (** requests whose execution raised; {!await} re-raises *)
+  batched : int;  (** requests that rode along in a micro-batch *)
+  queue_depth : int;  (** requests currently waiting, at snapshot time *)
+  queue_peak : int;  (** high-water mark of the queue *)
+  worker_runs : int array;  (** requests executed, per worker slot *)
+  busy_us : float array;  (** cumulative execution time, per worker slot *)
+  total_latency_us : float;  (** sum over completed requests *)
+  max_latency_us : float;
+}
+
+val create : ?workers:int -> ?max_batch:int -> ?config:Executor.config ->
+  Pipeline.compiled -> t
+(** [create c] starts the worker domains (default [workers = 1], clamped
+    to at least 1; oversubscribing the host is allowed — idle workers
+    block on the queue's condition variable).  [max_batch] (default 4)
+    bounds micro-batches; [1] disables batching.  [config] (default
+    {!Executor.default_config}) fixes the execution policy for every
+    request: [Mem_arena] gives each worker a private grow-only arena,
+    [guarded] routes requests through {!Guarded_exec} (graceful
+    degradation instead of raising), and a non-naive [backend] gives each
+    worker its own backend instance sized so the per-worker pools do not
+    oversubscribe the host. *)
+
+val submit : t -> env:Env.t -> inputs:(Graph.tensor_id * Tensor.t) list -> ticket
+(** Enqueue one inference.  [env] must bind the model's shape variables
+    consistently with [inputs] — it keys the plan cache and the
+    micro-batcher.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : t -> ticket -> result
+(** Block until the ticket's request completes.  Re-raises the worker's
+    exception if the request failed. *)
+
+val infer : t -> env:Env.t -> inputs:(Graph.tensor_id * Tensor.t) list -> result
+(** [infer t ~env ~inputs] = [await t (submit t ~env ~inputs)]. *)
+
+val stats : t -> stats
+(** Consistent snapshot (taken under the engine lock). *)
+
+val config : t -> Executor.config
+
+val shutdown : t -> unit
+(** Graceful drain: workers finish every queued request, then exit and
+    release their backends.  Blocks until all worker domains have joined.
+    Idempotent; {!await} on already-completed tickets keeps working. *)
+
+(** {1 One-shot arena execution}
+
+    The former [Arena_exec] entry point, kept on the facade so the thin
+    {!Arena_exec} alias has no duplicated setup code. *)
+
+type arena_result = {
+  outputs : (Graph.tensor_id * Tensor.t) list;
+  arena_bytes : int;  (** size of the linear buffer that was used *)
+  arena_resident : int;  (** tensors that lived in the arena *)
+}
+(* Field names are load-bearing: {!Arena_exec.result} re-exports this
+   record equation, so historical [r.Arena_exec.arena_bytes] accesses
+   keep compiling. *)
+
+val run_arena :
+  ?backend:Backend.t -> ?arena:Arena.t -> Pipeline.compiled -> env:Env.t ->
+  inputs:(Graph.tensor_id * Tensor.t) list -> arena_result
+(** Single synchronous arena inference with fail-fast RDP cross-checking
+    ([check_env = env]) — {!Executor.run_real} in [Arena] memory mode.
+    [arena] supplies a persistent buffer for steady-state reuse; omitted,
+    a fresh one is created for the call. *)

@@ -35,6 +35,55 @@ type memory =
   | Malloc
   | Arena of { arena : Arena.t; env : Env.t }
 
+type mem_kind =
+  | Mem_malloc
+  | Mem_arena
+
+type config = {
+  backend : Backend.kind;
+  memory : mem_kind;
+  guarded : bool;
+  control : control;
+}
+
+let default_config =
+  { backend = Backend.Naive; memory = Mem_malloc; guarded = false; control = Selected_only }
+
+(* "<backend>[,arena][,guarded][,all-paths]" — the CLI's --exec syntax. *)
+let config_of_string s =
+  match String.split_on_char ',' (String.lowercase_ascii (String.trim s)) with
+  | [] | [ "" ] -> Error "empty exec spec"
+  | kind :: mods -> (
+    match Backend.kind_of_string kind with
+    | None ->
+      Error
+        (Printf.sprintf "unknown backend %S (expected naive|blocked|parallel|fused)" kind)
+    | Some backend ->
+      List.fold_left
+        (fun acc m ->
+          Result.bind acc (fun cfg ->
+              match String.trim m with
+              | "arena" -> Ok { cfg with memory = Mem_arena }
+              | "malloc" -> Ok { cfg with memory = Mem_malloc }
+              | "guarded" -> Ok { cfg with guarded = true }
+              | "all-paths" -> Ok { cfg with control = All_paths }
+              | m ->
+                Error
+                  (Printf.sprintf
+                     "unknown exec modifier %S (expected arena|malloc|guarded|all-paths)" m)))
+        (Ok { default_config with backend })
+        mods)
+
+let config_to_string cfg =
+  String.concat ","
+    (Backend.kind_name cfg.backend
+     :: List.filter_map Fun.id
+          [
+            (if cfg.memory = Mem_arena then Some "arena" else None);
+            (if cfg.guarded then Some "guarded" else None);
+            (if cfg.control = All_paths then Some "all-paths" else None);
+          ])
+
 exception Unresolved of string
 
 (* Runtime view of an instantiated memory plan: per-tensor slots (element
@@ -610,7 +659,7 @@ let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compil
     (Graph.inputs c.graph);
   run_engine ~mode:Dry ~control ~gate ctx st
 
-let run_real ?(control = Selected_only) ?check_env ?backend ?(memory = Malloc)
+let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Malloc)
     (c : Pipeline.compiled) ~inputs =
   let ctx = make_ctx c in
   let st = init_state c ~keep_tensors:true in
@@ -689,6 +738,42 @@ let run_real ?(control = Selected_only) ?check_env ?backend ?(memory = Malloc)
       ctx.out_tids
   in
   trace, outs
+
+(* Config-driven entry point.  Explicit optional arguments always win over
+   the corresponding [config] field, so the historical call sites keep
+   their exact behavior; [config] only fills what the caller left unset.
+   [Mem_arena] needs a symbol binding ([env]) to instantiate the plan —
+   without one it degrades to [Malloc].  A non-naive [config.backend] with
+   no caller-supplied instance creates a transient backend for this one
+   run and shuts it down afterwards; callers with steady traffic should
+   pass their own long-lived [?backend] (or use {!Engine}). *)
+let run_real ?config ?env ?control ?check_env ?backend ?memory
+    (c : Pipeline.compiled) ~inputs =
+  match config with
+  | None -> run_real_opts ?control ?check_env ?backend ?memory c ~inputs
+  | Some cfg ->
+    let control = Option.value control ~default:cfg.control in
+    let memory =
+      match memory, cfg.memory, env with
+      | Some m, _, _ -> m
+      | None, Mem_arena, Some env -> Arena { arena = Arena.create (); env }
+      | None, (Mem_malloc | Mem_arena), _ -> Malloc
+    in
+    let check_env = if Option.is_some check_env then check_env
+      else if cfg.guarded then env
+      else None
+    in
+    let owned, backend =
+      match backend, cfg.backend with
+      | (Some _ as be), _ -> None, be
+      | None, Backend.Naive -> None, None
+      | None, k ->
+        let be = Backend.for_compiled k c in
+        Some be, Some be
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Backend.shutdown owned)
+      (fun () -> run_real_opts ~control ?check_env ?backend ~memory c ~inputs)
 
 let peak_live_bytes trace =
   let last =

@@ -80,6 +80,41 @@ type memory =
           are copied out once and memoized (counted as ["arena-copy-out"]
           in {!Profile.Counters}). *)
 
+(** {1 Execution configuration}
+
+    One record naming the four execution policies that used to travel as
+    separate optional arguments.  [{!Engine.create}], {!run_real} and
+    {!Guarded_exec.run} all accept a [?config]; the CLI's [--exec] flag
+    parses straight into it ({!config_of_string}). *)
+
+type mem_kind =
+  | Mem_malloc  (** fresh allocation per tensor *)
+  | Mem_arena
+      (** symbolic-plan arena execution; the runner owns the {!Arena.t}
+          and instantiates the plan from the request's symbol binding *)
+
+type config = {
+  backend : Backend.kind;
+  memory : mem_kind;
+  guarded : bool;
+      (** in {!run_real}: fail-fast RDP cross-checks ([check_env] = the
+          binding); in {!Engine}/{!Guarded_exec}: graceful degradation *)
+  control : control;
+}
+
+val default_config : config
+(** [{ backend = Naive; memory = Mem_malloc; guarded = false;
+      control = Selected_only }] — exactly what the bare optional-arg
+    entry points default to. *)
+
+val config_of_string : string -> (config, string) result
+(** Parses the CLI [--exec] syntax
+    ["naive|blocked|parallel|fused[,arena][,malloc][,guarded][,all-paths]"]. *)
+
+val config_to_string : config -> string
+(** Canonical [--exec] rendering; [config_of_string (config_to_string c)]
+    is [Ok c]. *)
+
 exception Unresolved of string
 (** Raised in [Dry] mode when a shape could not be resolved concretely —
     indicates a gap in the operator's transfer function. *)
@@ -92,11 +127,22 @@ val run_dry :
     branch 0). *)
 
 val run_real :
+  ?config:config -> ?env:Env.t ->
   ?control:control -> ?check_env:Env.t -> ?backend:Backend.t -> ?memory:memory ->
   Pipeline.compiled -> inputs:(Graph.tensor_id * Tensor.t) list ->
   trace * (Graph.tensor_id * Tensor.t) list
 (** Full interpretation; returns the trace and the graph output tensors.
     Switch predicates are read from the computed predicate tensors.
+
+    [config] is the consolidated entry point: [config.control] supplies
+    the control policy, [config.memory = Mem_arena] runs over a fresh
+    arena instantiated from [env] (degrading to malloc when no [env] is
+    given), [config.guarded] enables the fail-fast RDP cross-checks under
+    [env], and a non-naive [config.backend] creates a transient backend
+    for this run.  The remaining optional arguments are the historical
+    fine-grained spellings; when both are given the explicit argument
+    wins over the config field.  Prefer [config] (or {!Engine}) in new
+    code.
 
     [memory] (default [Malloc]) selects the allocation discipline — see
     {!memory}.  Under [Arena], graph outputs are boxed copies taken at the

@@ -43,7 +43,7 @@ let branch_of_pred ~tensor t =
     Sod2_error.failf ~tensor Sod2_error.Shape_mismatch
       "Guarded_exec: control-flow predicate tensor t%d is empty" tensor
 
-let run ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
+let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     (c : Pipeline.compiled) ~env ~inputs =
   let g = c.Pipeline.graph in
   let mp =
@@ -385,3 +385,30 @@ let run ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     arena_bytes;
     arena_resident = !resident;
   }
+
+(* Config-driven wrapper mirroring {!Executor.run_real}: explicit optional
+   arguments win over config fields.  Guarded execution is graceful by
+   construction, so [config.guarded] is implied, and control flow is
+   always selected-only here — [config.control] does not apply. *)
+let run ?config ?mem_plan ?arena ?kernel_hook ?backend (c : Pipeline.compiled) ~env
+    ~inputs =
+  match config with
+  | None -> run_opts ?mem_plan ?arena ?kernel_hook ?backend c ~env ~inputs
+  | Some (cfg : Executor.config) ->
+    let arena =
+      match arena, cfg.Executor.memory with
+      | (Some _ as a), _ -> a
+      | None, Executor.Mem_arena -> Some (Arena.create ())
+      | None, Executor.Mem_malloc -> None
+    in
+    let owned, backend =
+      match backend, cfg.Executor.backend with
+      | (Some _ as be), _ -> None, be
+      | None, Backend.Naive -> None, None
+      | None, k ->
+        let be = Backend.for_compiled k c in
+        Some be, Some be
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Backend.shutdown owned)
+      (fun () -> run_opts ?mem_plan ?arena ?kernel_hook ?backend c ~env ~inputs)

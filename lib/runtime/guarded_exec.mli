@@ -53,6 +53,7 @@ type report = {
 }
 
 val run :
+  ?config:Executor.config ->
   ?mem_plan:Mem_plan.t ->
   ?arena:Arena.t ->
   ?kernel_hook:(gid:int -> node:Graph.node_id -> unit) ->
@@ -61,7 +62,17 @@ val run :
   env:Env.t ->
   inputs:(Graph.tensor_id * Tensor.t) list ->
   report
-(** Execute under guards.  [mem_plan] overrides the plan instantiated from
+(** Execute under guards.
+
+    [config] is the consolidated spelling: [config.memory = Mem_arena]
+    allocates a fresh transient arena and a non-naive [config.backend]
+    creates (and shuts down) a transient backend for the planned sweep.
+    Explicit optional arguments win over the config fields.  Guarded
+    execution is graceful by construction, so [config.guarded] is implied
+    and [config.control] does not apply (predicates always route
+    selected-only here).
+
+    [mem_plan] overrides the plan instantiated from
     [env] (used by the fault-injection harness to feed corrupted plans).
     [arena] switches to persistent-arena storage: the plan comes from the
     binding cache ({!Pipeline.instantiated_plan}) and tensor slots live in

@@ -1,0 +1,224 @@
+(* Tests for the resident concurrent inference engine and the
+   consolidated Executor.config record: concurrent mixed-binding traffic
+   must be bit-identical to the reference interpreter, the shared plan
+   cache must miss exactly once per distinct binding, and the deprecated
+   entry points (optional args, Arena_exec) must keep their behavior. *)
+
+module RT = Sod2_runtime
+
+let cpu = Profile.sd888_cpu
+
+(* Sub-recurrence stream over a symbolic batch dimension: every tensor has
+   two consumers, so fusion stays out of the way and each step is one
+   arena-planned kernel.  Small extents keep the suite fast. *)
+let stream_graph ~steps ~cols () =
+  let b = Graph.Builder.create () in
+  let x =
+    Graph.Builder.input b ~name:"x" (Shape.of_dims [ Dim.of_sym "B"; Dim.of_int cols ])
+  in
+  let c =
+    Graph.Builder.const b ~name:"c"
+      (Tensor.map_f (fun v -> 0.5 *. v) (Tensor.rand_uniform (Rng.create 17) [ cols ]))
+  in
+  let prev = ref x and cur = ref (Graph.Builder.node1 b (Op.Binary Op.Sub) [ x; c ]) in
+  for _ = 2 to steps do
+    let nxt = Graph.Builder.node1 b (Op.Binary Op.Sub) [ !cur; !prev ] in
+    prev := !cur;
+    cur := nxt
+  done;
+  Graph.Builder.set_outputs b [ !cur ];
+  Graph.Builder.finish b
+
+let graph = stream_graph ~steps:8 ~cols:16 ()
+
+let input_for bsz seed = [ 0, Tensor.rand_uniform (Rng.create seed) [ bsz; 16 ] ]
+
+let bit_identical outs ref_outs =
+  List.length outs = List.length ref_outs
+  && List.for_all2
+       (fun (ta, va) (tb, vb) ->
+         ta = tb && Tensor.dims va = Tensor.dims vb
+         && Tensor.data_f va = Tensor.data_f vb)
+       outs ref_outs
+
+let misses () = Profile.Counters.count ~profile:cpu.Profile.name ~kind:"plan-cache-miss"
+
+let arena_config =
+  { RT.Executor.default_config with RT.Executor.memory = RT.Executor.Mem_arena }
+
+(* qcheck: K concurrent inferences with mixed shape bindings through the
+   engine are bit-identical to Reference.run, and a fresh compile's plan
+   cache misses exactly once per distinct binding no matter how many
+   concurrent requests carry it. *)
+let prop_concurrent_matches_reference =
+  QCheck2.Test.make ~name:"engine: concurrent mixed bindings = reference, one miss per binding"
+    ~count:15
+    QCheck2.Gen.(tup3 (int_range 1 4) (int_range 2 14) (int_range 0 1000))
+    (fun (workers, nreq, seed) ->
+      let c = Sod2.Pipeline.compile cpu graph in
+      let rng = Rng.create (3000 + seed) in
+      let bindings = [ 3; 5; 8 ] in
+      let reqs =
+        List.init nreq (fun i ->
+            let bsz = List.nth bindings (Rng.int rng (List.length bindings)) in
+            let env = Env.of_list [ "B", bsz ] in
+            let inputs = input_for bsz (seed + i) in
+            env, inputs, RT.Reference.run graph ~inputs)
+      in
+      let distinct =
+        List.sort_uniq compare (List.map (fun (env, _, _) -> Sod2.Pipeline.plan_key c env) reqs)
+      in
+      let m0 = misses () in
+      let eng = RT.Engine.create ~workers ~max_batch:3 ~config:arena_config c in
+      let tickets = List.map (fun (env, inputs, _) -> RT.Engine.submit eng ~env ~inputs) reqs in
+      let results = List.map (RT.Engine.await eng) tickets in
+      RT.Engine.shutdown eng;
+      List.iter2
+        (fun (_, _, reference) (r : RT.Engine.result) ->
+          if not (bit_identical r.RT.Engine.outputs reference) then
+            QCheck2.Test.fail_report "engine outputs differ from Reference.run")
+        reqs results;
+      if misses () - m0 <> List.length distinct then
+        QCheck2.Test.fail_reportf "expected %d plan-cache misses, saw %d"
+          (List.length distinct) (misses () - m0);
+      true)
+
+let test_stats_and_occupancy () =
+  let c = Sod2.Pipeline.compile cpu graph in
+  let eng = RT.Engine.create ~workers:2 ~max_batch:1 ~config:arena_config c in
+  let n = 9 in
+  let tickets =
+    List.init n (fun i ->
+        let bsz = if i mod 2 = 0 then 3 else 5 in
+        RT.Engine.submit eng ~env:(Env.of_list [ "B", bsz ]) ~inputs:(input_for bsz i))
+  in
+  let results = List.map (RT.Engine.await eng) tickets in
+  RT.Engine.shutdown eng;
+  let st = RT.Engine.stats eng in
+  Alcotest.(check int) "submitted" n st.RT.Engine.submitted;
+  Alcotest.(check int) "completed" n st.RT.Engine.completed;
+  Alcotest.(check int) "failed" 0 st.RT.Engine.failed;
+  Alcotest.(check int) "max_batch=1 disables batching" 0 st.RT.Engine.batched;
+  Alcotest.(check int) "queue drained" 0 st.RT.Engine.queue_depth;
+  Alcotest.(check int) "worker_runs sums to completed" n
+    (Array.fold_left ( + ) 0 st.RT.Engine.worker_runs);
+  List.iter
+    (fun (r : RT.Engine.result) ->
+      if r.RT.Engine.latency_us < 0.0 then Alcotest.fail "negative latency";
+      if r.RT.Engine.worker < 0 || r.RT.Engine.worker >= 2 then
+        Alcotest.fail "worker index out of range";
+      if r.RT.Engine.batched then Alcotest.fail "batched result under max_batch=1")
+    results;
+  if st.RT.Engine.total_latency_us <= 0.0 then Alcotest.fail "no latency accounted";
+  if st.RT.Engine.max_latency_us > st.RT.Engine.total_latency_us +. 1e-9 then
+    Alcotest.fail "max latency exceeds total"
+
+let test_failed_request_isolated () =
+  let c = Sod2.Pipeline.compile cpu graph in
+  let eng = RT.Engine.create ~workers:1 ~config:arena_config c in
+  (* A broadcast-incompatible input ([3; 17] against the [16]-wide const
+     row) makes the first kernel raise; the engine must record the
+     failure, re-raise it from await, and keep serving. *)
+  let bad =
+    RT.Engine.submit eng ~env:(Env.of_list [ "B", 3 ])
+      ~inputs:[ 0, Tensor.rand_uniform (Rng.create 1) [ 3; 17 ] ]
+  in
+  let raised = try ignore (RT.Engine.await eng bad); false with _ -> true in
+  Alcotest.(check bool) "await re-raises the worker's exception" true raised;
+  let good =
+    RT.Engine.infer eng ~env:(Env.of_list [ "B", 3 ]) ~inputs:(input_for 3 42)
+  in
+  Alcotest.(check bool) "engine keeps serving after a failure" true
+    (bit_identical good.RT.Engine.outputs (RT.Reference.run graph ~inputs:(input_for 3 42)));
+  RT.Engine.shutdown eng;
+  let st = RT.Engine.stats eng in
+  Alcotest.(check int) "failure counted" 1 st.RT.Engine.failed;
+  Alcotest.(check int) "success counted" 1 st.RT.Engine.completed
+
+let test_shutdown_semantics () =
+  let c = Sod2.Pipeline.compile cpu graph in
+  let eng = RT.Engine.create ~workers:2 ~config:arena_config c in
+  let t = RT.Engine.submit eng ~env:(Env.of_list [ "B", 5 ]) ~inputs:(input_for 5 7) in
+  (* Graceful drain: shutdown joins the workers only after the queue is
+     empty, so the in-flight ticket must still complete. *)
+  RT.Engine.shutdown eng;
+  let r = RT.Engine.await eng t in
+  Alcotest.(check bool) "queued request completed across shutdown" true
+    (bit_identical r.RT.Engine.outputs (RT.Reference.run graph ~inputs:(input_for 5 7)));
+  RT.Engine.shutdown eng (* idempotent *);
+  let rejected =
+    try
+      ignore (RT.Engine.submit eng ~env:(Env.of_list [ "B", 5 ]) ~inputs:(input_for 5 8));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "submit after shutdown raises Invalid_argument" true rejected
+
+let test_config_parsing () =
+  let roundtrip s =
+    match RT.Executor.config_of_string s with
+    | Error e -> Alcotest.failf "%s failed to parse: %s" s e
+    | Ok cfg -> RT.Executor.config_to_string cfg
+  in
+  Alcotest.(check string) "default" "naive" (roundtrip "naive");
+  Alcotest.(check string) "arena" "fused,arena" (roundtrip "fused,arena");
+  Alcotest.(check string) "modifier order canonicalized" "blocked,arena,guarded"
+    (roundtrip "blocked,guarded,arena");
+  Alcotest.(check string) "all modifiers" "parallel,arena,guarded,all-paths"
+    (roundtrip "parallel,arena,guarded,all-paths");
+  Alcotest.(check string) "malloc is the default spelling" "naive" (roundtrip "naive,malloc");
+  (match RT.Executor.config_of_string "turbo" with
+  | Ok _ -> Alcotest.fail "unknown backend accepted"
+  | Error _ -> ());
+  (match RT.Executor.config_of_string "naive,warp" with
+  | Ok _ -> Alcotest.fail "unknown modifier accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "default_config is the neutral element" true
+    (RT.Executor.default_config = { RT.Executor.backend = RT.Backend.Naive;
+                                    memory = RT.Executor.Mem_malloc; guarded = false;
+                                    control = RT.Executor.Selected_only })
+
+(* The config-driven entry points must agree with the historical
+   optional-arg spellings they subsume. *)
+let test_config_entry_points () =
+  let c = Sod2.Pipeline.compile cpu graph in
+  let env = Env.of_list [ "B", 5 ] in
+  let inputs = input_for 5 11 in
+  let reference = RT.Reference.run graph ~inputs in
+  let _, plain = RT.Executor.run_real c ~inputs in
+  Alcotest.(check bool) "plain run_real = reference" true (bit_identical plain reference);
+  let _, cfg_arena =
+    RT.Executor.run_real ~config:arena_config ~env c ~inputs
+  in
+  Alcotest.(check bool) "config arena run_real = reference" true
+    (bit_identical cfg_arena reference);
+  let _, cfg_guarded =
+    RT.Executor.run_real
+      ~config:{ arena_config with RT.Executor.guarded = true }
+      ~env c ~inputs
+  in
+  Alcotest.(check bool) "config guarded run_real = reference" true
+    (bit_identical cfg_guarded reference);
+  let report =
+    RT.Guarded_exec.run ~config:arena_config c ~env ~inputs
+  in
+  Alcotest.(check bool) "config Guarded_exec.run = reference" true
+    (bit_identical report.RT.Guarded_exec.outputs reference);
+  Alcotest.(check int) "guarded run is incident-free" 0
+    (List.length report.RT.Guarded_exec.incidents);
+  (* The deprecated Arena_exec alias still exposes the old record. *)
+  let r = RT.Arena_exec.run c ~env ~inputs in
+  Alcotest.(check bool) "Arena_exec alias = reference" true
+    (bit_identical r.RT.Arena_exec.outputs reference);
+  Alcotest.(check bool) "alias reports arena residency" true
+    (r.RT.Arena_exec.arena_bytes > 0 && r.RT.Arena_exec.arena_resident > 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_concurrent_matches_reference;
+    Alcotest.test_case "stats and occupancy" `Quick test_stats_and_occupancy;
+    Alcotest.test_case "failed request is isolated" `Quick test_failed_request_isolated;
+    Alcotest.test_case "graceful shutdown" `Quick test_shutdown_semantics;
+    Alcotest.test_case "config parsing" `Quick test_config_parsing;
+    Alcotest.test_case "config entry points" `Quick test_config_entry_points;
+  ]

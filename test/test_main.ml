@@ -13,6 +13,7 @@ let () =
       "kernels", Suite_kernels.suite;
       "fused", Suite_fused.suite;
       "guard", Suite_guard.suite;
+      "engine", Suite_engine.suite;
       "models", Suite_models.suite;
       "frameworks", Suite_frameworks.suite;
       "experiments", Suite_experiments.suite;
