@@ -20,6 +20,7 @@ let run_kernels = ref true
 let run_arena = ref true
 let arena_smoke = ref false
 let engine_smoke = ref false
+let engine_overload_smoke = ref false
 let smoke_backend = ref None
 
 let () =
@@ -50,6 +51,15 @@ let () =
     | "--engine-smoke" :: rest ->
       (* CI mode: engine throughput scaling + equivalence/zero-replan check. *)
       engine_smoke := true;
+      run_bechamel := false;
+      run_tables := false;
+      run_kernels := false;
+      run_arena := false;
+      parse rest
+    | "--engine-overload-smoke" :: rest ->
+      (* CI mode: flood a 1-worker engine past its queue cap with deadlines
+         and assert it sheds instead of deadlocking. *)
+      engine_overload_smoke := true;
       run_bechamel := false;
       run_tables := false;
       run_kernels := false;
@@ -736,6 +746,132 @@ let engine_bench () =
   end;
   Printf.printf "  all outputs bit-identical to Reference; zero steady-state plan misses\n"
 
+(* Overload smoke: flood a 1-worker engine far past its queue cap with
+   per-request deadlines and a shed-oldest policy.  The assertions are
+   liveness and accounting, not throughput: every ticket settles (no
+   deadlock), the overflow is shed or expired rather than silently
+   dropped, completed+failed+shed+rejected+expired = submitted, the
+   completed outputs are bit-identical to Reference, and the latency
+   percentiles come out ordered. *)
+let engine_overload_bench () =
+  Printf.printf "\n=== Engine: overload (bounded queue + deadlines, 1 worker) ===\n";
+  let cols = 256 and steps = 128 and requests = 64 and queue_cap = 8 in
+  let g = sym_stream_graph ~steps ~cols () in
+  let c = Sod2.Pipeline.compile cpu g in
+  let samples =
+    List.map
+      (fun bsz ->
+        let env = Env.of_list [ "B", bsz ] in
+        let inputs = [ 0, Tensor.rand_uniform (Rng.create (100 + bsz)) [ bsz; cols ] ] in
+        let reference = RT.Reference.run g ~inputs in
+        env, inputs, reference)
+      [ 192; 224; 256; 288 ]
+  in
+  let stream = List.init requests (fun i -> List.nth samples (i mod List.length samples)) in
+  let bit_identical outs ref_outs =
+    List.length outs = List.length ref_outs
+    && List.for_all2
+         (fun (ta, va) (tb, vb) ->
+           ta = tb && Tensor.dims va = Tensor.dims vb
+           && Tensor.data_f va = Tensor.data_f vb)
+         outs ref_outs
+  in
+  let cfg =
+    { RT.Executor.default_config with RT.Executor.memory = RT.Executor.Mem_arena }
+  in
+  let eng =
+    RT.Engine.create ~workers:1 ~max_batch:4 ~queue_cap ~overload:RT.Engine.Shed_oldest
+      ~config:cfg c
+  in
+  (* Warm the plan cache so steady-state service time, not compilation,
+     decides what gets shed. *)
+  List.iter (fun (env, inputs, _) -> ignore (RT.Engine.infer eng ~env ~inputs)) samples;
+  let warmed = List.length samples in
+  let t0 = Unix.gettimeofday () in
+  let tickets =
+    List.map
+      (fun (env, inputs, reference) ->
+        RT.Engine.submit eng ~deadline_us:10_000.0 ~env ~inputs, reference)
+      stream
+  in
+  let ok = ref true in
+  let completed = ref 0 in
+  List.iter
+    (fun (t, reference) ->
+      match RT.Engine.await eng t with
+      | r ->
+        incr completed;
+        if not (bit_identical r.RT.Engine.outputs reference) then begin
+          ok := false;
+          Printf.printf "  completed request NOT bit-identical to Reference!\n"
+        end
+      | exception Sod2_error.Error _ -> ())
+    tickets;
+  let dt = Unix.gettimeofday () -. t0 in
+  RT.Engine.shutdown eng;
+  let st = RT.Engine.stats eng in
+  let settled =
+    st.RT.Engine.completed + st.RT.Engine.failed + st.RT.Engine.shed
+    + st.RT.Engine.rejected + st.RT.Engine.expired
+  in
+  Printf.printf "  flooded %d requests (queue cap %d, 10 ms deadline) in %.1f ms\n" requests
+    queue_cap (dt *. 1e3);
+  Printf.printf "  completed %d, shed %d, expired %d, rejected %d, failed %d\n"
+    (st.RT.Engine.completed - warmed)
+    st.RT.Engine.shed st.RT.Engine.expired st.RT.Engine.rejected st.RT.Engine.failed;
+  Printf.printf "  latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms, queue peak %d\n"
+    (st.RT.Engine.p50_latency_us /. 1e3)
+    (st.RT.Engine.p95_latency_us /. 1e3)
+    (st.RT.Engine.p99_latency_us /. 1e3)
+    (st.RT.Engine.max_latency_us /. 1e3)
+    st.RT.Engine.queue_peak;
+  if settled <> st.RT.Engine.submitted then begin
+    ok := false;
+    Printf.printf "  CONSERVATION FAILURE: %d settled <> %d submitted\n" settled
+      st.RT.Engine.submitted
+  end;
+  if st.RT.Engine.shed = 0 then begin
+    ok := false;
+    Printf.printf "  OVERLOAD FAILURE: flood past queue cap shed nothing\n"
+  end;
+  if
+    not
+      (st.RT.Engine.p50_latency_us <= st.RT.Engine.p95_latency_us
+      && st.RT.Engine.p95_latency_us <= st.RT.Engine.p99_latency_us
+      && st.RT.Engine.p99_latency_us <= st.RT.Engine.max_latency_us +. 1e-9
+      && st.RT.Engine.p99_latency_us > 0.0)
+  then begin
+    ok := false;
+    Printf.printf "  PERCENTILE FAILURE: p50/p95/p99/max not ordered or p99 = 0\n"
+  end;
+  let oc = open_out "BENCH_overload.json" in
+  Printf.fprintf oc
+    "{\n  \"workload\": {\"steps\": %d, \"cols\": %d, \"requests\": %d, \"queue_cap\": %d, \
+     \"deadline_ms\": 10.0, \"policy\": \"shed\"},\n"
+    steps cols requests queue_cap;
+  Printf.fprintf oc "  \"wall_ms\": %.3f,\n" (dt *. 1e3);
+  Printf.fprintf oc
+    "  \"outcomes\": {\"submitted\": %d, \"completed\": %d, \"shed\": %d, \"expired\": %d, \
+     \"rejected\": %d, \"failed\": %d},\n"
+    st.RT.Engine.submitted st.RT.Engine.completed st.RT.Engine.shed st.RT.Engine.expired
+    st.RT.Engine.rejected st.RT.Engine.failed;
+  Printf.fprintf oc
+    "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n"
+    (st.RT.Engine.p50_latency_us /. 1e3)
+    (st.RT.Engine.p95_latency_us /. 1e3)
+    (st.RT.Engine.p99_latency_us /. 1e3)
+    (st.RT.Engine.max_latency_us /. 1e3);
+  Printf.fprintf oc "  \"conserved\": %b, \"deadlock_free\": true, \"bit_identical\": %b\n}\n"
+    (settled = st.RT.Engine.submitted) !ok;
+  close_out oc;
+  Printf.printf "  wrote BENCH_overload.json\n";
+  if not !ok then begin
+    Printf.printf "  engine overload smoke FAILED\n";
+    exit 1
+  end;
+  Printf.printf
+    "  all tickets settled (no deadlock); conservation holds; sheds > 0; percentiles ordered\n"
+
 let backend_smoke kind =
   let bert_g = graph_of bert in
   let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
@@ -792,6 +928,7 @@ let () =
   end;
   if !run_arena || !arena_smoke then arena_bench ~smoke:!arena_smoke ();
   if !engine_smoke then engine_bench ();
+  if !engine_overload_smoke then engine_overload_bench ();
   (match !smoke_backend with
   | Some kind -> backend_smoke kind
   | None -> ());

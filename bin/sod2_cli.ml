@@ -288,7 +288,8 @@ let run_cmd =
 (* --- serve ---------------------------------------------------------- *)
 
 let serve_cmd =
-  let run model device requests workers max_batch exec backend memory =
+  let run model device requests workers max_batch exec backend memory arrival_rate seed
+      queue_cap deadline_ms overload =
     let open Sod2_runtime in
     let sp = spec_of_name model in
     let profile = profile_of_name device in
@@ -297,6 +298,15 @@ let serve_cmd =
        reachable with an explicit --exec KIND,malloc. *)
     let default = { Executor.default_config with Executor.memory = Executor.Mem_arena } in
     let cfg = exec_config ~default ~exec ~backend ~memory ~arena:false () in
+    let overload_policy =
+      match overload with
+      | "reject" -> Engine.Reject
+      | "shed" -> Engine.Shed_oldest
+      | "block" -> Engine.Block None
+      | s ->
+        Printf.eprintf "unknown --overload policy %S (expected reject, shed or block)\n" s;
+        exit 2
+    in
     let c = Sod2.Pipeline.compile profile g in
     (* Mixed shape bindings: the workload percentiles, deduplicated by plan
        key, so the request stream genuinely alternates bindings. *)
@@ -311,26 +321,68 @@ let serve_cmd =
       |> List.rev_map snd
     in
     let nenvs = List.length envs in
-    let rng = Rng.create 42 in
+    let rng = Rng.create seed in
     let samples =
       List.init requests (fun i ->
           let env = List.nth envs (i mod nenvs) in
           env, Zoo.make_inputs sp g env rng)
     in
-    let engine = Engine.create ~workers ~max_batch ~config:cfg c in
+    let engine =
+      Engine.create ~workers ~max_batch ~config:cfg
+        ?queue_cap:(Option.map (fun n -> max 1 n) queue_cap)
+        ~overload:overload_policy c
+    in
+    let deadline_us = Option.map (fun ms -> ms *. 1000.0) deadline_ms in
+    (* Open loop: requests arrive as a Poisson process at --arrival-rate
+       req/s (0 = back-to-back), independent of completion — the stream
+       does not slow down when the engine backs up, which is what makes
+       overload reachable in the first place. *)
+    let arrival_rng = Rng.create (seed + 1) in
+    let next_arrival_gap () =
+      if arrival_rate <= 0.0 then 0.0
+      else -.log (max 1e-12 (Rng.uniform arrival_rng)) /. arrival_rate
+    in
     let t0 = Unix.gettimeofday () in
-    let tickets = List.map (fun (env, inputs) -> Engine.submit engine ~env ~inputs) samples in
-    let results = List.map (Engine.await engine) tickets in
+    let tickets =
+      List.map
+        (fun (env, inputs) ->
+          let gap = next_arrival_gap () in
+          if gap > 0.0 then Unix.sleepf gap;
+          match Engine.submit engine ?deadline_us ~env ~inputs with
+          | t -> Some t
+          | exception Sod2_error.Error e when e.Sod2_error.cls = Sod2_error.Overload -> None)
+        samples
+    in
+    let completed = ref 0 in
+    List.iter
+      (function
+        | None -> ()
+        | Some t -> (
+          match Engine.await engine t with
+          | _ -> incr completed
+          | exception Sod2_error.Error _ -> ()))
+      tickets;
     let elapsed = Unix.gettimeofday () -. t0 in
     Engine.shutdown engine;
     let st = Engine.stats engine in
-    Printf.printf "served %d requests over %d distinct bindings on %d workers (--exec %s)\n"
-      (List.length results) nenvs st.Engine.workers (Executor.config_to_string cfg);
-    Printf.printf "  wall time:     %8.1f ms  (%.1f req/s)\n" (elapsed *. 1000.0)
-      (float_of_int requests /. elapsed);
-    Printf.printf "  latency:       mean %.2f ms, max %.2f ms (queue wait included)\n"
+    Printf.printf "served %d/%d requests over %d distinct bindings on %d workers (--exec %s)\n"
+      !completed requests nenvs st.Engine.workers (Executor.config_to_string cfg);
+    Printf.printf "  wall time:     %8.1f ms  (%.1f req/s offered%s)\n" (elapsed *. 1000.0)
+      (float_of_int requests /. elapsed)
+      (if arrival_rate > 0.0 then Printf.sprintf ", Poisson target %.1f req/s" arrival_rate
+       else ", back-to-back");
+    Printf.printf "  latency:       mean %.2f ms, p50 %.2f, p95 %.2f, p99 %.2f, max %.2f ms\n"
       (st.Engine.total_latency_us /. float_of_int (max 1 st.Engine.completed) /. 1000.0)
-      (st.Engine.max_latency_us /. 1000.0);
+      (st.Engine.p50_latency_us /. 1000.0) (st.Engine.p95_latency_us /. 1000.0)
+      (st.Engine.p99_latency_us /. 1000.0) (st.Engine.max_latency_us /. 1000.0);
+    Printf.printf "  overload:      %d rejected, %d shed, %d expired (policy %s%s%s)\n"
+      st.Engine.rejected st.Engine.shed st.Engine.expired overload
+      (match queue_cap with Some n -> Printf.sprintf ", queue cap %d" n | None -> "")
+      (match deadline_ms with
+       | Some ms -> Printf.sprintf ", deadline %.1f ms" ms
+       | None -> "");
+    Printf.printf "  resilience:    %d worker restarts, %d breaker trips, degraded=%b\n"
+      st.Engine.worker_restarts st.Engine.breaker_open st.Engine.degraded;
     Printf.printf "  micro-batched: %d requests (max batch %d), queue peak %d\n"
       st.Engine.batched max_batch st.Engine.queue_peak;
     Array.iteri
@@ -361,16 +413,52 @@ let serve_cmd =
              ~doc:"Micro-batch bound: a worker claims up to B queued requests \
                    sharing one shape binding; 1 disables batching.")
   in
+  let arrival_rate =
+    Arg.(value & opt float 0.0
+         & info [ "arrival-rate" ] ~docv:"R"
+             ~doc:"Open-loop Poisson arrival rate in requests/second; 0 (the \
+                   default) submits back-to-back.  Arrivals do not wait for \
+                   completions, so a rate above the service capacity drives \
+                   the engine into its overload policy.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"RNG seed for inputs and Poisson inter-arrival gaps.")
+  in
+  let queue_cap =
+    Arg.(value & opt (some int) None
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Bound the request queue at N and arm the --overload policy \
+                   (default: unbounded).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline in milliseconds, relative to submit; \
+                   requests still queued when it passes are expired without \
+                   executing.")
+  in
+  let overload =
+    Arg.(value & opt string "reject"
+         & info [ "overload" ] ~docv:"POLICY"
+             ~doc:"Full-queue policy: reject (refuse the new request), shed \
+                   (evict the oldest queued request) or block (stall the \
+                   submitter until there is room).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Drive a resident concurrent engine: submit N requests with mixed \
-             shape bindings over K workers and report throughput, latency, \
-             micro-batching and plan-cache behavior.")
+             shape bindings over K workers — optionally as an open-loop \
+             Poisson stream against a bounded queue with deadlines — and \
+             report throughput, latency percentiles, shed/reject/expiry \
+             counts, micro-batching and plan-cache behavior.")
     Term.(const run $ model_arg $ device_arg $ requests $ workers $ max_batch $ exec_arg
           $ Arg.(value & opt (some string) None
                  & info [ "backend" ] ~docv:"KIND" ~doc:"Deprecated alias; see --exec.")
           $ Arg.(value & opt (some string) None
-                 & info [ "memory" ] ~docv:"MODE" ~doc:"Deprecated alias; see --exec."))
+                 & info [ "memory" ] ~docv:"MODE" ~doc:"Deprecated alias; see --exec.")
+          $ arrival_rate $ seed $ queue_cap $ deadline_ms $ overload)
 
 (* --- compare ------------------------------------------------------- *)
 

@@ -7,12 +7,17 @@ type error_class =
   | Unbound_symbol
   | Unsupported
   | Io_error
+  | Overload
+  | Deadline_expired
+  | Engine_error
 
 type context = {
   op : string option;
   node : string option;
   tensor : int option;
   step : int option;
+  worker : int option;
+  key : string option;
 }
 
 type t = {
@@ -23,16 +28,17 @@ type t = {
 
 exception Error of t
 
-let no_context = { op = None; node = None; tensor = None; step = None }
+let no_context =
+  { op = None; node = None; tensor = None; step = None; worker = None; key = None }
 
-let make ?op ?node ?tensor ?step cls msg =
-  { cls; ctx = { op; node; tensor; step }; msg }
+let make ?op ?node ?tensor ?step ?worker ?key cls msg =
+  { cls; ctx = { op; node; tensor; step; worker; key }; msg }
 
-let fail ?op ?node ?tensor ?step cls msg =
-  raise (Error (make ?op ?node ?tensor ?step cls msg))
+let fail ?op ?node ?tensor ?step ?worker ?key cls msg =
+  raise (Error (make ?op ?node ?tensor ?step ?worker ?key cls msg))
 
-let failf ?op ?node ?tensor ?step cls fmt =
-  Printf.ksprintf (fun msg -> fail ?op ?node ?tensor ?step cls msg) fmt
+let failf ?op ?node ?tensor ?step ?worker ?key cls fmt =
+  Printf.ksprintf (fun msg -> fail ?op ?node ?tensor ?step ?worker ?key cls msg) fmt
 
 let class_name = function
   | Invalid_graph -> "invalid-graph"
@@ -43,6 +49,9 @@ let class_name = function
   | Unbound_symbol -> "unbound-symbol"
   | Unsupported -> "unsupported"
   | Io_error -> "io-error"
+  | Overload -> "overload"
+  | Deadline_expired -> "deadline-expired"
+  | Engine_error -> "engine-error"
 
 let context_to_string ctx =
   let parts =
@@ -52,6 +61,8 @@ let context_to_string ctx =
         Option.map (Printf.sprintf "node=%s") ctx.node;
         Option.map (Printf.sprintf "t%d") ctx.tensor;
         Option.map (Printf.sprintf "step %d") ctx.step;
+        Option.map (Printf.sprintf "worker %d") ctx.worker;
+        Option.map (Printf.sprintf "key=%s") ctx.key;
       ]
   in
   match parts with [] -> "" | parts -> " [" ^ String.concat " " parts ^ "]"

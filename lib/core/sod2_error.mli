@@ -21,12 +21,19 @@ type error_class =
   | Unbound_symbol  (** a shape variable had no binding in the {!Env} *)
   | Unsupported  (** the operation needs support this build does not have *)
   | Io_error  (** serialization / parse failures *)
+  | Overload  (** serving-layer admission control rejected or shed the request *)
+  | Deadline_expired  (** the request's deadline passed before it could execute *)
+  | Engine_error
+      (** serving-engine failure: worker crash, submit after shutdown,
+          double ticket redemption, degraded-mode refusal *)
 
 type context = {
   op : string option;  (** operator name, e.g. ["Conv"] *)
   node : string option;  (** node name, e.g. ["stage2.conv_17"] *)
   tensor : int option;  (** tensor id *)
   step : int option;  (** execution-plan step or group id *)
+  worker : int option;  (** engine worker slot, for serving-layer errors *)
+  key : string option;  (** plan key ({!Pipeline.plan_key}) of the request *)
 }
 
 type t = {
@@ -40,10 +47,12 @@ exception Error of t
 val no_context : context
 
 val make :
-  ?op:string -> ?node:string -> ?tensor:int -> ?step:int -> error_class -> string -> t
+  ?op:string -> ?node:string -> ?tensor:int -> ?step:int -> ?worker:int ->
+  ?key:string -> error_class -> string -> t
 
 val fail :
-  ?op:string -> ?node:string -> ?tensor:int -> ?step:int -> error_class -> string -> 'a
+  ?op:string -> ?node:string -> ?tensor:int -> ?step:int -> ?worker:int ->
+  ?key:string -> error_class -> string -> 'a
 (** Raise {!Error} with the given class and context. *)
 
 val failf :
@@ -51,6 +60,8 @@ val failf :
   ?node:string ->
   ?tensor:int ->
   ?step:int ->
+  ?worker:int ->
+  ?key:string ->
   error_class ->
   ('a, unit, string, 'b) format4 ->
   'a

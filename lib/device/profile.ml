@@ -121,11 +121,15 @@ module Counters = struct
   let table : (string * string, int) Hashtbl.t = Hashtbl.create 16
   let lock = Mutex.create ()
 
-  let record ~profile ~kind =
-    let key = profile, kind in
-    Mutex.lock lock;
-    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key));
-    Mutex.unlock lock
+  let add ~profile ~kind n =
+    if n > 0 then begin
+      let key = profile, kind in
+      Mutex.lock lock;
+      Hashtbl.replace table key (n + Option.value ~default:0 (Hashtbl.find_opt table key));
+      Mutex.unlock lock
+    end
+
+  let record ~profile ~kind = add ~profile ~kind 1
 
   let count ~profile ~kind =
     Mutex.lock lock;

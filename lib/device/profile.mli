@@ -63,6 +63,12 @@ val pp : Format.formatter -> t -> unit
 
 module Counters : sig
   val record : profile:string -> kind:string -> unit
+
+  val add : profile:string -> kind:string -> int -> unit
+  (** [add n] bumps the counter by [n] in one table access — the engine
+      uses it when an overload/crash event settles a whole batch of
+      requests at once.  [n <= 0] is a no-op. *)
+
   val count : profile:string -> kind:string -> int
   val by_kind : unit -> (string * int) list
   (** Aggregated over profiles, sorted by kind name. *)

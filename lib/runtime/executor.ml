@@ -84,6 +84,13 @@ let config_to_string cfg =
             (if cfg.control = All_paths then Some "all-paths" else None);
           ])
 
+(* The most conservative execution of a config: drop the suspect
+   specialized backend, keep the control policy, and run guarded so plan
+   trouble demotes to the reference sweep instead of raising.  The engine
+   routes breaker-open plan keys and degraded-mode requests through this. *)
+let degraded cfg =
+  { cfg with backend = Backend.Naive; memory = Mem_malloc; guarded = true }
+
 exception Unresolved of string
 
 (* Runtime view of an instantiated memory plan: per-tensor slots (element

@@ -115,6 +115,13 @@ val config_to_string : config -> string
 (** Canonical [--exec] rendering; [config_of_string (config_to_string c)]
     is [Ok c]. *)
 
+val degraded : config -> config
+(** The graceful-fallback variant of a config: naive backend, malloc
+    memory, [guarded = true], control policy preserved.  {!Engine} runs
+    breaker-open plan keys and degraded-mode requests under this so a
+    misbehaving specialized path can never take the serving layer down
+    with it. *)
+
 exception Unresolved of string
 (** Raised in [Dry] mode when a shape could not be resolved concretely —
     indicates a gap in the operator's transfer function. *)
