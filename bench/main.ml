@@ -48,6 +48,13 @@ let () =
       run_tables := false;
       run_kernels := false;
       parse rest
+    | "--kernels-smoke" :: rest ->
+      (* CI mode: kernel speedup tables only — includes the f32-vs-f64
+         GEMM throughput gate and writes BENCH_f32.json. *)
+      run_bechamel := false;
+      run_tables := false;
+      run_arena := false;
+      parse rest
     | "--engine-smoke" :: rest ->
       (* CI mode: engine throughput scaling + equivalence/zero-replan check. *)
       engine_smoke := true;
@@ -205,8 +212,14 @@ let time_runs ?(budget = 0.3) f =
   done;
   (Unix.gettimeofday () -. t0) /. float_of_int reps
 
-let filled len =
-  Array.init len (fun i -> (float_of_int ((i * 7919) mod 1009) /. 1009.0) -. 0.5)
+(* Deterministic operand storage in the requested element kind.  The
+   default is F32 — the kind compiled artifacts now actually run in. *)
+let filled ?(dt = Tensor.F32) len =
+  let b = Tensor.fbuf_create dt len in
+  for i = 0 to len - 1 do
+    Tensor.fbuf_set b i ((float_of_int ((i * 7919) mod 1009) /. 1009.0) -. 0.5)
+  done;
+  b
 
 let kernel_speedups () =
   let versions = Sod2.Multi_version.build cpu in
@@ -228,22 +241,43 @@ let kernel_speedups () =
         Printf.printf "  %-26s %10.3f %10.3f %10.3f %6.2fx %6.2fx\n" case
           (tn *. 1e3) (tb *. 1e3) (tp *. 1e3) (tn /. tb) (tn /. tp)
       in
+      let time_gemm ?dt be m n k =
+        let a = filled ?dt (m * k) and b = filled ?dt (k * n) in
+        let c = Tensor.fbuf_create (Tensor.fbuf_dtype a) (m * n) in
+        time_runs (fun () ->
+            Tensor.fbuf_fill c 0 (m * n) 0.0;
+            RT.Backend.gemm_kernel be ~m ~n ~k ~a ~ao:0 ~b ~bo:0 ~c ~co:0)
+      in
       let gemm_case name m n k =
-        let a = filled (m * k) and b = filled (k * n) in
-        let c = Array.make (m * n) 0.0 in
-        let run be () =
-          Array.fill c 0 (m * n) 0.0;
-          RT.Backend.gemm_kernel be ~m ~n ~k ~a ~ao:0 ~b ~bo:0 ~c ~co:0
-        in
-        let tn = time_runs (run naive) in
-        let tb = time_runs (run blocked) in
-        let tp = time_runs (run parallel) in
+        let tn = time_gemm naive m n k in
+        let tb = time_gemm blocked m n k in
+        let tp = time_gemm parallel m n k in
         row (Printf.sprintf "%s %dx%dx%d" name m n k) tn tb tp
       in
       gemm_case "gemm/fat" 512 512 256;
       gemm_case "gemm/regular" 256 256 256;
       gemm_case "gemm/skinny" 4 512 256;
       gemm_case "gemm/tiny" 16 16 16;
+      (* f32 vs f64 storage on the blocked kernel: halving the element size
+         must not cost throughput (the packed inner loops are unchanged);
+         the ratio is asserted and recorded in BENCH_f32.json. *)
+      let m, n, k = 256, 256, 256 in
+      let t32 = time_gemm ~dt:Tensor.F32 blocked m n k in
+      let t64 = time_gemm ~dt:Tensor.F64 blocked m n k in
+      Printf.printf "  %-26s %10s %10.3f %10.3f %6.2fx\n"
+        "gemm/f32-vs-f64 256^3" "" (t64 *. 1e3) (t32 *. 1e3) (t64 /. t32);
+      let oc = open_out "BENCH_f32.json" in
+      Printf.fprintf oc
+        "{\n  \"gemm_256\": {\"f32_ms\": %.4f, \"f64_ms\": %.4f, \
+         \"f32_over_f64\": %.3f}\n}\n"
+        (t32 *. 1e3) (t64 *. 1e3) (t32 /. t64);
+      close_out oc;
+      Printf.printf "  wrote BENCH_f32.json\n";
+      if t32 > t64 *. 1.15 then begin
+        Printf.printf "  f32 GEMM slower than the f64 baseline (%.2fx) — FAIL\n"
+          (t32 /. t64);
+        exit 1
+      end;
       let rng = Rng.create 17 in
       let x = Tensor.rand_uniform rng [ 1; 64; 28; 28 ] in
       let w = Tensor.rand_uniform rng [ 64; 64; 3; 3 ] in

@@ -47,7 +47,7 @@ type kernel = {
   k_run : par:Blocked.par -> Tensor.t array -> Tensor.t;
       (** args in slot order; returns the terminal tensor *)
   k_run_into :
-    par:Blocked.par -> Tensor.view array -> c:float array -> co:int -> unit;
+    par:Blocked.par -> Tensor.view array -> c:Tensor.fbuf -> co:int -> unit;
       (** destination-passing variant: args arrive as offset-carrying
           views, the terminal result is written into [c] at element offset
           [co] — the arena executor points this at a planned slot *)
@@ -67,7 +67,7 @@ let elementwise_ok g (nd : Graph.node) =
   match nd.Graph.op with
   | Op.Unary _ | Op.Binary _ | Op.Clip _ | Op.Where | Op.Transpose _ | Op.Flatten _
   | Op.Squeeze _ | Op.Unsqueeze _ | Op.BatchNorm _ -> true
-  | Op.Cast Tensor.F32 -> true
+  | Op.Cast (Tensor.F32 | Tensor.F64) -> true
   | Op.Reshape -> (
     match nd.Graph.inputs with
     | [ _; target ] -> Graph.const_value g target <> None
@@ -212,7 +212,14 @@ exception Spec_fail of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Spec_fail s)) fmt
 
-type env = { args : Tensor.view array; acc : float array }
+module BA1 = Bigarray.Array1
+
+(* [acc] holds the anchor's result on the two-phase path — always an f64
+   buffer, so fused intermediates keep full precision and round exactly
+   once, at the terminal store. *)
+type env = { args : Tensor.view array; acc : Tensor.fbuf }
+
+let no_acc = Tensor.fbuf_create Tensor.F64 0
 
 (* One compiled expression node: its concrete dims, whether its subtree
    reads the anchor accumulator, and a maker that — given the call's
@@ -230,20 +237,27 @@ let numel_of (d : int array) = Array.fold_left ( * ) 1 d
 
 let grain = 16_384
 
-let fill_into par (dst : float array) ~off ~n gfn =
+let fill_into par (dst : Tensor.fbuf) ~off ~n gfn =
+  (* The store is the group's single rounding point: f32 destinations
+     round the double-precision closure result here and nowhere else. *)
+  let body lo hi =
+    match dst with
+    | Tensor.FB32 d ->
+      for i = lo to hi do
+        BA1.unsafe_set d (off + i) (gfn i 0.0)
+      done
+    | Tensor.FB64 d ->
+      for i = lo to hi do
+        BA1.unsafe_set d (off + i) (gfn i 0.0)
+      done
+  in
   if n >= 2 * grain then
     par.Blocked.run
       ((n + grain - 1) / grain)
       (fun ci ->
         let lo = ci * grain in
-        let hi = min n (lo + grain) - 1 in
-        for i = lo to hi do
-          Array.unsafe_set dst (off + i) (gfn i 0.0)
-        done)
-  else
-    for i = 0 to n - 1 do
-      Array.unsafe_set dst (off + i) (gfn i 0.0)
-    done
+        body lo (min n (lo + grain) - 1))
+  else body 0 (n - 1)
 
 let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked.tiles)
     ~(args : (int list * Tensor.dtype) array) : (kernel, string) result =
@@ -252,9 +266,24 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
     if Array.length args <> nslots then fail "argument count %d <> slot count %d" (Array.length args) nslots;
     Array.iteri
       (fun i (_, dt) ->
-        if dt = Tensor.I64 then
-          fail "slot %d is I64: integer element semantics stay on the reference path" i)
+        if not (Tensor.is_float_dtype dt) then
+          fail "slot %d is %s: integer element semantics stay on the reference path"
+            i (Tensor.dtype_name dt))
       args;
+    (* When every slot is f32 (and no member widens via Cast f64), the
+       op-by-op reference materializes an f32 tensor at every member
+       boundary — each store rounds.  The fused closures must reproduce
+       those rounding points exactly or the bit-exactness contract with
+       the reference breaks; each value-producing node therefore rounds
+       its own output below.  Mixed/f64 groups keep full-precision
+       intermediates and round only at the terminal store. *)
+    let all_f32 =
+      Array.for_all (fun (_, dt) -> dt = Tensor.F32) args
+      && not
+           (List.exists
+              (fun nd -> nd.Graph.op = Op.Cast Tensor.F64)
+              tpl.t_members)
+    in
     let dims_tbl : (Graph.tensor_id, int array) Hashtbl.t = Hashtbl.create 16 in
     Array.iteri
       (fun i tid -> Hashtbl.replace dims_tbl tid (Array.of_list (fst args.(i))))
@@ -352,9 +381,16 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
               mk =
                 (fun env ->
                   let v = env.args.(si) in
-                  let d = v.Tensor.vbuf and o = v.Tensor.voff in
-                  if o = 0 then fun i _ -> Array.unsafe_get d i
-                  else fun i _ -> Array.unsafe_get d (o + i));
+                  let o = v.Tensor.voff in
+                  (* Kind is matched once per kernel call, so the element
+                     loop reads through a monomorphic bigarray access. *)
+                  match v.Tensor.vbuf with
+                  | Tensor.FB32 d ->
+                    if o = 0 then fun i _ -> BA1.unsafe_get d i
+                    else fun i _ -> BA1.unsafe_get d (o + i)
+                  | Tensor.FB64 d ->
+                    if o = 0 then fun i _ -> BA1.unsafe_get d i
+                    else fun i _ -> BA1.unsafe_get d (o + i));
             }
           | None -> fail "tensor %d consumed before being produced" tid
         in
@@ -375,7 +411,8 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
           mk =
             (fun env ->
               let a = gx env in
-              fun i v -> f (a i v));
+              if all_f32 then fun i v -> Tensor.round_f32 (f (a i v))
+              else fun i v -> f (a i v));
         }
       | Op.Binary b ->
         let x = child 0 and y = child 1 in
@@ -387,7 +424,8 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
           mk =
             (fun env ->
               let a = gx env and b' = gy env in
-              fun i v -> f (a i v) (b' i v));
+              if all_f32 then fun i v -> Tensor.round_f32 (f (a i v) (b' i v))
+              else fun i v -> f (a i v) (b' i v));
         }
       | Op.Clip (lo, hi) ->
         let x = child 0 in
@@ -398,11 +436,26 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
           mk =
             (fun env ->
               let a = gx env in
-              fun i v -> Float.min hi (Float.max lo (a i v)));
+              if all_f32 then
+                fun i v -> Tensor.round_f32 (Float.min hi (Float.max lo (a i v)))
+              else fun i v -> Float.min hi (Float.max lo (a i v)));
         }
       | Op.Cast Tensor.F32 ->
-        (* Input is F32 by construction (I64 leaves are rejected), so this
-           is the identity. *)
+        (* Not the identity it once was: intermediates travel in double
+           precision, so an explicit f32 cast must round here, exactly as
+           the reference materializes an f32 tensor at this point. *)
+        let x = child 0 in
+        let gx = with_map od x in
+        {
+          dims = od;
+          on_acc = x.on_acc;
+          mk =
+            (fun env ->
+              let a = gx env in
+              fun i v -> Tensor.round_f32 (a i v));
+        }
+      | Op.Cast Tensor.F64 ->
+        (* Intermediates are already f64: identity. *)
         let x = child 0 in
         { x with dims = od }
       | Op.Where ->
@@ -414,9 +467,11 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
           mk =
             (fun env ->
               let cc = gc env and a = gx env and b' = gy env in
-              (* Mirrors the reference: condition is cast to I64 (C
-                 truncation), then tested against zero. *)
-              fun i v -> if int_of_float (cc i v) <> 0 then a i v else b' i v);
+              (* Mirrors the reference: condition is cast to I64
+                 (saturating), then tested against zero. *)
+              fun i v ->
+                if Tensor.saturating_int_of_float (cc i v) <> 0 then a i v
+                else b' i v);
         }
       | Op.Transpose perm ->
         let x = child 0 in
@@ -462,11 +517,24 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
               let s = hoist ps and b' = hoist pb and m = hoist pm in
               let gv = pv.mk env in
               let sq = Array.init cdim (fun c -> sqrt (gv c 0.0 +. eps)) in
-              fun i v ->
-                let ch = i / sp mod cdim in
-                ((a i v -. Array.unsafe_get m ch) /. Array.unsafe_get sq ch
-                *. Array.unsafe_get s ch)
-                +. Array.unsafe_get b' ch);
+              if all_f32 then
+                (* Four rounding points, mirroring the reference's four
+                   map2 stores: (x−m), /sqrt(v+eps), ×s, +b. *)
+                fun i v ->
+                  let ch = i / sp mod cdim in
+                  let r = Tensor.round_f32 in
+                  r
+                    (r
+                       (r (r (a i v -. Array.unsafe_get m ch)
+                          /. Array.unsafe_get sq ch)
+                       *. Array.unsafe_get s ch)
+                    +. Array.unsafe_get b' ch)
+              else
+                fun i v ->
+                  let ch = i / sp mod cdim in
+                  ((a i v -. Array.unsafe_get m ch) /. Array.unsafe_get sq ch
+                  *. Array.unsafe_get s ch)
+                  +. Array.unsafe_get b' ch);
         }
       | op -> fail "operator %s is not elementwise-compilable" (Op.name op)
     in
@@ -476,16 +544,31 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
       (match anchor_out with
       | Some tid ->
         let adims = dims_of tid in
+        (* The anchor hands the epilogue its full-precision f64
+           accumulator (in-register for write-back, via the scratch buffer
+           for two-phase).  The reference would have stored it to an f32
+           tensor first, so an all-f32 group rounds it at the leaf. *)
         let leaf =
-          if wb then { dims = adims; on_acc = true; mk = (fun _ _ v -> v) }
+          if wb then
+            {
+              dims = adims;
+              on_acc = true;
+              mk =
+                (if all_f32 then fun _ _ v -> Tensor.round_f32 v
+                 else fun _ _ v -> v);
+            }
           else
             {
               dims = adims;
               on_acc = true;
               mk =
                 (fun env ->
-                  let a = env.acc in
-                  fun i _ -> Array.unsafe_get a i);
+                  match env.acc with
+                  | Tensor.FB64 a ->
+                    if all_f32 then
+                      fun i _ -> Tensor.round_f32 (BA1.unsafe_get a i)
+                    else fun i _ -> BA1.unsafe_get a i
+                  | Tensor.FB32 a -> fun i _ -> BA1.unsafe_get a i);
             }
         in
         Hashtbl.add infos tid leaf
@@ -501,8 +584,14 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
     let term_dims_l = Array.to_list term_dims in
     let mk_kernel k_run_into =
       let k_run ~par targs =
-        let out = Tensor.zeros Tensor.F32 term_dims_l in
-        k_run_into ~par (Array.map Tensor.view_f targs) ~c:(Tensor.data_f out) ~co:0;
+        let odt =
+          if Array.exists (fun t -> Tensor.dtype t = Tensor.F64) targs then
+            Tensor.F64
+          else Tensor.F32
+        in
+        let out = Tensor.zeros odt term_dims_l in
+        k_run_into ~par (Array.map Tensor.view_f targs) ~c:(Tensor.storage_f out)
+          ~co:0;
         out
       in
       { k_out = tpl.t_out; k_dims = member_dims; k_run; k_run_into }
@@ -512,7 +601,7 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
       let root, _ = build ~wb:false in
       let n_out = numel_of term_dims in
       let k_run_into ~par (args : Tensor.view array) ~c ~co =
-        let gfn = root.mk { args; acc = [||] } in
+        let gfn = root.mk { args; acc = no_acc } in
         fill_into par c ~off:co ~n:n_out gfn
       in
       Ok (mk_kernel k_run_into)
@@ -578,15 +667,19 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
                   | None ->
                     if alpha = 1.0 then ep else fun ci v -> ep ci (v *. alpha)
                   | Some ct ->
-                    let cd = ct.Tensor.vbuf and cdo = ct.Tensor.voff in
+                    let cdo = ct.Tensor.voff in
+                    let cget =
+                      match ct.Tensor.vbuf with
+                      | Tensor.FB32 d -> fun i -> BA1.unsafe_get d i
+                      | Tensor.FB64 d -> fun i -> BA1.unsafe_get d i
+                    in
                     let get =
                       match
                         broadcast_map ~od:adims ~fd:(Array.of_list ct.Tensor.vdims)
                       with
-                      | Id -> fun i -> Array.unsafe_get cd (cdo + i)
-                      | Tbl t ->
-                        fun i -> Array.unsafe_get cd (cdo + Array.unsafe_get t i)
-                      | Strided (od, ss) -> fun i -> cd.(cdo + strided_index od ss i)
+                      | Id -> fun i -> cget (cdo + i)
+                      | Tbl t -> fun i -> cget (cdo + Array.unsafe_get t i)
+                      | Strided (od, ss) -> fun i -> cget (cdo + strided_index od ss i)
                     in
                     let scale v = if alpha = 1.0 then v else v *. alpha in
                     fun ci v -> ep ci (scale v +. (beta *. get ci))
@@ -641,7 +734,7 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
       let root_wb, wb_clean = if wb_feasible then build ~wb:true else (build ~wb:false |> fst, false) in
       if wb_feasible && wb_clean then begin
         let k_run_into ~par args ~c ~co =
-          let ep0 = root_wb.mk { args; acc = [||] } in
+          let ep0 = root_wb.mk { args; acc = no_acc } in
           run_anchor_into ~par ~ep:(Some ep0) args ~c ~co
         in
         Ok (mk_kernel k_run_into)
@@ -650,7 +743,10 @@ let specialize g (tpl : template) ~(tiles : Multi_version.shape_class -> Blocked
         let root, _ = build ~wb:false in
         let n_out = numel_of term_dims in
         let k_run_into ~par args ~c ~co =
-          let scratch = Array.make (max 1 (numel_of adims)) 0.0 in
+          (* f64 scratch keeps the anchor result at full precision for the
+             elementwise phase; the terminal fill is the single rounding. *)
+          let scratch = Tensor.fbuf_create Tensor.F64 (max 1 (numel_of adims)) in
+          Tensor.fbuf_fill scratch 0 (Tensor.fbuf_len scratch) 0.0;
           run_anchor_into ~par ~ep:None args ~c:scratch ~co:0;
           let gfn = root.mk { args; acc = scratch } in
           fill_into par c ~off:co ~n:n_out gfn

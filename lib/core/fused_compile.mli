@@ -35,7 +35,7 @@ type kernel = {
   k_run : par:Blocked.par -> Tensor.t array -> Tensor.t;
       (** args in slot order; returns the terminal tensor *)
   k_run_into :
-    par:Blocked.par -> Tensor.view array -> c:float array -> co:int -> unit;
+    par:Blocked.par -> Tensor.view array -> c:Tensor.fbuf -> co:int -> unit;
       (** destination-passing variant: args arrive as offset-carrying views
           (slot order) and the terminal result is written into [c] at
           element offset [co] — no output allocation.  [k_run] is a wrapper

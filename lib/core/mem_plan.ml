@@ -43,6 +43,7 @@ type sym_entry = {
 type symbolic = {
   sym_entries : sym_entry list;  (** in materialization order *)
   sym_strategy : strategy;
+  sym_elem : int;  (** bytes per element of the float dtype planned for *)
 }
 
 (* The env-independent part of lifetime analysis: which tensors
@@ -93,13 +94,15 @@ let symbolic_lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order =
    dims under [env]; entries whose shapes stay unresolved are
    execution-determined and left to runtime malloc.  This is the only part
    of planning that looks at the binding. *)
-let concretize ~env entries =
+let concretize ~elem ~env entries =
   let static = ref [] and dynamic = ref [] in
   List.iter
     (fun e ->
       match Shape.eval env e.se_shape with
       | Some dims ->
-        let size = 4 * List.fold_left (fun a d -> a * max 1 d) 1 dims in
+        (* Element size comes from the plan's dtype — a hardcoded [4 *]
+           here once under-reserved every f64 slot by half. *)
+        let size = elem * List.fold_left (fun a d -> a * max 1 d) 1 dims in
         static :=
           { lt_tid = e.se_tid; lt_size = size; lt_first = e.se_first; lt_last = e.se_last }
           :: !static
@@ -298,15 +301,20 @@ let plan_raw strategy ~lifetimes:raw =
   in
   plan_of_lifetimes strategy lts ~dynamic:[]
 
-let plan_symbolic ?(strategy = Peak_first) (g : Graph.t) rdp fplan ~order =
-  { sym_entries = symbolic_lifetimes g rdp fplan ~order; sym_strategy = strategy }
+let plan_symbolic ?(strategy = Peak_first) ?(elem = Tensor.bytes_per_elem Tensor.F32)
+    (g : Graph.t) rdp fplan ~order =
+  {
+    sym_entries = symbolic_lifetimes g rdp fplan ~order;
+    sym_strategy = strategy;
+    sym_elem = elem;
+  }
 
 let instantiate sym ~env =
-  let lts, dynamic = concretize ~env sym.sym_entries in
+  let lts, dynamic = concretize ~elem:sym.sym_elem ~env sym.sym_entries in
   plan_of_lifetimes sym.sym_strategy lts ~dynamic
 
-let plan ?(strategy = Peak_first) (g : Graph.t) rdp fplan ~order ~env =
-  instantiate (plan_symbolic ~strategy g rdp fplan ~order) ~env
+let plan ?(strategy = Peak_first) ?elem (g : Graph.t) rdp fplan ~order ~env =
+  instantiate (plan_symbolic ~strategy ?elem g rdp fplan ~order) ~env
 
 let live_peak_bytes t =
   live_peak

@@ -43,10 +43,12 @@ type t = {
 }
 
 val plan :
-  ?strategy:strategy -> Graph.t -> Rdp.t -> Fusion.plan -> order:int list ->
-  env:Env.t -> t
+  ?strategy:strategy -> ?elem:int -> Graph.t -> Rdp.t -> Fusion.plan ->
+  order:int list -> env:Env.t -> t
 (** Compute the plan for executing fusion groups in [order] with shape
-    variables bound by [env].  Equivalent to
+    variables bound by [env].  [elem] is the byte size of the float dtype
+    the arena will hold (default [Tensor.bytes_per_elem Tensor.F32]);
+    every slot size is [elem × numel].  Equivalent to
     [instantiate (plan_symbolic …) ~env] — the two share every pass, so
     symbolic plans instantiated at a binding agree exactly with concrete
     plans computed there. *)
@@ -72,12 +74,15 @@ type sym_entry = {
 type symbolic = {
   sym_entries : sym_entry list;  (** in materialization order *)
   sym_strategy : strategy;
+  sym_elem : int;  (** bytes per element of the float dtype planned for *)
 }
 
 val plan_symbolic :
-  ?strategy:strategy -> Graph.t -> Rdp.t -> Fusion.plan -> order:int list -> symbolic
+  ?strategy:strategy -> ?elem:int -> Graph.t -> Rdp.t -> Fusion.plan ->
+  order:int list -> symbolic
 (** The compile-time half of {!plan}: everything that does not need the
-    shape-variable binding. *)
+    shape-variable binding.  [elem] (default 4, f32) fixes the element
+    size all slot bytes derive from. *)
 
 val instantiate : symbolic -> env:Env.t -> t
 (** The runtime half: evaluate each entry's dims under [env] (entries that

@@ -18,6 +18,7 @@ type compiled = {
   fused : Fused_compile.template option array;
   flags : opt_flags;
   profile : Profile.t;
+  fdtype : Tensor.dtype;  (** float precision the arena plan is sized for *)
   mem_symbolic : Mem_plan.symbolic;
   plan_syms : string list;
   plan_cache : (string, Mem_plan.t) Hashtbl.t;
@@ -52,7 +53,10 @@ let kernel_classes_of graph rdp ~env =
       | _ -> None)
     (Graph.nodes graph)
 
-let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
+let compile ?(flags = all_opts) ?(plan_sym_value = 64)
+    ?(float_dtype = Tensor.F32) profile graph =
+  if not (Tensor.is_float_dtype float_dtype) then
+    invalid_arg "Pipeline.compile: float_dtype must be F32 or F64";
   Validate.check_exn graph;
   let rdp = Rdp.analyze graph in
   let fusion_plan =
@@ -73,7 +77,8 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
   let mem_symbolic =
     Mem_plan.plan_symbolic
       ~strategy:(if flags.dmp then Mem_plan.Peak_first else Mem_plan.Greedy_first_fit)
-      graph rdp fusion_plan ~order:exec.Exec_plan.order
+      ~elem:(Tensor.bytes_per_elem float_dtype) graph rdp fusion_plan
+      ~order:exec.Exec_plan.order
   in
   let plan_syms =
     List.concat_map
@@ -91,16 +96,17 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64) profile graph =
     fused;
     flags;
     profile;
+    fdtype = float_dtype;
     mem_symbolic;
     plan_syms;
     plan_cache = Hashtbl.create 8;
     plan_lock = Mutex.create ();
   }
 
-let compile_checked ?flags ?plan_sym_value profile graph =
+let compile_checked ?flags ?plan_sym_value ?float_dtype profile graph =
   match Validate.check graph with
   | Error defects -> Error defects
-  | Ok () -> Ok (compile ?flags ?plan_sym_value profile graph)
+  | Ok () -> Ok (compile ?flags ?plan_sym_value ?float_dtype profile graph)
 
 (* Cache key: the binding restricted to the shape variables the plan's
    entries actually mention (canonical order).  Unbound variables render as

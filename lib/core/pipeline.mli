@@ -37,6 +37,10 @@ type compiled = {
           when the group stays on op-by-op execution *)
   flags : opt_flags;
   profile : Profile.t;
+  fdtype : Tensor.dtype;
+      (** float precision the artifact plans for: arena slots are sized
+          [bytes_per_elem fdtype × numel] and the executor allocates the
+          arena in this kind *)
   mem_symbolic : Mem_plan.symbolic;
       (** env-independent memory plan: symbolic lifetimes computed once at
           compile time; {!instantiated_plan} binds them per inference *)
@@ -52,16 +56,19 @@ type compiled = {
 }
 
 val compile :
-  ?flags:opt_flags -> ?plan_sym_value:int -> Profile.t -> Graph.t -> compiled
+  ?flags:opt_flags -> ?plan_sym_value:int -> ?float_dtype:Tensor.dtype ->
+  Profile.t -> Graph.t -> compiled
 (** Compile [graph] for the device.  [plan_sym_value] (default 64) is the
     representative value bound to every shape variable while comparing
-    candidate execution orders.  The graph is validated first
-    ({!Validate.check}); raises [Sod2_error.Error] on the first defect of a
-    malformed graph. *)
+    candidate execution orders.  [float_dtype] (default {!Tensor.F32})
+    selects the float precision the arena plan and executor run in; passing
+    an integer dtype raises [Invalid_argument].  The graph is validated
+    first ({!Validate.check}); raises [Sod2_error.Error] on the first
+    defect of a malformed graph. *)
 
 val compile_checked :
-  ?flags:opt_flags -> ?plan_sym_value:int -> Profile.t -> Graph.t ->
-  (compiled, Sod2_error.t list) result
+  ?flags:opt_flags -> ?plan_sym_value:int -> ?float_dtype:Tensor.dtype ->
+  Profile.t -> Graph.t -> (compiled, Sod2_error.t list) result
 (** Like {!compile}, but collects {e every} validation defect instead of
     raising on the first — the entry point for untrusted graphs (e.g. ones
     loaded from disk). *)

@@ -14,7 +14,7 @@ let const_value (tensor : Tensor.t) : Value_info.t =
   match Tensor.dtype tensor with
   | Tensor.I64 when Tensor.numel tensor <= Value_info.max_tracked_elements ->
     Value_info.of_ints (Tensor.to_int_list tensor)
-  | Tensor.I64 | Tensor.F32 -> Lattice.Nac
+  | Tensor.I64 | Tensor.I8 | Tensor.F32 | Tensor.F64 -> Lattice.Nac
 
 (* Graph inputs with undeclared dims get fresh symbolic constants so that
    equalities between uses of the same dimension survive the analysis —

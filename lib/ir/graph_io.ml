@@ -68,12 +68,12 @@ let shape_of_sexp s =
 
 let tensor_to_sexps (t : Tensor.t) =
   let dims = List (atom "dims" :: List.map int (Tensor.dims t)) in
-  match Tensor.dtype t with
-  | Tensor.F32 ->
-    [ atom "f32"; dims;
+  let dt = Tensor.dtype t in
+  if Tensor.is_float_dtype dt then
+    [ atom (Tensor.dtype_name dt); dims;
       List (atom "data" :: Array.to_list (Array.map float (Tensor.data_f t))) ]
-  | Tensor.I64 ->
-    [ atom "i64"; dims;
+  else
+    [ atom (Tensor.dtype_name dt); dims;
       List (atom "data" :: Array.to_list (Array.map int (Tensor.data_i t))) ]
 
 let tensor_of_sexps dtype dims data =
@@ -93,7 +93,7 @@ let tensor_of_sexps dtype dims data =
   match data with
   | List (Atom "data" :: values) -> (
     match dtype with
-    | "f32" ->
+    | ("f32" | "f64") as fd ->
       let* values =
         List.fold_left
           (fun acc v ->
@@ -103,8 +103,9 @@ let tensor_of_sexps dtype dims data =
             | None -> err "bad f32 datum")
           (Ok []) values
       in
-      Ok (Tensor.create_f dims (Array.of_list (List.rev values)))
-    | "i64" ->
+      let fdt = if fd = "f64" then Tensor.F64 else Tensor.F32 in
+      Ok (Tensor.of_floats fdt dims (Array.of_list (List.rev values)))
+    | ("i8" | "i64") as idt ->
       let* values =
         List.fold_left
           (fun acc v ->
@@ -114,7 +115,8 @@ let tensor_of_sexps dtype dims data =
             | None -> err "bad i64 datum")
           (Ok []) values
       in
-      Ok (Tensor.create_i dims (Array.of_list (List.rev values)))
+      let it = if idt = "i8" then Tensor.I8 else Tensor.I64 in
+      Ok (Tensor.of_ints it dims (Array.of_list (List.rev values)))
     | _ -> err "unknown dtype %s" dtype)
   | _ -> err "bad const data form"
 

@@ -36,8 +36,7 @@ let to_sexp (op : Op.t) : Sexp.t =
   | Op.Unary u -> List [ atom "unary"; atom (rev_find unary_table u) ]
   | Op.Binary bi -> List [ atom "binary"; atom (rev_find binary_table bi) ]
   | Op.Clip (lo, hi) -> List [ atom "clip"; float lo; float hi ]
-  | Op.Cast Tensor.F32 -> List [ atom "cast"; atom "f32" ]
-  | Op.Cast Tensor.I64 -> List [ atom "cast"; atom "i64" ]
+  | Op.Cast dt -> List [ atom "cast"; atom (Tensor.dtype_name dt) ]
   | Op.Where -> List [ atom "where" ]
   | Op.MatMul -> List [ atom "matmul" ]
   | Op.Gemm { alpha; beta; trans_a; trans_b } ->
@@ -148,6 +147,8 @@ let of_sexp (s : Sexp.t) : (Op.t, string) result =
       let* hi = d_float hi in
       Ok (Op.Clip (lo, hi))
     | "cast", [ Atom "f32" ] -> Ok (Op.Cast Tensor.F32)
+    | "cast", [ Atom "f64" ] -> Ok (Op.Cast Tensor.F64)
+    | "cast", [ Atom "i8" ] -> Ok (Op.Cast Tensor.I8)
     | "cast", [ Atom "i64" ] -> Ok (Op.Cast Tensor.I64)
     | "where", [] -> Ok Op.Where
     | "matmul", [] -> Ok Op.MatMul

@@ -187,26 +187,40 @@ let conv1d ?cls t ~stride ~pad ~dilation ~groups x w b =
 
 (* Data-parallel elementwise maps.  Only same-shape float tensors above the
    grain size go through the pool; everything else falls back to the
-   sequential {!Tensor} maps (which also own the broadcast/int cases). *)
+   sequential {!Tensor} maps (which also own the broadcast/int/mixed-kind
+   cases).  Chunk bodies are matched on the storage kind once per call so
+   the per-element loop is a monomorphic bigarray access; an f32 store
+   rounds exactly like the sequential map's store does. *)
+module BA1 = Bigarray.Array1
+
 let grain = 16_384
 
 let map_f t f x =
   match t.pool with
   | Some pool
     when Domain_pool.size pool > 1
-         && Tensor.dtype x = Tensor.F32
+         && Tensor.is_float_dtype (Tensor.dtype x)
          && Tensor.numel x >= 2 * grain ->
-    let src = Tensor.data_f x in
-    let len = Array.length src in
-    let out = Tensor.zeros Tensor.F32 (Tensor.dims x) in
-    let dst = Tensor.data_f out in
+    let len = Tensor.numel x in
+    let out = Tensor.zeros (Tensor.dtype x) (Tensor.dims x) in
+    let body : int -> int -> unit =
+      match Tensor.storage_f x, Tensor.storage_f out with
+      | Tensor.FB32 s, Tensor.FB32 d ->
+        fun lo hi ->
+          for i = lo to hi - 1 do
+            BA1.unsafe_set d i (f (BA1.unsafe_get s i))
+          done
+      | Tensor.FB64 s, Tensor.FB64 d ->
+        fun lo hi ->
+          for i = lo to hi - 1 do
+            BA1.unsafe_set d i (f (BA1.unsafe_get s i))
+          done
+      | _ -> assert false
+    in
     let chunks = (len + grain - 1) / grain in
     Domain_pool.run pool chunks (fun ci ->
         let lo = ci * grain in
-        let hi = min len (lo + grain) in
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (f (Array.unsafe_get src i))
-        done);
+        body lo (min len (lo + grain)));
     out
   | _ -> Tensor.map_f f x
 
@@ -320,20 +334,29 @@ let map2 t f x y =
   match t.pool with
   | Some pool
     when Domain_pool.size pool > 1
-         && Tensor.dtype x = Tensor.F32
-         && Tensor.dtype y = Tensor.F32
+         && Tensor.is_float_dtype (Tensor.dtype x)
+         && Tensor.dtype x = Tensor.dtype y
          && Tensor.dims x = Tensor.dims y
          && Tensor.numel x >= 2 * grain ->
-    let sx = Tensor.data_f x and sy = Tensor.data_f y in
-    let len = Array.length sx in
-    let out = Tensor.zeros Tensor.F32 (Tensor.dims x) in
-    let dst = Tensor.data_f out in
+    let len = Tensor.numel x in
+    let out = Tensor.zeros (Tensor.dtype x) (Tensor.dims x) in
+    let body : int -> int -> unit =
+      match Tensor.storage_f x, Tensor.storage_f y, Tensor.storage_f out with
+      | Tensor.FB32 sx, Tensor.FB32 sy, Tensor.FB32 d ->
+        fun lo hi ->
+          for i = lo to hi - 1 do
+            BA1.unsafe_set d i (f (BA1.unsafe_get sx i) (BA1.unsafe_get sy i))
+          done
+      | Tensor.FB64 sx, Tensor.FB64 sy, Tensor.FB64 d ->
+        fun lo hi ->
+          for i = lo to hi - 1 do
+            BA1.unsafe_set d i (f (BA1.unsafe_get sx i) (BA1.unsafe_get sy i))
+          done
+      | _ -> assert false
+    in
     let chunks = (len + grain - 1) / grain in
     Domain_pool.run pool chunks (fun ci ->
         let lo = ci * grain in
-        let hi = min len (lo + grain) in
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (f (Array.unsafe_get sx i) (Array.unsafe_get sy i))
-        done);
+        body lo (min len (lo + grain)));
     out
   | _ -> Tensor.map2 f x y

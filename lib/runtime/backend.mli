@@ -47,7 +47,7 @@ val matmul : ?cls:Multi_version.shape_class -> t -> Tensor.t -> Tensor.t -> Tens
 
 val matmul_into :
   ?cls:Multi_version.shape_class -> t -> Tensor.view -> Tensor.view ->
-  c:float array -> co:int -> int list
+  c:Tensor.fbuf -> co:int -> int list
 (** Destination-passing {!matmul} through this backend's inner GEMM;
     writes into [c] at element offset [co], returns the result dims. *)
 
@@ -64,7 +64,7 @@ val conv2d_into :
   ?cls:Multi_version.shape_class -> t -> stride:int * int ->
   pad:int * int * int * int -> dilation:int * int -> groups:int ->
   Tensor.view -> Tensor.view -> Tensor.view option ->
-  c:float array -> co:int -> int list
+  c:Tensor.fbuf -> co:int -> int list
 (** Destination-passing {!conv2d} (naive loops or blocked im2col by shape
     class); writes into [c] at element offset [co], returns the result
     dims. *)

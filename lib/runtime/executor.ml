@@ -98,7 +98,7 @@ exception Unresolved of string
    currently live in it.  Built per inference from the binding-cached
    plan; the buffer is shared and persists across inferences. *)
 type arena_rt = {
-  ar_buf : float array;
+  ar_buf : Tensor.fbuf;
   ar_slot : (int * int) option array;  (* tid -> (elem offset, capacity) *)
   ar_loc : bool array;  (* tid's live value is in the arena *)
   mutable ar_resident : int;  (* tensors dest-stored this inference *)
@@ -112,7 +112,11 @@ type state = {
   tensors : Tensor.t option array;
 }
 
-let bytes_of_dims ?(elem = 4) dims = elem * List.fold_left (fun a d -> a * max 1 d) 1 dims
+(* Byte size of a tensor extent.  [dtype] defaults to F32; pass the real
+   dtype — a hardcoded 4-byte element here once made every F64/I64 figure
+   a lie by half. *)
+let bytes_of_dims ?(dtype = Tensor.F32) dims =
+  Tensor.bytes_per_elem dtype * List.fold_left (fun a d -> a * max 1 d) 1 dims
 
 let init_state (c : Pipeline.compiled) ~keep_tensors =
   let g = c.graph in
@@ -241,10 +245,9 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
       | Some ar when ar.ar_loc.(tid) ->
         let off, _ = Option.get ar.ar_slot.(tid) in
         let dims = Option.get st.dims.(tid) in
-        let n = List.fold_left ( * ) 1 dims in
         (* Always a copy, never a shared window: the slot's storage is
            reused by later tensors once this one's lifetime ends. *)
-        let t = Tensor.create_f dims (Array.sub ar.ar_buf off n) in
+        let t = Tensor.copy_view (Tensor.sub_view ~buf:ar.ar_buf ~off ~dims) in
         counter "arena-copy-out";
         st.tensors.(tid) <- Some t;
         t
@@ -259,7 +262,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
       Some (Tensor.sub_view ~buf:ar.ar_buf ~off ~dims:(Option.get st.dims.(tid)))
     | _ -> (
       match st.tensors.(tid) with
-      | Some t when Tensor.dtype t = Tensor.F32 -> Some (Tensor.view_f t)
+      | Some t when Tensor.is_float_dtype (Tensor.dtype t) -> Some (Tensor.view_f t)
       | _ -> None)
   in
   (* Aliasing (Switch/Combine) must not alias an arena slot: the alias
@@ -271,15 +274,16 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
     | _ -> ()
   in
   (* Element size from the materialized tensor when there is one (Real
-     mode), so I64 tensors account 8 bytes; Dry mode keeps the F32
-     default. *)
+     mode); otherwise the compiled artifact's float dtype — the kind
+     arena-resident values actually occupy — so Dry and arena traffic
+     figures use the same element size the plan reserved. *)
   let tensor_bytes tid dims =
-    let elem =
+    let dtype =
       match st.tensors.(tid) with
-      | Some t -> ( match Tensor.dtype t with Tensor.F32 -> 4 | Tensor.I64 -> 8)
-      | None -> 4
+      | Some t -> Tensor.dtype t
+      | None -> c.Pipeline.fdtype
     in
-    bytes_of_dims ~elem dims
+    bytes_of_dims ~dtype dims
   in
   let step_of_group = Hashtbl.create 64 in
   let steps = ref [] in
@@ -390,7 +394,8 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
         match views [] nd.Graph.inputs with
         | Some vs ->
           if is_graph_out otid then (
-            let buf = Array.make cap 0.0 in
+            let buf = Tensor.fbuf_create (Tensor.fbuf_dtype ar.ar_buf) cap in
+            Tensor.fbuf_fill buf 0 cap 0.0;
             match
               Kernels.run_into ?backend ?cls:(cls_of nd) nd.Graph.op vs ~c:buf
                 ~co:0 ~cap
@@ -398,8 +403,8 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
             | Some dims ->
               let numel = List.fold_left ( * ) 1 dims in
               let t =
-                if numel = cap then Tensor.create_f dims buf
-                else Tensor.create_f dims (Array.sub buf 0 numel)
+                if numel = cap then Tensor.of_fbuf dims buf
+                else Tensor.copy_view (Tensor.sub_view ~buf ~off:0 ~dims)
               in
               st.tensors.(otid) <- Some t;
               st.dims.(otid) <- Some dims;
@@ -481,7 +486,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
               let va = Array.map Option.get vs in
               let shapes =
                 Array.to_list
-                  (Array.map (fun v -> v.Tensor.vdims, Tensor.F32) va)
+                  (Array.map (fun v -> v.Tensor.vdims, Tensor.view_dtype v) va)
               in
               match Backend.fused_kernel be c ~gid ~args:shapes with
               | None -> false
@@ -497,9 +502,10 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
                   ar.ar_resident <- ar.ar_resident + 1;
                   counter "arena-dest-store"
                 | _ ->
-                  let buf = Array.make numel 0.0 in
+                  let buf = Tensor.fbuf_create (Tensor.fbuf_dtype ar.ar_buf) numel in
+                  Tensor.fbuf_fill buf 0 numel 0.0;
                   k.Fused_compile.k_run_into ~par va ~c:buf ~co:0;
-                  st.tensors.(out) <- Some (Tensor.create_f dims buf);
+                  st.tensors.(out) <- Some (Tensor.of_fbuf dims buf);
                   counter "arena-out-direct");
                 List.iter
                   (fun (tid, d) ->
@@ -687,16 +693,25 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
     | Malloc -> None
     | Arena { arena; env } ->
       let plan = Pipeline.instantiated_plan c env in
-      let buf = Arena.ensure arena (max 1 (plan.Mem_plan.arena_bytes / 4)) in
+      (* The plan sized every slot in [fdtype] elements, so byte offsets
+         divide exactly by its element size — which is also the kind the
+         arena buffer is allocated in.  No 4-vs-8 mismatch is possible:
+         both sides derive from the same [bytes_per_elem fdtype]. *)
+      let elem = Tensor.bytes_per_elem c.Pipeline.fdtype in
+      let buf =
+        Arena.ensure arena c.Pipeline.fdtype
+          (max 1 ((plan.Mem_plan.arena_bytes + elem - 1) / elem))
+      in
       let n = Graph.tensor_count c.graph in
       let slot = Array.make n None in
       Array.iter
         (fun (a : Mem_plan.alloc) ->
           if
-            a.Mem_plan.size > 0 && a.offset >= 0 && a.offset mod 4 = 0
+            a.Mem_plan.size > 0 && a.offset >= 0 && a.offset mod elem = 0
+            && a.Mem_plan.size mod elem = 0
             && a.offset + a.size <= plan.Mem_plan.arena_bytes
             && a.tid >= 0 && a.tid < n
-          then slot.(a.tid) <- Some (a.offset / 4, a.size / 4))
+          then slot.(a.tid) <- Some (a.offset / elem, a.size / elem))
         plan.Mem_plan.allocs;
       Some
         {
@@ -737,10 +752,9 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
           | Some ar when ar.ar_loc.(tid) ->
             let off, _ = Option.get ar.ar_slot.(tid) in
             let dims = Option.get st.dims.(tid) in
-            let n = List.fold_left ( * ) 1 dims in
             Profile.Counters.record ~profile:c.Pipeline.profile.Profile.name
               ~kind:"arena-out-materialize";
-            Some (tid, Tensor.create_f dims (Array.sub ar.ar_buf off n))
+            Some (tid, Tensor.copy_view (Tensor.sub_view ~buf:ar.ar_buf ~off ~dims))
           | _ -> None))
       ctx.out_tids
   in

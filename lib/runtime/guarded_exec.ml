@@ -74,12 +74,16 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     c.Pipeline.fusion_plan.Fusion.groups;
   (* --- static plan vetting: evict allocations the guards cannot trust --- *)
   let arena_bytes = mp.Mem_plan.arena_bytes in
+  (* All byte arithmetic below uses the artifact's planned element size:
+     alignment, slot sizing and offset→element conversion must agree with
+     what [Mem_plan] reserved, for f32 and f64 artifacts alike. *)
+  let elem = Tensor.bytes_per_elem c.Pipeline.fdtype in
   let vetted =
     Array.to_list mp.Mem_plan.allocs
     |> List.filter (fun (a : Mem_plan.alloc) ->
            if a.Mem_plan.offset < 0 || a.Mem_plan.size < 0
               || a.Mem_plan.offset + a.Mem_plan.size > arena_bytes
-              || a.Mem_plan.offset mod 4 <> 0
+              || a.Mem_plan.offset mod elem <> 0
            then begin
              incident Arena_bounds
                (Printf.sprintf "tensor %d: allocation [%d, %d) outside %d-byte arena"
@@ -92,7 +96,7 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
              match predicted.(a.Mem_plan.tid) with
              | Some dims
                when a.Mem_plan.size
-                    <> 4 * List.fold_left (fun n d -> n * max 1 d) 1 dims ->
+                    <> elem * List.fold_left (fun n d -> n * max 1 d) 1 dims ->
                incident Size_mismatch
                  (Printf.sprintf "tensor %d: planned %d bytes, RDP predicts %s"
                     a.Mem_plan.tid a.Mem_plan.size (dims_str dims));
@@ -153,10 +157,14 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
       ~kind:"arena-fallback-malloc"
   | _ -> ());
   (* --- storage --- *)
+  let arena_elems = max 1 ((arena_bytes + elem - 1) / elem) in
   let arena_buf =
     match arena with
-    | Some a -> Arena.ensure a (max 1 (arena_bytes / 4))
-    | None -> Array.make (max 1 (arena_bytes / 4)) 0.0
+    | Some a -> Arena.ensure a c.Pipeline.fdtype arena_elems
+    | None ->
+      let b = Tensor.fbuf_create c.Pipeline.fdtype arena_elems in
+      Tensor.fbuf_fill b 0 arena_elems 0.0;
+      b
   in
   let resident = ref 0 in
   let loc : location option array = Array.make (Graph.tensor_count g) None in
@@ -171,8 +179,7 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     match loc.(tid) with
     | Some (Boxed t) -> t
     | Some (In_arena (off, dims)) ->
-      let n = List.fold_left ( * ) 1 dims in
-      Tensor.create_f dims (Array.sub arena_buf off n)
+      Tensor.copy_view (Tensor.sub_view ~buf:arena_buf ~off ~dims)
     | None ->
       Sod2_error.failf ~tensor:tid Sod2_error.Plan_violation
         "Guarded_exec: tensor %d not available" tid
@@ -197,8 +204,8 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     | _ -> ());
     match Hashtbl.find_opt alloc_of tid with
     | Some _ when !degraded -> loc.(tid) <- Some (Boxed t)
-    | Some a when Tensor.dtype t = Tensor.F32 ->
-      let bytes = 4 * Tensor.numel t in
+    | Some a when Tensor.dtype t = c.Pipeline.fdtype ->
+      let bytes = Tensor.byte_size t in
       if bytes <> a.Mem_plan.size then begin
         incident ~gid ~step Size_mismatch
           (Printf.sprintf "tensor %d: %d bytes into a %d-byte slot" tid bytes
@@ -207,8 +214,9 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
         loc.(tid) <- Some (Boxed t)
       end
       else begin
-        let off = a.Mem_plan.offset / 4 in
-        Array.blit (Tensor.data_f t) 0 arena_buf off (Tensor.numel t);
+        let off = a.Mem_plan.offset / elem in
+        Tensor.fbuf_blit ~src:(Tensor.storage_f t) ~soff:0 ~dst:arena_buf
+          ~doff:off ~len:(Tensor.numel t);
         incr resident;
         loc.(tid) <- Some (In_arena (off, dims))
       end

@@ -52,20 +52,26 @@ let run ?backend ?cls (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
      golden comparisons and guarded fallback stay bit-exact. *)
   let map_f f x = match backend with Some be -> Backend.map_f be f x | None -> Tensor.map_f f x in
   let map2 f x y = match backend with Some be -> Backend.map2 be f x y | None -> Tensor.map2 f x y in
+  (* Integer operands promote to F32 for float semantics; float operands
+     keep their own precision (an F64 input must not silently narrow). *)
+  let ensure_f t =
+    if Tensor.is_float_dtype (Tensor.dtype t) then t else Tensor.cast t Tensor.F32
+  in
   match op, inputs with
   | Op.Unary u, [ x ] -> (
     match Tensor.dtype x, u with
-    | Tensor.I64, Op.Identity -> [ x ]
-    | Tensor.I64, Op.Neg -> [ Tensor.map_i (fun v -> -v) x ]
-    | Tensor.I64, Op.Abs -> [ Tensor.map_i abs x ]
-    | Tensor.I64, Op.Not -> [ Tensor.map_i (fun v -> if v = 0 then 1 else 0) x ]
-    | Tensor.I64, _ -> [ map_f (unary_fn u) (Tensor.cast x Tensor.F32) ]
-    | Tensor.F32, _ -> [ map_f (unary_fn u) x ])
+    | (Tensor.I64 | Tensor.I8), Op.Identity -> [ x ]
+    | (Tensor.I64 | Tensor.I8), Op.Neg -> [ Tensor.map_i (fun v -> -v) x ]
+    | (Tensor.I64 | Tensor.I8), Op.Abs -> [ Tensor.map_i abs x ]
+    | (Tensor.I64 | Tensor.I8), Op.Not ->
+      [ Tensor.map_i (fun v -> if v = 0 then 1 else 0) x ]
+    | (Tensor.I64 | Tensor.I8), _ -> [ map_f (unary_fn u) (Tensor.cast x Tensor.F32) ]
+    | (Tensor.F32 | Tensor.F64), _ -> [ map_f (unary_fn u) x ])
   | Op.Binary b, [ x; y ] -> (
     match Tensor.dtype x, Tensor.dtype y with
-    | Tensor.I64, Tensor.I64 -> [ Tensor.map2i (int_binary_fn b) x y ]
-    | _ ->
-      [ map2 (float_binary_fn b) (Tensor.cast x Tensor.F32) (Tensor.cast y Tensor.F32) ])
+    | (Tensor.I64 | Tensor.I8), (Tensor.I64 | Tensor.I8) ->
+      [ Tensor.map2i (int_binary_fn b) x y ]
+    | _ -> [ map2 (float_binary_fn b) (ensure_f x) (ensure_f y) ])
   | Op.Clip (lo, hi), [ x ] -> [ map_f (fun v -> Float.min hi (Float.max lo v)) x ]
   | Op.Cast dt, [ x ] -> [ Tensor.cast x dt ]
   | Op.Where, [ c; a; b ] -> [ Transform.where (Tensor.cast c Tensor.I64) a b ]
@@ -237,6 +243,8 @@ let run ?backend ?cls (op : Op.t) (inputs : Tensor.t list) : Tensor.t list =
 (* ------------------------------------------------------------------ *)
 (* Destination-passing execution (arena runtime)                       *)
 
+module BA1 = Bigarray.Array1
+
 let view_dims_arr (v : Tensor.view) = Array.of_list v.Tensor.vdims
 
 (* Destination kernels chunk large same-shape loops over the backend's
@@ -246,54 +254,102 @@ let into_grain = 16_384
 
 (* Broadcast-aware binary loop over views, writing into [dst] at [doff].
    Same index arithmetic as [Tensor.map2], plus source/destination base
-   offsets.  The same-shape path dispatches once on the operator and runs
-   a direct-operator loop for the four arithmetic ops: the per-element
-   closure from [float_binary_fn] is an indirect call the compiler cannot
-   inline, worth ~5x on this loop, and Add/Sub/Mul/Div dominate the
-   pointwise traffic of streaming workloads.  The float semantics are
-   identical — [float_binary_fn] maps them to the same ( +. ) etc. *)
-let binary_into ~chunked (b : Op.binary) (x : Tensor.view) (y : Tensor.view) dst doff =
+   offsets.  The same-shape uniform-kind path dispatches once on the
+   operator and buffer kinds and runs a direct-operator monomorphic loop
+   for the four arithmetic ops: a kind-polymorphic bigarray access is a C
+   call the compiler cannot inline, worth ~5x on this loop, and
+   Add/Sub/Mul/Div dominate the pointwise traffic of streaming workloads.
+   The float semantics are identical — [float_binary_fn] maps them to the
+   same ( +. ) etc., and the destination store is the single f32 rounding
+   point, exactly like [Tensor.map2]'s output store. *)
+let binary_into ~chunked (b : Op.binary) (x : Tensor.view) (y : Tensor.view)
+    (dst : Tensor.fbuf) doff =
   let dx = view_dims_arr x and dy = view_dims_arr y in
   let od = Tensor.broadcast_dims dx dy in
   let n = Array.fold_left ( * ) 1 od in
-  let bx = x.Tensor.vbuf and by = y.Tensor.vbuf in
   let ox = x.Tensor.voff and oy = y.Tensor.voff in
-  if dx = od && dy = od then
-    chunked n
-      (match b with
-      | Op.Add ->
-        fun lo hi ->
+  if dx = od && dy = od then begin
+    match x.Tensor.vbuf, y.Tensor.vbuf, dst with
+    | Tensor.FB32 bx, Tensor.FB32 by, Tensor.FB32 d ->
+      chunked n
+        (match b with
+        | Op.Add ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) +. BA1.unsafe_get by (oy + i))
+            done
+        | Op.Sub ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) -. BA1.unsafe_get by (oy + i))
+            done
+        | Op.Mul ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) *. BA1.unsafe_get by (oy + i))
+            done
+        | Op.Div ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) /. BA1.unsafe_get by (oy + i))
+            done
+        | _ ->
+          let f = float_binary_fn b in
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (f (BA1.unsafe_get bx (ox + i)) (BA1.unsafe_get by (oy + i)))
+            done)
+    | Tensor.FB64 bx, Tensor.FB64 by, Tensor.FB64 d ->
+      chunked n
+        (match b with
+        | Op.Add ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) +. BA1.unsafe_get by (oy + i))
+            done
+        | Op.Sub ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) -. BA1.unsafe_get by (oy + i))
+            done
+        | Op.Mul ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) *. BA1.unsafe_get by (oy + i))
+            done
+        | Op.Div ->
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (BA1.unsafe_get bx (ox + i) /. BA1.unsafe_get by (oy + i))
+            done
+        | _ ->
+          let f = float_binary_fn b in
+          fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (doff + i)
+                (f (BA1.unsafe_get bx (ox + i)) (BA1.unsafe_get by (oy + i)))
+            done)
+    | bx, by, d ->
+      (* Mixed kinds (arena f32 against an f64 constant, say): cold path. *)
+      let f = float_binary_fn b in
+      chunked n (fun lo hi ->
           for i = lo to hi do
-            Array.unsafe_set dst (doff + i)
-              (Array.unsafe_get bx (ox + i) +. Array.unsafe_get by (oy + i))
-          done
-      | Op.Sub ->
-        fun lo hi ->
-          for i = lo to hi do
-            Array.unsafe_set dst (doff + i)
-              (Array.unsafe_get bx (ox + i) -. Array.unsafe_get by (oy + i))
-          done
-      | Op.Mul ->
-        fun lo hi ->
-          for i = lo to hi do
-            Array.unsafe_set dst (doff + i)
-              (Array.unsafe_get bx (ox + i) *. Array.unsafe_get by (oy + i))
-          done
-      | Op.Div ->
-        fun lo hi ->
-          for i = lo to hi do
-            Array.unsafe_set dst (doff + i)
-              (Array.unsafe_get bx (ox + i) /. Array.unsafe_get by (oy + i))
-          done
-      | _ ->
-        let f = float_binary_fn b in
-        fun lo hi ->
-          for i = lo to hi do
-            Array.unsafe_set dst (doff + i)
-              (f (Array.unsafe_get bx (ox + i)) (Array.unsafe_get by (oy + i)))
+            Tensor.fbuf_set d (doff + i)
+              (f (Tensor.fbuf_get bx (ox + i)) (Tensor.fbuf_get by (oy + i)))
           done)
+  end
   else begin
     let f = float_binary_fn b in
+    let bx = x.Tensor.vbuf and by = y.Tensor.vbuf in
     (* Right-aligned stride tables (stride 0 on broadcast axes). *)
     let r = Array.length od in
     let stride_of src =
@@ -317,13 +373,15 @@ let binary_into ~chunked (b : Op.binary) (x : Tensor.view) (y : Tensor.view) dst
       !off
     in
     for i = 0 to n - 1 do
-      dst.(doff + i) <- f bx.(ox + offset sx i) by.(oy + offset sy i)
+      Tensor.fbuf_set dst (doff + i)
+        (f (Tensor.fbuf_get bx (ox + offset sx i))
+           (Tensor.fbuf_get by (oy + offset sy i)))
     done
   end;
   Array.to_list od
 
-let run_into ?backend ?cls (op : Op.t) (inputs : Tensor.view list) ~(c : float array)
-    ~(co : int) ~(cap : int) : int list option =
+let run_into ?backend ?cls (op : Op.t) (inputs : Tensor.view list)
+    ~(c : Tensor.fbuf) ~(co : int) ~(cap : int) : int list option =
   let fits dims = List.fold_left ( * ) 1 dims = cap in
   let par =
     match backend with Some be -> Backend.par_of be | None -> Blocked.sequential
@@ -337,14 +395,28 @@ let run_into ?backend ?cls (op : Op.t) (inputs : Tensor.view list) ~(c : float a
           body lo (min n (lo + into_grain) - 1))
     else if n > 0 then body 0 (n - 1)
   in
+  (* [f] computes in double precision; the destination store rounds for
+     f32 buffers — same single rounding as the boxed [Tensor.map_f]. *)
   let pointwise f (x : Tensor.view) =
     if not (fits x.Tensor.vdims) then None
     else begin
-      let b = x.Tensor.vbuf and o = x.Tensor.voff in
-      chunked cap (fun lo hi ->
-          for i = lo to hi do
-            Array.unsafe_set c (co + i) (f (Array.unsafe_get b (o + i)))
-          done);
+      let o = x.Tensor.voff in
+      (match x.Tensor.vbuf, c with
+      | Tensor.FB32 b, Tensor.FB32 d ->
+        chunked cap (fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (co + i) (f (BA1.unsafe_get b (o + i)))
+            done)
+      | Tensor.FB64 b, Tensor.FB64 d ->
+        chunked cap (fun lo hi ->
+            for i = lo to hi do
+              BA1.unsafe_set d (co + i) (f (BA1.unsafe_get b (o + i)))
+            done)
+      | b, d ->
+        chunked cap (fun lo hi ->
+            for i = lo to hi do
+              Tensor.fbuf_set d (co + i) (f (Tensor.fbuf_get b (o + i)))
+            done));
       Some x.Tensor.vdims
     end
   in
@@ -352,15 +424,7 @@ let run_into ?backend ?cls (op : Op.t) (inputs : Tensor.view list) ~(c : float a
   | Op.Unary Op.Relu, [ x ] ->
     (* Same direct-loop treatment as the binary arithmetic fast path;
        [Float.max 0.0 v] matches [unary_fn Relu] bit-for-bit. *)
-    if not (fits x.Tensor.vdims) then None
-    else begin
-      let b = x.Tensor.vbuf and o = x.Tensor.voff in
-      chunked cap (fun lo hi ->
-          for i = lo to hi do
-            Array.unsafe_set c (co + i) (Float.max 0.0 (Array.unsafe_get b (o + i)))
-          done);
-      Some x.Tensor.vdims
-    end
+    pointwise (fun v -> Float.max 0.0 v) x
   | Op.Unary u, [ x ] -> pointwise (unary_fn u) x
   | Op.Clip (lo, hi), [ x ] -> pointwise (fun v -> Float.min hi (Float.max lo v)) x
   | Op.Binary b, [ x; y ] ->
@@ -377,20 +441,43 @@ let run_into ?backend ?cls (op : Op.t) (inputs : Tensor.view list) ~(c : float a
       let sp =
         List.fold_left ( * ) 1 (match x.Tensor.vdims with _ :: _ :: rest -> rest | _ -> [])
       in
-      let b = x.Tensor.vbuf and o = x.Tensor.voff in
-      let sv = scale.Tensor.vbuf and so = scale.Tensor.voff in
-      let bv = bias.Tensor.vbuf and bo = bias.Tensor.voff in
-      let mv = mean.Tensor.vbuf and mo = mean.Tensor.voff in
-      let vv = var.Tensor.vbuf and vo = var.Tensor.voff in
-      for i = 0 to cap - 1 do
-        let chn = i / sp mod ch in
-        (* Mirrors [Reduction.batch_norm]'s per-element evaluation order. *)
-        Array.unsafe_set c (co + i)
-          (((Array.unsafe_get b (o + i) -. Array.unsafe_get mv (mo + chn))
-            /. sqrt (Array.unsafe_get vv (vo + chn) +. eps)
-           *. Array.unsafe_get sv (so + chn))
-          +. Array.unsafe_get bv (bo + chn))
-      done;
+      let o = x.Tensor.voff in
+      let gv (v : Tensor.view) =
+        let off = v.Tensor.voff in
+        match v.Tensor.vbuf with
+        | Tensor.FB32 b -> fun i -> BA1.unsafe_get b (off + i)
+        | Tensor.FB64 b -> fun i -> BA1.unsafe_get b (off + i)
+      in
+      let sv = gv scale and bv = gv bias and mv = gv mean and vv = gv var in
+      (* [Reduction.batch_norm] is a chain of four [map2]s, each of which
+         stores — and under f32 rounds — its intermediate.  The direct loop
+         mirrors that exactly: per-step rounding when every operand and the
+         destination are f32, one plain double-precision chain (store
+         exact) under f64. *)
+      let all_f32 =
+        Tensor.fbuf_dtype c = Tensor.F32
+        && List.for_all
+             (fun (v : Tensor.view) -> Tensor.view_dtype v = Tensor.F32)
+             [ x; scale; bias; mean; var ]
+      in
+      (match x.Tensor.vbuf, c with
+      | Tensor.FB32 b, Tensor.FB32 d when all_f32 ->
+        let r = Tensor.round_f32 in
+        for i = 0 to cap - 1 do
+          let chn = i / sp mod ch in
+          BA1.unsafe_set d (co + i)
+            (r (r (r (BA1.unsafe_get b (o + i) -. mv chn) /. sqrt (vv chn +. eps))
+               *. sv chn)
+            +. bv chn)
+        done
+      | bsrc, d ->
+        for i = 0 to cap - 1 do
+          let chn = i / sp mod ch in
+          Tensor.fbuf_set d (co + i)
+            (((Tensor.fbuf_get bsrc (o + i) -. mv chn) /. sqrt (vv chn +. eps)
+             *. sv chn)
+            +. bv chn)
+        done);
       Some x.Tensor.vdims
     | _ -> None)
   | Op.MatMul, [ a; b ] -> (

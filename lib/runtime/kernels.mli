@@ -23,7 +23,7 @@ val run :
 
 val run_into :
   ?backend:Backend.t -> ?cls:Multi_version.shape_class -> Op.t ->
-  Tensor.view list -> c:float array -> co:int -> cap:int -> int list option
+  Tensor.view list -> c:Tensor.fbuf -> co:int -> cap:int -> int list option
 (** Destination-passing execution for the arena runtime: evaluate [op]
     over view inputs, writing the single output into [c] at element offset
     [co], and return its dims — but only when the operator has a

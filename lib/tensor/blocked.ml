@@ -1,3 +1,5 @@
+module BA1 = Bigarray.Array1
+
 type par = { run : int -> (int -> unit) -> unit }
 
 let sequential =
@@ -12,27 +14,32 @@ let sequential =
 type tiles = {
   tm : int;
   tn : int;
-  tk : int;
+  tk : int;  (* retained for the autotuner's config space; packing is full-depth *)
   kunroll : int;
 }
 
 let default_tiles = { tm = 64; tn = 32; tk = 128; kunroll = 4 }
 
-(* Floors measured against the real kernel: k-panels shallower than 64 (or
-   an unroll below 4) spend more time repacking than multiplying, and
-   micro-tiles need at least 8 quad-rows/pair-columns to amortize the edge
-   guards.  The autotuner steers above these floors. *)
+(* Floors measured against the real kernel: micro-tiles need at least 8
+   quad-rows/pair-columns to amortize the edge guards, and an unroll below
+   4 leaves FP-add latency exposed.  The autotuner steers above these
+   floors. *)
 let tiles_of ~tile_m ~tile_n ~tile_k ~unroll =
   { tm = max 32 tile_m; tn = max 32 tile_n; tk = max 64 tile_k; kunroll = max 4 unroll }
 
 let ceil_div x y = (x + y - 1) / y
 
 (* 4×2 register micro-tile over packed panels: [ap] holds row quads
-   ([(ip*kc + p)*4 + ii]), [bp] column pairs ([(jp*kc + p)*2 + jj]), so both
+   ([(ip*k + p)*4 + ii]), [bp] column pairs ([(jp*k + p)*2 + jj]), so both
    streams are read contiguously.  Accumulators travel as tail-call
    arguments, which the native compiler keeps in FP registers — the whole
    k-loop runs without touching C, and the eight independent accumulator
-   chains hide the FP-add latency (6 loads feed 8 multiply-adds). *)
+   chains hide the FP-add latency (6 loads feed 8 multiply-adds).
+
+   Each accumulator is one ascending-p chain of double-precision adds over
+   the full depth — the same operation sequence as the naive reference —
+   so the single rounding store at write-back yields bit-identical results
+   in every precision. *)
 let rec micro4x2 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31 =
   if kk <= 0 then (c00, c01, c10, c11, c20, c21, c30, c31)
   else
@@ -147,36 +154,119 @@ let rec micro4x2u4 ap bp ia ib kk c00 c01 c10 c11 c20 c21 c30 c31 =
       (c31 +. (a3 *. b1))
   end
 
-let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ?(ep_off = 0) ~m ~n ~k ~a ~ao ~b ~bo ~c ~co () =
+(* Pack all of B into one full-depth panel (shared read-only by every macro
+   row-tile): columns grouped in pairs, odd tails padded with zeros so the
+   micro-kernel never branches on the edge.  One monomorphic loop per
+   storage kind — the generic accessor would put a C call in the pack. *)
+let pack_b_f32 (b : Tensor.f32buf) bo ~n ~k ~npairs =
+  let panel = Array.make (npairs * k * 2) 0.0 in
+  for jp = 0 to npairs - 1 do
+    let j = jp * 2 in
+    let base = jp * k * 2 in
+    if j + 1 < n then
+      for p = 0 to k - 1 do
+        let s = bo + (p * n) + j in
+        Array.unsafe_set panel (base + (p * 2)) (BA1.unsafe_get b s);
+        Array.unsafe_set panel (base + (p * 2) + 1) (BA1.unsafe_get b (s + 1))
+      done
+    else
+      for p = 0 to k - 1 do
+        Array.unsafe_set panel (base + (p * 2)) (BA1.unsafe_get b (bo + (p * n) + j))
+      done
+  done;
+  panel
+
+let pack_b_f64 (b : Tensor.f64buf) bo ~n ~k ~npairs =
+  let panel = Array.make (npairs * k * 2) 0.0 in
+  for jp = 0 to npairs - 1 do
+    let j = jp * 2 in
+    let base = jp * k * 2 in
+    if j + 1 < n then
+      for p = 0 to k - 1 do
+        let s = bo + (p * n) + j in
+        Array.unsafe_set panel (base + (p * 2)) (BA1.unsafe_get b s);
+        Array.unsafe_set panel (base + (p * 2) + 1) (BA1.unsafe_get b (s + 1))
+      done
+    else
+      for p = 0 to k - 1 do
+        Array.unsafe_set panel (base + (p * 2)) (BA1.unsafe_get b (bo + (p * n) + j))
+      done
+  done;
+  panel
+
+(* Pack one macro row-tile of A into full-depth row quads, short tiles
+   zero-padded. *)
+let pack_a_f32 (a : Tensor.f32buf) ao ~k ~i0 ~mc abuf =
+  let mquads = ceil_div mc 4 in
+  for ip = 0 to mquads - 1 do
+    let i = i0 + (ip * 4) in
+    let base = ip * k * 4 in
+    let rows = min 4 (i0 + mc - i) in
+    let r0 = ao + (i * k) in
+    if rows = 4 then
+      for p = 0 to k - 1 do
+        let d = base + (p * 4) and s = r0 + p in
+        Array.unsafe_set abuf d (BA1.unsafe_get a s);
+        Array.unsafe_set abuf (d + 1) (BA1.unsafe_get a (s + k));
+        Array.unsafe_set abuf (d + 2) (BA1.unsafe_get a (s + (2 * k)));
+        Array.unsafe_set abuf (d + 3) (BA1.unsafe_get a (s + (3 * k)))
+      done
+    else begin
+      Array.fill abuf base (k * 4) 0.0;
+      for r = 0 to rows - 1 do
+        let rs = r0 + (r * k) in
+        for p = 0 to k - 1 do
+          Array.unsafe_set abuf (base + (p * 4) + r) (BA1.unsafe_get a (rs + p))
+        done
+      done
+    end
+  done
+
+let pack_a_f64 (a : Tensor.f64buf) ao ~k ~i0 ~mc abuf =
+  let mquads = ceil_div mc 4 in
+  for ip = 0 to mquads - 1 do
+    let i = i0 + (ip * 4) in
+    let base = ip * k * 4 in
+    let rows = min 4 (i0 + mc - i) in
+    let r0 = ao + (i * k) in
+    if rows = 4 then
+      for p = 0 to k - 1 do
+        let d = base + (p * 4) and s = r0 + p in
+        Array.unsafe_set abuf d (BA1.unsafe_get a s);
+        Array.unsafe_set abuf (d + 1) (BA1.unsafe_get a (s + k));
+        Array.unsafe_set abuf (d + 2) (BA1.unsafe_get a (s + (2 * k)));
+        Array.unsafe_set abuf (d + 3) (BA1.unsafe_get a (s + (3 * k)))
+      done
+    else begin
+      Array.fill abuf base (k * 4) 0.0;
+      for r = 0 to rows - 1 do
+        let rs = r0 + (r * k) in
+        for p = 0 to k - 1 do
+          Array.unsafe_set abuf (base + (p * 4) + r) (BA1.unsafe_get a (rs + p))
+        done
+      done
+    end
+  done
+
+let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ?(ep_off = 0) ~m ~n ~k
+    ~(a : Tensor.fbuf) ~ao ~(b : Tensor.fbuf) ~bo ~(c : Tensor.fbuf) ~co () =
   if m > 0 && n > 0 && k > 0 then begin
-    let { tm; tn; tk; kunroll } = tiles in
+    let { tm; tn; tk = _; kunroll } = tiles in
     let npairs = ceil_div n 2 in
-    let nkb = ceil_div k tk in
-    (* Pack all of B up front (shared read-only by every macro row-tile):
-       one panel per k-block, columns grouped in pairs, odd tails padded
-       with zeros so the micro-kernel never branches on the edge. *)
-    let bpanels =
-      Array.init nkb (fun kb ->
-          let k0 = kb * tk in
-          let kc = min tk (k - k0) in
-          let panel = Array.make (npairs * kc * 2) 0.0 in
-          for jp = 0 to npairs - 1 do
-            let j = jp * 2 in
-            let base = jp * kc * 2 in
-            if j + 1 < n then
-              for p = 0 to kc - 1 do
-                let s = bo + ((k0 + p) * n) + j in
-                Array.unsafe_set panel (base + (p * 2)) (Array.unsafe_get b s);
-                Array.unsafe_set panel (base + (p * 2) + 1) (Array.unsafe_get b (s + 1))
-              done
-            else
-              for p = 0 to kc - 1 do
-                Array.unsafe_set panel
-                  (base + (p * 2))
-                  (Array.unsafe_get b (bo + ((k0 + p) * n) + j))
-              done
-          done;
-          panel)
+    let bp =
+      match b with
+      | Tensor.FB32 bb -> pack_b_f32 bb bo ~n ~k ~npairs
+      | Tensor.FB64 bb -> pack_b_f64 bb bo ~n ~k ~npairs
+    in
+    (* Read-modify-write on the destination, matched once per call: the
+       write-back is O(mn) against the O(mnk) compute, so the closure call
+       per element stays in the noise. *)
+    let cread, cstore =
+      match c with
+      | Tensor.FB32 cb ->
+        (fun i -> BA1.unsafe_get cb i), fun i v -> BA1.unsafe_set cb i v
+      | Tensor.FB64 cb ->
+        (fun i -> BA1.unsafe_get cb i), fun i v -> BA1.unsafe_set cb i v
     in
     let jpt = max 1 (tn / 2) in
     let jt_count = ceil_div npairs jpt in
@@ -184,97 +274,71 @@ let gemm ?(par = sequential) ?(tiles = default_tiles) ?epilogue ?(ep_off = 0) ~m
         let i0 = it * tm in
         let mc = min tm (m - i0) in
         let mquads = ceil_div mc 4 in
-        let abuf = Array.make (mquads * tk * 4) 0.0 in
-        for kb = 0 to nkb - 1 do
-          let k0 = kb * tk in
-          let kc = min tk (k - k0) in
+        let abuf = Array.make (mquads * k * 4) 0.0 in
+        (match a with
+        | Tensor.FB32 ab -> pack_a_f32 ab ao ~k ~i0 ~mc abuf
+        | Tensor.FB64 ab -> pack_a_f64 ab ao ~k ~i0 ~mc abuf);
+        let micro =
+          if kunroll >= 4 then micro4x2u4
+          else if kunroll >= 2 then micro4x2u2
+          else micro4x2
+        in
+        for jt = 0 to jt_count - 1 do
+          let jp_end = min npairs ((jt + 1) * jpt) in
           for ip = 0 to mquads - 1 do
+            let iabase = ip * k * 4 in
             let i = i0 + (ip * 4) in
-            let base = ip * kc * 4 in
             let rows = min 4 (i0 + mc - i) in
-            let r0 = ao + (i * k) + k0 in
-            if rows = 4 then
-              for p = 0 to kc - 1 do
-                let d = base + (p * 4) and s = r0 + p in
-                Array.unsafe_set abuf d (Array.unsafe_get a s);
-                Array.unsafe_set abuf (d + 1) (Array.unsafe_get a (s + k));
-                Array.unsafe_set abuf (d + 2) (Array.unsafe_get a (s + (2 * k)));
-                Array.unsafe_set abuf (d + 3) (Array.unsafe_get a (s + (3 * k)))
-              done
-            else begin
-              Array.fill abuf base (kc * 4) 0.0;
-              for r = 0 to rows - 1 do
-                let rs = r0 + (r * k) in
-                for p = 0 to kc - 1 do
-                  Array.unsafe_set abuf (base + (p * 4) + r) (Array.unsafe_get a (rs + p))
-                done
-              done
-            end
-          done;
-          let bp = bpanels.(kb) in
-          let micro =
-            if kunroll >= 4 then micro4x2u4
-            else if kunroll >= 2 then micro4x2u2
-            else micro4x2
-          in
-          (* Epilogue fires exactly once per element, on the final k-block's
-             write-back, while the micro-tile is still in registers. *)
-          let ep = if kb = nkb - 1 then epilogue else None in
-          for jt = 0 to jt_count - 1 do
-            let jp_end = min npairs ((jt + 1) * jpt) in
-            for ip = 0 to mquads - 1 do
-              let iabase = ip * kc * 4 in
-              let i = i0 + (ip * 4) in
-              let rows = min 4 (i0 + mc - i) in
-              for jp = jt * jpt to jp_end - 1 do
-                let c00, c01, c10, c11, c20, c21, c30, c31 =
-                  micro abuf bp iabase (jp * kc * 2) kc 0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0
-                in
-                let j = jp * 2 in
-                let wide = j + 1 < n in
-                let ci = co + (i * n) + j in
-                (match ep with
-                | None ->
-                  c.(ci) <- c.(ci) +. c00;
-                  if wide then c.(ci + 1) <- c.(ci + 1) +. c01;
-                  if rows > 1 then begin
-                    let ci1 = ci + n in
-                    c.(ci1) <- c.(ci1) +. c10;
-                    if wide then c.(ci1 + 1) <- c.(ci1 + 1) +. c11;
-                    if rows > 2 then begin
-                      let ci2 = ci1 + n in
-                      c.(ci2) <- c.(ci2) +. c20;
-                      if wide then c.(ci2 + 1) <- c.(ci2 + 1) +. c21;
-                      if rows > 3 then begin
-                        let ci3 = ci2 + n in
-                        c.(ci3) <- c.(ci3) +. c30;
-                        if wide then c.(ci3 + 1) <- c.(ci3 + 1) +. c31
-                      end
+            for jp = jt * jpt to jp_end - 1 do
+              let c00, c01, c10, c11, c20, c21, c30, c31 =
+                micro abuf bp iabase (jp * k * 2) k 0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0
+              in
+              let j = jp * 2 in
+              let wide = j + 1 < n in
+              let ci = co + (i * n) + j in
+              (match epilogue with
+              | None ->
+                cstore ci (cread ci +. c00);
+                if wide then cstore (ci + 1) (cread (ci + 1) +. c01);
+                if rows > 1 then begin
+                  let ci1 = ci + n in
+                  cstore ci1 (cread ci1 +. c10);
+                  if wide then cstore (ci1 + 1) (cread (ci1 + 1) +. c11);
+                  if rows > 2 then begin
+                    let ci2 = ci1 + n in
+                    cstore ci2 (cread ci2 +. c20);
+                    if wide then cstore (ci2 + 1) (cread (ci2 + 1) +. c21);
+                    if rows > 3 then begin
+                      let ci3 = ci2 + n in
+                      cstore ci3 (cread ci3 +. c30);
+                      if wide then cstore (ci3 + 1) (cread (ci3 + 1) +. c31)
                     end
                   end
-                | Some f ->
-                  (* [ei] is the epilogue's destination-relative index: a
-                     plain subtraction here keeps arena callers (ep_off =
-                     their slot base) off a per-element shift closure. *)
-                  let ei = ci - ep_off in
-                  c.(ci) <- f ei (c.(ci) +. c00);
-                  if wide then c.(ci + 1) <- f (ei + 1) (c.(ci + 1) +. c01);
-                  if rows > 1 then begin
-                    let ci1 = ci + n and ei1 = ei + n in
-                    c.(ci1) <- f ei1 (c.(ci1) +. c10);
-                    if wide then c.(ci1 + 1) <- f (ei1 + 1) (c.(ci1 + 1) +. c11);
-                    if rows > 2 then begin
-                      let ci2 = ci1 + n and ei2 = ei1 + n in
-                      c.(ci2) <- f ei2 (c.(ci2) +. c20);
-                      if wide then c.(ci2 + 1) <- f (ei2 + 1) (c.(ci2 + 1) +. c21);
-                      if rows > 3 then begin
-                        let ci3 = ci2 + n and ei3 = ei2 + n in
-                        c.(ci3) <- f ei3 (c.(ci3) +. c30);
-                        if wide then c.(ci3 + 1) <- f (ei3 + 1) (c.(ci3 + 1) +. c31)
-                      end
+                end
+              | Some f ->
+                (* [ei] is the epilogue's destination-relative index: a
+                   plain subtraction here keeps arena callers (ep_off =
+                   their slot base) off a per-element shift closure.  The
+                   epilogue sees the double-precision pre-store value, and
+                   the store is still the single rounding point. *)
+                let ei = ci - ep_off in
+                cstore ci (f ei (cread ci +. c00));
+                if wide then cstore (ci + 1) (f (ei + 1) (cread (ci + 1) +. c01));
+                if rows > 1 then begin
+                  let ci1 = ci + n and ei1 = ei + n in
+                  cstore ci1 (f ei1 (cread ci1 +. c10));
+                  if wide then cstore (ci1 + 1) (f (ei1 + 1) (cread (ci1 + 1) +. c11));
+                  if rows > 2 then begin
+                    let ci2 = ci1 + n and ei2 = ei1 + n in
+                    cstore ci2 (f ei2 (cread ci2 +. c20));
+                    if wide then cstore (ci2 + 1) (f (ei2 + 1) (cread (ci2 + 1) +. c21));
+                    if rows > 3 then begin
+                      let ci3 = ci2 + n and ei3 = ei2 + n in
+                      cstore ci3 (f ei3 (cread ci3 +. c30));
+                      if wide then cstore (ci3 + 1) (f (ei3 + 1) (cread (ci3 + 1) +. c31))
                     end
-                  end)
-              done
+                  end
+                end)
             done
           done
         done)
@@ -298,7 +362,6 @@ let conv2d_im2col_into ?(par = sequential) ?(tiles = default_tiles) ?epilogue
     Linalg.conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr
       ~dilation:dw_
   in
-  let src = vx.Tensor.vbuf and wsrc = vw.Tensor.vbuf in
   let mg = m / groups in
   let kdim = cg * kh * kw in
   let ndim = oh * ow in
@@ -306,45 +369,79 @@ let conv2d_im2col_into ?(par = sequential) ?(tiles = default_tiles) ?epilogue
      from the bias value (or zero) regardless of what the buffer held. *)
   (match vbias with
   | Some bt ->
-    let bv = bt.Tensor.vbuf and bvo = bt.Tensor.voff in
     for ni = 0 to n - 1 do
       for mi = 0 to m - 1 do
-        Array.fill dst (co + (((ni * m) + mi) * ndim)) ndim bv.(bvo + mi)
+        Tensor.fbuf_fill dst
+          (co + (((ni * m) + mi) * ndim))
+          ndim
+          (Tensor.fbuf_get bt.Tensor.vbuf (bt.Tensor.voff + mi))
       done
     done
-  | None -> Array.fill dst co (n * m * ndim) 0.0);
+  | None -> Tensor.fbuf_fill dst co (n * m * ndim) 0.0);
   if ndim > 0 && kdim > 0 then begin
-    (* One column buffer, rebuilt per (image, group); gemm completes before
-       the next rebuild, so reuse is safe even under the parallel runner. *)
-    let col = Array.make (kdim * ndim) 0.0 in
-    for ni = 0 to n - 1 do
-      for g = 0 to groups - 1 do
-        Array.fill col 0 (kdim * ndim) 0.0;
-        for ci = 0 to cg - 1 do
-          let cin = (g * cg) + ci in
-          let src_base = vx.Tensor.voff + (((ni * c) + cin) * h * wd) in
-          for ky = 0 to kh - 1 do
-            for kx = 0 to kw - 1 do
-              let rbase = ((((ci * kh) + ky) * kw) + kx) * ndim in
-              for oy = 0 to oh - 1 do
-                let iy = (oy * sh) - pt + (ky * dh) in
-                if iy >= 0 && iy < h then begin
-                  let sbase = src_base + (iy * wd) in
-                  let obase = rbase + (oy * ow) in
-                  for ox = 0 to ow - 1 do
-                    let ix = (ox * sw) - pl + (kx * dw_) in
-                    if ix >= 0 && ix < wd then
-                      Array.unsafe_set col (obase + ox) (Array.unsafe_get src (sbase + ix))
-                  done
-                end
+    (* One column buffer in the input's precision (the copy is lossless),
+       rebuilt per (image, group); gemm completes before the next rebuild,
+       so reuse is safe even under the parallel runner. *)
+    let col = Tensor.fbuf_create (Tensor.view_dtype vx) (kdim * ndim) in
+    let fill_col =
+      match vx.Tensor.vbuf, col with
+      | Tensor.FB32 src, Tensor.FB32 colb ->
+        fun ni g ->
+          BA1.fill colb 0.0;
+          for ci = 0 to cg - 1 do
+            let cin = (g * cg) + ci in
+            let src_base = vx.Tensor.voff + (((ni * c) + cin) * h * wd) in
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let rbase = ((((ci * kh) + ky) * kw) + kx) * ndim in
+                for oy = 0 to oh - 1 do
+                  let iy = (oy * sh) - pt + (ky * dh) in
+                  if iy >= 0 && iy < h then begin
+                    let sbase = src_base + (iy * wd) in
+                    let obase = rbase + (oy * ow) in
+                    for ox = 0 to ow - 1 do
+                      let ix = (ox * sw) - pl + (kx * dw_) in
+                      if ix >= 0 && ix < wd then
+                        BA1.unsafe_set colb (obase + ox) (BA1.unsafe_get src (sbase + ix))
+                    done
+                  end
+                done
               done
             done
           done
-        done;
+      | Tensor.FB64 src, Tensor.FB64 colb ->
+        fun ni g ->
+          BA1.fill colb 0.0;
+          for ci = 0 to cg - 1 do
+            let cin = (g * cg) + ci in
+            let src_base = vx.Tensor.voff + (((ni * c) + cin) * h * wd) in
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let rbase = ((((ci * kh) + ky) * kw) + kx) * ndim in
+                for oy = 0 to oh - 1 do
+                  let iy = (oy * sh) - pt + (ky * dh) in
+                  if iy >= 0 && iy < h then begin
+                    let sbase = src_base + (iy * wd) in
+                    let obase = rbase + (oy * ow) in
+                    for ox = 0 to ow - 1 do
+                      let ix = (ox * sw) - pl + (kx * dw_) in
+                      if ix >= 0 && ix < wd then
+                        BA1.unsafe_set colb (obase + ox) (BA1.unsafe_get src (sbase + ix))
+                    done
+                  end
+                done
+              done
+            done
+          done
+      | _ -> assert false (* [col]'s kind mirrors the input's *)
+    in
+    for ni = 0 to n - 1 do
+      for g = 0 to groups - 1 do
+        fill_col ni g;
         (* [co] makes the gemm's write indices global flat offsets into the
            destination buffer; [ep_off] carries the caller's epilogue base
            through unchanged so epilogue indices stay relative to it. *)
-        gemm ~par ~tiles ?epilogue ~ep_off ~m:mg ~n:ndim ~k:kdim ~a:wsrc
+        gemm ~par ~tiles ?epilogue ~ep_off ~m:mg ~n:ndim ~k:kdim ~a:vw.Tensor.vbuf
           ~ao:(vw.Tensor.voff + (g * mg * kdim))
           ~b:col ~bo:0 ~c:dst
           ~co:(co + (((ni * m) + (g * mg)) * ndim))
@@ -367,10 +464,14 @@ let conv2d_im2col ?par ?tiles ?epilogue ~stride ~pad ~dilation ~groups x w bias 
     Linalg.conv2d_out_dim ~in_:dx.(3) ~kernel:dw.(3) ~stride:sw ~pad_begin:pl
       ~pad_end:pr ~dilation:dw_
   in
-  let out = Tensor.zeros Tensor.F32 [ dx.(0); dw.(0); oh; ow ] in
+  let odt =
+    if Tensor.dtype x = Tensor.F64 || Tensor.dtype w = Tensor.F64 then Tensor.F64
+    else Tensor.F32
+  in
+  let out = Tensor.zeros odt [ dx.(0); dw.(0); oh; ow ] in
   ignore
     (conv2d_im2col_into ?par ?tiles ?epilogue ~stride ~pad ~dilation ~groups
        (Tensor.view_f x) (Tensor.view_f w)
        (Option.map Tensor.view_f bias)
-       ~c:(Tensor.data_f out) ~co:0);
+       ~c:(Tensor.storage_f out) ~co:0);
   out

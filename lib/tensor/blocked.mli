@@ -40,8 +40,8 @@ val tiles_of : tile_m:int -> tile_n:int -> tile_k:int -> unroll:int -> tiles
 val gemm :
   ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) ->
   ?ep_off:int -> m:int -> n:int ->
-  k:int -> a:float array -> ao:int -> b:float array -> bo:int ->
-  c:float array -> co:int -> unit -> unit
+  k:int -> a:Tensor.fbuf -> ao:int -> b:Tensor.fbuf -> bo:int ->
+  c:Tensor.fbuf -> co:int -> unit -> unit
 (** [gemm ~m ~n ~k ~a ~ao ~b ~bo ~c ~co] accumulates the row-major product
     [A(m×k) · B(k×n)] into [C(m×n)]: [c += a·b], reading each operand at
     its flat offset.  [C] is {e accumulated into}, not overwritten, so
@@ -71,7 +71,7 @@ val conv2d_im2col_into :
   ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) ->
   ?ep_off:int -> stride:int * int -> pad:int * int * int * int ->
   dilation:int * int -> groups:int -> Tensor.view -> Tensor.view ->
-  Tensor.view option -> c:float array -> co:int -> int list
+  Tensor.view option -> c:Tensor.fbuf -> co:int -> int list
 (** Destination-passing {!conv2d_im2col}: operands arrive as
     offset-carrying views, the [N×M×Oh×Ow] result is written into [c] at
     element offset [co] (bias- or zero-initialized first) and its dims are

@@ -1,24 +1,87 @@
 let conv2d_out_dim ~in_ ~kernel ~stride ~pad_begin ~pad_end ~dilation =
   ((in_ + pad_begin + pad_end - (((kernel - 1) * dilation) + 1)) / stride) + 1
 
+module BA1 = Bigarray.Array1
+
+(* GEMM kernels operate on raw float storage ({!Tensor.fbuf}) so the same
+   code path serves boxed tensors and arena slots in any float precision.
+
+   Numerical contract (shared with {!Blocked.gemm}): every output element
+   is accumulated in double precision over the full k extent, in ascending
+   p order, and folded into C with exactly one store — so the store is the
+   only rounding point under f32, and the naive and blocked kernels produce
+   bit-identical results for finite inputs. *)
 type gemm_kernel =
   m:int -> n:int -> k:int ->
-  a:float array -> ao:int -> b:float array -> bo:int ->
-  c:float array -> co:int -> unit
+  a:Tensor.fbuf -> ao:int -> b:Tensor.fbuf -> bo:int ->
+  c:Tensor.fbuf -> co:int -> unit
+
+(* One row of double-precision accumulators folded into C with a single
+   rounding store per element.  [row] holds sum_p a[i,p]*b[p,j]. *)
+let row_writeback c co n i row =
+  let base = co + (i * n) in
+  match c with
+  | Tensor.FB32 cb ->
+    for j = 0 to n - 1 do
+      BA1.unsafe_set cb (base + j)
+        (BA1.unsafe_get cb (base + j) +. Array.unsafe_get row j)
+    done
+  | Tensor.FB64 cb ->
+    for j = 0 to n - 1 do
+      BA1.unsafe_set cb (base + j)
+        (BA1.unsafe_get cb (base + j) +. Array.unsafe_get row j)
+    done
 
 let naive_kernel : gemm_kernel =
  fun ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ->
-  for i = 0 to m - 1 do
-    for p = 0 to k - 1 do
-      let av = a.(ao + (i * k) + p) in
-      if av <> 0.0 then
-        let row_b = bo + (p * n) in
-        let row_c = co + (i * n) in
-        for j = 0 to n - 1 do
-          c.(row_c + j) <- c.(row_c + j) +. (av *. b.(row_b + j))
-        done
+  let row = Array.make (max 1 n) 0.0 in
+  (match a, b with
+  | Tensor.FB32 a, Tensor.FB32 b ->
+    for i = 0 to m - 1 do
+      Array.fill row 0 n 0.0;
+      for p = 0 to k - 1 do
+        let av = BA1.unsafe_get a (ao + (i * k) + p) in
+        if av <> 0.0 then begin
+          let row_b = bo + (p * n) in
+          for j = 0 to n - 1 do
+            Array.unsafe_set row j
+              (Array.unsafe_get row j +. (av *. BA1.unsafe_get b (row_b + j)))
+          done
+        end
+      done;
+      row_writeback c co n i row
     done
-  done
+  | Tensor.FB64 a, Tensor.FB64 b ->
+    for i = 0 to m - 1 do
+      Array.fill row 0 n 0.0;
+      for p = 0 to k - 1 do
+        let av = BA1.unsafe_get a (ao + (i * k) + p) in
+        if av <> 0.0 then begin
+          let row_b = bo + (p * n) in
+          for j = 0 to n - 1 do
+            Array.unsafe_set row j
+              (Array.unsafe_get row j +. (av *. BA1.unsafe_get b (row_b + j)))
+          done
+        end
+      done;
+      row_writeback c co n i row
+    done
+  | _ ->
+    (* Mixed-precision operands: generic element access, cold by design. *)
+    for i = 0 to m - 1 do
+      Array.fill row 0 n 0.0;
+      for p = 0 to k - 1 do
+        let av = Tensor.fbuf_get a (ao + (i * k) + p) in
+        if av <> 0.0 then begin
+          let row_b = bo + (p * n) in
+          for j = 0 to n - 1 do
+            Array.unsafe_set row j
+              (Array.unsafe_get row j +. (av *. Tensor.fbuf_get b (row_b + j)))
+          done
+        end
+      done;
+      row_writeback c co n i row
+    done)
 
 let check_conv_groups ~c ~groups ~cg =
   if groups <= 0 then
@@ -70,6 +133,11 @@ let matmul_spec adims bdims =
 
 let matmul_out_dims adims bdims = (matmul_spec adims bdims).mm_out
 
+(* Output precision of a float binary kernel: promote to the wider kind. *)
+let out_dtype a b =
+  if Tensor.dtype a = Tensor.F64 || Tensor.dtype b = Tensor.F64 then Tensor.F64
+  else Tensor.F32
+
 (* Matmul on the trailing two axes with broadcast batch dims, written
    directly into [c] at element offset [co] (destination passing — the
    arena executor points this at a planned slot).  [inner] computes one
@@ -81,7 +149,7 @@ let matmul_into ?(inner = naive_kernel) (va : Tensor.view) (vb : Tensor.view) ~c
   let m = s.mm_m and n = s.mm_n and k = s.mm_k in
   let batch = s.mm_batch in
   let nb = Array.fold_left ( * ) 1 batch in
-  Array.fill c co (nb * m * n) 0.0;
+  Tensor.fbuf_fill c co (nb * m * n) 0.0;
   let fa = va.Tensor.vbuf and fb = vb.Tensor.vbuf in
   let batch_size_a = m * k and batch_size_b = k * n in
   let na = Array.fold_left ( * ) 1 s.mm_batch_a in
@@ -111,22 +179,21 @@ let matmul_into ?(inner = naive_kernel) (va : Tensor.view) (vb : Tensor.view) ~c
 let matmul ?inner a b =
   let va = Tensor.view_f a and vb = Tensor.view_f b in
   let out_dims = matmul_out_dims va.Tensor.vdims vb.Tensor.vdims in
-  let out = Tensor.zeros Tensor.F32 out_dims in
-  ignore (matmul_into ?inner va vb ~c:(Tensor.data_f out) ~co:0);
+  let out = Tensor.zeros (out_dtype a b) out_dims in
+  ignore (matmul_into ?inner va vb ~c:(Tensor.storage_f out) ~co:0);
   out
 
 let transpose2d t =
   let d = Tensor.dims_arr t in
   let m = d.(0) and n = d.(1) in
   let src = Tensor.data_f t in
-  let out = Tensor.zeros Tensor.F32 [ n; m ] in
-  let dst = Tensor.data_f out in
+  let dst = Array.make (m * n) 0.0 in
   for i = 0 to m - 1 do
     for j = 0 to n - 1 do
       dst.((j * m) + i) <- src.((i * n) + j)
     done
   done;
-  out
+  Tensor.of_floats (Tensor.dtype t) [ n; m ] dst
 
 let gemm ?inner ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b = false) a b c =
   let a = if trans_a then transpose2d a else a in
@@ -148,7 +215,7 @@ let gemm_into ?inner ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b =
   let n_out = List.fold_left ( * ) 1 od in
   if alpha <> 1.0 then
     for i = co to co + n_out - 1 do
-      c.(i) <- c.(i) *. alpha
+      Tensor.fbuf_set c i (Tensor.fbuf_get c i *. alpha)
     done;
   (match vc with
   | None -> ()
@@ -156,7 +223,7 @@ let gemm_into ?inner ?(alpha = 1.0) ?(beta = 1.0) ?(trans_a = false) ?(trans_b =
     let ct = Tensor.broadcast_to (Tensor.of_view vcv) od in
     let cd = Tensor.data_f ct in
     for i = 0 to n_out - 1 do
-      c.(co + i) <- c.(co + i) +. (beta *. cd.(i))
+      Tensor.fbuf_set c (co + i) (Tensor.fbuf_get c (co + i) +. (beta *. cd.(i)))
     done);
   od
 
@@ -173,34 +240,67 @@ let conv2d_into ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) ?(dilation = (1, 1)) ?(
   check_conv_groups ~c ~groups ~cg;
   let oh = conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:dh in
   let ow = conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:dw_ in
-  let src = vx.Tensor.vbuf and wsrc = vw.Tensor.vbuf in
   let so = vx.Tensor.voff and wo = vw.Tensor.voff in
   let mg = m / groups in
+  (* [sum_taps] accumulates one output element over (ci, ky, kx) in double
+     precision, from zero — the same summation order as the im2col GEMM —
+     and the caller folds the bias in at the single rounding store. *)
+  let sum_taps =
+    match vx.Tensor.vbuf, vw.Tensor.vbuf with
+    | Tensor.FB32 src, Tensor.FB32 wsrc ->
+      fun ~ni ~g ~mi ~oy ~ox ->
+        let acc = ref 0.0 in
+        for ci = 0 to cg - 1 do
+          let cin = (g * cg) + ci in
+          for ky = 0 to kh - 1 do
+            let iy = (oy * sh) - pt + (ky * dh) in
+            if iy >= 0 && iy < h then
+              for kx = 0 to kw - 1 do
+                let ix = (ox * sw) - pl + (kx * dw_) in
+                if ix >= 0 && ix < wd then
+                  acc :=
+                    !acc
+                    +. BA1.unsafe_get src (so + (((((ni * c) + cin) * h) + iy) * wd) + ix)
+                       *. BA1.unsafe_get wsrc
+                            (wo + (((((mi * cg) + ci) * kh) + ky) * kw) + kx)
+              done
+          done
+        done;
+        !acc
+    | _ ->
+      fun ~ni ~g ~mi ~oy ~ox ->
+        let src = vx.Tensor.vbuf and wsrc = vw.Tensor.vbuf in
+        let acc = ref 0.0 in
+        for ci = 0 to cg - 1 do
+          let cin = (g * cg) + ci in
+          for ky = 0 to kh - 1 do
+            let iy = (oy * sh) - pt + (ky * dh) in
+            if iy >= 0 && iy < h then
+              for kx = 0 to kw - 1 do
+                let ix = (ox * sw) - pl + (kx * dw_) in
+                if ix >= 0 && ix < wd then
+                  acc :=
+                    !acc
+                    +. Tensor.fbuf_get src (so + (((((ni * c) + cin) * h) + iy) * wd) + ix)
+                       *. Tensor.fbuf_get wsrc
+                            (wo + (((((mi * cg) + ci) * kh) + ky) * kw) + kx)
+              done
+          done
+        done;
+        !acc
+  in
   for ni = 0 to n - 1 do
     for mi = 0 to m - 1 do
       let g = mi / mg in
       let bias_v =
-        match vb with Some v -> v.Tensor.vbuf.(v.Tensor.voff + mi) | None -> 0.0
+        match vb with Some v -> Tensor.fbuf_get v.Tensor.vbuf (v.Tensor.voff + mi) | None -> 0.0
       in
       for oy = 0 to oh - 1 do
         for ox = 0 to ow - 1 do
-          let acc = ref bias_v in
-          for ci = 0 to cg - 1 do
-            let cin = (g * cg) + ci in
-            for ky = 0 to kh - 1 do
-              let iy = (oy * sh) - pt + (ky * dh) in
-              if iy >= 0 && iy < h then
-                for kx = 0 to kw - 1 do
-                  let ix = (ox * sw) - pl + (kx * dw_) in
-                  if ix >= 0 && ix < wd then
-                    acc :=
-                      !acc
-                      +. src.(so + (((((ni * c) + cin) * h) + iy) * wd) + ix)
-                         *. wsrc.(wo + (((((mi * cg) + ci) * kh) + ky) * kw) + kx)
-                done
-            done
-          done;
-          dst.(co + (((((ni * m) + mi) * oh) + oy) * ow) + ox) <- !acc
+          let acc = sum_taps ~ni ~g ~mi ~oy ~ox in
+          Tensor.fbuf_set dst
+            (co + (((((ni * m) + mi) * oh) + oy) * ow) + ox)
+            (bias_v +. acc)
         done
       done
     done
@@ -216,8 +316,8 @@ let conv2d ?stride ?pad ?dilation ?groups x w b =
   let dh, dw_ = Option.value dilation ~default:(1, 1) in
   let oh = conv2d_out_dim ~in_:dx.(2) ~kernel:dw.(2) ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:dh in
   let ow = conv2d_out_dim ~in_:dx.(3) ~kernel:dw.(3) ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:dw_ in
-  let out = Tensor.zeros Tensor.F32 [ dx.(0); dw.(0); oh; ow ] in
-  ignore (conv2d_into ?stride ?pad ?dilation ?groups vx vw vb ~c:(Tensor.data_f out) ~co:0);
+  let out = Tensor.zeros (out_dtype x w) [ dx.(0); dw.(0); oh; ow ] in
+  ignore (conv2d_into ?stride ?pad ?dilation ?groups vx vw vb ~c:(Tensor.storage_f out) ~co:0);
   out
 
 let conv1d ?(stride = 1) ?(pad = (0, 0)) ?(dilation = 1) ?(groups = 1) x w b =
@@ -247,8 +347,8 @@ let pool2d ~kind ~kernel ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) x =
   let pt, pl, pb, pr = pad in
   let oh = conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:1 in
   let ow = conv2d_out_dim ~in_:w ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:1 in
-  let out = Tensor.zeros Tensor.F32 [ n; c; oh; ow ] in
-  let src = Tensor.data_f x and dst = Tensor.data_f out in
+  let src = Tensor.data_f x in
+  let dst = Array.make (n * c * oh * ow) 0.0 in
   for ni = 0 to n - 1 do
     for ci = 0 to c - 1 do
       for oy = 0 to oh - 1 do
@@ -279,7 +379,7 @@ let pool2d ~kind ~kernel ?(stride = (1, 1)) ?(pad = (0, 0, 0, 0)) x =
       done
     done
   done;
-  out
+  Tensor.of_floats (Tensor.dtype x) [ n; c; oh; ow ] dst
 
 let max_pool2d ~kernel ?stride ?pad x = pool2d ~kind:`Max ~kernel ?stride ?pad x
 let avg_pool2d ~kernel ?stride ?pad x = pool2d ~kind:`Avg ~kernel ?stride ?pad x
@@ -291,8 +391,7 @@ let global_avg_pool x =
   let spatial = Array.fold_left ( * ) 1 (Array.sub d 2 (Array.length d - 2)) in
   let src = Tensor.data_f x in
   let out_dims = n :: c :: List.init (Array.length d - 2) (fun _ -> 1) in
-  let out = Tensor.zeros Tensor.F32 out_dims in
-  let dst = Tensor.data_f out in
+  let dst = Array.make (n * c) 0.0 in
   for ni = 0 to n - 1 do
     for ci = 0 to c - 1 do
       let base = ((ni * c) + ci) * spatial in
@@ -303,4 +402,4 @@ let global_avg_pool x =
       dst.((ni * c) + ci) <- !acc /. float_of_int spatial
     done
   done;
-  out
+  Tensor.of_floats (Tensor.dtype x) out_dims dst

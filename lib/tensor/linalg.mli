@@ -5,11 +5,18 @@
 
 type gemm_kernel =
   m:int -> n:int -> k:int ->
-  a:float array -> ao:int -> b:float array -> bo:int ->
-  c:float array -> co:int -> unit
+  a:Tensor.fbuf -> ao:int -> b:Tensor.fbuf -> bo:int ->
+  c:Tensor.fbuf -> co:int -> unit
 (** One flat row-major [(m×k)·(k×n)] product accumulated into C at the
-    given offsets ([c += a·b]).  The pluggable unit the blocked/parallel
-    backend swaps in; {!naive_kernel} is the reference. *)
+    given offsets ([c += a·b]), over raw float storage in any precision.
+    The pluggable unit the blocked/parallel backend swaps in;
+    {!naive_kernel} is the reference.
+
+    Numerical contract shared by every implementation: each output element
+    is accumulated in double precision over the full depth [k] in ascending
+    order and folded into [C] with a single store — the store is the only
+    rounding point under f32, making naive and blocked kernels bit-identical
+    on finite inputs. *)
 
 val naive_kernel : gemm_kernel
 
@@ -31,7 +38,7 @@ val matmul_out_dims : int list -> int list -> int list
 
 val matmul_into :
   ?inner:gemm_kernel -> Tensor.view -> Tensor.view ->
-  c:float array -> co:int -> int list
+  c:Tensor.fbuf -> co:int -> int list
 (** Destination-passing {!matmul}: writes the product into [c] starting at
     element offset [co] (the window is zeroed first — [inner]
     accumulates), reading the operands through offset-carrying views.
@@ -41,7 +48,7 @@ val gemm_into :
   ?inner:gemm_kernel ->
   ?alpha:float -> ?beta:float -> ?trans_a:bool -> ?trans_b:bool ->
   Tensor.view -> Tensor.view -> Tensor.view option ->
-  c:float array -> co:int -> int list
+  c:Tensor.fbuf -> co:int -> int list
 (** Destination-passing {!gemm}; transposed operands go through scratch
     tensors, alpha/beta are folded in place on the destination window. *)
 
@@ -61,7 +68,7 @@ val conv2d :
 val conv2d_into :
   ?stride:int * int -> ?pad:int * int * int * int -> ?dilation:int * int ->
   ?groups:int -> Tensor.view -> Tensor.view -> Tensor.view option ->
-  c:float array -> co:int -> int list
+  c:Tensor.fbuf -> co:int -> int list
 (** Destination-passing {!conv2d}: writes the [N×M×Oh×Ow] result into [c]
     at element offset [co] and returns those dims. *)
 

@@ -10,6 +10,11 @@ let normalize_axes r axes =
   let axes = if axes = [] then List.init r Fun.id else axes in
   List.sort_uniq compare (List.map (fun a -> if a < 0 then a + r else a) axes)
 
+(* Reductions accumulate in a plain [float array] scratch (double
+   precision) in ascending flat order of the source and store into the
+   output once — the store is the only rounding point for f32 tensors,
+   the same contract the GEMM kernels follow.  Outputs preserve the
+   input's float precision. *)
 let reduce kind t ~axes ~keepdims =
   let d = Tensor.dims_arr t in
   let r = Array.length d in
@@ -24,8 +29,9 @@ let reduce kind t ~axes ~keepdims =
     | Min -> infinity
     | Prod -> 1.0
   in
-  let acc_t = Tensor.full_f (Array.to_list out_full) init in
-  let src = Tensor.data_f t and dst = Tensor.data_f acc_t in
+  let out_n = Array.fold_left ( * ) 1 out_full in
+  let dst = Array.make (max 1 out_n) init in
+  let src = Tensor.data_f t in
   let n = Tensor.numel t in
   for flat = 0 to n - 1 do
     let ix = Tensor.unravel d flat in
@@ -46,6 +52,10 @@ let reduce kind t ~axes ~keepdims =
     Array.iteri (fun i v -> dst.(i) <- v /. c) dst
   | L2 -> Array.iteri (fun i v -> dst.(i) <- sqrt v) dst
   | Sum | Max | Min | Prod -> ());
+  let acc_t =
+    Tensor.of_floats (Tensor.dtype t) (Array.to_list out_full)
+      (Array.sub dst 0 out_n)
+  in
   if keepdims then acc_t
   else
     let out_dims =
@@ -58,10 +68,12 @@ let arg_extreme ~is_max t ~axis ~keepdims =
   let r = Array.length d in
   let axis = if axis < 0 then axis + r else axis in
   let out_full = Array.mapi (fun i v -> if i = axis then 1 else v) d in
-  let best = Tensor.full_f (Array.to_list out_full) (if is_max then neg_infinity else infinity) in
-  let idx = Tensor.zeros Tensor.I64 (Array.to_list out_full) in
+  let out_n = Array.fold_left ( * ) 1 out_full in
+  (* Comparisons run on the stored (already-rounded) values, so the chosen
+     index is the same one a fully single-precision pipeline would pick. *)
+  let bv = Array.make (max 1 out_n) (if is_max then neg_infinity else infinity) in
+  let bi = Array.make (max 1 out_n) 0 in
   let src = Tensor.data_f t in
-  let bv = Tensor.data_f best and bi = Tensor.data_i idx in
   for flat = 0 to Tensor.numel t - 1 do
     let ix = Tensor.unravel d flat in
     let out_ix = Array.mapi (fun i v -> if i = axis then 0 else v) ix in
@@ -73,6 +85,9 @@ let arg_extreme ~is_max t ~axis ~keepdims =
       bi.(o) <- ix.(axis)
     end
   done;
+  let idx =
+    Tensor.create_i (Array.to_list out_full) (Array.sub bi 0 out_n)
+  in
   if keepdims then idx
   else
     Tensor.reshape idx (List.filteri (fun i _ -> i <> axis) (Array.to_list out_full))
@@ -134,7 +149,7 @@ let top_k t ~k ~axis ~largest =
   let len = d.(axis) in
   let k = min k len in
   let out_dims = Array.to_list (Array.mapi (fun i v -> if i = axis then k else v) d) in
-  let values = Tensor.zeros Tensor.F32 out_dims in
+  let values = Tensor.zeros (Tensor.dtype t) out_dims in
   let indices = Tensor.zeros Tensor.I64 out_dims in
   (* Iterate over all positions with axis fixed to 0, sort each lane. *)
   let outer = Tensor.numel t / len in
@@ -167,10 +182,15 @@ let nonzero t =
   let r = Array.length d in
   let hits = ref [] in
   let count = ref 0 in
-  let is_nz flat =
-    match Tensor.dtype t with
-    | Tensor.F32 -> (Tensor.data_f t).(flat) <> 0.0
-    | Tensor.I64 -> (Tensor.data_i t).(flat) <> 0
+  let is_nz =
+    if Tensor.is_float_dtype (Tensor.dtype t) then begin
+      let src = Tensor.data_f t in
+      fun flat -> src.(flat) <> 0.0
+    end
+    else begin
+      let src = Tensor.data_i t in
+      fun flat -> src.(flat) <> 0
+    end
   in
   for flat = 0 to Tensor.numel t - 1 do
     if is_nz flat then begin
@@ -189,9 +209,8 @@ let cumsum t ~axis =
   let d = Tensor.dims_arr t in
   let r = Array.length d in
   let axis = if axis < 0 then axis + r else axis in
-  let out = Tensor.create_f (Tensor.dims t) (Array.copy (Tensor.data_f t)) in
+  let dst = Tensor.data_f t in
   let n = Tensor.numel t in
-  let dst = Tensor.data_f out in
   for flat = 0 to n - 1 do
     let ix = Tensor.unravel d flat in
     if ix.(axis) > 0 then begin
@@ -200,4 +219,4 @@ let cumsum t ~axis =
       dst.(flat) <- dst.(flat) +. dst.(Tensor.ravel d prev)
     end
   done;
-  out
+  Tensor.of_floats (Tensor.dtype t) (Tensor.dims t) dst

@@ -1,25 +1,90 @@
 (** Dense n-dimensional tensors, row-major and contiguous.
 
-    Two element types are supported: 32/64-bit floats (stored as OCaml
-    [float array]) and integers ([int array]).  Integer tensors carry shape
-    vectors, indices and boolean masks; float tensors carry activations and
-    weights.  All kernels used by the runtime live in {!Linalg},
-    {!Transform} and {!Reduction}; this module provides representation,
-    creation, indexing and broadcast-aware elementwise maps. *)
+    Storage is a {!Bigarray.Array1} with an element kind chosen by the
+    tensor's {!dtype}: 4-byte IEEE singles for {!F32}, 8-byte doubles for
+    {!F64}, sign-extended bytes for {!I8} and native 8-byte words for
+    {!I64}.  [byte_size t = numel t * bytes_per_elem (dtype t)] holds by
+    construction — the single accounting invariant the memory planner and
+    the arena executor rely on.  All kernels used by the runtime live in
+    {!Linalg}, {!Transform} and {!Reduction}; this module provides
+    representation, creation, indexing and broadcast-aware elementwise
+    maps. *)
 
 type dtype =
-  | F32  (** floating point elements *)
-  | I64  (** integer elements (also used for booleans: 0 / 1) *)
+  | F32  (** 4-byte IEEE single-precision floats *)
+  | F64  (** 8-byte IEEE double-precision floats *)
+  | I8  (** signed bytes (quantized payloads) *)
+  | I64  (** native integers, 8 bytes (also booleans: 0 / 1) *)
+
+val bytes_per_elem : dtype -> int
+(** Bytes of storage per element — the single source of truth for all byte
+    accounting ({!byte_size}, [Executor.bytes_of_dims], [Mem_plan]). *)
+
+val is_float_dtype : dtype -> bool
+val dtype_name : dtype -> string
+
+(** {1 Raw float storage}
+
+    The destination-passing kernels' backing type: a 1-d Bigarray whose
+    constructor pins the element kind, so kernels that match on it get
+    monomorphic (direct-load) element access. *)
+
+type f32buf = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i8buf = (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i64buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type fbuf =
+  | FB32 of f32buf
+  | FB64 of f64buf
+
+val fbuf_create : dtype -> int -> fbuf
+(** Fresh uninitialized buffer; raises [Invalid_argument] on an integer
+    dtype. *)
+
+val fbuf_len : fbuf -> int
+val fbuf_dtype : fbuf -> dtype
+
+val fbuf_get : fbuf -> int -> float
+(** Generic (kind-polymorphic) element access — fine on cold paths; hot
+    loops should match on the constructor instead. *)
+
+val fbuf_set : fbuf -> int -> float -> unit
+(** Stores round to the buffer's precision (f32 stores round to single). *)
+
+val fbuf_fill : fbuf -> int -> int -> float -> unit
+(** [fbuf_fill buf off len v] fills [buf.[off, off+len)] with [v]. *)
+
+val fbuf_blit : src:fbuf -> soff:int -> dst:fbuf -> doff:int -> len:int -> unit
+(** Cross-kind blits convert element-wise (f64→f32 rounds). *)
+
+val round_f32 : float -> float
+(** Nearest single-precision value — exactly what an f32 store performs.
+    Kernels accumulating in double precision use this to mirror per-step
+    f32 rounding. *)
+
+val saturating_int_of_float : float -> int
+(** NaN → 0; values beyond the [int] range clamp to [min_int]/[max_int];
+    in-range values truncate toward zero.  The conversion {!cast} applies
+    float→integer. *)
 
 type t
 
 (** {1 Creation} *)
 
 val create_f : int list -> float array -> t
-(** [create_f dims data] wraps [data] as a float tensor of shape [dims].
-    Raises [Invalid_argument] if sizes disagree. *)
+(** [create_f dims data] copies [data] into a fresh {!F32} tensor of shape
+    [dims] (each element rounds to single precision).  Raises
+    [Invalid_argument] if sizes disagree. *)
 
 val create_i : int list -> int array -> t
+(** Copies [data] into a fresh {!I64} tensor. *)
+
+val of_floats : dtype -> int list -> float array -> t
+(** Like {!create_f} with an explicit float dtype ({!F32} or {!F64}). *)
+
+val of_ints : dtype -> int list -> int array -> t
+(** Like {!create_i} with an explicit integer dtype; {!I8} saturates. *)
 
 val zeros : dtype -> int list -> t
 val full_f : int list -> float -> t
@@ -31,11 +96,11 @@ val of_int_list : int list -> t
 (** 1-d integer tensor holding the given values (e.g. a shape vector). *)
 
 val init_f : int list -> (int array -> float) -> t
-(** [init_f dims f] builds a float tensor whose element at multi-index [ix]
-    is [f ix]. *)
+(** [init_f dims f] builds an {!F32} tensor whose element at multi-index
+    [ix] is [f ix]. *)
 
 val rand_uniform : Rng.t -> int list -> t
-(** Uniform floats in [\[-1, 1)]. *)
+(** Uniform {!F32} floats in [\[-1, 1)]. *)
 
 val rand_normal : Rng.t -> ?stddev:float -> int list -> t
 
@@ -48,15 +113,25 @@ val numel : t -> int
 val dtype : t -> dtype
 
 val data_f : t -> float array
-(** Underlying storage; raises [Invalid_argument] on an integer tensor. *)
+(** Copy-out snapshot of a float tensor's elements.  Mutating the result
+    does not write through — use {!set_f} or views for that.  Raises
+    [Invalid_argument] on an integer tensor. *)
 
 val data_i : t -> int array
+(** Copy-out snapshot of an integer tensor's elements. *)
+
+val storage_f : t -> fbuf
+(** The live backing buffer of a float tensor (shared, writes visible);
+    raises [Invalid_argument] on an integer tensor. *)
+
+val of_fbuf : int list -> fbuf -> t
+(** Wraps a buffer as a tensor without copying; the buffer is shared. *)
 
 val to_int_list : t -> int list
 (** Elements of an integer tensor, flattened. *)
 
 val byte_size : t -> int
-(** Size in bytes (4 bytes per f32 element, 8 per int). *)
+(** [numel t * bytes_per_elem (dtype t)] — matches storage exactly. *)
 
 (** {1 Offset-carrying views}
 
@@ -66,7 +141,7 @@ val byte_size : t -> int
     box a proper sub-window. *)
 
 type view = {
-  vbuf : float array;  (** backing storage, shared *)
+  vbuf : fbuf;  (** backing storage, shared *)
   voff : int;  (** element offset of the window *)
   vdims : int list;
 }
@@ -75,7 +150,9 @@ val view_f : t -> view
 (** O(1) whole-tensor view; raises [Invalid_argument] on an integer
     tensor. *)
 
-val sub_view : buf:float array -> off:int -> dims:int list -> view
+val view_dtype : view -> dtype
+
+val sub_view : buf:fbuf -> off:int -> dims:int list -> view
 (** View of [buf] at element offset [off]; raises [Invalid_argument] when
     the window falls outside the buffer. *)
 
@@ -88,11 +165,19 @@ val of_view : view -> t
 (** Box a view as a tensor.  Shares the buffer when the view spans it
     entirely (offset 0, full length); copies the window otherwise. *)
 
+val copy_view : view -> t
+(** Box a view as a tensor, always copying — a snapshot independent of the
+    backing buffer (arena slots get recycled). *)
+
 (** {1 Indexing} *)
 
 val strides : t -> int array
+
 val ravel : int array -> int array -> int
-(** [ravel dims ix] is the flat offset of multi-index [ix]. *)
+(** [ravel dims ix] is the flat offset of multi-index [ix].  Raises a
+    structured {!Sod2_error.Error} ([Shape_mismatch]) when any axis index
+    falls outside [\[0, dims.(i))] — out-of-range indices used to alias
+    neighbouring rows silently. *)
 
 val unravel : int array -> int -> int array
 
@@ -116,14 +201,21 @@ val broadcast_to : t -> int list -> t
 (** {1 Elementwise operations} *)
 
 val map_f : (float -> float) -> t -> t
+(** Kind-preserving float map (an f32 tensor maps to an f32 tensor). *)
+
 val map_i : (int -> int) -> t -> t
 
 val map2 : (float -> float -> float) -> t -> t -> t
-(** Broadcasting binary map over float tensors. *)
+(** Broadcasting binary map over float tensors; mixed-precision operands
+    promote to {!F64}. *)
 
 val map2i : (int -> int -> int) -> t -> t -> t
 
 val cast : t -> dtype -> t
+(** Precision/type conversion.  Float→integer saturates
+    ({!saturating_int_of_float}, then an [-128, 127] clamp for {!I8});
+    f64→f32 rounds to nearest; same-dtype casts return the tensor
+    unchanged. *)
 
 (** {1 Comparison and printing} *)
 
@@ -132,7 +224,8 @@ val equal : t -> t -> bool
 
 val approx_equal : ?eps:float -> t -> t -> bool
 (** Float comparison within absolute/relative tolerance [eps]
-    (default 1e-5); integer tensors compare exactly. *)
+    (default 1e-5), exiting on the first mismatch; integer tensors compare
+    exactly.  Float tensors of different precision compare by value. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints dtype, shape and (for small tensors) elements. *)

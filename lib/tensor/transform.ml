@@ -1,3 +1,16 @@
+(* Shape/movement ops for the reference path.  Element access goes through
+   the generic getters — these ops are O(n) shuffles, not hot kernels — but
+   outputs preserve the input's dtype: a float input of either precision
+   maps to the same precision, integers stay integers. *)
+
+(* [init_fd dt dims f] is [Tensor.init_f] with an explicit float dtype. *)
+let init_fd dt dims f =
+  let od = Array.of_list dims in
+  let n = List.fold_left ( * ) 1 dims in
+  Tensor.of_floats dt dims (Array.init n (fun flat -> f (Tensor.unravel od flat)))
+
+let init_like t dims f = init_fd (Tensor.dtype t) dims f
+
 let transpose t perm =
   let d = Tensor.dims_arr t in
   let r = Array.length d in
@@ -11,10 +24,10 @@ let transpose t perm =
     Array.iteri (fun i p -> src_ix.(p) <- ix.(i)) perm;
     src_ix
   in
-  match Tensor.dtype t with
-  | Tensor.F32 -> Tensor.init_f out_dims (fun ix -> Tensor.get_f t (remap ix))
-  | Tensor.I64 ->
-    let out = Tensor.zeros Tensor.I64 out_dims in
+  if Tensor.is_float_dtype (Tensor.dtype t) then
+    init_like t out_dims (fun ix -> Tensor.get_f t (remap ix))
+  else begin
+    let out = Tensor.zeros (Tensor.dtype t) out_dims in
     let n = Tensor.numel out in
     let od = Array.of_list out_dims in
     for flat = 0 to n - 1 do
@@ -22,6 +35,7 @@ let transpose t perm =
       Tensor.set_i out ix (Tensor.get_i t (remap ix))
     done;
     out
+  end
 
 let normalize_slice_bound dim v ~is_end ~step =
   let v = if v < 0 then v + dim else v in
@@ -52,15 +66,16 @@ let slice t ~starts ~ends ~axes ?steps () =
     axes;
   let out_dims = Array.to_list len_arr in
   let src_ix ix = Array.mapi (fun i v -> start_arr.(i) + (v * step_arr.(i))) ix in
-  match Tensor.dtype t with
-  | Tensor.F32 -> Tensor.init_f out_dims (fun ix -> Tensor.get_f t (src_ix ix))
-  | Tensor.I64 ->
-    let out = Tensor.zeros Tensor.I64 out_dims in
+  if Tensor.is_float_dtype (Tensor.dtype t) then
+    init_like t out_dims (fun ix -> Tensor.get_f t (src_ix ix))
+  else begin
+    let out = Tensor.zeros (Tensor.dtype t) out_dims in
     for flat = 0 to Tensor.numel out - 1 do
       let ix = Tensor.unravel len_arr flat in
       Tensor.set_i out ix (Tensor.get_i t (src_ix ix))
     done;
     out
+  end
 
 let concat ts ~axis =
   match ts with
@@ -73,6 +88,7 @@ let concat ts ~axis =
       List.mapi (fun i v -> if i = axis then out_axis else v) (Tensor.dims first)
     in
     let out = Tensor.zeros (Tensor.dtype first) out_dims in
+    let as_float = Tensor.is_float_dtype (Tensor.dtype first) in
     let offset = ref 0 in
     List.iter
       (fun t ->
@@ -82,9 +98,8 @@ let concat ts ~axis =
           let ix = Tensor.unravel d flat in
           let out_ix = Array.copy ix in
           out_ix.(axis) <- ix.(axis) + !offset;
-          match Tensor.dtype t with
-          | Tensor.F32 -> Tensor.set_f out out_ix (Tensor.get_f t ix)
-          | Tensor.I64 -> Tensor.set_i out out_ix (Tensor.get_i t ix)
+          if as_float then Tensor.set_f out out_ix (Tensor.get_f t ix)
+          else Tensor.set_i out out_ix (Tensor.get_i t ix)
         done;
         offset := !offset + d.(axis))
       ts;
@@ -123,16 +138,17 @@ let gather t ~indices ~axis =
         else if i = axis then pos
         else out_ix.(i + ir - 1))
   in
-  match Tensor.dtype t with
-  | Tensor.F32 -> Tensor.init_f out_dims (fun ix -> Tensor.get_f t (src_ix ix))
-  | Tensor.I64 ->
-    let out = Tensor.zeros Tensor.I64 out_dims in
+  if Tensor.is_float_dtype (Tensor.dtype t) then
+    init_like t out_dims (fun ix -> Tensor.get_f t (src_ix ix))
+  else begin
+    let out = Tensor.zeros (Tensor.dtype t) out_dims in
     let od = Array.of_list out_dims in
     for flat = 0 to Tensor.numel out - 1 do
       let ix = Tensor.unravel od flat in
       Tensor.set_i out ix (Tensor.get_i t (src_ix ix))
     done;
     out
+  end
 
 let pad t ~before ~after ~value =
   let d = Tensor.dims_arr t in
@@ -141,7 +157,7 @@ let pad t ~before ~after ~value =
     invalid_arg "Transform.pad: pads must match rank";
   let bef = Array.of_list before in
   let out_dims = List.mapi (fun i v -> v + List.nth before i + List.nth after i) (Tensor.dims t) in
-  Tensor.init_f out_dims (fun ix ->
+  init_like t out_dims (fun ix ->
       let src = Array.mapi (fun i v -> v - bef.(i)) ix in
       let inside = ref true in
       Array.iteri (fun i v -> if v < 0 || v >= d.(i) then inside := false) src;
@@ -152,7 +168,8 @@ let tile t ~repeats =
   let r = Array.length d in
   if List.length repeats <> r then invalid_arg "Transform.tile: repeats must match rank";
   let out_dims = List.mapi (fun i v -> v * List.nth repeats i) (Tensor.dims t) in
-  Tensor.init_f out_dims (fun ix -> Tensor.get_f t (Array.mapi (fun i v -> v mod d.(i)) ix))
+  init_like t out_dims (fun ix ->
+      Tensor.get_f t (Array.mapi (fun i v -> v mod d.(i)) ix))
 
 let resize_nearest t ~out_spatial =
   let d = Tensor.dims_arr t in
@@ -162,7 +179,7 @@ let resize_nearest t ~out_spatial =
     invalid_arg "Transform.resize_nearest: spatial rank mismatch";
   let out_dims = d.(0) :: d.(1) :: out_spatial in
   let out_sp = Array.of_list out_spatial in
-  Tensor.init_f out_dims (fun ix ->
+  init_like t out_dims (fun ix ->
       let src =
         Array.mapi
           (fun i v ->
@@ -179,12 +196,17 @@ let where cond a b =
       (Tensor.broadcast_dims (Tensor.dims_arr a) (Tensor.dims_arr b))
   in
   let dl = Array.to_list dims in
+  let odt =
+    if Tensor.dtype a = Tensor.F64 || Tensor.dtype b = Tensor.F64 then Tensor.F64
+    else Tensor.F32
+  in
   let cond = Tensor.broadcast_to cond dl in
   let a = Tensor.broadcast_to a dl in
   let b = Tensor.broadcast_to b dl in
   let mask = Tensor.data_i cond in
   let da = Tensor.data_f a and db = Tensor.data_f b in
-  Tensor.create_f dl (Array.init (Array.length da) (fun i -> if mask.(i) <> 0 then da.(i) else db.(i)))
+  Tensor.of_floats odt dl
+    (Array.init (Array.length da) (fun i -> if mask.(i) <> 0 then da.(i) else db.(i)))
 
 let one_hot t ~depth =
   let out_dims = Tensor.dims t @ [ depth ] in
@@ -203,10 +225,9 @@ let range ~start ~limit ~delta =
 
 let depth_to_space t ~block =
   let d = Tensor.dims_arr t in
-  let n = d.(0) and c = d.(1) and h = d.(2) and w = d.(3) in
-  let c' = c / (block * block) in
-  let out_dims = [ n; c'; h * block; w * block ] in
-  Tensor.init_f out_dims (fun ix ->
+  let c' = d.(1) / (block * block) in
+  let out_dims = [ d.(0); c'; d.(2) * block; d.(3) * block ] in
+  init_like t out_dims (fun ix ->
       let oy = ix.(2) and ox = ix.(3) in
       let by = oy mod block and bx = ox mod block in
       let src_c = (((by * block) + bx) * c') + ix.(1) in
@@ -214,9 +235,9 @@ let depth_to_space t ~block =
 
 let space_to_depth t ~block =
   let d = Tensor.dims_arr t in
-  let n = d.(0) and c = d.(1) and h = d.(2) and w = d.(3) in
-  let out_dims = [ n; c * block * block; h / block; w / block ] in
-  Tensor.init_f out_dims (fun ix ->
+  let c = d.(1) in
+  let out_dims = [ d.(0); c * block * block; d.(2) / block; d.(3) / block ] in
+  init_like t out_dims (fun ix ->
       let oc = ix.(1) in
       let src_c = oc mod c in
       let rem = oc / c in

@@ -13,7 +13,16 @@ let check_close msg expected actual =
     Alcotest.failf "%s: tensors differ\nexpected %s\nactual   %s" msg
       (Tensor.to_string expected) (Tensor.to_string actual)
 
-let fill_arr rng len = Tensor.data_f (Tensor.rand_uniform rng [ max 1 len ])
+(* Random operand storage for the raw-kernel tests.  [dt] selects the
+   element kind so the same cases exercise both f32 and f64 code paths. *)
+let fill_buf ?(dt = Tensor.F32) rng len =
+  Tensor.storage_f (Tensor.cast (Tensor.rand_uniform rng [ max 1 len ]) dt)
+
+let copy_fbuf b =
+  let n = Tensor.fbuf_len b in
+  let c = Tensor.fbuf_create (Tensor.fbuf_dtype b) n in
+  Tensor.fbuf_blit ~src:b ~soff:0 ~dst:c ~doff:0 ~len:n;
+  c
 
 (* ------------------------------------------------------------------ *)
 (* GEMM equivalence                                                    *)
@@ -37,28 +46,36 @@ let gemm_cases =
   ]
 
 let run_gemm kernel ~m ~n ~k ~a ~b ~c0 =
-  let c = Array.copy c0 in
+  let c = copy_fbuf c0 in
   kernel ~m ~n ~k ~a ~ao:0 ~b ~bo:0 ~c ~co:0;
   c
 
 let max_abs_diff x y =
   let d = ref 0.0 in
-  Array.iteri (fun i v -> d := Float.max !d (Float.abs (v -. y.(i)))) x;
+  for i = 0 to Tensor.fbuf_len x - 1 do
+    d := Float.max !d (Float.abs (Tensor.fbuf_get x i -. Tensor.fbuf_get y i))
+  done;
   !d
 
 let check_gemm_kernel name kernel =
-  let rng = Rng.create 42 in
   List.iter
-    (fun (m, n, k) ->
-      let a = fill_arr rng (m * k) and b = fill_arr rng (k * n) in
-      (* nonzero initial C: both kernels accumulate, neither overwrites *)
-      let c0 = fill_arr rng (m * n) in
-      let want = run_gemm Linalg.naive_kernel ~m ~n ~k ~a ~b ~c0 in
-      let got = run_gemm kernel ~m ~n ~k ~a ~b ~c0 in
-      let d = max_abs_diff want got in
-      if d > 1e-5 then
-        Alcotest.failf "%s %dx%dx%d: max |diff| = %g" name m n k d)
-    gemm_cases
+    (fun dt ->
+      let rng = Rng.create 42 in
+      List.iter
+        (fun (m, n, k) ->
+          let a = fill_buf ~dt rng (m * k) and b = fill_buf ~dt rng (k * n) in
+          (* nonzero initial C: both kernels accumulate, neither overwrites *)
+          let c0 = fill_buf ~dt rng (m * n) in
+          let want = run_gemm Linalg.naive_kernel ~m ~n ~k ~a ~b ~c0 in
+          let got = run_gemm kernel ~m ~n ~k ~a ~b ~c0 in
+          (* Both kernels accumulate f64 over the full depth and round at
+             the single store, so they agree bit-for-bit in either kind. *)
+          let d = max_abs_diff want got in
+          if d <> 0.0 then
+            Alcotest.failf "%s %s %dx%dx%d: max |diff| = %g" name
+              (Tensor.dtype_name dt) m n k d)
+        gemm_cases)
+    [ Tensor.F32; Tensor.F64 ]
 
 let test_gemm_blocked_matches_naive () =
   check_gemm_kernel "blocked"
@@ -87,8 +104,9 @@ let prop_gemm_blocked_random =
     QCheck2.Gen.(tup3 (int_range 1 70) (int_range 1 70) (int_range 1 70))
     (fun (m, n, k) ->
       let rng = Rng.create (m + (97 * n) + (389 * k)) in
-      let a = fill_arr rng (m * k) and b = fill_arr rng (k * n) in
-      let c0 = Array.make (m * n) 0.0 in
+      let a = fill_buf rng (m * k) and b = fill_buf rng (k * n) in
+      let c0 = Tensor.fbuf_create Tensor.F32 (m * n) in
+      Tensor.fbuf_fill c0 0 (m * n) 0.0;
       let want = run_gemm Linalg.naive_kernel ~m ~n ~k ~a ~b ~c0 in
       let got =
         run_gemm
@@ -96,7 +114,7 @@ let prop_gemm_blocked_random =
             Blocked.gemm ~m ~n ~k ~a ~ao ~b ~bo ~c ~co ())
           ~m ~n ~k ~a ~b ~c0
       in
-      max_abs_diff want got <= 1e-5)
+      max_abs_diff want got = 0.0)
 
 (* ------------------------------------------------------------------ *)
 (* Convolution equivalence                                             *)
@@ -273,9 +291,12 @@ let run1 op inputs =
 (* Float Mod used to truncate through int_of_float; it must follow ONNX
    integer-mod semantics — result takes the sign of the divisor. *)
 let test_mod_float_semantics () =
+  (* f64 operands: the expectations below are exact to 1e-9, beyond what
+     the default f32 scalars can carry. *)
+  let scalar64 v = Tensor.of_floats Tensor.F64 [] [| v |] in
   let check a b want =
     let got =
-      Tensor.get_f (run1 (Op.Binary Op.Mod2) [ Tensor.scalar_f a; Tensor.scalar_f b ]) [||]
+      Tensor.get_f (run1 (Op.Binary Op.Mod2) [ scalar64 a; scalar64 b ]) [||]
     in
     if Float.abs (got -. want) > 1e-9 then
       Alcotest.failf "%g mod %g: expected %g, got %g" a b want got
