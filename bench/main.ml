@@ -21,6 +21,7 @@ let run_arena = ref true
 let arena_smoke = ref false
 let engine_smoke = ref false
 let engine_overload_smoke = ref false
+let int8_smoke = ref false
 let smoke_backend = ref None
 
 let () =
@@ -58,6 +59,16 @@ let () =
     | "--engine-smoke" :: rest ->
       (* CI mode: engine throughput scaling + equivalence/zero-replan check. *)
       engine_smoke := true;
+      run_bechamel := false;
+      run_tables := false;
+      run_kernels := false;
+      run_arena := false;
+      parse rest
+    | "--int8-smoke" :: rest ->
+      (* CI mode: int8-vs-f32 GEMM gate at 256³ (int8 must be ≥1.5x
+         faster on the memory-bound shape) + a bit-exactness spot check;
+         writes BENCH_int8.json. *)
+      int8_smoke := true;
       run_bechamel := false;
       run_tables := false;
       run_kernels := false;
@@ -746,14 +757,20 @@ let engine_bench () =
       (seq_time /. dt) st.RT.Engine.batched;
     workers, dt, st
   in
-  let sweeps = List.map sweep [ 1; 2; 4 ] in
-  let _, dt4, _ = List.nth sweeps 2 in
-  Printf.printf "  throughput at 4 workers vs sequential: %.2fx (floor 2.0x)\n"
-    (seq_time /. dt4);
+  (* Worker counts follow the host: 1, half the cores, all the cores —
+     the hardcoded 1/2/4 sweep made a 4-worker run on a 1-CPU box look
+     like an engine regression when it was just oversubscription. *)
+  let host_cores = Domain.recommended_domain_count () in
+  let worker_counts = List.sort_uniq compare [ 1; max 1 (host_cores / 2); host_cores ] in
+  let sweeps = List.map sweep worker_counts in
+  let wmax, dtmax, _ = List.nth sweeps (List.length sweeps - 1) in
+  Printf.printf "  throughput at %d workers vs sequential: %.2fx (host has %d cores)\n"
+    wmax (seq_time /. dtmax) host_cores;
   let oc = open_out "BENCH_engine.json" in
   Printf.fprintf oc
     "{\n  \"workload\": {\"steps\": %d, \"cols\": %d, \"requests\": %d, \"bindings\": %d},\n"
     steps cols requests nbindings;
+  Printf.fprintf oc "  \"host_cores\": %d,\n" host_cores;
   Printf.fprintf oc "  \"sequential_ms\": %.3f,\n  \"engine\": [\n" (seq_time *. 1e3);
   List.iteri
     (fun i (workers, dt, (st : RT.Engine.stats)) ->
@@ -906,6 +923,130 @@ let engine_overload_bench () =
   Printf.printf
     "  all tickets settled (no deadlock); conservation holds; sheds > 0; percentiles ordered\n"
 
+(* Int8 smoke: the quantized GEMM with its fused requantization epilogue
+   against the f32 blocked GEMM on the 256³ memory-bound shape.  The int8
+   kernel moves 4x fewer panel bytes and its packed-pair micro-kernel does
+   one multiply per two MACs, so the gate demands a real win (≥1.5x), not
+   parity.  A bit-exactness spot check against the scalar reference runs
+   first — a fast wrong kernel must not pass. *)
+let int8_bench () =
+  Printf.printf "\n=== Int8: quantized GEMM + fused requantize vs f32 blocked ===\n";
+  let filled_i8 len seed =
+    let t =
+      Tensor.of_ints Tensor.I8 [ len ]
+        (Array.init len (fun i -> (((i * 7919) + seed) mod 255) - 127))
+    in
+    Tensor.storage_i8 t
+  in
+  (* correctness gate first: fused kernel vs independent scalar reference *)
+  let check_m, check_n, check_k = 65, 63, 130 in
+  let ca = Tensor.of_i8buf [ check_m; check_k ] (filled_i8 (check_m * check_k) 3) in
+  let cb = Tensor.of_i8buf [ check_k; check_n ] (filled_i8 (check_k * check_n) 11) in
+  let za = 7 and zb = -4 in
+  let rq = Quant.requant_of_scales ~in_scale:0.02 ~w_scale:0.015 ~out_scale:0.05 ~zp_out:(-8) in
+  let cc =
+    Bigarray.Array1.create Bigarray.int8_signed Bigarray.c_layout (check_m * check_n)
+  in
+  Blocked.gemm_i8 ~za ~zb
+    ~epilogue:(fun _ acc -> Quant.requantize_one rq acc)
+    ~m:check_m ~n:check_n ~k:check_k ~a:(Tensor.storage_i8 ca) ~ao:0
+    ~b:(Tensor.storage_i8 cb) ~bo:0 ~c:cc ~co:0 ();
+  let accs = RT.Reference.gemm_i8_acc ~za ~zb ~m:check_m ~n:check_n ~k:check_k ca cb in
+  let exact = ref true in
+  Array.iteri
+    (fun i acc ->
+      if
+        Bigarray.Array1.get cc i
+        <> RT.Reference.requantize ~qm:rq.Quant.qm ~shift:rq.Quant.shift ~zp:rq.Quant.zp acc
+      then exact := false)
+    accs;
+  Printf.printf "  bit-exact vs scalar reference (%dx%dx%d): %s\n" check_m check_n
+    check_k
+    (if !exact then "yes" else "NO");
+  if not !exact then begin
+    Printf.printf "  int8 GEMM bit-exactness FAILED\n";
+    exit 1
+  end;
+  (* The 1.5x gate rides on the f32/int8 ratio, so measure it with the
+     robust statistic: alternate the two kernels round-for-round and
+     take each one's MINIMUM — means drift with whatever else the host
+     is doing, minima don't, and interleaving exposes both kernels to
+     the same phases of any background load. *)
+  let time_min2 rounds f g =
+    f ();
+    g ();
+    let bf = ref infinity and bg = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let t1 = Unix.gettimeofday () in
+      g ();
+      let t2 = Unix.gettimeofday () in
+      if t1 -. t0 < !bf then bf := t1 -. t0;
+      if t2 -. t1 < !bg then bg := t2 -. t1
+    done;
+    (!bf, !bg)
+  in
+  (* throughput: 256³ *)
+  let m, n, k = 256, 256, 256 in
+  let fa = filled (m * k) and fb = filled (k * n) in
+  let fc = Tensor.fbuf_create Tensor.F32 (m * n) in
+  let qa = filled_i8 (m * k) 5 and qb = filled_i8 (k * n) 23 in
+  let qc = Bigarray.Array1.create Bigarray.int8_signed Bigarray.c_layout (m * n) in
+  let ep _ acc = Quant.requantize_one rq acc in
+  let t_f32, t_i8 =
+    time_min2 30
+      (fun () ->
+        Tensor.fbuf_fill fc 0 (m * n) 0.0;
+        Blocked.gemm ~m ~n ~k ~a:fa ~ao:0 ~b:fb ~bo:0 ~c:fc ~co:0 ())
+      (fun () ->
+        Blocked.gemm_i8 ~za ~zb ~epilogue:ep ~m ~n ~k ~a:qa ~ao:0 ~b:qb ~bo:0 ~c:qc
+          ~co:0 ())
+  in
+  let speedup = t_f32 /. t_i8 in
+  Printf.printf "  gemm 256^3:    f32 %8.3f ms   int8+requant %8.3f ms   %5.2fx\n"
+    (t_f32 *. 1e3) (t_i8 *. 1e3) speedup;
+  (* conv, informational: same kernels under im2col *)
+  let xd = [| 1; 64; 28; 28 |] and wd = [| 64; 64; 3; 3 |] in
+  let nx = Array.fold_left ( * ) 1 xd and nw = Array.fold_left ( * ) 1 wd in
+  let rng = Rng.create 29 in
+  let x = Tensor.rand_uniform rng (Array.to_list xd) in
+  let w = Tensor.rand_uniform rng (Array.to_list wd) in
+  let qx = filled_i8 nx 31 and qw = filled_i8 nw 37 in
+  let qo =
+    Bigarray.Array1.create Bigarray.int8_signed Bigarray.c_layout (64 * 28 * 28)
+  in
+  let t_conv_f32, t_conv_i8 =
+    time_min2 12
+      (fun () ->
+        ignore
+          (Blocked.conv2d_im2col ~stride:(1, 1) ~pad:(1, 1, 1, 1) ~dilation:(1, 1)
+             ~groups:1 x w None))
+      (fun () ->
+        ignore
+          (Blocked.conv2d_i8_into ~zx:za ~zw:0 ~epilogue:ep ~stride:(1, 1)
+             ~pad:(1, 1, 1, 1) ~dilation:(1, 1) ~groups:1 ~x:qx ~xoff:0 ~xdims:xd
+             ~w:qw ~woff:0 ~wdims:wd ~c:qo ~co:0 ()))
+  in
+  Printf.printf "  conv 64x64x3^2: f32 %8.3f ms   int8+requant %8.3f ms   %5.2fx\n"
+    (t_conv_f32 *. 1e3) (t_conv_i8 *. 1e3)
+    (t_conv_f32 /. t_conv_i8);
+  let oc = open_out "BENCH_int8.json" in
+  Printf.fprintf oc
+    "{\n  \"gemm_256\": {\"f32_ms\": %.4f, \"int8_ms\": %.4f, \"speedup\": %.3f},\n"
+    (t_f32 *. 1e3) (t_i8 *. 1e3) speedup;
+  Printf.fprintf oc
+    "  \"conv_64x64\": {\"f32_ms\": %.4f, \"int8_ms\": %.4f, \"speedup\": %.3f},\n"
+    (t_conv_f32 *. 1e3) (t_conv_i8 *. 1e3)
+    (t_conv_f32 /. t_conv_i8);
+  Printf.fprintf oc "  \"bit_exact_vs_reference\": %b, \"gate_floor\": 1.5\n}\n" !exact;
+  close_out oc;
+  Printf.printf "  wrote BENCH_int8.json\n";
+  if speedup < 1.5 then begin
+    Printf.printf "  int8 GEMM not ≥1.5x faster than f32 (%.2fx) — FAIL\n" speedup;
+    exit 1
+  end
+
 let backend_smoke kind =
   let bert_g = graph_of bert in
   let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
@@ -963,6 +1104,7 @@ let () =
   if !run_arena || !arena_smoke then arena_bench ~smoke:!arena_smoke ();
   if !engine_smoke then engine_bench ();
   if !engine_overload_smoke then engine_overload_bench ();
+  if !int8_smoke then int8_bench ();
   (match !smoke_backend with
   | Some kind -> backend_smoke kind
   | None -> ());

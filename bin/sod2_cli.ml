@@ -91,9 +91,10 @@ let exec_arg =
            ~doc:"Execution config: naive|blocked|parallel|fused, optionally \
                  followed by comma-separated modifiers arena (planned arena \
                  memory), guarded (graceful degradation under runtime \
-                 guards) and all-paths (execute every control-flow branch).  \
-                 Example: --exec fused,arena.  Subsumes the deprecated \
-                 --backend and --memory flags.")
+                 guards), all-paths (execute every control-flow branch) and \
+                 int8 (weight-quantized kernels, needs an artifact compiled \
+                 with quantization).  Example: --exec fused,arena.  Subsumes \
+                 the deprecated --backend and --memory flags.")
 
 (* --- list ---------------------------------------------------------- *)
 
@@ -189,7 +190,7 @@ let run_cmd =
     let backend_kind = cfg.Sod2_runtime.Executor.backend in
     let arena_mode = cfg.Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_arena in
     if real || arena_mode || cfg.Sod2_runtime.Executor.guarded then begin
-      let c = Sod2.Pipeline.compile profile g in
+      let c = Sod2.Pipeline.compile ~quant:cfg.Sod2_runtime.Executor.quant profile g in
       let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
       let be = Sod2_runtime.Backend.for_compiled backend_kind c in
       Fun.protect
@@ -208,17 +209,19 @@ let run_cmd =
               r.Sod2_runtime.Guarded_exec.outputs
             end
             else if arena_mode then begin
-              let r = Sod2_runtime.Engine.run_arena ~backend:be c ~env ~inputs in
+              let trace, outs =
+                Sod2_runtime.Executor.run_real ~config:cfg ~env ~check_env:env
+                  ~backend:be c ~inputs
+              in
               Printf.printf "arena: %d bytes, %d resident tensors (%s backend)\n"
-                r.Sod2_runtime.Engine.arena_bytes
-                r.Sod2_runtime.Engine.arena_resident
+                trace.Sod2_runtime.Executor.arena_bytes
+                trace.Sod2_runtime.Executor.arena_resident
                 (Sod2_runtime.Backend.kind_name backend_kind);
-              r.Sod2_runtime.Engine.outputs
+              outs
             end
             else begin
               let trace, outs =
-                Sod2_runtime.Executor.run_real ~control:cfg.Sod2_runtime.Executor.control
-                  ~backend:be c ~inputs
+                Sod2_runtime.Executor.run_real ~config:cfg ~backend:be c ~inputs
               in
               Printf.printf "executed %d nodes (%d fused groups, %s backend, %d domains)\n"
                 trace.Sod2_runtime.Executor.nodes_executed

@@ -119,7 +119,17 @@ let template_of g (grp : Fusion.group) =
     end
     else None
 
-let plan g (fp : Fusion.plan) = Array.map (template_of g) fp.Fusion.groups
+(* [quantized] marks nodes the runtime will execute through the int8
+   weight-quantized kernels: their groups must keep op-by-op execution —
+   the fused float template would compute from the original float weights,
+   silently bypassing quantization for exactly the shapes fusion covers. *)
+let plan ?(quantized = fun (_ : Graph.node) -> false) g (fp : Fusion.plan) =
+  Array.map
+    (fun grp ->
+      match template_of g grp with
+      | Some tpl when List.exists quantized tpl.t_members -> None
+      | t -> t)
+    fp.Fusion.groups
 
 (* ------------------------------------------------------------------ *)
 (* Index maps                                                          *)

@@ -42,12 +42,17 @@ type kernel = {
           that allocates a fresh tensor and calls this at offset 0. *)
 }
 
-val plan : Graph.t -> Fusion.plan -> template option array
+val plan :
+  ?quantized:(Graph.node -> bool) -> Graph.t -> Fusion.plan ->
+  template option array
 (** Per-group templates, indexed by group id.  [None] for singleton groups
     and groups containing an operator the per-element compiler cannot
     lower (reductions terminate groups but are not pointwise; data-
     dependent reshapes; I64-producing casts; …) — those keep op-by-op
-    execution. *)
+    execution.  [quantized] (default: nothing) marks nodes the runtime
+    will dispatch to int8 weight-quantized kernels; their groups get no
+    template, since the fused float kernel would silently bypass
+    quantization. *)
 
 val specialize :
   Graph.t -> template ->

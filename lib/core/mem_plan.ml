@@ -9,6 +9,7 @@ type alloc = {
   size : int;
   first_step : int;
   last_step : int;
+  elem : int;
 }
 
 type t = {
@@ -25,6 +26,7 @@ type lifetime = {
   lt_size : int;
   lt_first : int;
   lt_last : int;
+  lt_elem : int;
 }
 
 (* One symbolic lifetime: the tensor's RDP shape (dims as affine [Expr]s
@@ -38,6 +40,7 @@ type sym_entry = {
   se_numel : Expr.t option;
   se_first : int;
   se_last : int;
+  se_elem : int option;
 }
 
 type symbolic = {
@@ -50,7 +53,7 @@ type symbolic = {
    materialize, their symbolic shapes and their step ranges.  Runs once per
    compiled artifact; {!concretize} turns the result into placeable
    lifetimes by affine evaluation alone. *)
-let symbolic_lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order =
+let symbolic_lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order ~elem_of =
   let n_steps = List.length order in
   let step_of_group = Hashtbl.create 64 in
   List.iteri (fun i gid -> Hashtbl.replace step_of_group gid i) order;
@@ -85,6 +88,7 @@ let symbolic_lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order =
             se_numel = Shape.numel shape;
             se_first = first;
             se_last = last;
+            se_elem = elem_of tid;
           }
           :: !entries)
     materialized;
@@ -94,6 +98,15 @@ let symbolic_lifetimes (g : Graph.t) rdp (fplan : Fusion.plan) ~order =
    dims under [env]; entries whose shapes stay unresolved are
    execution-determined and left to runtime malloc.  This is the only part
    of planning that looks at the binding. *)
+(* Slot bytes for an entry whose element size may differ from the plan's
+   float dtype ([plan_elem]).  Same-dtype entries keep the exact product;
+   dtype-override entries (I64 value tensors, int8 payloads) are padded to
+   an 8-byte multiple so every hole boundary stays aligned to the float
+   grid the arena buffer is addressed in. *)
+let slot_bytes ~plan_elem ~elem numel =
+  let raw = elem * numel in
+  if elem = plan_elem then raw else (raw + 7) / 8 * 8
+
 let concretize ~elem ~env entries =
   let static = ref [] and dynamic = ref [] in
   List.iter
@@ -101,10 +114,20 @@ let concretize ~elem ~env entries =
       match Shape.eval env e.se_shape with
       | Some dims ->
         (* Element size comes from the plan's dtype — a hardcoded [4 *]
-           here once under-reserved every f64 slot by half. *)
-        let size = elem * List.fold_left (fun a d -> a * max 1 d) 1 dims in
+           here once under-reserved every f64 slot by half — unless the
+           entry carries its own (a non-float value tensor, sized
+           truthfully instead of as if it held floats). *)
+        let eelem = Option.value e.se_elem ~default:elem in
+        let numel = List.fold_left (fun a d -> a * max 1 d) 1 dims in
+        let size = slot_bytes ~plan_elem:elem ~elem:eelem numel in
         static :=
-          { lt_tid = e.se_tid; lt_size = size; lt_first = e.se_first; lt_last = e.se_last }
+          {
+            lt_tid = e.se_tid;
+            lt_size = size;
+            lt_first = e.se_first;
+            lt_last = e.se_last;
+            lt_elem = eelem;
+          }
           :: !static
       | None -> dynamic := e.se_tid :: !dynamic)
     entries;
@@ -286,6 +309,7 @@ let plan_of_lifetimes strategy lts ~dynamic =
              size = lt.lt_size;
              first_step = lt.lt_first;
              last_step = lt.lt_last;
+             elem = lt.lt_elem;
            })
     |> List.sort (fun a b -> compare a.tid b.tid)
     |> Array.of_list
@@ -296,15 +320,15 @@ let plan_raw strategy ~lifetimes:raw =
   let lts =
     List.mapi
       (fun i (size, first, last) ->
-        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last })
+        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last; lt_elem = 1 })
       raw
   in
   plan_of_lifetimes strategy lts ~dynamic:[]
 
 let plan_symbolic ?(strategy = Peak_first) ?(elem = Tensor.bytes_per_elem Tensor.F32)
-    (g : Graph.t) rdp fplan ~order =
+    ?(elem_of = fun _ -> None) (g : Graph.t) rdp fplan ~order =
   {
-    sym_entries = symbolic_lifetimes g rdp fplan ~order;
+    sym_entries = symbolic_lifetimes g rdp fplan ~order ~elem_of;
     sym_strategy = strategy;
     sym_elem = elem;
   }
@@ -313,14 +337,20 @@ let instantiate sym ~env =
   let lts, dynamic = concretize ~elem:sym.sym_elem ~env sym.sym_entries in
   plan_of_lifetimes sym.sym_strategy lts ~dynamic
 
-let plan ?(strategy = Peak_first) ?elem (g : Graph.t) rdp fplan ~order ~env =
-  instantiate (plan_symbolic ~strategy ?elem g rdp fplan ~order) ~env
+let plan ?(strategy = Peak_first) ?elem ?elem_of (g : Graph.t) rdp fplan ~order ~env =
+  instantiate (plan_symbolic ~strategy ?elem ?elem_of g rdp fplan ~order) ~env
 
 let live_peak_bytes t =
   live_peak
     (Array.to_list t.allocs
     |> List.map (fun a ->
-           { lt_tid = a.tid; lt_size = a.size; lt_first = a.first_step; lt_last = a.last_step }))
+           {
+             lt_tid = a.tid;
+             lt_size = a.size;
+             lt_first = a.first_step;
+             lt_last = a.last_step;
+             lt_elem = a.elem;
+           }))
 
 let validate t =
   let n = Array.length t.allocs in
@@ -347,7 +377,7 @@ let arena_for strategy ~lifetimes =
   let lts =
     List.mapi
       (fun i (size, first, last) ->
-        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last })
+        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last; lt_elem = 1 })
       lifetimes
   in
   let lts = List.filter (fun lt -> lt.lt_size > 0) lts in
@@ -357,7 +387,7 @@ let pack fit ~lifetimes =
   let lts =
     List.mapi
       (fun i (size, first, last) ->
-        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last })
+        { lt_tid = i; lt_size = size; lt_first = first; lt_last = last; lt_elem = 1 })
       lifetimes
   in
   let place = match fit with `First_fit -> first_fit | `Best_fit -> best_fit in
@@ -368,7 +398,13 @@ let optimal_arena_upper_bound t =
   let lts =
     Array.to_list t.allocs
     |> List.map (fun a ->
-           { lt_tid = a.tid; lt_size = a.size; lt_first = a.first_step; lt_last = a.last_step })
+           {
+             lt_tid = a.tid;
+             lt_size = a.size;
+             lt_first = a.first_step;
+             lt_last = a.last_step;
+             lt_elem = a.elem;
+           })
   in
   if List.length lts > 9 then t.arena_bytes
   else

@@ -32,6 +32,11 @@ type alloc = {
   size : int;  (** bytes *)
   first_step : int;  (** index in the execution order when produced *)
   last_step : int;  (** index of the last consuming step *)
+  elem : int;
+      (** bytes per element the slot was sized with — the plan's float
+          dtype unless the tensor carries a dtype override (I64 values,
+          int8 payloads); executors must only place a tensor in a slot
+          whose element size matches its storage *)
 }
 
 type t = {
@@ -43,15 +48,27 @@ type t = {
 }
 
 val plan :
-  ?strategy:strategy -> ?elem:int -> Graph.t -> Rdp.t -> Fusion.plan ->
+  ?strategy:strategy -> ?elem:int -> ?elem_of:(Graph.tensor_id -> int option) ->
+  Graph.t -> Rdp.t -> Fusion.plan ->
   order:int list -> env:Env.t -> t
 (** Compute the plan for executing fusion groups in [order] with shape
     variables bound by [env].  [elem] is the byte size of the float dtype
     the arena will hold (default [Tensor.bytes_per_elem Tensor.F32]);
-    every slot size is [elem × numel].  Equivalent to
-    [instantiate (plan_symbolic …) ~env] — the two share every pass, so
-    symbolic plans instantiated at a binding agree exactly with concrete
-    plans computed there. *)
+    every slot size is [elem × numel] unless [elem_of] overrides the
+    element size for a tensor (statically non-float values — I64 shape
+    results, int8 payloads — get truthfully-sized slots instead of
+    float-sized ones; see {!slot_bytes} for the padding rule).
+    Equivalent to [instantiate (plan_symbolic …) ~env] — the two share
+    every pass, so symbolic plans instantiated at a binding agree exactly
+    with concrete plans computed there. *)
+
+val slot_bytes : plan_elem:int -> elem:int -> int -> int
+(** [slot_bytes ~plan_elem ~elem numel] — the bytes a plan reserves for a
+    [numel]-element tensor: exactly [elem × numel] when [elem] is the
+    plan's float element size, padded up to an 8-byte multiple otherwise
+    so dtype-override slots never knock later offsets off the float
+    grid.  Exposed so vetting layers ({!Guarded_exec}) recompute the very
+    size the plan used. *)
 
 (** {1 Symbolic plans (§4.4.1, static half)}
 
@@ -69,6 +86,7 @@ type sym_entry = {
   se_numel : Expr.t option;  (** affine element count, when representable *)
   se_first : int;
   se_last : int;
+  se_elem : int option;  (** element-size override; [None] = [sym_elem] *)
 }
 
 type symbolic = {
@@ -78,11 +96,13 @@ type symbolic = {
 }
 
 val plan_symbolic :
-  ?strategy:strategy -> ?elem:int -> Graph.t -> Rdp.t -> Fusion.plan ->
+  ?strategy:strategy -> ?elem:int -> ?elem_of:(Graph.tensor_id -> int option) ->
+  Graph.t -> Rdp.t -> Fusion.plan ->
   order:int list -> symbolic
 (** The compile-time half of {!plan}: everything that does not need the
     shape-variable binding.  [elem] (default 4, f32) fixes the element
-    size all slot bytes derive from. *)
+    size all slot bytes derive from; [elem_of] overrides it per tensor
+    (default: no overrides). *)
 
 val instantiate : symbolic -> env:Env.t -> t
 (** The runtime half: evaluate each entry's dims under [env] (entries that

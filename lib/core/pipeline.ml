@@ -19,6 +19,9 @@ type compiled = {
   flags : opt_flags;
   profile : Profile.t;
   fdtype : Tensor.dtype;  (** float precision the arena plan is sized for *)
+  quant : bool;  (** int8 weight quantization was requested at compile *)
+  quant_weights : (Graph.tensor_id, Quant.qtensor) Hashtbl.t;
+      (** per-weight-tensor int8 payloads; read-only after compile *)
   mem_symbolic : Mem_plan.symbolic;
   plan_syms : string list;
   plan_cache : (string, Mem_plan.t) Hashtbl.t;
@@ -53,8 +56,73 @@ let kernel_classes_of graph rdp ~env =
       | _ -> None)
     (Graph.nodes graph)
 
+(* Element-size overrides for the memory plan: tensors whose producer
+   statically yields a non-float dtype (shape values, index results,
+   integer casts) would otherwise get slots sized as if they held the
+   arena's float dtype — under-reserving I64 values by half on f32 plans.
+   One-step scan: dtype propagation through views stays with the runtime,
+   which never arena-stores a non-float tensor anyway. *)
+let int_elem_overrides (g : Graph.t) =
+  let tbl = Hashtbl.create 8 in
+  let mark tids e = List.iter (fun tid -> Hashtbl.replace tbl tid e) tids in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      match nd.Graph.op with
+      | Op.Cast dt when not (Tensor.is_float_dtype dt) ->
+        mark nd.Graph.outputs (Tensor.bytes_per_elem dt)
+      | Op.ShapeOf | Op.SizeOf | Op.NonZero | Op.Range | Op.ArgMax _ | Op.ArgMin _
+      | Op.NonMaxSuppression _ ->
+        mark nd.Graph.outputs (Tensor.bytes_per_elem Tensor.I64)
+      | Op.TopK _ -> (
+        match nd.Graph.outputs with
+        | [ _values; indices ] -> mark [ indices ] (Tensor.bytes_per_elem Tensor.I64)
+        | _ -> ())
+      | _ -> ())
+    (Graph.nodes g);
+  fun tid -> Hashtbl.find_opt tbl tid
+
+let elem_overrides = int_elem_overrides
+
+(* The weight side of dynamic-range quantization (the TFLite recipe): at
+   compile time, constant weights of heavy operators are quantized to int8
+   — per-tensor symmetric for MatMul, per-channel over the output axis for
+   Conv (OIHW axis 0), both with zero points pinned to 0 so the packed
+   kernels' zero-point correction reduces to the activation term.
+   Activations are quantized per-tensor at run time by the executor.  The
+   float constants stay in the graph untouched: the same artifact serves
+   float execution (guarded fallback, [config.quant = false]) bit-exactly. *)
+let quant_weight_of g (nd : Graph.node) =
+  let const_float tid =
+    match Graph.const_value g tid with
+    | Some t when Tensor.is_float_dtype (Tensor.dtype t) && Tensor.numel t > 0 ->
+      Some t
+    | _ -> None
+  in
+  match nd.Graph.op, nd.Graph.inputs with
+  | Op.MatMul, [ _; w ] ->
+    Option.bind (const_float w) (fun t ->
+        if List.length (Tensor.dims t) = 2 then
+          Some (w, Quant.quantize t (Quant.choose_per_tensor ~symmetric:true t))
+        else None)
+  | Op.Conv _, _ :: w :: _ ->
+    Option.bind (const_float w) (fun t ->
+        if List.length (Tensor.dims t) = 4 then
+          Some (w, Quant.quantize t (Quant.choose_per_channel ~axis:0 t))
+        else None)
+  | _ -> None
+
+let quant_table g =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun nd ->
+      match quant_weight_of g nd with
+      | Some (w, qt) -> if not (Hashtbl.mem tbl w) then Hashtbl.replace tbl w qt
+      | None -> ())
+    (Graph.nodes g);
+  tbl
+
 let compile ?(flags = all_opts) ?(plan_sym_value = 64)
-    ?(float_dtype = Tensor.F32) profile graph =
+    ?(float_dtype = Tensor.F32) ?(quant = false) profile graph =
   if not (Tensor.is_float_dtype float_dtype) then
     invalid_arg "Pipeline.compile: float_dtype must be F32 or F64";
   Validate.check_exn graph;
@@ -73,11 +141,18 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64)
     if flags.mvc then Multi_version.build profile else Multi_version.single_version profile
   in
   let kernel_classes = kernel_classes_of graph rdp ~env in
-  let fused = Fused_compile.plan graph fusion_plan in
+  let quant_weights = if quant then quant_table graph else Hashtbl.create 0 in
+  let quantized (nd : Graph.node) =
+    match nd.Graph.op, nd.Graph.inputs with
+    | Op.MatMul, [ _; w ] | Op.Conv _, _ :: w :: _ -> Hashtbl.mem quant_weights w
+    | _ -> false
+  in
+  let fused = Fused_compile.plan ~quantized graph fusion_plan in
   let mem_symbolic =
     Mem_plan.plan_symbolic
       ~strategy:(if flags.dmp then Mem_plan.Peak_first else Mem_plan.Greedy_first_fit)
-      ~elem:(Tensor.bytes_per_elem float_dtype) graph rdp fusion_plan
+      ~elem:(Tensor.bytes_per_elem float_dtype)
+      ~elem_of:(int_elem_overrides graph) graph rdp fusion_plan
       ~order:exec.Exec_plan.order
   in
   let plan_syms =
@@ -97,16 +172,18 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64)
     flags;
     profile;
     fdtype = float_dtype;
+    quant;
+    quant_weights;
     mem_symbolic;
     plan_syms;
     plan_cache = Hashtbl.create 8;
     plan_lock = Mutex.create ();
   }
 
-let compile_checked ?flags ?plan_sym_value ?float_dtype profile graph =
+let compile_checked ?flags ?plan_sym_value ?float_dtype ?quant profile graph =
   match Validate.check graph with
   | Error defects -> Error defects
-  | Ok () -> Ok (compile ?flags ?plan_sym_value ?float_dtype profile graph)
+  | Ok () -> Ok (compile ?flags ?plan_sym_value ?float_dtype ?quant profile graph)
 
 (* Cache key: the binding restricted to the shape variables the plan's
    entries actually mention (canonical order).  Unbound variables render as
@@ -146,3 +223,14 @@ let mem_plan_for c env =
   { p with Mem_plan.allocs = Array.copy p.Mem_plan.allocs }
 
 let plan_env c v = env_with_all_syms c.graph v
+
+(* The executor's dispatch predicate: does this node run on the int8
+   weight-quantized kernels?  Mirrors the membership rule the fused-group
+   filter used at compile time, so a group skipped there is exactly a
+   group with at least one [quant_node] member. *)
+let quant_node c (nd : Graph.node) =
+  match nd.Graph.op, nd.Graph.inputs with
+  | Op.MatMul, [ _; w ] | Op.Conv _, _ :: w :: _ -> Hashtbl.mem c.quant_weights w
+  | _ -> false
+
+let quant_weight c tid = Hashtbl.find_opt c.quant_weights tid

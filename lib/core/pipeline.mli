@@ -41,6 +41,15 @@ type compiled = {
       (** float precision the artifact plans for: arena slots are sized
           [bytes_per_elem fdtype × numel] and the executor allocates the
           arena in this kind *)
+  quant : bool;
+      (** int8 weight quantization was requested at compile; implies
+          {!quant_weights} is populated for every eligible heavy node *)
+  quant_weights : (Graph.tensor_id, Quant.qtensor) Hashtbl.t;
+      (** int8 payload + scheme per quantized constant weight tensor
+          (MatMul: per-tensor symmetric; Conv: per-channel over OIHW axis
+          0).  The float constants stay in the graph, so float execution
+          of the same artifact is unchanged.  Read-only after compile —
+          safe to share across engine workers *)
   mem_symbolic : Mem_plan.symbolic;
       (** env-independent memory plan: symbolic lifetimes computed once at
           compile time; {!instantiated_plan} binds them per inference *)
@@ -57,18 +66,21 @@ type compiled = {
 
 val compile :
   ?flags:opt_flags -> ?plan_sym_value:int -> ?float_dtype:Tensor.dtype ->
-  Profile.t -> Graph.t -> compiled
+  ?quant:bool -> Profile.t -> Graph.t -> compiled
 (** Compile [graph] for the device.  [plan_sym_value] (default 64) is the
     representative value bound to every shape variable while comparing
     candidate execution orders.  [float_dtype] (default {!Tensor.F32})
     selects the float precision the arena plan and executor run in; passing
-    an integer dtype raises [Invalid_argument].  The graph is validated
-    first ({!Validate.check}); raises [Sod2_error.Error] on the first
-    defect of a malformed graph. *)
+    an integer dtype raises [Invalid_argument].  [quant] (default false)
+    additionally quantizes every eligible constant weight (MatMul/Conv) to
+    int8 and withholds fused templates from their groups; the runtime
+    engages the quantized kernels only when {!Executor.config.quant} is
+    also set.  The graph is validated first ({!Validate.check}); raises
+    [Sod2_error.Error] on the first defect of a malformed graph. *)
 
 val compile_checked :
   ?flags:opt_flags -> ?plan_sym_value:int -> ?float_dtype:Tensor.dtype ->
-  Profile.t -> Graph.t -> (compiled, Sod2_error.t list) result
+  ?quant:bool -> Profile.t -> Graph.t -> (compiled, Sod2_error.t list) result
 (** Like {!compile}, but collects {e every} validation defect instead of
     raising on the first — the entry point for untrusted graphs (e.g. ones
     loaded from disk). *)
@@ -94,3 +106,20 @@ val mem_plan_for : compiled -> Env.t -> Mem_plan.t
 
 val plan_env : compiled -> int -> Env.t
 (** [plan_env c v] binds every shape variable of the model to [v]. *)
+
+val quant_node : compiled -> Graph.node -> bool
+(** Does this node dispatch to the int8 weight-quantized kernels?  True
+    exactly when its weight input has an entry in {!quant_weights} — the
+    same membership rule that withheld the node's fused template. *)
+
+val quant_weight : compiled -> Graph.tensor_id -> Quant.qtensor option
+(** The compile-time int8 payload for a weight tensor, when quantized. *)
+
+val elem_overrides : Graph.t -> Graph.tensor_id -> int option
+(** The per-tensor element-size overrides {!compile} hands to
+    {!Mem_plan.plan_symbolic} ([?elem_of]): tensors whose producer
+    statically yields a non-float dtype (shape values, index results,
+    integer casts) report that dtype's byte width so their arena slots are
+    not under-reserved on f32 plans.  Exposed so callers re-deriving a
+    concrete plan with {!Mem_plan.plan} can reproduce the artifact's exact
+    slot sizing. *)

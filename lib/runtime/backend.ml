@@ -185,6 +185,125 @@ let conv1d ?cls t ~stride ~pad ~dilation ~groups x w b =
       | _ -> assert false)
     | _ -> Linalg.conv1d ~stride ~pad ~dilation ~groups x w b)
 
+(* ------------------------------------------------------------------ *)
+(* Int8 weight-quantized execution (dynamic-range quantization)        *)
+
+(* The activation side of the TFLite dynamic-range recipe: calibrate and
+   quantize the float activation per-tensor (asymmetric) at call time.
+   Weights arrive already quantized from {!Pipeline.compile ~quant}. *)
+let dyn_quant_activation x =
+  let scheme = Quant.choose_per_tensor ~symmetric:false x in
+  let qx = Quant.quantize x scheme in
+  Quant.scale_of scheme, Quant.zero_point_of scheme, qx.Quant.q
+
+(* [matmul_q8_into t x qw ~c ~co] writes the dequantized product of the
+   2-D float activation [x] and the int8 weight payload [qw] into the
+   float buffer [c] at element offset [co], returning the output dims.
+   The int8 GEMM's epilogue folds the scale product into the micro-tile
+   write-back, so no int32 intermediate is materialized and the result
+   composes with the float arena exactly like any other dest-passing
+   kernel.  Every output element is overwritten — no zero-init needed. *)
+let matmul_q8_into ?cls t x (qw : Quant.qtensor) ~c ~co =
+  match Tensor.dims x, Tensor.dims qw.Quant.q with
+  | [ m; k ], [ k'; n ] when k = k' && k > 0 ->
+    let sx, zx, qa = dyn_quant_activation x in
+    let sw = Quant.scale_of qw.Quant.qscheme in
+    let scale = sx *. sw in
+    let cls = match cls with Some c -> c | None -> Multi_version.classify_gemm ~m ~n ~k in
+    Sod2_tensor.Blocked.gemm_i8_dequant ~par:(par_of t) ~tiles:(tiles_for t cls)
+      ~za:zx ~zb:0
+      ~epilogue:(fun _ acc -> float_of_int acc *. scale)
+      ~ep_off:co ~m ~n ~k ~a:(Tensor.storage_i8 qa) ~ao:0
+      ~b:(Tensor.storage_i8 qw.Quant.q) ~bo:0 ~c ~co ();
+    [ m; n ]
+  | _ ->
+    Sod2_error.failf ~op:"MatMul" Sod2_error.Shape_mismatch
+      "Backend.matmul_q8: expects float x [m;k] against int8 weight [k;n]"
+
+let matmul_q8 ?cls t x qw =
+  let fdt = if Tensor.dtype x = Tensor.F64 then Tensor.F64 else Tensor.F32 in
+  match Tensor.dims x, Tensor.dims qw.Quant.q with
+  | [ m; _ ], [ _; n ] ->
+    let buf = Tensor.fbuf_create fdt (m * n) in
+    let dims = matmul_q8_into ?cls t x qw ~c:buf ~co:0 in
+    Tensor.of_fbuf dims buf
+  | _ ->
+    Sod2_error.failf ~op:"MatMul" Sod2_error.Shape_mismatch
+      "Backend.matmul_q8: expects float x [m;k] against int8 weight [k;n]"
+
+(* Quantized NCHW convolution into a float destination.  Per-channel
+   weight scales (and the float bias, when present) are folded into the
+   dequantization epilogue: the output-channel index of element [ei] is
+   [ei / (oh·ow) mod m] because [ep_off] makes epilogue indices
+   output-relative. *)
+let conv2d_q8_into ?cls t ~stride ~pad ~dilation ~groups x (qw : Quant.qtensor) bias
+    ~c ~co =
+  match Tensor.dims x, Tensor.dims qw.Quant.q with
+  | [ n; ch; h; w ], [ m; cg; kh; kw ] ->
+    let sx, zx, qa = dyn_quant_activation x in
+    let wscales = Quant.channel_scales qw.Quant.qscheme in
+    let sh, sw_ = stride and dh, dw_ = dilation in
+    let pt, pl, pb, pr = pad in
+    let oh =
+      Linalg.conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb
+        ~dilation:dh
+    in
+    let ow =
+      Linalg.conv2d_out_dim ~in_:w ~kernel:kw ~stride:sw_ ~pad_begin:pl ~pad_end:pr
+        ~dilation:dw_
+    in
+    let sp = oh * ow in
+    let chscale =
+      if Array.length wscales = 1 then
+        let s = sx *. wscales.(0) in
+        fun _ -> s
+      else fun chn -> sx *. Array.unsafe_get wscales chn
+    in
+    let epilogue =
+      match bias with
+      | None -> fun ei acc -> float_of_int acc *. chscale (ei / sp mod m)
+      | Some b ->
+        let bv = Array.init m (fun i -> Tensor.get_f b [| i |]) in
+        fun ei acc ->
+          let chn = ei / sp mod m in
+          (float_of_int acc *. chscale chn) +. Array.unsafe_get bv chn
+    in
+    let cl =
+      match cls with
+      | Some cl -> cl
+      | None -> Multi_version.classify_gemm ~m ~n:(n * sp) ~k:(cg * kh * kw)
+    in
+    Sod2_tensor.Blocked.conv2d_i8_dequant_into ~par:(par_of t) ~tiles:(tiles_for t cl)
+      ~zx ~zw:0 ~epilogue ~ep_off:co ~stride ~pad ~dilation ~groups
+      ~x:(Tensor.storage_i8 qa) ~xoff:0 ~xdims:[| n; ch; h; w |]
+      ~w:(Tensor.storage_i8 qw.Quant.q) ~woff:0 ~wdims:[| m; cg; kh; kw |] ~c ~co ()
+  | _ ->
+    Sod2_error.failf ~op:"Conv" Sod2_error.Shape_mismatch
+      "Backend.conv2d_q8: expects float x NCHW against int8 weight OIHW"
+
+let conv2d_q8 ?cls t ~stride ~pad ~dilation ~groups x (qw : Quant.qtensor) bias =
+  let fdt = if Tensor.dtype x = Tensor.F64 then Tensor.F64 else Tensor.F32 in
+  match Tensor.dims x, Tensor.dims qw.Quant.q with
+  | [ n; _; h; w ], [ m; _; kh; kw ] ->
+    let sh, sw_ = stride and dh, dw_ = dilation in
+    let pt, pl, pb, pr = pad in
+    let oh =
+      Linalg.conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb
+        ~dilation:dh
+    in
+    let ow =
+      Linalg.conv2d_out_dim ~in_:w ~kernel:kw ~stride:sw_ ~pad_begin:pl ~pad_end:pr
+        ~dilation:dw_
+    in
+    let buf = Tensor.fbuf_create fdt (n * m * oh * ow) in
+    let dims =
+      conv2d_q8_into ?cls t ~stride ~pad ~dilation ~groups x qw bias ~c:buf ~co:0
+    in
+    Tensor.of_fbuf dims buf
+  | _ ->
+    Sod2_error.failf ~op:"Conv" Sod2_error.Shape_mismatch
+      "Backend.conv2d_q8: expects float x NCHW against int8 weight OIHW"
+
 (* Data-parallel elementwise maps.  Only same-shape float tensors above the
    grain size go through the pool; everything else falls back to the
    sequential {!Tensor} maps (which also own the broadcast/int/mixed-kind

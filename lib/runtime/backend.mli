@@ -73,6 +73,45 @@ val conv1d :
   ?cls:Multi_version.shape_class -> t -> stride:int -> pad:int * int ->
   dilation:int -> groups:int -> Tensor.t -> Tensor.t -> Tensor.t option -> Tensor.t
 
+(** {1 Int8 weight-quantized execution}
+
+    The runtime half of dynamic-range quantization: weights arrive as
+    compile-time int8 payloads ({!Pipeline.quant_weights}), the float
+    activation is calibrated and quantized per-tensor at call time, the
+    packed int8 kernels accumulate in int32, and the dequantization
+    epilogue (scale product, per-channel for conv, plus bias) is folded
+    into the micro-tile write-back — the output is float again, so
+    quantized nodes compose with the arena/engine machinery unchanged.
+    These paths run the blocked int8 kernels for every backend kind and
+    shape class; use [config.quant = false] (or {!Executor.degraded}) for
+    bit-exact float execution. *)
+
+val matmul_q8 :
+  ?cls:Multi_version.shape_class -> t -> Tensor.t -> Quant.qtensor -> Tensor.t
+(** [matmul_q8 t x qw] — float [x : [m;k]] times int8 weight
+    [qw : [k;n]] (per-tensor symmetric), float result. *)
+
+val matmul_q8_into :
+  ?cls:Multi_version.shape_class -> t -> Tensor.t -> Quant.qtensor ->
+  c:Tensor.fbuf -> co:int -> int list
+(** Destination-passing {!matmul_q8}: writes into [c] at element offset
+    [co] (every output element is overwritten), returns the dims. *)
+
+val conv2d_q8 :
+  ?cls:Multi_version.shape_class -> t -> stride:int * int ->
+  pad:int * int * int * int -> dilation:int * int -> groups:int ->
+  Tensor.t -> Quant.qtensor -> Tensor.t option -> Tensor.t
+(** Quantized NCHW convolution: float activation, int8 OIHW weight
+    (per-channel symmetric over axis 0), optional float bias folded into
+    the epilogue. *)
+
+val conv2d_q8_into :
+  ?cls:Multi_version.shape_class -> t -> stride:int * int ->
+  pad:int * int * int * int -> dilation:int * int -> groups:int ->
+  Tensor.t -> Quant.qtensor -> Tensor.t option ->
+  c:Tensor.fbuf -> co:int -> int list
+(** Destination-passing {!conv2d_q8}. *)
+
 val map_f : t -> (float -> float) -> Tensor.t -> Tensor.t
 (** Elementwise map, chunked over the pool for large float tensors;
     otherwise {!Tensor.map_f}. *)

@@ -272,9 +272,13 @@ let execute t ~w ~arena ~backend req ~batched =
             | Executor.Mem_malloc -> Executor.Malloc
             | Executor.Mem_arena -> Executor.Arena { arena; env = req.r_env }
           in
+          (* Through the config entry point so [cfg.quant] reaches the
+             executor; the explicit [memory] (this worker's arena) and
+             [backend] (this worker's pool slice) still win over the
+             config fields they subsume. *)
           snd
-            (Executor.run_real ~control:t.cfg.Executor.control ?backend ~memory
-               t.compiled ~inputs:req.r_inputs)
+            (Executor.run_real ~config:t.cfg ?backend ~memory t.compiled
+               ~inputs:req.r_inputs)
       in
       let now = Unix.gettimeofday () in
       Ok

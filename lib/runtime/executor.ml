@@ -44,12 +44,20 @@ type config = {
   memory : mem_kind;
   guarded : bool;
   control : control;
+  quant : bool;
 }
 
 let default_config =
-  { backend = Backend.Naive; memory = Mem_malloc; guarded = false; control = Selected_only }
+  {
+    backend = Backend.Naive;
+    memory = Mem_malloc;
+    guarded = false;
+    control = Selected_only;
+    quant = false;
+  }
 
-(* "<backend>[,arena][,guarded][,all-paths]" — the CLI's --exec syntax. *)
+(* "<backend>[,arena][,guarded][,all-paths][,int8]" — the CLI's --exec
+   syntax. *)
 let config_of_string s =
   match String.split_on_char ',' (String.lowercase_ascii (String.trim s)) with
   | [] | [ "" ] -> Error "empty exec spec"
@@ -67,10 +75,12 @@ let config_of_string s =
               | "malloc" -> Ok { cfg with memory = Mem_malloc }
               | "guarded" -> Ok { cfg with guarded = true }
               | "all-paths" -> Ok { cfg with control = All_paths }
+              | "int8" -> Ok { cfg with quant = true }
               | m ->
                 Error
                   (Printf.sprintf
-                     "unknown exec modifier %S (expected arena|malloc|guarded|all-paths)" m)))
+                     "unknown exec modifier %S (expected \
+                      arena|malloc|guarded|all-paths|int8)" m)))
         (Ok { default_config with backend })
         mods)
 
@@ -82,14 +92,17 @@ let config_to_string cfg =
             (if cfg.memory = Mem_arena then Some "arena" else None);
             (if cfg.guarded then Some "guarded" else None);
             (if cfg.control = All_paths then Some "all-paths" else None);
+            (if cfg.quant then Some "int8" else None);
           ])
 
 (* The most conservative execution of a config: drop the suspect
    specialized backend, keep the control policy, and run guarded so plan
-   trouble demotes to the reference sweep instead of raising.  The engine
-   routes breaker-open plan keys and degraded-mode requests through this. *)
+   trouble demotes to the reference sweep instead of raising.  Quantized
+   dispatch is dropped with it — degraded mode answers in bit-exact float
+   semantics.  The engine routes breaker-open plan keys and degraded-mode
+   requests through this. *)
 let degraded cfg =
-  { cfg with backend = Backend.Naive; memory = Mem_malloc; guarded = true }
+  { cfg with backend = Backend.Naive; memory = Mem_malloc; guarded = true; quant = false }
 
 exception Unresolved of string
 
@@ -227,7 +240,8 @@ let dry_forward ctx st (nd : Graph.node) =
 
 (* --- shared driver ------------------------------------------------ *)
 
-let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ctx st =
+let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
+    ?(quant = false) ctx st =
   let c = ctx.c in
   let g = c.graph in
   let counter kind =
@@ -429,6 +443,94 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
       | None -> false)
     | _ -> false
   in
+  (* Int8 weight-quantized dispatch (dynamic-range): a node whose constant
+     weight was quantized at compile runs the packed int8 kernel with the
+     dequantization epilogue folded into the write-back.  The result is
+     float, so it lands in the output's arena slot when the capacity
+     matches (dest-passing, same as [try_dest]) or a fresh boxed buffer
+     otherwise.  The activation is fetched boxed — calibration reads every
+     element anyway.  Output dims are computed up front from the operand
+     dims so the slot decision precedes the kernel; any shape the
+     quantized kernels cannot take falls through to the float path. *)
+  let quant_dispatch (nd : Graph.node) =
+    if not (quant && mode = Real) then None
+    else
+      match backend with
+      | None -> None
+      | Some be -> (
+        match nd.Graph.op, nd.Graph.inputs, nd.Graph.outputs with
+        | Op.MatMul, [ x; w ], [ otid ] -> (
+          match Pipeline.quant_weight c w, st.dims.(x) with
+          | Some qt, Some [ m; k ] -> (
+            match Tensor.dims qt.Quant.q with
+            | [ k'; n ] when k = k' && k > 0 ->
+              Some
+                ( otid,
+                  [ m; n ],
+                  fun ~cbuf ~co ->
+                    ignore
+                      (Backend.matmul_q8_into ?cls:(cls_of nd) be (fetch_boxed x) qt
+                         ~c:cbuf ~co) )
+            | _ -> None)
+          | _ -> None)
+        | Op.Conv { stride; pads; dilation; groups }, x :: w :: rest, [ otid ] -> (
+          let bias = match rest with [ b ] -> Some b | _ -> None in
+          match Pipeline.quant_weight c w, st.dims.(x) with
+          | Some qt, Some [ n; _; h; wd ] -> (
+            match Tensor.dims qt.Quant.q with
+            | [ m; _; kh; kw ] -> (
+              try
+                let sh, sw = stride and dh, dw_ = dilation in
+                let pt, pl, pb, pr = pads in
+                let oh =
+                  Linalg.conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt
+                    ~pad_end:pb ~dilation:dh
+                in
+                let ow =
+                  Linalg.conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl
+                    ~pad_end:pr ~dilation:dw_
+                in
+                Some
+                  ( otid,
+                    [ n; m; oh; ow ],
+                    fun ~cbuf ~co ->
+                      ignore
+                        (Backend.conv2d_q8_into ?cls:(cls_of nd) be ~stride ~pad:pads
+                           ~dilation ~groups (fetch_boxed x) qt
+                           (Option.map fetch_boxed bias) ~c:cbuf ~co) )
+              with Sod2_error.Error _ | Invalid_argument _ -> None)
+            | _ -> None)
+          | _ -> None)
+        | _ -> None)
+  in
+  let try_quant (nd : Graph.node) =
+    match quant_dispatch nd with
+    | None -> false
+    | Some (otid, dims, run) ->
+      let numel = List.fold_left ( * ) 1 dims in
+      (match arena with
+      | Some ar
+        when (match ar.ar_slot.(otid) with Some (_, cap) -> cap = numel | None -> false)
+             && not (is_graph_out otid) ->
+        let off, _ = Option.get ar.ar_slot.(otid) in
+        run ~cbuf:ar.ar_buf ~co:off;
+        ar.ar_loc.(otid) <- true;
+        ar.ar_resident <- ar.ar_resident + 1;
+        counter "arena-dest-store"
+      | _ ->
+        let fdt =
+          match arena with
+          | Some ar -> Tensor.fbuf_dtype ar.ar_buf
+          | None -> c.Pipeline.fdtype
+        in
+        let buf = Tensor.fbuf_create fdt numel in
+        run ~cbuf:buf ~co:0;
+        st.tensors.(otid) <- Some (Tensor.of_fbuf dims buf));
+      st.dims.(otid) <- Some dims;
+      st.avail.(otid) <- true;
+      counter "quant-kernel";
+      true
+  in
   let exec_plain (nd : Graph.node) =
     match mode with
     | Dry ->
@@ -440,7 +542,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
           st.avail.(tid) <- true)
         nd.outputs
     | Real ->
-      if not (try_dest nd) then begin
+      if (not (try_quant nd)) && not (try_dest nd) then begin
         let inputs = List.map fetch_boxed nd.inputs in
         let outs = Kernels.run ?backend ?cls:(cls_of nd) nd.op inputs in
         List.iteri
@@ -516,7 +618,13 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena ct
         in
         let fused_done =
           match mode, backend with
-          | Real, Some be when List.length members > 1 -> (
+          (* Quantized members never execute fused: compile withheld the
+             group's template (see [Fused_compile.plan ~quantized]), and this
+             runtime guard keeps the invariant even for artifacts compiled
+             without [~quant] paired with a quant-enabled config. *)
+          | Real, Some be
+            when List.length members > 1
+                 && not (quant && List.exists (Pipeline.quant_node c) members) -> (
             (match arena with Some ar -> run_fused_arena be ar | None -> false)
             ||
             match Backend.fused_run be c ~gid ~fetch:fetch_boxed with
@@ -673,7 +781,7 @@ let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compil
   run_engine ~mode:Dry ~control ~gate ctx st
 
 let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Malloc)
-    (c : Pipeline.compiled) ~inputs =
+    ?(quant = false) (c : Pipeline.compiled) ~inputs =
   let ctx = make_ctx c in
   let st = init_state c ~keep_tensors:true in
   List.iter
@@ -709,6 +817,7 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
           if
             a.Mem_plan.size > 0 && a.offset >= 0 && a.offset mod elem = 0
             && a.Mem_plan.size mod elem = 0
+            && a.Mem_plan.elem = elem
             && a.offset + a.size <= plan.Mem_plan.arena_bytes
             && a.tid >= 0 && a.tid < n
           then slot.(a.tid) <- Some (a.offset / elem, a.size / elem))
@@ -736,7 +845,8 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
         | _ -> ())
   in
   let trace =
-    run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ?backend ?arena ctx st
+    run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ?backend ?arena ~quant
+      ctx st
   in
   (* Model outputs must outlive the arena (its slots are overwritten by the
      next inference), so arena-resident outputs are boxed at the boundary.
@@ -794,7 +904,9 @@ let run_real ?config ?env ?control ?check_env ?backend ?memory
     in
     Fun.protect
       ~finally:(fun () -> Option.iter Backend.shutdown owned)
-      (fun () -> run_real_opts ~control ?check_env ?backend ~memory c ~inputs)
+      (fun () ->
+        run_real_opts ~control ?check_env ?backend ~memory ~quant:cfg.quant c
+          ~inputs)
 
 let peak_live_bytes trace =
   let last =

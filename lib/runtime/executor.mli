@@ -100,16 +100,21 @@ type config = {
       (** in {!run_real}: fail-fast RDP cross-checks ([check_env] = the
           binding); in {!Engine}/{!Guarded_exec}: graceful degradation *)
   control : control;
+  quant : bool;
+      (** run int8 weight-quantized kernels for nodes whose weights were
+          quantized at compile ({!Pipeline.compile} [~quant:true]); a no-op
+          on artifacts compiled without [~quant].  Needs a non-naive
+          [backend] — the naive reference path always runs float. *)
 }
 
 val default_config : config
 (** [{ backend = Naive; memory = Mem_malloc; guarded = false;
-      control = Selected_only }] — exactly what the bare optional-arg
-    entry points default to. *)
+      control = Selected_only; quant = false }] — exactly what the bare
+    optional-arg entry points default to. *)
 
 val config_of_string : string -> (config, string) result
 (** Parses the CLI [--exec] syntax
-    ["naive|blocked|parallel|fused[,arena][,malloc][,guarded][,all-paths]"]. *)
+    ["naive|blocked|parallel|fused[,arena][,malloc][,guarded][,all-paths][,int8]"]. *)
 
 val config_to_string : config -> string
 (** Canonical [--exec] rendering; [config_of_string (config_to_string c)]
@@ -117,7 +122,8 @@ val config_to_string : config -> string
 
 val degraded : config -> config
 (** The graceful-fallback variant of a config: naive backend, malloc
-    memory, [guarded = true], control policy preserved.  {!Engine} runs
+    memory, [guarded = true], [quant = false] (degraded answers are
+    bit-exact float), control policy preserved.  {!Engine} runs
     breaker-open plan keys and degraded-mode requests under this so a
     misbehaving specialized path can never take the serving layer down
     with it. *)

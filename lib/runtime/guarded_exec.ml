@@ -96,7 +96,8 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
              match predicted.(a.Mem_plan.tid) with
              | Some dims
                when a.Mem_plan.size
-                    <> elem * List.fold_left (fun n d -> n * max 1 d) 1 dims ->
+                    <> Mem_plan.slot_bytes ~plan_elem:elem ~elem:a.Mem_plan.elem
+                         (List.fold_left (fun n d -> n * max 1 d) 1 dims) ->
                incident Size_mismatch
                  (Printf.sprintf "tensor %d: planned %d bytes, RDP predicts %s"
                     a.Mem_plan.tid a.Mem_plan.size (dims_str dims));
@@ -204,7 +205,7 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     | _ -> ());
     match Hashtbl.find_opt alloc_of tid with
     | Some _ when !degraded -> loc.(tid) <- Some (Boxed t)
-    | Some a when Tensor.dtype t = c.Pipeline.fdtype ->
+    | Some a when Tensor.dtype t = c.Pipeline.fdtype && a.Mem_plan.elem = elem ->
       let bytes = Tensor.byte_size t in
       if bytes <> a.Mem_plan.size then begin
         incident ~gid ~step Size_mismatch

@@ -1,3 +1,95 @@
+(* ---------------------------------------------------------------- *)
+(* Scalar int8 reference: an INDEPENDENT transcription of the gemmlowp
+   requantization spec plus direct zero-point-subtracting loop nests.
+   Deliberately written without {!Quant} or {!Blocked} — the qcheck
+   suites hold the fused kernels bit-for-bit equal to this, so a slip in
+   either transcription (or in the packed kernels' SWAR/row-sum algebra)
+   surfaces as a test failure instead of cancelling out. *)
+
+let requantize ~qm ~shift ~zp acc =
+  let i32max = 0x7FFFFFFF and i32min = -0x80000000 in
+  let sat32 v = if v > i32max then i32max else if v < i32min then i32min else v in
+  (* SaturatingRoundingDoublingHighMul *)
+  let srdhm x y =
+    if x = i32min && y = i32min then i32max
+    else
+      let prod = x * y in
+      let nudge = if prod >= 0 then 0x40000000 else -0x3FFFFFFF in
+      (prod + nudge) / 0x80000000
+  in
+  (* RoundingDivideByPOT *)
+  let rdbpot x e =
+    if e <= 0 then x
+    else
+      let mask = (1 lsl e) - 1 in
+      let rem = x land mask in
+      let threshold = (mask asr 1) + (if x < 0 then 1 else 0) in
+      (x asr e) + (if rem > threshold then 1 else 0)
+  in
+  let lshift = if shift > 0 then shift else 0 in
+  let rshift = if shift > 0 then 0 else -shift in
+  let v = rdbpot (srdhm (sat32 (acc lsl lshift)) qm) rshift + zp in
+  if v > 127 then 127 else if v < -128 then -128 else v
+
+(* Corrected int32 accumulators of the quantized product, row-major:
+   acc[i,j] = Σ_p (a[i,p] - za)(b[p,j] - zb). *)
+let gemm_i8_acc ~za ~zb ~m ~n ~k a b =
+  let da = Tensor.data_i a and db = Tensor.data_i b in
+  let out = Array.make (m * n) 0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0 in
+      for p = 0 to k - 1 do
+        acc := !acc + ((da.((i * k) + p) - za) * (db.((p * n) + j) - zb))
+      done;
+      out.((i * n) + j) <- !acc
+    done
+  done;
+  out
+
+(* Direct quantized convolution (NCHW / OIHW): every tap outside the
+   input contributes (zx - zx) = 0, mirroring zero-point padding. *)
+let conv2d_i8_acc ~zx ~zw ~stride ~pad ~dilation ~groups x w =
+  let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
+  let n = dx.(0) and c = dx.(1) and h = dx.(2) and wd = dx.(3) in
+  let m = dw.(0) and cg = dw.(1) and kh = dw.(2) and kw = dw.(3) in
+  let sh, sw = stride in
+  let pt, pl, pb, pr = pad in
+  let dh, dw_ = dilation in
+  Linalg.check_conv_groups ~c ~groups ~cg;
+  let oh = Linalg.conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb ~dilation:dh in
+  let ow = Linalg.conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr ~dilation:dw_ in
+  let mg = m / groups in
+  let xd = Tensor.data_i x and wdt = Tensor.data_i w in
+  let out = Array.make (n * m * oh * ow) 0 in
+  for ni = 0 to n - 1 do
+    for mi = 0 to m - 1 do
+      let g = mi / mg in
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let acc = ref 0 in
+          for ci = 0 to cg - 1 do
+            let cin = (g * cg) + ci in
+            for ky = 0 to kh - 1 do
+              let iy = (oy * sh) - pt + (ky * dh) in
+              if iy >= 0 && iy < h then
+                for kx = 0 to kw - 1 do
+                  let ix = (ox * sw) - pl + (kx * dw_) in
+                  if ix >= 0 && ix < wd then
+                    acc :=
+                      !acc
+                      + ((xd.((((((ni * c) + cin) * h) + iy) * wd) + ix) - zx)
+                        * (wdt.((((((mi * cg) + ci) * kh) + ky) * kw) + kx) - zw))
+                done
+            done
+          done;
+          out.((((((ni * m) + mi) * oh) + oy) * ow) + ox) <- !acc
+        done
+      done
+    done
+  done;
+  (out, [ n; m; oh; ow ])
+
 let branch_of_pred ~tensor t =
   match Tensor.to_int_list (Tensor.cast t Tensor.I64) with
   | b :: _ -> b

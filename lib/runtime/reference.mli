@@ -8,6 +8,32 @@
     against: it depends on nothing the optimizer produced, so a corrupted
     plan cannot corrupt it. *)
 
+(** {1 Scalar int8 reference}
+
+    An independent transcription of the gemmlowp requantization spec and
+    direct zero-point-subtracting loop nests — written without {!Quant}
+    or [Blocked], so the qcheck bit-exactness suites compare two
+    genuinely separate derivations of the quantized math. *)
+
+val requantize : qm:int -> shift:int -> zp:int -> int -> int
+(** int32 accumulator → int8 value: fixed-point multiply by
+    [qm · 2^(shift-31)] (saturating-rounding-doubling high-mul, then
+    rounding divide by power of two), add [zp], clamp to [[-128, 127]]. *)
+
+val gemm_i8_acc :
+  za:int -> zb:int -> m:int -> n:int -> k:int -> Tensor.t -> Tensor.t ->
+  int array
+(** Row-major corrected accumulators of the quantized product of two
+    {!Tensor.I8} tensors: [acc(i,j) = Σ_p (a(i,p)-za)·(b(p,j)-zb)]. *)
+
+val conv2d_i8_acc :
+  zx:int -> zw:int -> stride:int * int -> pad:int * int * int * int ->
+  dilation:int * int -> groups:int -> Tensor.t -> Tensor.t ->
+  int array * int list
+(** Direct quantized NCHW/OIHW convolution accumulators plus the output
+    dims [N;M;Oh;Ow]; out-of-image taps contribute zero (zero-point
+    padding semantics). *)
+
 val run :
   Graph.t -> inputs:(Graph.tensor_id * Tensor.t) list ->
   (Graph.tensor_id * Tensor.t) list

@@ -451,6 +451,402 @@ let conv2d_im2col_into ?(par = sequential) ?(tiles = default_tiles) ?epilogue
   end;
   [ n; m; oh; ow ]
 
+(* ---------------------------------------------------------------- *)
+(* Int8 path: packed panels, integer micro-kernel, fused requantize   *)
+
+(* The integer micro-tile is 6×2, and the A panel packs THREE rows per
+   63-bit word at 21-bit field spacing — rows (i, i+2, i+4) as
+   [r0 + r2·2^21 + r4·2^42] and rows (i+1, i+3, i+5) likewise — so one
+   native multiply against a sign-extended B element computes THREE
+   multiply-accumulates.  Scalar OCaml has one integer multiplier port
+   to play with; cutting the multiply count to a third is what puts the
+   int8 kernel decisively ahead of the f32 one (whose two FP ports give
+   it the same 2-MACs-per-port-cycle a two-field packing would).  The
+   tile keeps just four live accumulator words, so nothing spills — a
+   4×4 variant with eight accumulators was tried and regressed on spill
+   traffic.
+
+   Field discipline: |a|,|b| ≤ 128, so each 21-bit field accumulates at
+   most kb·2^14 and the field range ±2^20 allows kb ≤ 64 k-steps before
+   a field can overflow into its neighbour.  The depth loop therefore
+   runs in blocks of [i8_kblock] = 60 steps, draining the four SWAR
+   words into twelve plain int accumulators between blocks (the whole
+   word stays within ±60·2^56 < 2^62, so the top field never leaves the
+   63-bit int).  Reconstruction is standard signed-SWAR: sign-extend the
+   low 21 bits, subtract, shift, repeat.  Total depth stays capped at
+   2^16 so the drained accumulators remain int32-range for the
+   requantizer.
+
+   Zero points never enter the panels: the write-back applies the
+   algebraic correction  Σ(a-za)(b-zb) = Σab − zb·Σa − za·Σb + k·za·zb
+   from row/column sums collected during packing, so the packed values
+   stay raw int8 and the correction is exact integer arithmetic. *)
+
+let max_i8_depth = 1 lsl 16
+let i8_kblock = 60
+
+(* [iqblk] runs one overflow-safe depth block of a 6×2 micro-tile —
+   [ia] up to (exclusive) [iaend] — retiring four k-steps per iteration
+   with the accumulator words carried in the tail-recursion arguments,
+   then drains the fields inline into [acc] ([row*2 + col] layout): no
+   closure, tuple, or allocation anywhere on the depth path.  Exactly
+   ten arguments: that is how many the OCaml amd64 convention passes in
+   registers, and an eleventh would push the self-tail-call through the
+   stack on every iteration. *)
+let rec iqblk (ap : int array) (bp : int array) (acc : int array) ia ib iaend
+    q00 q01 q10 q11 =
+  if ia + 8 <= iaend then begin
+    let p0 = Array.unsafe_get ap ia
+    and p1 = Array.unsafe_get ap (ia + 1)
+    and b0 = Array.unsafe_get bp ib
+    and b1 = Array.unsafe_get bp (ib + 1) in
+    let q00 = q00 + (p0 * b0)
+    and q01 = q01 + (p0 * b1)
+    and q10 = q10 + (p1 * b0)
+    and q11 = q11 + (p1 * b1) in
+    let p0 = Array.unsafe_get ap (ia + 2)
+    and p1 = Array.unsafe_get ap (ia + 3)
+    and b0 = Array.unsafe_get bp (ib + 2)
+    and b1 = Array.unsafe_get bp (ib + 3) in
+    let q00 = q00 + (p0 * b0)
+    and q01 = q01 + (p0 * b1)
+    and q10 = q10 + (p1 * b0)
+    and q11 = q11 + (p1 * b1) in
+    let p0 = Array.unsafe_get ap (ia + 4)
+    and p1 = Array.unsafe_get ap (ia + 5)
+    and b0 = Array.unsafe_get bp (ib + 4)
+    and b1 = Array.unsafe_get bp (ib + 5) in
+    let q00 = q00 + (p0 * b0)
+    and q01 = q01 + (p0 * b1)
+    and q10 = q10 + (p1 * b0)
+    and q11 = q11 + (p1 * b1) in
+    let p0 = Array.unsafe_get ap (ia + 6)
+    and p1 = Array.unsafe_get ap (ia + 7)
+    and b0 = Array.unsafe_get bp (ib + 6)
+    and b1 = Array.unsafe_get bp (ib + 7) in
+    iqblk ap bp acc (ia + 8) (ib + 8) iaend
+      (q00 + (p0 * b0))
+      (q01 + (p0 * b1))
+      (q10 + (p1 * b0))
+      (q11 + (p1 * b1))
+  end
+  else if ia < iaend then begin
+    let p0 = Array.unsafe_get ap ia
+    and p1 = Array.unsafe_get ap (ia + 1)
+    and b0 = Array.unsafe_get bp ib
+    and b1 = Array.unsafe_get bp (ib + 1) in
+    iqblk ap bp acc (ia + 2) (ib + 2) iaend
+      (q00 + (p0 * b0))
+      (q01 + (p0 * b1))
+      (q10 + (p1 * b0))
+      (q11 + (p1 * b1))
+  end
+  else begin
+    (* Block boundary: unpack the three 21-bit fields of each word —
+       sign-extend the low field (rows i, i+1), subtract and shift for
+       the mid fields (rows i+2, i+3), repeat for the top fields (rows
+       i+4, i+5) — and accumulate into [acc]. *)
+    let l00 = (q00 lsl 42) asr 42 in
+    let r00 = (q00 - l00) asr 21 in
+    let m00 = (r00 lsl 42) asr 42 in
+    let l01 = (q01 lsl 42) asr 42 in
+    let r01 = (q01 - l01) asr 21 in
+    let m01 = (r01 lsl 42) asr 42 in
+    let l10 = (q10 lsl 42) asr 42 in
+    let r10 = (q10 - l10) asr 21 in
+    let m10 = (r10 lsl 42) asr 42 in
+    let l11 = (q11 lsl 42) asr 42 in
+    let r11 = (q11 - l11) asr 21 in
+    let m11 = (r11 lsl 42) asr 42 in
+    acc.(0) <- acc.(0) + l00;
+    acc.(1) <- acc.(1) + l01;
+    acc.(2) <- acc.(2) + l10;
+    acc.(3) <- acc.(3) + l11;
+    acc.(4) <- acc.(4) + m00;
+    acc.(5) <- acc.(5) + m01;
+    acc.(6) <- acc.(6) + m10;
+    acc.(7) <- acc.(7) + m11;
+    acc.(8) <- acc.(8) + ((r00 - m00) asr 21);
+    acc.(9) <- acc.(9) + ((r01 - m01) asr 21);
+    acc.(10) <- acc.(10) + ((r10 - m10) asr 21);
+    acc.(11) <- acc.(11) + ((r11 - m11) asr 21)
+  end
+
+(* Depth loop for one micro-tile: one [iqblk] call per overflow-safe
+   block. *)
+let rec iqtile ap bp acc ia ib krem =
+  if krem > 0 then begin
+    let kb = if krem < i8_kblock then krem else i8_kblock in
+    iqblk ap bp acc ia ib (ia + (kb * 2)) 0 0 0 0;
+    iqtile ap bp acc (ia + (kb * 2)) (ib + (kb * 2)) (krem - kb)
+  end
+
+(* B panel: column pairs, sign-extended into a plain [int array] at pack
+   time.  Trading the 1-byte footprint for 8-byte words keeps the panel
+   L2-resident at bench sizes (512 KB at 256³) while making every inner-
+   loop B access a single indexed load — a Bigarray byte read costs a
+   data-pointer fetch plus a sign extension on every access, and the
+   micro-kernel does two of them per k-step.  An odd tail column is
+   zero-padded; per-column sums for the zero-point correction are
+   collected in the same pass. *)
+let pack_b_i8 (b : Tensor.i8buf) bo ~n ~k ~npairs =
+  let panel = Array.make (npairs * k * 2) 0 in
+  let bsum = Array.make (npairs * 2) 0 in
+  for jp = 0 to npairs - 1 do
+    let j = jp * 2 in
+    let base = jp * k * 2 in
+    if j + 1 < n then begin
+      let s0 = ref 0 and s1 = ref 0 in
+      for p = 0 to k - 1 do
+        let s = bo + (p * n) + j in
+        let v0 = BA1.unsafe_get b s and v1 = BA1.unsafe_get b (s + 1) in
+        Array.unsafe_set panel (base + (p * 2)) v0;
+        Array.unsafe_set panel (base + (p * 2) + 1) v1;
+        s0 := !s0 + v0;
+        s1 := !s1 + v1
+      done;
+      bsum.(j) <- !s0;
+      bsum.(j + 1) <- !s1
+    end
+    else begin
+      let s0 = ref 0 in
+      for p = 0 to k - 1 do
+        let v0 = BA1.unsafe_get b (bo + (p * n) + j) in
+        Array.unsafe_set panel (base + (p * 2)) v0;
+        s0 := !s0 + v0
+      done;
+      bsum.(j) <- !s0
+    end
+  done;
+  (panel, bsum)
+
+(* A panel: row sextets packed three-rows-per-word ([(ip*k + p)*2 +
+   {0,1}] holding rows (r, r+2, r+4) at 21-bit spacing), short tiles
+   padded with zero rows, per-row sums collected alongside. *)
+let pack_a_i8 (a : Tensor.i8buf) ao ~k ~i0 ~mc (abuf : int array) (asum : int array) =
+  let msext = ceil_div mc 6 in
+  for ip = 0 to msext - 1 do
+    let i = i0 + (ip * 6) in
+    let base = ip * k * 2 in
+    let rows = min 6 (i0 + mc - i) in
+    let r0 = ao + (i * k) in
+    if rows = 6 then begin
+      let s0 = ref 0 and s1 = ref 0 and s2 = ref 0 in
+      let s3 = ref 0 and s4 = ref 0 and s5 = ref 0 in
+      for p = 0 to k - 1 do
+        let s = r0 + p in
+        let v0 = BA1.unsafe_get a s
+        and v1 = BA1.unsafe_get a (s + k)
+        and v2 = BA1.unsafe_get a (s + (2 * k))
+        and v3 = BA1.unsafe_get a (s + (3 * k))
+        and v4 = BA1.unsafe_get a (s + (4 * k))
+        and v5 = BA1.unsafe_get a (s + (5 * k)) in
+        Array.unsafe_set abuf (base + (p * 2)) (v0 + (v2 lsl 21) + (v4 lsl 42));
+        Array.unsafe_set abuf (base + (p * 2) + 1) (v1 + (v3 lsl 21) + (v5 lsl 42));
+        s0 := !s0 + v0;
+        s1 := !s1 + v1;
+        s2 := !s2 + v2;
+        s3 := !s3 + v3;
+        s4 := !s4 + v4;
+        s5 := !s5 + v5
+      done;
+      asum.((ip * 6)) <- !s0;
+      asum.((ip * 6) + 1) <- !s1;
+      asum.((ip * 6) + 2) <- !s2;
+      asum.((ip * 6) + 3) <- !s3;
+      asum.((ip * 6) + 4) <- !s4;
+      asum.((ip * 6) + 5) <- !s5
+    end
+    else begin
+      for r = 0 to 5 do
+        asum.((ip * 6) + r) <- 0
+      done;
+      for p = 0 to k - 1 do
+        let v r = if r < rows then BA1.unsafe_get a (r0 + (r * k) + p) else 0 in
+        Array.unsafe_set abuf (base + (p * 2)) (v 0 + (v 2 lsl 21) + (v 4 lsl 42));
+        Array.unsafe_set abuf (base + (p * 2) + 1) (v 1 + (v 3 lsl 21) + (v 5 lsl 42))
+      done;
+      for r = 0 to rows - 1 do
+        let rs = r0 + (r * k) in
+        let sr = ref 0 in
+        for p = 0 to k - 1 do
+          sr := !sr + BA1.unsafe_get a (rs + p)
+        done;
+        asum.((ip * 6) + r) <- !sr
+      done
+    end
+  done
+
+(* Shared int8 GEMM skeleton.  C is OVERWRITTEN, not accumulated into:
+   packing is full-depth (one k-block), so every element's complete
+   int32 accumulator exists at write-back — exactly where requantization
+   must happen, and why no int32 intermediate is ever materialized.
+   [store i j acc] receives the zero-point-corrected accumulator. *)
+let gemm_i8_core ?(par = sequential) ?(tiles = default_tiles) ~za ~zb
+    ~(store : int -> int -> int -> unit) ~m ~n ~k ~(a : Tensor.i8buf) ~ao
+    ~(b : Tensor.i8buf) ~bo () =
+  if k > max_i8_depth then
+    invalid_arg "Blocked.gemm_i8: depth exceeds 65536 (accumulator field width)";
+  if m > 0 && n > 0 then begin
+    if k <= 0 then
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          store i j 0
+        done
+      done
+    else begin
+      let { tm; tn; tk = _; kunroll = _ } = tiles in
+      let npairs = ceil_div n 2 in
+      let bp, bsum = pack_b_i8 b bo ~n ~k ~npairs in
+      let kzazb = k * za * zb in
+      let jpt = max 1 (tn / 2) in
+      let jt_count = ceil_div npairs jpt in
+      par.run (ceil_div m tm) (fun it ->
+          let i0 = it * tm in
+          let mc = min tm (m - i0) in
+          let msext = ceil_div mc 6 in
+          let abuf = Array.make (msext * k * 2) 0 in
+          let asum = Array.make (msext * 6) 0 in
+          pack_a_i8 a ao ~k ~i0 ~mc abuf asum;
+          (* Drained accumulators for one 6×2 micro-tile, laid out
+             [row*2 + col]. *)
+          let acc = Array.make 12 0 in
+          for jt = 0 to jt_count - 1 do
+            let jp_end = min npairs ((jt + 1) * jpt) in
+            for ip = 0 to msext - 1 do
+              let iabase = ip * k * 2 in
+              let i = i0 + (ip * 6) in
+              let li = ip * 6 in
+              let rows = min 6 (i0 + mc - i) in
+              (* [correct r raw bs] turns a raw field sum Σab for local
+                 row r into Σ(a-za)(b-zb) given the column term [bs]. *)
+              let correct r raw bs =
+                raw - (zb * Array.unsafe_get asum (li + r)) - bs + kzazb
+              in
+              for jp = jt * jpt to jp_end - 1 do
+                Array.fill acc 0 12 0;
+                iqtile abuf bp acc iabase (jp * k * 2) k;
+                let j = jp * 2 in
+                let wide = j + 1 < n in
+                let bs0 = za * Array.unsafe_get bsum j in
+                let bs1 = if wide then za * Array.unsafe_get bsum (j + 1) else 0 in
+                for r = 0 to rows - 1 do
+                  store (i + r) j (correct r acc.(r * 2) bs0);
+                  if wide then store (i + r) (j + 1) (correct r acc.((r * 2) + 1) bs1)
+                done
+              done
+            done
+          done)
+    end
+  end
+
+let gemm_i8 ?par ?tiles ~za ~zb ~epilogue ?(ep_off = 0) ~m ~n ~k ~a ~ao ~b ~bo
+    ~(c : Tensor.i8buf) ~co () =
+  (* The int8 store wraps modulo 256; the clamp below makes the rails
+     authoritative even if an epilogue forgets its own. *)
+  let store i j acc =
+    let ci = co + (i * n) + j in
+    BA1.unsafe_set c ci (Quant.clamp_i8 (epilogue (ci - ep_off) acc))
+  in
+  gemm_i8_core ?par ?tiles ~za ~zb ~store ~m ~n ~k ~a ~ao ~b ~bo ()
+
+let gemm_i8_dequant ?par ?tiles ~za ~zb ~epilogue ?(ep_off = 0) ~m ~n ~k ~a ~ao
+    ~b ~bo ~(c : Tensor.fbuf) ~co () =
+  let store =
+    match c with
+    | Tensor.FB32 cb ->
+      fun i j acc ->
+        let ci = co + (i * n) + j in
+        BA1.unsafe_set cb ci (epilogue (ci - ep_off) acc)
+    | Tensor.FB64 cb ->
+      fun i j acc ->
+        let ci = co + (i * n) + j in
+        BA1.unsafe_set cb ci (epilogue (ci - ep_off) acc)
+  in
+  gemm_i8_core ?par ?tiles ~za ~zb ~store ~m ~n ~k ~a ~ao ~b ~bo ()
+
+(* Quantized im2col: the column matrix is int8 (the 4× footprint shrink
+   is exactly where the conv path was bandwidth-bound) and padding taps
+   hold the INPUT ZERO POINT, not 0 — they must dequantize to 0.0, and
+   the zero-point correction then cancels them exactly. *)
+let conv2d_i8_gen ~zx ~stride ~pad ~dilation ~groups ~(x : Tensor.i8buf) ~xoff
+    ~xdims ~wdims ~run_gemm =
+  let n = xdims.(0) and c = xdims.(1) and h = xdims.(2) and wd = xdims.(3) in
+  let m = wdims.(0) and cg = wdims.(1) and kh = wdims.(2) and kw = wdims.(3) in
+  let sh, sw = stride in
+  let pt, pl, pb, pr = pad in
+  let dh, dw_ = dilation in
+  Linalg.check_conv_groups ~c ~groups ~cg;
+  let oh =
+    Linalg.conv2d_out_dim ~in_:h ~kernel:kh ~stride:sh ~pad_begin:pt ~pad_end:pb
+      ~dilation:dh
+  in
+  let ow =
+    Linalg.conv2d_out_dim ~in_:wd ~kernel:kw ~stride:sw ~pad_begin:pl ~pad_end:pr
+      ~dilation:dw_
+  in
+  let mg = m / groups in
+  let kdim = cg * kh * kw in
+  let ndim = oh * ow in
+  if ndim > 0 && kdim > 0 then begin
+    let col = BA1.create Bigarray.int8_signed Bigarray.c_layout (kdim * ndim) in
+    let fill_col ni g =
+      BA1.fill col zx;
+      for ci = 0 to cg - 1 do
+        let cin = (g * cg) + ci in
+        let src_base = xoff + (((ni * c) + cin) * h * wd) in
+        for ky = 0 to kh - 1 do
+          for kx = 0 to kw - 1 do
+            let rbase = ((((ci * kh) + ky) * kw) + kx) * ndim in
+            for oy = 0 to oh - 1 do
+              let iy = (oy * sh) - pt + (ky * dh) in
+              if iy >= 0 && iy < h then begin
+                let sbase = src_base + (iy * wd) in
+                let obase = rbase + (oy * ow) in
+                for ox = 0 to ow - 1 do
+                  let ix = (ox * sw) - pl + (kx * dw_) in
+                  if ix >= 0 && ix < wd then
+                    BA1.unsafe_set col (obase + ox) (BA1.unsafe_get x (sbase + ix))
+                done
+              end
+            done
+          done
+        done
+      done
+    in
+    for ni = 0 to n - 1 do
+      for g = 0 to groups - 1 do
+        fill_col ni g;
+        run_gemm ~ni ~g ~m ~mg ~ndim ~kdim ~col
+      done
+    done
+  end;
+  [ n; m; oh; ow ]
+
+let conv2d_i8_into ?par ?tiles ~zx ~zw ~epilogue ?(ep_off = 0) ~stride ~pad
+    ~dilation ~groups ~x ~xoff ~xdims ~(w : Tensor.i8buf) ~woff ~wdims
+    ~(c : Tensor.i8buf) ~co () =
+  conv2d_i8_gen ~zx ~stride ~pad ~dilation ~groups ~x ~xoff ~xdims ~wdims
+    ~run_gemm:(fun ~ni ~g ~m ~mg ~ndim ~kdim ~col ->
+      gemm_i8 ?par ?tiles ~za:zw ~zb:zx ~epilogue ~ep_off ~m:mg ~n:ndim ~k:kdim
+        ~a:w
+        ~ao:(woff + (g * mg * kdim))
+        ~b:col ~bo:0 ~c
+        ~co:(co + (((ni * m) + (g * mg)) * ndim))
+        ())
+
+let conv2d_i8_dequant_into ?par ?tiles ~zx ~zw ~epilogue ?(ep_off = 0) ~stride
+    ~pad ~dilation ~groups ~x ~xoff ~xdims ~(w : Tensor.i8buf) ~woff ~wdims
+    ~(c : Tensor.fbuf) ~co () =
+  conv2d_i8_gen ~zx ~stride ~pad ~dilation ~groups ~x ~xoff ~xdims ~wdims
+    ~run_gemm:(fun ~ni ~g ~m ~mg ~ndim ~kdim ~col ->
+      gemm_i8_dequant ?par ?tiles ~za:zw ~zb:zx ~epilogue ~ep_off ~m:mg ~n:ndim
+        ~k:kdim ~a:w
+        ~ao:(woff + (g * mg * kdim))
+        ~b:col ~bo:0 ~c
+        ~co:(co + (((ni * m) + (g * mg)) * ndim))
+        ())
+
 let conv2d_im2col ?par ?tiles ?epilogue ~stride ~pad ~dilation ~groups x w bias =
   let dx = Tensor.dims_arr x and dw = Tensor.dims_arr w in
   let sh, sw = stride in

@@ -67,6 +67,65 @@ val conv2d_im2col :
     indices into the NCHW output (it never fires if the output or kernel
     volume is empty). *)
 
+(** {1 Int8 path}
+
+    Quantized GEMM/conv over packed int8 panels with the requantization
+    (or dequantization) epilogue fused into the micro-tile write-back.
+    Unlike the float {!gemm}, the destination is {e overwritten}:
+    packing is full-depth, so the complete int32 accumulator for every
+    element exists exactly once — at write-back, where the epilogue
+    consumes it.  No int32 intermediate is ever materialized.
+
+    The A panel packs two rows per native word (one multiply computes
+    two multiply-accumulates — the reason the scalar int8 kernel beats
+    the f32 one); zero points are handled by the row/column-sum
+    correction [Σ(a-za)(b-zb) = Σab − zb·Σa − za·Σb + k·za·zb], so the
+    epilogue always sees the exact zero-point-corrected accumulator.
+    The depth is capped at 65536 so the packed accumulator fields cannot
+    overflow ([Invalid_argument] beyond). *)
+
+val gemm_i8 :
+  ?par:par -> ?tiles:tiles -> za:int -> zb:int ->
+  epilogue:(int -> int -> int) -> ?ep_off:int -> m:int -> n:int -> k:int ->
+  a:Tensor.i8buf -> ao:int -> b:Tensor.i8buf -> bo:int ->
+  c:Tensor.i8buf -> co:int -> unit -> unit
+(** [epilogue ei acc] maps element [ei]'s corrected int32 accumulator to
+    its int8 output value (typically {!Quant.requantize_one}); the store
+    clamps to [[-128, 127]] regardless, so the rails are authoritative.
+    [ei] is destination-relative, as in {!gemm}. *)
+
+val gemm_i8_dequant :
+  ?par:par -> ?tiles:tiles -> za:int -> zb:int ->
+  epilogue:(int -> int -> float) -> ?ep_off:int -> m:int -> n:int -> k:int ->
+  a:Tensor.i8buf -> ao:int -> b:Tensor.i8buf -> bo:int ->
+  c:Tensor.fbuf -> co:int -> unit -> unit
+(** Same kernel, float write-back: the epilogue dequantizes the
+    accumulator (scale, bias, activation) straight into a float
+    destination — the dynamic-quantization form the executor uses so
+    quantized nodes compose with the float arena machinery. *)
+
+val conv2d_i8_into :
+  ?par:par -> ?tiles:tiles -> zx:int -> zw:int ->
+  epilogue:(int -> int -> int) -> ?ep_off:int ->
+  stride:int * int -> pad:int * int * int * int -> dilation:int * int ->
+  groups:int -> x:Tensor.i8buf -> xoff:int -> xdims:int array ->
+  w:Tensor.i8buf -> woff:int -> wdims:int array ->
+  c:Tensor.i8buf -> co:int -> unit -> int list
+(** Quantized im2col convolution (NCHW/OIHW, grouped/strided/dilated/
+    padded like {!conv2d_im2col_into}), int8 destination.  [zx]/[zw] are
+    the input/weight zero points; padding taps hold [zx] so they
+    dequantize to zero.  Returns the output dims [N;M;Oh;Ow]. *)
+
+val conv2d_i8_dequant_into :
+  ?par:par -> ?tiles:tiles -> zx:int -> zw:int ->
+  epilogue:(int -> int -> float) -> ?ep_off:int ->
+  stride:int * int -> pad:int * int * int * int -> dilation:int * int ->
+  groups:int -> x:Tensor.i8buf -> xoff:int -> xdims:int array ->
+  w:Tensor.i8buf -> woff:int -> wdims:int array ->
+  c:Tensor.fbuf -> co:int -> unit -> int list
+(** Float write-back variant of {!conv2d_i8_into}: the epilogue folds
+    dequantization and the (float) bias into the store. *)
+
 val conv2d_im2col_into :
   ?par:par -> ?tiles:tiles -> ?epilogue:(int -> float -> float) ->
   ?ep_off:int -> stride:int * int -> pad:int * int * int * int ->

@@ -1,0 +1,212 @@
+(* Quantization schemes and gemmlowp-style fixed-point requantization.
+
+   The fixed-point primitives are a transcription of the gemmlowp /
+   TFLite reference semantics onto OCaml's 63-bit native ints: every
+   value of interest fits int32, the wider word only removes the
+   undefined-behaviour corners of the C originals (the one true int32
+   overflow case, [int32_min * int32_min] in {!srdhm}, is handled
+   explicitly, exactly as gemmlowp saturates it).  The runtime's scalar
+   reference requantizer ({!Reference}) is an independent transcription
+   of the same spec — the qcheck suites assert the two agree bit-for-bit
+   so a slip in either copy cannot hide. *)
+
+module BA1 = Bigarray.Array1
+
+type scheme =
+  | Per_tensor of { scale : float; zero_point : int }
+  | Per_channel of { axis : int; scales : float array; zero_points : int array }
+
+let scheme_to_string = function
+  | Per_tensor { scale; zero_point } ->
+    Printf.sprintf "per-tensor(scale=%g zp=%d)" scale zero_point
+  | Per_channel { axis; scales; zero_points = _ } ->
+    Printf.sprintf "per-channel(axis=%d channels=%d)" axis (Array.length scales)
+
+type qtensor = { q : Tensor.t; qscheme : scheme }
+
+(* ---------------------------------------------------------------- *)
+(* Fixed-point primitives (gemmlowp semantics)                       *)
+
+let int32_max = 0x7FFFFFFF
+let int32_min = -0x80000000
+
+let clamp_i8 v = if v > 127 then 127 else if v < -128 then -128 else v
+let sat32 v = if v > int32_max then int32_max else if v < int32_min then int32_min else v
+
+(* SaturatingRoundingDoublingHighMul: the high 32 bits of 2·a·b with
+   rounding.  [a·b] is at most 2^62 in magnitude, which only the
+   saturated [int32_min · int32_min] corner reaches — everything else
+   fits the 63-bit native int, so plain multiplication plus a truncating
+   division by 2^31 reproduces the int64 arithmetic of the original. *)
+let srdhm a b =
+  if a = int32_min && b = int32_min then int32_max
+  else
+    let ab = a * b in
+    let nudge = if ab >= 0 then 1 lsl 30 else 1 - (1 lsl 30) in
+    (ab + nudge) / (1 lsl 31)
+
+(* RoundingDivideByPOT: arithmetic shift right by [exponent] rounding to
+   nearest, ties away from zero (the "upward nudge on negatives" form of
+   the gemmlowp original). *)
+let rounding_divide_by_pot x exponent =
+  if exponent <= 0 then x
+  else
+    let mask = (1 lsl exponent) - 1 in
+    let remainder = x land mask in
+    let threshold = (mask asr 1) + (if x < 0 then 1 else 0) in
+    (x asr exponent) + (if remainder > threshold then 1 else 0)
+
+(* A positive real multiplier as (q31 mantissa, shift):
+   [m = qm · 2^(shift - 31)] with [qm ∈ [2^30, 2^31)].  This is TFLite's
+   QuantizeMultiplier. *)
+let quantize_multiplier m =
+  if m <= 0.0 then invalid_arg "Quant.quantize_multiplier: multiplier must be > 0";
+  let q, exp = Float.frexp m in
+  let q_fixed = int_of_float (Float.round (q *. 2147483648.0)) in
+  if q_fixed = 1 lsl 31 then ((1 lsl 30), exp + 1) else (q_fixed, exp)
+
+(* MultiplyByQuantizedMultiplier: [x · qm · 2^(shift-31)] in fixed point.
+   The left-shifted operand saturates to int32 first — the C original
+   leaves that overflow undefined; saturating is the one choice both this
+   and the reference transcription make, so they stay comparable. *)
+let multiply_by_quantized_multiplier x ~qm ~shift =
+  let left = if shift > 0 then shift else 0 in
+  let right = if shift > 0 then 0 else -shift in
+  rounding_divide_by_pot (srdhm (sat32 (x lsl left)) qm) right
+
+(* ---------------------------------------------------------------- *)
+(* Requantization: int32 accumulator → int8 value                    *)
+
+type requant = { qm : int; shift : int; zp : int }
+
+let requant_of_multiplier ~multiplier ~zp =
+  let qm, shift = quantize_multiplier multiplier in
+  { qm; shift; zp }
+
+(* The classic GEMM epilogue multiplier: accumulators carry
+   [in_scale · w_scale]; the output wants [out_scale]. *)
+let requant_of_scales ~in_scale ~w_scale ~out_scale ~zp_out =
+  requant_of_multiplier ~multiplier:(in_scale *. w_scale /. out_scale) ~zp:zp_out
+
+let requantize_one { qm; shift; zp } acc =
+  clamp_i8 (multiply_by_quantized_multiplier acc ~qm ~shift + zp)
+
+(* ---------------------------------------------------------------- *)
+(* Choosing schemes from float data                                  *)
+
+let float_data t =
+  match Tensor.dtype t with
+  | Tensor.F32 | Tensor.F64 -> Tensor.data_f t
+  | Tensor.I8 | Tensor.I64 ->
+    invalid_arg "Quant: scheme selection wants a float tensor"
+
+let range_of data =
+  (* The zero value must stay exactly representable (padding, ReLU
+     cut-offs), so the range always includes 0. *)
+  let mn = ref 0.0 and mx = ref 0.0 in
+  Array.iter
+    (fun v ->
+      if v < !mn then mn := v;
+      if v > !mx then mx := v)
+    data;
+  (!mn, !mx)
+
+let per_tensor_of_range ~symmetric mn mx =
+  if symmetric then begin
+    let a = Float.max (Float.abs mn) (Float.abs mx) in
+    let scale = if a = 0.0 then 1.0 else a /. 127.0 in
+    Per_tensor { scale; zero_point = 0 }
+  end
+  else begin
+    let scale = if mx = mn then 1.0 else (mx -. mn) /. 255.0 in
+    let zp = clamp_i8 (int_of_float (Float.round (-128.0 -. (mn /. scale)))) in
+    Per_tensor { scale; zero_point = zp }
+  end
+
+let choose_per_tensor ?(symmetric = false) t =
+  let mn, mx = range_of (float_data t) in
+  per_tensor_of_range ~symmetric mn mx
+
+(* Per-channel is symmetric by construction (zero points pinned to 0):
+   asymmetric per-channel weights would break the row-sum zero-point
+   correction the packed kernels rely on, and match no deployed format. *)
+let choose_per_channel ~axis t =
+  let dims = Tensor.dims_arr t in
+  if axis < 0 || axis >= Array.length dims then
+    invalid_arg "Quant.choose_per_channel: axis out of range";
+  let ch = dims.(axis) in
+  let inner = ref 1 in
+  for i = axis + 1 to Array.length dims - 1 do
+    inner := !inner * dims.(i)
+  done;
+  let inner = !inner in
+  let data = float_data t in
+  let maxabs = Array.make ch 0.0 in
+  Array.iteri
+    (fun flat v ->
+      let c = flat / inner mod ch in
+      let a = Float.abs v in
+      if a > maxabs.(c) then maxabs.(c) <- a)
+    data;
+  let scales =
+    Array.map (fun a -> if a = 0.0 then 1.0 else a /. 127.0) maxabs
+  in
+  Per_channel { axis; scales; zero_points = Array.make ch 0 }
+
+(* ---------------------------------------------------------------- *)
+(* Applying schemes                                                  *)
+
+let channel_params scheme dims =
+  match scheme with
+  | Per_tensor { scale; zero_point } -> fun _ -> (scale, zero_point)
+  | Per_channel { axis; scales; zero_points } ->
+    if axis < 0 || axis >= Array.length dims then
+      invalid_arg "Quant: scheme axis out of range for tensor";
+    if Array.length scales <> dims.(axis) then
+      invalid_arg "Quant: scheme channel count mismatches tensor";
+    let inner = ref 1 in
+    for i = axis + 1 to Array.length dims - 1 do
+      inner := !inner * dims.(i)
+    done;
+    let inner = !inner and ch = dims.(axis) in
+    fun flat ->
+      let c = flat / inner mod ch in
+      (scales.(c), zero_points.(c))
+
+let quantize t scheme =
+  let dims = Tensor.dims_arr t in
+  let params = channel_params scheme dims in
+  let data = float_data t in
+  let n = Array.length data in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let scale, zp = params i in
+    out.(i) <- clamp_i8 (Tensor.saturating_int_of_float (Float.round (data.(i) /. scale)) + zp)
+  done;
+  { q = Tensor.of_ints Tensor.I8 (Tensor.dims t) out; qscheme = scheme }
+
+let dequantize { q; qscheme } =
+  if Tensor.dtype q <> Tensor.I8 then
+    invalid_arg "Quant.dequantize: expected an i8 tensor";
+  let dims = Tensor.dims_arr q in
+  let params = channel_params qscheme dims in
+  let data = Tensor.data_i q in
+  let n = Array.length data in
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let scale, zp = params i in
+    out.(i) <- float_of_int (data.(i) - zp) *. scale
+  done;
+  Tensor.of_floats Tensor.F32 (Tensor.dims q) out
+
+let scale_of = function
+  | Per_tensor { scale; _ } -> scale
+  | Per_channel _ -> invalid_arg "Quant.scale_of: per-channel scheme"
+
+let zero_point_of = function
+  | Per_tensor { zero_point; _ } -> zero_point
+  | Per_channel _ -> invalid_arg "Quant.zero_point_of: per-channel scheme"
+
+let channel_scales = function
+  | Per_tensor { scale; _ } -> [| scale |]
+  | Per_channel { scales; _ } -> scales

@@ -190,6 +190,16 @@ let of_fbuf dims buf =
   check_size shape (fbuf_len buf);
   { shape; data = Fd buf }
 
+let storage_i8 t =
+  match t.data with
+  | Id (IB8 b) -> b
+  | Id (IB64 _) | Fd _ -> invalid_arg "Tensor.storage_i8: not an i8 tensor"
+
+let of_i8buf dims buf =
+  let shape = Array.of_list dims in
+  check_size shape (BA1.dim buf);
+  { shape; data = Id (IB8 buf) }
+
 (* Copy-out accessors: storage is a Bigarray, so these materialize a fresh
    OCaml array snapshot.  Mutating the result does not affect the tensor —
    use [set_f]/[set_i] (or the view machinery) to write through. *)

@@ -127,6 +127,13 @@ val storage_f : t -> fbuf
 val of_fbuf : int list -> fbuf -> t
 (** Wraps a buffer as a tensor without copying; the buffer is shared. *)
 
+val storage_i8 : t -> i8buf
+(** The live backing buffer of an {!I8} tensor — what the packed int8
+    kernels read and write; raises [Invalid_argument] otherwise. *)
+
+val of_i8buf : int list -> i8buf -> t
+(** Wraps an int8 buffer as an {!I8} tensor without copying. *)
+
 val to_int_list : t -> int list
 (** Elements of an integer tensor, flattened. *)
 
@@ -212,10 +219,14 @@ val map2 : (float -> float -> float) -> t -> t -> t
 val map2i : (int -> int -> int) -> t -> t -> t
 
 val cast : t -> dtype -> t
-(** Precision/type conversion.  Float→integer saturates
-    ({!saturating_int_of_float}, then an [-128, 127] clamp for {!I8});
-    f64→f32 rounds to nearest; same-dtype casts return the tensor
-    unchanged. *)
+(** Precision/type conversion, total over all dtype pairs.
+    Float→integer saturates ({!saturating_int_of_float}: NaN → 0,
+    out-of-range clamps, in-range truncates toward zero — then an
+    [-128, 127] clamp for {!I8}); integer→float converts exactly for
+    int8/int values a double represents exactly, so [I8 → F32 → I8]
+    round-trips including at the rails; [I8 → I64] widens losslessly and
+    [I64 → I8] saturates; f64→f32 rounds to nearest; same-dtype casts
+    return the tensor unchanged. *)
 
 (** {1 Comparison and printing} *)
 

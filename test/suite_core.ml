@@ -396,7 +396,8 @@ let prop_symbolic_plan_matches_concrete =
       let sym = c.Sod2.Pipeline.mem_symbolic in
       let mp = Sod2.Mem_plan.instantiate sym ~env in
       let concrete =
-        Sod2.Mem_plan.plan ~strategy:sym.Sod2.Mem_plan.sym_strategy g c.Sod2.Pipeline.rdp
+        Sod2.Mem_plan.plan ~strategy:sym.Sod2.Mem_plan.sym_strategy
+          ~elem_of:(Sod2.Pipeline.elem_overrides g) g c.Sod2.Pipeline.rdp
           c.Sod2.Pipeline.fusion_plan
           ~order:c.Sod2.Pipeline.exec.Sod2.Exec_plan.order ~env
       in

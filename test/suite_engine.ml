@@ -177,7 +177,8 @@ let test_config_parsing () =
   Alcotest.(check bool) "default_config is the neutral element" true
     (RT.Executor.default_config = { RT.Executor.backend = RT.Backend.Naive;
                                     memory = RT.Executor.Mem_malloc; guarded = false;
-                                    control = RT.Executor.Selected_only })
+                                    control = RT.Executor.Selected_only;
+                                    quant = false })
 
 (* The config-driven entry points must agree with the historical
    optional-arg spellings they subsume. *)

@@ -4,6 +4,7 @@ let () =
       "symbolic", Suite_symbolic.suite;
       "tensor", Suite_tensor.suite;
       "storage", Suite_storage.suite;
+      "quant", Suite_quant.suite;
       "ir", Suite_ir.suite;
       "validate", Suite_validate.suite;
       "op-conformance", Suite_op_conformance.suite;
