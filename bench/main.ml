@@ -22,6 +22,7 @@ let arena_smoke = ref false
 let engine_smoke = ref false
 let engine_overload_smoke = ref false
 let int8_smoke = ref false
+let tune_smoke = ref false
 let smoke_backend = ref None
 
 let () =
@@ -69,6 +70,17 @@ let () =
          faster on the memory-bound shape) + a bit-exactness spot check;
          writes BENCH_int8.json. *)
       int8_smoke := true;
+      run_bechamel := false;
+      run_tables := false;
+      run_kernels := false;
+      run_arena := false;
+      parse rest
+    | "--tune-smoke" :: rest ->
+      (* CI mode: measured GEMM tuning at one fat and one skinny shape —
+         default vs analytical-pick vs measured-pick timings, gated on the
+         measured pick not losing to the analytical one; writes
+         BENCH_tune.json. *)
+      tune_smoke := true;
       run_bechamel := false;
       run_tables := false;
       run_kernels := false;
@@ -759,9 +771,14 @@ let engine_bench () =
   in
   (* Worker counts follow the host: 1, half the cores, all the cores —
      the hardcoded 1/2/4 sweep made a 4-worker run on a 1-CPU box look
-     like an engine regression when it was just oversubscription. *)
+     like an engine regression when it was just oversubscription.  2 is
+     always included so the sweep exercises actual concurrency (shared
+     plan cache, micro-batching) even when recommended_domain_count
+     reports 1. *)
   let host_cores = Domain.recommended_domain_count () in
-  let worker_counts = List.sort_uniq compare [ 1; max 1 (host_cores / 2); host_cores ] in
+  let worker_counts =
+    List.sort_uniq compare [ 1; 2; max 1 (host_cores / 2); host_cores ]
+  in
   let sweeps = List.map sweep worker_counts in
   let wmax, dtmax, _ = List.nth sweeps (List.length sweeps - 1) in
   Printf.printf "  throughput at %d workers vs sequential: %.2fx (host has %d cores)\n"
@@ -1047,6 +1064,79 @@ let int8_bench () =
     exit 1
   end
 
+(* Tune smoke: does closing the loop with measured timings actually pay?
+   At one fat and one skinny GEMM shape, time the default config (what an
+   untuned static backend choice runs), the analytical GA pick (what
+   compile-time MVC tuning runs) and the measured Hybrid pick on the same
+   kernel and buffers, then gate: the measured pick must not lose to
+   either static choice on the shape-sweep geomean.  A small tolerance
+   absorbs re-measurement noise — the Hybrid pick's own tuning-time
+   measurement already included both static configs in its finalist pool,
+   so a real loss would mean the measurement harness is lying. *)
+let tune_bench () =
+  Printf.printf "\n=== Measured kernel tuning: default vs analytical vs measured ===\n";
+  let rounds = 3 in
+  let shapes = [ "fat", (512, 512, 256); "skinny", (4, 512, 256) ] in
+  let rows =
+    List.map
+      (fun (cls, (m, n, k)) ->
+        let measure = Sod2.Tune_measure.gemm_measurer ~rounds ~m ~n ~k () in
+        let default_us = measure Sod2.Autotune.default_config in
+        let analytic_cfg, _ = Sod2.Autotune.tune cpu (Rng.create 7) ~m ~n ~k in
+        let analytic_us = measure analytic_cfg in
+        let measured_cfg, _ =
+          Sod2.Autotune.tune ~objective:Sod2.Autotune.Hybrid ~measure cpu
+            (Rng.create 7) ~m ~n ~k
+        in
+        let measured_us = measure measured_cfg in
+        Printf.printf
+          "  %-7s %4dx%4dx%4d: default %8.3f ms, analytical %8.3f ms, measured \
+           %8.3f ms  (%s)\n"
+          cls m n k (default_us /. 1e3) (analytic_us /. 1e3) (measured_us /. 1e3)
+          (Sod2.Autotune.config_to_string measured_cfg);
+        cls, (m, n, k), default_us, analytic_us, measured_us, measured_cfg)
+      shapes
+  in
+  let gm pick = geomean (List.map pick rows) in
+  let g_default = gm (fun (_, _, d, _, _, _) -> d) in
+  let g_analytic = gm (fun (_, _, _, a, _, _) -> a) in
+  let g_measured = gm (fun (_, _, _, _, ms, _) -> ms) in
+  let tolerance = 1.05 in
+  let beats_default = g_measured <= g_default *. tolerance in
+  let beats_analytic = g_measured <= g_analytic *. tolerance in
+  Printf.printf
+    "  geomean: default %.3f ms, analytical %.3f ms, measured %.3f ms  (%.2fx vs \
+     default, %.2fx vs analytical)\n"
+    (g_default /. 1e3) (g_analytic /. 1e3) (g_measured /. 1e3)
+    (g_default /. g_measured) (g_analytic /. g_measured);
+  let oc = open_out "BENCH_tune.json" in
+  Printf.fprintf oc "{\n  \"rounds\": %d,\n  \"shapes\": [\n" rounds;
+  List.iteri
+    (fun i (cls, (m, n, k), d, a, ms, cfg) ->
+      Printf.fprintf oc
+        "    {\"class\": %S, \"m\": %d, \"n\": %d, \"k\": %d, \"default_ms\": %.3f, \
+         \"analytical_ms\": %.3f, \"measured_ms\": %.3f, \"measured_config\": %S}%s\n"
+        cls m n k (d /. 1e3) (a /. 1e3) (ms /. 1e3)
+        (Sod2.Autotune.config_to_string cfg)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"geomean\": {\"default_ms\": %.3f, \"analytical_ms\": %.3f, \
+     \"measured_ms\": %.3f},\n"
+    (g_default /. 1e3) (g_analytic /. 1e3) (g_measured /. 1e3);
+  Printf.fprintf oc
+    "  \"measured_beats_default\": %b, \"measured_beats_analytical\": %b,\n"
+    beats_default beats_analytic;
+  Printf.fprintf oc "  \"tune_measurements\": %d\n}\n"
+    (Sod2.Tune_measure.measurement_count ());
+  close_out oc;
+  Printf.printf "  wrote BENCH_tune.json\n";
+  if not (beats_default && beats_analytic) then begin
+    Printf.printf "  measured pick LOST the geomean to a static config — FAIL\n";
+    exit 1
+  end;
+  Printf.printf "  measured pick holds the geomean against both static configs\n"
+
 let backend_smoke kind =
   let bert_g = graph_of bert in
   let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
@@ -1105,6 +1195,7 @@ let () =
   if !engine_smoke then engine_bench ();
   if !engine_overload_smoke then engine_overload_bench ();
   if !int8_smoke then int8_bench ();
+  if !tune_smoke then tune_bench ();
   (match !smoke_backend with
   | Some kind -> backend_smoke kind
   | None -> ());

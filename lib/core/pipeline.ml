@@ -180,6 +180,11 @@ let compile ?(flags = all_opts) ?(plan_sym_value = 64)
     plan_lock = Mutex.create ();
   }
 
+(* Functional update: the replacement table rides on the same plan cache,
+   lock and fused templates — versions only steer kernel-config selection,
+   nothing shape- or memory-plan-relevant. *)
+let with_versions c versions = { c with versions }
+
 let compile_checked ?flags ?plan_sym_value ?float_dtype ?quant profile graph =
   match Validate.check graph with
   | Error defects -> Error defects

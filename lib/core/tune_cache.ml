@@ -1,0 +1,136 @@
+(* Persistent tuning cache: winners of measured tuning, keyed by
+   (op class × shape class × backend × dtype), in a line-oriented text
+   format so `sod2 tune` output is inspectable and diffable.
+
+     sod2-tune v1
+     gemm|fat|blocked|f32|tm=64,tn=32,tk=32,u=4,th=4,v=0|8123.4|hybrid
+
+   Loading is fail-soft by design: a missing file, a stale header, or a
+   corrupt line must never take serving down — bad input degrades to the
+   analytical table, never to an exception. *)
+
+let header = "sod2-tune v1"
+
+type key = {
+  k_op : string;
+  k_class : Multi_version.shape_class;
+  k_backend : string;
+  k_dtype : string;
+}
+
+type entry = {
+  e_config : Autotune.config;
+  e_score_us : float;
+  e_objective : string;
+}
+
+type t = (key, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let key ~op ~cls ~backend ~dtype =
+  { k_op = op; k_class = cls; k_backend = backend; k_dtype = dtype }
+
+let set t ~op ~cls ~backend ~dtype ~config ~score_us ~objective =
+  Hashtbl.replace t (key ~op ~cls ~backend ~dtype)
+    { e_config = config; e_score_us = score_us; e_objective = objective }
+
+let find t ~op ~cls ~backend ~dtype = Hashtbl.find_opt t (key ~op ~cls ~backend ~dtype)
+let size t = Hashtbl.length t
+
+let entry_line k e =
+  Printf.sprintf "%s|%s|%s|%s|%s|%.3f|%s" k.k_op
+    (Multi_version.class_name k.k_class)
+    k.k_backend k.k_dtype
+    (Autotune.config_to_string e.e_config)
+    e.e_score_us e.e_objective
+
+(* Deterministic output order (sorted rendered lines) so repeated saves of
+   the same cache are byte-identical. *)
+let to_string t =
+  let lines = Hashtbl.fold (fun k e acc -> entry_line k e :: acc) t [] in
+  String.concat "\n" (header :: List.sort compare lines) ^ "\n"
+
+let parse_line line =
+  match String.split_on_char '|' line with
+  | [ op; cls; backend; dtype; cfg; score; objective ] -> (
+    match
+      ( Multi_version.class_of_string cls,
+        Autotune.config_of_string cfg,
+        float_of_string_opt score )
+    with
+    | Some cls, Ok config, Some score_us
+      when op <> "" && backend <> "" && dtype <> "" && objective <> "" ->
+      Some
+        ( key ~op ~cls ~backend ~dtype,
+          { e_config = config; e_score_us = score_us; e_objective = objective } )
+    | _ -> None)
+  | _ -> None
+
+(* Returns the cache plus the number of lines that failed to parse (the
+   whole body when the header is stale/unknown). *)
+let of_string s =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' s)
+  in
+  match lines with
+  | [] -> create (), 0
+  | h :: body when String.trim h = header ->
+    let t = create () in
+    let skipped = ref 0 in
+    List.iter
+      (fun line ->
+        match parse_line (String.trim line) with
+        | Some (k, e) -> Hashtbl.replace t k e
+        | None -> incr skipped)
+      body;
+    t, !skipped
+  | lines -> create (), List.length lines
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load_verbose path =
+  match open_in path with
+  | exception Sys_error _ -> create (), 0
+  | ic ->
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string s
+
+let load path = fst (load_verbose path)
+
+(* Warm-start resolution: exact (backend, dtype) entry first, then the
+   "blocked" entry — the blocked kernels are what Parallel/Fused backends
+   run inside their pool, so a cache tuned on one backend still seeds the
+   others — then the fallback table's config.  [warm = 0] means the cache
+   had nothing for this (backend, dtype): callers keep the fallback table
+   (and its [versioned] flag) untouched. *)
+let table_for t ~backend ~dtype ~fallback =
+  let warm = ref 0 in
+  let pick cls =
+    let found =
+      match find t ~op:"gemm" ~cls ~backend ~dtype with
+      | Some e -> Some e
+      | None ->
+        if backend = "blocked" then None
+        else find t ~op:"gemm" ~cls ~backend:"blocked" ~dtype
+    in
+    match found with
+    | Some e ->
+      incr warm;
+      e.e_config
+    | None -> Multi_version.config_for fallback cls
+  in
+  let fat = pick Multi_version.Fat in
+  let regular = pick Multi_version.Regular in
+  let skinny = pick Multi_version.Skinny in
+  let tiny = pick Multi_version.Tiny in
+  if !warm = 0 then fallback, 0
+  else Multi_version.of_configs ~fat ~regular ~skinny ~tiny, !warm

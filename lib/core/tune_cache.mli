@@ -1,0 +1,64 @@
+(** Persistent tuning cache — measured autotuner winners, keyed by
+    (op class × shape class × backend × dtype), in a line-oriented text
+    file (Nimble-style ahead-of-time specialization: derive once offline
+    with [sod2 tune], reload everywhere).
+
+    File format (one entry per line after the [sod2-tune v1] header):
+
+    {v gemm|fat|blocked|f32|tm=64,tn=32,tk=32,u=4,th=4,v=0|8123.400|hybrid v}
+
+    i.e. [op|class|backend|dtype|config|score_us|objective], with the
+    config rendered by {!Autotune.config_to_string}.
+
+    Loading is fail-soft: a missing file yields an empty cache, a stale or
+    unknown header drops the whole body, and corrupt lines are skipped
+    individually — warm-starting degrades to the analytical table rather
+    than raising. *)
+
+type t
+
+type entry = {
+  e_config : Autotune.config;
+  e_score_us : float;  (** measured time of the winner at its class representative, µs *)
+  e_objective : string;  (** {!Autotune.objective_name} of the tuning run *)
+}
+
+val create : unit -> t
+val size : t -> int
+
+val set :
+  t -> op:string -> cls:Multi_version.shape_class -> backend:string ->
+  dtype:string -> config:Autotune.config -> score_us:float ->
+  objective:string -> unit
+(** Insert or replace one winner.  [op] is the kernel family (["gemm"];
+    convolutions share the GEMM table via im2col), [backend] a
+    {!Backend.kind_name}, [dtype] a {!Tensor.dtype_name}. *)
+
+val find :
+  t -> op:string -> cls:Multi_version.shape_class -> backend:string ->
+  dtype:string -> entry option
+
+val to_string : t -> string
+(** Canonical rendering: header plus sorted entry lines — repeated saves
+    of the same cache are byte-identical. *)
+
+val of_string : string -> t * int
+(** Parse; returns the cache and the number of unparseable (skipped)
+    lines.  A missing/stale header skips everything. *)
+
+val save : t -> string -> unit
+val load : string -> t
+(** [load path] — empty on a missing file; corrupt content is skipped,
+    never raised. *)
+
+val load_verbose : string -> t * int
+(** {!load} plus the skipped-line count (for CLI diagnostics). *)
+
+val table_for :
+  t -> backend:string -> dtype:string -> fallback:Multi_version.table ->
+  Multi_version.table * int
+(** Resolve a full version table for one (backend, dtype): per shape
+    class, the exact cache entry wins, then the ["blocked"] entry (the
+    kernels every non-naive backend actually runs), then [fallback]'s
+    config.  Returns the table and the number of warm-started classes;
+    [0] returns [fallback] itself untouched. *)

@@ -108,6 +108,9 @@ type stats = {
                                error, clamped to [max_latency_us]) *)
   p95_latency_us : float;
   p99_latency_us : float;
+  warm_classes : int;  (** shape classes warm-started from [?tune_cache] *)
+  drift_trips : int;  (** drift-detector trips (re-tunes scheduled) *)
+  retunes : int;  (** background re-tunes completed and swapped in *)
 }
 (** Invariant once every ticket has settled:
     [completed + failed + shed + rejected + expired = submitted], and
@@ -122,6 +125,10 @@ val create :
   ?restart_budget:int ->
   ?breaker_threshold:int ->
   ?breaker_cooldown_us:float ->
+  ?tune_cache:Tune_cache.t ->
+  ?drift_threshold:float ->
+  ?drift_window:int ->
+  ?retune:(unit -> Multi_version.table) ->
   Pipeline.compiled ->
   t
 (** [create c] starts the worker domains (default [workers = 1], clamped
@@ -135,7 +142,25 @@ val create :
     the engine degrades; [breaker_threshold] (default 5) consecutive
     same-plan-key failures trip that key's circuit breaker ([<= 0]
     disables it) and [breaker_cooldown_us] (default 50 000) is the
-    open-state cooldown before a probe. *)
+    open-state cooldown before a probe.
+
+    Tuning knobs (DESIGN.md §16): [tune_cache] warm-starts the kernel
+    version table from persisted measured-tuning winners — resolved
+    against [config]'s backend kind and the artifact's float dtype via
+    {!Tune_cache.table_for} before any worker spawns, so a warm-started
+    engine performs {e zero} tuning measurements at serving time
+    ([stats.warm_classes] reports the coverage).  [drift_threshold]
+    (default 0 = off) arms the online drift detector: per plan key, the
+    mean observed service time over [drift_window] (default 32) completed
+    normal-path requests is compared to the cost model's prediction; the
+    first full window calibrates the key's baseline observed/predicted
+    ratio, and a later window exceeding [baseline × drift_threshold]
+    schedules one background re-tune — [retune] if given (injection point
+    for tests and custom tuners), else a quick measured Hybrid pass over
+    the class representatives ({!Tune_measure.tune_table}).  The new
+    table is swapped into live workers atomically
+    ({!Backend.set_versions}) without pausing them; {!Profile.Counters}
+    records ["engine-drift"] at trip and ["engine-retune"] at swap. *)
 
 val submit :
   ?deadline_us:float ->

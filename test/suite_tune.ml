@@ -1,0 +1,351 @@
+(* Tests for the closed tuning loop: objective modes of the GA tuner
+   (never worse than the untuned default under any objective), the
+   config/cache-file round trips with fail-soft parsing, warm-starting
+   an engine from a cache with zero serving-time measurements, and the
+   online drift detector's background re-tune. *)
+
+module RT = Sod2_runtime
+
+let cpu = Profile.sd888_cpu
+
+(* Deterministic synthetic measurer: faster configs are exactly the ones
+   the analytical model likes, so measured-mode assertions need no real
+   timing (and no timing noise). *)
+let synthetic_measure ~m ~n ~k c = 1e6 /. Sod2.Autotune.efficiency cpu c ~m ~n ~k
+
+(* --- tuner objectives --------------------------------------------- *)
+
+let prop_never_worse_than_default =
+  QCheck2.Test.make
+    ~name:"tune: winner never scores worse than default_config (any objective)"
+    ~count:30
+    QCheck2.Gen.(tup4 (int_range 8 96) (int_range 8 96) (int_range 8 96) (int_range 0 10_000))
+    (fun (m, n, k, seed) ->
+      let measure = synthetic_measure ~m ~n ~k in
+      let default = Sod2.Autotune.default_config in
+      List.for_all
+        (fun objective ->
+          let best, _ =
+            Sod2.Autotune.tune ~generations:4 ~population:6 ~objective ~measure
+              ~finalists:3 cpu (Rng.create seed) ~m ~n ~k
+          in
+          match objective with
+          | Sod2.Autotune.Analytical ->
+            Sod2.Autotune.efficiency cpu best ~m ~n ~k
+            >= Sod2.Autotune.efficiency cpu default ~m ~n ~k -. 1e-9
+          | Sod2.Autotune.Measured | Sod2.Autotune.Hybrid ->
+            measure best <= measure default +. 1e-6)
+        [ Sod2.Autotune.Analytical; Sod2.Autotune.Measured; Sod2.Autotune.Hybrid ])
+
+let test_objective_names () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        "objective name round-trips" true
+        (Sod2.Autotune.objective_of_string (Sod2.Autotune.objective_name o) = Some o))
+    [ Sod2.Autotune.Analytical; Sod2.Autotune.Measured; Sod2.Autotune.Hybrid ];
+  Alcotest.(check bool)
+    "unknown objective rejected" true
+    (Sod2.Autotune.objective_of_string "simulated" = None)
+
+(* Without a [measure] callback, Measured/Hybrid degrade to Analytical —
+   same GA, same RNG draws, same winner. *)
+let test_objective_degrades_without_measurer () =
+  let tune objective =
+    fst (Sod2.Autotune.tune ~objective cpu (Rng.create 11) ~m:64 ~n:128 ~k:32)
+  in
+  let a = tune Sod2.Autotune.Analytical in
+  Alcotest.(check bool) "measured degrades" true (tune Sod2.Autotune.Measured = a);
+  Alcotest.(check bool) "hybrid degrades" true (tune Sod2.Autotune.Hybrid = a)
+
+(* --- config string round trip ------------------------------------- *)
+
+let config_gen =
+  QCheck2.Gen.(
+    map
+      (fun (tm, tn, tk, (u, th, v)) ->
+        {
+          Sod2.Autotune.tile_m = tm;
+          tile_n = tn;
+          tile_k = tk;
+          unroll = u;
+          threads = th;
+          vectorize = v;
+        })
+      (tup4 (int_range 1 512) (int_range 1 512) (int_range 1 512)
+         (tup3 (int_range 1 16) (int_range 1 64) bool)))
+
+let prop_config_round_trip =
+  QCheck2.Test.make ~name:"config_of_string (config_to_string c) = Ok c" ~count:200
+    config_gen
+    (fun c ->
+      Sod2.Autotune.config_of_string (Sod2.Autotune.config_to_string c) = Ok c)
+
+let test_config_of_string_rejects () =
+  List.iter
+    (fun s ->
+      match Sod2.Autotune.config_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed config %S" s)
+    [
+      "";
+      "tm=32,tn=32,tk=32,u=1,th=4";           (* missing key *)
+      "tm=32,tn=32,tk=32,u=1,th=4,v=2";       (* v outside {0,1} *)
+      "tm=0,tn=32,tk=32,u=1,th=4,v=0";        (* non-positive *)
+      "tm=32,tm=32,tk=32,u=1,th=4,v=0";       (* duplicate key *)
+      "tm=32,tn=32,tk=32,u=1,th=4,v=0,x=1";   (* extra key *)
+      "tm=a,tn=32,tk=32,u=1,th=4,v=0";        (* non-numeric *)
+    ]
+
+(* --- cache file round trip and fail-soft parsing ------------------- *)
+
+let mk_config i =
+  {
+    Sod2.Autotune.tile_m = 16 * (i + 1);
+    tile_n = 8 * (i + 1);
+    tile_k = 4 * (i + 1);
+    unroll = i + 1;
+    threads = 2 * (i + 1);
+    vectorize = i mod 2 = 0;
+  }
+
+let full_cache () =
+  let cache = Sod2.Tune_cache.create () in
+  List.iteri
+    (fun i cls ->
+      Sod2.Tune_cache.set cache ~op:"gemm" ~cls ~backend:"blocked" ~dtype:"f32"
+        ~config:(mk_config i) ~score_us:(100.0 *. float_of_int (i + 1))
+        ~objective:"hybrid")
+    Sod2.Multi_version.all_classes;
+  cache
+
+let test_cache_string_round_trip () =
+  let cache = full_cache () in
+  let reloaded, skipped = Sod2.Tune_cache.of_string (Sod2.Tune_cache.to_string cache) in
+  Alcotest.(check int) "no skipped lines" 0 skipped;
+  Alcotest.(check int) "same size" 4 (Sod2.Tune_cache.size reloaded);
+  List.iteri
+    (fun i cls ->
+      match Sod2.Tune_cache.find reloaded ~op:"gemm" ~cls ~backend:"blocked" ~dtype:"f32" with
+      | None -> Alcotest.failf "entry for %s lost" (Sod2.Multi_version.class_name cls)
+      | Some e ->
+        Alcotest.(check bool) "config survives" true (e.Sod2.Tune_cache.e_config = mk_config i);
+        Alcotest.(check (float 0.001)) "score survives"
+          (100.0 *. float_of_int (i + 1))
+          e.Sod2.Tune_cache.e_score_us;
+        Alcotest.(check string) "objective survives" "hybrid" e.Sod2.Tune_cache.e_objective)
+    Sod2.Multi_version.all_classes;
+  (* canonical rendering: reloading and re-rendering is byte-identical *)
+  Alcotest.(check string) "canonical" (Sod2.Tune_cache.to_string cache)
+    (Sod2.Tune_cache.to_string reloaded)
+
+let test_cache_file_round_trip () =
+  let path = Filename.temp_file "sod2-tune" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let cache = full_cache () in
+      Sod2.Tune_cache.save cache path;
+      let reloaded, skipped = Sod2.Tune_cache.load_verbose path in
+      Alcotest.(check int) "no skipped lines" 0 skipped;
+      Alcotest.(check string) "file round trip" (Sod2.Tune_cache.to_string cache)
+        (Sod2.Tune_cache.to_string reloaded))
+
+let test_cache_corrupt_lines_skipped () =
+  let good = "gemm|fat|blocked|f32|tm=64,tn=32,tk=32,u=4,th=4,v=0|8123.400|hybrid" in
+  let body =
+    String.concat "\n"
+      [
+        "sod2-tune v1";
+        good;
+        "gemm|fat|blocked|f32|tm=64|1.0|hybrid";        (* bad config *)
+        "gemm|mega|blocked|f32|tm=64,tn=32,tk=32,u=4,th=4,v=0|1.0|hybrid"; (* bad class *)
+        "gemm|fat|blocked|f32|tm=64,tn=32,tk=32,u=4,th=4,v=0|fast|hybrid"; (* bad score *)
+        "not a cache line at all";
+        "gemm|fat|blocked";                              (* too few fields *)
+      ]
+  in
+  let cache, skipped = Sod2.Tune_cache.of_string body in
+  Alcotest.(check int) "one good entry" 1 (Sod2.Tune_cache.size cache);
+  Alcotest.(check int) "five corrupt lines skipped" 5 skipped;
+  Alcotest.(check bool) "good entry survives" true
+    (Sod2.Tune_cache.find cache ~op:"gemm" ~cls:Sod2.Multi_version.Fat
+       ~backend:"blocked" ~dtype:"f32"
+    <> None)
+
+let test_cache_stale_header_and_missing_file () =
+  let stale =
+    "sod2-tune v99\ngemm|fat|blocked|f32|tm=64,tn=32,tk=32,u=4,th=4,v=0|1.0|hybrid\n"
+  in
+  let cache, skipped = Sod2.Tune_cache.of_string stale in
+  Alcotest.(check int) "stale header drops body" 0 (Sod2.Tune_cache.size cache);
+  Alcotest.(check bool) "stale header counts skips" true (skipped > 0);
+  let missing, skipped' = Sod2.Tune_cache.load_verbose "/nonexistent/sod2.tune" in
+  Alcotest.(check int) "missing file is empty" 0 (Sod2.Tune_cache.size missing);
+  Alcotest.(check int) "missing file skips nothing" 0 skipped'
+
+let test_table_for_resolution () =
+  let fallback = Sod2.Multi_version.untuned in
+  let cache = Sod2.Tune_cache.create () in
+  (* empty cache: fallback untouched, zero warm classes *)
+  let table, warm = Sod2.Tune_cache.table_for cache ~backend:"parallel" ~dtype:"f32" ~fallback in
+  Alcotest.(check int) "empty cache warms nothing" 0 warm;
+  Alcotest.(check bool) "empty cache returns fallback" true (table == fallback);
+  (* one blocked entry: every backend family falls back to it for that class *)
+  Sod2.Tune_cache.set cache ~op:"gemm" ~cls:Sod2.Multi_version.Fat ~backend:"blocked"
+    ~dtype:"f32" ~config:(mk_config 0) ~score_us:1.0 ~objective:"hybrid";
+  let table, warm = Sod2.Tune_cache.table_for cache ~backend:"parallel" ~dtype:"f32" ~fallback in
+  Alcotest.(check int) "blocked entry warms one class" 1 warm;
+  Alcotest.(check bool) "fat comes from cache" true
+    (Sod2.Multi_version.config_for table Sod2.Multi_version.Fat = mk_config 0);
+  Alcotest.(check bool) "tiny falls back" true
+    (Sod2.Multi_version.config_for table Sod2.Multi_version.Tiny
+    = Sod2.Multi_version.config_for fallback Sod2.Multi_version.Tiny);
+  (* an exact backend entry wins over the blocked fallback *)
+  Sod2.Tune_cache.set cache ~op:"gemm" ~cls:Sod2.Multi_version.Fat ~backend:"parallel"
+    ~dtype:"f32" ~config:(mk_config 3) ~score_us:1.0 ~objective:"hybrid";
+  let table, _ = Sod2.Tune_cache.table_for cache ~backend:"parallel" ~dtype:"f32" ~fallback in
+  Alcotest.(check bool) "exact backend beats blocked" true
+    (Sod2.Multi_version.config_for table Sod2.Multi_version.Fat = mk_config 3);
+  (* dtype is part of the key: f64 sees nothing *)
+  let _, warm = Sod2.Tune_cache.table_for cache ~backend:"parallel" ~dtype:"f64" ~fallback in
+  Alcotest.(check int) "other dtype warms nothing" 0 warm
+
+(* --- engine integration -------------------------------------------- *)
+
+(* Small Sub-chain over a symbolic batch dimension (as in suite_engine):
+   every step is a real kernel, so drift observation sees real busy time,
+   but the suite stays fast. *)
+let stream_graph ~steps ~cols () =
+  let b = Graph.Builder.create () in
+  let x =
+    Graph.Builder.input b ~name:"x" (Shape.of_dims [ Dim.of_sym "B"; Dim.of_int cols ])
+  in
+  let c =
+    Graph.Builder.const b ~name:"c"
+      (Tensor.map_f (fun v -> 0.5 *. v) (Tensor.rand_uniform (Rng.create 17) [ cols ]))
+  in
+  let prev = ref x and cur = ref (Graph.Builder.node1 b (Op.Binary Op.Sub) [ x; c ]) in
+  for _ = 2 to steps do
+    let nxt = Graph.Builder.node1 b (Op.Binary Op.Sub) [ !cur; !prev ] in
+    prev := !cur;
+    cur := nxt
+  done;
+  Graph.Builder.set_outputs b [ !cur ];
+  Graph.Builder.finish b
+
+let graph = stream_graph ~steps:6 ~cols:16 ()
+let env = Env.of_list [ "B", 4 ]
+let inputs_for seed = [ 0, Tensor.rand_uniform (Rng.create seed) [ 4; 16 ] ]
+
+(* Acceptance criterion: a warm-started engine performs zero tuning
+   measurements at serving time — create, serve, shut down, and the
+   process-global tune-measurement counter must not move. *)
+let test_warm_start_zero_measurements () =
+  let c = Sod2.Pipeline.compile cpu graph in
+  let cache = full_cache () in
+  let before = Sod2.Tune_measure.measurement_count () in
+  let eng = RT.Engine.create ~workers:1 ~tune_cache:cache c in
+  let _ = RT.Engine.infer eng ~env ~inputs:(inputs_for 1) in
+  let _ = RT.Engine.infer eng ~env ~inputs:(inputs_for 2) in
+  RT.Engine.shutdown eng;
+  let st = RT.Engine.stats eng in
+  Alcotest.(check int) "all four classes warm" 4 st.RT.Engine.warm_classes;
+  Alcotest.(check int) "zero serving-time measurements" before
+    (Sod2.Tune_measure.measurement_count ());
+  Alcotest.(check int) "no re-tunes" 0 st.RT.Engine.retunes;
+  Alcotest.(check int) "both requests served" 2 st.RT.Engine.completed
+
+(* `sod2 tune` flow: measured winners → save → reload → warm start with
+   zero re-tunes.  The Tiny class is tuned for real (16³ GEMM — cheap);
+   the other classes get synthetic entries so the test does not spend
+   seconds timing fat GEMMs. *)
+let test_tuned_cache_reloads_with_zero_retunes () =
+  let tiny_cfg, tiny_us =
+    Sod2.Tune_measure.tune_class ~objective:Sod2.Autotune.Hybrid ~rounds:1
+      ~generations:2 ~population:4 ~finalists:2 cpu ~dt:Tensor.F32
+      Sod2.Multi_version.Tiny
+  in
+  Alcotest.(check bool) "tiny measurement is positive" true (tiny_us > 0.0);
+  let cache = full_cache () in
+  Sod2.Tune_cache.set cache ~op:"gemm" ~cls:Sod2.Multi_version.Tiny ~backend:"blocked"
+    ~dtype:"f32" ~config:tiny_cfg ~score_us:tiny_us ~objective:"hybrid";
+  let path = Filename.temp_file "sod2-tune" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sod2.Tune_cache.save cache path;
+      let reloaded, skipped = Sod2.Tune_cache.load_verbose path in
+      Alcotest.(check int) "reload skips nothing" 0 skipped;
+      let c = Sod2.Pipeline.compile cpu graph in
+      let before = Sod2.Tune_measure.measurement_count () in
+      let eng = RT.Engine.create ~workers:1 ~tune_cache:reloaded c in
+      let _ = RT.Engine.infer eng ~env ~inputs:(inputs_for 3) in
+      RT.Engine.shutdown eng;
+      let st = RT.Engine.stats eng in
+      Alcotest.(check int) "reloaded cache warms all classes" 4 st.RT.Engine.warm_classes;
+      Alcotest.(check int) "zero re-tunes" 0 st.RT.Engine.retunes;
+      Alcotest.(check int) "zero drift trips" 0 st.RT.Engine.drift_trips;
+      Alcotest.(check int) "zero measurements on reload" before
+        (Sod2.Tune_measure.measurement_count ()))
+
+(* Drift detector: with a hair-trigger threshold and an injected re-tuner,
+   steady traffic must trip the detector and swap the new table in on a
+   background domain (observable after shutdown joins it). *)
+let test_drift_triggers_background_retune () =
+  let c = Sod2.Pipeline.compile cpu graph in
+  let retune_calls = Atomic.make 0 in
+  let retune () =
+    Atomic.incr retune_calls;
+    Sod2.Multi_version.untuned
+  in
+  let eng =
+    RT.Engine.create ~workers:1 ~drift_threshold:1e-6 ~drift_window:2 ~retune c
+  in
+  for i = 1 to 16 do
+    ignore (RT.Engine.infer eng ~env ~inputs:(inputs_for (100 + i)))
+  done;
+  RT.Engine.shutdown eng;
+  let st = RT.Engine.stats eng in
+  Alcotest.(check bool) "drift tripped" true (st.RT.Engine.drift_trips >= 1);
+  Alcotest.(check bool) "re-tune ran" true (st.RT.Engine.retunes >= 1);
+  Alcotest.(check bool) "injected tuner was used" true (Atomic.get retune_calls >= 1);
+  Alcotest.(check int) "all requests served" 16 st.RT.Engine.completed
+
+(* Default drift_threshold = 0 disables the detector entirely. *)
+let test_drift_disabled_by_default () =
+  let c = Sod2.Pipeline.compile cpu graph in
+  let eng = RT.Engine.create ~workers:1 c in
+  for i = 1 to 8 do
+    ignore (RT.Engine.infer eng ~env ~inputs:(inputs_for (200 + i)))
+  done;
+  RT.Engine.shutdown eng;
+  let st = RT.Engine.stats eng in
+  Alcotest.(check int) "no drift trips" 0 st.RT.Engine.drift_trips;
+  Alcotest.(check int) "no re-tunes" 0 st.RT.Engine.retunes;
+  Alcotest.(check int) "no warm classes" 0 st.RT.Engine.warm_classes
+
+let suite =
+  [
+    Alcotest.test_case "objective names" `Quick test_objective_names;
+    Alcotest.test_case "objectives degrade without measurer" `Quick
+      test_objective_degrades_without_measurer;
+    Alcotest.test_case "config_of_string rejects malformed" `Quick
+      test_config_of_string_rejects;
+    Alcotest.test_case "cache string round trip" `Quick test_cache_string_round_trip;
+    Alcotest.test_case "cache file round trip" `Quick test_cache_file_round_trip;
+    Alcotest.test_case "corrupt cache lines skipped" `Quick
+      test_cache_corrupt_lines_skipped;
+    Alcotest.test_case "stale header and missing file" `Quick
+      test_cache_stale_header_and_missing_file;
+    Alcotest.test_case "table_for resolution order" `Quick test_table_for_resolution;
+    Alcotest.test_case "warm start: zero serving-time measurements" `Quick
+      test_warm_start_zero_measurements;
+    Alcotest.test_case "tuned cache reloads with zero re-tunes" `Quick
+      test_tuned_cache_reloads_with_zero_retunes;
+    Alcotest.test_case "drift trips a background re-tune" `Quick
+      test_drift_triggers_background_retune;
+    Alcotest.test_case "drift disabled by default" `Quick test_drift_disabled_by_default;
+    QCheck_alcotest.to_alcotest prop_never_worse_than_default;
+    QCheck_alcotest.to_alcotest prop_config_round_trip;
+  ]

@@ -11,6 +11,7 @@ let () =
       "graph-io", Suite_graph_io.suite;
       "rdp", Suite_rdp.suite;
       "core", Suite_core.suite;
+      "tune", Suite_tune.suite;
       "runtime", Suite_runtime.suite;
       "kernels", Suite_kernels.suite;
       "fused", Suite_fused.suite;
