@@ -23,6 +23,7 @@ let engine_smoke = ref false
 let engine_overload_smoke = ref false
 let int8_smoke = ref false
 let tune_smoke = ref false
+let variant_smoke = ref false
 let smoke_backend = ref None
 
 let () =
@@ -81,6 +82,17 @@ let () =
          measured pick not losing to the analytical one; writes
          BENCH_tune.json. *)
       tune_smoke := true;
+      run_bechamel := false;
+      run_tables := false;
+      run_kernels := false;
+      run_arena := false;
+      parse rest
+    | "--variant-smoke" :: rest ->
+      (* CI mode: guarded single-plan serving vs ahead-of-time multi-version
+         plan serving (vet-once + pruned per-outcome plans) on the gated
+         models, gated on a >=1.15x gated-path geomean; writes
+         BENCH_variants.json. *)
+      variant_smoke := true;
       run_bechamel := false;
       run_tables := false;
       run_kernels := false;
@@ -572,7 +584,7 @@ let arena_bench ~smoke () =
                  one mode only. *)
               let arena = RT.Arena.create () in
               let run_m () = ignore (RT.Executor.run_real ~backend:be c ~inputs) in
-              let run_a () = ignore (RT.Arena_exec.run ~backend:be ~arena c ~env ~inputs) in
+              let run_a () = ignore (RT.Engine.run_arena ~backend:be ~arena c ~env ~inputs) in
               let tm = ref infinity and ta = ref infinity in
               for _ = 1 to 5 do
                 (* Collect before each window so neither mode is billed for
@@ -584,13 +596,13 @@ let arena_bench ~smoke () =
               done;
               let tm = !tm and ta = !ta in
               if check then begin
-                let r = RT.Arena_exec.run ~backend:be ~arena c ~env ~inputs in
+                let r = RT.Engine.run_arena ~backend:be ~arena c ~env ~inputs in
                 (match !reference with
                 | None ->
                   let _, outs = RT.Executor.run_real c ~inputs in
                   reference := Some outs
                 | Some _ -> ());
-                let ok = close_outputs (Option.get !reference) r.RT.Arena_exec.outputs in
+                let ok = close_outputs (Option.get !reference) r.RT.Engine.outputs in
                 if not ok then begin
                   equivalence_ok := false;
                   Printf.printf "  %-26s EQUIVALENCE FAILURE on %s arena outputs!\n" name
@@ -1137,6 +1149,145 @@ let tune_bench () =
   end;
   Printf.printf "  measured pick holds the geomean against both static configs\n"
 
+(* ------------------------------------------------------------------ *)
+(* Multi-version plans: single-plan (all-paths) vs variant execution   *)
+(* ------------------------------------------------------------------ *)
+
+(* What a single ahead-of-time plan means for a gated model: one exec
+   order and one memory plan covering every branch, so every request
+   executes all paths and lets each Combine pick the surviving value --
+   the operator-level baseline of the paper's Fig. 7 (and the situation
+   DyCL/Nimble motivate multi-versioning from).  The multi-version side
+   compiles per-outcome variants ahead of time (--compile variants=8),
+   so the realized outcome vector selects a pruned straight-line plan
+   with dead branches absent and zero per-node branch resolution.
+   Both sides run the same blocked kernels over the same persistent
+   arena; outputs must agree bit-for-bit between them and within float
+   tolerance of the scalar reference interpreter. *)
+let variant_bench () =
+  Printf.printf "\n=== Multi-version plans: single-plan (all-paths) vs variant execution ===\n";
+  let requests = 8 and warmup = 2 in
+  let run_model name =
+    let sp = fixture name in
+    let g = graph_of sp in
+    let env = Zoo.min_env sp in
+    let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
+    let reference = RT.Reference.run g ~inputs in
+    let opts =
+      match Sod2.Compile_opts.of_string "variants=8" with
+      | Ok o -> o
+      | Error e -> invalid_arg e
+    in
+    let c = Sod2.Pipeline.compile ~opts cpu g in
+    let be = RT.Backend.for_compiled RT.Backend.Blocked c in
+    Fun.protect ~finally:(fun () -> RT.Backend.shutdown be) @@ fun () ->
+    let arena = RT.Arena.create () in
+    let memory = RT.Executor.Arena { arena; env } in
+    (* Learn the realized outcome vector from one any-path run, exactly
+       as the serving layer does from trace gate observations. *)
+    let tr, selected = RT.Executor.run_real ~backend:be ~memory c ~inputs in
+    let gates = c.Sod2.Pipeline.control.Control_region.gates in
+    let outcome =
+      Array.map
+        (fun gt ->
+          match List.assoc_opt gt.Control_region.g_pred tr.RT.Executor.gate_outcomes with
+          | Some b -> b
+          | None -> -1)
+        gates
+    in
+    let ok = ref true in
+    let check tag outs want ~eps =
+      List.iter2
+        (fun (ta, va) (tb, vb) ->
+          let agree =
+            ta = tb
+            && (if eps > 0.0 then Tensor.approx_equal ~eps va vb else Tensor.equal va vb)
+          in
+          if not agree then begin
+            ok := false;
+            Printf.printf "  %s: %s outputs DIVERGE!\n" name tag
+          end)
+        outs want
+    in
+    let timed f =
+      for _ = 1 to warmup do ignore (f ()) done;
+      let t0 = Unix.gettimeofday () in
+      let last = ref [] in
+      for _ = 1 to requests do last := f () done;
+      (Unix.gettimeofday () -. t0, !last)
+    in
+    let single_dt, single_outs =
+      timed (fun () ->
+          snd
+            (RT.Executor.run_real ~control:RT.Executor.All_paths ~backend:be ~memory c
+               ~inputs))
+    in
+    let runs0 =
+      Profile.Counters.count ~profile:cpu.Profile.name ~kind:"variant-run"
+    in
+    let scans0 =
+      Profile.Counters.count ~profile:cpu.Profile.name ~kind:"exec-ready-scan"
+    in
+    let variant_dt, variant_outs =
+      timed (fun () ->
+          snd (RT.Executor.run_real ~backend:be ~memory ~outcomes:outcome c ~inputs))
+    in
+    let variant_runs =
+      Profile.Counters.count ~profile:cpu.Profile.name ~kind:"variant-run" - runs0
+    in
+    let ready_scans =
+      Profile.Counters.count ~profile:cpu.Profile.name ~kind:"exec-ready-scan" - scans0
+    in
+    check "single-plan vs selected" single_outs selected ~eps:0.0;
+    check "variant vs single-plan" variant_outs single_outs ~eps:0.0;
+    check "variant vs reference" variant_outs reference ~eps:1e-4;
+    if variant_runs <> warmup + requests then begin
+      ok := false;
+      Printf.printf "  %s: only %d/%d runs took the variant plan!\n" name variant_runs
+        (warmup + requests)
+    end;
+    if ready_scans <> 0 then begin
+      ok := false;
+      Printf.printf "  %s: variant runs performed %d readiness scans!\n" name ready_scans
+    end;
+    if not !ok then begin
+      Printf.printf "  %s: variant smoke FAILED\n" name;
+      exit 1
+    end;
+    let gates_n = Array.length gates in
+    let speedup = single_dt /. variant_dt in
+    let nvariants = Hashtbl.length c.Sod2.Pipeline.variants in
+    Printf.printf
+      "  %-10s %2d gates, %d variant plan%s: all-paths %7.1f ms, variant %7.1f ms  (%.2fx)\n"
+      name gates_n nvariants
+      (if nvariants = 1 then "" else "s")
+      (single_dt *. 1e3) (variant_dt *. 1e3) speedup;
+    name, gates_n, nvariants, single_dt, variant_dt, speedup
+  in
+  let rows = List.map run_model [ "skipnet"; "blockdrop" ] in
+  let gm = geomean (List.map (fun (_, _, _, _, _, s) -> s) rows) in
+  Printf.printf "  gated-path geomean: %.2fx (gate: >= 1.15x)\n" gm;
+  let oc = open_out "BENCH_variants.json" in
+  Printf.fprintf oc "{\n  \"requests\": %d, \"warmup\": %d,\n  \"models\": [\n" requests
+    warmup;
+  List.iteri
+    (fun i (name, gates, nvariants, single_dt, variant_dt, speedup) ->
+      Printf.fprintf oc
+        "    {\"model\": \"%s\", \"gates\": %d, \"variant_plans\": %d, \
+         \"single_plan_ms\": %.3f, \"variant_ms\": %.3f, \"speedup\": %.3f}%s\n"
+        name gates nvariants (single_dt *. 1e3) (variant_dt *. 1e3) speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"geomean_speedup\": %.3f, \"gate\": 1.15, \"pass\": %b\n}\n"
+    gm (gm >= 1.15);
+  close_out oc;
+  Printf.printf "  wrote BENCH_variants.json\n";
+  if gm < 1.15 then begin
+    Printf.printf "  variant execution LOST the gated-path geomean — FAIL\n";
+    exit 1
+  end;
+  Printf.printf "  variant execution holds the gated-path geomean\n"
+
 let backend_smoke kind =
   let bert_g = graph_of bert in
   let c = Framework.compiled (sess Framework.Sod2_fw cpu bert) in
@@ -1196,6 +1347,7 @@ let () =
   if !engine_overload_smoke then engine_overload_bench ();
   if !int8_smoke then int8_bench ();
   if !tune_smoke then tune_bench ();
+  if !variant_smoke then variant_bench ();
   (match !smoke_backend with
   | Some kind -> backend_smoke kind
   | None -> ());

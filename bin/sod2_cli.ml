@@ -43,12 +43,13 @@ let env_of_dims spec dims =
           exit 2)
       Env.empty (String.split_on_char ',' s)
 
-(* Resolve the consolidated --exec spec plus the deprecated --backend /
-   --memory aliases (and run's legacy --arena flag) into one
-   [Executor.config].  Explicit aliases override the spec so old command
-   lines behave exactly as before, just with a nudge on stderr. *)
-let exec_config ?(default = Sod2_runtime.Executor.default_config) ~exec ~backend ~memory
-    ~arena () =
+(* Resolve the consolidated --exec and --compile specs into one
+   [Executor.config].  The two flags are the whole configuration surface:
+   --exec carries the execution policy (and may carry compile tokens for
+   one-flag convenience), --compile overrides the compile half wholesale.
+   The historical --backend / --memory / --arena aliases are gone; the
+   parser's error messages name the canonical spellings. *)
+let exec_config ?(default = Sod2_runtime.Executor.default_config) ~exec ~compile () =
   let cfg =
     match exec with
     | None -> default
@@ -59,42 +60,45 @@ let exec_config ?(default = Sod2_runtime.Executor.default_config) ~exec ~backend
         Printf.eprintf "bad --exec spec: %s\n" e;
         exit 2)
   in
-  let cfg =
-    match backend with
-    | None -> cfg
-    | Some b -> (
-      Printf.eprintf "note: --backend is deprecated; use --exec %s[,arena][,guarded]\n" b;
-      match Sod2_runtime.Backend.kind_of_string b with
-      | Some k -> { cfg with Sod2_runtime.Executor.backend = k }
-      | None ->
-        Printf.eprintf "unknown backend %S (expected naive|blocked|parallel|fused)\n" b;
-        exit 2)
-  in
-  let cfg =
-    match memory with
-    | None -> cfg
-    | Some m -> (
-      Printf.eprintf "note: --memory is deprecated; use --exec KIND,%s\n" m;
-      match m with
-      | "malloc" -> { cfg with Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_malloc }
-      | "arena" -> { cfg with Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_arena }
-      | other ->
-        Printf.eprintf "unknown memory mode %S (expected malloc|arena)\n" other;
-        exit 2)
-  in
-  if arena then { cfg with Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_arena }
-  else cfg
+  match compile with
+  | None -> cfg
+  | Some s -> (
+    match Sod2.Compile_opts.of_string s with
+    | Ok opts -> { cfg with Sod2_runtime.Executor.compile = opts }
+    | Error e ->
+      Printf.eprintf "bad --compile spec: %s\n" e;
+      exit 2)
+
+(* The compile options the config implies: the exec-side int8 modifier
+   also requests weight quantization at compile, so `--exec fused,int8`
+   keeps producing a quantized artifact without a separate --compile. *)
+let compile_opts_of cfg =
+  let opts = cfg.Sod2_runtime.Executor.compile in
+  if cfg.Sod2_runtime.Executor.quant && not opts.Sod2.Compile_opts.quant then
+    { opts with Sod2.Compile_opts.quant = true }
+  else opts
 
 let exec_arg =
   Arg.(value & opt (some string) None
        & info [ "exec" ] ~docv:"SPEC"
            ~doc:"Execution config: naive|blocked|parallel|fused, optionally \
                  followed by comma-separated modifiers arena (planned arena \
-                 memory), guarded (graceful degradation under runtime \
+                 memory), malloc, guarded (graceful degradation under runtime \
                  guards), all-paths (execute every control-flow branch) and \
-                 int8 (weight-quantized kernels, needs an artifact compiled \
-                 with quantization).  Example: --exec fused,arena.  Subsumes \
-                 the deprecated --backend and --memory flags.")
+                 int8 (weight-quantized kernels).  Unrecognized modifiers are \
+                 parsed as --compile tokens, so one spec can carry both \
+                 halves.  Example: --exec fused,arena,variants=8.")
+
+let compile_arg =
+  Arg.(value & opt (some string) None
+       & info [ "compile" ] ~docv:"SPEC"
+           ~doc:"Compile options: comma-separated f32|f64 (float precision), \
+                 int8 (quantize eligible weights), nofuse (static-only \
+                 fusion), sym=N (representative planning value for shape \
+                 variables), variants=N (ahead-of-time per-branch plan \
+                 variants, 0 disables) and aot=VEC (pre-compile one outcome \
+                 vector, e.g. aot=010; repeatable).  Example: --compile \
+                 f32,variants=8.")
 
 (* --- list ---------------------------------------------------------- *)
 
@@ -160,11 +164,21 @@ let analyze_cmd =
 (* --- compile ------------------------------------------------------- *)
 
 let compile_cmd =
-  let run model device =
+  let run model device compile =
     let sp = spec_of_name model in
     let profile = profile_of_name device in
     let g = sp.build () in
-    let c = Sod2.Pipeline.compile profile g in
+    let opts =
+      match compile with
+      | None -> Sod2.Compile_opts.default
+      | Some s -> (
+        match Sod2.Compile_opts.of_string s with
+        | Ok o -> o
+        | Error e ->
+          Printf.eprintf "bad --compile spec: %s\n" e;
+          exit 2)
+    in
+    let c = Sod2.Pipeline.compile ~opts profile g in
     Format.printf "%a@." (fun ppf () -> Sod2.Fusion.pp g ppf c.Sod2.Pipeline.fusion_plan) ();
     Format.printf "%a@." Sod2.Exec_plan.pp c.Sod2.Pipeline.exec;
     let env = Zoo.percentile_env sp 0.5 in
@@ -172,11 +186,16 @@ let compile_cmd =
     Format.printf "%a@." Sod2.Mem_plan.pp mp;
     (match Sod2.Mem_plan.validate mp with
     | Ok () -> print_endline "memory plan: valid (no overlap)"
-    | Error e -> Printf.printf "memory plan INVALID: %s\n" e)
+    | Error e -> Printf.printf "memory plan INVALID: %s\n" e);
+    let gates = Control_region.gate_count c.Sod2.Pipeline.control in
+    if opts.Sod2.Compile_opts.variant_budget > 0 then
+      Printf.printf "plan variants: %d precompiled over %d gates (budget %d)\n"
+        (Hashtbl.length c.Sod2.Pipeline.variants)
+        gates opts.Sod2.Compile_opts.variant_budget
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and print the fusion/execution/memory plans.")
-    Term.(const run $ model_arg $ device_arg)
+    Term.(const run $ model_arg $ device_arg $ compile_arg)
 
 (* --- tuning-cache plumbing ----------------------------------------- *)
 
@@ -216,19 +235,22 @@ let warm_started_compiled ?tune_cache ~backend_kind c =
 (* --- run ----------------------------------------------------------- *)
 
 let run_cmd =
-  let run model device dims real arena exec backend memory tune_cache =
+  let run model device dims real exec compile tune_cache =
     let sp = spec_of_name model in
     let profile = profile_of_name device in
     let g = sp.build () in
     let env = env_of_dims sp dims in
-    let cfg = exec_config ~exec ~backend ~memory ~arena () in
+    let cfg = exec_config ~exec ~compile () in
+    let opts = compile_opts_of cfg in
     let backend_kind = cfg.Sod2_runtime.Executor.backend in
     let arena_mode = cfg.Sod2_runtime.Executor.memory = Sod2_runtime.Executor.Mem_arena in
     if real || arena_mode || cfg.Sod2_runtime.Executor.guarded then begin
-      let c = Sod2.Pipeline.compile ~quant:cfg.Sod2_runtime.Executor.quant profile g in
+      let c = Sod2.Pipeline.compile ~opts profile g in
       let c = warm_started_compiled ?tune_cache ~backend_kind c in
       let inputs = Zoo.make_inputs sp g env (Rng.create 42) in
       let be = Sod2_runtime.Backend.for_compiled backend_kind c in
+      (* Gate observations from the first run, for the variant demo below. *)
+      let observed = ref [] in
       Fun.protect
         ~finally:(fun () -> Sod2_runtime.Backend.shutdown be)
         (fun () ->
@@ -242,6 +264,7 @@ let run_cmd =
                 (List.length r.Sod2_runtime.Guarded_exec.incidents)
                 (Sod2_runtime.Backend.kind_name backend_kind)
                 (if arena_mode then ", arena" else "");
+              observed := r.Sod2_runtime.Guarded_exec.gate_outcomes;
               r.Sod2_runtime.Guarded_exec.outputs
             end
             else if arena_mode then begin
@@ -253,6 +276,7 @@ let run_cmd =
                 trace.Sod2_runtime.Executor.arena_bytes
                 trace.Sod2_runtime.Executor.arena_resident
                 (Sod2_runtime.Backend.kind_name backend_kind);
+              observed := trace.Sod2_runtime.Executor.gate_outcomes;
               outs
             end
             else begin
@@ -264,9 +288,45 @@ let run_cmd =
                 (List.length trace.Sod2_runtime.Executor.steps)
                 (Sod2_runtime.Backend.kind_name backend_kind)
                 (Sod2_runtime.Backend.pool_size be);
+              observed := trace.Sod2_runtime.Executor.gate_outcomes;
               outs
             end
           in
+          (* One-shot variant demonstration: replay the request through the
+             plan variant matching the outcomes the first run observed —
+             the same specialization a resident engine would predict. *)
+          (if opts.Sod2.Compile_opts.variant_budget > 0
+              && not cfg.Sod2_runtime.Executor.guarded
+           then
+             let gates = c.Sod2.Pipeline.control.Control_region.gates in
+             if Array.length gates > 0 then begin
+               let outcome =
+                 Array.map
+                   (fun gt ->
+                     Option.value ~default:(-1)
+                       (List.assoc_opt gt.Control_region.g_pred !observed))
+                   gates
+               in
+               match Sod2.Pipeline.variant c ~outcome with
+               | None -> print_endline "variants: outcome outside budget, any-path plan serves it"
+               | Some v ->
+                 let _, vouts =
+                   Sod2_runtime.Executor.run_real ~config:cfg ~backend:be
+                     ?env:(if arena_mode then Some env else None)
+                     ~outcomes:outcome c ~inputs
+                 in
+                 let same =
+                   List.for_all2
+                     (fun (i1, t1) (i2, t2) -> i1 = i2 && Tensor.equal t1 t2)
+                     outs vouts
+                 in
+                 Printf.printf
+                   "variant %s: %d/%d nodes after pruning, outputs %s\n"
+                   v.Sod2.Pipeline.v_key
+                   (List.length v.Sod2.Pipeline.v_order)
+                   (List.length c.Sod2.Pipeline.exec.Sod2.Exec_plan.order)
+                   (if same then "bit-identical" else "DIVERGED")
+             end);
           if backend_kind = Sod2_runtime.Backend.Fused then begin
             let fs = Sod2_runtime.Backend.fused_stats be in
             Printf.printf
@@ -295,34 +355,13 @@ let run_cmd =
   let real =
     Arg.(value & flag & info [ "real" ] ~doc:"Interpret tensors for real instead of simulating.")
   in
-  let arena =
-    Arg.(value & flag
-         & info [ "arena" ]
-             ~doc:"Shorthand for --exec KIND,arena.")
-  in
-  let memory =
-    Arg.(value & opt (some string) None
-         & info [ "memory" ] ~docv:"MODE"
-             ~doc:"Deprecated alias of the arena/malloc modifier of --exec: \
-                   malloc (fresh tensor per result) or arena (every planned \
-                   tensor lives at its symbolic memory-plan offset in one \
-                   grow-only buffer).")
-  in
-  let backend =
-    Arg.(value & opt (some string) None
-         & info [ "backend" ] ~docv:"KIND"
-             ~doc:"Deprecated alias of the backend component of --exec: naive \
-                   (reference loops), blocked (cache-blocked register-tiled \
-                   kernels), parallel (blocked kernels over the domain pool), \
-                   or fused (parallel plus whole fusion groups compiled to \
-                   single kernels).")
-  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run one inference (simulated by default; --real interprets, --exec \
-             KIND,arena additionally executes the memory plan in place).")
-    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ arena $ exec_arg
-          $ backend $ memory $ tune_cache_arg)
+             KIND,arena additionally executes the memory plan in place, \
+             --compile variants=N replays through the matching plan variant).")
+    Term.(const run $ model_arg $ device_arg $ dims_arg $ real $ exec_arg
+          $ compile_arg $ tune_cache_arg)
 
 (* --- tune ----------------------------------------------------------- *)
 
@@ -339,7 +378,7 @@ let tune_cmd =
           objective;
         exit 2
     in
-    let cfg = exec_config ~exec ~backend:None ~memory:None ~arena:false () in
+    let cfg = exec_config ~exec ~compile:None () in
     (* The naive backend has no tunable kernel; tune what the blocked
        kernels will run as. *)
     let backend_kind =
@@ -432,7 +471,7 @@ let tune_cmd =
 (* --- serve ---------------------------------------------------------- *)
 
 let serve_cmd =
-  let run model device requests workers max_batch exec backend memory arrival_rate seed
+  let run model device requests workers max_batch exec compile arrival_rate seed
       queue_cap deadline_ms overload tune_cache =
     let open Sod2_runtime in
     let sp = spec_of_name model in
@@ -441,7 +480,7 @@ let serve_cmd =
     (* Serving exists to exercise the planned arena path; malloc is still
        reachable with an explicit --exec KIND,malloc. *)
     let default = { Executor.default_config with Executor.memory = Executor.Mem_arena } in
-    let cfg = exec_config ~default ~exec ~backend ~memory ~arena:false () in
+    let cfg = exec_config ~default ~exec ~compile () in
     let overload_policy =
       match overload with
       | "reject" -> Engine.Reject
@@ -451,7 +490,7 @@ let serve_cmd =
         Printf.eprintf "unknown --overload policy %S (expected reject, shed or block)\n" s;
         exit 2
     in
-    let c = Sod2.Pipeline.compile profile g in
+    let c = Sod2.Pipeline.compile ~opts:(compile_opts_of cfg) profile g in
     (* Mixed shape bindings: the workload percentiles, deduplicated by plan
        key, so the request stream genuinely alternates bindings. *)
     let envs =
@@ -541,8 +580,17 @@ let serve_cmd =
           (st.Engine.busy_us.(w) /. 1000.0))
       st.Engine.worker_runs;
     let count kind = Profile.Counters.count ~profile:profile.Profile.name ~kind in
-    Printf.printf "  plan cache:    %d hits, %d misses (expected misses = %d)\n"
-      (count "plan-cache-hit") (count "plan-cache-miss") nenvs;
+    (* Cardinality is aggregated per base binding: outcome-variant plans
+       ("<binding>|v=...") report separately instead of inflating the
+       per-model key count. *)
+    Printf.printf
+      "  plan cache:    %d bindings (+%d variant plans), %d hits, %d misses\n"
+      st.Engine.plan_keys st.Engine.plan_variants (count "plan-cache-hit")
+      (count "plan-cache-miss");
+    if st.Engine.plan_variants > 0 then
+      Printf.printf "  variants:      %d direct runs, %d variant runs, %d mispredicts\n"
+        (count "engine-variant-direct") (count "variant-run")
+        (count "variant-mispredict");
     if st.Engine.failed > 0 then begin
       Printf.printf "  FAILED:        %d requests\n" st.Engine.failed;
       exit 1
@@ -604,11 +652,8 @@ let serve_cmd =
              report throughput, latency percentiles, shed/reject/expiry \
              counts, micro-batching and plan-cache behavior.")
     Term.(const run $ model_arg $ device_arg $ requests $ workers $ max_batch $ exec_arg
-          $ Arg.(value & opt (some string) None
-                 & info [ "backend" ] ~docv:"KIND" ~doc:"Deprecated alias; see --exec.")
-          $ Arg.(value & opt (some string) None
-                 & info [ "memory" ] ~docv:"MODE" ~doc:"Deprecated alias; see --exec.")
-          $ arrival_rate $ seed $ queue_cap $ deadline_ms $ overload $ tune_cache_arg)
+          $ compile_arg $ arrival_rate $ seed $ queue_cap $ deadline_ms $ overload
+          $ tune_cache_arg)
 
 (* --- compare ------------------------------------------------------- *)
 

@@ -21,6 +21,33 @@ val no_opts : opt_flags
     topological order, first-fit memory, untuned kernels) still apply, as
     in the paper's Fig. 5/6 baseline. *)
 
+type variant = {
+  v_outcome : int array;
+      (** the predicate-outcome vector this plan is specialized for — one
+          digit per gate, in {!Control_region.t} gate order *)
+  v_key : string;  (** {!Multi_version.outcome_key} of [v_outcome] *)
+  v_order : int list;
+      (** the artifact's exec order with dead-branch groups pruned;
+          relative order of survivors unchanged (topologically valid) *)
+  v_live_group : bool array;  (** per fusion-group id *)
+  v_live_tensor : bool array;  (** per tensor id *)
+  v_mem_symbolic : Mem_plan.symbolic;
+      (** symbolic memory plan over live tensors only — dead branches get
+          no arena slots at all *)
+  v_alias : int array;
+      (** per tensor id: the tensor this one is a pure routing alias of
+          ([-1] = none).  With the outcome fixed, the live Switch output
+          is its data input and each Combine output is its selected
+          branch — [v_mem_symbolic] gives such tensors no slot and keeps
+          the source slot live across their consumers, so executors route
+          gates by slot aliasing instead of copying out of the arena *)
+  v_fused : Fused_compile.template option array;
+      (** base fused templates masked to live groups (shared values, so
+          kernel caches keyed by template identity span variants) *)
+  v_vetted : (string, bool) Hashtbl.t;
+      (** plan-cache key → vetting verdict; written by {!variant_vetted} *)
+}
+
 type compiled = {
   graph : Graph.t;
   rdp : Rdp.t;
@@ -62,12 +89,24 @@ type compiled = {
   plan_lock : Mutex.t;
       (** serializes plan-cache lookups/instantiations so one [compiled]
           artifact can be shared by concurrent {!Engine} workers *)
+  control : Control_region.t;
+      (** the graph's gates (predicate → Switch/Combine families) and
+          per-node branch constraints, discovered at compile *)
+  variant_budget : int;
+      (** max per-outcome plan variants kept; [0] disables variants *)
+  variants : (string, variant) Hashtbl.t;
+      (** outcome key → specialized plan variant.  Guarded by
+          [variant_lock] — access through {!variant} *)
+  variant_lock : Mutex.t;
 }
 
 val compile :
   ?flags:opt_flags -> ?plan_sym_value:int -> ?float_dtype:Tensor.dtype ->
-  ?quant:bool -> Profile.t -> Graph.t -> compiled
-(** Compile [graph] for the device.  [plan_sym_value] (default 64) is the
+  ?quant:bool -> ?opts:Compile_opts.t -> Profile.t -> Graph.t -> compiled
+(** Compile [graph] for the device.  [opts] (default
+    {!Compile_opts.default}) is the consolidated compile surface; the
+    historical explicit optional arguments win over the corresponding
+    [opts] field when both are given.  [plan_sym_value] (default 64) is the
     representative value bound to every shape variable while comparing
     candidate execution orders.  [float_dtype] (default {!Tensor.F32})
     selects the float precision the arena plan and executor run in; passing
@@ -75,12 +114,18 @@ val compile :
     additionally quantizes every eligible constant weight (MatMul/Conv) to
     int8 and withholds fused templates from their groups; the runtime
     engages the quantized kernels only when {!Executor.config.quant} is
-    also set.  The graph is validated first ({!Validate.check}); raises
-    [Sod2_error.Error] on the first defect of a malformed graph. *)
+    also set.  With [opts.variant_budget > 0] and a gated graph, per-branch
+    plan variants are enumerated ahead of time: [opts.variants_aot] first,
+    then the full outcome space when it fits the budget (otherwise the
+    remaining outcomes specialize lazily on first observation, still
+    bounded by the budget).  The graph is validated first
+    ({!Validate.check}); raises [Sod2_error.Error] on the first defect of a
+    malformed graph. *)
 
 val compile_checked :
   ?flags:opt_flags -> ?plan_sym_value:int -> ?float_dtype:Tensor.dtype ->
-  ?quant:bool -> Profile.t -> Graph.t -> (compiled, Sod2_error.t list) result
+  ?quant:bool -> ?opts:Compile_opts.t -> Profile.t -> Graph.t ->
+  (compiled, Sod2_error.t list) result
 (** Like {!compile}, but collects {e every} validation defect instead of
     raising on the first — the entry point for untrusted graphs (e.g. ones
     loaded from disk). *)
@@ -103,6 +148,32 @@ val instantiated_plan : compiled -> Env.t -> Mem_plan.t
     later call with the same binding returns the cached plan and counts a
     ["plan-cache-hit"].  The returned plan is shared — treat it as
     read-only. *)
+
+val variant : compiled -> outcome:int array -> variant option
+(** The plan variant for one full predicate-outcome vector: cached, or
+    specialized on the spot while the variant count is under the budget.
+    [None] — run the any-path base plan — when variants are disabled, the
+    vector has the wrong arity, leaves a gate open ([-1]) or names an
+    out-of-range branch, or the budget is exhausted (counted as
+    ["variant-overflow"]).  Fresh specializations count
+    ["variant-specialize"].  Thread-safe. *)
+
+val variant_plan : compiled -> variant -> Env.t -> Mem_plan.t
+(** {!instantiated_plan} for a variant: served from the same per-binding
+    cache under the compound key [plan_key ^ "|v=" ^ v_key], with the same
+    hit/miss counters.  The returned plan is shared — treat as read-only. *)
+
+val variant_vetted : compiled -> variant -> Env.t -> bool
+(** Vet the variant's instantiated plan under one binding — the
+    overlap/bounds checks {!Guarded_exec} runs per request, done once and
+    cached per (variant × binding), counted as ["variant-vet"].  [true]
+    means the runtime may execute this variant without per-run plan
+    vetting. *)
+
+val plan_cache_keys : compiled -> string list
+(** Snapshot of the plan-cache keys currently instantiated (base bindings
+    and ["…|v=…"] variant compounds) — {!Engine.stats} aggregates these
+    per model for the serve report. *)
 
 val mem_plan_for : compiled -> Env.t -> Mem_plan.t
 (** Instantiate the memory plan for one concrete input shape.  Served from

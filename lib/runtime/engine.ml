@@ -94,6 +94,8 @@ type stats = {
   warm_classes : int;
   drift_trips : int;
   retunes : int;
+  plan_keys : int;
+  plan_variants : int;
 }
 
 type t = {
@@ -128,6 +130,9 @@ type t = {
   backends : Backend.t option array;  (** live per-worker backends, for in-place swap *)
   predicted : (string, float) Hashtbl.t;  (** plan key -> cost-model service us *)
   observed : (string, drift_obs) Hashtbl.t;
+  outcomes : (string, int array) Hashtbl.t;
+      (** plan key -> last observed predicate-outcome vector; the
+          prediction a variant run verifies per gate *)
   mutable live_workers : int;
   mutable degraded_mode : bool;
   mutable restarts_used : int;
@@ -303,15 +308,15 @@ let predicted_us_locked t env key =
    key's window; a full window whose mean drifts past the calibrated
    baseline ratio arms a re-tune.  Returns [true] when the caller (which
    still holds the lock) must spawn the re-tuner after unlocking. *)
-let observe_drift_locked t req busy =
+let observe_drift_locked t req ~key busy =
   if t.drift_threshold <= 0.0 then false
   else begin
     let ob =
-      match Hashtbl.find_opt t.observed req.r_key with
+      match Hashtbl.find_opt t.observed key with
       | Some o -> o
       | None ->
         let o = { o_n = 0; o_sum = 0.0; o_baseline = 0.0 } in
-        Hashtbl.add t.observed req.r_key o;
+        Hashtbl.add t.observed key o;
         o
     in
     ob.o_n <- ob.o_n + 1;
@@ -388,6 +393,25 @@ let spawn_retune t =
 (* ------------------------------------------------------------------ *)
 (* Worker side                                                         *)
 
+(* Outcome prediction: map one run's observed [(pred tid, branch)] pairs
+   to the canonical outcome vector (digit [i] belongs to
+   [control.gates.(i)], matched on [g_pred]).  A run that left any gate
+   unobserved yields no prediction — a partial vector would specialize a
+   gate we know nothing about. *)
+let outcome_of_observations t obs =
+  let gates = t.compiled.Pipeline.control.Control_region.gates in
+  if Array.length gates = 0 || obs = [] then None
+  else
+    let v =
+      Array.map
+        (fun g ->
+          match List.assoc_opt g.Control_region.g_pred obs with
+          | Some b -> b
+          | None -> -1)
+        gates
+    in
+    if Array.exists (fun o -> o < 0) v then None else Some v
+
 let run_fallback t req =
   (Guarded_exec.run
      ~config:(Executor.degraded t.cfg)
@@ -401,9 +425,28 @@ let run_fallback t req =
 let execute t ~w ~arena ~backend req ~batched =
   let started = Unix.gettimeofday () in
   Mutex.lock t.lock;
-  let route = route_locked t req.r_key started in
+  let predicted_outcome = Hashtbl.find_opt t.outcomes req.r_key in
+  Mutex.unlock t.lock;
+  (* A prediction with a compiled (within-budget) variant routes the
+     breaker and drift accounting under the variant-qualified key, so a
+     misbehaving specialized plan trips its own breaker — and calibrates
+     its own drift baseline — without dragging down the base plan or the
+     key's other variants. *)
+  let variant =
+    match predicted_outcome with
+    | Some o -> Pipeline.variant t.compiled ~outcome:o
+    | None -> None
+  in
+  let vkey =
+    match variant with
+    | Some v -> req.r_key ^ "|v=" ^ v.Pipeline.v_key
+    | None -> req.r_key
+  in
+  Mutex.lock t.lock;
+  let route = route_locked t vkey started in
   Mutex.unlock t.lock;
   let via_fallback = route = `Fallback in
+  let gate_obs = ref [] in
   let outcome =
     try
       (match !For_testing.inject with
@@ -411,15 +454,7 @@ let execute t ~w ~arena ~backend req ~batched =
       | _ -> ());
       let outputs =
         if via_fallback then run_fallback t req
-        else if t.cfg.Executor.guarded then
-          let report =
-            Guarded_exec.run
-              ?arena:(if t.cfg.Executor.memory = Executor.Mem_arena then Some arena
-                      else None)
-              ?backend t.compiled ~env:req.r_env ~inputs:req.r_inputs
-          in
-          report.Guarded_exec.outputs
-        else
+        else begin
           let memory =
             match t.cfg.Executor.memory with
             | Executor.Mem_malloc -> Executor.Malloc
@@ -429,9 +464,41 @@ let execute t ~w ~arena ~backend req ~batched =
              executor; the explicit [memory] (this worker's arena) and
              [backend] (this worker's pool slice) still win over the
              config fields they subsume. *)
-          snd
-            (Executor.run_real ~config:t.cfg ?backend ~memory t.compiled
-               ~inputs:req.r_inputs)
+          let run_direct ?check_env ?outcomes () =
+            let tr, outs =
+              Executor.run_real ~config:t.cfg ?backend ~memory ?check_env
+                ?outcomes t.compiled ~inputs:req.r_inputs
+            in
+            gate_obs := tr.Executor.gate_outcomes;
+            outs
+          in
+          if t.cfg.Executor.guarded then
+            match variant with
+            | Some v when Pipeline.variant_vetted t.compiled v req.r_env ->
+              (* Vet-once fast path: this variant's instantiated plan was
+                 vetted when the (binding x outcome) pair first appeared,
+                 so steady-state requests skip the per-run Guarded_exec
+                 sweep and boundary cross-checks entirely and run the
+                 pruned plan directly.  The prediction itself is still
+                 verified once per gate at its Switch — a mispredicted
+                 gate falls back inside {!Executor.run_real} — and
+                 anything that raises lands in this key's breaker like
+                 any other failure. *)
+              counter t "engine-variant-direct";
+              run_direct ~outcomes:v.Pipeline.v_outcome ()
+            | _ ->
+              let report =
+                Guarded_exec.run
+                  ?arena:
+                    (if t.cfg.Executor.memory = Executor.Mem_arena then
+                       Some arena
+                     else None)
+                  ?backend t.compiled ~env:req.r_env ~inputs:req.r_inputs
+              in
+              gate_obs := report.Guarded_exec.gate_outcomes;
+              report.Guarded_exec.outputs
+          else run_direct ?outcomes:predicted_outcome ()
+        end
       in
       let now = Unix.gettimeofday () in
       Ok
@@ -457,16 +524,19 @@ let execute t ~w ~arena ~backend req ~batched =
     t.busy_us.(w) <- t.busy_us.(w) +. busy;
     record_latency_locked t r.latency_us;
     if batched then t.batched <- t.batched + 1;
+    (match outcome_of_observations t !gate_obs with
+    | Some o -> Hashtbl.replace t.outcomes req.r_key o
+    | None -> ());
     if r.degraded then t.degraded_runs <- t.degraded_runs + 1
     else begin
-      breaker_success_locked t req.r_key ~probe:(route = `Probe);
-      want_retune := observe_drift_locked t req busy
+      breaker_success_locked t vkey ~probe:(route = `Probe);
+      want_retune := observe_drift_locked t req ~key:vkey busy
     end
   | Error (e, busy) ->
     ignore (settle_locked t req (Failed e) V_failed);
     t.busy_us.(w) <- t.busy_us.(w) +. busy;
     if not via_fallback then
-      breaker_failure_locked t req.r_key ~probe:(route = `Probe) (Unix.gettimeofday ()));
+      breaker_failure_locked t vkey ~probe:(route = `Probe) (Unix.gettimeofday ()));
   Mutex.unlock t.lock;
   counter t "engine-request";
   if batched then counter t "engine-batched";
@@ -714,6 +784,7 @@ let create ?(workers = 1) ?(max_batch = 4) ?(config = Executor.default_config)
       backends = Array.make nworkers None;
       predicted = Hashtbl.create 8;
       observed = Hashtbl.create 8;
+      outcomes = Hashtbl.create 8;
       live_workers = nworkers;
       degraded_mode = false;
       restarts_used = 0;
@@ -856,6 +927,24 @@ let await t (req : ticket) =
 let infer ?deadline_us t ~env ~inputs = await t (submit ?deadline_us t ~env ~inputs)
 
 let stats t =
+  (* Variant-keyed plan-cache entries ("<binding>|v=<outcome>") must not
+     inflate the per-model cardinality the serve report shows: count
+     distinct base (binding) keys, and report the variant-qualified
+     entries separately. *)
+  let cache_keys = Pipeline.plan_cache_keys t.compiled in
+  let bases = Hashtbl.create 8 in
+  let nvariants = ref 0 in
+  List.iter
+    (fun k ->
+      let base =
+        match String.index_opt k '|' with
+        | Some i ->
+          incr nvariants;
+          String.sub k 0 i
+        | None -> k
+      in
+      Hashtbl.replace bases base ())
+    cache_keys;
   Mutex.protect t.lock (fun () ->
       {
         workers = t.nworkers;
@@ -883,6 +972,8 @@ let stats t =
         warm_classes = t.warm_classes;
         drift_trips = t.drift_trips;
         retunes = t.retunes;
+        plan_keys = Hashtbl.length bases;
+        plan_variants = !nvariants;
       })
 
 let shutdown t =

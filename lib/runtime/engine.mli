@@ -46,6 +46,26 @@
       re-tests the normal path — success closes the breaker, failure
       re-opens it.
 
+    {2 Multi-version plan serving (DESIGN.md §17)}
+
+    When the artifact carries control flow and a variant budget
+    ({!Compile_opts.t}[.variant_budget]), the engine predicts each
+    request's predicate-outcome vector from the last completed run on the
+    same plan key ([trace.gate_outcomes] / [report.gate_outcomes]) and
+    serves it through the matching precompiled plan variant
+    ({!Pipeline.variant}): pruned straight-line order, live-tensor-only
+    memory plan, no per-node branch resolution.  A mispredicted gate is
+    detected once at its Switch and transparently re-runs on the any-path
+    base plan inside {!Executor.run_real}.  Under a guarded config, a
+    variant whose instantiated plan has been vetted once
+    ({!Pipeline.variant_vetted}) skips the per-run {!Guarded_exec} sweep
+    and runs the executor directly with fail-fast cross-checks — the
+    vet-once fast path, counted as ["engine-variant-direct"].  Breakers
+    and the drift detector key on the variant-qualified plan key
+    (["<binding>|v=<outcome>"]), so a misbehaving specialized plan is
+    isolated from its siblings; {!stats} aggregates cache cardinality
+    back to base keys ([plan_keys] vs [plan_variants]).
+
     Per-request latency lands in a fixed-bucket log histogram (8 buckets
     per octave, no per-request retention) surfaced as p50/p95/p99 in
     {!stats}; the process-global {!Profile.Counters} additionally
@@ -111,6 +131,12 @@ type stats = {
   warm_classes : int;  (** shape classes warm-started from [?tune_cache] *)
   drift_trips : int;  (** drift-detector trips (re-tunes scheduled) *)
   retunes : int;  (** background re-tunes completed and swapped in *)
+  plan_keys : int;
+      (** distinct {e base} (shape-binding) keys in the instantiated-plan
+          cache — variant-qualified entries are folded into their base
+          key, so this is the per-model binding cardinality regardless of
+          how many outcome variants each binding fanned out into *)
+  plan_variants : int;  (** variant-qualified (["|v="]) cache entries *)
 }
 (** Invariant once every ticket has settled:
     [completed + failed + shed + rejected + expired = submitted], and
@@ -226,17 +252,15 @@ end
 
 (** {1 One-shot arena execution}
 
-    The former [Arena_exec] entry point, kept on the facade so the thin
-    {!Arena_exec} alias has no duplicated setup code. *)
+    One synchronous arena inference without standing up a resident
+    engine — the facade spelling the tests, bench and CLI use for
+    steady-state arena measurements. *)
 
 type arena_result = {
   outputs : (Graph.tensor_id * Tensor.t) list;
   arena_bytes : int;  (** size of the linear buffer that was used *)
   arena_resident : int;  (** tensors that lived in the arena *)
 }
-(* Field names are load-bearing: {!Arena_exec.result} re-exports this
-   record equation, so historical [r.Arena_exec.arena_bytes] accesses
-   keep compiling. *)
 
 val run_arena :
   ?backend:Backend.t -> ?arena:Arena.t -> Pipeline.compiled -> env:Env.t ->

@@ -29,6 +29,8 @@ type trace = {
   nodes_executed : int;
   arena_bytes : int;
   arena_resident : int;
+  gate_outcomes : (Graph.tensor_id * int) list;
+      (** branch taken per predicate tensor, in gate order *)
 }
 
 type memory =
@@ -45,6 +47,7 @@ type config = {
   guarded : bool;
   control : control;
   quant : bool;
+  compile : Compile_opts.t;
 }
 
 let default_config =
@@ -54,10 +57,13 @@ let default_config =
     guarded = false;
     control = Selected_only;
     quant = false;
+    compile = Compile_opts.default;
   }
 
-(* "<backend>[,arena][,guarded][,all-paths][,int8]" — the CLI's --exec
-   syntax. *)
+(* "<backend>[,arena][,guarded][,all-paths][,int8][,<compile token>…]" —
+   the CLI's --exec syntax.  Modifiers the executor does not recognize are
+   offered to [Compile_opts.parse_token], so one spec can carry both sides
+   of the surface ("fused,arena,variants=8"). *)
 let config_of_string s =
   match String.split_on_char ',' (String.lowercase_ascii (String.trim s)) with
   | [] | [ "" ] -> Error "empty exec spec"
@@ -76,11 +82,15 @@ let config_of_string s =
               | "guarded" -> Ok { cfg with guarded = true }
               | "all-paths" -> Ok { cfg with control = All_paths }
               | "int8" -> Ok { cfg with quant = true }
-              | m ->
-                Error
-                  (Printf.sprintf
-                     "unknown exec modifier %S (expected \
-                      arena|malloc|guarded|all-paths|int8)" m)))
+              | m -> (
+                match Compile_opts.parse_token cfg.compile m with
+                | Ok compile -> Ok { cfg with compile }
+                | Error _ ->
+                  Error
+                    (Printf.sprintf
+                       "unknown exec modifier %S (expected \
+                        arena|malloc|guarded|all-paths|int8, or a compile \
+                        token: f32|f64|nofuse|sym=N|variants=N|aot=VEC)" m))))
         (Ok { default_config with backend })
         mods)
 
@@ -93,7 +103,8 @@ let config_to_string cfg =
             (if cfg.guarded then Some "guarded" else None);
             (if cfg.control = All_paths then Some "all-paths" else None);
             (if cfg.quant then Some "int8" else None);
-          ])
+          ]
+     @ Compile_opts.to_tokens cfg.compile)
 
 (* The most conservative execution of a config: drop the suspect
    specialized backend, keep the control policy, and run guarded so plan
@@ -105,6 +116,10 @@ let degraded cfg =
   { cfg with backend = Backend.Naive; memory = Mem_malloc; guarded = true; quant = false }
 
 exception Unresolved of string
+
+exception Variant_mispredict of int * int * int
+(** [(gate, assumed, got)] — a variant run's per-gate verification found
+    the computed predicate disagreeing with the plan's assumed branch. *)
 
 (* Runtime view of an instantiated memory plan: per-tensor slots (element
    offset and capacity) over one grow-only buffer, plus which tensors
@@ -241,7 +256,7 @@ let dry_forward ctx st (nd : Graph.node) =
 (* --- shared driver ------------------------------------------------ *)
 
 let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
-    ?(quant = false) ctx st =
+    ?(quant = false) ?variant ctx st =
   let c = ctx.c in
   let g = c.graph in
   let counter kind =
@@ -287,6 +302,23 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
       ignore (fetch_boxed tid)
     | _ -> ()
   in
+  (* Variant plans resolved the gate's routing at plan time and kept the
+     source slot live across the alias's consumers (Mem_plan [?alias]),
+     so the alias can point at the source's arena slot directly — no
+     boxed copy out of the arena per gate.  Returns false when the value
+     is not slot-resident (boxed input, malloc mode, already copied out),
+     in which case the caller boxes as before. *)
+  let alias_slot dst src =
+    match arena, variant with
+    | Some ar, Some v
+      when v.Pipeline.v_alias.(dst) >= 0
+           && ar.ar_loc.(src)
+           && st.tensors.(src) = None ->
+      ar.ar_slot.(dst) <- ar.ar_slot.(src);
+      ar.ar_loc.(dst) <- true;
+      true
+    | _ -> false
+  in
   (* Element size from the materialized tensor when there is one (Real
      mode); otherwise the compiled artifact's float dtype — the kind
      arena-resident values actually occupy — so Dry and arena traffic
@@ -326,15 +358,31 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
             "Executor: control-flow predicate tensor t%d is empty" tid)
       | None -> gate tid)
   in
+  let gate_obs = ref [] in
   let exec_switch (nd : Graph.node) branches =
     let data = List.hd nd.inputs in
     let pred = switch_pred_tid nd in
     let b = max 0 (min (branches - 1) (branch_of_pred pred)) in
-    materialize_for_alias data;
+    if not (List.mem_assoc pred !gate_obs) then gate_obs := (pred, b) :: !gate_obs;
+    (* Variant runs verify the plan's assumption once per gate, at the
+       Switch — the only branch check left on the specialized path.  A
+       disagreement aborts into the any-path fallback (predict-verify-
+       fallback for data-dependent gates). *)
+    (match variant with
+    | Some v -> (
+      match Control_region.gate_of_switch c.Pipeline.control nd.Graph.nid with
+      | Some gid
+        when gid < Array.length v.Pipeline.v_outcome
+             && v.Pipeline.v_outcome.(gid) >= 0
+             && v.Pipeline.v_outcome.(gid) <> b ->
+        raise (Variant_mispredict (gid, v.Pipeline.v_outcome.(gid), b))
+      | _ -> ())
+    | None -> ());
     List.iteri
       (fun i tid ->
         let route = control = All_paths || i = b in
         if route then begin
+          if not (alias_slot tid data) then materialize_for_alias data;
           st.dims.(tid) <- st.dims.(data);
           st.ivals.(tid) <- st.ivals.(data);
           st.tensors.(tid) <- st.tensors.(data);
@@ -355,7 +403,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
     match chosen with
     | Some src ->
       let dst = List.hd nd.outputs in
-      materialize_for_alias src;
+      if not (alias_slot dst src) then materialize_for_alias src;
       st.dims.(dst) <- st.dims.(src);
       st.ivals.(dst) <- st.ivals.(src);
       st.tensors.(dst) <- st.tensors.(src);
@@ -557,12 +605,30 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
           nd.outputs
       end
   in
+  (* A variant executes its pruned order with no per-group readiness scan:
+     every surviving group is statically known to run, and branch inputs
+     were resolved at compile time.  The scan counter makes "zero per-node
+     branch resolution in steady state" a testable claim. *)
+  let order =
+    match variant with
+    | Some v -> v.Pipeline.v_order
+    | None -> c.exec.Exec_plan.order
+  in
+  let templates =
+    match variant with Some v -> v.Pipeline.v_fused | None -> c.Pipeline.fused
+  in
   List.iter
     (fun gid ->
       let grp = c.fusion_plan.groups.(gid) in
       let members = List.map (Graph.node g) grp.members in
       let member_tids = List.concat_map (fun (nd : Graph.node) -> nd.Graph.outputs) members in
-      let ready = List.for_all (node_ready ~member_tids) members in
+      let ready =
+        match variant with
+        | Some _ -> true
+        | None ->
+          counter "exec-ready-scan";
+          List.for_all (node_ready ~member_tids) members
+      in
       (* Combine fires when its selected branch arrived even though other
          branch inputs are missing; plain nodes need everything. *)
       if ready then begin
@@ -575,7 +641,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
            and drive its destination entry point straight into the terminal
            output's planned slot. *)
         let run_fused_arena be ar =
-          match c.Pipeline.fused.(gid) with
+          match templates.(gid) with
           | None -> false
           | Some tpl -> (
             let n = Array.length tpl.Fused_compile.t_slots in
@@ -590,7 +656,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
                 Array.to_list
                   (Array.map (fun v -> v.Tensor.vdims, Tensor.view_dtype v) va)
               in
-              match Backend.fused_kernel be c ~gid ~args:shapes with
+              match Backend.fused_kernel be ~tpl c ~gid ~args:shapes with
               | None -> false
               | Some k ->
                 let out = k.Fused_compile.k_out in
@@ -627,7 +693,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
                  && not (quant && List.exists (Pipeline.quant_node c) members) -> (
             (match arena with Some ar -> run_fused_arena be ar | None -> false)
             ||
-            match Backend.fused_run be c ~gid ~fetch:fetch_boxed with
+            match Backend.fused_run be ?tpl:templates.(gid) c ~gid ~fetch:fetch_boxed with
             | Some fr ->
               List.iter
                 (fun (tid, d) ->
@@ -727,7 +793,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
             :: !steps
         end
       end)
-    c.exec.Exec_plan.order;
+    order;
   (* Lifetime events for materialized tensors. *)
   let last_step = max 0 (!step_counter - 1) in
   let events =
@@ -762,6 +828,7 @@ let run_engine ~mode ~control ~gate ?(verify = fun _ _ -> ()) ?backend ?arena
     nodes_executed = !nodes_executed;
     arena_bytes = (match arena with Some ar -> ar.ar_bytes | None -> 0);
     arena_resident = (match arena with Some ar -> ar.ar_resident | None -> 0);
+    gate_outcomes = List.rev !gate_obs;
   }
 
 let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compiled)
@@ -781,8 +848,9 @@ let run_dry ?(control = Selected_only) ?(gate = fun _ -> 0) (c : Pipeline.compil
   run_engine ~mode:Dry ~control ~gate ctx st
 
 let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Malloc)
-    ?(quant = false) (c : Pipeline.compiled) ~inputs =
+    ?(quant = false) ?outcomes (c : Pipeline.compiled) ~inputs =
   let ctx = make_ctx c in
+  let attempt variant =
   let st = init_state c ~keep_tensors:true in
   List.iter
     (fun (tid, t) ->
@@ -800,7 +868,11 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
     match memory with
     | Malloc -> None
     | Arena { arena; env } ->
-      let plan = Pipeline.instantiated_plan c env in
+      let plan =
+        match variant with
+        | Some v -> Pipeline.variant_plan c v env
+        | None -> Pipeline.instantiated_plan c env
+      in
       (* The plan sized every slot in [fdtype] elements, so byte offsets
          divide exactly by its element size — which is also the kind the
          arena buffer is allocated in.  No 4-vs-8 mismatch is possible:
@@ -846,7 +918,7 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
   in
   let trace =
     run_engine ~mode:Real ~control ~gate:(fun _ -> 0) ~verify ?backend ?arena ~quant
-      ctx st
+      ?variant ctx st
   in
   (* Model outputs must outlive the arena (its slots are overwritten by the
      next inference), so arena-resident outputs are boxed at the boundary.
@@ -869,6 +941,24 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
       ctx.out_tids
   in
   trace, outs
+  in
+  (* Variant dispatch: resolve the outcome vector to a specialized plan
+     (bounded by the artifact's budget), execute it, and on a per-gate
+     verification failure rerun from scratch on the any-path base plan —
+     mispredicted state never leaks into the fallback. *)
+  match Option.bind outcomes (fun o -> Pipeline.variant c ~outcome:o) with
+  | None -> attempt None
+  | Some v -> (
+    let counter kind =
+      Profile.Counters.record ~profile:c.Pipeline.profile.Profile.name ~kind
+    in
+    try
+      let r = attempt (Some v) in
+      counter "variant-run";
+      r
+    with Variant_mispredict _ ->
+      counter "variant-mispredict";
+      attempt None)
 
 (* Config-driven entry point.  Explicit optional arguments always win over
    the corresponding [config] field, so the historical call sites keep
@@ -878,10 +968,10 @@ let run_real_opts ?(control = Selected_only) ?check_env ?backend ?(memory = Mall
    no caller-supplied instance creates a transient backend for this one
    run and shuts it down afterwards; callers with steady traffic should
    pass their own long-lived [?backend] (or use {!Engine}). *)
-let run_real ?config ?env ?control ?check_env ?backend ?memory
+let run_real ?config ?env ?control ?check_env ?backend ?memory ?outcomes
     (c : Pipeline.compiled) ~inputs =
   match config with
-  | None -> run_real_opts ?control ?check_env ?backend ?memory c ~inputs
+  | None -> run_real_opts ?control ?check_env ?backend ?memory ?outcomes c ~inputs
   | Some cfg ->
     let control = Option.value control ~default:cfg.control in
     let memory =
@@ -905,8 +995,8 @@ let run_real ?config ?env ?control ?check_env ?backend ?memory
     Fun.protect
       ~finally:(fun () -> Option.iter Backend.shutdown owned)
       (fun () ->
-        run_real_opts ~control ?check_env ?backend ~memory ~quant:cfg.quant c
-          ~inputs)
+        run_real_opts ~control ?check_env ?backend ~memory ~quant:cfg.quant
+          ?outcomes c ~inputs)
 
 let peak_live_bytes trace =
   let last =

@@ -60,6 +60,10 @@ type trace = {
   arena_bytes : int;  (** instantiated plan size; 0 under [Malloc] *)
   arena_resident : int;
       (** tensors computed straight into arena slots this inference *)
+  gate_outcomes : (Graph.tensor_id * int) list;
+      (** branch taken per Switch predicate tensor, in first-observation
+          order — what {!Engine} feeds its per-model outcome prediction
+          for variant selection *)
 }
 
 type memory =
@@ -105,20 +109,29 @@ type config = {
           quantized at compile ({!Pipeline.compile} [~quant:true]); a no-op
           on artifacts compiled without [~quant].  Needs a non-naive
           [backend] — the naive reference path always runs float. *)
+  compile : Compile_opts.t;
+      (** the compile-side surface riding along with the exec config, so
+          one spec configures both halves ({!Engine.create} and the CLI
+          compile through it); execution entry points ignore it *)
 }
 
 val default_config : config
 (** [{ backend = Naive; memory = Mem_malloc; guarded = false;
-      control = Selected_only; quant = false }] — exactly what the bare
+      control = Selected_only; quant = false;
+      compile = Compile_opts.default }] — exactly what the bare
     optional-arg entry points default to. *)
 
 val config_of_string : string -> (config, string) result
 (** Parses the CLI [--exec] syntax
-    ["naive|blocked|parallel|fused[,arena][,malloc][,guarded][,all-paths][,int8]"]. *)
+    ["naive|blocked|parallel|fused[,arena][,malloc][,guarded][,all-paths][,int8]"].
+    Modifiers the executor does not recognize are folded through
+    {!Compile_opts.parse_token} into [compile], so a single spec can carry
+    compile tokens too (["fused,arena,variants=8"]). *)
 
 val config_to_string : config -> string
-(** Canonical [--exec] rendering; [config_of_string (config_to_string c)]
-    is [Ok c]. *)
+(** Canonical [--exec] rendering (exec modifiers first, then the
+    non-default compile tokens); [config_of_string (config_to_string c)]
+    is [Ok c] for any [c] built by {!config_of_string}. *)
 
 val degraded : config -> config
 (** The graceful-fallback variant of a config: naive backend, malloc
@@ -132,6 +145,13 @@ exception Unresolved of string
 (** Raised in [Dry] mode when a shape could not be resolved concretely —
     indicates a gap in the operator's transfer function. *)
 
+exception Variant_mispredict of int * int * int
+(** [(gate, assumed, got)] — a variant run's once-per-gate verification at
+    the Switch found the computed predicate selecting a different branch
+    than the specialized plan assumed.  {!run_real} catches this
+    internally (falling back to the any-path base plan); it escapes only
+    from a direct [run_engine]-level embedding. *)
+
 val run_dry :
   ?control:control -> ?gate:(Graph.tensor_id -> int) ->
   Pipeline.compiled -> input_dims:(Graph.tensor_id * int list) list -> trace
@@ -142,10 +162,20 @@ val run_dry :
 val run_real :
   ?config:config -> ?env:Env.t ->
   ?control:control -> ?check_env:Env.t -> ?backend:Backend.t -> ?memory:memory ->
+  ?outcomes:int array ->
   Pipeline.compiled -> inputs:(Graph.tensor_id * Tensor.t) list ->
   trace * (Graph.tensor_id * Tensor.t) list
 (** Full interpretation; returns the trace and the graph output tensors.
     Switch predicates are read from the computed predicate tensors.
+
+    [outcomes] predicts the predicate-outcome vector: when the artifact has
+    a plan variant for it (within budget — {!Pipeline.variant}), execution
+    runs the variant's pruned straight-line order with no per-group
+    readiness scans (["exec-ready-scan"] stays flat; successful runs count
+    ["variant-run"]), verifying the prediction once per gate at its
+    Switch.  A misprediction (["variant-mispredict"]) or a missing variant
+    falls back to the any-path base plan — results are identical either
+    way, only the steady-state cost differs.
 
     [config] is the consolidated entry point: [config.control] supplies
     the control policy, [config.memory = Mem_arena] runs over a fresh

@@ -28,6 +28,7 @@ type report = {
   demoted_nodes : int;
   arena_bytes : int;
   arena_resident : int;
+  gate_outcomes : (Graph.tensor_id * int) list;
 }
 
 type location =
@@ -232,12 +233,14 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
      [backend] (used by the planned sweep only — the fallback sweep stays
      on the bit-exact naive reference) selects the optimized kernels, with
      the node's compile-time shape class when resolved. *)
+  let gate_obs = ref [] in
   let exec_node ?backend store (nd : Graph.node) =
     match nd.Graph.op with
     | Op.Switch { branches } ->
       let data = List.hd nd.Graph.inputs in
       let pred = List.nth nd.Graph.inputs 1 in
       let b = max 0 (min (branches - 1) (branch_of_pred ~tensor:pred (fetch pred))) in
+      if not (List.mem_assoc pred !gate_obs) then gate_obs := (pred, b) :: !gate_obs;
       List.iteri
         (fun i tid -> if i = b then store tid (fetch data) else dead.(tid) <- true)
         nd.Graph.outputs
@@ -393,6 +396,7 @@ let run_opts ?mem_plan ?arena ?(kernel_hook = fun ~gid:_ ~node:_ -> ()) ?backend
     demoted_nodes = !demoted;
     arena_bytes;
     arena_resident = !resident;
+    gate_outcomes = List.rev !gate_obs;
   }
 
 (* Config-driven wrapper mirroring {!Executor.run_real}: explicit optional

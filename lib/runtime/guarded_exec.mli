@@ -50,6 +50,10 @@ type report = {
   demoted_nodes : int;  (** nodes executed by the fallback sweep *)
   arena_bytes : int;
   arena_resident : int;  (** tensors that lived in the arena *)
+  gate_outcomes : (Graph.tensor_id * int) list;
+      (** branch taken per Switch predicate tensor, in first-observation
+          order — lets {!Engine} learn outcome vectors from guarded
+          warm-up runs and predict plan variants for later requests *)
 }
 
 val run :

@@ -1,8 +1,8 @@
 (* Tests for the resident concurrent inference engine and the
    consolidated Executor.config record: concurrent mixed-binding traffic
    must be bit-identical to the reference interpreter, the shared plan
-   cache must miss exactly once per distinct binding, and the deprecated
-   entry points (optional args, Arena_exec) must keep their behavior. *)
+   cache must miss exactly once per distinct binding, and the historical
+   optional-arg entry points must keep their behavior. *)
 
 module RT = Sod2_runtime
 
@@ -178,7 +178,8 @@ let test_config_parsing () =
     (RT.Executor.default_config = { RT.Executor.backend = RT.Backend.Naive;
                                     memory = RT.Executor.Mem_malloc; guarded = false;
                                     control = RT.Executor.Selected_only;
-                                    quant = false })
+                                    quant = false;
+                                    compile = Sod2.Compile_opts.default })
 
 (* The config-driven entry points must agree with the historical
    optional-arg spellings they subsume. *)
@@ -208,12 +209,12 @@ let test_config_entry_points () =
     (bit_identical report.RT.Guarded_exec.outputs reference);
   Alcotest.(check int) "guarded run is incident-free" 0
     (List.length report.RT.Guarded_exec.incidents);
-  (* The deprecated Arena_exec alias still exposes the old record. *)
-  let r = RT.Arena_exec.run c ~env ~inputs in
-  Alcotest.(check bool) "Arena_exec alias = reference" true
-    (bit_identical r.RT.Arena_exec.outputs reference);
-  Alcotest.(check bool) "alias reports arena residency" true
-    (r.RT.Arena_exec.arena_bytes > 0 && r.RT.Arena_exec.arena_resident > 0)
+  (* One-shot arena execution on the Engine facade. *)
+  let r = RT.Engine.run_arena c ~env ~inputs in
+  Alcotest.(check bool) "Engine.run_arena = reference" true
+    (bit_identical r.RT.Engine.outputs reference);
+  Alcotest.(check bool) "run_arena reports arena residency" true
+    (r.RT.Engine.arena_bytes > 0 && r.RT.Engine.arena_resident > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Overload, deadlines, supervision, breaker (ISSUE 6)                 *)

@@ -149,17 +149,17 @@ let test_arena_execution () =
       let env = tiny_env sp in
       let inputs = Zoo.make_inputs sp g env (Rng.create 11) in
       let _, boxed = Sod2_runtime.Executor.run_real c ~inputs in
-      let arena = Sod2_runtime.Arena_exec.run c ~env ~inputs in
+      let arena = Sod2_runtime.Engine.run_arena c ~env ~inputs in
       Alcotest.(check bool) (name ^ ": tensors lived in the arena") true
-        (arena.Sod2_runtime.Arena_exec.arena_resident > 0);
+        (arena.Sod2_runtime.Engine.arena_resident > 0);
       Alcotest.(check bool) (name ^ ": arena was sized") true
-        (arena.Sod2_runtime.Arena_exec.arena_bytes > 0);
+        (arena.Sod2_runtime.Engine.arena_bytes > 0);
       List.iter2
         (fun (t1, v1) (t2, v2) ->
           Alcotest.(check int) "same output id" t1 t2;
           if not (Tensor.approx_equal ~eps:1e-4 v1 v2) then
             Alcotest.failf "%s: arena execution corrupted outputs" name)
-        boxed arena.Sod2_runtime.Arena_exec.outputs)
+        boxed arena.Sod2_runtime.Engine.outputs)
     [ "codebert"; "yolov6"; "skipnet"; "ranet"; "conformer" ]
 
 (* A Sub recurrence where every intermediate keeps two consumers (the last
@@ -187,7 +187,7 @@ let test_arena_steady_state () =
   let c = Sod2.Pipeline.compile cpu g in
   let inputs = [ x, Tensor.rand_uniform (Rng.create 2) [ 4; 64 ] ] in
   let arena = Sod2_runtime.Arena.create () in
-  let run () = Sod2_runtime.Arena_exec.run ~arena c ~env:Env.empty ~inputs in
+  let run () = Sod2_runtime.Engine.run_arena ~arena c ~env:Env.empty ~inputs in
   ignore (run ());
   Profile.Counters.reset ();
   let res = run () in
@@ -203,7 +203,7 @@ let test_arena_steady_state () =
       Alcotest.(check int) "same output id" t1 t2;
       if not (Tensor.approx_equal ~eps:1e-5 v1 v2) then
         Alcotest.fail "steady-state arena outputs diverged from the reference")
-    boxed res.Sod2_runtime.Arena_exec.outputs
+    boxed res.Sod2_runtime.Engine.outputs
 
 (* An empty control-flow predicate is a malformed execution, not branch 0:
    both interpreters must raise the structured error. *)
@@ -244,15 +244,15 @@ let test_arena_backends_match () =
         ~finally:(fun () -> Sod2_runtime.Backend.shutdown be)
         (fun () ->
           let arena = Sod2_runtime.Arena.create () in
-          ignore (Sod2_runtime.Arena_exec.run ~backend:be ~arena c ~env ~inputs);
-          let res = Sod2_runtime.Arena_exec.run ~backend:be ~arena c ~env ~inputs in
+          ignore (Sod2_runtime.Engine.run_arena ~backend:be ~arena c ~env ~inputs);
+          let res = Sod2_runtime.Engine.run_arena ~backend:be ~arena c ~env ~inputs in
           List.iter2
             (fun (t1, v1) (t2, v2) ->
               Alcotest.(check int) "same output id" t1 t2;
               if not (Tensor.approx_equal ~eps:1e-3 v1 v2) then
                 Alcotest.failf "arena outputs diverge under the %s backend"
                   (Sod2_runtime.Backend.kind_name kind))
-            boxed res.Sod2_runtime.Arena_exec.outputs))
+            boxed res.Sod2_runtime.Engine.outputs))
     [
       Sod2_runtime.Backend.Naive; Sod2_runtime.Backend.Blocked;
       Sod2_runtime.Backend.Parallel; Sod2_runtime.Backend.Fused;
@@ -265,7 +265,7 @@ let test_arena_rejects_mismatched_env () =
   let inputs = Zoo.make_inputs sp g (Env.of_list [ "S", 32 ]) (Rng.create 1) in
   (* plan instantiated for a different sequence length than the inputs *)
   try
-    ignore (Sod2_runtime.Arena_exec.run c ~env:(Env.of_list [ "S", 48 ]) ~inputs);
+    ignore (Sod2_runtime.Engine.run_arena c ~env:(Env.of_list [ "S", 48 ]) ~inputs);
     Alcotest.fail "plan/input mismatch not detected"
   with Sod2_error.Error { cls = Sod2_error.Shape_mismatch; _ } -> ()
 

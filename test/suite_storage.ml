@@ -170,10 +170,10 @@ let test_backends_bit_identical () =
               check_bitwise (Printf.sprintf "%s backend, %s" bn kn) want got))
         [ RT.Backend.Blocked, "blocked"; RT.Backend.Parallel, "parallel" ];
       (* arena execution: planned slots, destination-passing stores *)
-      let res = RT.Arena_exec.run c ~env:Env.empty ~inputs in
-      check_bitwise (Printf.sprintf "arena, %s" kn) want res.RT.Arena_exec.outputs;
+      let res = RT.Engine.run_arena c ~env:Env.empty ~inputs in
+      check_bitwise (Printf.sprintf "arena, %s" kn) want res.RT.Engine.outputs;
       Alcotest.(check bool) (kn ^ ": tensors lived in the arena") true
-        (res.RT.Arena_exec.arena_resident > 0))
+        (res.RT.Engine.arena_resident > 0))
     [ Tensor.F32; Tensor.F64 ]
 
 let test_fused_bit_identical () =
@@ -265,11 +265,11 @@ let test_byte_conservation () =
       (* the arena run reserves exactly the instantiated plan's bytes,
          rounded up to a whole element of the artifact's kind *)
       let arena = RT.Arena.create () in
-      let res = RT.Arena_exec.run ~arena c ~env:Env.empty ~inputs in
+      let res = RT.Engine.run_arena ~arena c ~env:Env.empty ~inputs in
       let plan = Sod2.Pipeline.instantiated_plan c Env.empty in
       Alcotest.(check int)
         (kn ^ ": trace reports the instantiated plan size")
-        plan.MP.arena_bytes res.RT.Arena_exec.arena_bytes;
+        plan.MP.arena_bytes res.RT.Engine.arena_bytes;
       let cap = RT.Arena.capacity_bytes arena in
       let want_cap = max 1 ((plan.MP.arena_bytes + elem - 1) / elem) * elem in
       Alcotest.(check int) (kn ^ ": arena reserves exactly the planned bytes")

@@ -17,6 +17,7 @@ let () =
       "fused", Suite_fused.suite;
       "guard", Suite_guard.suite;
       "engine", Suite_engine.suite;
+      "variants", Suite_variants.suite;
       "models", Suite_models.suite;
       "frameworks", Suite_frameworks.suite;
       "experiments", Suite_experiments.suite;
